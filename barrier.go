@@ -1,0 +1,124 @@
+package sonuma
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"sonuma/internal/core"
+)
+
+// Barrier is the synchronization half of the §5.3 library: "Each
+// participating node broadcasts the arrival at a barrier by issuing a write
+// to an agreed upon offset on each of its peers. The nodes then poll locally
+// until all of them reach the barrier."
+//
+// The barrier region occupies one cache line per participant at the same
+// offset in every participant's context segment; participant i announces
+// round r by remotely writing r into line i of every peer. Like the
+// messenger, a Barrier must be driven by the single goroutine owning its QP.
+type Barrier struct {
+	ctx     *Context
+	qp      *QP
+	off     int
+	parts   []int
+	myIdx   int
+	round   uint64
+	scratch *Buffer
+}
+
+// BarrierRegionSize reports the context-segment bytes a barrier over n
+// participants occupies at its region offset.
+func BarrierRegionSize(n int) int { return n * core.CacheLineSize }
+
+// NewBarrier creates a barrier over the given participant node ids (which
+// must include this context's node and be identical, as a set, on every
+// participant). regionOffset locates the barrier lines within each
+// participant's segment.
+func NewBarrier(ctx *Context, qp *QP, regionOffset int, participants []int) (*Barrier, error) {
+	parts := append([]int(nil), participants...)
+	sort.Ints(parts)
+	myIdx := -1
+	for i, p := range parts {
+		if i > 0 && parts[i-1] == p {
+			return nil, fmt.Errorf("sonuma: duplicate barrier participant %d", p)
+		}
+		if p == ctx.NodeID() {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("sonuma: node %d not among barrier participants %v", ctx.NodeID(), parts)
+	}
+	if need := regionOffset + BarrierRegionSize(len(parts)); ctx.SegmentSize() < need {
+		return nil, fmt.Errorf("sonuma: context segment %d bytes < %d required by barrier", ctx.SegmentSize(), need)
+	}
+	scratch, err := ctx.AllocBuffer(core.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Barrier{ctx: ctx, qp: qp, off: regionOffset, parts: parts, myIdx: myIdx, scratch: scratch}, nil
+}
+
+// Round reports the number of completed barrier episodes.
+func (b *Barrier) Round() uint64 { return b.round }
+
+// Wait announces arrival to all peers and blocks until every participant
+// has arrived at this round. A failed peer surfaces as a node-failure error.
+func (b *Barrier) Wait() error {
+	b.round++
+	if err := b.scratch.Store64(0, b.round); err != nil {
+		return err
+	}
+	myLine := uint64(b.off + b.myIdx*core.CacheLineSize)
+	// Broadcast asynchronously: the writes to all peers overlap.
+	var firstErr error
+	for _, p := range b.parts {
+		if p == b.ctx.NodeID() {
+			if err := b.ctx.Memory().Store64(int(myLine), b.round); err != nil {
+				return err
+			}
+			continue
+		}
+		_, err := b.qp.WriteAsync(p, myLine, b.scratch, 0, 8, func(_ int, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := b.qp.DrainCQ(); err != nil {
+		return err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// Poll locally until all peers have announced this round.
+	mem := b.ctx.Memory()
+	for _, i := range pollOrder(len(b.parts), b.myIdx) {
+		lineOff := b.off + i*core.CacheLineSize
+		for {
+			v, err := mem.Load64(lineOff)
+			if err != nil {
+				return err
+			}
+			if v >= b.round {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// pollOrder starts polling at the participant after me so the common
+// straggler (ourselves) is checked last.
+func pollOrder(n, me int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = (me + 1 + i) % n
+	}
+	return order
+}

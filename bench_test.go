@@ -1,0 +1,323 @@
+package sonuma_test
+
+// One benchmark per table and figure of the paper's evaluation (§7), plus
+// ablation benches over the RMC design choices and conventional per-op
+// microbenchmarks of the development platform. The figure benches run the
+// experiment harness in quick mode and report headline metrics through
+// b.ReportMetric; `go run ./cmd/sonuma-bench` produces the full tables.
+
+import (
+	"strings"
+	"testing"
+
+	"sonuma"
+	"sonuma/internal/bench"
+)
+
+var quick = bench.Options{Quick: true}
+
+// logTables attaches the rendered tables to the benchmark output.
+func logTables(b *testing.B, e bench.Experiment) {
+	b.Helper()
+	var sb strings.Builder
+	for _, t := range e.Tables() {
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	b.Log("\n" + sb.String())
+}
+
+func BenchmarkFig1NetpipeTCP(b *testing.B) {
+	var d bench.Fig1Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Fig1(quick)
+	}
+	b.ReportMetric(d.SmallMsgLatencyUs(), "small-msg-us")
+	b.ReportMetric(d.PeakGbps(), "peak-Gbps")
+	logTables(b, d)
+}
+
+func BenchmarkTable1Params(b *testing.B) {
+	var d bench.Table1Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Table1(quick)
+	}
+	logTables(b, d)
+}
+
+func BenchmarkFig7aRemoteReadLatencySim(b *testing.B) {
+	var d bench.Fig7Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Fig7(quick)
+	}
+	b.ReportMetric(d.SingleLatNs[0], "64B-read-ns")
+	b.ReportMetric(d.SingleLatNs[len(d.SingleLatNs)-1], "8KB-read-ns")
+	logTables(b, d)
+}
+
+func BenchmarkFig7bRemoteReadBandwidthSim(b *testing.B) {
+	var d bench.Fig7Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Fig7(quick)
+	}
+	b.ReportMetric(d.SingleGBps[len(d.SingleGBps)-1], "8KB-GBps")
+	b.ReportMetric(d.SingleMops[0], "64B-Mops")
+}
+
+func BenchmarkFig7cRemoteReadLatencyEmu(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.EmuReadLatencyUs(64, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = v
+	}
+	b.ReportMetric(lat, "64B-read-us")
+}
+
+func BenchmarkFig8aSendRecvLatencySim(b *testing.B) {
+	var d bench.Fig8Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Fig8(quick)
+	}
+	b.ReportMetric(d.ComboLatNs[0], "64B-halfduplex-ns")
+	logTables(b, d)
+}
+
+func BenchmarkFig8bSendRecvBandwidthSim(b *testing.B) {
+	var d bench.Fig8Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Fig8(quick)
+	}
+	b.ReportMetric(d.ComboGbps[len(d.ComboGbps)-1], "8KB-Gbps")
+}
+
+func BenchmarkFig8cSendRecvLatencyEmu(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.EmuSendRecvLatencyUs(64, bench.EmuThreshold, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = v
+	}
+	b.ReportMetric(lat, "64B-halfduplex-us")
+}
+
+func BenchmarkTable2Comparison(b *testing.B) {
+	var d bench.Table2Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Table2(quick)
+	}
+	b.ReportMetric(d.SimReadRTTUs*1000, "sim-read-ns")
+	b.ReportMetric(d.RDMAReadRTTUs*1000, "rdma-read-ns")
+	b.ReportMetric(d.SimMops, "sim-Mops")
+	logTables(b, d)
+}
+
+func BenchmarkFig9PageRank(b *testing.B) {
+	var d bench.Fig9Data
+	for i := 0; i < b.N; i++ {
+		d = bench.Fig9(quick)
+	}
+	last := len(d.SimNodes) - 1
+	b.ReportMetric(d.SimSHM[last], "shm-speedup-8n")
+	b.ReportMetric(d.SimBulk[last], "bulk-speedup-8n")
+	b.ReportMetric(d.SimFine[last], "fine-speedup-8n")
+	logTables(b, d)
+}
+
+func BenchmarkAblationCTCache(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationCTCache(quick)
+	}
+	b.ReportMetric(d.Value[1]-d.Value[0], "ct$-saving-ns")
+	logTables(b, d)
+}
+
+func BenchmarkAblationTLBSize(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationTLB(quick)
+	}
+	logTables(b, d)
+}
+
+func BenchmarkAblationMAQDepth(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationMAQ(quick)
+	}
+	logTables(b, d)
+}
+
+func BenchmarkAblationUnroll(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationUnroll(quick)
+	}
+	logTables(b, d)
+}
+
+func BenchmarkAblationTopology(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationTopology(quick)
+	}
+	logTables(b, d)
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationThreshold(quick)
+	}
+	logTables(b, d)
+}
+
+func BenchmarkAblationPCIe(b *testing.B) {
+	var d bench.AblationData
+	for i := 0; i < b.N; i++ {
+		d = bench.AblationPCIe(quick)
+	}
+	b.ReportMetric(d.Value[1]/d.Value[0], "pcie-slowdown-x")
+	logTables(b, d)
+}
+
+// --- Conventional per-operation microbenchmarks (development platform) ---
+
+func benchPair(b *testing.B) (*sonuma.QP, *sonuma.Buffer) {
+	b.Helper()
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	c0, err := cl.Node(0).OpenContext(1, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cl.Node(1).OpenContext(1, 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	qp, err := c0.NewQP(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := c0.AllocBuffer(64 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qp, buf
+}
+
+func BenchmarkEmuRemoteReadSync64(b *testing.B) {
+	qp, buf := benchPair(b)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qp.Read(1, uint64((i*64)%(1<<19)), buf, 0, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmuRemoteReadSync4K(b *testing.B) {
+	qp, buf := benchPair(b)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qp.Read(1, uint64((i*4096)%(1<<19)), buf, 0, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmuRemoteReadAsync64(b *testing.B) {
+	qp, buf := benchPair(b)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qp.ReadAsync(1, uint64((i*64)%(1<<19)), buf, (i%1024)*64, 64, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := qp.DrainCQ(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEmuRemoteWriteSync64(b *testing.B) {
+	qp, buf := benchPair(b)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qp.Write(1, uint64((i*64)%(1<<19)), buf, 0, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmuFetchAdd(b *testing.B) {
+	qp, _ := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qp.FetchAdd(1, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmuMessengerPingPong(b *testing.B) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	mcfg := sonuma.MessengerConfig{}
+	seg := sonuma.MessengerRegionSize(2, mcfg) + 4096
+	var ms [2]*sonuma.Messenger
+	for i := 0; i < 2; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, seg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qp, err := ctx.NewQP(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, mcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			m, err := ms[1].Recv()
+			if err != nil {
+				return
+			}
+			if err := ms[1].Send(0, m.Data); err != nil {
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	defer close(stop)
+	msg := []byte("ping-pong-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ms[0].Send(1, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ms[0].Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

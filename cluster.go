@@ -1,0 +1,220 @@
+package sonuma
+
+import (
+	"fmt"
+
+	"sonuma/internal/core"
+	"sonuma/internal/emu"
+	"sonuma/internal/fabric"
+)
+
+// TopologyKind selects the fabric topology of a cluster. The protocol layer
+// is topology-agnostic (§3); the development platform emulates a full
+// crossbar like the paper's, and tori are available for routing-sensitive
+// experiments.
+type TopologyKind int
+
+const (
+	// TopologyCrossbar is a full crossbar (the paper's simulated
+	// configuration, §7.1).
+	TopologyCrossbar TopologyKind = iota
+	// TopologyTorus2D arranges nodes in a near-square 2D torus with
+	// dimension-order routing.
+	TopologyTorus2D
+	// TopologyTorus3D arranges nodes in a near-cubic 3D torus.
+	TopologyTorus3D
+)
+
+// Config configures a Cluster. The zero value of every field selects a
+// sensible default; only Nodes is required.
+type Config struct {
+	// Nodes is the number of soNUMA nodes on the fabric (required).
+	Nodes int
+	// Topology selects the fabric topology (default crossbar).
+	Topology TopologyKind
+	// LinkCredits is the per-destination, per-virtual-lane credit count
+	// of the fabric's flow control (default 64 packets).
+	LinkCredits int
+	// ITTEntries bounds in-flight WQ requests per node (default 1024,
+	// max 4096).
+	ITTEntries int
+	// TLBEntries sizes each RMC's TLB (default 32, as in Table 1).
+	TLBEntries int
+	// PageSize is the context-segment page size (default 8 KB).
+	PageSize int
+}
+
+// Cluster is an emulated soNUMA machine: Nodes() nodes, each with its own
+// RMC, connected by a memory fabric. All nodes live in the calling process;
+// the development platform's goal — like the paper's (§7.1, §8 "Lessons
+// learned") — is running the full software stack at wall-clock speed.
+type Cluster struct {
+	cfg   Config
+	ic    *fabric.Interconnect
+	nodes []*Node
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("sonuma: Config.Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Nodes > 1<<12 {
+		return nil, fmt.Errorf("sonuma: Config.Nodes %d exceeds fabric limit %d", cfg.Nodes, 1<<12)
+	}
+	var topo fabric.Topology
+	switch cfg.Topology {
+	case TopologyCrossbar:
+		topo = fabric.NewCrossbar(cfg.Nodes)
+	case TopologyTorus2D:
+		w, h := rectangle(cfg.Nodes)
+		topo = fabric.NewTorus2D(w, h)
+	case TopologyTorus3D:
+		x, y, z := box(cfg.Nodes)
+		topo = fabric.NewTorus3D(x, y, z)
+	default:
+		return nil, fmt.Errorf("sonuma: unknown topology %d", cfg.Topology)
+	}
+	if topo.Nodes() != cfg.Nodes {
+		return nil, fmt.Errorf("sonuma: %d nodes do not tile a %s", cfg.Nodes, topo.Name())
+	}
+	ic := fabric.NewInterconnect(topo, cfg.LinkCredits)
+	c := &Cluster{cfg: cfg, ic: ic, nodes: make([]*Node, cfg.Nodes)}
+	rcfg := emu.Config{
+		ITTEntries: cfg.ITTEntries,
+		TLBEntries: cfg.TLBEntries,
+		PageSize:   cfg.PageSize,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes[i] = &Node{
+			cluster: c,
+			id:      core.NodeID(i),
+			rmc:     emu.NewRMC(core.NodeID(i), ic, rcfg),
+		}
+	}
+	return c, nil
+}
+
+// rectangle factors n into the most square w×h grid.
+func rectangle(n int) (w, h int) {
+	w = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			w = d
+		}
+	}
+	return n / w, w
+}
+
+// box factors n into the most cubic x×y×z grid.
+func box(n int) (x, y, z int) {
+	best := [3]int{n, 1, 1}
+	bestSpread := n
+	for a := 1; a*a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		m := n / a
+		for b := a; b*b <= m; b++ {
+			if m%b != 0 {
+				continue
+			}
+			c := m / b
+			if spread := c - a; spread < bestSpread {
+				bestSpread = spread
+				best = [3]int{c, b, a}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// Nodes reports the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// FailNode injects a node failure: the node stops answering, in-flight
+// operations targeting it complete with a node-failure error, and every
+// RMC's driver failure callback fires (§5.1).
+func (c *Cluster) FailNode(i int) { c.ic.FailNode(core.NodeID(i)) }
+
+// FailLink injects a bidirectional link failure between nodes a and b.
+func (c *Cluster) FailLink(a, b int) { c.ic.FailLink(core.NodeID(a), core.NodeID(b)) }
+
+// RestoreLink repairs a previously failed link.
+func (c *Cluster) RestoreLink(a, b int) { c.ic.RestoreLink(core.NodeID(a), core.NodeID(b)) }
+
+// Interconnect exposes fabric counters for instrumentation.
+func (c *Cluster) Interconnect() *fabric.Interconnect { return c.ic }
+
+// Close shuts the fabric and all RMC pipelines down. Outstanding operations
+// are abandoned; Close blocks until all pipeline goroutines exit.
+func (c *Cluster) Close() {
+	c.ic.Close()
+	for _, n := range c.nodes {
+		n.rmc.Close()
+	}
+}
+
+// Node is one soNUMA node: a processor with local memory and an RMC
+// integrated into its (emulated) coherence hierarchy.
+type Node struct {
+	cluster *Cluster
+	id      core.NodeID
+	rmc     *emu.RMC
+}
+
+// ID reports the node's fabric address.
+func (n *Node) ID() int { return int(n.id) }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// OpenContext joins the global address space identified by ctxID — the
+// driver path of §5.1 (open /dev/rmc_contexts/<ctx_id>, then register the
+// context segment) — contributing segmentSize bytes of local memory as this
+// node's partition.
+func (n *Node) OpenContext(ctxID int, segmentSize int) (*Context, error) {
+	if ctxID < 0 || ctxID > int(^core.CtxID(0)) {
+		return nil, fmt.Errorf("sonuma: context id %d out of range", ctxID)
+	}
+	cs, err := n.rmc.OpenContext(core.CtxID(ctxID), segmentSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{node: n, cs: cs}, nil
+}
+
+// OnFabricFailure registers a driver callback invoked when the fabric
+// reports a failed node. The callback runs on an RMC pipeline goroutine and
+// must not block.
+func (n *Node) OnFabricFailure(fn func(failedNode int)) {
+	n.rmc.OnFailure(func(id core.NodeID) { fn(int(id)) })
+}
+
+// RMCStats snapshots the node's RMC counters.
+func (n *Node) RMCStats() RMCStats {
+	s := &n.rmc.Stats
+	return RMCStats{
+		WQConsumed:   s.WQConsumed.Load(),
+		LinesSent:    s.LinesSent.Load(),
+		RepliesRecv:  s.RepliesRecv.Load(),
+		RequestsRecv: s.RequestsRecv.Load(),
+		Completions:  s.Completions.Load(),
+		Errors:       s.Errors.Load(),
+		TLBMisses:    s.TLBMisses.Load(),
+	}
+}
+
+// RMCStats are point-in-time RMC pipeline counters.
+type RMCStats struct {
+	WQConsumed   uint64 // WQ entries accepted by the request generation pipeline
+	LinesSent    uint64 // line-sized request packets injected into the fabric
+	RepliesRecv  uint64 // replies processed by the request completion pipeline
+	RequestsRecv uint64 // requests processed by the remote request processing pipeline
+	Completions  uint64 // CQ entries posted
+	Errors       uint64 // completions with non-OK status
+	TLBMisses    uint64 // RRPP translations that walked the page table
+}

@@ -1,0 +1,77 @@
+// Command sonuma-bench regenerates the tables and figures of the Scale-Out
+// NUMA paper's evaluation (§7) from this repository's two platforms: the
+// cycle-level hardware model and the wall-clock development platform.
+//
+// Usage:
+//
+//	sonuma-bench -experiment all
+//	sonuma-bench -experiment fig7 -quick
+//	sonuma-bench -experiment table2
+//
+// Experiments: fig1, table1, fig7, fig8, fig9, table2, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sonuma/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|all")
+		quick      = flag.Bool("quick", false, "reduced sweeps and op counts")
+	)
+	flag.Parse()
+	o := bench.Options{Quick: *quick}
+	w := os.Stdout
+
+	run := func(name string, f func()) {
+		fmt.Fprintf(w, "==> %s\n", name)
+		start := time.Now()
+		f()
+		fmt.Fprintf(w, "(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	ran := false
+	want := func(name string) bool {
+		if *experiment == "all" || *experiment == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+	if want("fig1") {
+		run("Figure 1 (netpipe TCP/IP baseline)", func() { bench.Print(w, bench.Fig1(o)) })
+	}
+	if want("table1") {
+		run("Table 1 (system parameters)", func() { bench.Print(w, bench.Table1(o)) })
+	}
+	if want("fig7") {
+		run("Figure 7 (remote reads)", func() { bench.Print(w, bench.Fig7(o)) })
+	}
+	if want("fig8") {
+		run("Figure 8 (send/receive)", func() { bench.Print(w, bench.Fig8(o)) })
+	}
+	if want("table2") {
+		run("Table 2 (soNUMA vs RDMA/IB)", func() { bench.Print(w, bench.Table2(o)) })
+	}
+	if want("fig9") {
+		run("Figure 9 (PageRank)", func() { bench.Print(w, bench.Fig9(o)) })
+	}
+	if want("ablation") {
+		run("Ablations (RMC design choices)", func() {
+			for _, a := range bench.Ablations(o) {
+				bench.Print(w, a)
+			}
+		})
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

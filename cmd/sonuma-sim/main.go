@@ -1,0 +1,130 @@
+// Command sonuma-sim runs one cycle-level microbenchmark with custom
+// parameters — the exploration tool for the hardware model.
+//
+// Examples:
+//
+//	sonuma-sim -bench readlat  -size 64   -double
+//	sonuma-sim -bench readbw   -size 8192 -maq 16
+//	sonuma-sim -bench sendrecv -size 512  -threshold 256
+//	sonuma-sim -bench readlat  -topology torus2d -nodes 64 -dst 36
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sonuma/internal/fabric"
+	"sonuma/internal/sim"
+	"sonuma/internal/simhw"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "readlat", "readlat|writelat|readbw|atomic|iops|sendrecv|sendbw")
+		size      = flag.Int("size", 64, "request/message size in bytes")
+		double    = flag.Bool("double", false, "double-sided (both nodes active)")
+		ops       = flag.Int("ops", 200, "measured operations")
+		threshold = flag.Int("threshold", 256, "messaging threshold (-1 push, 0 pull)")
+		maq       = flag.Int("maq", 0, "override MAQ entries")
+		tlb       = flag.Int("tlb", 0, "override TLB entries")
+		itt       = flag.Int("itt", 0, "override ITT entries")
+		wq        = flag.Int("wq", 0, "override WQ depth (async window)")
+		linkNs    = flag.Int("link", 0, "override inter-node delay (ns)")
+		noCTC     = flag.Bool("no-ctcache", false, "disable the CT$")
+		topology  = flag.String("topology", "crossbar", "crossbar|torus2d|torus3d")
+		nodes     = flag.Int("nodes", 2, "node count (topology benches)")
+		dst       = flag.Int("dst", 1, "destination node (topology benches)")
+		stride    = flag.Int("stride", 0, "remote offset stride (0 = sequential)")
+	)
+	flag.Parse()
+
+	p := simhw.DefaultParams()
+	if *maq > 0 {
+		p.MAQEntries = *maq
+		p.L1.MSHRs = *maq
+	}
+	if *tlb > 0 {
+		p.TLBEntries = *tlb
+	}
+	if *itt > 0 {
+		p.ITTEntries = *itt
+	}
+	if *wq > 0 {
+		p.WQDepth = *wq
+	}
+	if *linkNs > 0 {
+		p.LinkDelay = sim.Time(*linkNs) * sim.Nanosecond
+	}
+	if *noCTC {
+		p.CTCache = false
+	}
+
+	var topo fabric.Topology
+	switch *topology {
+	case "crossbar":
+		topo = fabric.NewCrossbar(*nodes)
+	case "torus2d":
+		w := 1
+		for d := 1; d*d <= *nodes; d++ {
+			if *nodes%d == 0 {
+				w = d
+			}
+		}
+		topo = fabric.NewTorus2D(*nodes/w, w)
+	case "torus3d":
+		topo = fabric.NewTorus3D(4, 4, (*nodes+15)/16)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	switch *benchName {
+	case "readlat", "writelat":
+		if *topology != "crossbar" || *nodes != 2 || *stride != 0 {
+			r := simhw.ReadLatencyWith(p, *size, simhw.LatencyOpts{
+				Topo: topo, Src: 0, Dst: *dst, Ops: *ops, Stride: *stride,
+			})
+			fmt.Printf("read latency %s -> node %d on %s: mean %.1f ns (p99 %.1f ns, %d ops)\n",
+				fmtBytes(*size), *dst, topo.Name(), r.MeanNs, r.P99Ns, r.Samples)
+			return
+		}
+		var r simhw.LatencyResult
+		if *benchName == "readlat" {
+			r = simhw.ReadLatency(p, *size, *double, *ops)
+		} else {
+			r = simhw.WriteLatency(p, *size, *double, *ops)
+		}
+		fmt.Printf("%s %s double=%v: mean %.1f ns (p99 %.1f ns, %d ops)\n",
+			*benchName, fmtBytes(*size), *double, r.MeanNs, r.P99Ns, r.Samples)
+	case "readbw":
+		r := simhw.ReadBandwidth(p, *size, *double, *ops**size)
+		fmt.Printf("read bandwidth %s double=%v: %.2f GB/s (%.1f Gbps, %.2f Mops/s)\n",
+			fmtBytes(*size), *double, r.GBps, r.Gbps, r.MopsPerS)
+	case "atomic":
+		r := simhw.AtomicLatency(p, *ops)
+		fmt.Printf("fetch-and-add: mean %.1f ns (p99 %.1f ns)\n", r.MeanNs, r.P99Ns)
+	case "iops":
+		fmt.Printf("single-core remote op rate: %.2f Mops/s\n", simhw.IOPS(p, *ops)/1e6)
+	case "sendrecv":
+		r := simhw.SendRecvLatency(p, *size, *threshold, *ops)
+		fmt.Printf("send/recv half-duplex %s threshold=%d: mean %.1f ns\n", fmtBytes(*size), *threshold, r.MeanNs)
+	case "sendbw":
+		r := simhw.SendRecvBandwidth(p, *size, *threshold, *ops)
+		fmt.Printf("send/recv streaming %s threshold=%d: %.2f Gbps\n", fmtBytes(*size), *threshold, r.Gbps)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown bench %q\n", *benchName)
+		os.Exit(2)
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,128 @@
+package sonuma
+
+import (
+	"fmt"
+
+	"sonuma/internal/core"
+	"sonuma/internal/emu"
+)
+
+// Context is one node's view of a global virtual address space (§4.1): the
+// local context segment this node contributes, plus the queue pairs and
+// registered local buffers used to access the other nodes' partitions.
+type Context struct {
+	node *Node
+	cs   *emu.ContextState
+}
+
+// Node returns the owning node.
+func (c *Context) Node() *Node { return c.node }
+
+// NodeID reports the owning node's fabric address.
+func (c *Context) NodeID() int { return int(c.node.id) }
+
+// CtxID reports the global context id.
+func (c *Context) CtxID() int { return int(c.cs.ID) }
+
+// SegmentSize reports the size of the local context segment in bytes.
+func (c *Context) SegmentSize() int { return c.cs.Seg.Size() }
+
+// Memory returns the local context segment. Threads on the owning node
+// access it with ordinary loads and stores (the true-shared-memory half of
+// the programming model, §5.2); remote nodes access it through QP
+// operations.
+func (c *Context) Memory() *Memory { return &Memory{seg: c.cs.Seg} }
+
+// AllocBuffer registers a local buffer of size bytes for use as the source
+// or destination of remote operations (§4.1's fourth abstraction). Buffers
+// are pinned for the lifetime of the context.
+func (c *Context) AllocBuffer(size int) (*Buffer, error) {
+	id, seg, err := c.cs.RegisterBuffer(size)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{Memory: Memory{seg: seg}, id: id}, nil
+}
+
+// NewQP registers a queue pair with the given work-queue depth (rounded up
+// to a power of two; default 128 when depth <= 0). A QP must be driven by a
+// single goroutine; multi-threaded applications register one QP per thread,
+// as in the paper (§4.2: "Multi-threaded processes can register multiple
+// QPs for the same address space and ctx id").
+func (c *Context) NewQP(depth int) (*QP, error) {
+	st, err := c.node.rmc.CreateQP(c.cs, depth)
+	if err != nil {
+		return nil, err
+	}
+	qp := &QP{
+		ctx:  c,
+		st:   st,
+		cbs:  make([]Completion, st.WQ.Cap()),
+		busy: make([]bool, st.WQ.Cap()),
+	}
+	// Dedicated scratch buffer for the synchronous atomics' return
+	// values, so FetchAdd/CompareSwap need no caller-provided buffer.
+	scratch, err := c.AllocBuffer(core.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	qp.scratch = scratch
+	return qp, nil
+}
+
+// Memory is a registered memory region (context segment or local buffer).
+// Reads and writes are validated against the paper's consistency model:
+// accesses are torn-free at cache-line granularity and carry no ordering
+// guarantees across lines.
+type Memory struct {
+	seg *emu.Segment
+}
+
+// Size reports the region size in bytes.
+func (m *Memory) Size() int { return m.seg.Size() }
+
+// WriteAt copies p into the region at offset off.
+func (m *Memory) WriteAt(off int, p []byte) error { return m.seg.WriteAt(off, p) }
+
+// ReadAt copies region bytes at offset off into p, retrying torn lines.
+func (m *Memory) ReadAt(off int, p []byte) error { return m.seg.ReadAt(off, p) }
+
+// Load64 atomically reads the 8-byte word at off (must be 8-byte aligned).
+func (m *Memory) Load64(off int) (uint64, error) { return m.seg.Load64(off) }
+
+// Store64 atomically writes the 8-byte word at off.
+func (m *Memory) Store64(off int, v uint64) error { return m.seg.Store64(off, v) }
+
+// FetchAdd64 performs a local atomic fetch-and-add on the region. Combined
+// with remote atomics landing through the RMC, updates to the same word are
+// globally atomic (§7.4).
+func (m *Memory) FetchAdd64(off int, delta uint64) (uint64, error) {
+	return m.seg.FetchAdd64(off, delta)
+}
+
+// LineVersion reports the modification version of the cache line containing
+// off. Pollers (messaging receive, barriers) snapshot it and re-read after
+// a change; every remote write or atomic to the line advances it by two.
+func (m *Memory) LineVersion(off int) uint32 {
+	return m.seg.LineVersion(off / core.CacheLineSize)
+}
+
+// Bytes exposes the raw backing store for zero-copy local access. Callers
+// must not touch ranges that remote nodes may write concurrently, exactly
+// as with real shared memory; use ReadAt for torn-free reads of shared
+// lines.
+func (m *Memory) Bytes() []byte { return m.seg.Bytes() }
+
+// Buffer is a registered local buffer.
+type Buffer struct {
+	Memory
+	id uint32
+}
+
+// ID reports the buffer's registration id within its context.
+func (b *Buffer) ID() int { return int(b.id) }
+
+// String identifies the buffer for diagnostics.
+func (b *Buffer) String() string {
+	return fmt.Sprintf("buffer(id=%d, size=%d)", b.id, b.Size())
+}

@@ -1,0 +1,44 @@
+// Package sonuma is a Go implementation of Scale-Out NUMA (soNUMA), the
+// architecture, programming model and communication protocol for low-latency
+// distributed in-memory processing introduced by Novakovic, Daglis, Bugnion,
+// Falsafi and Grot (ASPLOS 2014).
+//
+// soNUMA exposes a partitioned global virtual address space across the nodes
+// of a rack-scale cluster. Application threads issue explicit one-sided
+// remote read, write and atomic operations with copy semantics against that
+// address space through queue pairs (a work queue the application writes and
+// a completion queue the remote memory controller writes). The remote memory
+// controller (RMC) — the paper's core contribution — converts those
+// operations into a stateless request/reply protocol at cache-line
+// granularity over a NUMA memory fabric.
+//
+// This package is the paper's "development platform" (§7.1) in library form:
+// a functional, wall-clock-speed emulation in which every soNUMA node runs
+// inside the calling process, with the RMC pipelines (request generation,
+// remote request processing, request completion) executing on dedicated
+// goroutines and nodes exchanging protocol packets over an in-process memory
+// fabric with credit-based flow control and two virtual lanes. The
+// cycle-level hardware model that reproduces the paper's simulated-hardware
+// results lives in internal/simhw and is driven by the benchmark harness.
+//
+// # Quick start
+//
+//	cluster, _ := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+//	defer cluster.Close()
+//
+//	// Every participating node opens the same context id, contributing
+//	// its local segment to the global address space.
+//	c0, _ := cluster.Node(0).OpenContext(1, 1<<20)
+//	c1, _ := cluster.Node(1).OpenContext(1, 1<<20)
+//
+//	// Node 1 publishes data in its segment; node 0 reads it remotely.
+//	c1.Memory().WriteAt(0, []byte("hello, rack-scale world"))
+//	qp, _ := c0.NewQP(64)
+//	buf, _ := c0.AllocBuffer(64)
+//	_ = qp.Read(1, 0, buf, 0, 23) // one-sided remote read
+//
+// The messaging and synchronization primitives of §5.3 — unsolicited
+// send/receive with the push/pull threshold and barriers — are implemented
+// entirely in software on top of the one-sided operations, exactly as in the
+// paper; see Messenger and Barrier.
+package sonuma

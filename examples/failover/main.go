@@ -1,0 +1,123 @@
+// Failover: fault containment on a soNUMA cluster. Unlike large-scale
+// shared physical memory, where "the failure of any one node can take down
+// the entire system by corrupting shared state" (§2.2), soNUMA's global
+// address space spans independent OS instances: a failed node surfaces as
+// error completions on in-flight operations plus a driver notification
+// (§5.1), and the survivors keep running.
+//
+// This program replicates a small record across three storage nodes, kills
+// one mid-run, and shows the client failing over to a replica without the
+// cluster missing a beat.
+//
+// Run with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"sonuma"
+)
+
+func main() {
+	// Node 0 is the client; nodes 1-3 hold replicas.
+	cluster, err := sonuma.NewCluster(sonuma.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const ctxID = 1
+	ctxs := make([]*sonuma.Context, cluster.Nodes())
+	for i := range ctxs {
+		if ctxs[i], err = cluster.Node(i).OpenContext(ctxID, 1<<16); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The driver learns about fabric failures asynchronously (§5.1).
+	failures := make(chan int, 4)
+	cluster.Node(0).OnFabricFailure(func(node int) {
+		select {
+		case failures <- node:
+		default:
+		}
+	})
+
+	qp, err := ctxs[0].NewQP(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf, err := ctxs[0].AllocBuffer(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replicate a record to all three storage nodes with one-sided writes.
+	record := []byte("replicated-state-v1")
+	if err := buf.WriteAt(0, record); err != nil {
+		log.Fatal(err)
+	}
+	replicas := []int{1, 2, 3}
+	for _, r := range replicas {
+		if err := qp.Write(r, 0, buf, 0, len(record)); err != nil {
+			log.Fatalf("replicate to node %d: %v", r, err)
+		}
+	}
+	fmt.Printf("record replicated to nodes %v\n", replicas)
+
+	// readPreferred tries replicas in order, failing over on node failure.
+	readPreferred := func() ([]byte, int, error) {
+		for _, r := range replicas {
+			err := qp.Read(r, 0, buf, 1024, len(record))
+			if err == nil {
+				out := make([]byte, len(record))
+				if err := buf.ReadAt(1024, out); err != nil {
+					return nil, r, err
+				}
+				return out, r, nil
+			}
+			var re *sonuma.RemoteError
+			if errors.As(err, &re) && re.Status == sonuma.StatusNodeFailure {
+				fmt.Printf("  node %d unreachable, failing over\n", r)
+				continue
+			}
+			return nil, r, err // anything else is a real error
+		}
+		return nil, -1, errors.New("all replicas down")
+	}
+
+	got, from, err := readPreferred()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %q from primary node %d\n", got, from)
+
+	// Kill the primary. In-flight and future operations against it fail
+	// with StatusNodeFailure; everything else keeps working.
+	fmt.Println("injecting failure of node 1")
+	cluster.FailNode(1)
+	if n := <-failures; n != 1 {
+		log.Fatalf("driver notified of node %d", n)
+	}
+	fmt.Println("driver notification received: node 1 is down")
+
+	got, from, err = readPreferred()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %q from replica node %d — fault contained\n", got, from)
+
+	// The failed node's peers remain fully operational for new work, and
+	// atomics still serialize correctly on the survivors.
+	for i := 0; i < 100; i++ {
+		if _, err := qp.FetchAdd(2, 2048, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, _ := ctxs[2].Memory().Load64(2048)
+	fmt.Printf("post-failure fetch-and-add on node 2: counter = %d (want 100)\n", v)
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"sonuma/internal/fabric"
+	"sonuma/internal/sim"
+	"sonuma/internal/simhw"
+	"sonuma/internal/stats"
+)
+
+// This file holds the ablation studies over the RMC design choices the
+// paper calls out (§4.3, §8): the CT$, the TLB, the MAQ depth, the
+// unrolling rate, the fabric topology, the messaging threshold, and — the
+// central architectural argument — what happens when the RMC is moved back
+// behind a PCIe bus.
+
+// AblationData is one knob's sweep: latency or bandwidth per setting.
+type AblationData struct {
+	Name     string
+	Setting  []string
+	MetricNm string
+	Value    []float64
+}
+
+// Tables implements Experiment.
+func (d AblationData) Tables() []*stats.Table {
+	t := stats.NewTable("Ablation: "+d.Name, "setting", d.MetricNm)
+	for i := range d.Setting {
+		t.AddRow(d.Setting[i], d.Value[i])
+	}
+	return []*stats.Table{t}
+}
+
+// AblationCTCache compares small-read latency with the context-table cache
+// enabled vs disabled (every RRPP request fetching its CT entry from
+// memory).
+func AblationCTCache(o Options) AblationData {
+	ops := o.ops(200, 60)
+	d := AblationData{Name: "CT$ (context table cache)", MetricNm: "64B read latency (ns)"}
+	for _, on := range []bool{true, false} {
+		p := simhw.DefaultParams()
+		p.CTCache = on
+		label := "CT$ on"
+		if !on {
+			label = "CT$ off (memory CT lookup per request)"
+		}
+		d.Setting = append(d.Setting, label)
+		d.Value = append(d.Value, simhw.ReadLatency(p, 64, false, ops).MeanNs)
+	}
+	return d
+}
+
+// AblationTLB sweeps the RMC TLB size under a page-stride workload cycling
+// a 256-page working set — sizes below the set thrash (LRU + sequential
+// cycling defeats them), sizes above it hit. The headline finding mirrors
+// the paper's integration argument (§4.3/§5.1): because the RMC walks
+// locally cached page tables, even a 0% hit rate costs only a few ns — the
+// settings column records the measured hit rate next to the latency.
+func AblationTLB(o Options) AblationData {
+	ops := o.ops(800, 300)
+	d := AblationData{Name: "RMC TLB size under page-stride reads (256-page set)", MetricNm: "64B read latency (ns)"}
+	for _, entries := range []int{0, 8, 32, 128, 1024} {
+		p := simhw.DefaultParams()
+		label := "no TLB"
+		if entries > 0 {
+			p.TLBEntries = entries
+			p.TLBWays = 4
+			label = fmt.Sprintf("%d entries", entries)
+		} else {
+			p.TLBEntries = 1
+			p.TLBWays = 1
+		}
+		r := simhw.ReadLatencyWith(p, 64, simhw.LatencyOpts{
+			Stride: p.PageSize, Span: 256 * p.PageSize, Ops: ops,
+		})
+		d.Setting = append(d.Setting, fmt.Sprintf("%s (hit rate %.2f)", label, r.TLBHitRate))
+		d.Value = append(d.Value, r.MeanNs)
+	}
+	return d
+}
+
+// AblationMAQ sweeps the MAQ depth against large-read bandwidth: too few
+// in-flight memory accesses cannot cover the DRAM bank latency.
+func AblationMAQ(o Options) AblationData {
+	bytes := o.ops(8<<20, 2<<20)
+	d := AblationData{Name: "MAQ depth vs streaming bandwidth", MetricNm: "8KB read bandwidth (GB/s)"}
+	for _, maq := range []int{2, 4, 8, 16, 32, 64} {
+		p := simhw.DefaultParams()
+		p.MAQEntries = maq
+		p.L1.MSHRs = maq
+		d.Setting = append(d.Setting, stats.FormatFloat(float64(maq)))
+		d.Value = append(d.Value, simhw.ReadBandwidth(p, 8192, false, bytes).GBps)
+	}
+	return d
+}
+
+// AblationUnroll sweeps the RGP's per-line unrolling occupancy against
+// large-transfer latency.
+func AblationUnroll(o Options) AblationData {
+	ops := o.ops(120, 40)
+	d := AblationData{Name: "RGP unroll rate vs 8KB read latency", MetricNm: "8KB read latency (ns)"}
+	for _, perLine := range []sim.Time{1, 2, 4, 8, 16} {
+		p := simhw.DefaultParams()
+		p.RGPPerLine = perLine * sim.Nanosecond
+		d.Setting = append(d.Setting, stats.FormatFloat(float64(perLine))+" ns/line")
+		d.Value = append(d.Value, simhw.ReadLatency(p, 8192, false, ops).MeanNs)
+	}
+	return d
+}
+
+// AblationTopology compares the flat crossbar against 2D/3D tori at larger
+// node counts, measuring the worst-case (diameter) pair — the fabric
+// question §8 leaves open.
+func AblationTopology(o Options) AblationData {
+	ops := o.ops(150, 50)
+	d := AblationData{Name: "topology at 64 nodes (worst-case pair)", MetricNm: "64B read latency (ns)"}
+	type cfg struct {
+		label string
+		topo  fabric.Topology
+		dst   int
+	}
+	for _, c := range []cfg{
+		{"crossbar (flat 50ns)", fabric.NewCrossbar(64), 63},
+		{"2D torus 8x8 (11ns/hop)", fabric.NewTorus2D(8, 8), 8*4 + 4}, // (4,4): diameter pair
+		{"3D torus 4x4x4 (11ns/hop)", fabric.NewTorus3D(4, 4, 4), 2 + 2*4 + 2*16},
+	} {
+		p := simhw.DefaultParams()
+		r := simhw.ReadLatencyWith(p, 64, simhw.LatencyOpts{Topo: c.topo, Src: 0, Dst: c.dst, Ops: ops})
+		d.Setting = append(d.Setting, c.label)
+		d.Value = append(d.Value, r.MeanNs)
+	}
+	return d
+}
+
+// AblationThreshold sweeps the messaging push/pull boundary at a fixed
+// 1 KB message size, where the two mechanisms diverge clearly: thresholds
+// above 1 KB push (slow at this size), thresholds at or below it pull.
+func AblationThreshold(o Options) AblationData {
+	rounds := o.ops(60, 25)
+	d := AblationData{Name: "push/pull threshold at 1KB messages", MetricNm: "half-duplex latency (ns)"}
+	p := simhw.DefaultParams()
+	for _, th := range []int{-1, 4096, 1024, 256, 0} {
+		label := "always push"
+		switch {
+		case th == 0:
+			label = "always pull"
+		case th > 0:
+			label = "threshold " + stats.FormatBytes(th)
+		}
+		d.Setting = append(d.Setting, label)
+		d.Value = append(d.Value, simhw.SendRecvLatency(p, 1024, th, rounds).MeanNs)
+	}
+	return d
+}
+
+// AblationPCIe re-introduces PCIe crossings on the application/RMC
+// interface — turning the RMC into a conventional adapter — and shows the
+// latency collapse the paper's coherent integration avoids (§2.2, §7.4).
+func AblationPCIe(o Options) AblationData {
+	ops := o.ops(200, 60)
+	d := AblationData{Name: "RMC integration: coherent vs PCIe-attached", MetricNm: "64B read latency (ns)"}
+	coherent := simhw.DefaultParams()
+	d.Setting = append(d.Setting, "coherent (soNUMA)")
+	d.Value = append(d.Value, simhw.ReadLatency(coherent, 64, false, ops).MeanNs)
+
+	pcie := simhw.DefaultParams()
+	// Queue-pair interactions cross PCIe instead of the cache hierarchy:
+	// a doorbell + descriptor fetch on issue, a DMA + poll on completion
+	// (≈450ns each way, §2.2), and the adapter-side state replication
+	// makes translations another DMA round trip on misses.
+	pcie.WQNotify += 450 * sim.Nanosecond
+	pcie.CQNotify += 450 * sim.Nanosecond
+	d.Setting = append(d.Setting, "PCIe-attached (RDMA-style)")
+	d.Value = append(d.Value, simhw.ReadLatency(pcie, 64, false, ops).MeanNs)
+	return d
+}
+
+// Ablations runs the full set.
+func Ablations(o Options) []AblationData {
+	return []AblationData{
+		AblationCTCache(o),
+		AblationTLB(o),
+		AblationMAQ(o),
+		AblationUnroll(o),
+		AblationTopology(o),
+		AblationThreshold(o),
+		AblationPCIe(o),
+	}
+}

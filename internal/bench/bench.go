@@ -1,0 +1,53 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7): each experiment has a function returning the measured
+// series plus formatted text tables, consumed by the root-level benchmarks
+// (bench_test.go) and the sonuma-bench command.
+//
+// The per-experiment index lives in DESIGN.md; paper-vs-measured numbers
+// are recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sonuma/internal/stats"
+)
+
+// Options tune experiment cost. Quick mode shrinks op counts and sweeps so
+// the full suite stays test-friendly; Full mode is for the CLI.
+type Options struct {
+	Quick bool
+}
+
+// ops picks an operation count by mode.
+func (o Options) ops(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// RequestSizes is the §7.2/§7.3 sweep: 64 B to 8 KB in powers of two.
+var RequestSizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// smallSizes trims the sweep for quick mode.
+func (o Options) sizes() []int {
+	if o.Quick {
+		return []int{64, 512, 4096, 8192}
+	}
+	return RequestSizes
+}
+
+// Experiment is implemented by every reproduced table/figure.
+type Experiment interface {
+	// Tables renders the result as paper-style text tables.
+	Tables() []*stats.Table
+}
+
+// Print writes an experiment's tables to w.
+func Print(w io.Writer, e Experiment) {
+	for _, t := range e.Tables() {
+		fmt.Fprintln(w, t.String())
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1Shape(t *testing.T) {
+	d := Fig1(Options{Quick: true})
+	if d.SmallMsgLatencyUs() < 40 {
+		t.Fatalf("small-message latency %.1fµs, paper: >40µs", d.SmallMsgLatencyUs())
+	}
+	if d.PeakGbps() >= 2.5 {
+		t.Fatalf("peak %.2f Gbps, paper: <2 Gbps", d.PeakGbps())
+	}
+	out := d.Tables()[0].String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "1MB") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	d := Table1(Options{})
+	out := d.Tables()[0].String()
+	for _, want := range []string{"RMC", "DDR3-1600", "crossbar", "MAQ"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2SimAndRDMAColumns(t *testing.T) {
+	// Exercise only the model-driven columns here (the emu column is
+	// wall-clock and covered by the root benchmarks).
+	o := Options{Quick: true}
+	d := Table2(o)
+	if d.SimReadRTTUs < 0.22 || d.SimReadRTTUs > 0.4 {
+		t.Fatalf("sim read RTT %.2fµs, want ≈0.3", d.SimReadRTTUs)
+	}
+	if d.RDMAReadRTTUs < 1.0 || d.RDMAReadRTTUs > 1.4 {
+		t.Fatalf("RDMA read RTT %.2fµs, want ≈1.19", d.RDMAReadRTTUs)
+	}
+	// The headline claim: soNUMA cuts remote read latency ≈4x vs RDMA.
+	if ratio := d.RDMAReadRTTUs / d.SimReadRTTUs; ratio < 3 || ratio > 6 {
+		t.Fatalf("soNUMA vs RDMA ratio %.1fx, want ≈4x", ratio)
+	}
+	if d.SimMaxGbps < 60 || d.RDMAMaxGbps != 50 {
+		t.Fatalf("bandwidth columns: sim %.1f rdma %.1f", d.SimMaxGbps, d.RDMAMaxGbps)
+	}
+	if d.EmuErr != nil {
+		t.Fatalf("emu column error: %v", d.EmuErr)
+	}
+	if d.EmuReadRTTUs <= d.SimReadRTTUs {
+		t.Fatal("dev platform should be slower than simulated hardware")
+	}
+}
+
+func TestAblationPCIeDirection(t *testing.T) {
+	d := AblationPCIe(Options{Quick: true})
+	if len(d.Value) != 2 || d.Value[1] < d.Value[0]*2 {
+		t.Fatalf("PCIe attachment should at least double latency: %v", d.Value)
+	}
+}
+
+func TestAblationCTCacheDirection(t *testing.T) {
+	d := AblationCTCache(Options{Quick: true})
+	if d.Value[1] <= d.Value[0] {
+		t.Fatalf("CT$ off (%v) should cost more than on (%v)", d.Value[1], d.Value[0])
+	}
+}
+
+func TestEmuHelpers(t *testing.T) {
+	lat, err := EmuReadLatencyUs(64, 100)
+	if err != nil || lat <= 0 {
+		t.Fatalf("EmuReadLatencyUs: %v %v", lat, err)
+	}
+	bw, err := EmuReadBandwidthGbps(4096, 500)
+	if err != nil || bw <= 0 {
+		t.Fatalf("EmuReadBandwidthGbps: %v %v", bw, err)
+	}
+	al, err := EmuAtomicLatencyUs(100)
+	if err != nil || al <= 0 {
+		t.Fatalf("EmuAtomicLatencyUs: %v %v", al, err)
+	}
+	ml, err := EmuSendRecvLatencyUs(64, EmuThreshold, 50)
+	if err != nil || ml <= 0 {
+		t.Fatalf("EmuSendRecvLatencyUs: %v %v", ml, err)
+	}
+	mb, err := EmuSendRecvBandwidthGbps(4096, EmuThreshold, 100)
+	if err != nil || mb <= 0 {
+		t.Fatalf("EmuSendRecvBandwidthGbps: %v %v", mb, err)
+	}
+}

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sonuma"
+)
+
+// This file measures the development platform (the public API's emulated
+// cluster) at wall-clock speed, the way §7 measures the Xen-based
+// prototype. Absolute numbers depend on the host; EXPERIMENTS.md records
+// them next to the paper's.
+
+// emuPair builds a 2-node cluster with a context, QP and buffer on node 0
+// and a populated segment on node 1.
+type emuPair struct {
+	cl  *sonuma.Cluster
+	qp  *sonuma.QP
+	buf *sonuma.Buffer
+}
+
+const emuSegSize = 4 << 20
+
+func newEmuPair() (*emuPair, error) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		return nil, err
+	}
+	c0, err := cl.Node(0).OpenContext(1, emuSegSize)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if _, err := cl.Node(1).OpenContext(1, emuSegSize); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	qp, err := c0.NewQP(128)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	buf, err := c0.AllocBuffer(1 << 20)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &emuPair{cl: cl, qp: qp, buf: buf}, nil
+}
+
+func (p *emuPair) close() { p.cl.Close() }
+
+// EmuReadLatencyUs measures synchronous remote read latency (µs/op).
+func EmuReadLatencyUs(size, ops int) (float64, error) {
+	p, err := newEmuPair()
+	if err != nil {
+		return 0, err
+	}
+	defer p.close()
+	span := uint64(emuSegSize - size)
+	// Warmup.
+	for i := 0; i < ops/10+1; i++ {
+		if err := p.qp.Read(1, 0, p.buf, 0, size); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	var off uint64
+	for i := 0; i < ops; i++ {
+		if err := p.qp.Read(1, off, p.buf, 0, size); err != nil {
+			return 0, err
+		}
+		off = (off + uint64(size)) % span
+	}
+	return float64(time.Since(start).Microseconds()) / float64(ops), nil
+}
+
+// EmuReadBandwidthGbps measures asynchronous remote read throughput.
+func EmuReadBandwidthGbps(size, ops int) (float64, error) {
+	p, err := newEmuPair()
+	if err != nil {
+		return 0, err
+	}
+	defer p.close()
+	span := uint64(emuSegSize - size)
+	bufSpan := p.buf.Size() - size
+	if bufSpan <= 0 {
+		bufSpan = 1
+	}
+	start := time.Now()
+	var off uint64
+	for i := 0; i < ops; i++ {
+		_, err := p.qp.ReadAsync(1, off, p.buf, int(off)%bufSpan, size, nil)
+		if err != nil {
+			return 0, err
+		}
+		off = (off + uint64(size)) % span
+	}
+	if err := p.qp.DrainCQ(); err != nil {
+		return 0, err
+	}
+	secs := time.Since(start).Seconds()
+	return float64(ops) * float64(size) * 8 / secs / 1e9, nil
+}
+
+// EmuAtomicLatencyUs measures synchronous remote fetch-and-add latency.
+func EmuAtomicLatencyUs(ops int) (float64, error) {
+	p, err := newEmuPair()
+	if err != nil {
+		return 0, err
+	}
+	defer p.close()
+	for i := 0; i < ops/10+1; i++ {
+		if _, err := p.qp.FetchAdd(1, 0, 1); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := p.qp.FetchAdd(1, 0, 1); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(ops), nil
+}
+
+// EmuIOPS measures asynchronous 64-byte remote operation rate (ops/s).
+func EmuIOPS(ops int) (float64, error) {
+	p, err := newEmuPair()
+	if err != nil {
+		return 0, err
+	}
+	defer p.close()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		off := uint64((i * 64) % (emuSegSize - 64))
+		if _, err := p.qp.ReadAsync(1, off, p.buf, (i%1024)*64, 64, nil); err != nil {
+			return 0, err
+		}
+	}
+	if err := p.qp.DrainCQ(); err != nil {
+		return 0, err
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+// emuMessengers builds a 2-node cluster with messengers configured for the
+// given threshold (sonuma.ThresholdAlwaysPush / AlwaysPull / bytes).
+func emuMessengers(threshold int) (*sonuma.Cluster, [2]*sonuma.Messenger, error) {
+	var ms [2]*sonuma.Messenger
+	cfg := sonuma.MessengerConfig{RingSlots: 256, Threshold: threshold, StagingSize: 64 << 10}
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		return nil, ms, err
+	}
+	segSize := sonuma.MessengerRegionSize(2, cfg) + 4096
+	for i := 0; i < 2; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, segSize)
+		if err != nil {
+			cl.Close()
+			return nil, ms, err
+		}
+		qp, err := ctx.NewQP(128)
+		if err != nil {
+			cl.Close()
+			return nil, ms, err
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, cfg); err != nil {
+			cl.Close()
+			return nil, ms, err
+		}
+	}
+	return cl, ms, nil
+}
+
+// EmuSendRecvLatencyUs measures half-duplex messaging latency (ping-pong
+// RTT / 2) at one size/threshold.
+func EmuSendRecvLatencyUs(size, threshold, rounds int) (float64, error) {
+	cl, ms, err := emuMessengers(threshold)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	msg := make([]byte, size)
+	errc := make(chan error, 1)
+	go func() { // responder
+		for i := 0; i < rounds; i++ {
+			m, err := ms[1].Recv()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := ms[1].Send(0, m.Data); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := ms[0].Send(1, msg); err != nil {
+			return 0, err
+		}
+		if _, err := ms[0].Recv(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Microseconds()) / float64(rounds) / 2, nil
+}
+
+// EmuSendRecvBandwidthGbps measures streaming messaging throughput.
+func EmuSendRecvBandwidthGbps(size, threshold, messages int) (float64, error) {
+	cl, ms, err := emuMessengers(threshold)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	msg := make([]byte, size)
+	done := make(chan error, 1)
+	go func() { // consumer
+		for i := 0; i < messages; i++ {
+			if _, err := ms[1].Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	start := time.Now()
+	for i := 0; i < messages; i++ {
+		if err := ms[0].Send(1, msg); err != nil {
+			return 0, fmt.Errorf("send %d: %w", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	secs := time.Since(start).Seconds()
+	return float64(messages) * float64(size) * 8 / secs / 1e9, nil
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"sonuma/internal/netstack"
+	"sonuma/internal/stats"
+)
+
+// Fig1Data reproduces Figure 1: the netpipe benchmark between two
+// commodity microservers over the kernel TCP/IP stack — the motivating
+// baseline whose latency soNUMA attacks.
+type Fig1Data struct {
+	Points []netstack.Point
+}
+
+// Fig1 runs the netpipe sweep on the deep-stack model.
+func Fig1(o Options) Fig1Data {
+	sizes := []int{1, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+	if o.Quick {
+		sizes = []int{1, 1024, 65536, 1048576}
+	}
+	return Fig1Data{Points: netstack.Sweep(netstack.CalxedaTCP(), sizes)}
+}
+
+// Tables implements Experiment.
+func (d Fig1Data) Tables() []*stats.Table {
+	t := stats.NewTable(
+		"Figure 1: netpipe on commodity microservers (modeled TCP/IP stack, 10Gbps fabric)",
+		"request size", "latency (us)", "bandwidth (Gbps)")
+	for _, p := range d.Points {
+		t.AddRow(stats.FormatBytes(p.Size), p.LatencyUs, p.Gbps)
+	}
+	return []*stats.Table{t}
+}
+
+// SmallMsgLatencyUs reports the small-message latency (the paper: "in
+// excess of 40µs").
+func (d Fig1Data) SmallMsgLatencyUs() float64 { return d.Points[0].LatencyUs }
+
+// PeakGbps reports the best sustained bandwidth (the paper: "under 2 Gbps").
+func (d Fig1Data) PeakGbps() float64 {
+	best := 0.0
+	for _, p := range d.Points {
+		if p.Gbps > best {
+			best = p.Gbps
+		}
+	}
+	return best
+}

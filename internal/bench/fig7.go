@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"sonuma/internal/simhw"
+	"sonuma/internal/stats"
+)
+
+// Fig7Data reproduces Figure 7: remote read performance. (a) latency vs
+// request size on the simulated hardware, single- and double-sided; (b)
+// bandwidth on the simulated hardware; (c) latency on the development
+// platform.
+type Fig7Data struct {
+	Sizes       []int
+	SingleLatNs []float64
+	DoubleLatNs []float64
+	SingleGBps  []float64
+	DoubleGBps  []float64
+	SingleMops  []float64
+	EmuLatUs    []float64
+	EmuErr      error
+}
+
+// Fig7 runs the three sweeps.
+func Fig7(o Options) Fig7Data {
+	p := simhw.DefaultParams()
+	d := Fig7Data{Sizes: o.sizes()}
+	latOps := o.ops(200, 60)
+	bwBytes := o.ops(8<<20, 2<<20)
+	for _, s := range d.Sizes {
+		d.SingleLatNs = append(d.SingleLatNs, simhw.ReadLatency(p, s, false, latOps).MeanNs)
+		d.DoubleLatNs = append(d.DoubleLatNs, simhw.ReadLatency(p, s, true, latOps).MeanNs)
+		d.SingleGBps = append(d.SingleGBps, simhw.ReadBandwidth(p, s, false, bwBytes).GBps)
+		d.DoubleGBps = append(d.DoubleGBps, simhw.ReadBandwidth(p, s, true, bwBytes).GBps)
+		d.SingleMops = append(d.SingleMops, simhw.ReadBandwidth(p, s, false, bwBytes).MopsPerS)
+		lat, err := EmuReadLatencyUs(s, o.ops(2000, 300))
+		if err != nil {
+			d.EmuErr = err
+			lat = 0
+		}
+		d.EmuLatUs = append(d.EmuLatUs, lat)
+	}
+	return d
+}
+
+// Tables implements Experiment.
+func (d Fig7Data) Tables() []*stats.Table {
+	a := stats.NewTable("Figure 7a: remote read latency (sim'd HW)",
+		"request size", "single-sided (ns)", "double-sided (ns)")
+	b := stats.NewTable("Figure 7b: remote read bandwidth (sim'd HW)",
+		"request size", "single-sided (GB/s)", "double-sided agg (GB/s)", "single Mops/s")
+	c := stats.NewTable("Figure 7c: remote read latency (development platform, wall clock)",
+		"request size", "latency (us)")
+	for i, s := range d.Sizes {
+		sz := stats.FormatBytes(s)
+		a.AddRow(sz, d.SingleLatNs[i], d.DoubleLatNs[i])
+		b.AddRow(sz, d.SingleGBps[i], d.DoubleGBps[i], d.SingleMops[i])
+		c.AddRow(sz, d.EmuLatUs[i])
+	}
+	return []*stats.Table{a, b, c}
+}

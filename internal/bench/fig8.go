@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"sonuma"
+	"sonuma/internal/simhw"
+	"sonuma/internal/stats"
+)
+
+// Fig8Data reproduces Figure 8: send/receive performance of the software
+// messaging library (§5.3, §7.3) under three threshold settings — always
+// push (∞), always pull (0), and the tuned boundary.
+type Fig8Data struct {
+	Sizes []int
+	// Simulated hardware, threshold = ∞ / 0 / 256B
+	PushLatNs, PullLatNs, ComboLatNs []float64
+	PushGbps, PullGbps, ComboGbps    []float64
+	// Development platform (threshold 1KB, as the paper tunes for it)
+	EmuLatUs  []float64
+	EmuGbps   []float64
+	EmuErr    error
+	Threshold int
+}
+
+// SimThreshold is the tuned boundary on simulated hardware (§7.3: 256 B);
+// EmuThreshold is the development platform's (1 KB).
+const (
+	SimThreshold = 256
+	EmuThreshold = 1024
+)
+
+// Fig8 runs the latency and streaming sweeps.
+func Fig8(o Options) Fig8Data {
+	p := simhw.DefaultParams()
+	d := Fig8Data{Sizes: o.sizes(), Threshold: SimThreshold}
+	rounds := o.ops(60, 25)
+	msgs := o.ops(300, 80)
+	for _, s := range d.Sizes {
+		d.PushLatNs = append(d.PushLatNs, simhw.SendRecvLatency(p, s, -1, rounds).MeanNs)
+		d.PullLatNs = append(d.PullLatNs, simhw.SendRecvLatency(p, s, 0, rounds).MeanNs)
+		d.ComboLatNs = append(d.ComboLatNs, simhw.SendRecvLatency(p, s, SimThreshold, rounds).MeanNs)
+		d.PushGbps = append(d.PushGbps, simhw.SendRecvBandwidth(p, s, -1, msgs).Gbps)
+		d.PullGbps = append(d.PullGbps, simhw.SendRecvBandwidth(p, s, 0, msgs).Gbps)
+		d.ComboGbps = append(d.ComboGbps, simhw.SendRecvBandwidth(p, s, SimThreshold, msgs).Gbps)
+
+		lat, err := EmuSendRecvLatencyUs(s, EmuThreshold, o.ops(400, 100))
+		if err != nil {
+			d.EmuErr = err
+		}
+		bw, err := EmuSendRecvBandwidthGbps(s, EmuThreshold, o.ops(2000, 400))
+		if err != nil {
+			d.EmuErr = err
+		}
+		d.EmuLatUs = append(d.EmuLatUs, lat)
+		d.EmuGbps = append(d.EmuGbps, bw)
+	}
+	return d
+}
+
+// Tables implements Experiment.
+func (d Fig8Data) Tables() []*stats.Table {
+	a := stats.NewTable("Figure 8a: send/receive half-duplex latency (sim'd HW)",
+		"msg size", "push=inf (ns)", "pull=0 (ns)", "threshold 256B (ns)")
+	b := stats.NewTable("Figure 8b: send/receive bandwidth (sim'd HW)",
+		"msg size", "push (Gbps)", "pull (Gbps)", "threshold 256B (Gbps)")
+	c := stats.NewTable("Figure 8c: send/receive on development platform (threshold 1KB, wall clock)",
+		"msg size", "latency (us)", "bandwidth (Gbps)")
+	for i, s := range d.Sizes {
+		sz := stats.FormatBytes(s)
+		a.AddRow(sz, d.PushLatNs[i], d.PullLatNs[i], d.ComboLatNs[i])
+		b.AddRow(sz, d.PushGbps[i], d.PullGbps[i], d.ComboGbps[i])
+		c.AddRow(sz, d.EmuLatUs[i], d.EmuGbps[i])
+	}
+	return []*stats.Table{a, b, c}
+}
+
+// ensure the root package's threshold sentinels stay aligned with the
+// messenger's (compile-time check only).
+var _ = sonuma.ThresholdAlwaysPush

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"sonuma"
+	"sonuma/internal/graph"
+	"sonuma/internal/prbsp"
+	"sonuma/internal/simhw"
+	"sonuma/internal/stats"
+)
+
+// Fig9Data reproduces Figure 9: PageRank speedup relative to one thread,
+// for SHM(pthreads), soNUMA(bulk) and soNUMA(fine-grain) — on the
+// simulated hardware (left, 2/4/8 nodes, one superstep) and on the
+// development platform (right, 2/4/8/16 nodes, several supersteps).
+type Fig9Data struct {
+	SimNodes   []int
+	SimSHM     []float64
+	SimBulk    []float64
+	SimFine    []float64
+	EmuNodes   []int
+	EmuSHM     []float64
+	EmuBulk    []float64
+	EmuFine    []float64
+	EmuErr     error
+	GraphEdges int
+	GraphVerts int
+}
+
+// Fig9 generates the graph, partitions it per node count, and measures all
+// variants.
+func Fig9(o Options) Fig9Data {
+	d := Fig9Data{
+		SimNodes: []int{2, 4, 8},
+		EmuNodes: []int{2, 4, 8, 16},
+	}
+	// Simulated hardware: one superstep on the cycle model.
+	simVerts := o.ops(100000, 12000)
+	gSim := graph.GenPowerLaw(simVerts, 8, 1.8, 42)
+	p := simhw.DefaultParams()
+	cfg := simhw.DefaultPRConfig()
+	base := simhw.PageRankSHM(p, cfg, gSim, graph.RandomPartition(gSim, 1, 7), 1)
+	for _, n := range d.SimNodes {
+		pt := graph.RandomPartition(gSim, n, 7)
+		d.SimSHM = append(d.SimSHM, base.SuperstepS/simhw.PageRankSHM(p, cfg, gSim, pt, n).SuperstepS)
+		d.SimBulk = append(d.SimBulk, base.SuperstepS/simhw.PageRankBulk(p, cfg, gSim, pt).SuperstepS)
+		d.SimFine = append(d.SimFine, base.SuperstepS/simhw.PageRankFineGrain(p, cfg, gSim, pt).SuperstepS)
+	}
+
+	// Development platform: wall clock over the public API. WorkPerEdge
+	// injects the DRAM-bound per-edge cost of the paper's testbed
+	// (~400ns on their VM-era Opteron under contention) so the
+	// compute-to-communication ratio matches the paper's workload rather
+	// than Go's in-cache traversal speed; EXPERIMENTS.md documents this
+	// substitution.
+	// Edge density matches the Twitter subset's (≈24-35 edges/vertex):
+	// the bulk variant's shuffle is per-vertex work while compute is
+	// per-edge, so density sets their ratio.
+	emuVerts := o.ops(50000, 6000)
+	eopt := prbsp.Options{Supersteps: o.ops(3, 2), WorkPerEdge: 150}
+	gEmu := graph.GenPowerLaw(emuVerts, 24, 1.8, 42)
+	eopt.CtxID = 19
+	ebase := prbsp.RunSHMOpts(gEmu, graph.RandomPartition(gEmu, 1, 7), eopt)
+	for _, n := range d.EmuNodes {
+		pt := graph.RandomPartition(gEmu, n, 7)
+		d.EmuSHM = append(d.EmuSHM, ebase.Elapsed.Seconds()/prbsp.RunSHMOpts(gEmu, pt, eopt).Elapsed.Seconds())
+		cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+		if err != nil {
+			d.EmuErr = err
+			d.EmuBulk = append(d.EmuBulk, 0)
+			d.EmuFine = append(d.EmuFine, 0)
+			continue
+		}
+		eopt.CtxID = 20
+		bulk, err := prbsp.RunOpts(cl, gEmu, pt, prbsp.Bulk, eopt)
+		if err != nil {
+			d.EmuErr = err
+		}
+		eopt.CtxID = 21
+		fine, err := prbsp.RunOpts(cl, gEmu, pt, prbsp.FineGrain, eopt)
+		if err != nil {
+			d.EmuErr = err
+		}
+		cl.Close()
+		d.EmuBulk = append(d.EmuBulk, speedup(ebase.Elapsed.Seconds(), bulk.Elapsed.Seconds()))
+		d.EmuFine = append(d.EmuFine, speedup(ebase.Elapsed.Seconds(), fine.Elapsed.Seconds()))
+	}
+	d.GraphEdges = gSim.NumEdges()
+	d.GraphVerts = gSim.N
+	return d
+}
+
+func speedup(base, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return base / t
+}
+
+// Tables implements Experiment.
+func (d Fig9Data) Tables() []*stats.Table {
+	a := stats.NewTable("Figure 9 (left): PageRank speedup vs 1 thread (sim'd HW, 1 superstep)",
+		"nodes", "SHM(pthreads)", "soNUMA(bulk)", "soNUMA(fine-grain)")
+	for i, n := range d.SimNodes {
+		a.AddRow(n, d.SimSHM[i], d.SimBulk[i], d.SimFine[i])
+	}
+	b := stats.NewTable("Figure 9 (right): PageRank speedup vs 1 thread (development platform, wall clock)",
+		"nodes", "SHM(pthreads)", "soNUMA(bulk)", "soNUMA(fine-grain)")
+	for i, n := range d.EmuNodes {
+		b.AddRow(n, d.EmuSHM[i], d.EmuBulk[i], d.EmuFine[i])
+	}
+	return []*stats.Table{a, b}
+}

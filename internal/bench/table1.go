@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"fmt"
+
+	"sonuma/internal/simhw"
+	"sonuma/internal/stats"
+)
+
+// Table1Data documents the simulated system configuration, mirroring the
+// paper's Table 1.
+type Table1Data struct {
+	P simhw.Params
+}
+
+// Table1 returns the active cycle-model configuration.
+func Table1(Options) Table1Data { return Table1Data{P: simhw.DefaultParams()} }
+
+// Tables implements Experiment.
+func (d Table1Data) Tables() []*stats.Table {
+	t := stats.NewTable("Table 1: system parameters for the cycle-level model", "component", "configuration")
+	t.AddRow("Core", "ARM Cortex-A15-like, 2GHz; software costs: issue "+nsStr(d.P.IssueCost.Nanoseconds())+", async issue/completion "+nsStr(d.P.AsyncIssueCost.Nanoseconds())+"/"+nsStr(d.P.AsyncCompletionCost.Nanoseconds()))
+	t.AddRow("L1 caches", fmt.Sprintf("%dKB %d-way, 64B lines, %d MSHRs, %.1f-cycle latency",
+		d.P.L1.Size>>10, d.P.L1.Ways, d.P.L1.MSHRs, d.P.L1.Latency.Nanoseconds()*2))
+	t.AddRow("L2 cache", fmt.Sprintf("%dMB %d-way, %.0f-cycle latency", d.P.L2.Size>>20, d.P.L2.Ways, d.P.L2.Latency.Nanoseconds()*2))
+	t.AddRow("Memory", fmt.Sprintf("DDR3-1600 model: %d banks, 60ns latency, 12.8GBps peak, 8KB pages", d.P.DRAM.Banks))
+	t.AddRow("RMC", fmt.Sprintf("3 pipelines (RGP, RCP, RRPP); %d-entry MAQ, %d-entry TLB, %d-entry ITT", d.P.MAQEntries, d.P.TLBEntries, d.P.ITTEntries))
+	t.AddRow("Fabric", fmt.Sprintf("full crossbar, %.0fns inter-node delay, %.0fGBps links", d.P.LinkDelay.Nanoseconds(), 1000.0/float64(d.P.LinkPsPerByte)))
+	return []*stats.Table{t}
+}
+
+func nsStr(v float64) string { return fmt.Sprintf("%.0fns", v) }

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"sonuma/internal/rdma"
+	"sonuma/internal/simhw"
+	"sonuma/internal/stats"
+)
+
+// Table2Data reproduces Table 2: soNUMA (development platform and
+// simulated hardware) against the InfiniBand/RDMA baseline across four
+// metrics — peak bandwidth, read round-trip, fetch-and-add latency, and
+// per-core operation rate.
+type Table2Data struct {
+	// Development platform (wall clock).
+	EmuMaxGbps, EmuReadRTTUs, EmuFetchAddUs, EmuMops float64
+	EmuErr                                           error
+	// Simulated hardware.
+	SimMaxGbps, SimReadRTTUs, SimFetchAddUs, SimMops float64
+	// RDMA/InfiniBand model.
+	RDMAMaxGbps, RDMAReadRTTUs, RDMAFetchAddUs, RDMAMops float64
+	RDMAQPs                                              int
+}
+
+// Table2 measures all three columns.
+func Table2(o Options) Table2Data {
+	p := simhw.DefaultParams()
+	d := Table2Data{}
+
+	bw := simhw.ReadBandwidth(p, 8192, false, o.ops(8<<20, 2<<20))
+	d.SimMaxGbps = bw.Gbps
+	d.SimReadRTTUs = simhw.ReadLatency(p, 64, false, o.ops(200, 60)).MeanNs / 1e3
+	d.SimFetchAddUs = simhw.AtomicLatency(p, o.ops(200, 60)).MeanNs / 1e3
+	d.SimMops = simhw.IOPS(p, o.ops(60000, 10000)) / 1e6
+
+	hca := rdma.ConnectX3()
+	d.RDMAMaxGbps = hca.MaxBandwidthGbps()
+	d.RDMAReadRTTUs = hca.ReadRTT(64).Microseconds()
+	d.RDMAFetchAddUs = hca.AtomicRTT().Microseconds()
+	d.RDMAQPs = 4
+	d.RDMAMops = hca.IOPS(d.RDMAQPs) / 1e6
+
+	if v, err := EmuReadBandwidthGbps(8192, o.ops(20000, 3000)); err != nil {
+		d.EmuErr = err
+	} else {
+		d.EmuMaxGbps = v
+	}
+	if v, err := EmuReadLatencyUs(64, o.ops(3000, 500)); err != nil {
+		d.EmuErr = err
+	} else {
+		d.EmuReadRTTUs = v
+	}
+	if v, err := EmuAtomicLatencyUs(o.ops(3000, 500)); err != nil {
+		d.EmuErr = err
+	} else {
+		d.EmuFetchAddUs = v
+	}
+	if v, err := EmuIOPS(o.ops(100000, 20000)); err != nil {
+		d.EmuErr = err
+	} else {
+		d.EmuMops = v / 1e6
+	}
+	return d
+}
+
+// Tables implements Experiment.
+func (d Table2Data) Tables() []*stats.Table {
+	t := stats.NewTable("Table 2: soNUMA vs InfiniBand/RDMA",
+		"metric", "soNUMA dev plat", "soNUMA sim'd HW", "RDMA/IB model", "paper (dev/sim/IB)")
+	t.AddRow("Max BW (Gbps)", d.EmuMaxGbps, d.SimMaxGbps, d.RDMAMaxGbps, "1.8 / 77 / 50")
+	t.AddRow("Read RTT (us)", d.EmuReadRTTUs, d.SimReadRTTUs, d.RDMAReadRTTUs, "1.5 / 0.3 / 1.19")
+	t.AddRow("Fetch-and-add (us)", d.EmuFetchAddUs, d.SimFetchAddUs, d.RDMAFetchAddUs, "1.5 / 0.3 / 1.15")
+	t.AddRow("IOPS (Mops/s)", d.EmuMops, d.SimMops, d.RDMAMops, "1.97 / 10.9 / 35@4cores")
+	return []*stats.Table{t}
+}

@@ -1,0 +1,208 @@
+// Package cache models set-associative write-back caches with MSHR-based
+// miss handling for the cycle-level soNUMA node (Table 1: 32 KB 2-way L1
+// with 32 MSHRs and 3-cycle latency; 4 MB 16-way L2 with 6-cycle latency).
+// The RMC's private L1 — its integration point into the node's coherence
+// hierarchy (§4.3) — is an instance of the same model.
+package cache
+
+import (
+	"sonuma/internal/sim"
+)
+
+// LineSize is fixed at 64 bytes across the hierarchy.
+const LineSize = 64
+
+// Level is anything that can service a line access: a lower cache or the
+// memory controller adapter.
+type Level interface {
+	// Access requests the 64-byte line containing addr; done fires when
+	// the line is available (reads) or accepted (writes).
+	Access(addr uint64, write bool, done func())
+}
+
+// Params configure one cache.
+type Params struct {
+	// Name identifies the cache in statistics.
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// Ways is the set associativity.
+	Ways int
+	// Latency is the tag+data access time.
+	Latency sim.Time
+	// MSHRs bounds outstanding misses; further misses to new lines
+	// stall until an MSHR frees. Merging requests to the same line
+	// consumes no additional MSHR.
+	MSHRs int
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Merges     uint64 // accesses merged into an in-flight miss
+	Writebacks uint64
+	Fills      uint64
+}
+
+// HitRate reports hits/(hits+misses+merges).
+func (s *Stats) HitRate() float64 {
+	n := s.Hits + s.Misses + s.Merges
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	used  uint64
+}
+
+type mshr struct {
+	addr    uint64 // line address
+	waiters []func()
+	write   bool
+}
+
+// Cache is one write-back, write-allocate cache level.
+type Cache struct {
+	eng   *sim.Engine
+	p     Params
+	next  Level
+	sets  [][]line
+	nsets uint64
+	tick  uint64
+
+	inflight map[uint64]*mshr // by line address
+	tokens   *sim.TokenPool
+
+	Stats Stats
+}
+
+// New builds a cache over the given next level.
+func New(eng *sim.Engine, p Params, next Level) *Cache {
+	nsets := p.Size / (LineSize * p.Ways)
+	if nsets < 1 {
+		nsets = 1
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, p.Ways)
+	}
+	if p.MSHRs <= 0 {
+		p.MSHRs = 32
+	}
+	return &Cache{
+		eng:      eng,
+		p:        p,
+		next:     next,
+		sets:     sets,
+		nsets:    uint64(nsets),
+		inflight: make(map[uint64]*mshr),
+		tokens:   sim.NewTokenPool(eng, p.MSHRs),
+	}
+}
+
+// Params returns the cache configuration.
+func (c *Cache) Params() Params { return c.p }
+
+func (c *Cache) index(lineAddr uint64) (set uint64, tag uint64) {
+	return lineAddr % c.nsets, lineAddr / c.nsets
+}
+
+// lookup returns the way holding tag, or -1.
+func (c *Cache) lookup(set []line, tag uint64) int {
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access implements Level.
+func (c *Cache) Access(addr uint64, write bool, done func()) {
+	lineAddr := addr / LineSize
+	set, tag := c.index(lineAddr)
+	ways := c.sets[set]
+	c.tick++
+	if w := c.lookup(ways, tag); w >= 0 {
+		c.Stats.Hits++
+		ways[w].used = c.tick
+		if write {
+			ways[w].dirty = true
+		}
+		c.eng.After(c.p.Latency, done)
+		return
+	}
+	// Miss: merge into an in-flight MSHR when possible.
+	if m, ok := c.inflight[lineAddr]; ok {
+		c.Stats.Merges++
+		m.waiters = append(m.waiters, done)
+		m.write = m.write || write
+		return
+	}
+	c.Stats.Misses++
+	m := &mshr{addr: lineAddr, waiters: []func(){done}, write: write}
+	c.inflight[lineAddr] = m
+	c.tokens.Acquire(func() {
+		// Tag lookup latency before the miss goes down a level.
+		c.eng.After(c.p.Latency, func() {
+			c.next.Access(lineAddr*LineSize, false, func() {
+				c.fill(m)
+			})
+		})
+	})
+}
+
+// fill installs the returned line, handles the victim writeback, and wakes
+// the mergees.
+func (c *Cache) fill(m *mshr) {
+	c.Stats.Fills++
+	set, tag := c.index(m.addr)
+	ways := c.sets[set]
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.Stats.Writebacks++
+		victimLine := ways[victim].tag*c.nsets + set
+		// Writebacks consume downstream bandwidth but nothing waits
+		// on them.
+		c.next.Access(victimLine*LineSize, true, func() {})
+	}
+	c.tick++
+	ways[victim] = line{valid: true, dirty: m.write, tag: tag, used: c.tick}
+	delete(c.inflight, m.addr)
+	c.tokens.Release()
+	for _, w := range m.waiters {
+		c.eng.After(0, w)
+	}
+}
+
+// Contains reports whether the line holding addr is resident (for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr / LineSize
+	set, tag := c.index(lineAddr)
+	return c.lookup(c.sets[set], tag) >= 0
+}
+
+// DRAMAdapter adapts a memory controller into a Level.
+type DRAMAdapter struct {
+	Access64 func(lineAddr uint64, write bool, done func())
+}
+
+// Access implements Level.
+func (a *DRAMAdapter) Access(addr uint64, write bool, done func()) {
+	a.Access64(addr/LineSize, write, done)
+}

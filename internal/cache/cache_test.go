@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"testing"
+
+	"sonuma/internal/sim"
+)
+
+// fixedMem is a Level with constant latency, counting accesses.
+type fixedMem struct {
+	eng      *sim.Engine
+	latency  sim.Time
+	accesses int
+	writes   int
+}
+
+func (m *fixedMem) Access(addr uint64, write bool, done func()) {
+	m.accesses++
+	if write {
+		m.writes++
+	}
+	m.eng.After(m.latency, done)
+}
+
+func newTestCache(eng *sim.Engine, size, ways, mshrs int) (*Cache, *fixedMem) {
+	mem := &fixedMem{eng: eng, latency: 60 * sim.Nanosecond}
+	c := New(eng, Params{Name: "t", Size: size, Ways: ways, Latency: 2 * sim.Nanosecond, MSHRs: mshrs}, mem)
+	return c, mem
+}
+
+// access runs a single blocking access and returns its latency.
+func access(eng *sim.Engine, c *Cache, addr uint64, write bool) sim.Time {
+	start := eng.Now()
+	var end sim.Time
+	c.Access(addr, write, func() { end = eng.Now() })
+	eng.Run()
+	return end - start
+}
+
+func TestMissThenHit(t *testing.T) {
+	eng := sim.New()
+	c, mem := newTestCache(eng, 1024, 2, 8)
+	missLat := access(eng, c, 0x1000, false)
+	if missLat < 60*sim.Nanosecond {
+		t.Fatalf("miss latency %v too low", missLat)
+	}
+	hitLat := access(eng, c, 0x1000, false)
+	if hitLat != 2*sim.Nanosecond {
+		t.Fatalf("hit latency %v, want 2ns", hitLat)
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || mem.accesses != 1 {
+		t.Fatalf("stats: %+v mem=%d", c.Stats, mem.accesses)
+	}
+}
+
+func TestSameLineDifferentWordsHit(t *testing.T) {
+	eng := sim.New()
+	c, _ := newTestCache(eng, 1024, 2, 8)
+	access(eng, c, 0x40, false)
+	if lat := access(eng, c, 0x7F, false); lat != 2*sim.Nanosecond {
+		t.Fatalf("same-line access missed: %v", lat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	eng := sim.New()
+	// 2 ways x 2 sets x 64B = 256B cache.
+	c, _ := newTestCache(eng, 256, 2, 8)
+	// Three lines mapping to set 0 (line addresses 0, 2, 4 with 2 sets).
+	access(eng, c, 0*64, false)
+	access(eng, c, 2*64, false)
+	access(eng, c, 0*64, false) // touch: line 0 is MRU
+	access(eng, c, 4*64, false) // evicts line 2
+	if !c.Contains(0 * 64) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Contains(2 * 64) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	eng := sim.New()
+	c, mem := newTestCache(eng, 256, 2, 8)
+	access(eng, c, 0*64, true) // dirty line in set 0
+	access(eng, c, 2*64, false)
+	access(eng, c, 4*64, false) // evicts dirty line 0
+	eng.Run()
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+	if mem.writes != 1 {
+		t.Fatalf("memory writes = %d, want 1 (the writeback)", mem.writes)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	eng := sim.New()
+	c, mem := newTestCache(eng, 1024, 2, 8)
+	done := 0
+	for i := 0; i < 5; i++ {
+		c.Access(0x2000+uint64(i*8), false, func() { done++ })
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("%d callbacks fired, want 5", done)
+	}
+	if mem.accesses != 1 {
+		t.Fatalf("memory saw %d accesses, want 1 (merged)", mem.accesses)
+	}
+	if c.Stats.Merges != 4 {
+		t.Fatalf("merges = %d, want 4", c.Stats.Merges)
+	}
+}
+
+func TestMSHRLimitThrottles(t *testing.T) {
+	eng := sim.New()
+	c, _ := newTestCache(eng, 4096, 2, 2) // only 2 MSHRs
+	done := 0
+	for i := 0; i < 6; i++ {
+		c.Access(uint64(i)*64, false, func() { done++ })
+	}
+	eng.Run()
+	if done != 6 {
+		t.Fatalf("%d callbacks fired, want 6 (stalled misses must complete)", done)
+	}
+	if c.Stats.Misses != 6 {
+		t.Fatalf("misses = %d", c.Stats.Misses)
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.New()
+		c, _ := newTestCache(eng, 512, 2, 4)
+		for i := 0; i < 64; i++ {
+			c.Access(uint64(i%12)*64, i%3 == 0, func() {})
+		}
+		return eng.Run()
+	}
+	if run() != run() {
+		t.Fatal("cache timing not deterministic")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	eng := sim.New()
+	c, _ := newTestCache(eng, 4096, 4, 8)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 8; i++ {
+			access(eng, c, uint64(i)*64, false)
+		}
+	}
+	// 8 cold misses, 24 hits.
+	if hr := c.Stats.HitRate(); hr < 0.74 || hr > 0.76 {
+		t.Fatalf("hit rate %.3f, want 0.75", hr)
+	}
+}
+
+func TestTwoLevelHierarchy(t *testing.T) {
+	eng := sim.New()
+	mem := &fixedMem{eng: eng, latency: 60 * sim.Nanosecond}
+	l2 := New(eng, Params{Name: "l2", Size: 4096, Ways: 4, Latency: 3 * sim.Nanosecond, MSHRs: 8}, mem)
+	l1 := New(eng, Params{Name: "l1", Size: 256, Ways: 2, Latency: 1 * sim.Nanosecond, MSHRs: 4}, l2)
+	// Cold: misses both levels.
+	cold := access(eng, l1, 0x100, false)
+	if cold < 64*sim.Nanosecond {
+		t.Fatalf("cold access %v too fast", cold)
+	}
+	// Evict from L1 by thrashing its set, then re-access: L2 hit.
+	access(eng, l1, 0x100+4*256, false)
+	access(eng, l1, 0x100+8*256, false)
+	warm := access(eng, l1, 0x100, false)
+	if warm >= cold || warm < 4*sim.Nanosecond {
+		t.Fatalf("L2 hit latency %v (cold %v)", warm, cold)
+	}
+	if mem.accesses != 3 {
+		t.Fatalf("memory accesses = %d, want 3", mem.accesses)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLines(t *testing.T) {
+	cases := map[int]int{
+		0: 0, -5: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3,
+		8192: 128, 8193: 129,
+	}
+	for n, want := range cases {
+		if got := Lines(n); got != want {
+			t.Errorf("Lines(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 64, 64: 64, 65: 128, 8191: 8192}
+	for n, want := range cases {
+		if got := AlignUp(n); got != want {
+			t.Errorf("AlignUp(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: AlignUp(n) is the least multiple of the line size >= n.
+func TestPropertyAlignUp(t *testing.T) {
+	f := func(n uint16) bool {
+		a := AlignUp(int(n))
+		return a >= int(n) && a%CacheLineSize == 0 && a-int(n) < CacheLineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpFetchAdd.IsAtomic() || !OpCompareSwap.IsAtomic() {
+		t.Fatal("atomics not classified")
+	}
+	if OpRead.IsAtomic() || OpWrite.IsAtomic() || OpWriteNotify.IsAtomic() {
+		t.Fatal("non-atomics classified as atomic")
+	}
+	if !OpWrite.IsWrite() || !OpWriteNotify.IsWrite() {
+		t.Fatal("writes not classified")
+	}
+	if OpRead.IsWrite() || OpFetchAdd.IsWrite() {
+		t.Fatal("non-writes classified as write")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpRead: "rmc_read", OpWrite: "rmc_write",
+		OpFetchAdd: "rmc_fetch_add", OpCompareSwap: "rmc_cmp_swap",
+		OpWriteNotify: "rmc_write_notify", Op(200): "op(200)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestStatusErr(t *testing.T) {
+	if StatusOK.Err() != nil {
+		t.Fatal("OK produced an error")
+	}
+	err := StatusBoundsError.Err()
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != StatusBoundsError {
+		t.Fatalf("bounds error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("error text %q", err.Error())
+	}
+	for s := Status(0); s < 6; s++ {
+		if s.String() == "" {
+			t.Fatalf("status %d has empty name", s)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package dram models a DDR3-1600 memory channel with banked timing,
+// standing in for the DRAMSim2 back end of the paper's simulation
+// methodology (Table 1: single channel, 60 ns access latency, 12.8 GB/s peak
+// bandwidth). The model captures the two properties the paper's results
+// hinge on: ~60 ns random-access latency and ~9.6 GB/s practical streaming
+// bandwidth (bank-limited, minus refresh).
+package dram
+
+import (
+	"sonuma/internal/sim"
+)
+
+// Params are the channel timing parameters.
+type Params struct {
+	// Banks is the number of DRAM banks (line-interleaved).
+	Banks int
+	// CtrlOverhead is the controller queue/scheduling delay per access.
+	CtrlOverhead sim.Time
+	// AccessLatency is activate-to-data for a closed-page access.
+	AccessLatency sim.Time
+	// BurstTime is the data-bus occupancy of one 64-byte transfer
+	// (64 B / 12.8 GB/s = 5 ns).
+	BurstTime sim.Time
+	// BankBusy is the bank cycle time tRC: minimum spacing of accesses
+	// to one bank.
+	BankBusy sim.Time
+	// RefreshInterval and RefreshTime model periodic all-bank refresh
+	// (tREFI / tRFC).
+	RefreshInterval sim.Time
+	// RefreshTime blocks all banks once per RefreshInterval.
+	RefreshTime sim.Time
+}
+
+// DDR3_1600 returns Table 1's memory configuration: 60 ns latency,
+// 12.8 GB/s channel, 8 banks (≈10 GB/s practical after bank conflicts and
+// refresh).
+func DDR3_1600() Params {
+	return Params{
+		Banks:           8,
+		CtrlOverhead:    10 * sim.Nanosecond,
+		AccessLatency:   45 * sim.Nanosecond,
+		BurstTime:       5 * sim.Nanosecond,
+		BankBusy:        50 * sim.Nanosecond,
+		RefreshInterval: 7800 * sim.Nanosecond,
+		RefreshTime:     160 * sim.Nanosecond,
+	}
+}
+
+// Controller is one memory channel. Access requests name a physical line
+// address; the controller resolves bank conflicts, reserves the data bus,
+// and calls back when the transfer completes.
+type Controller struct {
+	eng         *sim.Engine
+	p           Params
+	banks       []sim.Time // per-bank next-free time
+	bus         *sim.Port
+	nextRefresh sim.Time
+
+	// Accesses and Bytes count completed transfers.
+	Accesses uint64
+	Bytes    uint64
+}
+
+// New returns a controller bound to the engine.
+func New(eng *sim.Engine, p Params) *Controller {
+	return &Controller{
+		eng:         eng,
+		p:           p,
+		banks:       make([]sim.Time, p.Banks),
+		bus:         sim.NewPort(eng),
+		nextRefresh: p.RefreshInterval,
+	}
+}
+
+// Params returns the controller's timing parameters.
+func (c *Controller) Params() Params { return c.p }
+
+// refreshAdjust pushes t out of any refresh window, advancing the refresh
+// schedule lazily.
+func (c *Controller) refreshAdjust(t sim.Time) sim.Time {
+	if c.p.RefreshInterval <= 0 {
+		return t
+	}
+	for t >= c.nextRefresh {
+		if t < c.nextRefresh+c.p.RefreshTime {
+			t = c.nextRefresh + c.p.RefreshTime
+		}
+		c.nextRefresh += c.p.RefreshInterval
+	}
+	return t
+}
+
+// Access schedules a 64-byte line transfer at lineAddr and invokes done when
+// the data has crossed the bus. Writes and reads share timing (closed-page).
+func (c *Controller) Access(lineAddr uint64, write bool, done func()) {
+	bank := int(lineAddr) % c.p.Banks
+	start := c.eng.Now() + c.p.CtrlOverhead
+	if c.banks[bank] > start {
+		start = c.banks[bank]
+	}
+	start = c.refreshAdjust(start)
+	c.banks[bank] = start + c.p.BankBusy
+	// Data appears AccessLatency after the access starts; the bus burst
+	// must be reserved at or after that point.
+	burstStart := c.bus.AcquireAt(start+c.p.AccessLatency-c.p.BurstTime, c.p.BurstTime)
+	finish := burstStart + c.p.BurstTime
+	c.Accesses++
+	c.Bytes += 64
+	c.eng.At(finish, done)
+}
+
+// BusUtilization reports the fraction of simulated time the data bus was
+// occupied.
+func (c *Controller) BusUtilization() float64 { return c.bus.Utilization() }

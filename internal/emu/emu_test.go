@@ -1,0 +1,268 @@
+package emu
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sonuma/internal/core"
+	"sonuma/internal/fabric"
+	"sonuma/internal/qpring"
+)
+
+func TestSegmentReadWrite(t *testing.T) {
+	s := NewSegment(1000) // rounds to 1024
+	if s.Size() != 1024 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	data := []byte("crossing a line boundary here, definitely more than sixty-four bytes of text")
+	if err := s.WriteAt(60, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(60, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	s := NewSegment(128)
+	if err := s.WriteAt(120, make([]byte, 16)); err == nil {
+		t.Fatal("overflowing write accepted")
+	}
+	if err := s.ReadAt(-1, make([]byte, 4)); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := s.FetchAdd64(121, 1); err == nil {
+		t.Fatal("unaligned atomic accepted")
+	}
+	if _, err := s.FetchAdd64(124, 1); err == nil {
+		t.Fatal("4-byte-aligned atomic accepted (needs 8)")
+	}
+}
+
+func TestSegmentAtomics(t *testing.T) {
+	s := NewSegment(64)
+	if err := s.Store64(8, 10); err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.FetchAdd64(8, 5)
+	if err != nil || old != 10 {
+		t.Fatalf("FetchAdd: %d %v", old, err)
+	}
+	old, err = s.CompareSwap64(8, 15, 100)
+	if err != nil || old != 15 {
+		t.Fatalf("CAS success: %d %v", old, err)
+	}
+	old, err = s.CompareSwap64(8, 15, 200) // expected stale
+	if err != nil || old != 100 {
+		t.Fatalf("CAS failure path: %d %v", old, err)
+	}
+	v, _ := s.Load64(8)
+	if v != 100 {
+		t.Fatalf("final value %d", v)
+	}
+}
+
+func TestSegmentLineVersionAdvances(t *testing.T) {
+	s := NewSegment(256)
+	v0 := s.LineVersion(1)
+	if err := s.WriteAt(64, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.LineVersion(1)
+	if v1 == v0 || v1&1 != 0 {
+		t.Fatalf("version %d -> %d", v0, v1)
+	}
+	if s.LineVersion(0) != 0 {
+		t.Fatal("untouched line version changed")
+	}
+}
+
+// TestSegmentTornFreedom hammers one line from many writers while readers
+// validate: a stable read must always be one writer's complete image
+// (cache-line-granularity atomicity, §4.1).
+func TestSegmentTornFreedom(t *testing.T) {
+	s := NewSegment(64)
+	const writers = 4
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			line := bytes.Repeat([]byte{byte('A' + w)}, 64)
+			for i := 0; i < per; i++ {
+				if err := s.WriteAt(0, line); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() { wg.Wait(); close(stop) }()
+	buf := make([]byte, 64)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err := s.ReadAt(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		first := buf[0]
+		if first == 0 {
+			continue // initial zero image
+		}
+		for _, b := range buf[1:] {
+			if b != first {
+				t.Fatalf("torn line observed: %q...", buf[:8])
+			}
+		}
+	}
+}
+
+// Property: WriteAt/ReadAt behave exactly like a plain byte array under
+// sequential use.
+func TestPropertySegmentIsAnArray(t *testing.T) {
+	f := func(writes []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		s := NewSegment(4096)
+		shadow := make([]byte, s.Size())
+		for _, w := range writes {
+			off := int(w.Off) % s.Size()
+			n := len(w.Data)
+			if off+n > s.Size() {
+				n = s.Size() - off
+			}
+			if err := s.WriteAt(off, w.Data[:n]); err != nil {
+				return false
+			}
+			copy(shadow[off:], w.Data[:n])
+		}
+		got := make([]byte, s.Size())
+		if err := s.ReadAt(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRMCPair wires two RMCs over a crossbar for protocol-level tests below
+// the public API.
+func newRMCPair(t *testing.T) (*RMC, *RMC, *fabric.Interconnect) {
+	t.Helper()
+	ic := fabric.NewInterconnect(fabric.NewCrossbar(2), 0)
+	r0 := NewRMC(0, ic, Config{})
+	r1 := NewRMC(1, ic, Config{})
+	t.Cleanup(func() {
+		ic.Close()
+		r0.Close()
+		r1.Close()
+	})
+	return r0, r1, ic
+}
+
+// wqRead builds a read work-queue entry.
+func wqRead(node core.NodeID, offset uint64, n int, buf uint32) qpring.WQEntry {
+	return qpring.WQEntry{Op: core.OpRead, Node: node, Offset: offset, Length: uint32(n), Buf: buf}
+}
+
+func TestRMCLoopbackRead(t *testing.T) {
+	r0, _, _ := newRMCPair(t)
+	cs, err := r0.OpenContext(5, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Seg.WriteAt(256, []byte("loopback")); err != nil {
+		t.Fatal(err)
+	}
+	qp, err := r0.CreateQP(cs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufID, buf, err := cs.RegisterBuffer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read from self through the full protocol path (loopback via the
+	// fabric, processed by our own RRPP).
+	post(t, qp, 0, 256, 8, bufID)
+	waitCQ(t, qp)
+	got := make([]byte, 8)
+	_ = buf.ReadAt(0, got)
+	if string(got) != "loopback" {
+		t.Fatalf("loopback read %q", got)
+	}
+}
+
+func post(t *testing.T, qp *QPState, node core.NodeID, offset uint64, n int, buf uint32) {
+	t.Helper()
+	_, ok := qp.WQ.Post(wqRead(node, offset, n, buf))
+	if !ok {
+		t.Fatal("WQ full")
+	}
+	qp.Doorbell()
+}
+
+func waitCQ(t *testing.T, qp *QPState) core.Status {
+	t.Helper()
+	for i := 0; i < 1e8; i++ {
+		if e, ok := qp.CQ.Poll(); ok {
+			return e.Status
+		}
+	}
+	t.Fatal("completion never arrived")
+	return 0
+}
+
+func TestRMCDuplicateContextRejected(t *testing.T) {
+	r0, _, _ := newRMCPair(t)
+	if _, err := r0.OpenContext(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r0.OpenContext(1, 4096); err == nil {
+		t.Fatal("duplicate ctx id accepted")
+	}
+}
+
+func TestRMCStaleRepliesDropped(t *testing.T) {
+	// After a node failure flushes in-flight state, late replies must be
+	// discarded by the generation check rather than corrupting a reused
+	// ITT entry. We simulate by failing the destination mid-flight.
+	r0, _, ic := newRMCPair(t)
+	cs, err := r0.OpenContext(2, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := r0.CreateQP(cs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufID, _, err := cs.RegisterBuffer(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic.FailNode(1)
+	post(t, qp, 1, 0, 4096, bufID)
+	if st := waitCQ(t, qp); st != core.StatusNodeFailure {
+		t.Fatalf("status %v, want node failure", st)
+	}
+	// RMC remains healthy for loopback traffic afterwards.
+	post(t, qp, 0, 0, 64, bufID)
+	if st := waitCQ(t, qp); st != core.StatusOK {
+		t.Fatalf("post-failure op status %v", st)
+	}
+}

@@ -1,0 +1,688 @@
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sonuma/internal/core"
+	"sonuma/internal/fabric"
+	"sonuma/internal/mmu"
+	"sonuma/internal/proto"
+	"sonuma/internal/qpring"
+)
+
+// Config holds the RMC emulation parameters. The zero value selects the
+// defaults below.
+type Config struct {
+	// ITTEntries bounds concurrently in-flight WQ requests per node
+	// (Inflight Transaction Table size). Max 4096 (tid packs a 12-bit
+	// index plus a 4-bit generation).
+	ITTEntries int
+	// TLBEntries and TLBWays size the RMC's TLB (Table 1: 32 entries).
+	TLBEntries int
+	TLBWays    int
+	// PageSize for context segments (Table 1: 8 KB).
+	PageSize int
+	// PollBudget bounds WQ entries consumed per QP per scheduling pass,
+	// so one busy QP cannot starve others.
+	PollBudget int
+	// SpinCount is how many empty passes the RGP/RCP pipeline makes
+	// before parking on its doorbell.
+	SpinCount int
+}
+
+const maxITT = 4096
+
+func (c Config) withDefaults() Config {
+	if c.ITTEntries <= 0 {
+		c.ITTEntries = 1024
+	}
+	if c.ITTEntries > maxITT {
+		c.ITTEntries = maxITT
+	}
+	if c.TLBEntries <= 0 {
+		c.TLBEntries = 32
+	}
+	if c.TLBWays <= 0 {
+		c.TLBWays = 4
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = mmu.DefaultPageSize
+	}
+	if c.PollBudget <= 0 {
+		c.PollBudget = 32
+	}
+	if c.SpinCount <= 0 {
+		c.SpinCount = 128
+	}
+	return c
+}
+
+// Stats are per-RMC counters exported for the experiment harness.
+type Stats struct {
+	WQConsumed   atomic.Uint64 // WQ entries accepted by the RGP
+	LinesSent    atomic.Uint64 // request packets injected
+	RepliesRecv  atomic.Uint64 // reply packets processed by the RCP
+	RequestsRecv atomic.Uint64 // request packets processed by the RRPP
+	Completions  atomic.Uint64 // CQ entries posted
+	Errors       atomic.Uint64 // non-OK completions
+	TLBMisses    atomic.Uint64 // RRPP-side translation misses
+}
+
+// NotifyFunc handles a remote-interrupt notification raised by an
+// OpWriteNotify request (§8). It runs on the RRPP pipeline goroutine and
+// must not block; typical handlers forward into a channel.
+type NotifyFunc func(src core.NodeID, offset uint64, n int)
+
+// ContextState is the per-node view of one global address space: the CT
+// entry (§4.2) holding the local context segment, its address space /
+// page-table root, and the registered local buffers.
+type ContextState struct {
+	ID      core.CtxID
+	Seg     *Segment
+	AS      *mmu.AddressSpace
+	node    core.NodeID
+	notify  atomic.Pointer[NotifyFunc]
+	mu      sync.RWMutex
+	buffers []*Segment
+}
+
+// SetNotifyHandler installs (or, with nil, removes) the context's remote-
+// interrupt handler.
+func (cs *ContextState) SetNotifyHandler(fn NotifyFunc) {
+	if fn == nil {
+		cs.notify.Store(nil)
+		return
+	}
+	cs.notify.Store(&fn)
+}
+
+// NodeID reports the owning node.
+func (cs *ContextState) NodeID() core.NodeID { return cs.node }
+
+// RegisterBuffer pins a fresh local buffer of size bytes for use as a
+// source/destination of remote operations and returns its id.
+func (cs *ContextState) RegisterBuffer(size int) (uint32, *Segment, error) {
+	if size <= 0 {
+		return 0, nil, fmt.Errorf("emu: invalid buffer size %d", size)
+	}
+	b := NewSegment(size)
+	cs.mu.Lock()
+	id := uint32(len(cs.buffers))
+	cs.buffers = append(cs.buffers, b)
+	cs.mu.Unlock()
+	return id, b, nil
+}
+
+// Buffer returns the registered buffer with the given id.
+func (cs *ContextState) Buffer(id uint32) *Segment {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	if int(id) >= len(cs.buffers) {
+		return nil
+	}
+	return cs.buffers[id]
+}
+
+// QPState is one registered queue pair: the application posts WQ entries
+// and polls CQ entries; the RMC does the reverse. A QP belongs to one
+// context and must be driven by a single application goroutine.
+type QPState struct {
+	Ctx *ContextState
+	WQ  *qpring.WQ
+	CQ  *qpring.CQ
+	// CQDoorbell is kicked (non-blocking) whenever a completion is
+	// posted, so waiters can park instead of spinning indefinitely.
+	CQDoorbell chan struct{}
+	rmc        *RMC
+}
+
+// Doorbell wakes the RGP after a WQ post (the hardware analogue is the RMC
+// noticing the cached WQ tail change; the channel makes parking efficient).
+func (qp *QPState) Doorbell() {
+	select {
+	case qp.rmc.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// ittEntry tracks one in-flight WQ request (§4.2: "the ITT ... keeps track
+// of the progress of each WQ request", indexed by tid).
+type ittEntry struct {
+	active    bool
+	gen       uint16
+	qp        *QPState
+	wqIdx     uint32
+	op        core.Op
+	node      core.NodeID
+	buf       *Segment
+	bufOff    uint64
+	remaining uint32
+	status    core.Status
+}
+
+// RMC is the emulated remote memory controller for one node: the Context
+// Table, the ITT, and the three pipelines of Fig. 3, with RGP+RCP sharing
+// one goroutine and RRPP running on another (exactly the thread split of
+// the paper's RMCemu, §7.1).
+type RMC struct {
+	id  core.NodeID
+	ic  *fabric.Interconnect
+	cfg Config
+
+	ctxMu    sync.RWMutex
+	contexts map[core.CtxID]*ContextState
+
+	qps atomic.Pointer[[]*QPState]
+
+	tlb *mmu.TLB // RRPP-side translations, ASID-tagged per context
+
+	itt     []ittEntry
+	ittFree []uint16
+
+	doorbell chan struct{}
+	control  chan core.NodeID // failed-node notifications
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	onFailure func(core.NodeID)
+
+	Stats Stats
+}
+
+// NewRMC creates and starts the RMC pipelines for node id.
+func NewRMC(id core.NodeID, ic *fabric.Interconnect, cfg Config) *RMC {
+	cfg = cfg.withDefaults()
+	r := &RMC{
+		id:       id,
+		ic:       ic,
+		cfg:      cfg,
+		contexts: make(map[core.CtxID]*ContextState),
+		tlb:      mmu.NewTLB(cfg.TLBEntries, cfg.TLBWays),
+		itt:      make([]ittEntry, cfg.ITTEntries),
+		ittFree:  make([]uint16, 0, cfg.ITTEntries),
+		doorbell: make(chan struct{}, 1),
+		control:  make(chan core.NodeID, 16),
+		stopped:  make(chan struct{}),
+	}
+	for i := cfg.ITTEntries - 1; i >= 0; i-- {
+		r.ittFree = append(r.ittFree, uint16(i))
+	}
+	empty := []*QPState{}
+	r.qps.Store(&empty)
+	ic.Watch(func(failed core.NodeID) {
+		select {
+		case r.control <- failed:
+		case <-ic.Done():
+		}
+	})
+	r.wg.Add(2)
+	go r.runRGPRCP()
+	go r.runRRPP()
+	return r
+}
+
+// NodeID reports the RMC's fabric address.
+func (r *RMC) NodeID() core.NodeID { return r.id }
+
+// OnFailure registers the driver's failure-notification callback (§5.1).
+// It is invoked from the RMC pipeline goroutine; callbacks must not block.
+func (r *RMC) OnFailure(fn func(core.NodeID)) { r.onFailure = fn }
+
+// OpenContext registers a context segment of size bytes under ctx id,
+// creating the CT entry the RRPP consults for incoming requests.
+func (r *RMC) OpenContext(id core.CtxID, size int) (*ContextState, error) {
+	as, err := mmu.NewAddressSpace(mmu.ASID(id), size, r.cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	cs := &ContextState{ID: id, Seg: NewSegment(size), AS: as, node: r.id}
+	r.ctxMu.Lock()
+	defer r.ctxMu.Unlock()
+	if _, dup := r.contexts[id]; dup {
+		return nil, fmt.Errorf("emu: context %d already open on node %d", id, r.id)
+	}
+	r.contexts[id] = cs
+	return cs, nil
+}
+
+// Context returns the CT entry for id, or nil.
+func (r *RMC) Context(id core.CtxID) *ContextState {
+	r.ctxMu.RLock()
+	defer r.ctxMu.RUnlock()
+	return r.contexts[id]
+}
+
+// CreateQP registers a queue pair of the given depth on a context.
+func (r *RMC) CreateQP(cs *ContextState, depth int) (*QPState, error) {
+	if depth <= 0 {
+		depth = 128
+	}
+	qp := &QPState{
+		Ctx:        cs,
+		WQ:         qpring.NewWQ(depth),
+		CQ:         qpring.NewCQ(depth),
+		CQDoorbell: make(chan struct{}, 1),
+		rmc:        r,
+	}
+	for {
+		old := r.qps.Load()
+		next := make([]*QPState, len(*old)+1)
+		copy(next, *old)
+		next[len(*old)] = qp
+		if r.qps.CompareAndSwap(old, &next) {
+			break
+		}
+	}
+	r.Doorbell()
+	return qp, nil
+}
+
+// Doorbell wakes the RGP/RCP pipeline.
+func (r *RMC) Doorbell() {
+	select {
+	case r.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the pipelines. The interconnect must be closed first (or
+// concurrently); Close blocks until both pipeline goroutines exit.
+func (r *RMC) Close() {
+	select {
+	case <-r.stopped:
+	default:
+		close(r.stopped)
+	}
+	r.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// RGP + RCP pipeline (one goroutine, as in RMCemu)
+
+func (r *RMC) runRGPRCP() {
+	defer r.wg.Done()
+	replies := r.ic.Replies(r.id)
+	idle := 0
+	for {
+		worked := false
+		// RCP: drain all pending replies first; completions free WQ
+		// slots and ITT entries that the RGP needs.
+		for {
+			select {
+			case pkt := <-replies:
+				r.processReply(pkt)
+				worked = true
+				continue
+			default:
+			}
+			break
+		}
+		// Control: failed-node notifications flush matching ITT state.
+		select {
+		case failed := <-r.control:
+			r.flushFailed(failed)
+			worked = true
+		default:
+		}
+		// RGP: poll registered WQs round-robin.
+		if r.pollWQs(replies) {
+			worked = true
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < r.cfg.SpinCount {
+			continue
+		}
+		// Park until any work signal arrives.
+		select {
+		case pkt := <-replies:
+			r.processReply(pkt)
+		case failed := <-r.control:
+			r.flushFailed(failed)
+		case <-r.doorbell:
+		case <-r.stopped:
+			return
+		case <-r.ic.Done():
+			return
+		}
+		idle = 0
+	}
+}
+
+// pollWQs runs one RGP pass over all QPs; it reports whether any entry was
+// consumed.
+func (r *RMC) pollWQs(replies <-chan *proto.Packet) bool {
+	qps := *r.qps.Load()
+	consumed := false
+	for _, qp := range qps {
+		for n := 0; n < r.cfg.PollBudget; n++ {
+			if len(r.ittFree) == 0 {
+				return consumed // wait for completions to free ITT slots
+			}
+			e, idx, ok := qp.WQ.Poll()
+			if !ok {
+				break
+			}
+			consumed = true
+			r.Stats.WQConsumed.Add(1)
+			r.generate(qp, e, idx, replies)
+		}
+	}
+	return consumed
+}
+
+// generate implements the RGP for one WQ entry (Fig. 3b): validate, init the
+// ITT entry, unroll into line-sized request packets, and inject.
+func (r *RMC) generate(qp *QPState, e qpring.WQEntry, wqIdx uint32, replies <-chan *proto.Packet) {
+	length := e.Length
+	if e.Op.IsAtomic() {
+		length = 8
+	}
+	if length == 0 || length > core.MaxRequestLen {
+		r.complete(qp, wqIdx, core.StatusBoundsError)
+		return
+	}
+	var buf *Segment
+	switch e.Op {
+	case core.OpRead, core.OpWrite, core.OpWriteNotify:
+		buf = qp.Ctx.Buffer(e.Buf)
+		if buf == nil || e.BufOff+uint64(length) > uint64(buf.Size()) {
+			r.complete(qp, wqIdx, core.StatusBoundsError)
+			return
+		}
+	case core.OpFetchAdd, core.OpCompareSwap:
+		// Result is optionally delivered to a local buffer; Buf of
+		// ^uint32(0) means "discard result".
+		if e.Buf != ^uint32(0) {
+			buf = qp.Ctx.Buffer(e.Buf)
+			if buf == nil || e.BufOff+8 > uint64(buf.Size()) {
+				r.complete(qp, wqIdx, core.StatusBoundsError)
+				return
+			}
+		}
+		if e.Offset%8 != 0 || e.Offset%core.CacheLineSize > core.CacheLineSize-8 {
+			r.complete(qp, wqIdx, core.StatusBadAlign)
+			return
+		}
+	default:
+		r.complete(qp, wqIdx, core.StatusBoundsError)
+		return
+	}
+
+	// Allocate the ITT entry; tid packs index and generation so stale
+	// replies from a flushed transaction are discarded.
+	idx := r.ittFree[len(r.ittFree)-1]
+	r.ittFree = r.ittFree[:len(r.ittFree)-1]
+	ent := &r.itt[idx]
+	ent.gen++
+	nLines := uint32(core.Lines(int(length)))
+	*ent = ittEntry{
+		active: true, gen: ent.gen, qp: qp, wqIdx: wqIdx,
+		op: e.Op, node: e.Node, buf: buf, bufOff: e.BufOff,
+		remaining: nLines, status: core.StatusOK,
+	}
+	tid := core.Tid(uint16(idx) | ent.gen<<12)
+
+	// Unroll into line transactions (§4.2 RGP).
+	for i := uint32(0); i < nLines; i++ {
+		lineLen := uint32(core.CacheLineSize)
+		if rem := length - i*core.CacheLineSize; rem < lineLen {
+			lineLen = rem
+		}
+		pkt := &proto.Packet{
+			Kind: proto.KindRequest, Op: e.Op,
+			Dst: e.Node, Src: r.id, Ctx: qp.Ctx.ID, Tid: tid,
+			Offset:  e.Offset + uint64(i)*core.CacheLineSize,
+			LineIdx: i, Aux: lineLen,
+		}
+		if i == nLines-1 {
+			pkt.Flags |= proto.FlagLast
+		}
+		switch e.Op {
+		case core.OpWrite, core.OpWriteNotify:
+			payload := make([]byte, lineLen)
+			if err := buf.ReadAt(int(e.BufOff+uint64(i)*core.CacheLineSize), payload); err != nil {
+				r.failITT(idx, core.StatusBoundsError)
+				return
+			}
+			pkt.Payload = payload
+		case core.OpFetchAdd:
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, e.Arg0)
+			pkt.Payload = payload
+		case core.OpCompareSwap:
+			payload := make([]byte, 16)
+			binary.LittleEndian.PutUint64(payload, e.Arg0)
+			binary.LittleEndian.PutUint64(payload[8:], e.Arg1)
+			pkt.Payload = payload
+		}
+		if err := r.sendDraining(pkt, replies); err != nil {
+			// Destination unreachable: flush what remains. Replies
+			// already in flight are discarded by the generation
+			// check.
+			r.failITT(idx, core.StatusNodeFailure)
+			return
+		}
+		r.Stats.LinesSent.Add(1)
+	}
+}
+
+// sendDraining injects a request, continuing to drain the reply lane while
+// the destination lane is out of credits. Selecting on the lane send and
+// the reply lane together avoids both deadlock (request/reply cycles) and
+// lost wakeups (waiting for a reply that will never come because nothing of
+// ours is in flight).
+func (r *RMC) sendDraining(pkt *proto.Packet, replies <-chan *proto.Packet) error {
+	for {
+		lane, err := r.ic.LaneFor(pkt)
+		if err != nil {
+			return err
+		}
+		select {
+		case lane <- pkt:
+			r.ic.Account(pkt)
+			return nil
+		case rp := <-replies:
+			r.processReply(rp)
+		case <-r.stopped:
+			return fabric.ErrClosed
+		case <-r.ic.Done():
+			return fabric.ErrClosed
+		}
+	}
+}
+
+// failITT completes an in-flight ITT entry immediately with status and
+// deactivates it; late replies are dropped by the generation check.
+func (r *RMC) failITT(idx uint16, status core.Status) {
+	ent := &r.itt[idx]
+	if !ent.active {
+		return
+	}
+	qp, wqIdx := ent.qp, ent.wqIdx
+	ent.active = false
+	r.ittFree = append(r.ittFree, idx)
+	r.complete(qp, wqIdx, status)
+}
+
+// flushFailed completes every in-flight transaction addressed to a failed
+// node with StatusNodeFailure and notifies the driver.
+func (r *RMC) flushFailed(failed core.NodeID) {
+	for i := range r.itt {
+		if r.itt[i].active && r.itt[i].node == failed {
+			r.failITT(uint16(i), core.StatusNodeFailure)
+		}
+	}
+	if r.onFailure != nil {
+		r.onFailure(failed)
+	}
+}
+
+// processReply implements the RCP (Fig. 3b): locate the ITT entry by tid,
+// store read/atomic payloads into the local buffer, and on the final line
+// post the CQ completion.
+func (r *RMC) processReply(pkt *proto.Packet) {
+	r.Stats.RepliesRecv.Add(1)
+	idx := uint16(pkt.Tid) & 0xFFF
+	gen := uint16(pkt.Tid) >> 12
+	if int(idx) >= len(r.itt) {
+		return
+	}
+	ent := &r.itt[idx]
+	if !ent.active || ent.gen&0xF != gen {
+		return // stale reply from a flushed transaction
+	}
+	if pkt.Status != core.StatusOK {
+		if ent.status == core.StatusOK {
+			ent.status = pkt.Status
+		}
+	} else if (ent.op == core.OpRead || ent.op.IsAtomic()) && ent.buf != nil && len(pkt.Payload) > 0 {
+		off := int(ent.bufOff + uint64(pkt.LineIdx)*core.CacheLineSize)
+		if err := ent.buf.WriteAt(off, pkt.Payload); err != nil && ent.status == core.StatusOK {
+			ent.status = core.StatusBoundsError
+		}
+	}
+	ent.remaining--
+	if ent.remaining == 0 {
+		qp, wqIdx, status := ent.qp, ent.wqIdx, ent.status
+		ent.active = false
+		r.ittFree = append(r.ittFree, idx)
+		r.complete(qp, wqIdx, status)
+	}
+}
+
+// complete posts a CQ entry and rings the QP's completion doorbell.
+func (r *RMC) complete(qp *QPState, wqIdx uint32, status core.Status) {
+	r.Stats.Completions.Add(1)
+	if status != core.StatusOK {
+		r.Stats.Errors.Add(1)
+	}
+	if !qp.CQ.Post(qpring.CQEntry{WQIndex: wqIdx, Status: status}) {
+		// CQ is sized to the WQ, so this indicates a harness bug;
+		// surface it loudly rather than dropping a completion.
+		panic("emu: completion queue overflow")
+	}
+	select {
+	case qp.CQDoorbell <- struct{}{}:
+	default:
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RRPP pipeline
+
+func (r *RMC) runRRPP() {
+	defer r.wg.Done()
+	requests := r.ic.Requests(r.id)
+	for {
+		select {
+		case pkt := <-requests:
+			r.processRequest(pkt)
+		case <-r.stopped:
+			return
+		case <-r.ic.Done():
+			return
+		}
+	}
+}
+
+// processRequest implements the RRPP (Fig. 3b): stateless handling of one
+// line transaction using only the packet header and local CT state, always
+// answering with exactly one reply.
+func (r *RMC) processRequest(pkt *proto.Packet) {
+	r.Stats.RequestsRecv.Add(1)
+	reply := r.handle(pkt)
+	// Reply injection may block on credits; the reply lane always drains
+	// because RCPs consume unconditionally.
+	if err := r.ic.Send(reply); err != nil {
+		return // requester unreachable; its RMC flushes via ITT
+	}
+}
+
+func (r *RMC) handle(pkt *proto.Packet) *proto.Packet {
+	cs := r.Context(pkt.Ctx)
+	if cs == nil {
+		return pkt.Reply(core.StatusNoContext)
+	}
+	n := uint64(pkt.Aux)
+	if pkt.Op.IsWrite() {
+		n = uint64(len(pkt.Payload))
+	}
+	if pkt.Op.IsAtomic() {
+		n = 8
+	}
+	if n == 0 || n > core.CacheLineSize || !cs.AS.InBounds(pkt.Offset, n) {
+		return pkt.Reply(core.StatusBoundsError)
+	}
+	// Translate through the RMC TLB and the context's page table; with
+	// linear mappings this cannot fail in bounds, but the walk is the
+	// real control path (and the miss counter feeds the ablations).
+	if _, walks, ok := cs.AS.Translate(r.tlb, pkt.Offset); !ok {
+		return pkt.Reply(core.StatusBoundsError)
+	} else if walks > 0 {
+		r.Stats.TLBMisses.Add(1)
+	}
+
+	switch pkt.Op {
+	case core.OpRead:
+		payload := make([]byte, n)
+		if err := cs.Seg.ReadAt(int(pkt.Offset), payload); err != nil {
+			return pkt.Reply(core.StatusBoundsError)
+		}
+		rp := pkt.Reply(core.StatusOK)
+		rp.Payload = payload
+		return rp
+	case core.OpWrite, core.OpWriteNotify:
+		if err := cs.Seg.WriteAt(int(pkt.Offset), pkt.Payload); err != nil {
+			return pkt.Reply(core.StatusBoundsError)
+		}
+		// The remote-interrupt extension (§8): the final line of a
+		// write-with-notify raises the context's handler. Statelessly
+		// tied to FlagLast — the request needs no destination-side
+		// tracking.
+		if pkt.Op == core.OpWriteNotify && pkt.IsLast() {
+			if fn := cs.notify.Load(); fn != nil {
+				(*fn)(pkt.Src, pkt.Offset-uint64(pkt.LineIdx)*core.CacheLineSize, int(pkt.Aux)+int(pkt.LineIdx)*core.CacheLineSize)
+			}
+		}
+		return pkt.Reply(core.StatusOK)
+	case core.OpFetchAdd:
+		if len(pkt.Payload) < 8 {
+			return pkt.Reply(core.StatusBoundsError)
+		}
+		delta := binary.LittleEndian.Uint64(pkt.Payload)
+		old, err := cs.Seg.FetchAdd64(int(pkt.Offset), delta)
+		if err != nil {
+			return pkt.Reply(core.StatusBadAlign)
+		}
+		rp := pkt.Reply(core.StatusOK)
+		rp.Payload = make([]byte, 8)
+		binary.LittleEndian.PutUint64(rp.Payload, old)
+		return rp
+	case core.OpCompareSwap:
+		if len(pkt.Payload) < 16 {
+			return pkt.Reply(core.StatusBoundsError)
+		}
+		expected := binary.LittleEndian.Uint64(pkt.Payload)
+		newv := binary.LittleEndian.Uint64(pkt.Payload[8:])
+		old, err := cs.Seg.CompareSwap64(int(pkt.Offset), expected, newv)
+		if err != nil {
+			return pkt.Reply(core.StatusBadAlign)
+		}
+		rp := pkt.Reply(core.StatusOK)
+		rp.Payload = make([]byte, 8)
+		binary.LittleEndian.PutUint64(rp.Payload, old)
+		return rp
+	default:
+		return pkt.Reply(core.StatusBoundsError)
+	}
+}
+
+// TLBHitRate exposes the RRPP translation hit rate.
+func (r *RMC) TLBHitRate() float64 { return r.tlb.HitRate() }

@@ -1,0 +1,196 @@
+// Package emu implements the soNUMA development platform: a functional,
+// wall-clock-speed emulation of the RMC and its software stack, mirroring
+// the paper's Xen-based RMCemu (§7.1). Every node runs the RGP+RCP pipeline
+// pair and the RRPP pipeline as dedicated goroutines over the in-process
+// memory fabric, exposing the exact hardware/software interface of §4.1:
+// context segments, queue pairs, and registered local buffers.
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"sonuma/internal/core"
+)
+
+// Segment is a registered memory region accessible to the RMC: either a
+// node's context segment (the slice of the global address space it
+// contributes) or a local buffer used as the source/destination of remote
+// operations.
+//
+// soNUMA guarantees atomicity at cache-line granularity only (§4.1). The
+// emulator realizes that with a per-line sequence lock: writers take the
+// line's version odd for the duration of the write, and validated readers
+// retry until they observe a stable even version. This reproduces the
+// coherence-hierarchy behaviour the paper relies on for software polling on
+// local memory (messaging receive, §5.3) without any global locks.
+type Segment struct {
+	data []byte
+	ver  []atomic.Uint32 // per cache line; odd while a write is in flight
+}
+
+// NewSegment allocates a zeroed segment of size bytes (rounded up to a
+// whole number of cache lines).
+func NewSegment(size int) *Segment {
+	size = core.AlignUp(size)
+	return &Segment{
+		data: make([]byte, size),
+		ver:  make([]atomic.Uint32, size/core.CacheLineSize),
+	}
+}
+
+// Size reports the segment size in bytes.
+func (s *Segment) Size() int { return len(s.data) }
+
+// Lines reports the number of cache lines in the segment.
+func (s *Segment) Lines() int { return len(s.ver) }
+
+// Bytes exposes the raw backing store. Callers using it directly take on
+// the same obligations as with real shared memory: no concurrent remote
+// writes to the ranges they touch, or external synchronization. The access
+// library uses the validated accessors below instead.
+func (s *Segment) Bytes() []byte { return s.data }
+
+// lockLine spins until the line's seqlock is held (version made odd).
+func (s *Segment) lockLine(line int) uint32 {
+	v := &s.ver[line]
+	for spins := 0; ; spins++ {
+		cur := v.Load()
+		if cur&1 == 0 && v.CompareAndSwap(cur, cur+1) {
+			return cur + 1
+		}
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// unlockLine releases the seqlock, publishing the write.
+func (s *Segment) unlockLine(line int, held uint32) { s.ver[line].Store(held + 1) }
+
+// LineVersion returns the current version of a line. Pollers snapshot it,
+// wait for change, and then read; an odd value means a write is in flight.
+func (s *Segment) LineVersion(line int) uint32 { return s.ver[line].Load() }
+
+// WriteAt copies src into the segment at off, taking each touched line's
+// seqlock in turn. Multi-line writes are not atomic as a unit, matching the
+// architecture's line-granularity guarantee.
+func (s *Segment) WriteAt(off int, src []byte) error {
+	if off < 0 || off+len(src) > len(s.data) {
+		return fmt.Errorf("emu: write [%d,%d) out of segment bounds %d", off, off+len(src), len(s.data))
+	}
+	for len(src) > 0 {
+		line := off / core.CacheLineSize
+		lineOff := off % core.CacheLineSize
+		n := core.CacheLineSize - lineOff
+		if n > len(src) {
+			n = len(src)
+		}
+		held := s.lockLine(line)
+		copy(s.data[off:off+n], src[:n])
+		s.unlockLine(line, held)
+		off += n
+		src = src[n:]
+	}
+	return nil
+}
+
+// ReadAt copies segment bytes at off into dst with per-line seqlock
+// validation: each line's content is re-read until a stable version is
+// observed, so a line is never returned torn.
+func (s *Segment) ReadAt(off int, dst []byte) error {
+	if off < 0 || off+len(dst) > len(s.data) {
+		return fmt.Errorf("emu: read [%d,%d) out of segment bounds %d", off, off+len(dst), len(s.data))
+	}
+	for len(dst) > 0 {
+		line := off / core.CacheLineSize
+		lineOff := off % core.CacheLineSize
+		n := core.CacheLineSize - lineOff
+		if n > len(dst) {
+			n = len(dst)
+		}
+		v := &s.ver[line]
+		for spins := 0; ; spins++ {
+			v1 := v.Load()
+			if v1&1 == 0 {
+				copy(dst[:n], s.data[off:off+n])
+				if v.Load() == v1 {
+					break
+				}
+			}
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+		off += n
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// checkAtomic validates an 8-byte atomic target: aligned and within a line.
+func (s *Segment) checkAtomic(off int) error {
+	if off < 0 || off+8 > len(s.data) {
+		return fmt.Errorf("emu: atomic at %d out of segment bounds %d", off, len(s.data))
+	}
+	if off%8 != 0 {
+		return fmt.Errorf("emu: atomic at %d not 8-byte aligned", off)
+	}
+	return nil
+}
+
+// FetchAdd64 atomically adds delta to the little-endian 64-bit word at off
+// and returns the previous value. The line seqlock serializes it against
+// all other segment accesses at that line, providing the paper's global
+// atomicity within the destination node (§5.2, §7.4).
+func (s *Segment) FetchAdd64(off int, delta uint64) (uint64, error) {
+	if err := s.checkAtomic(off); err != nil {
+		return 0, err
+	}
+	line := off / core.CacheLineSize
+	held := s.lockLine(line)
+	old := binary.LittleEndian.Uint64(s.data[off:])
+	binary.LittleEndian.PutUint64(s.data[off:], old+delta)
+	s.unlockLine(line, held)
+	return old, nil
+}
+
+// CompareSwap64 atomically replaces the word at off with new if it equals
+// expected, returning the previous value.
+func (s *Segment) CompareSwap64(off int, expected, newv uint64) (uint64, error) {
+	if err := s.checkAtomic(off); err != nil {
+		return 0, err
+	}
+	line := off / core.CacheLineSize
+	held := s.lockLine(line)
+	old := binary.LittleEndian.Uint64(s.data[off:])
+	if old == expected {
+		binary.LittleEndian.PutUint64(s.data[off:], newv)
+	}
+	s.unlockLine(line, held)
+	return old, nil
+}
+
+// Load64 reads the 64-bit word at off under the line seqlock.
+func (s *Segment) Load64(off int) (uint64, error) {
+	if err := s.checkAtomic(off); err != nil {
+		return 0, err
+	}
+	var b [8]byte
+	if err := s.ReadAt(off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Store64 writes the 64-bit word at off under the line seqlock.
+func (s *Segment) Store64(off int, v uint64) error {
+	if err := s.checkAtomic(off); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.WriteAt(off, b[:])
+}

@@ -1,0 +1,266 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+func topologies() []Topology {
+	return []Topology{
+		NewCrossbar(16),
+		NewTorus2D(4, 4),
+		NewTorus2D(5, 3),
+		NewTorus3D(2, 3, 4),
+		NewTorus3D(4, 4, 4),
+	}
+}
+
+// TestRouteValidity checks, for every pair in every topology, that the
+// deterministic route is connected (consecutive links chain), starts at
+// src, ends at dst, and matches Hops.
+func TestRouteValidity(t *testing.T) {
+	for _, topo := range topologies() {
+		n := topo.Nodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				src, dst := core.NodeID(s), core.NodeID(d)
+				route := topo.Route(src, dst)
+				if s == d {
+					if len(route) != 0 {
+						t.Fatalf("%s: self route not empty", topo.Name())
+					}
+					continue
+				}
+				if len(route) == 0 {
+					t.Fatalf("%s: no route %d->%d", topo.Name(), s, d)
+				}
+				if route[0].From != src || route[len(route)-1].To != dst {
+					t.Fatalf("%s: route %d->%d endpoints wrong: %v", topo.Name(), s, d, route)
+				}
+				for i := 1; i < len(route); i++ {
+					if route[i].From != route[i-1].To {
+						t.Fatalf("%s: route %d->%d disconnected at %d", topo.Name(), s, d, i)
+					}
+				}
+				if topo.Hops(src, dst) != len(route) {
+					t.Fatalf("%s: Hops(%d,%d)=%d but route has %d links",
+						topo.Name(), s, d, topo.Hops(src, dst), len(route))
+				}
+				if len(route) > topo.Diameter() {
+					t.Fatalf("%s: route %d->%d length %d exceeds diameter %d",
+						topo.Name(), s, d, len(route), topo.Diameter())
+				}
+			}
+		}
+	}
+}
+
+func TestCrossbarSingleHop(t *testing.T) {
+	c := NewCrossbar(8)
+	if c.Hops(0, 7) != 1 || c.Diameter() != 1 {
+		t.Fatal("crossbar is not single-hop")
+	}
+}
+
+func TestTorusShortestDirection(t *testing.T) {
+	tor := NewTorus2D(8, 1)
+	// 0 -> 6 should wrap (2 hops), not walk forward (6 hops).
+	if h := tor.Hops(0, 6); h != 2 {
+		t.Fatalf("ring 0->6 hops = %d, want 2 (wrap)", h)
+	}
+}
+
+// Property: hop distance is symmetric and satisfies the triangle inequality
+// on tori (dimension-order routes realize ring distances).
+func TestPropertyTorusMetric(t *testing.T) {
+	tor := NewTorus3D(4, 3, 2)
+	n := tor.Nodes()
+	f := func(a, b, c uint8) bool {
+		x, y, z := core.NodeID(int(a)%n), core.NodeID(int(b)%n), core.NodeID(int(c)%n)
+		if tor.Hops(x, y) != tor.Hops(y, x) {
+			return false
+		}
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkPkt(src, dst int, kind proto.Kind) *proto.Packet {
+	return &proto.Packet{Kind: kind, Op: core.OpRead, Src: core.NodeID(src), Dst: core.NodeID(dst), Aux: 64}
+}
+
+func TestInterconnectDelivery(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(4), 8)
+	defer ic.Close()
+	if err := ic.Send(mkPkt(0, 2, proto.KindRequest)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Send(mkPkt(1, 2, proto.KindReply)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-ic.Requests(2):
+		if p.Src != 0 {
+			t.Fatalf("request from %d", p.Src)
+		}
+	default:
+		t.Fatal("request not delivered")
+	}
+	select {
+	case p := <-ic.Replies(2):
+		if p.Src != 1 {
+			t.Fatalf("reply from %d", p.Src)
+		}
+	default:
+		t.Fatal("reply not delivered")
+	}
+	if ic.ReqSent.Load() != 1 || ic.RplSent.Load() != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestVirtualLanesAreIndependent(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(2), 2)
+	defer ic.Close()
+	// Fill the request lane to node 1.
+	for i := 0; i < 2; i++ {
+		if err := ic.TrySend(mkPkt(0, 1, proto.KindRequest)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ic.TrySend(mkPkt(0, 1, proto.KindRequest)); err != ErrBackpressure {
+		t.Fatalf("request lane should be out of credits, got %v", err)
+	}
+	// The reply lane must still accept traffic (deadlock freedom, §6).
+	if err := ic.TrySend(mkPkt(0, 1, proto.KindReply)); err != nil {
+		t.Fatalf("reply lane blocked by request lane: %v", err)
+	}
+}
+
+func TestSendBlocksUntilCredit(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(2), 1)
+	defer ic.Close()
+	if err := ic.Send(mkPkt(0, 1, proto.KindRequest)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ic.Send(mkPkt(0, 1, proto.KindRequest)) }()
+	select {
+	case <-done:
+		t.Fatal("send completed without credit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	<-ic.Requests(1) // free a credit
+	if err := <-done; err != nil {
+		t.Fatalf("blocked send failed: %v", err)
+	}
+}
+
+func TestNodeFailure(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(4), 4)
+	defer ic.Close()
+	notified := make(chan core.NodeID, 1)
+	ic.Watch(func(id core.NodeID) { notified <- id })
+	ic.FailNode(2)
+	if err := ic.Send(mkPkt(0, 2, proto.KindRequest)); err != ErrDown {
+		t.Fatalf("send to failed node: %v", err)
+	}
+	if err := ic.Send(mkPkt(2, 0, proto.KindRequest)); err != ErrDown {
+		t.Fatalf("send from failed node: %v", err)
+	}
+	select {
+	case id := <-notified:
+		if id != 2 {
+			t.Fatalf("watcher notified of %d", id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watcher not notified")
+	}
+	if !ic.NodeDown(2) || ic.NodeDown(1) {
+		t.Fatal("NodeDown state wrong")
+	}
+	// Healthy pairs unaffected.
+	if err := ic.Send(mkPkt(0, 1, proto.KindRequest)); err != nil {
+		t.Fatalf("healthy pair affected: %v", err)
+	}
+}
+
+func TestLinkFailureAndRestore(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(4), 4)
+	defer ic.Close()
+	ic.FailLink(0, 3)
+	if err := ic.Send(mkPkt(0, 3, proto.KindRequest)); err != ErrDown {
+		t.Fatalf("send over failed link: %v", err)
+	}
+	if err := ic.Send(mkPkt(3, 0, proto.KindRequest)); err != ErrDown {
+		t.Fatalf("reverse direction should fail too: %v", err)
+	}
+	if err := ic.Send(mkPkt(0, 1, proto.KindRequest)); err != nil {
+		t.Fatalf("unrelated link affected: %v", err)
+	}
+	ic.RestoreLink(0, 3)
+	if err := ic.Send(mkPkt(0, 3, proto.KindRequest)); err != nil {
+		t.Fatalf("send after restore: %v", err)
+	}
+}
+
+func TestTorusLinkFailureBreaksRoutesThrough(t *testing.T) {
+	ic := NewInterconnect(NewTorus2D(4, 1), 4)
+	defer ic.Close()
+	// Ring 0-1-2-3; route 0->1 is direct, 1->2 direct. Breaking 1-2
+	// must break 0->2 (dimension-order route passes through).
+	ic.FailLink(1, 2)
+	if err := ic.Send(mkPkt(0, 2, proto.KindRequest)); err != ErrDown {
+		t.Fatalf("route through failed link: %v", err)
+	}
+	if err := ic.Send(mkPkt(0, 1, proto.KindRequest)); err != nil {
+		t.Fatalf("direct link affected: %v", err)
+	}
+}
+
+func TestCloseReleasesBlockedSenders(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(2), 1)
+	if err := ic.Send(mkPkt(0, 1, proto.KindRequest)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ic.Send(mkPkt(0, 1, proto.KindRequest)) }()
+	time.Sleep(10 * time.Millisecond)
+	ic.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("blocked sender got %v, want ErrClosed", err)
+	}
+	if err := ic.Send(mkPkt(0, 1, proto.KindRequest)); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestLaneForMatchesSend(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(2), 4)
+	defer ic.Close()
+	pkt := mkPkt(0, 1, proto.KindRequest)
+	lane, err := ic.LaneFor(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane <- pkt
+	ic.Account(pkt)
+	select {
+	case p := <-ic.Requests(1):
+		if p != pkt {
+			t.Fatal("wrong packet delivered")
+		}
+	default:
+		t.Fatal("LaneFor lane does not reach destination")
+	}
+	ic.FailNode(1)
+	if _, err := ic.LaneFor(pkt); err != ErrDown {
+		t.Fatalf("LaneFor to failed node: %v", err)
+	}
+}

@@ -1,0 +1,279 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+// ErrDown reports a send toward (or from) a failed node or over a failed
+// link. The RMC converts it into StatusNodeFailure completions and notifies
+// the driver (§5.1: "the RMC notifies the driver of failures within the
+// soNUMA fabric").
+var ErrDown = errors.New("fabric: node or link down")
+
+// ErrClosed reports use of an interconnect after Close.
+var ErrClosed = errors.New("fabric: interconnect closed")
+
+// ErrBackpressure reports that TrySend found the destination lane out of
+// credits; the caller should drain its own inbound lanes and retry, which is
+// how the RMC pipelines avoid request/reply deadlock.
+var ErrBackpressure = errors.New("fabric: lane out of credits")
+
+// DefaultCredits is the per-(destination, lane) buffering of the
+// development-platform interconnect; it models link-level credit-based flow
+// control (§6: "credit-based flow control"). A sender blocks when the
+// destination's lane buffer is out of credits.
+const DefaultCredits = 64
+
+// Interconnect is the development platform's fabric: an in-process crossbar
+// carrying proto.Packet values between emulated nodes over two virtual
+// lanes. Bounded channels provide the credit semantics; separate
+// request/reply lanes provide deadlock freedom, because reply traffic can
+// always drain regardless of request backpressure.
+type Interconnect struct {
+	n      int
+	topo   Topology
+	req    []chan *proto.Packet // per destination node
+	rpl    []chan *proto.Packet
+	down   []atomic.Bool
+	closed atomic.Bool
+	done   chan struct{}
+
+	mu       sync.Mutex
+	linkDown map[Link]bool
+	watchers []func(core.NodeID)
+
+	// Counters for fabric statistics.
+	ReqSent atomic.Uint64
+	RplSent atomic.Uint64
+	Bytes   atomic.Uint64
+}
+
+// NewInterconnect builds an interconnect for topo with the given per-lane
+// credits (0 selects DefaultCredits).
+func NewInterconnect(topo Topology, credits int) *Interconnect {
+	if credits <= 0 {
+		credits = DefaultCredits
+	}
+	n := topo.Nodes()
+	ic := &Interconnect{
+		n:        n,
+		topo:     topo,
+		req:      make([]chan *proto.Packet, n),
+		rpl:      make([]chan *proto.Packet, n),
+		down:     make([]atomic.Bool, n),
+		done:     make(chan struct{}),
+		linkDown: make(map[Link]bool),
+	}
+	for i := 0; i < n; i++ {
+		ic.req[i] = make(chan *proto.Packet, credits)
+		ic.rpl[i] = make(chan *proto.Packet, credits)
+	}
+	return ic
+}
+
+// Nodes reports the number of fabric endpoints.
+func (ic *Interconnect) Nodes() int { return ic.n }
+
+// Topology returns the fabric topology.
+func (ic *Interconnect) Topology() Topology { return ic.topo }
+
+// Done returns a channel closed when the interconnect shuts down; RMC
+// pipelines select on it to terminate cleanly.
+func (ic *Interconnect) Done() <-chan struct{} { return ic.done }
+
+// routeUp verifies every link of the deterministic route is healthy.
+func (ic *Interconnect) routeUp(src, dst core.NodeID) bool {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if len(ic.linkDown) == 0 {
+		return true
+	}
+	for _, l := range ic.topo.Route(src, dst) {
+		if ic.linkDown[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Send injects a packet toward pkt.Dst on the lane selected by pkt.Kind.
+// It blocks while the destination lane is out of credits and fails fast if
+// the destination (or any link on the route) is down or the fabric closed.
+func (ic *Interconnect) Send(pkt *proto.Packet) error {
+	if ic.closed.Load() {
+		return ErrClosed
+	}
+	dst := int(pkt.Dst)
+	if dst < 0 || dst >= ic.n {
+		return ErrDown
+	}
+	if ic.down[dst].Load() || ic.down[pkt.Src].Load() || !ic.routeUp(pkt.Src, pkt.Dst) {
+		return ErrDown
+	}
+	var lane chan *proto.Packet
+	if pkt.Kind == proto.KindReply {
+		lane = ic.rpl[dst]
+	} else {
+		lane = ic.req[dst]
+	}
+	select {
+	case lane <- pkt:
+		if pkt.Kind == proto.KindReply {
+			ic.RplSent.Add(1)
+		} else {
+			ic.ReqSent.Add(1)
+		}
+		ic.Bytes.Add(uint64(pkt.WireSize()))
+		return nil
+	case <-ic.done:
+		return ErrClosed
+	}
+}
+
+// LaneFor validates the route for pkt and returns the destination lane
+// channel without sending. Callers that must stay responsive while blocked
+// on credits (the RMC's request pipelines) select on the returned lane
+// together with their inbound work; they call Account after a successful
+// direct send so fabric counters stay correct.
+func (ic *Interconnect) LaneFor(pkt *proto.Packet) (chan<- *proto.Packet, error) {
+	if ic.closed.Load() {
+		return nil, ErrClosed
+	}
+	dst := int(pkt.Dst)
+	if dst < 0 || dst >= ic.n {
+		return nil, ErrDown
+	}
+	if ic.down[dst].Load() || ic.down[pkt.Src].Load() || !ic.routeUp(pkt.Src, pkt.Dst) {
+		return nil, ErrDown
+	}
+	if pkt.Kind == proto.KindReply {
+		return ic.rpl[dst], nil
+	}
+	return ic.req[dst], nil
+}
+
+// Account records a packet sent directly into a lane from LaneFor.
+func (ic *Interconnect) Account(pkt *proto.Packet) {
+	if pkt.Kind == proto.KindReply {
+		ic.RplSent.Add(1)
+	} else {
+		ic.ReqSent.Add(1)
+	}
+	ic.Bytes.Add(uint64(pkt.WireSize()))
+}
+
+// TrySend is Send without blocking: if the destination lane has no free
+// credit it returns ErrBackpressure immediately.
+func (ic *Interconnect) TrySend(pkt *proto.Packet) error {
+	if ic.closed.Load() {
+		return ErrClosed
+	}
+	dst := int(pkt.Dst)
+	if dst < 0 || dst >= ic.n {
+		return ErrDown
+	}
+	if ic.down[dst].Load() || ic.down[pkt.Src].Load() || !ic.routeUp(pkt.Src, pkt.Dst) {
+		return ErrDown
+	}
+	var lane chan *proto.Packet
+	if pkt.Kind == proto.KindReply {
+		lane = ic.rpl[dst]
+	} else {
+		lane = ic.req[dst]
+	}
+	select {
+	case lane <- pkt:
+		if pkt.Kind == proto.KindReply {
+			ic.RplSent.Add(1)
+		} else {
+			ic.ReqSent.Add(1)
+		}
+		ic.Bytes.Add(uint64(pkt.WireSize()))
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// Requests returns node's inbound request lane (consumed by its RRPP).
+func (ic *Interconnect) Requests(node core.NodeID) <-chan *proto.Packet {
+	return ic.req[node]
+}
+
+// Replies returns node's inbound reply lane (consumed by its RCP).
+func (ic *Interconnect) Replies(node core.NodeID) <-chan *proto.Packet {
+	return ic.rpl[node]
+}
+
+// Watch registers a callback invoked (asynchronously, once per failure) when
+// a node fails; the RMC uses it to flush in-flight transactions targeting
+// the failed node with StatusNodeFailure.
+func (ic *Interconnect) Watch(fn func(core.NodeID)) {
+	ic.mu.Lock()
+	ic.watchers = append(ic.watchers, fn)
+	ic.mu.Unlock()
+}
+
+// FailNode marks a node down. In-flight packets to it are dropped (the
+// channel is drained), and watchers are notified.
+func (ic *Interconnect) FailNode(id core.NodeID) {
+	if int(id) >= ic.n || ic.down[id].Swap(true) {
+		return
+	}
+	// Drain pending traffic so no reply is ever generated, matching a
+	// node that lost power: requests in its queues vanish.
+	ic.drain(ic.req[int(id)])
+	ic.drain(ic.rpl[int(id)])
+	ic.mu.Lock()
+	ws := append([]func(core.NodeID){}, ic.watchers...)
+	ic.mu.Unlock()
+	for _, w := range ws {
+		go w(id)
+	}
+}
+
+func (ic *Interconnect) drain(ch chan *proto.Packet) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// NodeDown reports whether id has been failed.
+func (ic *Interconnect) NodeDown(id core.NodeID) bool {
+	return int(id) < ic.n && ic.down[id].Load()
+}
+
+// FailLink marks the directed link a→b (and b→a) down. Routes crossing it
+// fail with ErrDown; with crossbar topology that isolates exactly the pair.
+func (ic *Interconnect) FailLink(a, b core.NodeID) {
+	ic.mu.Lock()
+	ic.linkDown[Link{From: a, To: b}] = true
+	ic.linkDown[Link{From: b, To: a}] = true
+	ic.mu.Unlock()
+}
+
+// RestoreLink brings a previously failed link back up.
+func (ic *Interconnect) RestoreLink(a, b core.NodeID) {
+	ic.mu.Lock()
+	delete(ic.linkDown, Link{From: a, To: b})
+	delete(ic.linkDown, Link{From: b, To: a})
+	ic.mu.Unlock()
+}
+
+// Close shuts the fabric down, releasing blocked senders and signalling
+// consumers through Done.
+func (ic *Interconnect) Close() {
+	if ic.closed.Swap(true) {
+		return
+	}
+	close(ic.done)
+}

@@ -1,0 +1,208 @@
+// Package fabric models the soNUMA memory fabric (§3, §6): reliable
+// point-to-point links with credit-based flow control, two virtual lanes for
+// deadlock-free request/reply traffic, and low-dimensional topologies routed
+// without CAM lookups (destination address maps directly to an output port).
+//
+// The package serves both platforms. The topology and routing logic here is
+// shared; the goroutine-based Interconnect (interconnect.go) carries real
+// packets for the development platform, while the cycle-level model uses
+// Topology route/delay computation with its own link-contention ports.
+package fabric
+
+import (
+	"fmt"
+
+	"sonuma/internal/core"
+)
+
+// Link identifies a directed physical link as (from, to) node pair.
+type Link struct {
+	From, To core.NodeID
+}
+
+// Topology describes the fabric graph and its routing function.
+type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
+	// Nodes reports the number of nodes.
+	Nodes() int
+	// Route returns the ordered directed links a packet traverses from
+	// src to dst using the topology's deterministic routing (dimension-
+	// order for tori). An empty route means src == dst (loopback).
+	Route(src, dst core.NodeID) []Link
+	// Hops reports len(Route(src,dst)) without allocating.
+	Hops(src, dst core.NodeID) int
+	// Diameter reports the maximum hop count over all pairs.
+	Diameter() int
+}
+
+// Crossbar is the paper's simulated configuration (§7.1): a full crossbar
+// with reliable links and a flat latency between any pair of nodes. Every
+// pair is one hop.
+type Crossbar struct {
+	N int
+}
+
+// NewCrossbar returns an n-node full crossbar.
+func NewCrossbar(n int) *Crossbar { return &Crossbar{N: n} }
+
+// Name implements Topology.
+func (c *Crossbar) Name() string { return fmt.Sprintf("crossbar(%d)", c.N) }
+
+// Nodes implements Topology.
+func (c *Crossbar) Nodes() int { return c.N }
+
+// Route implements Topology: a single direct link.
+func (c *Crossbar) Route(src, dst core.NodeID) []Link {
+	if src == dst {
+		return nil
+	}
+	return []Link{{From: src, To: dst}}
+}
+
+// Hops implements Topology.
+func (c *Crossbar) Hops(src, dst core.NodeID) int {
+	if src == dst {
+		return 0
+	}
+	return 1
+}
+
+// Diameter implements Topology.
+func (c *Crossbar) Diameter() int { return 1 }
+
+// Torus2D is a k-ary 2-cube with dimension-order (X then Y) routing and
+// shortest-direction traversal per ring, as in the rack-scale glueless
+// fabrics the paper cites (§2.1, §6).
+type Torus2D struct {
+	W, H int
+}
+
+// NewTorus2D returns a w×h 2D torus.
+func NewTorus2D(w, h int) *Torus2D { return &Torus2D{W: w, H: h} }
+
+// Name implements Topology.
+func (t *Torus2D) Name() string { return fmt.Sprintf("torus2d(%dx%d)", t.W, t.H) }
+
+// Nodes implements Topology.
+func (t *Torus2D) Nodes() int { return t.W * t.H }
+
+func (t *Torus2D) coords(n core.NodeID) (x, y int) { return int(n) % t.W, int(n) / t.W }
+
+func (t *Torus2D) id(x, y int) core.NodeID { return core.NodeID(y*t.W + x) }
+
+// ringStep returns the next coordinate and remaining distance moving from a
+// to b around a ring of size k in the shorter direction.
+func ringStep(a, b, k int) int {
+	if a == b {
+		return a
+	}
+	fwd := (b - a + k) % k
+	if fwd <= k-fwd {
+		return (a + 1) % k
+	}
+	return (a - 1 + k) % k
+}
+
+// Route implements Topology with X-then-Y dimension-order routing.
+func (t *Torus2D) Route(src, dst core.NodeID) []Link {
+	if src == dst {
+		return nil
+	}
+	var links []Link
+	x, y := t.coords(src)
+	dx, dy := t.coords(dst)
+	cur := src
+	for x != dx {
+		x = ringStep(x, dx, t.W)
+		next := t.id(x, y)
+		links = append(links, Link{From: cur, To: next})
+		cur = next
+	}
+	for y != dy {
+		y = ringStep(y, dy, t.H)
+		next := t.id(x, y)
+		links = append(links, Link{From: cur, To: next})
+		cur = next
+	}
+	return links
+}
+
+// Hops implements Topology.
+func (t *Torus2D) Hops(src, dst core.NodeID) int {
+	x, y := t.coords(src)
+	dx, dy := t.coords(dst)
+	return ringDist(x, dx, t.W) + ringDist(y, dy, t.H)
+}
+
+func ringDist(a, b, k int) int {
+	d := (b - a + k) % k
+	if d > k-d {
+		d = k - d
+	}
+	return d
+}
+
+// Diameter implements Topology.
+func (t *Torus2D) Diameter() int { return t.W/2 + t.H/2 }
+
+// Torus3D is a k-ary 3-cube with X-Y-Z dimension-order routing; the paper
+// points to 3D torii as well matched to rack-scale deployments (§6).
+type Torus3D struct {
+	X, Y, Z int
+}
+
+// NewTorus3D returns an x×y×z 3D torus.
+func NewTorus3D(x, y, z int) *Torus3D { return &Torus3D{X: x, Y: y, Z: z} }
+
+// Name implements Topology.
+func (t *Torus3D) Name() string { return fmt.Sprintf("torus3d(%dx%dx%d)", t.X, t.Y, t.Z) }
+
+// Nodes implements Topology.
+func (t *Torus3D) Nodes() int { return t.X * t.Y * t.Z }
+
+func (t *Torus3D) coords(n core.NodeID) (x, y, z int) {
+	return int(n) % t.X, (int(n) / t.X) % t.Y, int(n) / (t.X * t.Y)
+}
+
+func (t *Torus3D) id(x, y, z int) core.NodeID {
+	return core.NodeID(z*t.X*t.Y + y*t.X + x)
+}
+
+// Route implements Topology with X-Y-Z dimension-order routing.
+func (t *Torus3D) Route(src, dst core.NodeID) []Link {
+	if src == dst {
+		return nil
+	}
+	var links []Link
+	x, y, z := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	cur := src
+	step := func(next core.NodeID) {
+		links = append(links, Link{From: cur, To: next})
+		cur = next
+	}
+	for x != dx {
+		x = ringStep(x, dx, t.X)
+		step(t.id(x, y, z))
+	}
+	for y != dy {
+		y = ringStep(y, dy, t.Y)
+		step(t.id(x, y, z))
+	}
+	for z != dz {
+		z = ringStep(z, dz, t.Z)
+		step(t.id(x, y, z))
+	}
+	return links
+}
+
+// Hops implements Topology.
+func (t *Torus3D) Hops(src, dst core.NodeID) int {
+	x, y, z := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	return ringDist(x, dx, t.X) + ringDist(y, dy, t.Y) + ringDist(z, dz, t.Z)
+}
+
+// Diameter implements Topology.
+func (t *Torus3D) Diameter() int { return t.X/2 + t.Y/2 + t.Z/2 }

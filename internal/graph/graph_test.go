@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	a := GenPowerLaw(1000, 8, 1.8, 42)
+	b := GenPowerLaw(1000, 8, 1.8, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+	c := GenPowerLaw(1000, 8, 1.8, 43)
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenShape(t *testing.T) {
+	g := GenPowerLaw(5000, 10, 1.8, 7)
+	if g.N != 5000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	avg := float64(g.NumEdges()) / float64(g.N)
+	if avg < 5 || avg > 20 {
+		t.Fatalf("average degree %.1f far from requested 10", avg)
+	}
+	// CSR invariants.
+	if g.Offsets[0] != 0 || int(g.Offsets[g.N]) != g.NumEdges() {
+		t.Fatal("CSR offsets corrupt")
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			t.Fatal("offsets not monotone")
+		}
+		for _, nb := range g.Neighbors(v) {
+			if nb < 0 || int(nb) >= g.N {
+				t.Fatalf("edge target %d out of range", nb)
+			}
+			if int(nb) == v {
+				t.Fatal("self loop survived")
+			}
+		}
+	}
+	for _, d := range g.OutDeg {
+		if d < 1 {
+			t.Fatal("OutDeg < 1")
+		}
+	}
+}
+
+func TestSourceSkew(t *testing.T) {
+	g := GenPowerLaw(10000, 8, 1.8, 1)
+	counts := make([]int, g.N)
+	for _, src := range g.Edges {
+		counts[src]++
+	}
+	head := 0
+	for v := 0; v < g.N/100; v++ { // top 1% of vertex ids (Zipf head)
+		head += counts[v]
+	}
+	if frac := float64(head) / float64(g.NumEdges()); frac < 0.2 {
+		t.Fatalf("top-1%% of vertices source only %.2f of edges; want hub skew", frac)
+	}
+}
+
+func TestRandomPartition(t *testing.T) {
+	g := GenPowerLaw(1003, 6, 1.6, 5)
+	pt := RandomPartition(g, 4, 9)
+	seen := make([]bool, g.N)
+	for p, verts := range pt.Parts {
+		for li, v := range verts {
+			if seen[v] {
+				t.Fatalf("vertex %d in two parts", v)
+			}
+			seen[v] = true
+			if int(pt.Owner[v]) != p || int(pt.LocalIdx[v]) != li {
+				t.Fatalf("owner/localIdx inconsistent for %d", v)
+			}
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	// Equal cardinality within 1.
+	min, max := g.N, 0
+	for _, verts := range pt.Parts {
+		if len(verts) < min {
+			min = len(verts)
+		}
+		if len(verts) > max {
+			max = len(verts)
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("partition sizes differ by %d", max-min)
+	}
+}
+
+func TestPartitionStats(t *testing.T) {
+	g := GenPowerLaw(2000, 8, 1.8, 3)
+	pt := RandomPartition(g, 4, 11)
+	es := pt.Stats(g)
+	if es.Local+es.Remote != g.NumEdges() {
+		t.Fatal("local+remote != edges")
+	}
+	// Random partitioning: ≈ (p-1)/p of edges cross partitions.
+	frac := float64(es.Remote) / float64(g.NumEdges())
+	if frac < 0.65 || frac > 0.85 {
+		t.Fatalf("remote fraction %.2f, want ≈0.75", frac)
+	}
+	sum := 0
+	for _, e := range es.PerPart {
+		sum += e
+		if e > es.MaxPart {
+			t.Fatal("MaxPart wrong")
+		}
+	}
+	if sum != g.NumEdges() {
+		t.Fatal("per-part edges do not sum")
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := GenPowerLaw(500, 6, 1.6, 13)
+	ranks := PageRank(g, 10)
+	sum := 0.0
+	for _, r := range ranks {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		sum += r
+	}
+	// The naive kernel (like the paper's Fig. 4) does not redistribute
+	// dangling mass, so the total decays below 1 but must stay positive
+	// and bounded.
+	if sum <= 0.15 || sum > 1.0001 {
+		t.Fatalf("rank mass %f", sum)
+	}
+	// The vertex with the most in-edges outranks the median vertex.
+	hub, best := 0, 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > best {
+			best, hub = d, v
+		}
+	}
+	if ranks[hub] <= ranks[g.N/2] {
+		t.Fatalf("max-in-degree rank %g <= median %g", ranks[hub], ranks[g.N/2])
+	}
+}
+
+func TestPageRankConverges(t *testing.T) {
+	g := GenPowerLaw(300, 5, 1.6, 17)
+	a := PageRank(g, 30)
+	b := PageRank(g, 31)
+	var delta float64
+	for i := range a {
+		delta += math.Abs(a[i] - b[i])
+	}
+	if delta > 1e-3 {
+		t.Fatalf("L1 delta after 30 iterations: %g", delta)
+	}
+}
+
+// Property: partitions are exact covers for any part count.
+func TestPropertyPartitionCovers(t *testing.T) {
+	g := GenPowerLaw(700, 5, 1.5, 23)
+	f := func(p uint8, seed uint64) bool {
+		parts := int(p%16) + 1
+		pt := RandomPartition(g, parts, seed)
+		count := 0
+		for _, verts := range pt.Parts {
+			count += len(verts)
+		}
+		return count == g.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package kvs is a key-value store built on soNUMA one-sided operations —
+// the class of application the paper names as a killer app (§8: key-value
+// stores "can take advantage of one-sided read operations", citing Pilaf
+// [38]). The server publishes a hash table inside its context segment;
+// clients GET entirely with remote reads, never interrupting the server
+// core, and detect racing updates with a per-entry version + checksum
+// (Pilaf's self-verifying data structures).
+package kvs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"runtime"
+
+	"sonuma"
+)
+
+// Layout of the store inside the server's context segment:
+//
+//	header   (64 B):  magic, bucket count, slot size
+//	buckets  (bucketCount × slotSize):  open-addressed entries
+//
+// Entry layout (within its slot):
+//
+//	version  u64   odd while the server is writing (seqlock)
+//	keyLen   u32
+//	valLen   u32
+//	crc      u32   checksum over key||value
+//	_pad     u32
+//	key, value bytes
+const (
+	headerSize = 64
+	magic      = 0x534f4e4b // "SONK"
+	entryHdr   = 24
+	maxProbes  = 16
+)
+
+// Errors returned by the client.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("kvs: key not found")
+	// ErrTooLarge reports a key/value pair exceeding the slot size.
+	ErrTooLarge = errors.New("kvs: entry exceeds slot size")
+	// ErrRetryExhausted reports persistent version/checksum mismatches
+	// (the server kept writing the entry while we read it).
+	ErrRetryExhausted = errors.New("kvs: too many torn reads, giving up")
+	// ErrBadStore reports a segment that does not contain a store.
+	ErrBadStore = errors.New("kvs: segment does not hold a key-value store")
+)
+
+// Server owns the store and serves PUTs locally. GETs from remote clients
+// proceed without any server involvement.
+type Server struct {
+	ctx      *sonuma.Context
+	mem      *sonuma.Memory
+	buckets  int
+	slotSize int
+}
+
+// RegionSize reports the context-segment bytes a store with the given
+// geometry occupies.
+func RegionSize(buckets, slotSize int) int { return headerSize + buckets*slotSize }
+
+// NewServer initializes a store at the start of ctx's segment.
+func NewServer(ctx *sonuma.Context, buckets, slotSize int) (*Server, error) {
+	if buckets <= 0 || slotSize < entryHdr+8 {
+		return nil, fmt.Errorf("kvs: invalid geometry buckets=%d slotSize=%d", buckets, slotSize)
+	}
+	if ctx.SegmentSize() < RegionSize(buckets, slotSize) {
+		return nil, fmt.Errorf("kvs: segment %d bytes < %d required", ctx.SegmentSize(), RegionSize(buckets, slotSize))
+	}
+	s := &Server{ctx: ctx, mem: ctx.Memory(), buckets: buckets, slotSize: slotSize}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(buckets))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(slotSize))
+	if err := s.mem.WriteAt(0, hdr[:]); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func hashKey(key []byte) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Server) slotOff(bucket int) int { return headerSize + bucket*s.slotSize }
+
+// Put inserts or updates a key. Writes are seqlocked per entry: the version
+// goes odd, the entry is written, the version goes even+1 — so a concurrent
+// one-sided reader either sees a stable version+checksum or retries.
+func (s *Server) Put(key, value []byte) error {
+	if entryHdr+len(key)+len(value) > s.slotSize {
+		return ErrTooLarge
+	}
+	h := hashKey(key)
+	for probe := 0; probe < maxProbes; probe++ {
+		b := int((h + uint64(probe)) % uint64(s.buckets))
+		off := s.slotOff(b)
+		ver, err := s.mem.Load64(off)
+		if err != nil {
+			return err
+		}
+		occupied := ver != 0
+		if occupied {
+			cur, err := s.readKey(off)
+			if err != nil {
+				return err
+			}
+			if string(cur) != string(key) {
+				continue // probe next bucket
+			}
+		}
+		return s.writeEntry(off, ver, key, value)
+	}
+	return fmt.Errorf("kvs: bucket chain full for key %q", key)
+}
+
+func (s *Server) readKey(off int) ([]byte, error) {
+	var meta [entryHdr]byte
+	if err := s.mem.ReadAt(off, meta[:]); err != nil {
+		return nil, err
+	}
+	keyLen := int(binary.LittleEndian.Uint32(meta[8:]))
+	key := make([]byte, keyLen)
+	if err := s.mem.ReadAt(off+entryHdr, key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+func (s *Server) writeEntry(off int, oldVer uint64, key, value []byte) error {
+	// Version odd: readers back off.
+	if err := s.mem.Store64(off, oldVer|1); err != nil {
+		return err
+	}
+	buf := make([]byte, entryHdr+len(key)+len(value))
+	// version written separately; fill from keyLen on
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(value)))
+	crc := crc32.ChecksumIEEE(append(append([]byte{}, key...), value...))
+	binary.LittleEndian.PutUint32(buf[16:], crc)
+	copy(buf[entryHdr:], key)
+	copy(buf[entryHdr+len(key):], value)
+	if err := s.mem.WriteAt(off+8, buf[8:]); err != nil {
+		return err
+	}
+	// Version even and advanced: entry stable.
+	return s.mem.Store64(off, (oldVer|1)+1)
+}
+
+// Get serves a local lookup on the server (used by tests and the example's
+// warm path).
+func (s *Server) Get(key []byte) ([]byte, error) {
+	h := hashKey(key)
+	for probe := 0; probe < maxProbes; probe++ {
+		b := int((h + uint64(probe)) % uint64(s.buckets))
+		off := s.slotOff(b)
+		entry := make([]byte, s.slotSize)
+		if err := s.mem.ReadAt(off, entry); err != nil {
+			return nil, err
+		}
+		val, status := parseEntry(entry, key)
+		switch status {
+		case entryMatch:
+			return val, nil
+		case entryEmpty:
+			return nil, ErrNotFound
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Client performs one-sided GETs against a remote store.
+type Client struct {
+	qp       *sonuma.QP
+	buf      *sonuma.Buffer
+	server   int
+	buckets  int
+	slotSize int
+}
+
+// NewClient attaches to the store on server node `server`, learning the
+// geometry with a remote read of the header.
+func NewClient(ctx *sonuma.Context, qp *sonuma.QP, server int) (*Client, error) {
+	buf, err := ctx.AllocBuffer(64 << 10)
+	if err != nil {
+		return nil, err
+	}
+	if err := qp.Read(server, 0, buf, 0, headerSize); err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if err := buf.ReadAt(0, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, ErrBadStore
+	}
+	c := &Client{
+		qp: qp, buf: buf, server: server,
+		buckets:  int(binary.LittleEndian.Uint32(hdr[4:])),
+		slotSize: int(binary.LittleEndian.Uint32(hdr[8:])),
+	}
+	if c.buckets <= 0 || c.slotSize <= 0 || c.slotSize > buf.Size() {
+		return nil, ErrBadStore
+	}
+	return c, nil
+}
+
+type entryStatus int
+
+const (
+	entryMatch entryStatus = iota
+	entryEmpty
+	entryMismatch
+	entryTorn
+)
+
+// parseEntry validates a slot image against key.
+func parseEntry(entry, key []byte) ([]byte, entryStatus) {
+	ver := binary.LittleEndian.Uint64(entry)
+	if ver == 0 {
+		return nil, entryEmpty
+	}
+	if ver&1 == 1 {
+		return nil, entryTorn // write in progress
+	}
+	keyLen := int(binary.LittleEndian.Uint32(entry[8:]))
+	valLen := int(binary.LittleEndian.Uint32(entry[12:]))
+	crc := binary.LittleEndian.Uint32(entry[16:])
+	if keyLen <= 0 || valLen < 0 || entryHdr+keyLen+valLen > len(entry) {
+		return nil, entryTorn
+	}
+	k := entry[entryHdr : entryHdr+keyLen]
+	v := entry[entryHdr+keyLen : entryHdr+keyLen+valLen]
+	if crc32.ChecksumIEEE(entry[entryHdr:entryHdr+keyLen+valLen]) != crc {
+		return nil, entryTorn // torn across lines: retry
+	}
+	if string(k) != string(key) {
+		return nil, entryMismatch
+	}
+	out := make([]byte, valLen)
+	copy(out, v)
+	return out, entryMatch
+}
+
+// Get fetches a key with one-sided remote reads: one read per probe, with
+// checksum-validated retry on torn entries (the Pilaf approach — the server
+// core is never involved).
+func (c *Client) Get(key []byte) ([]byte, error) {
+	h := hashKey(key)
+	for probe := 0; probe < maxProbes; probe++ {
+		b := int((h + uint64(probe)) % uint64(c.buckets))
+		off := uint64(headerSize + b*c.slotSize)
+		const maxRetries = 1024
+		retries := 0
+	retry:
+		if err := c.qp.Read(c.server, off, c.buf, 0, c.slotSize); err != nil {
+			return nil, err
+		}
+		entry := make([]byte, c.slotSize)
+		if err := c.buf.ReadAt(0, entry); err != nil {
+			return nil, err
+		}
+		val, status := parseEntry(entry, key)
+		switch status {
+		case entryMatch:
+			return val, nil
+		case entryEmpty:
+			return nil, ErrNotFound
+		case entryTorn:
+			retries++
+			if retries > maxRetries {
+				return nil, ErrRetryExhausted
+			}
+			// Back off so a continuously writing server cannot
+			// starve the reader indefinitely (seqlocks favor the
+			// writer by design).
+			runtime.Gosched()
+			goto retry
+		}
+	}
+	return nil, ErrNotFound
+}

@@ -1,0 +1,297 @@
+// Package mmu provides the address-translation machinery the RMC depends on
+// (§4.3): per-context page tables walked by a hardware page walker, and a
+// TLB tagged with address-space identifiers. Unlike a traditional RDMA NIC,
+// the RMC shares the operating system's page tables through the coherence
+// hierarchy (§5.1), so both the functional emulation platform and the
+// cycle-level model use this same structure — the emulator for bounds and
+// permission checks, the timing model additionally for walk-latency
+// accounting.
+package mmu
+
+import "fmt"
+
+// DefaultPageSize matches Table 1 (8 KB pages).
+const DefaultPageSize = 8192
+
+// Levels in the radix page table. Three levels of 512-entry tables cover a
+// 39-bit region space with 8 KB pages, mirroring a conventional radix walk
+// (each level is one memory access for the hardware walker).
+const Levels = 3
+
+const fanout = 512
+
+// Frame is a translated physical frame number. In the emulation platform
+// frames index pages of a context segment; the value is opaque to callers.
+type Frame uint64
+
+// NoFrame is returned for unmapped pages.
+const NoFrame Frame = ^Frame(0)
+
+// PageTable is a radix page table for one context's address space.
+type PageTable struct {
+	pageSize uint64
+	root     *node
+	mapped   uint64 // number of mapped pages
+}
+
+type node struct {
+	children [fanout]*node // interior
+	frames   [fanout]Frame // leaf
+	leaf     bool
+}
+
+func newNode(leaf bool) *node {
+	n := &node{leaf: leaf}
+	if leaf {
+		for i := range n.frames {
+			n.frames[i] = NoFrame
+		}
+	}
+	return n
+}
+
+// NewPageTable creates a page table with the given page size (0 selects
+// DefaultPageSize). Page size must be a power of two of at least 512 bytes.
+func NewPageTable(pageSize int) (*PageTable, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 512 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("mmu: invalid page size %d", pageSize)
+	}
+	return &PageTable{pageSize: uint64(pageSize), root: newNode(false)}, nil
+}
+
+// PageSize reports the page size in bytes.
+func (pt *PageTable) PageSize() int { return int(pt.pageSize) }
+
+// Mapped reports the number of mapped pages.
+func (pt *PageTable) Mapped() int { return int(pt.mapped) }
+
+func (pt *PageTable) indexes(vpage uint64) (i0, i1, i2 uint64) {
+	return (vpage >> 18) % fanout, (vpage >> 9) % fanout, vpage % fanout
+}
+
+// Map establishes vpage → frame. Mapping an already-mapped page replaces
+// the translation (the driver uses this when re-pinning).
+func (pt *PageTable) Map(vpage uint64, frame Frame) {
+	i0, i1, i2 := pt.indexes(vpage)
+	l1 := pt.root.children[i0]
+	if l1 == nil {
+		l1 = newNode(false)
+		pt.root.children[i0] = l1
+	}
+	l2 := l1.children[i1]
+	if l2 == nil {
+		l2 = newNode(true)
+		l1.children[i1] = l2
+	}
+	if l2.frames[i2] == NoFrame {
+		pt.mapped++
+	}
+	l2.frames[i2] = frame
+}
+
+// Unmap removes the translation for vpage.
+func (pt *PageTable) Unmap(vpage uint64) {
+	i0, i1, i2 := pt.indexes(vpage)
+	l1 := pt.root.children[i0]
+	if l1 == nil {
+		return
+	}
+	l2 := l1.children[i1]
+	if l2 == nil {
+		return
+	}
+	if l2.frames[i2] != NoFrame {
+		pt.mapped--
+		l2.frames[i2] = NoFrame
+	}
+}
+
+// Walk resolves vpage, returning the frame, the number of page-table levels
+// touched (= memory accesses the hardware walker performs), and whether the
+// page is mapped.
+func (pt *PageTable) Walk(vpage uint64) (Frame, int, bool) {
+	i0, i1, i2 := pt.indexes(vpage)
+	l1 := pt.root.children[i0]
+	if l1 == nil {
+		return NoFrame, 1, false
+	}
+	l2 := l1.children[i1]
+	if l2 == nil {
+		return NoFrame, 2, false
+	}
+	f := l2.frames[i2]
+	if f == NoFrame {
+		return NoFrame, 3, false
+	}
+	return f, 3, true
+}
+
+// MapLinear maps pages [0, n) to identity frames, the common case for a
+// freshly registered context segment whose backing store is contiguous.
+func (pt *PageTable) MapLinear(n int) {
+	for i := 0; i < n; i++ {
+		pt.Map(uint64(i), Frame(i))
+	}
+}
+
+// ASID tags TLB entries with the owning context (§4.3: "TLB entries are
+// tagged with address space identifiers corresponding to the application
+// context").
+type ASID uint16
+
+// TLB is a set-associative translation lookaside buffer with LRU
+// replacement within each set.
+type TLB struct {
+	sets    int
+	ways    int
+	entries [][]tlbEntry
+	// Hits and Misses count lookups for the ablation studies.
+	Hits   uint64
+	Misses uint64
+	tick   uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	asid  ASID
+	vpage uint64
+	frame Frame
+	used  uint64
+}
+
+// NewTLB builds a TLB with the given total entries and associativity.
+// entries must be a multiple of ways.
+func NewTLB(entries, ways int) *TLB {
+	if ways <= 0 {
+		ways = entries
+	}
+	if entries%ways != 0 {
+		panic(fmt.Sprintf("mmu: TLB entries %d not a multiple of ways %d", entries, ways))
+	}
+	sets := entries / ways
+	t := &TLB{sets: sets, ways: ways, entries: make([][]tlbEntry, sets)}
+	for i := range t.entries {
+		t.entries[i] = make([]tlbEntry, ways)
+	}
+	return t
+}
+
+func (t *TLB) set(vpage uint64) int { return int(vpage) % t.sets }
+
+// Lookup returns the cached translation for (asid, vpage).
+func (t *TLB) Lookup(asid ASID, vpage uint64) (Frame, bool) {
+	t.tick++
+	set := t.entries[t.set(vpage)]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.asid == asid && e.vpage == vpage {
+			e.used = t.tick
+			t.Hits++
+			return e.frame, true
+		}
+	}
+	t.Misses++
+	return NoFrame, false
+}
+
+// Insert caches a translation, updating an existing entry for the same
+// (asid, vpage) or evicting the LRU way of the set.
+func (t *TLB) Insert(asid ASID, vpage uint64, frame Frame) {
+	t.tick++
+	set := t.entries[t.set(vpage)]
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.asid == asid && e.vpage == vpage {
+			victim = i
+			break
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !e.valid || e.used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{valid: true, asid: asid, vpage: vpage, frame: frame, used: t.tick}
+}
+
+// InvalidateASID drops all entries of one context (driver teardown path).
+func (t *TLB) InvalidateASID(asid ASID) {
+	for s := range t.entries {
+		for i := range t.entries[s] {
+			if t.entries[s][i].asid == asid {
+				t.entries[s][i].valid = false
+			}
+		}
+	}
+}
+
+// HitRate reports hits/(hits+misses), 0 when no lookups occurred.
+func (t *TLB) HitRate() float64 {
+	n := t.Hits + t.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(n)
+}
+
+// AddressSpace couples a page table with bounds information for one context
+// segment and provides the (ctx, offset) → frame translation the RRPP
+// performs (§4.2): compute the virtual address from the context segment
+// base plus offset, translate, and bounds-check against the registered
+// segment.
+type AddressSpace struct {
+	pt   *PageTable
+	size uint64 // registered segment size in bytes
+	asid ASID
+}
+
+// NewAddressSpace registers a segment of size bytes with the given page
+// size, maps it linearly, and returns the address space.
+func NewAddressSpace(asid ASID, size, pageSize int) (*AddressSpace, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mmu: invalid segment size %d", size)
+	}
+	pt, err := NewPageTable(pageSize)
+	if err != nil {
+		return nil, err
+	}
+	pages := (size + pt.PageSize() - 1) / pt.PageSize()
+	pt.MapLinear(pages)
+	return &AddressSpace{pt: pt, size: uint64(size), asid: asid}, nil
+}
+
+// ASID returns the address-space identifier.
+func (as *AddressSpace) ASID() ASID { return as.asid }
+
+// Size returns the registered segment size in bytes.
+func (as *AddressSpace) Size() uint64 { return as.size }
+
+// PageTable exposes the underlying table (the RMC walks it directly, §5.1).
+func (as *AddressSpace) PageTable() *PageTable { return as.pt }
+
+// InBounds reports whether [offset, offset+length) lies inside the segment.
+func (as *AddressSpace) InBounds(offset, length uint64) bool {
+	return offset < as.size && length <= as.size && offset+length <= as.size
+}
+
+// Translate resolves a segment offset through the TLB (if non-nil) and page
+// table. It returns the frame, the number of page-table accesses performed
+// (0 on a TLB hit), and whether the translation exists.
+func (as *AddressSpace) Translate(tlb *TLB, offset uint64) (Frame, int, bool) {
+	vpage := offset / uint64(as.pt.pageSize)
+	if tlb != nil {
+		if f, ok := tlb.Lookup(as.asid, vpage); ok {
+			return f, 0, true
+		}
+	}
+	f, walks, ok := as.pt.Walk(vpage)
+	if ok && tlb != nil {
+		tlb.Insert(as.asid, vpage, f)
+	}
+	return f, walks, ok
+}

@@ -1,0 +1,210 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableMapWalk(t *testing.T) {
+	pt, err := NewPageTable(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(0, 100)
+	pt.Map(511, 200)
+	pt.Map(512*512+3, 300) // crosses into a second L1 subtree
+	cases := []struct {
+		vpage uint64
+		frame Frame
+		ok    bool
+	}{
+		{0, 100, true},
+		{511, 200, true},
+		{512*512 + 3, 300, true},
+		{1, NoFrame, false},
+		{1 << 26, NoFrame, false},
+	}
+	for _, c := range cases {
+		f, walks, ok := pt.Walk(c.vpage)
+		if ok != c.ok || (ok && f != c.frame) {
+			t.Fatalf("Walk(%d) = %d,%v want %d,%v", c.vpage, f, ok, c.frame, c.ok)
+		}
+		if walks < 1 || walks > Levels {
+			t.Fatalf("Walk(%d) touched %d levels", c.vpage, walks)
+		}
+	}
+	if pt.Mapped() != 3 {
+		t.Fatalf("mapped = %d", pt.Mapped())
+	}
+}
+
+func TestPageTableUnmapAndRemap(t *testing.T) {
+	pt, _ := NewPageTable(0)
+	pt.Map(5, 50)
+	pt.Unmap(5)
+	if _, _, ok := pt.Walk(5); ok {
+		t.Fatal("walk after unmap succeeded")
+	}
+	pt.Map(5, 51) // remap replaces
+	pt.Map(5, 52)
+	f, _, ok := pt.Walk(5)
+	if !ok || f != 52 {
+		t.Fatalf("remap: %d %v", f, ok)
+	}
+	if pt.Mapped() != 1 {
+		t.Fatalf("mapped = %d after remap", pt.Mapped())
+	}
+}
+
+func TestPageSizeValidation(t *testing.T) {
+	for _, bad := range []int{-1, 100, 1000, 3 << 10} {
+		if _, err := NewPageTable(bad); err == nil {
+			t.Fatalf("page size %d accepted", bad)
+		}
+	}
+	pt, err := NewPageTable(0)
+	if err != nil || pt.PageSize() != DefaultPageSize {
+		t.Fatalf("default page size: %v %d", err, pt.PageSize())
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(32, 4)
+	if _, hit := tlb.Lookup(1, 7); hit {
+		t.Fatal("hit in empty TLB")
+	}
+	tlb.Insert(1, 7, 70)
+	if f, hit := tlb.Lookup(1, 7); !hit || f != 70 {
+		t.Fatalf("lookup after insert: %d %v", f, hit)
+	}
+	// Same vpage, different ASID must miss (§4.3: ASID-tagged entries).
+	if _, hit := tlb.Lookup(2, 7); hit {
+		t.Fatal("cross-ASID hit")
+	}
+	if tlb.Hits != 1 || tlb.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(4, 4) // one set
+	for i := uint64(0); i < 4; i++ {
+		tlb.Insert(0, i*4, Frame(i)) // same set (sets=1)
+	}
+	tlb.Lookup(0, 0) // touch vpage 0 so it is MRU
+	tlb.Insert(0, 100, 99)
+	if _, hit := tlb.Lookup(0, 0); !hit {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, hit := tlb.Lookup(0, 4); hit {
+		t.Fatal("LRU entry survived eviction")
+	}
+}
+
+func TestTLBInvalidateASID(t *testing.T) {
+	tlb := NewTLB(8, 2)
+	tlb.Insert(1, 1, 10)
+	tlb.Insert(2, 2, 20)
+	tlb.InvalidateASID(1)
+	if _, hit := tlb.Lookup(1, 1); hit {
+		t.Fatal("ASID 1 entry survived invalidation")
+	}
+	if _, hit := tlb.Lookup(2, 2); !hit {
+		t.Fatal("ASID 2 entry lost")
+	}
+}
+
+func TestAddressSpaceBounds(t *testing.T) {
+	as, err := NewAddressSpace(3, 100000, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		off, n uint64
+		ok     bool
+	}{
+		{0, 1, true},
+		{99999, 1, true},
+		{99999, 2, false},
+		{100000, 1, false},
+		{0, 100000, true},
+		{^uint64(0) - 10, 64, false}, // overflow attempt
+	}
+	for _, c := range cases {
+		if got := as.InBounds(c.off, c.n); got != c.ok {
+			t.Errorf("InBounds(%d,%d) = %v, want %v", c.off, c.n, got, c.ok)
+		}
+	}
+}
+
+func TestAddressSpaceTranslate(t *testing.T) {
+	as, _ := NewAddressSpace(1, 64*8192, 8192)
+	tlb := NewTLB(4, 2)
+	// First access walks; second hits.
+	_, walks, ok := as.Translate(tlb, 5*8192+17)
+	if !ok || walks == 0 {
+		t.Fatalf("first translate: walks=%d ok=%v", walks, ok)
+	}
+	_, walks, ok = as.Translate(tlb, 5*8192+4000)
+	if !ok || walks != 0 {
+		t.Fatalf("second translate should TLB-hit: walks=%d", walks)
+	}
+	// Translation works without a TLB too.
+	if _, _, ok := as.Translate(nil, 0); !ok {
+		t.Fatal("nil-TLB translate failed")
+	}
+}
+
+// Property: for any set of (vpage, frame) insertions, the page table
+// faithfully returns the most recent frame for mapped pages and misses on
+// unmapped ones.
+func TestPropertyPageTableFaithful(t *testing.T) {
+	f := func(pages []uint32) bool {
+		pt, _ := NewPageTable(8192)
+		shadow := map[uint64]Frame{}
+		for i, p := range pages {
+			vp := uint64(p % 100000)
+			fr := Frame(i)
+			pt.Map(vp, fr)
+			shadow[vp] = fr
+		}
+		for vp, want := range shadow {
+			got, _, ok := pt.Walk(vp)
+			if !ok || got != want {
+				return false
+			}
+		}
+		// A page outside the inserted set must miss.
+		if _, _, ok := pt.Walk(200001); ok {
+			return false
+		}
+		return pt.Mapped() == len(shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the TLB never returns a frame that was not inserted for exactly
+// that (asid, vpage).
+func TestPropertyTLBNoAliasing(t *testing.T) {
+	f := func(ins []uint16) bool {
+		tlb := NewTLB(16, 4)
+		shadow := map[[2]uint64]Frame{}
+		for i, x := range ins {
+			asid := ASID(x % 4)
+			vp := uint64(x % 64)
+			tlb.Insert(asid, vp, Frame(i))
+			shadow[[2]uint64{uint64(asid), vp}] = Frame(i)
+		}
+		for k, want := range shadow {
+			if f, hit := tlb.Lookup(ASID(k[0]), k[1]); hit && f != want {
+				return false // stale or aliased frame
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package netstack models the commodity networking baseline of the paper's
+// motivation (§2.1, Fig. 1): two directly connected Calxeda ECX-1000
+// microservers running netpipe over the kernel TCP/IP stack and integrated
+// 10 Gb/s NICs. The measured pathology — ~40 µs small-message latency and
+// under 2 Gb/s peak bandwidth despite a 10 Gb/s fabric — comes from
+// protocol processing on the slow ARM cores, not the wire; this model
+// reproduces it from per-message, per-packet and per-byte software costs.
+package netstack
+
+import "sonuma/internal/sim"
+
+// Params cost out the deep network stack.
+type Params struct {
+	// PerMessage is the fixed one-way software cost: syscall entry,
+	// socket locking, scheduling/wakeup of the receiver, interrupt
+	// processing. This dominates small-message latency.
+	PerMessage sim.Time
+	// PerPacket is the stack's cost per MTU-sized packet on each side
+	// (header processing, checksums, skb management).
+	PerPacket sim.Time
+	// PerByte is the copy cost per payload byte on each side (user-
+	// kernel copy plus checksum touch on a slow core).
+	PerByte sim.Time
+	// MTU is the wire MTU.
+	MTU int
+	// WireGbps is the physical link rate.
+	WireGbps float64
+	// WireLatency is propagation plus NIC/serialization base delay.
+	WireLatency sim.Time
+}
+
+// CalxedaTCP returns costs calibrated to Fig. 1: ≈40 µs one-way latency for
+// small messages and <2 Gb/s sustained bandwidth for large ones on ARM
+// Cortex-A9 cores.
+func CalxedaTCP() Params {
+	return Params{
+		PerMessage:  19 * sim.Microsecond,
+		PerPacket:   4 * sim.Microsecond,
+		PerByte:     3500 * sim.Picosecond, // ≈ 2.3 Gb/s copy ceiling
+		MTU:         1500,
+		WireGbps:    10,
+		WireLatency: 1 * sim.Microsecond,
+	}
+}
+
+// packets reports the MTU segments of an n-byte message.
+func (p Params) packets(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + p.MTU - 1) / p.MTU
+}
+
+// OneWayLatency reports the one-way latency of an n-byte message: sender
+// stack + wire + receiver stack. netpipe's reported latency is RTT/2, which
+// equals this for symmetric stacks.
+func (p Params) OneWayLatency(n int) sim.Time {
+	pkts := sim.Time(p.packets(n))
+	side := p.PerMessage + pkts*p.PerPacket + sim.Time(n)*p.PerByte
+	wireBits := float64((n + 42*p.packets(n)) * 8)
+	wire := p.WireLatency + sim.Time(wireBits/p.WireGbps)*sim.Nanosecond
+	return 2*side + wire
+}
+
+// Bandwidth reports sustained streaming throughput in Gb/s for n-byte
+// messages: the pipeline bottleneck of sender processing, wire, and
+// receiver processing.
+func (p Params) Bandwidth(n int) float64 {
+	pkts := sim.Time(p.packets(n))
+	// Per-message processing time on the bottleneck side; streaming
+	// pipelines across messages, so the fixed per-message cost is paid
+	// once per message but not serialized with the wire.
+	side := (p.PerMessage/4 + pkts*p.PerPacket + sim.Time(n)*p.PerByte).Seconds()
+	wire := float64(n+42*p.packets(n)) * 8 / (p.WireGbps * 1e9)
+	bottleneck := side
+	if wire > bottleneck {
+		bottleneck = wire
+	}
+	return float64(n) * 8 / bottleneck / 1e9
+}
+
+// Point is one netpipe sweep entry.
+type Point struct {
+	Size      int
+	LatencyUs float64
+	Gbps      float64
+}
+
+// Sweep runs the netpipe-style size sweep of Fig. 1.
+func Sweep(p Params, sizes []int) []Point {
+	out := make([]Point, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, Point{
+			Size:      s,
+			LatencyUs: p.OneWayLatency(s).Microseconds(),
+			Gbps:      p.Bandwidth(s),
+		})
+	}
+	return out
+}

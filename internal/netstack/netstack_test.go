@@ -1,0 +1,56 @@
+package netstack
+
+import "testing"
+
+func TestSmallMessageLatency(t *testing.T) {
+	p := CalxedaTCP()
+	lat := p.OneWayLatency(1).Microseconds()
+	// Fig. 1 / §2.2: "high latency (in excess of 40µs) for small packet
+	// sizes".
+	if lat < 40 || lat > 70 {
+		t.Fatalf("small-message latency %.1fµs, want 40–70µs", lat)
+	}
+}
+
+func TestPeakBandwidthUnder2Gbps(t *testing.T) {
+	p := CalxedaTCP()
+	peak := 0.0
+	for _, s := range []int{1024, 16384, 65536, 262144, 1048576} {
+		if bw := p.Bandwidth(s); bw > peak {
+			peak = bw
+		}
+	}
+	// Fig. 1: "poor bandwidth scalability (under 2 Gbps) with large
+	// packets" despite the 10Gbps fabric.
+	if peak >= 2.5 || peak < 1.0 {
+		t.Fatalf("peak bandwidth %.2f Gbps, want 1–2.5", peak)
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	p := CalxedaTCP()
+	prev := p.OneWayLatency(1)
+	for _, s := range []int{64, 1024, 65536, 1048576} {
+		cur := p.OneWayLatency(s)
+		if cur < prev {
+			t.Fatalf("latency decreased at %dB", s)
+		}
+		prev = cur
+	}
+}
+
+func TestBandwidthGrowsWithSize(t *testing.T) {
+	p := CalxedaTCP()
+	small := p.Bandwidth(64)
+	large := p.Bandwidth(1 << 20)
+	if large < 10*small {
+		t.Fatalf("bandwidth barely grows with size: %.3f vs %.3f", small, large)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	pts := Sweep(CalxedaTCP(), []int{1, 1024, 65536})
+	if len(pts) != 3 || pts[0].Size != 1 || pts[2].Gbps <= pts[0].Gbps {
+		t.Fatalf("sweep malformed: %+v", pts)
+	}
+}

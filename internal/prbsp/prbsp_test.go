@@ -1,0 +1,93 @@
+package prbsp
+
+import (
+	"math"
+	"testing"
+
+	"sonuma"
+	"sonuma/internal/graph"
+)
+
+// checkRanks asserts got matches the reference PageRank within tolerance.
+func checkRanks(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("rank vector length %d, want %d", len(got), len(want))
+	}
+	var sum float64
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, want %g", i, got[i], want[i])
+		}
+		sum += got[i]
+	}
+	if sum < 0.5 || sum > 1.5 {
+		t.Fatalf("rank mass %g implausible", sum)
+	}
+}
+
+func testGraph() *graph.Graph { return graph.GenPowerLaw(600, 6, 1.6, 11) }
+
+func TestSHMMatchesReference(t *testing.T) {
+	g := testGraph()
+	const steps = 4
+	want := graph.PageRank(g, steps)
+	pt := graph.RandomPartition(g, 4, 3)
+	got := RunSHM(g, pt, steps)
+	checkRanks(t, got.Ranks, want)
+}
+
+func TestBulkMatchesReference(t *testing.T) {
+	g := testGraph()
+	const steps = 3
+	want := graph.PageRank(g, steps)
+	pt := graph.RandomPartition(g, 4, 3)
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := Run(cl, g, pt, Bulk, steps, 5)
+	if err != nil {
+		t.Fatalf("bulk run: %v", err)
+	}
+	checkRanks(t, res.Ranks, want)
+}
+
+func TestFineGrainMatchesReference(t *testing.T) {
+	g := testGraph()
+	const steps = 3
+	want := graph.PageRank(g, steps)
+	pt := graph.RandomPartition(g, 4, 3)
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := Run(cl, g, pt, FineGrain, steps, 5)
+	if err != nil {
+		t.Fatalf("fine-grain run: %v", err)
+	}
+	checkRanks(t, res.Ranks, want)
+}
+
+func TestVariantsAgreeAcrossNodeCounts(t *testing.T) {
+	g := graph.GenPowerLaw(300, 5, 1.6, 99)
+	const steps = 2
+	want := graph.PageRank(g, steps)
+	for _, n := range []int{2, 3, 8} {
+		pt := graph.RandomPartition(g, n, 1)
+		cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi, v := range []Variant{Bulk, FineGrain} {
+			res, err := Run(cl, g, pt, v, steps, 10+vi)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, v, err)
+			}
+			checkRanks(t, res.Ranks, want)
+		}
+		cl.Close()
+	}
+}

@@ -1,0 +1,188 @@
+// Package proto defines the soNUMA wire protocol (§6): a stateless
+// request/reply protocol at cache-line granularity layered over a reliable
+// point-to-point memory fabric.
+//
+// Every packet carries a fixed-size header and an optional cache-line-sized
+// payload (the MTU of the memory fabric, §6 "Link layer"). A request packet
+// identifies the target memory by <ctx_id, offset>; the destination RMC
+// processes it using only the header plus local configuration state and
+// always answers with exactly one reply carrying the same opaque tid.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sonuma/internal/core"
+)
+
+// Kind distinguishes the two virtual-lane classes (§6: two virtual lanes for
+// deadlock-free request/reply).
+type Kind uint8
+
+const (
+	// KindRequest travels on the request virtual lane.
+	KindRequest Kind = iota + 1
+	// KindReply travels on the reply virtual lane.
+	KindReply
+)
+
+// HeaderSize is the encoded size of a packet header on the wire.
+//
+// Layout (little endian):
+//
+//	offset 0  : kind    (1)
+//	offset 1  : op      (1)
+//	offset 2  : status  (1)
+//	offset 3  : flags   (1)
+//	offset 4  : dst     (2)
+//	offset 6  : src     (2)
+//	offset 8  : ctx     (2)
+//	offset 10 : tid     (2)
+//	offset 12 : payload length (2)
+//	offset 14 : reserved (2)
+//	offset 16 : offset  (8)   remote offset of this line transaction
+//	offset 24 : aux     (8)   atomics operand / line index within request
+const HeaderSize = 32
+
+// MaxPacketSize is the MTU: header plus one cache line of payload.
+const MaxPacketSize = HeaderSize + core.CacheLineSize
+
+// Flags bits.
+const (
+	// FlagLast marks the final line transaction of an unrolled request.
+	// It is advisory (the ITT count is authoritative) but lets the
+	// destination and tracing tools delimit requests cheaply.
+	FlagLast uint8 = 1 << iota
+)
+
+// Packet is one fabric message. Request packets for writes and atomics carry
+// payload toward the destination; read requests carry none and their replies
+// carry the line read. Aux carries the atomic operand on requests
+// (FetchAdd delta, CompareSwap expected value via payload) and the line index
+// within the unrolled request on both directions, so the completion pipeline
+// can compute the target buffer address for out-of-order replies (§4.2 RCP).
+type Packet struct {
+	Kind    Kind
+	Op      core.Op
+	Status  core.Status
+	Flags   uint8
+	Dst     core.NodeID
+	Src     core.NodeID
+	Ctx     core.CtxID
+	Tid     core.Tid
+	Offset  uint64 // remote offset of this line transaction
+	LineIdx uint32 // index of this line within the WQ request
+	Aux     uint32 // atomics: low half of operand descriptor (see below)
+	Payload []byte // nil or up to one cache line
+}
+
+// Atomic operand convention: FetchAdd and CompareSwap requests carry their
+// 8-byte operands in Payload (FetchAdd: delta; CompareSwap: expected||new =
+// 16 bytes). Replies carry the 8-byte prior value in Payload.
+
+var (
+	// ErrShortPacket reports a truncated packet.
+	ErrShortPacket = errors.New("proto: short packet")
+	// ErrBadPayload reports a payload length exceeding one cache line.
+	ErrBadPayload = errors.New("proto: payload exceeds cache line")
+	// ErrBadKind reports an unknown packet kind.
+	ErrBadKind = errors.New("proto: unknown packet kind")
+)
+
+// IsLast reports whether this packet carries the FlagLast marker.
+func (p *Packet) IsLast() bool { return p.Flags&FlagLast != 0 }
+
+// String summarizes the packet for tracing.
+func (p *Packet) String() string {
+	kind := "REQ"
+	if p.Kind == KindReply {
+		kind = "RPL"
+	}
+	return fmt.Sprintf("%s %s n%d->n%d ctx=%d tid=%d off=%#x line=%d len=%d st=%s",
+		kind, p.Op, p.Src, p.Dst, p.Ctx, p.Tid, p.Offset, p.LineIdx, len(p.Payload), p.Status)
+}
+
+// WireSize reports the encoded size of the packet, used by the fabric to
+// model serialization delay.
+func (p *Packet) WireSize() int { return HeaderSize + len(p.Payload) }
+
+// Marshal encodes the packet into buf, which must have capacity for
+// WireSize() bytes; it returns the encoded slice. Marshal is used by the
+// wire-format tests and by transports that cross process boundaries; the
+// in-process fabric passes Packet values directly.
+func (p *Packet) Marshal(buf []byte) ([]byte, error) {
+	if len(p.Payload) > core.CacheLineSize {
+		return nil, ErrBadPayload
+	}
+	n := p.WireSize()
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0] = byte(p.Kind)
+	buf[1] = byte(p.Op)
+	buf[2] = byte(p.Status)
+	buf[3] = p.Flags
+	binary.LittleEndian.PutUint16(buf[4:], uint16(p.Dst))
+	binary.LittleEndian.PutUint16(buf[6:], uint16(p.Src))
+	binary.LittleEndian.PutUint16(buf[8:], uint16(p.Ctx))
+	binary.LittleEndian.PutUint16(buf[10:], uint16(p.Tid))
+	binary.LittleEndian.PutUint16(buf[12:], uint16(len(p.Payload)))
+	binary.LittleEndian.PutUint16(buf[14:], 0)
+	binary.LittleEndian.PutUint64(buf[16:], p.Offset)
+	binary.LittleEndian.PutUint32(buf[24:], p.LineIdx)
+	binary.LittleEndian.PutUint32(buf[28:], p.Aux)
+	copy(buf[HeaderSize:], p.Payload)
+	return buf, nil
+}
+
+// Unmarshal decodes a packet from buf. The payload aliases buf.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderSize {
+		return nil, ErrShortPacket
+	}
+	p := &Packet{
+		Kind:    Kind(buf[0]),
+		Op:      core.Op(buf[1]),
+		Status:  core.Status(buf[2]),
+		Flags:   buf[3],
+		Dst:     core.NodeID(binary.LittleEndian.Uint16(buf[4:])),
+		Src:     core.NodeID(binary.LittleEndian.Uint16(buf[6:])),
+		Ctx:     core.CtxID(binary.LittleEndian.Uint16(buf[8:])),
+		Tid:     core.Tid(binary.LittleEndian.Uint16(buf[10:])),
+		Offset:  binary.LittleEndian.Uint64(buf[16:]),
+		LineIdx: binary.LittleEndian.Uint32(buf[24:]),
+		Aux:     binary.LittleEndian.Uint32(buf[28:]),
+	}
+	if p.Kind != KindRequest && p.Kind != KindReply {
+		return nil, ErrBadKind
+	}
+	plen := int(binary.LittleEndian.Uint16(buf[12:]))
+	if plen > core.CacheLineSize || HeaderSize+plen > len(buf) {
+		return nil, ErrShortPacket
+	}
+	if plen > 0 {
+		p.Payload = buf[HeaderSize : HeaderSize+plen]
+	}
+	return p, nil
+}
+
+// Reply constructs the reply skeleton for a request: swapped route, same op,
+// ctx, tid, offset and line index (§6: "the tid ... is transferred from the
+// request to the associated reply packet").
+func (p *Packet) Reply(status core.Status) *Packet {
+	return &Packet{
+		Kind:    KindReply,
+		Op:      p.Op,
+		Status:  status,
+		Flags:   p.Flags,
+		Dst:     p.Src,
+		Src:     p.Dst,
+		Ctx:     p.Ctx,
+		Tid:     p.Tid,
+		Offset:  p.Offset,
+		LineIdx: p.LineIdx,
+	}
+}

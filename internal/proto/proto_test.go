@@ -1,0 +1,155 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sonuma/internal/core"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Kind: KindRequest, Op: core.OpWrite, Status: core.StatusOK,
+		Flags: FlagLast, Dst: 3, Src: 1, Ctx: 7, Tid: 42,
+		Offset: 0xdeadbeef00, LineIdx: 5, Aux: 64,
+		Payload: bytes.Repeat([]byte{0xAB}, 64),
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.WireSize() {
+		t.Fatalf("wire size %d, want %d", len(buf), p.WireSize())
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != p.Kind || q.Op != p.Op || q.Status != p.Status || q.Flags != p.Flags ||
+		q.Dst != p.Dst || q.Src != p.Src || q.Ctx != p.Ctx || q.Tid != p.Tid ||
+		q.Offset != p.Offset || q.LineIdx != p.LineIdx || q.Aux != p.Aux {
+		t.Fatalf("header mismatch:\n got %+v\nwant %+v", q, p)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestMarshalNoPayload(t *testing.T) {
+	p := &Packet{Kind: KindRequest, Op: core.OpRead, Dst: 1, Src: 0, Tid: 9, Aux: 64}
+	buf, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderSize {
+		t.Fatalf("read request wire size %d, want header only %d", len(buf), HeaderSize)
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Payload != nil {
+		t.Fatal("payload not nil")
+	}
+}
+
+func TestMarshalRejectsOversizedPayload(t *testing.T) {
+	p := samplePacket()
+	p.Payload = make([]byte, core.CacheLineSize+1)
+	if _, err := p.Marshal(nil); err != ErrBadPayload {
+		t.Fatalf("expected ErrBadPayload, got %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderSize-1)); err != ErrShortPacket {
+		t.Fatalf("short packet: %v", err)
+	}
+	buf, _ := samplePacket().Marshal(nil)
+	buf[0] = 99 // bad kind
+	if _, err := Unmarshal(buf); err != ErrBadKind {
+		t.Fatalf("bad kind: %v", err)
+	}
+	buf, _ = samplePacket().Marshal(nil)
+	buf[12] = 0xFF // payload length lies beyond buffer
+	buf[13] = 0x0F
+	if _, err := Unmarshal(buf[:HeaderSize]); err != ErrShortPacket {
+		t.Fatalf("lying payload length: %v", err)
+	}
+}
+
+func TestReplyConstruction(t *testing.T) {
+	p := samplePacket()
+	r := p.Reply(core.StatusBoundsError)
+	if r.Kind != KindReply {
+		t.Fatal("reply kind")
+	}
+	if r.Dst != p.Src || r.Src != p.Dst {
+		t.Fatal("reply route not swapped")
+	}
+	if r.Tid != p.Tid || r.Ctx != p.Ctx || r.Offset != p.Offset || r.LineIdx != p.LineIdx {
+		t.Fatal("reply must echo tid/ctx/offset/line")
+	}
+	if r.Status != core.StatusBoundsError {
+		t.Fatal("reply status")
+	}
+}
+
+func TestMarshalReusesBuffer(t *testing.T) {
+	p := samplePacket()
+	scratch := make([]byte, 0, MaxPacketSize)
+	buf, err := p.Marshal(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf[0] != &scratch[:1][0] {
+		t.Fatal("Marshal allocated despite sufficient capacity")
+	}
+}
+
+// Property: every syntactically valid packet survives a marshal/unmarshal
+// round trip bit-exactly.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(kindReq bool, op, status, flags uint8, dst, src, ctx, tid uint16, offset uint64, lineIdx, aux uint32, payloadLen uint8, fill byte) bool {
+		p := &Packet{
+			Kind: KindReply, Op: core.Op(op%4 + 1), Status: core.Status(status % 5),
+			Flags: flags, Dst: core.NodeID(dst), Src: core.NodeID(src),
+			Ctx: core.CtxID(ctx), Tid: core.Tid(tid), Offset: offset,
+			LineIdx: lineIdx, Aux: aux,
+		}
+		if kindReq {
+			p.Kind = KindRequest
+		}
+		if n := int(payloadLen) % (core.CacheLineSize + 1); n > 0 {
+			p.Payload = bytes.Repeat([]byte{fill}, n)
+		}
+		buf, err := p.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return q.Kind == p.Kind && q.Op == p.Op && q.Status == p.Status &&
+			q.Flags == p.Flags && q.Dst == p.Dst && q.Src == p.Src &&
+			q.Ctx == p.Ctx && q.Tid == p.Tid && q.Offset == p.Offset &&
+			q.LineIdx == p.LineIdx && q.Aux == p.Aux &&
+			bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := samplePacket().String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("String() = %q", s)
+	}
+}

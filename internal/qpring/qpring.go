@@ -1,0 +1,174 @@
+// Package qpring implements the queue-pair rings of the soNUMA
+// hardware/software interface (§4.1): the work queue (WQ), a bounded buffer
+// written exclusively by the application, and the completion queue (CQ), a
+// bounded buffer of the same size written exclusively by the RMC. A CQ entry
+// carries the index of the completed WQ request.
+//
+// In the paper both rings live in cacheable memory and are polled by the
+// other side through the coherence hierarchy. Here each ring is a
+// single-producer/single-consumer circular buffer whose head and tail are
+// published with acquire/release atomics, which is the software analogue of
+// a coherent cacheable queue: the producer's entry write happens-before the
+// consumer's observation of the advanced tail.
+package qpring
+
+import (
+	"sync/atomic"
+
+	"sonuma/internal/core"
+)
+
+// WQEntry is one work-queue request (§6: "The WQ entry specifies the
+// dst_nid, the command, the offset, the length and the local buffer
+// address."). Atomics carry their operands in Arg0/Arg1.
+type WQEntry struct {
+	Op     core.Op
+	Node   core.NodeID // destination node
+	Offset uint64      // offset within the destination's context segment
+	Length uint32      // bytes; rounded up to cache lines by the RMC
+	Buf    uint32      // registered local buffer id
+	BufOff uint64      // offset within the local buffer
+	Arg0   uint64      // FetchAdd delta / CompareSwap expected
+	Arg1   uint64      // CompareSwap new value
+}
+
+// CQEntry is one completion (§4.2 RCP: "the RMC signals the request's
+// completion by writing the index of the completed WQ entry into the
+// corresponding CQ").
+type CQEntry struct {
+	WQIndex uint32
+	Status  core.Status
+}
+
+// pad prevents head/tail false sharing between producer and consumer sides.
+type pad [56]byte
+
+// ring is the shared SPSC machinery: slots[0..mask] with monotonically
+// increasing head (consume cursor) and tail (produce cursor).
+type ring struct {
+	mask uint32
+	tail atomic.Uint32 // next slot to produce; owned by producer
+	_    pad
+	head atomic.Uint32 // next slot to consume; owned by consumer
+	_    pad
+}
+
+func (r *ring) init(depth int) int {
+	size := 1
+	for size < depth {
+		size <<= 1
+	}
+	r.mask = uint32(size - 1)
+	return size
+}
+
+// full reports whether the ring has no free slot (producer side).
+func (r *ring) full() bool { return r.tail.Load()-r.head.Load() > r.mask }
+
+// empty reports whether the ring has no pending entry (consumer side).
+func (r *ring) empty() bool { return r.head.Load() == r.tail.Load() }
+
+// len reports the number of occupied slots.
+func (r *ring) len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// WQ is the application→RMC work queue.
+type WQ struct {
+	ring
+	slots []WQEntry
+}
+
+// NewWQ creates a work queue with at least depth slots (rounded up to a
+// power of two).
+func NewWQ(depth int) *WQ {
+	wq := &WQ{}
+	n := wq.init(depth)
+	wq.slots = make([]WQEntry, n)
+	return wq
+}
+
+// Cap reports the ring capacity.
+func (wq *WQ) Cap() int { return len(wq.slots) }
+
+// Len reports the number of posted-but-unconsumed entries.
+func (wq *WQ) Len() int { return wq.len() }
+
+// Full reports whether the WQ head is occupied (the application must drain
+// CQ events until a slot frees, cf. rmc_wait_for_slot in Fig. 4).
+func (wq *WQ) Full() bool { return wq.full() }
+
+// NextSlot reports the WQ index the next Post will occupy. The access
+// library uses it to implement rmc_wait_for_slot (Fig. 4), which must hand
+// the application the slot number before the entry is scheduled.
+// Application (producer) side only.
+func (wq *WQ) NextSlot() uint32 { return wq.tail.Load() & wq.mask }
+
+// Post writes an entry at the tail. It returns the WQ index of the entry and
+// false if the ring is full. Application (producer) side only.
+func (wq *WQ) Post(e WQEntry) (uint32, bool) {
+	if wq.full() {
+		return 0, false
+	}
+	t := wq.tail.Load()
+	wq.slots[t&wq.mask] = e
+	wq.tail.Store(t + 1) // release: publishes the slot write
+	return t & wq.mask, true
+}
+
+// Poll consumes the oldest pending entry. It returns the entry, its WQ
+// index, and whether one was available. RMC (consumer) side only.
+func (wq *WQ) Poll() (WQEntry, uint32, bool) {
+	h := wq.head.Load()
+	if h == wq.tail.Load() { // acquire: pairs with Post's release
+		return WQEntry{}, 0, false
+	}
+	e := wq.slots[h&wq.mask]
+	wq.head.Store(h + 1)
+	return e, h & wq.mask, true
+}
+
+// CQ is the RMC→application completion queue.
+type CQ struct {
+	ring
+	slots []CQEntry
+}
+
+// NewCQ creates a completion queue with at least depth slots. The paper
+// sizes the CQ equal to the WQ so the RMC can never overflow it (each WQ
+// entry produces exactly one completion).
+func NewCQ(depth int) *CQ {
+	cq := &CQ{}
+	n := cq.init(depth)
+	cq.slots = make([]CQEntry, n)
+	return cq
+}
+
+// Cap reports the ring capacity.
+func (cq *CQ) Cap() int { return len(cq.slots) }
+
+// Len reports the number of pending completions.
+func (cq *CQ) Len() int { return cq.len() }
+
+// Post writes a completion. It returns false if the ring is full, which
+// indicates a sizing bug (CQ must be at least as deep as the WQ). RMC
+// (producer) side only.
+func (cq *CQ) Post(e CQEntry) bool {
+	if cq.full() {
+		return false
+	}
+	t := cq.tail.Load()
+	cq.slots[t&cq.mask] = e
+	cq.tail.Store(t + 1)
+	return true
+}
+
+// Poll consumes the oldest completion, reporting whether one was available.
+// Application (consumer) side only.
+func (cq *CQ) Poll() (CQEntry, bool) {
+	h := cq.head.Load()
+	if h == cq.tail.Load() {
+		return CQEntry{}, false
+	}
+	e := cq.slots[h&cq.mask]
+	cq.head.Store(h + 1)
+	return e, true
+}

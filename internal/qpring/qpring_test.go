@@ -1,0 +1,190 @@
+package qpring
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sonuma/internal/core"
+)
+
+func TestWQBasic(t *testing.T) {
+	wq := NewWQ(4)
+	if wq.Cap() != 4 {
+		t.Fatalf("cap = %d", wq.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		idx, ok := wq.Post(WQEntry{Offset: uint64(i)})
+		if !ok || idx != uint32(i) {
+			t.Fatalf("post %d: idx=%d ok=%v", i, idx, ok)
+		}
+	}
+	if _, ok := wq.Post(WQEntry{}); ok {
+		t.Fatal("post into full ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		e, idx, ok := wq.Poll()
+		if !ok || idx != uint32(i) || e.Offset != uint64(i) {
+			t.Fatalf("poll %d: %+v idx=%d ok=%v", i, e, idx, ok)
+		}
+	}
+	if _, _, ok := wq.Poll(); ok {
+		t.Fatal("poll of empty ring succeeded")
+	}
+}
+
+func TestWQDepthRounding(t *testing.T) {
+	if got := NewWQ(5).Cap(); got != 8 {
+		t.Fatalf("depth 5 rounded to %d, want 8", got)
+	}
+	if got := NewWQ(1).Cap(); got != 1 {
+		t.Fatalf("depth 1 rounded to %d, want 1", got)
+	}
+}
+
+func TestWQWrapAround(t *testing.T) {
+	wq := NewWQ(4)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if _, ok := wq.Post(WQEntry{Offset: uint64(round*3 + i)}); !ok {
+				t.Fatalf("round %d post %d failed", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			e, _, ok := wq.Poll()
+			if !ok || e.Offset != uint64(round*3+i) {
+				t.Fatalf("round %d poll %d: %+v", round, i, e)
+			}
+		}
+	}
+}
+
+func TestNextSlotTracksTail(t *testing.T) {
+	wq := NewWQ(4)
+	for i := 0; i < 9; i++ {
+		want := uint32(i % 4)
+		if got := wq.NextSlot(); got != want {
+			t.Fatalf("NextSlot before post %d = %d, want %d", i, got, want)
+		}
+		idx, _ := wq.Post(WQEntry{})
+		if idx != want {
+			t.Fatalf("post %d landed at %d, want %d", i, idx, want)
+		}
+		wq.Poll()
+	}
+}
+
+func TestCQBasic(t *testing.T) {
+	cq := NewCQ(4)
+	for i := 0; i < 4; i++ {
+		if !cq.Post(CQEntry{WQIndex: uint32(i)}) {
+			t.Fatalf("post %d failed", i)
+		}
+	}
+	if cq.Post(CQEntry{}) {
+		t.Fatal("post into full CQ succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		e, ok := cq.Poll()
+		if !ok || e.WQIndex != uint32(i) {
+			t.Fatalf("poll %d: %+v", i, e)
+		}
+	}
+}
+
+func TestCQCarriesStatus(t *testing.T) {
+	cq := NewCQ(2)
+	cq.Post(CQEntry{WQIndex: 1, Status: core.StatusBoundsError})
+	e, ok := cq.Poll()
+	if !ok || e.Status != core.StatusBoundsError || e.WQIndex != 1 {
+		t.Fatalf("entry %+v", e)
+	}
+}
+
+// TestSPSCConcurrent drives the ring from two goroutines, verifying every
+// entry arrives exactly once and in order — the coherent-queue contract the
+// WQ/CQ pair relies on (§4.1).
+func TestSPSCConcurrent(t *testing.T) {
+	wq := NewWQ(64)
+	const total = 100000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer (application)
+		defer wg.Done()
+		for i := 0; i < total; {
+			if _, ok := wq.Post(WQEntry{Offset: uint64(i)}); ok {
+				i++
+			}
+		}
+	}()
+	var bad int
+	go func() { // consumer (RMC)
+		defer wg.Done()
+		for i := 0; i < total; {
+			e, _, ok := wq.Poll()
+			if !ok {
+				continue
+			}
+			if e.Offset != uint64(i) {
+				bad++
+				return
+			}
+			i++
+		}
+	}()
+	wg.Wait()
+	if bad != 0 {
+		t.Fatal("SPSC ring delivered out-of-order or corrupt entries")
+	}
+}
+
+// Property: any interleaving of posts and polls preserves FIFO order and
+// never loses or duplicates entries.
+func TestPropertyFIFO(t *testing.T) {
+	f := func(ops []bool) bool {
+		wq := NewWQ(8)
+		nextPost, nextPoll := uint64(0), uint64(0)
+		for _, isPost := range ops {
+			if isPost {
+				if _, ok := wq.Post(WQEntry{Offset: nextPost}); ok {
+					nextPost++
+				}
+			} else {
+				if e, _, ok := wq.Poll(); ok {
+					if e.Offset != nextPoll {
+						return false
+					}
+					nextPoll++
+				}
+			}
+		}
+		return nextPoll <= nextPost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len never exceeds Cap and reflects posts minus polls.
+func TestPropertyOccupancy(t *testing.T) {
+	f := func(ops []bool) bool {
+		wq := NewWQ(4)
+		occupancy := 0
+		for _, isPost := range ops {
+			if isPost {
+				if _, ok := wq.Post(WQEntry{}); ok {
+					occupancy++
+				}
+			} else if _, _, ok := wq.Poll(); ok {
+				occupancy--
+			}
+			if wq.Len() != occupancy || occupancy > wq.Cap() || occupancy < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

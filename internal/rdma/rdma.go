@@ -1,0 +1,90 @@
+// Package rdma models the state-of-the-art RDMA baseline of Table 2: a
+// Mellanox ConnectX-3 host channel adapter on PCIe Gen3, two servers
+// back-to-back over 56 Gb/s InfiniBand [14]. The model decomposes the
+// paper's measured 1.19 µs remote read into the component overheads the
+// paper attributes (§2.2): PCIe round trips for doorbell and DMA, adapter
+// processing, and the wire — exposing exactly what the RMC's coherent
+// integration eliminates.
+package rdma
+
+import "sonuma/internal/sim"
+
+// Params are the component latencies and limits of the RDMA path.
+type Params struct {
+	// DoorbellWrite is the CPU's uncached MMIO write crossing PCIe to
+	// ring the adapter.
+	DoorbellWrite sim.Time
+	// DescriptorFetch is the adapter's DMA of the work queue element
+	// back across PCIe (§2.2: "400-500ns to communicate short bursts
+	// over the PCIe bus").
+	DescriptorFetch sim.Time
+	// HCAProcessing is adapter firmware/pipeline time per operation,
+	// paid on both the requesting and responding adapters.
+	HCAProcessing sim.Time
+	// Wire is the one-way InfiniBand propagation + serialization delay
+	// for small messages (back-to-back servers).
+	Wire sim.Time
+	// RemoteMemory is the responder-side DMA read from host DRAM across
+	// PCIe.
+	RemoteMemory sim.Time
+	// DeliveryDMA is the requester-side DMA of the payload + CQE into
+	// host memory, plus the CPU's poll observing it.
+	DeliveryDMA sim.Time
+	// PCIeGbps caps throughput (PCIe Gen3 x8 effective ≈ 50 Gb/s).
+	PCIeGbps float64
+	// LinkGbps is the InfiniBand signalling rate (56 Gb/s FDR).
+	LinkGbps float64
+	// IOPSPerQP is the per-queue-pair small-operation rate; the
+	// Mellanox figure of 35 M IOPS uses 4 QPs on 4 cores [14].
+	IOPSPerQP float64
+	// AtomicExtra is the additional adapter time for fetch-and-add
+	// (the HCA serializes atomics internally).
+	AtomicExtra sim.Time
+}
+
+// ConnectX3 returns the Table 2 baseline calibrated to the published
+// numbers: 1.19 µs read RTT, 1.15 µs fetch-and-add, 50 Gb/s, 35 M IOPS at
+// 4 QPs/4 cores.
+func ConnectX3() Params {
+	return Params{
+		DoorbellWrite:   150 * sim.Nanosecond,
+		DescriptorFetch: 250 * sim.Nanosecond,
+		HCAProcessing:   80 * sim.Nanosecond,
+		Wire:            130 * sim.Nanosecond,
+		RemoteMemory:    140 * sim.Nanosecond,
+		DeliveryDMA:     150 * sim.Nanosecond,
+		PCIeGbps:        50,
+		LinkGbps:        56,
+		IOPSPerQP:       8.75e6,
+		AtomicExtra:     30 * sim.Nanosecond,
+	}
+}
+
+// ReadRTT reports the end-to-end latency of a small one-sided read.
+func (p Params) ReadRTT(bytes int) sim.Time {
+	ser := sim.Time(float64(bytes)*8/p.LinkGbps) * sim.Nanosecond / 8
+	return p.DoorbellWrite + p.DescriptorFetch + p.HCAProcessing +
+		p.Wire + p.HCAProcessing + p.RemoteMemory +
+		p.Wire + ser + p.HCAProcessing + p.DeliveryDMA
+}
+
+// AtomicRTT reports fetch-and-add latency; the HCA resolves atomics at the
+// responder, so the path matches a read plus the atomic unit time. Unlike
+// soNUMA, the operation is atomic only with respect to other adapter
+// operations, not host CPU accesses (§7.4).
+func (p Params) AtomicRTT() sim.Time {
+	return p.ReadRTT(8) + p.AtomicExtra - p.RemoteMemory/2
+}
+
+// MaxBandwidthGbps reports large-transfer throughput: the wire rate clipped
+// by the PCIe bottleneck (§7.4: "the PCIe-Gen3 bus limits RDMA bandwidth to
+// 50 Gbps, even with 56 Gbps InfiniBand").
+func (p Params) MaxBandwidthGbps() float64 {
+	if p.PCIeGbps < p.LinkGbps {
+		return p.PCIeGbps
+	}
+	return p.LinkGbps
+}
+
+// IOPS reports small-operation throughput for the given queue-pair count.
+func (p Params) IOPS(qps int) float64 { return p.IOPSPerQP * float64(qps) }

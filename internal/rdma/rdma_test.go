@@ -1,0 +1,55 @@
+package rdma
+
+import "testing"
+
+func TestReadRTTMatchesPublished(t *testing.T) {
+	p := ConnectX3()
+	rtt := p.ReadRTT(64).Microseconds()
+	// Table 2 cites 1.19µs for the ConnectX-3 testbed [14].
+	if rtt < 1.0 || rtt > 1.4 {
+		t.Fatalf("read RTT %.2fµs, want ≈1.19µs", rtt)
+	}
+}
+
+func TestAtomicNearReadLatency(t *testing.T) {
+	p := ConnectX3()
+	read := p.ReadRTT(8)
+	atomic := p.AtomicRTT()
+	// §7.4: "the latency of fetch-and-add is approximately the same as
+	// that of the remote read operations".
+	ratio := float64(atomic) / float64(read)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("atomic/read ratio %.2f", ratio)
+	}
+}
+
+func TestPCIeCapsBandwidth(t *testing.T) {
+	p := ConnectX3()
+	// §7.4: PCIe Gen3 limits RDMA to 50 Gbps despite 56 Gbps InfiniBand.
+	if bw := p.MaxBandwidthGbps(); bw != 50 {
+		t.Fatalf("max bandwidth %.0f, want PCIe-limited 50", bw)
+	}
+	fat := p
+	fat.PCIeGbps = 100
+	if bw := fat.MaxBandwidthGbps(); bw != 56 {
+		t.Fatalf("with fat PCIe, link should cap at 56, got %.0f", bw)
+	}
+}
+
+func TestIOPSScalesWithQPs(t *testing.T) {
+	p := ConnectX3()
+	if p.IOPS(4) != 4*p.IOPS(1) {
+		t.Fatal("IOPS not linear in QPs")
+	}
+	// Table 2: 35M IOPS at 4 QPs / 4 cores.
+	if v := p.IOPS(4) / 1e6; v < 30 || v > 40 {
+		t.Fatalf("IOPS@4 = %.1fM, want ≈35M", v)
+	}
+}
+
+func TestRTTGrowsWithPayload(t *testing.T) {
+	p := ConnectX3()
+	if p.ReadRTT(4096) <= p.ReadRTT(64) {
+		t.Fatal("RTT does not grow with payload")
+	}
+}

@@ -1,0 +1,132 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying the cycle-level soNUMA hardware model (internal/simhw). It plays
+// the role Flexus plays in the paper's methodology (§7.1): components are
+// state machines that schedule future work on a shared virtual clock.
+//
+// Time is measured in integer picoseconds so that a 2 GHz core cycle (500 ps),
+// DRAM timing parameters, and link delays all compose without rounding. Events
+// scheduled for the same instant fire in scheduling order, which makes every
+// simulation bit-reproducible for a given seed and parameter set.
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports the time as a float64 number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports the time as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports the time as float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-instant events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Executed counts events dispatched since construction; useful for
+	// detecting livelock in tests.
+	Executed uint64
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) fires the event at the current time instead, preserving causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop halts Run before the next event dispatch.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events not yet dispatched.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run dispatches events in timestamp order until the queue drains or Stop is
+// called. It returns the final simulation time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline (or until Stop /
+// queue drain) and returns the final simulation time. Events beyond the
+// deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	if e.now < deadline && e.stopped {
+		return e.now
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,177 @@
+package sim
+
+// Port models a resource that serializes work items: at most one item
+// occupies it at a time, and each item holds it for a fixed or per-item
+// duration. It is the building block for pipeline stages, memory channels
+// and link serialization in the hardware model.
+type Port struct {
+	eng *Engine
+	// free is the earliest time the port can begin the next item.
+	free Time
+	// Busy accumulates total occupied time, for utilization reports.
+	Busy Time
+}
+
+// NewPort returns a port bound to the engine.
+func NewPort(eng *Engine) *Port { return &Port{eng: eng} }
+
+// Acquire reserves the port for dur starting no earlier than now, returning
+// the time at which the reservation begins. The caller typically schedules
+// its completion at start+dur.
+func (p *Port) Acquire(dur Time) (start Time) {
+	start = p.eng.Now()
+	if p.free > start {
+		start = p.free
+	}
+	p.free = start + dur
+	p.Busy += dur
+	return start
+}
+
+// AcquireAt reserves the port for dur starting no earlier than at.
+func (p *Port) AcquireAt(at, dur Time) (start Time) {
+	start = at
+	if now := p.eng.Now(); start < now {
+		start = now
+	}
+	if p.free > start {
+		start = p.free
+	}
+	p.free = start + dur
+	p.Busy += dur
+	return start
+}
+
+// FreeAt reports when the port next becomes free.
+func (p *Port) FreeAt() Time { return p.free }
+
+// Utilization reports Busy as a fraction of elapsed simulation time.
+func (p *Port) Utilization() float64 {
+	if p.eng.Now() == 0 {
+		return 0
+	}
+	return float64(p.Busy) / float64(p.eng.Now())
+}
+
+// TokenPool models a bounded set of identical resources (MSHRs, ITT entries,
+// link credits). Waiters are served FIFO when tokens return.
+type TokenPool struct {
+	eng     *Engine
+	tokens  int
+	waiters []func()
+	// PeakWaiters tracks the high-water mark of queued waiters.
+	PeakWaiters int
+}
+
+// NewTokenPool returns a pool holding n tokens.
+func NewTokenPool(eng *Engine, n int) *TokenPool {
+	return &TokenPool{eng: eng, tokens: n}
+}
+
+// TryAcquire takes a token immediately if one is available.
+func (tp *TokenPool) TryAcquire() bool {
+	if tp.tokens > 0 {
+		tp.tokens--
+		return true
+	}
+	return false
+}
+
+// Acquire takes a token, invoking fn immediately if one is free or queueing
+// fn until Release.
+func (tp *TokenPool) Acquire(fn func()) {
+	if tp.tokens > 0 {
+		tp.tokens--
+		fn()
+		return
+	}
+	tp.waiters = append(tp.waiters, fn)
+	if len(tp.waiters) > tp.PeakWaiters {
+		tp.PeakWaiters = len(tp.waiters)
+	}
+}
+
+// Release returns a token, handing it to the oldest waiter if any. The
+// waiter runs as a fresh event at the current time, not inline, so release
+// sites do not reenter arbitrary state machines.
+func (tp *TokenPool) Release() {
+	if len(tp.waiters) > 0 {
+		fn := tp.waiters[0]
+		copy(tp.waiters, tp.waiters[1:])
+		tp.waiters = tp.waiters[:len(tp.waiters)-1]
+		tp.eng.After(0, fn)
+		return
+	}
+	tp.tokens++
+}
+
+// Available reports the number of free tokens.
+func (tp *TokenPool) Available() int { return tp.tokens }
+
+// Queue is a bounded FIFO with event-driven handoff: producers append items,
+// and a single consumer drains them via a callback armed with SetConsumer.
+// It models NI queues and pipeline input latches.
+type Queue struct {
+	eng      *Engine
+	items    []interface{}
+	capacity int
+	consumer func()
+	armed    bool
+	// Peak tracks the occupancy high-water mark.
+	Peak int
+}
+
+// NewQueue returns a queue with the given capacity (<=0 means unbounded).
+func NewQueue(eng *Engine, capacity int) *Queue {
+	return &Queue{eng: eng, capacity: capacity}
+}
+
+// SetConsumer registers the drain callback. Whenever the queue transitions
+// from empty to non-empty, the callback is scheduled once; it should consume
+// with Pop until empty.
+func (q *Queue) SetConsumer(fn func()) { q.consumer = fn }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+
+// Len reports current occupancy.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push appends an item; it reports false if the queue is full.
+func (q *Queue) Push(v interface{}) bool {
+	if q.Full() {
+		return false
+	}
+	q.items = append(q.items, v)
+	if len(q.items) > q.Peak {
+		q.Peak = len(q.items)
+	}
+	if q.consumer != nil && !q.armed {
+		q.armed = true
+		q.eng.After(0, func() {
+			q.armed = false
+			q.consumer()
+		})
+	}
+	return true
+}
+
+// Pop removes and returns the oldest item, or nil if empty.
+func (q *Queue) Pop() interface{} {
+	if len(q.items) == 0 {
+		return nil
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return v
+}
+
+// Peek returns the oldest item without removing it, or nil if empty.
+func (q *Queue) Peek() interface{} {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}

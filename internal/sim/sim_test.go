@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	eng := New()
+	var order []int
+	eng.After(30*Nanosecond, func() { order = append(order, 3) })
+	eng.After(10*Nanosecond, func() { order = append(order, 1) })
+	eng.After(20*Nanosecond, func() { order = append(order, 2) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v", order)
+	}
+	if eng.Now() != 30*Nanosecond {
+		t.Fatalf("final time %v, want 30ns", eng.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	eng := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(5*Nanosecond, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	eng := New()
+	fired := Time(-1)
+	eng.After(10*Nanosecond, func() {
+		eng.At(0, func() { fired = eng.Now() }) // in the past
+	})
+	eng.Run()
+	if fired != 10*Nanosecond {
+		t.Fatalf("past event fired at %v, want clamped to 10ns", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	eng := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.At(Time(i)*Microsecond, func() { count++ })
+	}
+	eng.RunUntil(5 * Microsecond)
+	if count != 5 {
+		t.Fatalf("RunUntil executed %d events, want 5", count)
+	}
+	if eng.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", eng.Pending())
+	}
+	eng.Run()
+	if count != 10 {
+		t.Fatalf("drain executed %d total, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.At(Time(i), func() {
+			count++
+			if count == 3 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt dispatch: %d events ran", count)
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	eng := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			eng.After(Nanosecond, recurse)
+		}
+	}
+	eng.After(0, recurse)
+	eng.Run()
+	if depth != 100 {
+		t.Fatalf("cascade depth %d, want 100", depth)
+	}
+	if eng.Now() != 99*Nanosecond {
+		t.Fatalf("final time %v, want 99ns", eng.Now())
+	}
+}
+
+func TestPortSerializes(t *testing.T) {
+	eng := New()
+	p := NewPort(eng)
+	s1 := p.Acquire(10 * Nanosecond)
+	s2 := p.Acquire(10 * Nanosecond)
+	s3 := p.Acquire(5 * Nanosecond)
+	if s1 != 0 || s2 != 10*Nanosecond || s3 != 20*Nanosecond {
+		t.Fatalf("port starts %v %v %v", s1, s2, s3)
+	}
+	if p.Busy != 25*Nanosecond {
+		t.Fatalf("busy = %v, want 25ns", p.Busy)
+	}
+}
+
+func TestPortAcquireAt(t *testing.T) {
+	eng := New()
+	p := NewPort(eng)
+	if s := p.AcquireAt(100*Nanosecond, 10*Nanosecond); s != 100*Nanosecond {
+		t.Fatalf("first AcquireAt start %v", s)
+	}
+	// Earlier request serializes after the reservation.
+	if s := p.AcquireAt(50*Nanosecond, 10*Nanosecond); s != 110*Nanosecond {
+		t.Fatalf("second AcquireAt start %v, want 110ns", s)
+	}
+}
+
+func TestTokenPool(t *testing.T) {
+	eng := New()
+	tp := NewTokenPool(eng, 2)
+	got := []int{}
+	for i := 0; i < 4; i++ {
+		i := i
+		tp.Acquire(func() { got = append(got, i) })
+	}
+	if len(got) != 2 {
+		t.Fatalf("acquired %d immediately, want 2", len(got))
+	}
+	tp.Release()
+	tp.Release()
+	eng.Run() // waiters run as events
+	if len(got) != 4 {
+		t.Fatalf("after release, %d ran, want 4 (got %v)", len(got), got)
+	}
+	// FIFO order among waiters.
+	if got[2] != 2 || got[3] != 3 {
+		t.Fatalf("waiter order %v", got)
+	}
+}
+
+func TestQueueConsumerHandoff(t *testing.T) {
+	eng := New()
+	q := NewQueue(eng, 4)
+	var drained []int
+	q.SetConsumer(func() {
+		for q.Len() > 0 {
+			drained = append(drained, q.Pop().(int))
+		}
+	})
+	q.Push(1)
+	q.Push(2)
+	eng.Run()
+	if len(drained) != 2 {
+		t.Fatalf("drained %v", drained)
+	}
+	if !q.Push(3) {
+		t.Fatal("push after drain failed")
+	}
+	eng.Run()
+	if len(drained) != 3 || drained[2] != 3 {
+		t.Fatalf("drained %v", drained)
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	eng := New()
+	q := NewQueue(eng, 2)
+	if !q.Push(1) || !q.Push(2) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.Push(3) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	if !q.Full() {
+		t.Fatal("queue not full at capacity")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine executes all of them.
+func TestPropertyEventTimeMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		eng := New()
+		var times []Time
+		for _, d := range delays {
+			eng.After(Time(d)*Nanosecond, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a port never double-books — consecutive reservations are
+// disjoint and ordered.
+func TestPropertyPortNoOverlap(t *testing.T) {
+	f := func(durs []uint8) bool {
+		eng := New()
+		p := NewPort(eng)
+		var lastEnd Time
+		for _, d := range durs {
+			dur := Time(d%50+1) * Nanosecond
+			start := p.Acquire(dur)
+			if start < lastEnd {
+				return false
+			}
+			lastEnd = start + dur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (1500 * Picosecond).Nanoseconds() != 1.5 {
+		t.Fatal("ps→ns conversion")
+	}
+	if (2500 * Nanosecond).Microseconds() != 2.5 {
+		t.Fatal("ns→us conversion")
+	}
+	if (Second).Seconds() != 1.0 {
+		t.Fatal("s conversion")
+	}
+}

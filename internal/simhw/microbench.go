@@ -1,0 +1,310 @@
+package simhw
+
+import (
+	"sonuma/internal/core"
+	"sonuma/internal/fabric"
+	"sonuma/internal/sim"
+	"sonuma/internal/stats"
+)
+
+// This file drives the §7.2 microbenchmarks on the cycle model: sequences
+// of remote reads (and writes/atomics) of varying size between node pairs,
+// in synchronous (latency) and asynchronous windowed (bandwidth) modes,
+// single- and double-sided.
+
+// remote buffers: the target buffer "exceeds the LLC capacity in both
+// setups" (§7.2), so remote accesses stream from DRAM; the local buffer is
+// small and stays cache-resident.
+const (
+	remoteBufSize = 16 << 20
+	localBufSize  = 256 << 10
+)
+
+// syncDriver issues back-to-back synchronous operations from one core.
+type syncDriver struct {
+	sys        *System
+	n          *Node
+	dst        core.NodeID
+	op         core.Op
+	size       int
+	stride     int // remote-offset advance per op (defaults to size)
+	span       int // remote window the offset wraps in (defaults to remoteBufSize)
+	remoteBase uint64
+	localBase  uint64
+	offset     uint64
+	warmup     int
+	ops        int
+	issued     int
+	Lat        stats.Sample
+	onDone     func()
+}
+
+func (d *syncDriver) start() { d.next() }
+
+func (d *syncDriver) next() {
+	if d.issued >= d.warmup+d.ops {
+		if d.onDone != nil {
+			d.onDone()
+		}
+		return
+	}
+	d.issued++
+	measured := d.issued > d.warmup
+	p := &d.sys.P
+	t0 := d.n.Core(0).Acquire(p.IssueCost)
+	issueAt := t0 + p.IssueCost
+	addr := d.remoteBase + d.offset
+	lbuf := d.localBase + localOff(d.offset, d.size)
+	adv := d.stride
+	if adv <= 0 {
+		adv = core.AlignUp(d.size)
+	}
+	span := d.span
+	if span <= 0 {
+		span = remoteBufSize
+	}
+	d.offset = (d.offset + uint64(adv)) % uint64(span)
+	d.sys.Eng.At(issueAt, func() {
+		d.n.Post(WQEntry{
+			Op: d.op, Dst: d.dst, Addr: addr, Length: d.size, Buf: lbuf,
+			Done: func() {
+				if measured {
+					d.Lat.Add((d.sys.Eng.Now() - t0).Nanoseconds())
+				}
+				free := d.n.Core(0).Acquire(p.CompletionCost) + p.CompletionCost
+				d.sys.Eng.At(free, d.next)
+			},
+		})
+	})
+}
+
+func uint64min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// localOff cycles a request of size bytes through the local buffer.
+func localOff(offset uint64, size int) uint64 {
+	span := uint64(localBufSize) - uint64min(uint64(size), localBufSize)
+	if span == 0 {
+		return 0
+	}
+	return offset % span
+}
+
+// LatencyResult is one point of Fig. 7a/7c-style sweeps.
+type LatencyResult struct {
+	Size    int
+	MeanNs  float64
+	P99Ns   float64
+	Samples int
+	// TLBHitRate is the destination RMC's translation hit rate over the
+	// run (ablation studies).
+	TLBHitRate float64
+}
+
+// ReadLatency measures synchronous remote read latency for one request
+// size. With doubleSided set, both nodes read from each other concurrently
+// and the reported latency is node 0's (§7.2).
+func ReadLatency(p Params, size int, doubleSided bool, ops int) LatencyResult {
+	return opLatency(p, core.OpRead, size, doubleSided, ops)
+}
+
+// WriteLatency measures synchronous remote write latency.
+func WriteLatency(p Params, size int, doubleSided bool, ops int) LatencyResult {
+	return opLatency(p, core.OpWrite, size, doubleSided, ops)
+}
+
+// AtomicLatency measures synchronous remote fetch-and-add latency (§7.4).
+func AtomicLatency(p Params, ops int) LatencyResult {
+	return opLatency(p, core.OpFetchAdd, 8, false, ops)
+}
+
+func opLatency(p Params, op core.Op, size int, doubleSided bool, ops int) LatencyResult {
+	sys := NewSystem(p, 2, nil)
+	drivers := []*syncDriver{newSyncDriver(sys, 0, 1, op, size, ops)}
+	if doubleSided {
+		drivers = append(drivers, newSyncDriver(sys, 1, 0, op, size, ops))
+	}
+	for _, d := range drivers {
+		d.start()
+	}
+	sys.Eng.Run()
+	d := drivers[0]
+	return LatencyResult{Size: size, MeanNs: d.Lat.Mean(), P99Ns: d.Lat.Percentile(99), Samples: d.Lat.N()}
+}
+
+// LatencyOpts customize a latency run for the ablation studies.
+type LatencyOpts struct {
+	// Stride overrides the remote-offset advance per op (e.g. one page
+	// per op to defeat the RMC TLB). 0 keeps sequential accesses.
+	Stride int
+	// Span bounds the remote window the offset cycles through, setting
+	// the page working set (0 = the full remote buffer).
+	Span int
+	// Topo selects the fabric (nil = 2-node crossbar); Src/Dst choose
+	// the measured pair.
+	Topo     fabric.Topology
+	Src, Dst int
+	// Ops is the measured operation count (default 100).
+	Ops int
+}
+
+// ReadLatencyWith measures synchronous read latency under custom options.
+func ReadLatencyWith(p Params, size int, o LatencyOpts) LatencyResult {
+	nodes := 2
+	if o.Topo != nil {
+		nodes = o.Topo.Nodes()
+	}
+	if o.Ops <= 0 {
+		o.Ops = 100
+	}
+	if o.Dst == 0 && o.Src == 0 {
+		o.Dst = 1
+	}
+	sys := NewSystem(p, nodes, o.Topo)
+	d := newSyncDriver(sys, o.Src, o.Dst, core.OpRead, size, o.Ops)
+	d.stride = o.Stride
+	d.span = o.Span
+	d.start()
+	sys.Eng.Run()
+	return LatencyResult{
+		Size: size, MeanNs: d.Lat.Mean(), P99Ns: d.Lat.Percentile(99),
+		Samples: d.Lat.N(), TLBHitRate: sys.Nodes[o.Dst].TLB().HitRate(),
+	}
+}
+
+func newSyncDriver(sys *System, src, dst int, op core.Op, size, ops int) *syncDriver {
+	// Remote target range lives on the destination; the local buffer on
+	// the source. Allocation order is symmetric so addresses differ
+	// across nodes without aliasing within one node.
+	remote := sys.Nodes[dst].Alloc(remoteBufSize)
+	local := sys.Nodes[src].Alloc(localBufSize)
+	return &syncDriver{
+		sys: sys, n: sys.Nodes[src], dst: core.NodeID(dst), op: op,
+		size: size, remoteBase: remote, localBase: local,
+		warmup: 20, ops: ops,
+	}
+}
+
+// asyncDriver issues windowed asynchronous operations from one core,
+// modelling the Fig. 4 pipeline: per-operation issue cost, per-completion
+// processing cost, bounded by the WQ depth.
+type asyncDriver struct {
+	sys        *System
+	n          *Node
+	dst        core.NodeID
+	op         core.Op
+	size       int
+	window     int
+	total      int
+	remoteBase uint64
+	localBase  uint64
+	offset     uint64
+	issued     int
+	completed  int
+	inflight   int
+	started    bool
+	startAt    sim.Time
+	endAt      sim.Time
+	onDone     func()
+}
+
+func (d *asyncDriver) pump() {
+	p := &d.sys.P
+	for d.issued < d.total && d.inflight < d.window {
+		d.issued++
+		d.inflight++
+		t := d.n.Core(0).Acquire(p.AsyncIssueCost)
+		if !d.started {
+			d.started = true
+			d.startAt = t
+		}
+		addr := d.remoteBase + d.offset
+		lbuf := d.localBase + localOff(d.offset, d.size)
+		d.offset = (d.offset + uint64(core.AlignUp(d.size))) % remoteBufSize
+		issueAt := t + p.AsyncIssueCost
+		d.sys.Eng.At(issueAt, func() {
+			d.n.Post(WQEntry{
+				Op: d.op, Dst: d.dst, Addr: addr, Length: d.size, Buf: lbuf,
+				Done: func() {
+					free := d.n.Core(0).Acquire(p.AsyncCompletionCost) + p.AsyncCompletionCost
+					d.sys.Eng.At(free, func() {
+						d.inflight--
+						d.completed++
+						if d.completed == d.total {
+							d.endAt = d.sys.Eng.Now()
+							if d.onDone != nil {
+								d.onDone()
+							}
+							return
+						}
+						d.pump()
+					})
+				},
+			})
+		})
+	}
+}
+
+// BandwidthResult is one point of Fig. 7b-style sweeps.
+type BandwidthResult struct {
+	Size      int
+	GBps      float64
+	Gbps      float64
+	MopsPerS  float64
+	DurationS float64
+}
+
+// ReadBandwidth measures asynchronous remote read throughput for one
+// request size; with doubleSided the aggregate of both directions is
+// reported, as in Fig. 7b.
+func ReadBandwidth(p Params, size int, doubleSided bool, totalBytes int) BandwidthResult {
+	sys := NewSystem(p, 2, nil)
+	total := totalBytes / size
+	if total < 64 {
+		total = 64
+	}
+	mk := func(src, dst int) *asyncDriver {
+		remote := sys.Nodes[dst].Alloc(remoteBufSize)
+		local := sys.Nodes[src].Alloc(localBufSize)
+		return &asyncDriver{
+			sys: sys, n: sys.Nodes[src], dst: core.NodeID(dst), op: core.OpRead,
+			size: size, window: p.WQDepth, total: total,
+			remoteBase: remote, localBase: local,
+		}
+	}
+	drivers := []*asyncDriver{mk(0, 1)}
+	if doubleSided {
+		drivers = append(drivers, mk(1, 0))
+	}
+	for _, d := range drivers {
+		d.pump()
+	}
+	sys.Eng.Run()
+	var bytes int64
+	var maxDur sim.Time
+	for _, d := range drivers {
+		bytes += int64(d.total) * int64(d.size)
+		if dur := d.endAt - d.startAt; dur > maxDur {
+			maxDur = dur
+		}
+	}
+	secs := maxDur.Seconds()
+	return BandwidthResult{
+		Size:      size,
+		GBps:      stats.GBps(bytes, secs),
+		Gbps:      stats.Gbps(bytes, secs),
+		MopsPerS:  float64(total*len(drivers)) / secs / 1e6,
+		DurationS: secs,
+	}
+}
+
+// IOPS reports single-core remote-operation rate at 64-byte granularity
+// (Table 2's IOPS row).
+func IOPS(p Params, totalOps int) float64 {
+	r := ReadBandwidth(p, core.CacheLineSize, false, totalOps*core.CacheLineSize)
+	return r.MopsPerS * 1e6
+}

@@ -1,0 +1,422 @@
+package simhw
+
+import (
+	"sonuma/internal/core"
+	"sonuma/internal/graph"
+	"sonuma/internal/sim"
+)
+
+// This file models the §7.5 application study on the cycle model: one
+// PageRank superstep under the three implementations of the paper —
+// SHM(pthreads) on a cache-coherent multiprocessor, soNUMA(bulk) with
+// superstep-end shuffles, and soNUMA(fine-grain) with one remote read per
+// cross-partition edge. The paper likewise simulates a single superstep
+// (§7.5: "On the simulator, we run a single superstep ... because of the
+// high execution time of the cycle-accurate model").
+//
+// Scale note: the paper's Twitter subset is far larger than the machines'
+// aggregate LLC, so vertex lookups are memory-bound in every variant. To
+// keep the discrete-event simulation tractable we shrink the graph AND the
+// caches together (PRConfig.ScaleDown divides the cache sizes), preserving
+// the cache-starved regime — and therefore the speedup shapes — at
+// thousands of times fewer events. EXPERIMENTS.md records this
+// substitution.
+
+// PRConfig configures the PageRank model.
+type PRConfig struct {
+	// VertexBytes is the in-memory footprint of one vertex record
+	// (rank[2] + out_degree, as in Fig. 4).
+	VertexBytes int
+	// VertexCost is core work per vertex (loop bookkeeping + rank init).
+	VertexCost sim.Time
+	// EdgeCost is core work per edge (the rank accumulation itself).
+	EdgeCost sim.Time
+	// Window bounds outstanding async reads (fine-grain and shuffle).
+	Window int
+	// ChunkBytes is the bulk-shuffle transfer granularity (multi-line
+	// requests exploiting spatial locality, §7.5).
+	ChunkBytes int
+	// ScaleDown divides the cache sizes, matching the scaled-down graph.
+	ScaleDown int
+}
+
+// DefaultPRConfig returns the model's standard configuration.
+func DefaultPRConfig() PRConfig {
+	return PRConfig{
+		VertexBytes: 16,
+		VertexCost:  4 * sim.Nanosecond,
+		EdgeCost:    2 * sim.Nanosecond,
+		Window:      128,
+		ChunkBytes:  8192,
+		ScaleDown:   64,
+	}
+}
+
+func (c PRConfig) scaled(p Params, cores int) Params {
+	p.L1.Size = maxIntPR(p.L1.Size/c.ScaleDown, 1024)
+	// The SHM baseline provisions the LLC at one soNUMA node's worth per
+	// core so no benefit comes from extra cache capacity (§7.5).
+	p.L2.Size = maxIntPR(p.L2.Size/c.ScaleDown, 8192) * cores
+	return p
+}
+
+func maxIntPR(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rendezvous synchronizes the BSP phases: the n-th arrival releases every
+// waiter after the barrier latency (announce write + remote poll).
+type rendezvous struct {
+	sys     *System
+	n       int
+	lat     sim.Time
+	arrived int
+	waiters []func()
+	latest  sim.Time
+}
+
+func newRendezvous(sys *System, n int) *rendezvous {
+	return &rendezvous{sys: sys, n: n, lat: 2*sys.P.LinkDelay + 300*sim.Nanosecond}
+}
+
+// arrive registers a participant's arrival; cont runs once all have arrived.
+func (r *rendezvous) arrive(cont func()) {
+	r.arrived++
+	if now := r.sys.Eng.Now(); now > r.latest {
+		r.latest = now
+	}
+	r.waiters = append(r.waiters, cont)
+	if r.arrived == r.n {
+		release := r.latest + r.lat
+		for _, w := range r.waiters {
+			r.sys.Eng.At(release, w)
+		}
+		r.waiters = nil
+	}
+}
+
+// prCore walks one partition's vertices and edges sequentially on one core,
+// dispatching each edge through accessEdge (local cache access or async
+// remote read).
+type prCore struct {
+	sys     *System
+	node    *Node
+	coreIdx int
+	cfg     *PRConfig
+	g       *graph.Graph
+	verts   []int32
+	vi      int
+	ei      int
+
+	accessEdge func(c *prCore, nb int32, cont func())
+	onDone     func()
+	loopDone   bool
+	doneFired  bool
+
+	// fine-grain remote-read state
+	remoteTarget func(nb int32) (core.NodeID, uint64)
+	lbuf         uint64
+	lbufCursor   uint64
+	inflight     int
+	window       int
+	waiting      bool
+	pendingNb    int32
+	pendingCont  func()
+}
+
+func (c *prCore) charge(d sim.Time, fn func()) {
+	at := c.node.Core(c.coreIdx).Acquire(d) + d
+	c.sys.Eng.At(at, fn)
+}
+
+func (c *prCore) step() {
+	if c.vi >= len(c.verts) {
+		c.loopDone = true
+		c.maybeFinish()
+		return
+	}
+	v := int(c.verts[c.vi])
+	nbs := c.g.Neighbors(v)
+	if c.ei == 0 {
+		c.charge(c.cfg.VertexCost, func() { c.stepEdges(nbs) })
+		return
+	}
+	c.stepEdges(nbs)
+}
+
+func (c *prCore) stepEdges(nbs []int32) {
+	if c.ei >= len(nbs) {
+		c.vi++
+		c.ei = 0
+		c.step()
+		return
+	}
+	nb := nbs[c.ei]
+	c.ei++
+	c.accessEdge(c, nb, c.step)
+}
+
+func (c *prCore) maybeFinish() {
+	if !c.loopDone || c.inflight > 0 || c.doneFired {
+		return
+	}
+	c.doneFired = true
+	c.onDone()
+}
+
+// localEdge reads a neighbor's record through the core's cache hierarchy.
+func localEdge(addr func(nb int32) uint64) func(*prCore, int32, func()) {
+	return func(c *prCore, nb int32, cont func()) {
+		c.node.CoreAccess(c.coreIdx, addr(nb), false, func() {
+			c.charge(c.cfg.EdgeCost, cont)
+		})
+	}
+}
+
+// mixedEdge dispatches by ownership: intra-node edges use shared memory,
+// cross-partition edges become asynchronous remote reads — the fine-grain
+// programming model of Fig. 4.
+func mixedEdge(me core.NodeID, owner func(nb int32) core.NodeID, local func(nb int32) uint64) func(*prCore, int32, func()) {
+	le := localEdge(local)
+	return func(c *prCore, nb int32, cont func()) {
+		if owner(nb) == me {
+			le(c, nb, cont)
+			return
+		}
+		if c.inflight >= c.window {
+			// WQ window full: the edge loop stalls until a
+			// completion frees a slot (rmc_wait_for_slot).
+			c.waiting = true
+			c.pendingNb, c.pendingCont = nb, cont
+			return
+		}
+		c.issueRemote(nb, cont)
+	}
+}
+
+func (c *prCore) issueRemote(nb int32, cont func()) {
+	dst, addr := c.remoteTarget(nb)
+	c.inflight++
+	p := &c.sys.P
+	lb := c.lbuf + (c.lbufCursor%4096)*uint64(c.cfg.VertexBytes)
+	c.lbufCursor++
+	c.charge(p.AsyncIssueCost, func() {
+		c.node.Post(WQEntry{
+			Op: core.OpRead, Dst: dst, Addr: addr, Length: c.cfg.VertexBytes,
+			Buf: lb, Done: func() {
+				// CQ processing + the deferred rank accumulation
+				// (the pagerank_async callback).
+				c.charge(p.AsyncCompletionCost+c.cfg.EdgeCost, func() {
+					c.inflight--
+					if c.waiting {
+						c.waiting = false
+						nb2, cont2 := c.pendingNb, c.pendingCont
+						c.pendingCont = nil
+						c.issueRemote(nb2, cont2)
+						return
+					}
+					c.maybeFinish()
+				})
+			},
+		})
+		cont() // asynchronous issue: the edge loop moves on
+	})
+}
+
+// PageRankResult is one superstep's timing.
+type PageRankResult struct {
+	Threads    int
+	SuperstepS float64
+	ComputeS   float64 // slowest participant's local phase
+	ShuffleS   float64 // bulk only
+}
+
+// PageRankSHM models the pthreads baseline: `cores` threads on one
+// cache-coherent multiprocessor, all edges local, barrier at superstep end.
+// Each core owns an LLC slice equal to one soNUMA node's LLC (§7.5's
+// provisioning), and all cores share one memory channel.
+func PageRankSHM(p Params, cfg PRConfig, g *graph.Graph, pt *graph.Partition, cores int) PageRankResult {
+	sp := cfg.scaled(p, 1)
+	// The multiprocessor's memory system scales with its core count (a
+	// multi-socket server has one channel per socket pair at least),
+	// matching the aggregate bandwidth of `cores` soNUMA nodes.
+	sp.DRAM.Banks *= cores
+	sp.DRAM.BurstTime /= sim.Time(cores)
+	if sp.DRAM.BurstTime < 1 {
+		sp.DRAM.BurstTime = 1
+	}
+	sys := NewSystem(sp, 1, nil)
+	n := sys.Nodes[0]
+	coreIdx := make([]int, cores)
+	for i := 0; i < cores; i++ {
+		coreIdx[i] = n.AddIsolatedCore(sp.L2)
+	}
+	base := n.Alloc(g.N * cfg.VertexBytes)
+	addr := func(nb int32) uint64 { return base + uint64(nb)*uint64(cfg.VertexBytes) }
+	var end sim.Time
+	for c := 0; c < cores; c++ {
+		pc := &prCore{
+			sys: sys, node: n, coreIdx: coreIdx[c], cfg: &cfg, g: g,
+			verts:      pt.Parts[c],
+			accessEdge: localEdge(addr),
+		}
+		pc.onDone = func() {
+			if now := sys.Eng.Now(); now > end {
+				end = now
+			}
+		}
+		pc.step()
+	}
+	sys.Eng.Run()
+	return PageRankResult{Threads: cores, SuperstepS: end.Seconds(), ComputeS: end.Seconds()}
+}
+
+// PageRankFineGrain models the soNUMA(fine-grain) variant: one node per
+// partition, one asynchronous remote read per cross-partition edge.
+func PageRankFineGrain(p Params, cfg PRConfig, g *graph.Graph, pt *graph.Partition) PageRankResult {
+	nodes := pt.P
+	sp := cfg.scaled(p, 1)
+	sys := NewSystem(sp, nodes, nil)
+	bases := make([]uint64, nodes)
+	lbufs := make([]uint64, nodes)
+	for i := 0; i < nodes; i++ {
+		bases[i] = sys.Nodes[i].Alloc(maxIntPR(len(pt.Parts[i]), 1) * cfg.VertexBytes)
+		lbufs[i] = sys.Nodes[i].Alloc(4096 * cfg.VertexBytes)
+	}
+	barrier := newRendezvous(sys, nodes)
+	var end sim.Time
+	for i := 0; i < nodes; i++ {
+		me := core.NodeID(i)
+		pc := &prCore{
+			sys: sys, node: sys.Nodes[i], coreIdx: 0, cfg: &cfg, g: g,
+			verts: pt.Parts[i], window: cfg.Window,
+			lbuf: lbufs[i],
+			remoteTarget: func(nb int32) (core.NodeID, uint64) {
+				o := pt.Owner[nb]
+				return core.NodeID(o), bases[o] + uint64(pt.LocalIdx[nb])*uint64(cfg.VertexBytes)
+			},
+		}
+		pc.accessEdge = mixedEdge(me,
+			func(nb int32) core.NodeID { return core.NodeID(pt.Owner[nb]) },
+			func(nb int32) uint64 { return bases[i] + uint64(pt.LocalIdx[nb])*uint64(cfg.VertexBytes) },
+		)
+		pc.onDone = func() {
+			barrier.arrive(func() {
+				if now := sys.Eng.Now(); now > end {
+					end = now
+				}
+			})
+		}
+		pc.step()
+	}
+	sys.Eng.Run()
+	return PageRankResult{Threads: nodes, SuperstepS: end.Seconds(), ComputeS: barrier.latest.Seconds()}
+}
+
+// PageRankBulk models the soNUMA(bulk) variant: compute over a local
+// mirror, then an all-to-all shuffle of rank arrays with multi-line reads
+// after the barrier (§7.5: "a concurrent shuffle phase limited only by the
+// bisection bandwidth").
+func PageRankBulk(p Params, cfg PRConfig, g *graph.Graph, pt *graph.Partition) PageRankResult {
+	nodes := pt.P
+	sp := cfg.scaled(p, 1)
+	sys := NewSystem(sp, nodes, nil)
+	mirrors := make([]uint64, nodes)
+	lbufs := make([]uint64, nodes)
+	for i := 0; i < nodes; i++ {
+		mirrors[i] = sys.Nodes[i].Alloc(g.N * cfg.VertexBytes)
+		lbufs[i] = sys.Nodes[i].Alloc(1 << 20)
+	}
+	computeBar := newRendezvous(sys, nodes)
+	endBar := newRendezvous(sys, nodes)
+	var end, computeEnd sim.Time
+	for i := 0; i < nodes; i++ {
+		i := i
+		pc := &prCore{
+			sys: sys, node: sys.Nodes[i], coreIdx: 0, cfg: &cfg, g: g,
+			verts:      pt.Parts[i],
+			accessEdge: localEdge(func(nb int32) uint64 { return mirrors[i] + uint64(nb)*uint64(cfg.VertexBytes) }),
+		}
+		pc.onDone = func() {
+			computeBar.arrive(func() {
+				if computeBar.latest > computeEnd {
+					computeEnd = computeBar.latest
+				}
+				bulkShuffle(sys, i, cfg, pt, mirrors, lbufs[i], func() {
+					endBar.arrive(func() {
+						if now := sys.Eng.Now(); now > end {
+							end = now
+						}
+					})
+				})
+			})
+		}
+		pc.step()
+	}
+	sys.Eng.Run()
+	res := PageRankResult{Threads: nodes, SuperstepS: end.Seconds(), ComputeS: computeEnd.Seconds()}
+	res.ShuffleS = res.SuperstepS - res.ComputeS
+	return res
+}
+
+// bulkShuffle pulls every peer's rank slice into the local mirror with
+// windowed multi-line reads (one rmc_read_async per chunk, as in §7.5's
+// bulk implementation).
+func bulkShuffle(sys *System, me int, cfg PRConfig, pt *graph.Partition, mirrors []uint64, lbuf uint64, done func()) {
+	type chunk struct {
+		dst  core.NodeID
+		addr uint64
+		len  int
+	}
+	var chunks []chunk
+	for p := 0; p < pt.P; p++ {
+		if p == me {
+			continue
+		}
+		bytes := len(pt.Parts[p]) * cfg.VertexBytes
+		for off := 0; off < bytes; off += cfg.ChunkBytes {
+			l := cfg.ChunkBytes
+			if off+l > bytes {
+				l = bytes - off
+			}
+			chunks = append(chunks, chunk{dst: core.NodeID(p), addr: mirrors[p] + uint64(off), len: l})
+		}
+	}
+	n := sys.Nodes[me]
+	inflight, next, completed := 0, 0, 0
+	var pump func()
+	pump = func() {
+		for next < len(chunks) && inflight < cfg.Window {
+			c := chunks[next]
+			next++
+			inflight++
+			at := n.Core(0).Acquire(sys.P.AsyncIssueCost) + sys.P.AsyncIssueCost
+			sys.Eng.At(at, func() {
+				n.Post(WQEntry{
+					Op: core.OpRead, Dst: c.dst, Addr: c.addr, Length: c.len,
+					Buf: lbuf + uint64(next%8)*uint64(cfg.ChunkBytes),
+					Done: func() {
+						free := n.Core(0).Acquire(sys.P.AsyncCompletionCost) + sys.P.AsyncCompletionCost
+						sys.Eng.At(free, func() {
+							inflight--
+							completed++
+							if completed == len(chunks) {
+								done()
+								return
+							}
+							pump()
+						})
+					},
+				})
+			})
+		}
+	}
+	if len(chunks) == 0 {
+		done()
+		return
+	}
+	pump()
+}

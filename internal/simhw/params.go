@@ -1,0 +1,187 @@
+// Package simhw is the cycle-level soNUMA hardware model: the counterpart of
+// the paper's Flexus-based full-system simulation (§7.1, Table 1). Nodes,
+// their cache hierarchies, DRAM, the three RMC pipelines of Fig. 3, the NI
+// and the memory fabric are deterministic state machines over a shared
+// discrete-event engine; microbenchmark and application drivers reproduce
+// the workloads of §7.2–§7.5.
+//
+// The model is a timing model, not a functional one: packets carry sizes and
+// addresses, not data. Functional behaviour (copy semantics, atomicity,
+// bounds checking) is validated by the development platform in internal/emu;
+// this package answers "how long does the protocol path take" with the
+// microarchitectural detail of §4.3 — per-stage pipeline occupancy, MAQ
+// admission, TLB misses with hardware page walks, MSHR-limited caches,
+// banked DRAM and link serialization.
+package simhw
+
+import (
+	"sonuma/internal/cache"
+	"sonuma/internal/dram"
+	"sonuma/internal/sim"
+)
+
+// Params collects every timing and structural parameter of the model. The
+// defaults reproduce Table 1 plus the software costs of the access library
+// measured by the paper (e.g. the per-request API overhead that caps remote
+// operation rate near 10 M ops/s per core, §7.5).
+type Params struct {
+	// --- Core / access library software costs ---
+
+	// IssueCost is core occupancy to compose and post one WQ entry
+	// (synchronous path).
+	IssueCost sim.Time
+	// AsyncIssueCost is the per-operation core cost on the asynchronous
+	// path (slot management + entry composition, Fig. 4 inner loop).
+	AsyncIssueCost sim.Time
+	// AsyncCompletionCost is the per-completion core cost (CQ entry
+	// processing + callback).
+	AsyncCompletionCost sim.Time
+	// CompletionCost is the synchronous-path cost to observe and retire
+	// a completion once visible.
+	CompletionCost sim.Time
+	// WQNotify is the delay from the core's WQ write to the RGP seeing
+	// the entry: one coherence transfer of the cached WQ line into the
+	// RMC's L1 plus polling granularity.
+	WQNotify sim.Time
+	// CQNotify is the mirror-image delay from the RMC's CQ write to the
+	// polling core observing it.
+	CQNotify sim.Time
+
+	// --- RMC pipelines (Fig. 3b) ---
+
+	// RGPPerReq is request-generation occupancy per WQ entry (fetch
+	// request + ITT init).
+	RGPPerReq sim.Time
+	// RGPPerLine is the unrolling rate: occupancy per generated line
+	// transaction (packet generation + injection).
+	RGPPerLine sim.Time
+	// RRPPPerReq is remote-request occupancy per packet (decode + CT
+	// lookup + VA computation + TLB access), assuming CT$ and TLB hits.
+	RRPPPerReq sim.Time
+	// RCPPerReply is completion-pipeline occupancy per reply packet.
+	RCPPerReply sim.Time
+	// CQWriteCost is the RCP's cost to write the CQ entry.
+	CQWriteCost sim.Time
+	// AtomicCost is the extra destination-side cost of an atomic
+	// read-modify-write in the remote node's coherence hierarchy.
+	AtomicCost sim.Time
+
+	// --- RMC structures ---
+
+	// MAQEntries bounds in-flight RMC memory accesses (Table 1: 32).
+	MAQEntries int
+	// ITTEntries bounds in-flight WQ requests.
+	ITTEntries int
+	// WQDepth bounds entries queued per node ahead of the RGP.
+	WQDepth int
+	// TLBEntries/TLBWays size the RMC TLB (Table 1: 32 entries).
+	TLBEntries int
+	TLBWays    int
+	// PageSize for translation (Table 1: 8 KB).
+	PageSize int
+	// PageWalkAccesses is the number of dependent memory accesses a TLB
+	// miss costs (radix levels).
+	PageWalkAccesses int
+	// CTCache enables the context-table cache; when disabled every RRPP
+	// request pays one extra memory access to fetch its CT entry (the
+	// ablation of §4.3's CT$).
+	CTCache bool
+
+	// --- NI and fabric ---
+
+	// LinkDelay is the flat node-to-node delay of the crossbar
+	// configuration (Table 1: 50 ns inter-node delay).
+	LinkDelay sim.Time
+	// HopDelay is the per-hop pin-to-pin delay used by torus topologies
+	// (the Alpha 21364 router's 11 ns, §3).
+	HopDelay sim.Time
+	// LinkPsPerByte is the serialization cost in picoseconds per byte
+	// (~24 GB/s links ≈ 42 ps/B).
+	LinkPsPerByte sim.Time
+	// HeaderBytes is the wire header size per packet.
+	HeaderBytes int
+
+	// --- Memory system ---
+
+	// L1 parameterizes both the RMC's private L1 and core L1s.
+	L1 cache.Params
+	// L2 parameterizes the node's last-level cache.
+	L2 cache.Params
+	// DRAM parameterizes the memory channel.
+	DRAM dram.Params
+
+	// --- Messaging library software costs (§5.3, driving Fig. 8) ---
+
+	// MsgSendCost is fixed per-send software cost.
+	MsgSendCost sim.Time
+	// MsgPerSlotCost is packetization cost per 64-byte ring slot pushed.
+	MsgPerSlotCost sim.Time
+	// MsgRecvCost is fixed per-receive software cost (header parse +
+	// dispatch).
+	MsgRecvCost sim.Time
+	// MsgPerSlotRecvCost is per-slot assembly cost at the receiver.
+	MsgPerSlotRecvCost sim.Time
+	// PollDetect is the receiver's polling granularity: mean delay from
+	// a line landing in local memory to the poll loop observing it.
+	PollDetect sim.Time
+	// CopyPsPerByte is memcpy cost for staging copies (pull path).
+	CopyPsPerByte sim.Time
+}
+
+// DefaultParams returns the Table 1 configuration with the software costs
+// calibrated so the model lands on the paper's headline numbers (≈300 ns
+// small remote reads, ≈10 M ops/s per core, ≈9.6 GB/s streaming).
+func DefaultParams() Params {
+	return Params{
+		IssueCost:           25 * sim.Nanosecond,
+		AsyncIssueCost:      45 * sim.Nanosecond,
+		AsyncCompletionCost: 45 * sim.Nanosecond,
+		CompletionCost:      10 * sim.Nanosecond,
+		WQNotify:            20 * sim.Nanosecond,
+		CQNotify:            20 * sim.Nanosecond,
+
+		RGPPerReq:   3 * sim.Nanosecond,
+		RGPPerLine:  2 * sim.Nanosecond,
+		RRPPPerReq:  3 * sim.Nanosecond,
+		RCPPerReply: 3 * sim.Nanosecond,
+		CQWriteCost: 2 * sim.Nanosecond,
+		AtomicCost:  4 * sim.Nanosecond,
+
+		MAQEntries:       32,
+		ITTEntries:       512,
+		WQDepth:          128,
+		TLBEntries:       32,
+		TLBWays:          4,
+		PageSize:         8192,
+		PageWalkAccesses: 3,
+		CTCache:          true,
+
+		LinkDelay:     50 * sim.Nanosecond,
+		HopDelay:      11 * sim.Nanosecond,
+		LinkPsPerByte: 42 * sim.Picosecond,
+		HeaderBytes:   32,
+
+		L1: cache.Params{
+			Name: "l1", Size: 32 << 10, Ways: 2,
+			Latency: 1500 * sim.Picosecond, MSHRs: 32,
+		},
+		L2: cache.Params{
+			Name: "l2", Size: 4 << 20, Ways: 16,
+			Latency: 3 * sim.Nanosecond, MSHRs: 64,
+		},
+		DRAM: dram.DDR3_1600(),
+
+		MsgSendCost:        30 * sim.Nanosecond,
+		MsgPerSlotCost:     45 * sim.Nanosecond,
+		MsgRecvCost:        30 * sim.Nanosecond,
+		MsgPerSlotRecvCost: 10 * sim.Nanosecond,
+		PollDetect:         20 * sim.Nanosecond,
+		CopyPsPerByte:      150 * sim.Picosecond,
+	}
+}
+
+// WireSize reports the on-wire size of a packet with the given payload.
+func (p *Params) WireSize(payload int) int { return p.HeaderBytes + payload }
+
+// SerTime reports link serialization time for n bytes.
+func (p *Params) SerTime(n int) sim.Time { return sim.Time(n) * p.LinkPsPerByte }

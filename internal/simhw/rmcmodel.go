@@ -1,0 +1,218 @@
+package simhw
+
+import (
+	"sonuma/internal/core"
+	"sonuma/internal/mmu"
+)
+
+// WQEntry is the model-level work-queue entry: a remote operation of Length
+// bytes against Addr in node Dst's physical space, with a local buffer at
+// Buf. Done fires when the completion becomes visible to the issuing core
+// (CQ write + coherence transfer + poll observation).
+type WQEntry struct {
+	Op     core.Op
+	Dst    core.NodeID
+	Addr   uint64
+	Length int
+	Buf    uint64
+	Done   func()
+	// msg threads messaging-driver bookkeeping into the generated
+	// packets (see Pkt.msg).
+	msg *msgState
+}
+
+// Post models the core having just written a WQ entry: after the coherent
+// transfer of the WQ line into the RMC's L1 (WQNotify), the entry enters
+// the RGP's input queue. Callers are responsible for charging the core's
+// issue cost and bounding outstanding entries to WQDepth.
+func (n *Node) Post(e WQEntry) {
+	n.sys.Eng.After(n.sys.P.WQNotify, func() {
+		n.wq.Push(e)
+	})
+}
+
+// rgpDrain is the RGP consumer loop: while WQ entries and ITT slots are
+// available, unroll entries into line-sized request packets (Fig. 3b RGP:
+// poll WQ → fetch request → init ITT → unroll → inject).
+func (n *Node) rgpDrain() {
+	for n.wq.Len() > 0 {
+		if len(n.ittFree) == 0 {
+			// Stall until a completion frees an ITT slot.
+			n.ittWait = append(n.ittWait, n.rgpDrain)
+			return
+		}
+		e := n.wq.Pop().(WQEntry)
+		n.Stats.WQAccepted++
+		tid := n.ittFree[len(n.ittFree)-1]
+		n.ittFree = n.ittFree[:len(n.ittFree)-1]
+		nLines := core.Lines(e.Length)
+		n.itt[tid] = ittState{remaining: nLines, buf: e.Buf, op: e.Op, done: e.Done}
+
+		// Per-request processing, then per-line unrolling on the RGP
+		// pipeline port.
+		n.rgp.Acquire(n.sys.P.RGPPerReq)
+		for i := 0; i < nLines; i++ {
+			i := i
+			lineLen := e.Length - i*core.CacheLineSize
+			if lineLen > core.CacheLineSize {
+				lineLen = core.CacheLineSize
+			}
+			genAt := n.rgp.Acquire(n.sys.P.RGPPerLine) + n.sys.P.RGPPerLine
+			pkt := &Pkt{
+				Op: e.Op, Src: n.id, Dst: e.Dst,
+				Addr: e.Addr + uint64(i)*core.CacheLineSize,
+				Tid:  tid, LineIdx: i, msg: e.msg,
+			}
+			switch e.Op {
+			case core.OpWrite:
+				pkt.Payload = lineLen
+				// Writes fetch their payload from the local
+				// buffer before injection.
+				n.sys.Eng.At(genAt, func() {
+					n.rmcAccess(e.Buf+uint64(i)*core.CacheLineSize, false, func() {
+						n.inject(pkt)
+					})
+				})
+				continue
+			case core.OpFetchAdd, core.OpCompareSwap:
+				pkt.Payload = 16 // operands ride in the request
+			}
+			n.sys.Eng.At(genAt, func() { n.inject(pkt) })
+		}
+	}
+}
+
+// inject hands a packet to the NI.
+func (n *Node) inject(pkt *Pkt) {
+	n.Stats.LinesInjected++
+	n.sys.Deliver(pkt)
+}
+
+// translate models the RRPP's address translation: TLB hit is folded into
+// RRPPPerReq; a miss costs PageWalkAccesses dependent memory accesses by
+// the hardware walker through the MAQ (§4.3).
+func (n *Node) translate(addr uint64, done func()) {
+	vpage := addr / uint64(n.sys.P.PageSize)
+	if _, hit := n.tlb.Lookup(0, vpage); hit {
+		done()
+		return
+	}
+	n.Stats.TLBMisses++
+	n.tlb.Insert(0, vpage, mmu.Frame(vpage))
+	// Dependent radix-walk accesses: each level must finish before the
+	// next begins, and each level's entry lives on its own table line (8
+	// PTEs of 8 bytes per 64-byte line at the leaf, 512x coarser per
+	// upper level). Walk accesses contend for the MAQ and caches like
+	// any other RMC access — the RMC shares the OS page tables through
+	// the coherence hierarchy (§5.1), which is why misses stay cheap as
+	// long as the table lines are cache-resident.
+	var step func(level int)
+	step = func(level int) {
+		if level >= n.sys.P.PageWalkAccesses {
+			done()
+			return
+		}
+		n.Stats.PageWalks++
+		shift := uint(9 * (n.sys.P.PageWalkAccesses - 1 - level))
+		entry := vpage >> shift
+		addr := ptBase + uint64(level)<<32 + (entry/8)*core.CacheLineSize + (entry%8)*8
+		n.rmcAccess(addr, false, func() { step(level + 1) })
+	}
+	step(0)
+}
+
+// ptBase is the reserved physical region holding page-table lines.
+const ptBase = 1 << 41
+
+// rrppArrive is the remote request processing pipeline (Fig. 3b RRPP):
+// decode → CT lookup → VA computation → translation → memory access →
+// reply. Handling is stateless: everything needed is in the packet and
+// node-local configuration.
+func (n *Node) rrppArrive(pkt *Pkt) {
+	n.Stats.RequestsIn++
+	start := n.rrpp.Acquire(n.sys.P.RRPPPerReq) + n.sys.P.RRPPPerReq
+	n.sys.Eng.At(start, func() {
+		afterCT := func() {
+			n.translate(pkt.Addr, func() {
+				n.rrppAccess(pkt)
+			})
+		}
+		if n.sys.P.CTCache {
+			afterCT()
+			return
+		}
+		// CT$ disabled (ablation): fetch the CT entry from memory on
+		// every request.
+		n.rmcAccess(ctTableBase+uint64(0), false, afterCT)
+	})
+}
+
+// ctTableBase is a reserved address for the in-memory context table used by
+// the CT$ ablation.
+const ctTableBase = 1 << 40
+
+// rrppAccess performs the memory side of a remote request and generates the
+// single reply packet.
+func (n *Node) rrppAccess(pkt *Pkt) {
+	reply := func(payload int) {
+		rp := &Pkt{
+			Reply: true, Op: pkt.Op, Src: n.id, Dst: pkt.Src,
+			Addr: pkt.Addr, Payload: payload, Tid: pkt.Tid,
+			LineIdx: pkt.LineIdx, msg: pkt.msg,
+		}
+		n.sys.Deliver(rp)
+	}
+	switch pkt.Op {
+	case core.OpRead:
+		n.rmcAccess(pkt.Addr, false, func() { reply(core.CacheLineSize) })
+	case core.OpWrite:
+		n.rmcAccess(pkt.Addr, true, func() {
+			if pkt.msg != nil {
+				pkt.msg.lineLanded(n.sys, n)
+			}
+			reply(0)
+		})
+	case core.OpFetchAdd, core.OpCompareSwap:
+		// Read-modify-write executed within the local coherence
+		// hierarchy (§5.2): one access plus the atomic update cost.
+		n.rmcAccess(pkt.Addr, true, func() {
+			n.sys.Eng.After(n.sys.P.AtomicCost, func() { reply(8) })
+		})
+	}
+}
+
+// rcpArrive is the request completion pipeline (Fig. 3b RCP): decode →
+// store payload (reads/atomics) → update ITT → on the final line, write the
+// CQ entry and notify the core.
+func (n *Node) rcpArrive(pkt *Pkt) {
+	n.Stats.RepliesIn++
+	start := n.rcp.Acquire(n.sys.P.RCPPerReply) + n.sys.P.RCPPerReply
+	n.sys.Eng.At(start, func() {
+		ent := &n.itt[pkt.Tid]
+		finish := func() {
+			ent.remaining--
+			if ent.remaining > 0 {
+				return
+			}
+			// Last line: write the CQ entry, free the ITT slot,
+			// and wake any RGP stall.
+			done := ent.done
+			n.ittFree = append(n.ittFree, pkt.Tid)
+			if len(n.ittWait) > 0 {
+				w := n.ittWait[0]
+				n.ittWait = n.ittWait[:copy(n.ittWait, n.ittWait[1:])]
+				n.sys.Eng.After(0, w)
+			}
+			cqAt := n.rcp.Acquire(n.sys.P.CQWriteCost) + n.sys.P.CQWriteCost
+			n.Stats.Completions++
+			if done != nil {
+				n.sys.Eng.At(cqAt+n.sys.P.CQNotify, done)
+			}
+		}
+		if (ent.op == core.OpRead || ent.op.IsAtomic()) && pkt.Payload > 0 {
+			n.rmcAccess(ent.buf+uint64(pkt.LineIdx)*core.CacheLineSize, true, finish)
+			return
+		}
+		finish()
+	})
+}

@@ -1,0 +1,247 @@
+package simhw
+
+import (
+	"sonuma/internal/core"
+	"sonuma/internal/sim"
+	"sonuma/internal/stats"
+)
+
+// This file models the §5.3 messaging library on the cycle model, driving
+// the Fig. 8 experiments: the netpipe-style ping-pong (latency) and
+// streaming (bandwidth) microbenchmarks of §7.3, for the push mechanism,
+// the pull mechanism, and the threshold combination.
+
+// msgState is receiver-arrival bookkeeping for a pushed message: it counts
+// the ring lines landing at the destination (the RRPP's memory writes) and
+// triggers the receiving side's poll-detection once the last line is home.
+// Lines of one write may land out of order, which this counting handles
+// exactly like the epoch-stamp scheme of the software library.
+type msgState struct {
+	linesTotal  int
+	linesLanded int
+	onArrive    func()
+}
+
+func (m *msgState) lineLanded(sys *System, n *Node) {
+	m.linesLanded++
+	if m.linesLanded == m.linesTotal && m.onArrive != nil {
+		fn := m.onArrive
+		sys.Eng.After(sys.P.PollDetect, fn)
+	}
+}
+
+const (
+	msgSlotPayload = 56 // 64-byte slot minus the 8-byte header
+	descriptorSize = 24
+	ackSize        = 8
+)
+
+func slotsFor(bytes int) int {
+	if bytes <= msgSlotPayload {
+		return 1
+	}
+	return (bytes + msgSlotPayload - 1) / msgSlotPayload
+}
+
+// messenger models one node's messaging endpoint.
+type messenger struct {
+	sys      *System
+	n        *Node
+	coreIdx  int
+	ringBase uint64 // receive ring in THIS node's memory (peers write it)
+	stagBase uint64 // pull staging in THIS node's memory (peers read it)
+	sendBuf  uint64 // local source buffer for ring writes
+	ringOff  uint64
+	stagOff  uint64
+	// staging window for streaming pulls
+	stagingFree int
+	stagingWait []func()
+}
+
+func newMessenger(sys *System, node int) *messenger {
+	n := sys.Nodes[node]
+	return &messenger{
+		sys: sys, n: n,
+		ringBase:    n.Alloc(1 << 20),
+		stagBase:    n.Alloc(8 << 20),
+		sendBuf:     n.Alloc(1 << 20),
+		stagingFree: 4,
+	}
+}
+
+// push models send() on the push path: software packetization on the core,
+// then a single rmc_write of the slot run into the peer's ring.
+// onArrive fires on the RECEIVER after its poll loop has observed the whole
+// message and parsed it; onSent fires on the SENDER when the write's CQ
+// completion returns (buffer reusable).
+func (m *messenger) push(peer *messenger, bytes int, onArrive, onSent func()) {
+	p := &m.sys.P
+	nSlots := slotsFor(bytes)
+	wireBytes := nSlots * core.CacheLineSize
+	swCost := p.MsgSendCost + sim.Time(nSlots)*p.MsgPerSlotCost
+	issueAt := m.n.Core(m.coreIdx).Acquire(swCost+p.IssueCost) + swCost + p.IssueCost
+	ringAddr := peer.ringBase + m.ringOff
+	m.ringOff = (m.ringOff + uint64(wireBytes)) % (1 << 20)
+	st := &msgState{linesTotal: nSlots}
+	st.onArrive = func() {
+		// Receiver-side software: parse header + assemble slots.
+		recvCost := p.MsgRecvCost + sim.Time(nSlots)*p.MsgPerSlotRecvCost
+		at := peer.n.Core(peer.coreIdx).Acquire(recvCost) + recvCost
+		m.sys.Eng.At(at, onArrive)
+	}
+	m.sys.Eng.At(issueAt, func() {
+		m.n.Post(WQEntry{
+			Op: core.OpWrite, Dst: peer.n.id, Addr: ringAddr,
+			Length: wireBytes, Buf: m.sendBuf, Done: onSent, msg: st,
+		})
+	})
+}
+
+// pull models send() on the pull path: stage the payload locally (memcpy),
+// push a descriptor; the receiver fetches with one rmc_read and pushes an
+// acknowledgement that frees the staging slot.
+func (m *messenger) pull(peer *messenger, bytes int, onArrive func()) {
+	p := &m.sys.P
+	m.acquireStaging(func() {
+		copyCost := sim.Time(bytes) * p.CopyPsPerByte
+		stagedAt := m.n.Core(m.coreIdx).Acquire(copyCost) + copyCost
+		stagAddr := m.stagBase + m.stagOff
+		m.stagOff = (m.stagOff + uint64(core.AlignUp(bytes))) % (8 << 20)
+		m.sys.Eng.At(stagedAt, func() {
+			m.push(peer, descriptorSize, func() {
+				// Receiver: single rmc_read of the staged bytes.
+				peer.readFrom(m, stagAddr, bytes, func() {
+					// Copy out of the landing buffer, deliver,
+					// and acknowledge.
+					outCost := sim.Time(bytes) * p.CopyPsPerByte
+					at := peer.n.Core(peer.coreIdx).Acquire(outCost) + outCost
+					m.sys.Eng.At(at, func() {
+						onArrive()
+						peer.push(m, ackSize, func() {
+							m.releaseStaging()
+						}, nil)
+					})
+				})
+			}, nil)
+		})
+	})
+}
+
+// readFrom issues a synchronous rmc_read against the peer's staging area.
+func (m *messenger) readFrom(peer *messenger, addr uint64, bytes int, done func()) {
+	p := &m.sys.P
+	issueAt := m.n.Core(m.coreIdx).Acquire(p.IssueCost) + p.IssueCost
+	m.sys.Eng.At(issueAt, func() {
+		m.n.Post(WQEntry{
+			Op: core.OpRead, Dst: peer.n.id, Addr: addr,
+			Length: bytes, Buf: m.sendBuf, Done: done,
+		})
+	})
+}
+
+func (m *messenger) acquireStaging(fn func()) {
+	if m.stagingFree > 0 {
+		m.stagingFree--
+		fn()
+		return
+	}
+	m.stagingWait = append(m.stagingWait, fn)
+}
+
+func (m *messenger) releaseStaging() {
+	if len(m.stagingWait) > 0 {
+		fn := m.stagingWait[0]
+		m.stagingWait = m.stagingWait[:copy(m.stagingWait, m.stagingWait[1:])]
+		m.sys.Eng.After(0, fn)
+		return
+	}
+	m.stagingFree++
+}
+
+// send dispatches by the push/pull threshold (§5.3). threshold semantics
+// match the software library: <0 means always push, 0 means always pull.
+func (m *messenger) send(peer *messenger, bytes, threshold int, onArrive func()) {
+	usePull := threshold == 0 || (threshold > 0 && bytes >= threshold)
+	if usePull {
+		m.pull(peer, bytes, onArrive)
+	} else {
+		m.push(peer, bytes, onArrive, nil)
+	}
+}
+
+// SendRecvLatency measures half-duplex latency (ping-pong RTT / 2) for one
+// message size under the given threshold (Fig. 8a).
+func SendRecvLatency(p Params, size, threshold, rounds int) LatencyResult {
+	sys := NewSystem(p, 2, nil)
+	a, b := newMessenger(sys, 0), newMessenger(sys, 1)
+	var lat stats.Sample
+	warmup := 10
+	round := 0
+	var ping func()
+	ping = func() {
+		if round >= warmup+rounds {
+			return
+		}
+		round++
+		measured := round > warmup
+		t0 := sys.Eng.Now()
+		a.send(b, size, threshold, func() {
+			b.send(a, size, threshold, func() {
+				if measured {
+					lat.Add((sys.Eng.Now() - t0).Nanoseconds() / 2)
+				}
+				ping()
+			})
+		})
+	}
+	ping()
+	sys.Eng.Run()
+	return LatencyResult{Size: size, MeanNs: lat.Mean(), P99Ns: lat.Percentile(99), Samples: lat.N()}
+}
+
+// SendRecvBandwidth measures streaming throughput: node 0 sends messages
+// back-to-back, node 1 consumes (Fig. 8b). The in-flight window models the
+// ring/staging credits of the software library.
+func SendRecvBandwidth(p Params, size, threshold, messages int) BandwidthResult {
+	sys := NewSystem(p, 2, nil)
+	a, b := newMessenger(sys, 0), newMessenger(sys, 1)
+	// The software library's streaming window: pull transfers synchronize
+	// per message (§5.3 "requires synchronization between the peers"), so
+	// effective pipelining across messages is shallow.
+	const window = 2
+	var (
+		sent, arrived int
+		inflight      int
+		startAt       sim.Time
+		endAt         sim.Time
+		started       bool
+		pump          func()
+	)
+	pump = func() {
+		for sent < messages && inflight < window {
+			if !started {
+				started = true
+				startAt = sys.Eng.Now()
+			}
+			sent++
+			inflight++
+			a.send(b, size, threshold, func() {
+				inflight--
+				arrived++
+				if arrived == messages {
+					endAt = sys.Eng.Now()
+					return
+				}
+				pump()
+			})
+		}
+	}
+	pump()
+	sys.Eng.Run()
+	secs := (endAt - startAt).Seconds()
+	bytes := int64(messages) * int64(size)
+	return BandwidthResult{
+		Size: size, GBps: stats.GBps(bytes, secs), Gbps: stats.Gbps(bytes, secs),
+		MopsPerS: float64(messages) / secs / 1e6, DurationS: secs,
+	}
+}

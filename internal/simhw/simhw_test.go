@@ -1,0 +1,282 @@
+package simhw
+
+import (
+	"testing"
+
+	"sonuma/internal/fabric"
+	"sonuma/internal/graph"
+	"sonuma/internal/sim"
+)
+
+const testOps = 60
+
+func TestReadLatencyBand(t *testing.T) {
+	p := DefaultParams()
+	r := ReadLatency(p, 64, false, testOps)
+	// §7.2: "the latency is around 300ns" for small requests, within a
+	// factor of 4 of local DRAM (~60-80ns).
+	if r.MeanNs < 220 || r.MeanNs > 400 {
+		t.Fatalf("64B read latency %.1fns, want ≈300ns", r.MeanNs)
+	}
+	big := ReadLatency(p, 8192, false, testOps)
+	// Fig. 7a tops out around 1.2µs at 8KB.
+	if big.MeanNs < 800 || big.MeanNs > 1700 {
+		t.Fatalf("8KB read latency %.1fns, want ≈1.1µs", big.MeanNs)
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for _, s := range []int{64, 256, 1024, 4096, 8192} {
+		r := ReadLatency(p, s, false, 40)
+		if r.MeanNs < prev {
+			t.Fatalf("latency decreased at %dB: %.1f < %.1f", s, r.MeanNs, prev)
+		}
+		prev = r.MeanNs
+	}
+}
+
+func TestDoubleSidedLatencyNotBetter(t *testing.T) {
+	p := DefaultParams()
+	single := ReadLatency(p, 8192, false, 40)
+	double := ReadLatency(p, 8192, true, 40)
+	if double.MeanNs < single.MeanNs*0.98 {
+		t.Fatalf("double-sided 8KB latency %.1f better than single %.1f", double.MeanNs, single.MeanNs)
+	}
+}
+
+func TestBandwidthBands(t *testing.T) {
+	p := DefaultParams()
+	small := ReadBandwidth(p, 64, false, 1<<20)
+	// Fig. 7b: ≈10M ops/s at 64B (per-core issue bound).
+	if small.MopsPerS < 8 || small.MopsPerS > 14 {
+		t.Fatalf("64B rate %.1f Mops, want ≈10-11M", small.MopsPerS)
+	}
+	big := ReadBandwidth(p, 8192, false, 4<<20)
+	// Fig. 7b: ≈9.6 GB/s at page-sized requests (DRAM channel bound).
+	if big.GBps < 8.5 || big.GBps > 11 {
+		t.Fatalf("8KB bandwidth %.2f GB/s, want ≈9.6", big.GBps)
+	}
+}
+
+func TestDoubleSidedBandwidthDoubles(t *testing.T) {
+	p := DefaultParams()
+	single := ReadBandwidth(p, 8192, false, 2<<20)
+	double := ReadBandwidth(p, 8192, true, 2<<20)
+	ratio := double.GBps / single.GBps
+	// §7.2: "the double-sided test delivers twice the single-sided
+	// bandwidth" thanks to the decoupled pipelines.
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("double/single bandwidth ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestAtomicLatencyNearRead(t *testing.T) {
+	p := DefaultParams()
+	read := ReadLatency(p, 64, false, testOps)
+	atomic := AtomicLatency(p, testOps)
+	// §7.4: fetch-and-add ≈ remote read latency.
+	ratio := atomic.MeanNs / read.MeanNs
+	if ratio < 0.9 || ratio > 1.2 {
+		t.Fatalf("atomic/read ratio %.2f", ratio)
+	}
+}
+
+func TestWriteLatencyNearRead(t *testing.T) {
+	p := DefaultParams()
+	read := ReadLatency(p, 64, false, testOps)
+	write := WriteLatency(p, 64, false, testOps)
+	if write.MeanNs < read.MeanNs*0.7 || write.MeanNs > read.MeanNs*1.5 {
+		t.Fatalf("write %.1f vs read %.1f", write.MeanNs, read.MeanNs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := DefaultParams()
+	a := ReadLatency(p, 512, true, 50)
+	b := ReadLatency(p, 512, true, 50)
+	if a.MeanNs != b.MeanNs || a.P99Ns != b.P99Ns {
+		t.Fatalf("nondeterministic results: %.3f vs %.3f", a.MeanNs, b.MeanNs)
+	}
+	ba := ReadBandwidth(p, 4096, true, 1<<20)
+	bb := ReadBandwidth(p, 4096, true, 1<<20)
+	if ba.GBps != bb.GBps {
+		t.Fatalf("nondeterministic bandwidth: %v vs %v", ba.GBps, bb.GBps)
+	}
+}
+
+func TestIOPSBand(t *testing.T) {
+	p := DefaultParams()
+	iops := IOPS(p, 10000) / 1e6
+	// Table 2: ≈10.9M small remote ops per second per core.
+	if iops < 8 || iops > 14 {
+		t.Fatalf("IOPS %.1fM, want ≈11M", iops)
+	}
+}
+
+func TestTLBSizeMatters(t *testing.T) {
+	small := DefaultParams()
+	small.TLBEntries, small.TLBWays = 1, 1
+	large := DefaultParams()
+	large.TLBEntries, large.TLBWays = 4096, 4
+	// Cycle a 64-page working set at page stride: the large TLB hits
+	// after one lap, the 1-entry TLB walks on every request.
+	opts := LatencyOpts{Stride: small.PageSize, Span: 64 * small.PageSize, Ops: 200}
+	rs := ReadLatencyWith(small, 64, opts)
+	rl := ReadLatencyWith(large, 64, opts)
+	if rs.TLBHitRate > 0.05 {
+		t.Fatalf("1-entry TLB hit rate %.2f under page stride, want ≈0", rs.TLBHitRate)
+	}
+	if rl.TLBHitRate < 0.5 {
+		t.Fatalf("4096-entry TLB hit rate %.2f, want high", rl.TLBHitRate)
+	}
+	// Walks traverse locally cached page tables (§5.1's coherent
+	// integration), so the latency penalty is real but small.
+	if rs.MeanNs <= rl.MeanNs {
+		t.Fatalf("walking on every request (%.1fns) not slower than hitting (%.1fns)", rs.MeanNs, rl.MeanNs)
+	}
+}
+
+func TestCTCacheMatters(t *testing.T) {
+	on := DefaultParams()
+	off := DefaultParams()
+	off.CTCache = false
+	ron := ReadLatency(on, 64, false, testOps)
+	roff := ReadLatency(off, 64, false, testOps)
+	if roff.MeanNs <= ron.MeanNs {
+		t.Fatalf("disabling the CT$ did not hurt: %.1f vs %.1f", roff.MeanNs, ron.MeanNs)
+	}
+}
+
+func TestMAQDepthGatesBandwidth(t *testing.T) {
+	shallow := DefaultParams()
+	shallow.MAQEntries = 2
+	shallow.L1.MSHRs = 2
+	deep := DefaultParams()
+	bs := ReadBandwidth(shallow, 8192, false, 1<<20)
+	bd := ReadBandwidth(deep, 8192, false, 1<<20)
+	if bs.GBps > bd.GBps*0.5 {
+		t.Fatalf("2-entry MAQ reaches %.2f GB/s vs %.2f with 32; should throttle hard", bs.GBps, bd.GBps)
+	}
+}
+
+func TestTopologyLatencyOrdering(t *testing.T) {
+	p := DefaultParams()
+	xbar := ReadLatencyWith(p, 64, LatencyOpts{Topo: fabric.NewCrossbar(16), Src: 0, Dst: 15, Ops: 50})
+	// Worst-case pair on a 4x4 torus: 4 hops.
+	torus := ReadLatencyWith(p, 64, LatencyOpts{Topo: fabric.NewTorus2D(4, 4), Src: 0, Dst: 10, Ops: 50})
+	// Nearest neighbor on the torus: 1 hop at 11ns beats the flat 50ns.
+	near := ReadLatencyWith(p, 64, LatencyOpts{Topo: fabric.NewTorus2D(4, 4), Src: 0, Dst: 1, Ops: 50})
+	if near.MeanNs >= xbar.MeanNs {
+		t.Fatalf("1-hop torus (%.1f) not faster than crossbar (%.1f)", near.MeanNs, xbar.MeanNs)
+	}
+	if torus.MeanNs <= near.MeanNs {
+		t.Fatalf("4-hop torus (%.1f) not slower than 1-hop (%.1f)", torus.MeanNs, near.MeanNs)
+	}
+}
+
+func TestITTExhaustionRecovers(t *testing.T) {
+	p := DefaultParams()
+	p.ITTEntries = 4 // far below the async window
+	r := ReadBandwidth(p, 64, false, 1<<18)
+	if r.GBps <= 0 {
+		t.Fatal("run with tiny ITT did not complete")
+	}
+}
+
+func TestSendRecvShapes(t *testing.T) {
+	p := DefaultParams()
+	pushSmall := SendRecvLatency(p, 64, -1, 30)
+	pullSmall := SendRecvLatency(p, 64, 0, 30)
+	if pushSmall.MeanNs >= pullSmall.MeanNs {
+		t.Fatalf("push (%.1f) not faster than pull (%.1f) at 64B", pushSmall.MeanNs, pullSmall.MeanNs)
+	}
+	// §7.3: minimal half-duplex latency ≈340ns.
+	if pushSmall.MeanNs < 250 || pushSmall.MeanNs > 500 {
+		t.Fatalf("min half-duplex latency %.1fns, want ≈340-400", pushSmall.MeanNs)
+	}
+	pushBig := SendRecvBandwidth(p, 8192, -1, 100)
+	pullBig := SendRecvBandwidth(p, 8192, 0, 100)
+	if pullBig.Gbps <= pushBig.Gbps {
+		t.Fatalf("pull (%.1f Gbps) not faster than push (%.1f) at 8KB", pullBig.Gbps, pushBig.Gbps)
+	}
+	// §7.3: bandwidth exceeds 10Gbps with 4KB messages.
+	combo := SendRecvBandwidth(p, 4096, 256, 100)
+	if combo.Gbps < 10 {
+		t.Fatalf("4KB threshold bandwidth %.1f Gbps, want >10", combo.Gbps)
+	}
+	// The threshold mechanism tracks the better of the two.
+	comboSmall := SendRecvLatency(p, 64, 256, 30)
+	if comboSmall.MeanNs > pushSmall.MeanNs*1.1 {
+		t.Fatalf("threshold at 64B (%.1f) far from push (%.1f)", comboSmall.MeanNs, pushSmall.MeanNs)
+	}
+}
+
+func TestPageRankSpeedupShape(t *testing.T) {
+	p := DefaultParams()
+	cfg := DefaultPRConfig()
+	g := graph.GenPowerLaw(12000, 8, 1.8, 42)
+	base := PageRankSHM(p, cfg, g, graph.RandomPartition(g, 1, 7), 1)
+	pt := graph.RandomPartition(g, 8, 7)
+	shm := PageRankSHM(p, cfg, g, pt, 8)
+	bulk := PageRankBulk(p, cfg, g, pt)
+	fine := PageRankFineGrain(p, cfg, g, pt)
+	sSHM := base.SuperstepS / shm.SuperstepS
+	sBulk := base.SuperstepS / bulk.SuperstepS
+	sFine := base.SuperstepS / fine.SuperstepS
+	// Fig. 9 left: SHM ≈ bulk, both well above fine-grain.
+	if sSHM < 2 || sSHM > 8.5 || sBulk < 2 || sBulk > 8.5 {
+		t.Fatalf("SHM/bulk speedups out of band: %.2f / %.2f", sSHM, sBulk)
+	}
+	if ratio := sSHM / sBulk; ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("SHM (%.2f) and bulk (%.2f) should be near identical", sSHM, sBulk)
+	}
+	if sFine >= sBulk*0.8 {
+		t.Fatalf("fine-grain (%.2f) should trail bulk (%.2f) clearly", sFine, sBulk)
+	}
+	if sFine <= 0.2 {
+		t.Fatalf("fine-grain speedup %.2f implausibly low", sFine)
+	}
+	// Bulk's shuffle is a small fraction of the superstep (§7.5:
+	// amortized by wide transfers).
+	if bulk.ShuffleS > bulk.ComputeS {
+		t.Fatalf("shuffle %.3fs exceeds compute %.3fs", bulk.ShuffleS, bulk.ComputeS)
+	}
+}
+
+func TestPageRankDeterminism(t *testing.T) {
+	p := DefaultParams()
+	cfg := DefaultPRConfig()
+	g := graph.GenPowerLaw(3000, 6, 1.8, 5)
+	pt := graph.RandomPartition(g, 4, 3)
+	a := PageRankFineGrain(p, cfg, g, pt)
+	b := PageRankFineGrain(p, cfg, g, pt)
+	if a.SuperstepS != b.SuperstepS {
+		t.Fatalf("fine-grain model nondeterministic: %v vs %v", a.SuperstepS, b.SuperstepS)
+	}
+}
+
+func TestPCIeAttachmentHurts(t *testing.T) {
+	coherent := DefaultParams()
+	pcie := DefaultParams()
+	pcie.WQNotify += 450 * sim.Nanosecond
+	pcie.CQNotify += 450 * sim.Nanosecond
+	rc := ReadLatency(coherent, 64, false, testOps)
+	rp := ReadLatency(pcie, 64, false, testOps)
+	// §2.2/§7.4: PCIe crossings multiply small-op latency severalfold;
+	// this is the core architectural argument for the RMC.
+	if rp.MeanNs < rc.MeanNs+800 {
+		t.Fatalf("PCIe attachment barely hurts: %.1f vs %.1f", rp.MeanNs, rc.MeanNs)
+	}
+}
+
+func TestWireSizeAndSerialization(t *testing.T) {
+	p := DefaultParams()
+	if p.WireSize(64) != 96 {
+		t.Fatalf("wire size %d", p.WireSize(64))
+	}
+	if p.SerTime(1000) <= 0 {
+		t.Fatal("serialization time not positive")
+	}
+}

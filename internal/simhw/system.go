@@ -1,0 +1,241 @@
+package simhw
+
+import (
+	"fmt"
+
+	"sonuma/internal/cache"
+	"sonuma/internal/core"
+	"sonuma/internal/dram"
+	"sonuma/internal/fabric"
+	"sonuma/internal/mmu"
+	"sonuma/internal/sim"
+)
+
+// Pkt is a timing-model packet: sizes and addresses only (the functional
+// protocol lives in internal/proto and is exercised by the development
+// platform).
+type Pkt struct {
+	Reply   bool
+	Op      core.Op
+	Src     core.NodeID
+	Dst     core.NodeID
+	Addr    uint64 // destination-node physical address of this line
+	Payload int    // payload bytes carried by this packet
+	Tid     int    // source-node ITT index
+	LineIdx int
+	// msg threads model-level bookkeeping for the messaging drivers
+	// (receiver-side arrival detection); it is not protocol state.
+	msg *msgState
+}
+
+// System is one simulated soNUMA machine.
+type System struct {
+	Eng   *sim.Engine
+	P     Params
+	Topo  fabric.Topology
+	Nodes []*Node
+
+	linkPorts map[fabric.Link]*sim.Port
+}
+
+// NewSystem builds an n-node system over the given topology (nil selects
+// the paper's full crossbar).
+func NewSystem(p Params, n int, topo fabric.Topology) *System {
+	if topo == nil {
+		topo = fabric.NewCrossbar(n)
+	}
+	if topo.Nodes() != n {
+		panic(fmt.Sprintf("simhw: topology %s does not match %d nodes", topo.Name(), n))
+	}
+	eng := sim.New()
+	s := &System{Eng: eng, P: p, Topo: topo, linkPorts: make(map[fabric.Link]*sim.Port)}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, newNode(s, core.NodeID(i)))
+	}
+	return s
+}
+
+// linkPort returns the serialization port of a directed link.
+func (s *System) linkPort(l fabric.Link) *sim.Port {
+	p, ok := s.linkPorts[l]
+	if !ok {
+		p = sim.NewPort(s.Eng)
+		s.linkPorts[l] = p
+	}
+	return p
+}
+
+// Deliver models the NI-to-NI journey of a packet: egress serialization at
+// the source, per-link serialization and hop delay along the deterministic
+// route, ingress at the destination, then hand-off to the receiving
+// pipeline (RRPP for requests, RCP for replies).
+func (s *System) Deliver(pkt *Pkt) {
+	src, dst := s.Nodes[pkt.Src], s.Nodes[pkt.Dst]
+	ser := s.P.SerTime(s.P.WireSize(pkt.Payload))
+	cursor := src.egress.Acquire(ser) + ser
+	if pkt.Src != pkt.Dst {
+		if _, isXbar := s.Topo.(*fabric.Crossbar); isXbar {
+			// Full crossbar: non-blocking, flat latency (Table 1).
+			cursor += s.P.LinkDelay
+		} else {
+			for _, l := range s.Topo.Route(pkt.Src, pkt.Dst) {
+				start := s.linkPort(l).AcquireAt(cursor, ser)
+				cursor = start + ser + s.P.HopDelay
+			}
+		}
+	}
+	start := dst.ingress.AcquireAt(cursor, ser)
+	s.Eng.At(start+ser, func() {
+		if pkt.Reply {
+			dst.rcpArrive(pkt)
+		} else {
+			dst.rrppArrive(pkt)
+		}
+	})
+}
+
+// NodeStats are per-node model counters.
+type NodeStats struct {
+	WQAccepted    uint64
+	LinesInjected uint64
+	RequestsIn    uint64
+	RepliesIn     uint64
+	Completions   uint64
+	TLBMisses     uint64
+	PageWalks     uint64
+}
+
+// Node is one simulated soNUMA node: a core-side memory hierarchy, an RMC
+// with its private L1 integrated into the same coherence domain, the MAQ,
+// TLB and the three pipelines.
+type Node struct {
+	sys *System
+	id  core.NodeID
+
+	// Memory system: core L1s and the RMC L1 share the L2 and DRAM.
+	dram   *dram.Controller
+	l2     *cache.Cache
+	rmcL1  *cache.Cache
+	coreL1 []*cache.Cache
+
+	// Core ports: one per hardware context (the microbenchmarks use one;
+	// the SHM PageRank baseline uses several).
+	cores []*sim.Port
+
+	maq *sim.TokenPool
+	tlb *mmu.TLB
+
+	rgp  *sim.Port
+	rrpp *sim.Port
+	rcp  *sim.Port
+
+	egress  *sim.Port
+	ingress *sim.Port
+
+	wq      *sim.Queue
+	itt     []ittState
+	ittFree []int
+	ittWait []func()
+
+	alloc uint64 // bump allocator for the node's physical address space
+
+	Stats NodeStats
+}
+
+type ittState struct {
+	remaining int
+	buf       uint64
+	op        core.Op
+	done      func()
+}
+
+func newNode(s *System, id core.NodeID) *Node {
+	n := &Node{sys: s, id: id}
+	n.dram = dram.New(s.Eng, s.P.DRAM)
+	adapter := &cache.DRAMAdapter{Access64: func(lineAddr uint64, write bool, done func()) {
+		n.dram.Access(lineAddr, write, done)
+	}}
+	n.l2 = cache.New(s.Eng, s.P.L2, adapter)
+	n.rmcL1 = cache.New(s.Eng, s.P.L1, n.l2)
+	n.maq = sim.NewTokenPool(s.Eng, s.P.MAQEntries)
+	n.tlb = mmu.NewTLB(s.P.TLBEntries, s.P.TLBWays)
+	n.rgp = sim.NewPort(s.Eng)
+	n.rrpp = sim.NewPort(s.Eng)
+	n.rcp = sim.NewPort(s.Eng)
+	n.egress = sim.NewPort(s.Eng)
+	n.ingress = sim.NewPort(s.Eng)
+	n.wq = sim.NewQueue(s.Eng, 0)
+	n.wq.SetConsumer(n.rgpDrain)
+	n.itt = make([]ittState, s.P.ITTEntries)
+	for i := s.P.ITTEntries - 1; i >= 0; i-- {
+		n.ittFree = append(n.ittFree, i)
+	}
+	n.AddCore()
+	return n
+}
+
+// AddCore registers another hardware context (core) on the node and returns
+// its index.
+func (n *Node) AddCore() int {
+	n.cores = append(n.cores, sim.NewPort(n.sys.Eng))
+	n.coreL1 = append(n.coreL1, cache.New(n.sys.Eng, n.sys.P.L1, n.l2))
+	return len(n.cores) - 1
+}
+
+// AddIsolatedCore registers a core with its own private L2 slice in front of
+// the shared memory controller. The SHM PageRank baseline uses it to
+// reproduce the paper's cache provisioning (§7.5: the multiprocessor's LLC
+// equals one soNUMA node's LLC per core, "no benefits can be attributed to
+// larger cache capacity") without the capacity-sharing advantage a single
+// monolithic LLC would confer.
+func (n *Node) AddIsolatedCore(l2p cache.Params) int {
+	adapter := &cache.DRAMAdapter{Access64: func(lineAddr uint64, write bool, done func()) {
+		n.dram.Access(lineAddr, write, done)
+	}}
+	privL2 := cache.New(n.sys.Eng, l2p, adapter)
+	n.cores = append(n.cores, sim.NewPort(n.sys.Eng))
+	n.coreL1 = append(n.coreL1, cache.New(n.sys.Eng, n.sys.P.L1, privL2))
+	return len(n.cores) - 1
+}
+
+// Core returns core c's occupancy port (drivers charge software costs to it).
+func (n *Node) Core(c int) *sim.Port { return n.cores[c] }
+
+// Alloc reserves size bytes of the node's physical address space, aligned
+// to cache lines, and returns the base address.
+func (n *Node) Alloc(size int) uint64 {
+	base := n.alloc
+	n.alloc += uint64(core.AlignUp(size))
+	return base
+}
+
+// DRAM exposes the node's memory controller (for utilization reports).
+func (n *Node) DRAM() *dram.Controller { return n.dram }
+
+// L2 exposes the node's last-level cache.
+func (n *Node) L2() *cache.Cache { return n.l2 }
+
+// RMCL1 exposes the RMC's private L1.
+func (n *Node) RMCL1() *cache.Cache { return n.rmcL1 }
+
+// TLB exposes the RMC TLB.
+func (n *Node) TLB() *mmu.TLB { return n.tlb }
+
+// CoreAccess models core c performing a blocking data access through its
+// L1; done fires when the load retires.
+func (n *Node) CoreAccess(c int, addr uint64, write bool, done func()) {
+	n.coreL1[c].Access(addr, write, done)
+}
+
+// rmcAccess routes an RMC memory access through the MAQ and the RMC's
+// private L1 (§4.3: "The MAQ handles all memory read and write operations
+// ... The number of outstanding operations is limited by the number of miss
+// status handling registers at the RMC's L1 cache").
+func (n *Node) rmcAccess(addr uint64, write bool, done func()) {
+	n.maq.Acquire(func() {
+		n.rmcL1.Access(addr, write, func() {
+			n.maq.Release()
+			done()
+		})
+	})
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(1)
+	z := NewZipf(r, 1000, 1.2)
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate, and the head must hold most of the mass.
+	if counts[0] < counts[10] {
+		t.Fatalf("rank 0 (%d) not above rank 10 (%d)", counts[0], counts[10])
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if float64(head)/draws < 0.5 {
+		t.Fatalf("top-10%% of ranks hold only %.2f of mass", float64(head)/draws)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("basic stats wrong: n=%d mean=%g min=%g max=%g", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %g, want 3", p)
+	}
+	if p := s.Percentile(100); p != 5 {
+		t.Fatalf("p100 = %g, want 5", p)
+	}
+	if sd := s.Stddev(); math.Abs(sd-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %g", sd)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(99) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample not all-zero")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, p1, p2 uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb && pa >= s.Min() && pb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.0)
+	tab.AddRow("beta", 123.456)
+	out := tab.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "123") {
+		t.Fatalf("table rendering missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[int]string{64: "64B", 1024: "1KB", 8192: "8KB", 1 << 20: "1MB", 100: "100B"}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatFloat(0.305) != "0.30" && FormatFloat(0.305) != "0.31" {
+		t.Errorf("FormatFloat small = %q", FormatFloat(0.305))
+	}
+	if FormatFloat(304.7) != "305" {
+		t.Errorf("FormatFloat large = %q", FormatFloat(304.7))
+	}
+}
+
+func TestBandwidthHelpers(t *testing.T) {
+	if g := Gbps(1e9, 1); math.Abs(g-8) > 1e-9 {
+		t.Fatalf("Gbps = %g", g)
+	}
+	if g := GBps(5e9, 2); math.Abs(g-2.5) > 1e-9 {
+		t.Fatalf("GBps = %g", g)
+	}
+	if Gbps(100, 0) != 0 || GBps(100, -1) != 0 {
+		t.Fatal("zero/negative duration not guarded")
+	}
+}

@@ -1,0 +1,546 @@
+package sonuma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"sonuma/internal/core"
+)
+
+// This file implements the messaging half of the paper's messaging and
+// synchronization library (§5.3): unsolicited send/receive built entirely in
+// software on top of the one-sided remote operations, with no additional
+// architectural support.
+//
+// Mechanism, following the paper:
+//
+//   - Every pair of communicating nodes allocates bounded buffers from its
+//     own portion of the global virtual address space: a receive ring of
+//     cache-line-sized slots per sender. Senders push message fragments with
+//     rmc_write; receivers poll local (cached) memory.
+//   - Small messages are PUSHED: packetized into line-sized slots, each
+//     carrying a header and payload fragment. A send completes with a single
+//     rmc_write in the common case and requires no synchronization between
+//     the peers.
+//   - Large messages are PULLED: the sender stages the payload in its own
+//     segment and pushes only a descriptor (base, length); the receiver
+//     fetches the payload with a single rmc_read and acknowledges so the
+//     staging slot can be reused.
+//   - The boundary between the two is the user-set Threshold, exactly the
+//     compile-time knob of §5.3.
+//   - Flow control is credit-based: receivers publish cumulative
+//     consumed-slot counts into each sender's segment, bounding ring
+//     occupancy without any connection state.
+
+// Message slot geometry: one cache line per slot, 8-byte header.
+const (
+	slotSize    = core.CacheLineSize
+	slotPayload = slotSize - 8
+)
+
+// Slot kinds (top 4 bits of the meta word).
+const (
+	kindData uint32 = 1 // first slot of a pushed message
+	kindPull uint32 = 2 // pull descriptor
+	kindCont uint32 = 3 // continuation slot of a multi-slot push
+)
+
+const metaLenMask = (1 << 28) - 1
+
+// Threshold sentinels for MessengerConfig.Threshold.
+const (
+	// ThresholdAlwaysPush disables the pull path (the paper's
+	// "threshold = ∞" configuration).
+	ThresholdAlwaysPush = -1
+	// ThresholdAlwaysPull pushes nothing but descriptors (the paper's
+	// "threshold = 0" configuration).
+	ThresholdAlwaysPull = -2
+)
+
+// MessengerConfig sizes the messaging region. All participants of a context
+// must use identical configurations.
+type MessengerConfig struct {
+	// RegionOffset is where the messaging region begins within each
+	// node's context segment.
+	RegionOffset int
+	// RingSlots is the per-sender receive ring depth in cache lines
+	// (default 64). The largest pushable message is RingSlots×56 bytes.
+	RingSlots int
+	// StagingSlots is the number of concurrently outstanding pull
+	// transfers per destination (default 4).
+	StagingSlots int
+	// StagingSize is the staging slot size, the largest single pull
+	// transfer (default 64 KB). Larger sends are split.
+	StagingSize int
+	// Threshold is the push/pull boundary in bytes: messages strictly
+	// smaller are pushed, others pulled (default 256). Use
+	// ThresholdAlwaysPush / ThresholdAlwaysPull to force one mechanism.
+	Threshold int
+}
+
+func (c MessengerConfig) withDefaults() MessengerConfig {
+	if c.RingSlots <= 0 {
+		c.RingSlots = 64
+	}
+	if c.StagingSlots <= 0 {
+		c.StagingSlots = 4
+	}
+	if c.StagingSize <= 0 {
+		c.StagingSize = 64 << 10
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 256
+	}
+	return c
+}
+
+// MessengerRegionSize reports the context-segment bytes a messenger with
+// this configuration consumes on each node of an n-node group, starting at
+// RegionOffset. Open contexts with at least RegionOffset+size bytes.
+func MessengerRegionSize(n int, cfg MessengerConfig) int {
+	cfg = cfg.withDefaults()
+	rings := n * cfg.RingSlots * slotSize
+	credits := n * slotSize
+	acks := core.AlignUp(n * cfg.StagingSlots * 8)
+	staging := n * cfg.StagingSlots * cfg.StagingSize
+	return rings + credits + acks + staging
+}
+
+// Message is one received unsolicited message.
+type Message struct {
+	From int
+	Data []byte
+}
+
+// ErrMessageTooLarge reports a push-only messenger asked to send a message
+// that does not fit its ring.
+var ErrMessageTooLarge = errors.New("sonuma: message exceeds push ring capacity and pull is disabled")
+
+// errProtocol reports ring corruption (a continuation slot where a message
+// head was expected), which indicates mismatched configurations.
+var errProtocol = errors.New("sonuma: messaging protocol corruption (mismatched MessengerConfig?)")
+
+// Messenger provides unsolicited send/receive among all nodes of a cluster
+// sharing a context. It must be driven by a single goroutine and owns the
+// QP passed to NewMessenger.
+type Messenger struct {
+	ctx *Context
+	qp  *QP
+	cfg MessengerConfig
+	n   int
+	me  int
+
+	mem     *Memory
+	sendBuf *Buffer // staging for outgoing ring writes
+	pullBuf *Buffer // landing area for pull reads
+	tiny    *Buffer // 8-byte scratch for credit/ack writes
+
+	ringBase, creditBase, ackBase, stagBase int
+
+	txSeq          []uint64 // slots written toward each peer
+	rxSeq          []uint64 // slots consumed from each peer
+	lastCreditSent []uint64
+	stagingGen     [][]uint64
+
+	rxQueue []Message
+
+	// Counters for the experiment harness.
+	Pushed uint64 // messages sent via push
+	Pulled uint64 // messages sent via pull
+}
+
+// NewMessenger attaches a messenger to ctx using qp for its remote
+// operations. The context segment must be at least
+// cfg.RegionOffset + MessengerRegionSize(cluster nodes, cfg) bytes.
+func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error) {
+	cfg = cfg.withDefaults()
+	n := ctx.Node().Cluster().Nodes()
+	need := cfg.RegionOffset + MessengerRegionSize(n, cfg)
+	if ctx.SegmentSize() < need {
+		return nil, fmt.Errorf("sonuma: context segment %d bytes < %d required by messenger", ctx.SegmentSize(), need)
+	}
+	m := &Messenger{
+		ctx: ctx, qp: qp, cfg: cfg, n: n, me: ctx.NodeID(),
+		mem:            ctx.Memory(),
+		txSeq:          make([]uint64, n),
+		rxSeq:          make([]uint64, n),
+		lastCreditSent: make([]uint64, n),
+		stagingGen:     make([][]uint64, n),
+	}
+	for i := range m.stagingGen {
+		m.stagingGen[i] = make([]uint64, cfg.StagingSlots)
+	}
+	m.ringBase = cfg.RegionOffset
+	m.creditBase = m.ringBase + n*cfg.RingSlots*slotSize
+	m.ackBase = m.creditBase + n*slotSize
+	m.stagBase = m.ackBase + core.AlignUp(n*cfg.StagingSlots*8)
+
+	var err error
+	if m.sendBuf, err = ctx.AllocBuffer(cfg.RingSlots * slotSize); err != nil {
+		return nil, err
+	}
+	if m.pullBuf, err = ctx.AllocBuffer(cfg.StagingSize); err != nil {
+		return nil, err
+	}
+	if m.tiny, err = ctx.AllocBuffer(slotSize); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ringOff locates, within the segment of the node owning a ring, the slot
+// ring written by sender `from`.
+func (m *Messenger) ringOff(from, slot int) int {
+	return m.ringBase + from*m.cfg.RingSlots*slotSize + slot*slotSize
+}
+
+// creditOff locates, within my segment, the credit line written by peer p.
+func (m *Messenger) creditOff(p int) int { return m.creditBase + p*slotSize }
+
+// ackOff locates, within the segment of a pull SENDER, the ack word for
+// staging slot k toward receiver `rcv`.
+func (m *Messenger) ackOff(rcv, k int) int {
+	return m.ackBase + (rcv*m.cfg.StagingSlots+k)*8
+}
+
+// stagingOff locates, within my segment, staging slot k toward peer p.
+func (m *Messenger) stagingOff(p, k int) int {
+	return m.stagBase + (p*m.cfg.StagingSlots+k)*m.cfg.StagingSize
+}
+
+// slotsFor reports the ring slots a pushed payload of n bytes occupies.
+func slotsFor(n int) int {
+	if n <= slotPayload {
+		return 1
+	}
+	return 1 + (n-slotPayload+slotPayload-1)/slotPayload
+}
+
+// usePull decides the mechanism for a message of n bytes.
+func (m *Messenger) usePull(n int) bool {
+	switch m.cfg.Threshold {
+	case ThresholdAlwaysPush:
+		return false
+	case ThresholdAlwaysPull:
+		return true
+	default:
+		return n >= m.cfg.Threshold
+	}
+}
+
+// Send delivers data to node `to`. It returns when the data has been copied
+// out of the caller's slice (push: written into the peer's ring; pull:
+// staged in the local segment), so the caller may immediately reuse data.
+func (m *Messenger) Send(to int, data []byte) error {
+	if to < 0 || to >= m.n {
+		return fmt.Errorf("sonuma: send to node %d out of range [0,%d)", to, m.n)
+	}
+	if to == m.me {
+		// Loopback: intra-node communication stays in shared memory.
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		m.rxQueue = append(m.rxQueue, Message{From: m.me, Data: cp})
+		return nil
+	}
+	if !m.usePull(len(data)) {
+		if slotsFor(len(data)) <= m.cfg.RingSlots {
+			m.Pushed++
+			return m.sendPush(to, kindData, data)
+		}
+		if m.cfg.Threshold == ThresholdAlwaysPush {
+			return ErrMessageTooLarge
+		}
+	}
+	// Pull path, splitting at staging-slot granularity.
+	for start := 0; start == 0 || start < len(data); start += m.cfg.StagingSize {
+		end := start + m.cfg.StagingSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.sendPull(to, data[start:end]); err != nil {
+			return err
+		}
+		m.Pulled++
+	}
+	return nil
+}
+
+// sendPush packetizes data into epoch-stamped line slots and writes them
+// into the peer's ring with at most two rmc_writes (one unless the message
+// wraps the ring edge). Out-of-order line delivery is tolerated by the
+// receiver through the per-slot epoch stamps.
+func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
+	nSlots := slotsFor(len(data))
+	if nSlots > m.cfg.RingSlots {
+		return ErrMessageTooLarge
+	}
+	// Credit wait: the peer's cumulative consumed count is written into
+	// our segment; available = ring − (sent − consumed).
+	for {
+		consumed, err := m.mem.Load64(m.creditOff(to))
+		if err != nil {
+			return err
+		}
+		if int(m.txSeq[to]-consumed)+nSlots <= m.cfg.RingSlots {
+			break
+		}
+		// While blocked, keep draining inbound traffic so two nodes
+		// saturating each other's rings cannot deadlock.
+		if err := m.pump(); err != nil {
+			return err
+		}
+		runtime.Gosched()
+	}
+	// Compose the slots in the send buffer.
+	remaining := data
+	for i := 0; i < nSlots; i++ {
+		seq := m.txSeq[to] + uint64(i)
+		epoch := uint32(seq/uint64(m.cfg.RingSlots)) + 1
+		chunk := remaining
+		if len(chunk) > slotPayload {
+			chunk = chunk[:slotPayload]
+		}
+		remaining = remaining[len(chunk):]
+		meta := kindCont<<28 | uint32(len(chunk))
+		if i == 0 {
+			meta = kind<<28 | uint32(len(data))&metaLenMask
+		}
+		var line [slotSize]byte
+		binary.LittleEndian.PutUint32(line[0:], epoch)
+		binary.LittleEndian.PutUint32(line[4:], meta)
+		copy(line[8:], chunk)
+		if err := m.sendBuf.WriteAt(i*slotSize, line[:]); err != nil {
+			return err
+		}
+	}
+	// Write the contiguous runs (the message may wrap the ring edge).
+	first := int(m.txSeq[to] % uint64(m.cfg.RingSlots))
+	run1 := nSlots
+	if first+run1 > m.cfg.RingSlots {
+		run1 = m.cfg.RingSlots - first
+	}
+	if err := m.qp.Write(to, uint64(m.ringOff(m.me, first)), m.sendBuf, 0, run1*slotSize); err != nil {
+		return err
+	}
+	if run2 := nSlots - run1; run2 > 0 {
+		if err := m.qp.Write(to, uint64(m.ringOff(m.me, 0)), m.sendBuf, run1*slotSize, run2*slotSize); err != nil {
+			return err
+		}
+	}
+	m.txSeq[to] += uint64(nSlots)
+	return nil
+}
+
+// sendPull stages chunk in the local segment and pushes a 24-byte
+// descriptor; the receiver fetches the payload with one rmc_read and
+// acknowledges by writing the staging generation into our ack word.
+func (m *Messenger) sendPull(to int, chunk []byte) error {
+	k, err := m.allocStaging(to)
+	if err != nil {
+		return err
+	}
+	gen := m.stagingGen[to][k]
+	off := m.stagingOff(to, k)
+	if err := m.mem.WriteAt(off, chunk); err != nil {
+		return err
+	}
+	var desc [24]byte
+	binary.LittleEndian.PutUint64(desc[0:], uint64(off))
+	binary.LittleEndian.PutUint64(desc[8:], uint64(len(chunk)))
+	binary.LittleEndian.PutUint32(desc[16:], uint32(k))
+	binary.LittleEndian.PutUint32(desc[20:], uint32(gen))
+	return m.sendPush(to, kindPull, desc[:])
+}
+
+// allocStaging returns a free staging slot toward peer `to`, draining
+// inbound traffic while all are awaiting acknowledgement.
+func (m *Messenger) allocStaging(to int) (int, error) {
+	for {
+		for k := 0; k < m.cfg.StagingSlots; k++ {
+			acked, err := m.mem.Load64(m.ackOff(to, k))
+			if err != nil {
+				return 0, err
+			}
+			if acked >= m.stagingGen[to][k] {
+				m.stagingGen[to][k]++
+				return k, nil
+			}
+		}
+		if err := m.pump(); err != nil {
+			return 0, err
+		}
+		runtime.Gosched()
+	}
+}
+
+// Recv returns the next message, blocking until one arrives.
+func (m *Messenger) Recv() (Message, error) {
+	for {
+		if msg, ok, err := m.TryRecv(); err != nil || ok {
+			return msg, err
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryRecv returns a pending message without blocking.
+func (m *Messenger) TryRecv() (Message, bool, error) {
+	if err := m.pump(); err != nil {
+		return Message{}, false, err
+	}
+	if len(m.rxQueue) == 0 {
+		return Message{}, false, nil
+	}
+	msg := m.rxQueue[0]
+	m.rxQueue = m.rxQueue[1:]
+	return msg, true, nil
+}
+
+// Poll processes inbound protocol traffic (message assembly, pull fetches,
+// credit returns) without receiving; senders blocked on our credits make
+// progress when we poll.
+func (m *Messenger) Poll() error { return m.pump() }
+
+// pump performs one non-blocking pass over all peers' rings.
+func (m *Messenger) pump() error {
+	for p := 0; p < m.n; p++ {
+		if p == m.me {
+			continue
+		}
+		for {
+			progressed, err := m.tryConsume(p)
+			if err != nil {
+				return err
+			}
+			if !progressed {
+				break
+			}
+		}
+		if err := m.flushCredits(p, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSlot fetches ring slot (p, seq) if its epoch has been published.
+func (m *Messenger) readSlot(p int, seq uint64) (epochOK bool, meta uint32, payload [slotPayload]byte, err error) {
+	slot := int(seq % uint64(m.cfg.RingSlots))
+	expect := uint32(seq/uint64(m.cfg.RingSlots)) + 1
+	var line [slotSize]byte
+	if err = m.mem.ReadAt(m.ringOff(p, slot), line[:]); err != nil {
+		return false, 0, payload, err
+	}
+	if binary.LittleEndian.Uint32(line[0:]) != expect {
+		return false, 0, payload, nil
+	}
+	meta = binary.LittleEndian.Uint32(line[4:])
+	copy(payload[:], line[8:])
+	return true, meta, payload, nil
+}
+
+// tryConsume consumes at most one message head from peer p's ring.
+func (m *Messenger) tryConsume(p int) (bool, error) {
+	ok, meta, payload, err := m.readSlot(p, m.rxSeq[p])
+	if err != nil || !ok {
+		return false, err
+	}
+	kind := meta >> 28
+	length := int(meta & metaLenMask)
+	switch kind {
+	case kindData, kindPull:
+	default:
+		return false, errProtocol
+	}
+	nSlots := slotsFor(length)
+	data := make([]byte, 0, length)
+	take := length
+	if take > slotPayload {
+		take = slotPayload
+	}
+	data = append(data, payload[:take]...)
+	// Continuation slots of one rmc_write may land out of order; spin on
+	// each epoch stamp in turn.
+	for i := 1; i < nSlots; i++ {
+		for {
+			ok, cmeta, cpayload, err := m.readSlot(p, m.rxSeq[p]+uint64(i))
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				if cmeta>>28 != kindCont {
+					return false, errProtocol
+				}
+				data = append(data, cpayload[:cmeta&metaLenMask]...)
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	m.rxSeq[p] += uint64(nSlots)
+
+	switch kind {
+	case kindData:
+		m.rxQueue = append(m.rxQueue, Message{From: p, Data: data})
+	case kindPull:
+		if len(data) != 24 {
+			return false, errProtocol
+		}
+		srcOff := binary.LittleEndian.Uint64(data[0:])
+		dataLen := int(binary.LittleEndian.Uint64(data[8:]))
+		slotIdx := int(binary.LittleEndian.Uint32(data[16:]))
+		gen := uint64(binary.LittleEndian.Uint32(data[20:]))
+		if dataLen > m.pullBuf.Size() {
+			return false, errProtocol
+		}
+		// Single rmc_read of the staged payload (§5.3 pull).
+		if err := m.qp.Read(p, srcOff, m.pullBuf, 0, maxInt(dataLen, 1)); err != nil {
+			return false, err
+		}
+		body := make([]byte, dataLen)
+		if dataLen > 0 {
+			if err := m.pullBuf.ReadAt(0, body); err != nil {
+				return false, err
+			}
+		}
+		// Acknowledge by writing the generation into the sender's ack
+		// word — the "zero-length message" completion signal of §5.3.
+		if err := m.tiny.Store64(0, gen); err != nil {
+			return false, err
+		}
+		if err := m.qp.Write(p, uint64(m.ackOff(m.me, slotIdx)), m.tiny, 0, 8); err != nil {
+			return false, err
+		}
+		m.rxQueue = append(m.rxQueue, Message{From: p, Data: body})
+	}
+	return true, nil
+}
+
+// flushCredits publishes our consumed-slot count to peer p when the unsent
+// delta justifies a write (or force is set).
+func (m *Messenger) flushCredits(p int, force bool) error {
+	debt := m.rxSeq[p] - m.lastCreditSent[p]
+	if debt == 0 {
+		return nil
+	}
+	if !force && int(debt) < maxInt(1, m.cfg.RingSlots/4) {
+		return nil
+	}
+	if err := m.tiny.Store64(8, m.rxSeq[p]); err != nil {
+		return err
+	}
+	if err := m.qp.Write(p, uint64(m.creditOff(m.me)), m.tiny, 8, 8); err != nil {
+		return err
+	}
+	m.lastCreditSent[p] = m.rxSeq[p]
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+package sonuma_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sonuma"
+)
+
+func TestMessengerAlwaysPull(t *testing.T) {
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{Threshold: sonuma.ThresholdAlwaysPull})
+	done := make(chan error, 1)
+	go func() {
+		m, err := ms[1].Recv()
+		if err == nil && string(m.Data) != "tiny" {
+			err = fmt.Errorf("data %q", m.Data)
+		}
+		done <- err
+	}()
+	if err := ms[0].Send(1, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Pulled != 1 || ms[0].Pushed != 0 {
+		t.Fatalf("pull-only messenger pushed=%d pulled=%d", ms[0].Pushed, ms[0].Pulled)
+	}
+}
+
+func TestMessengerLoopback(t *testing.T) {
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{})
+	if err := ms[0].Send(0, []byte("to-self")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ms[0].Recv()
+	if err != nil || m.From != 0 || string(m.Data) != "to-self" {
+		t.Fatalf("loopback: %+v %v", m, err)
+	}
+}
+
+func TestMessengerPollMakesProgressForPeers(t *testing.T) {
+	// A sender blocked on ring credits resumes when the receiver calls
+	// Poll (not Recv) — Poll processes inbound traffic and returns
+	// credits.
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{RingSlots: 4})
+	sent := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 40 && err == nil; i++ {
+			err = ms[0].Send(1, []byte("spam"))
+		}
+		sent <- err
+	}()
+	got := 0
+	for got < 40 {
+		if err := ms[1].Poll(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok, err := ms[1].TryRecv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got++
+		}
+	}
+	if err := <-sent; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerInterleavedSizes(t *testing.T) {
+	// Push and pull messages interleave on one connection and arrive in
+	// order with intact payloads.
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{Threshold: 128})
+	var want [][]byte
+	for i := 0; i < 30; i++ {
+		size := 16
+		if i%3 == 1 {
+			size = 500 // pulled
+		} else if i%3 == 2 {
+			size = 127 // pushed, multi-slot
+		}
+		msg := bytes.Repeat([]byte{byte(i)}, size)
+		want = append(want, msg)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := range want {
+			m, err := ms[1].Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			if !bytes.Equal(m.Data, want[i]) {
+				done <- fmt.Errorf("message %d: %d bytes, want %d", i, len(m.Data), len(want[i]))
+				return
+			}
+		}
+		done <- nil
+	}()
+	for _, msg := range want {
+		if err := ms[0].Send(1, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerRegionSizeAccounts(t *testing.T) {
+	cfg := sonuma.MessengerConfig{RingSlots: 32, StagingSlots: 2, StagingSize: 4096}
+	size := sonuma.MessengerRegionSize(4, cfg)
+	// rings: 4*32*64; credits: 4*64; acks: align64(4*2*8); staging: 4*2*4096
+	want := 4*32*64 + 4*64 + 64 + 4*2*4096
+	if size != want {
+		t.Fatalf("region size %d, want %d", size, want)
+	}
+	// A too-small segment is rejected up front.
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, _ := cl.Node(0).OpenContext(1, 1024)
+	qp, _ := ctx.NewQP(8)
+	if _, err := sonuma.NewMessenger(ctx, qp, cfg); err == nil {
+		t.Fatal("undersized segment accepted")
+	}
+}
+
+func TestBarrierErrors(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, _ := cl.Node(0).OpenContext(1, 8192)
+	qp, _ := ctx.NewQP(8)
+	if _, err := sonuma.NewBarrier(ctx, qp, 0, []int{1}); err == nil {
+		t.Fatal("barrier without self accepted")
+	}
+	if _, err := sonuma.NewBarrier(ctx, qp, 0, []int{0, 1, 1}); err == nil {
+		t.Fatal("duplicate participant accepted")
+	}
+	if _, err := sonuma.NewBarrier(ctx, qp, 8192-32, []int{0, 1}); err == nil {
+		t.Fatal("undersized barrier region accepted")
+	}
+}
+
+func TestBarrierFailedPeerSurfaces(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctxs := make([]*sonuma.Context, 2)
+	for i := range ctxs {
+		ctxs[i], _ = cl.Node(i).OpenContext(1, sonuma.BarrierRegionSize(2)+4096)
+	}
+	qp, _ := ctxs[0].NewQP(8)
+	b, err := sonuma.NewBarrier(ctxs[0], qp, 0, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FailNode(1)
+	if err := b.Wait(); err == nil {
+		t.Fatal("barrier with failed peer succeeded")
+	}
+}
+
+func TestMultipleQPsShareOneRMCFairly(t *testing.T) {
+	// Several QPs on one node run concurrently from separate goroutines;
+	// the RGP's round-robin polling must serve all of them.
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c0, _ := cl.Node(0).OpenContext(1, 1<<16)
+	if _, err := cl.Node(1).OpenContext(1, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	const qps = 6
+	var wg sync.WaitGroup
+	for q := 0; q < qps; q++ {
+		qp, err := c0.NewQP(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := c0.AllocBuffer(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(qp *sonuma.QP, buf *sonuma.Buffer) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := qp.Read(1, uint64(i*64), buf, 0, 64); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(qp, buf)
+	}
+	wg.Wait()
+	s := cl.Node(0).RMCStats()
+	if s.Completions < qps*200 {
+		t.Fatalf("completions %d, want >= %d", s.Completions, qps*200)
+	}
+}

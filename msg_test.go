@@ -1,0 +1,312 @@
+package sonuma_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sonuma"
+)
+
+// newMessengers builds an n-node cluster with a messenger on each node.
+func newMessengers(t *testing.T, n int, mcfg sonuma.MessengerConfig) []*sonuma.Messenger {
+	t.Helper()
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	segSize := mcfg.RegionOffset + sonuma.MessengerRegionSize(n, mcfg) + 4096
+	ms := make([]*sonuma.Messenger, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(3, segSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ctx.NewQP(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, mcfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ms
+}
+
+func TestMessengerPushSmall(t *testing.T) {
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{})
+	want := []byte("hi there")
+	done := make(chan error, 1)
+	go func() {
+		msg, err := ms[1].Recv()
+		if err == nil {
+			if msg.From != 0 {
+				err = fmt.Errorf("from = %d, want 0", msg.From)
+			} else if !bytes.Equal(msg.Data, want) {
+				err = fmt.Errorf("data = %q, want %q", msg.Data, want)
+			}
+		}
+		done <- err
+	}()
+	if err := ms[0].Send(1, want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Pushed != 1 || ms[0].Pulled != 0 {
+		t.Fatalf("pushed=%d pulled=%d, want 1/0", ms[0].Pushed, ms[0].Pulled)
+	}
+}
+
+func TestMessengerPullLarge(t *testing.T) {
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{Threshold: 256})
+	want := make([]byte, 48*1024) // > threshold, < staging size
+	for i := range want {
+		want[i] = byte(i % 251)
+	}
+	done := make(chan error, 1)
+	go func() {
+		msg, err := ms[1].Recv()
+		if err == nil && !bytes.Equal(msg.Data, want) {
+			err = fmt.Errorf("pull data mismatch (%d bytes)", len(msg.Data))
+		}
+		done <- err
+	}()
+	if err := ms[0].Send(1, want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Pulled != 1 {
+		t.Fatalf("pulled=%d, want 1", ms[0].Pulled)
+	}
+}
+
+func TestMessengerSplitsOversizedPulls(t *testing.T) {
+	cfg := sonuma.MessengerConfig{Threshold: 64, StagingSize: 8 * 1024}
+	ms := newMessengers(t, 2, cfg)
+	want := make([]byte, 20*1024) // needs 3 staging chunks
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	var got []byte
+	done := make(chan error, 1)
+	go func() {
+		for len(got) < len(want) {
+			msg, err := ms[1].Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			got = append(got, msg.Data...)
+		}
+		done <- nil
+	}()
+	if err := ms[0].Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("reassembled payload mismatch")
+	}
+	if ms[0].Pulled != 3 {
+		t.Fatalf("pulled=%d, want 3", ms[0].Pulled)
+	}
+}
+
+func TestMessengerOrderingAndBurst(t *testing.T) {
+	// Burst more messages than the ring holds: exercises credit-based
+	// flow control, ring wrap and epoch validation.
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{RingSlots: 8})
+	const count = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < count; i++ {
+			msg, err := ms[1].Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			want := fmt.Sprintf("msg-%04d", i)
+			if string(msg.Data) != want {
+				done <- fmt.Errorf("message %d = %q, want %q (reordered?)", i, msg.Data, want)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < count; i++ {
+		if err := ms[0].Send(1, []byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerBidirectionalNoDeadlock(t *testing.T) {
+	// Both sides blast at each other with tiny rings; Send's inbound
+	// pumping must prevent the credit deadlock.
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{RingSlots: 4})
+	const count = 100
+	var wg sync.WaitGroup
+	for side := 0; side < 2; side++ {
+		side := side
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sent, recvd := 0, 0
+			for sent < count || recvd < count {
+				if sent < count {
+					if err := ms[side].Send(1-side, []byte("ping")); err != nil {
+						t.Errorf("side %d send: %v", side, err)
+						return
+					}
+					sent++
+				}
+				for {
+					_, ok, err := ms[side].TryRecv()
+					if err != nil {
+						t.Errorf("side %d recv: %v", side, err)
+						return
+					}
+					if !ok {
+						break
+					}
+					recvd++
+				}
+			}
+			for recvd < count {
+				if _, err := ms[side].Recv(); err != nil {
+					t.Errorf("side %d recv: %v", side, err)
+					return
+				}
+				recvd++
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMessengerAllToAll(t *testing.T) {
+	const n = 4
+	ms := newMessengers(t, n, sonuma.MessengerConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				if err := ms[i].Send(j, []byte(fmt.Sprintf("from-%d", i))); err != nil {
+					t.Errorf("send %d->%d: %v", i, j, err)
+					return
+				}
+			}
+			seen := map[int]bool{}
+			for len(seen) < n-1 {
+				msg, err := ms[i].Recv()
+				if err != nil {
+					t.Errorf("recv at %d: %v", i, err)
+					return
+				}
+				if want := fmt.Sprintf("from-%d", msg.From); string(msg.Data) != want {
+					t.Errorf("node %d: payload %q from %d", i, msg.Data, msg.From)
+					return
+				}
+				seen[msg.From] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMessengerAlwaysPushRejectsHuge(t *testing.T) {
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{RingSlots: 8, Threshold: sonuma.ThresholdAlwaysPush})
+	err := ms[0].Send(1, make([]byte, 10*1024))
+	if err == nil {
+		t.Fatal("expected ErrMessageTooLarge")
+	}
+}
+
+func TestMessengerEmptyMessage(t *testing.T) {
+	ms := newMessengers(t, 2, sonuma.MessengerConfig{})
+	done := make(chan error, 1)
+	go func() {
+		msg, err := ms[1].Recv()
+		if err == nil && len(msg.Data) != 0 {
+			err = fmt.Errorf("got %d bytes, want 0", len(msg.Data))
+		}
+		done <- err
+	}()
+	if err := ms[0].Send(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 4
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	parts := []int{0, 1, 2, 3}
+	barriers := make([]*sonuma.Barrier, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(9, sonuma.BarrierRegionSize(n)+4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ctx.NewQP(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if barriers[i], err = sonuma.NewBarrier(ctx, qp, 0, parts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A shared counter checked against barrier rounds: if any node runs
+	// ahead through the barrier, it observes a stale counter.
+	var mu sync.Mutex
+	arrived := make([]int, n)
+	const rounds = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 1; r <= rounds; r++ {
+				mu.Lock()
+				arrived[i] = r
+				mu.Unlock()
+				if err := barriers[i].Wait(); err != nil {
+					t.Errorf("node %d round %d: %v", i, r, err)
+					return
+				}
+				mu.Lock()
+				for j, a := range arrived {
+					if a < r {
+						t.Errorf("node %d passed barrier round %d before node %d arrived (at %d)", i, r, j, a)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

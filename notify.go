@@ -1,0 +1,93 @@
+package sonuma
+
+import (
+	"sonuma/internal/core"
+	"sonuma/internal/qpring"
+)
+
+// This file implements the remote-notification extension the paper lists as
+// the architecture's natural next step (§8, "Open issues": "the ability to
+// issue remote interrupts as part of an RMC command, so that nodes can
+// communicate without polling"). WriteNotify is a one-sided remote write
+// whose final line transaction additionally raises a software handler — the
+// "interrupt" — at the destination, which system software converts into an
+// application message (here: a callback or channel).
+//
+// Semantics: handling stays stateless at the destination, so the
+// notification is tied to the write's LAST line transaction. Lines of a
+// multi-line write may land out of order, so the notification is a doorbell,
+// not a delivery receipt for the whole payload; single-line writes (≤ 64
+// bytes) get exact arrival semantics. Protocols needing multi-line delivery
+// validation stamp their payloads exactly as the polling messenger does.
+
+// Notification describes one remote interrupt.
+type Notification struct {
+	// From is the node that issued the WriteNotify.
+	From int
+	// Offset is the base segment offset of the triggering write.
+	Offset uint64
+	// Bytes is the write's total length.
+	Bytes int
+}
+
+// OnNotify installs fn as the context's remote-interrupt handler, replacing
+// any previous handler (nil removes it). The handler runs on the node's
+// remote request processing pipeline and must not block; forward into a
+// channel or queue for real work.
+func (c *Context) OnNotify(fn func(Notification)) {
+	if fn == nil {
+		c.cs.SetNotifyHandler(nil)
+		return
+	}
+	c.cs.SetNotifyHandler(func(src core.NodeID, offset uint64, n int) {
+		fn(Notification{From: int(src), Offset: offset, Bytes: n})
+	})
+}
+
+// NotifyChan installs a channel-backed handler and returns the channel.
+// Notifications that arrive while the channel is full are dropped, like
+// coalesced interrupts; consumers treat the channel as a doorbell and
+// re-scan their mailboxes.
+func (c *Context) NotifyChan(capacity int) <-chan Notification {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	ch := make(chan Notification, capacity)
+	c.OnNotify(func(n Notification) {
+		select {
+		case ch <- n:
+		default:
+		}
+	})
+	return ch
+}
+
+// IssueWriteNotify schedules a remote write of n bytes from buf at bufOff
+// to (node, offset) that raises the destination context's notification
+// handler after its final line is written.
+func (q *QP) IssueWriteNotify(slot int, node int, offset uint64, buf *Buffer, bufOff int, n int) error {
+	if err := checkBuf(buf, bufOff, n); err != nil {
+		q.cbs[slot] = nil
+		return err
+	}
+	return q.post(slot, qpring.WQEntry{
+		Op: core.OpWriteNotify, Node: core.NodeID(node), Offset: offset,
+		Length: uint32(n), Buf: buf.id, BufOff: uint64(bufOff),
+	})
+}
+
+// WriteNotifyAsync is WaitForSlot + IssueWriteNotify.
+func (q *QP) WriteNotifyAsync(node int, offset uint64, buf *Buffer, bufOff int, n int, cb Completion) (int, error) {
+	slot, err := q.WaitForSlot(cb)
+	if err != nil {
+		return 0, err
+	}
+	return slot, q.IssueWriteNotify(slot, node, offset, buf, bufOff, n)
+}
+
+// WriteNotify performs a blocking remote write-with-notification.
+func (q *QP) WriteNotify(node int, offset uint64, buf *Buffer, bufOff int, n int) error {
+	return q.execSync(func(slot int) error {
+		return q.IssueWriteNotify(slot, node, offset, buf, bufOff, n)
+	})
+}

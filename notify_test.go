@@ -1,0 +1,126 @@
+package sonuma_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sonuma"
+)
+
+func TestWriteNotifyDeliversInterrupt(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<14)
+	notes := c1.NotifyChan(8)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(256)
+	payload := []byte("interrupt-driven message")
+	_ = buf.WriteAt(0, payload)
+	if err := qp.WriteNotify(1, 512, buf, 0, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-notes:
+		if n.From != 0 || n.Offset != 512 || n.Bytes != len(payload) {
+			t.Fatalf("notification %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notification never arrived")
+	}
+	got := make([]byte, len(payload))
+	_ = c1.Memory().ReadAt(512, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q", got)
+	}
+}
+
+func TestWriteNotifyWithoutHandlerIsPlainWrite(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<14)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(64)
+	_ = buf.WriteAt(0, []byte("quiet"))
+	if err := qp.WriteNotify(1, 0, buf, 0, 5); err != nil {
+		t.Fatalf("WriteNotify without handler: %v", err)
+	}
+	got := make([]byte, 5)
+	_ = c1.Memory().ReadAt(0, got)
+	if string(got) != "quiet" {
+		t.Fatalf("payload %q", got)
+	}
+}
+
+func TestNotifyHandlerReplaceAndRemove(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<14)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(64)
+	hits := make(chan int, 16)
+	c1.OnNotify(func(sonuma.Notification) { hits <- 1 })
+	c1.OnNotify(func(sonuma.Notification) { hits <- 2 }) // replaces
+	if err := qp.WriteNotify(1, 0, buf, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-hits; got != 2 {
+		t.Fatalf("old handler fired (%d)", got)
+	}
+	c1.OnNotify(nil) // remove
+	if err := qp.WriteNotify(1, 0, buf, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-hits:
+		t.Fatal("removed handler fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestWriteNotifyMultiLineDoorbell(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<16)
+	notes := c1.NotifyChan(8)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(8192)
+	if err := qp.WriteNotify(1, 0, buf, 0, 8192); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-notes:
+		if n.Bytes != 8192 || n.Offset != 0 {
+			t.Fatalf("notification %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("multi-line notification never arrived")
+	}
+	// Exactly one doorbell per request, not one per line.
+	select {
+	case <-notes:
+		t.Fatal("multiple notifications for one request")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestNotifyWakesBlockedConsumer demonstrates communicating without polling
+// (§8): the consumer blocks on the notification channel instead of spinning
+// on memory.
+func TestNotifyWakesBlockedConsumer(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<14)
+	notes := c1.NotifyChan(1)
+	done := make(chan string, 1)
+	go func() {
+		n := <-notes // blocked, no polling
+		got := make([]byte, n.Bytes)
+		_ = c1.Memory().ReadAt(int(n.Offset), got)
+		done <- string(got)
+	}()
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(64)
+	_ = buf.WriteAt(0, []byte("wakeup"))
+	if err := qp.WriteNotify(1, 64, buf, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != "wakeup" {
+			t.Fatalf("consumer read %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer never woke")
+	}
+}

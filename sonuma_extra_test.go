@@ -1,0 +1,307 @@
+package sonuma_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sonuma"
+	"sonuma/internal/stats"
+)
+
+func TestCompareSwap(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<14)
+	if err := c1.Memory().Store64(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	qp, _ := c0.NewQP(16)
+	old, err := qp.CompareSwap(1, 0, 7, 99)
+	if err != nil || old != 7 {
+		t.Fatalf("CAS hit: %d %v", old, err)
+	}
+	old, err = qp.CompareSwap(1, 0, 7, 123) // stale expected
+	if err != nil || old != 99 {
+		t.Fatalf("CAS miss returns current: %d %v", old, err)
+	}
+	v, _ := c1.Memory().Load64(0)
+	if v != 99 {
+		t.Fatalf("value after failed CAS: %d", v)
+	}
+}
+
+func TestAtomicAlignmentRejected(t *testing.T) {
+	_, c0, _ := newPair(t, 1<<14)
+	qp, _ := c0.NewQP(16)
+	_, err := qp.FetchAdd(1, 3, 1)
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusBadAlign {
+		t.Fatalf("unaligned FetchAdd: %v", err)
+	}
+}
+
+func TestContextIsolation(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Two independent global address spaces over the same nodes.
+	a0, _ := cl.Node(0).OpenContext(1, 4096)
+	a1, _ := cl.Node(1).OpenContext(1, 4096)
+	b0, _ := cl.Node(0).OpenContext(2, 4096)
+	b1, _ := cl.Node(1).OpenContext(2, 4096)
+	_ = a0
+	if err := a1.Memory().WriteAt(0, []byte("ctx1 data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Memory().WriteAt(0, []byte("ctx2 data")); err != nil {
+		t.Fatal(err)
+	}
+	qpA, _ := a0.NewQP(8)
+	qpB, _ := b0.NewQP(8)
+	bufA, _ := a0.AllocBuffer(64)
+	bufB, _ := b0.AllocBuffer(64)
+	if err := qpA.Read(1, 0, bufA, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := qpB.Read(1, 0, bufB, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	gotA, gotB := make([]byte, 9), make([]byte, 9)
+	_ = bufA.ReadAt(0, gotA)
+	_ = bufB.ReadAt(0, gotB)
+	if string(gotA) != "ctx1 data" || string(gotB) != "ctx2 data" {
+		t.Fatalf("contexts leaked: %q / %q", gotA, gotB)
+	}
+}
+
+func TestMissingContextAtDestination(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c0, _ := cl.Node(0).OpenContext(5, 4096)
+	// Node 1 never opens ctx 5.
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(64)
+	err = qp.Read(1, 0, buf, 0, 64)
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusNoContext {
+		t.Fatalf("expected no-context error, got %v", err)
+	}
+}
+
+func TestLinkFailureAndRestore(t *testing.T) {
+	cl, c0, c1 := newPair(t, 1<<14)
+	_ = c1
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(64)
+	cl.FailLink(0, 1)
+	err := qp.Read(1, 0, buf, 0, 64)
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusNodeFailure {
+		t.Fatalf("read over failed link: %v", err)
+	}
+	cl.RestoreLink(0, 1)
+	if err := qp.Read(1, 0, buf, 0, 64); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+}
+
+func TestDriverFailureNotification(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	notified := make(chan int, 1)
+	cl.Node(0).OnFabricFailure(func(n int) {
+		select {
+		case notified <- n:
+		default:
+		}
+	})
+	cl.FailNode(2)
+	if got := <-notified; got != 2 {
+		t.Fatalf("driver notified of node %d, want 2", got)
+	}
+}
+
+func TestTorusClusterEndToEnd(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 9, Topology: sonuma.TopologyTorus2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctxs := make([]*sonuma.Context, 9)
+	for i := range ctxs {
+		if ctxs[i], err = cl.Node(i).OpenContext(1, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctxs[8].Memory().WriteAt(0, []byte("far corner")); err != nil {
+		t.Fatal(err)
+	}
+	qp, _ := ctxs[0].NewQP(8)
+	buf, _ := ctxs[0].AllocBuffer(64)
+	if err := qp.Read(8, 0, buf, 0, 10); err != nil {
+		t.Fatalf("torus read: %v", err)
+	}
+	got := make([]byte, 10)
+	_ = buf.ReadAt(0, got)
+	if string(got) != "far corner" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, c0, _ := newPair(t, 1<<14)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(128)
+	if err := qp.Read(7, 0, buf, 0, 64); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := qp.Read(1, 0, buf, 0, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if err := qp.Read(1, 0, buf, 100, 64); err == nil {
+		t.Fatal("buffer overflow accepted")
+	}
+	if err := qp.Read(1, 0, nil, 0, 64); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	// And the QP stays usable.
+	if err := qp.Read(1, 0, buf, 0, 64); err != nil {
+		t.Fatalf("valid op after rejections: %v", err)
+	}
+}
+
+func TestBarrierSubsetOfCluster(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	parts := []int{1, 3, 4} // only three of five nodes participate
+	barriers := map[int]*sonuma.Barrier{}
+	for _, n := range parts {
+		ctx, err := cl.Node(n).OpenContext(1, sonuma.BarrierRegionSize(len(parts))+4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, _ := ctx.NewQP(8)
+		if barriers[n], err = sonuma.NewBarrier(ctx, qp, 0, parts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, len(parts))
+	for _, n := range parts {
+		n := n
+		go func() {
+			for r := 0; r < 5; r++ {
+				if err := barriers[n].Wait(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for range parts {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFuzzAgainstShadowModel drives a long random sequence of reads and
+// writes between two nodes and checks every result against a plain in-
+// process shadow of the remote segment — the copy-semantics contract of the
+// programming model.
+func TestFuzzAgainstShadowModel(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<16)
+	qp, _ := c0.NewQP(32)
+	buf, _ := c0.AllocBuffer(1 << 12)
+	shadow := make([]byte, 1<<16)
+	rng := stats.NewRNG(2024)
+	scratch := make([]byte, 1<<12)
+	for i := 0; i < 600; i++ {
+		off := rng.Intn(1 << 16)
+		n := 1 + rng.Intn(1<<12)
+		if off+n > 1<<16 {
+			n = 1<<16 - off
+		}
+		if rng.Intn(2) == 0 {
+			// Remote write of random bytes.
+			for j := 0; j < n; j++ {
+				scratch[j] = byte(rng.Uint64())
+			}
+			if err := buf.WriteAt(0, scratch[:n]); err != nil {
+				t.Fatal(err)
+			}
+			if err := qp.Write(1, uint64(off), buf, 0, n); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+			copy(shadow[off:off+n], scratch[:n])
+		} else {
+			if err := qp.Read(1, uint64(off), buf, 0, n); err != nil {
+				t.Fatalf("op %d read: %v", i, err)
+			}
+			if err := buf.ReadAt(0, scratch[:n]); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(scratch[:n], shadow[off:off+n]) {
+				t.Fatalf("op %d: read [%d,%d) diverged from shadow", i, off, off+n)
+			}
+		}
+	}
+	// Final sweep: the whole segment must match the shadow.
+	final := make([]byte, 1<<16)
+	if err := c1.Memory().ReadAt(0, final); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final, shadow) {
+		t.Fatal("segment diverged from shadow model")
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := sonuma.NewCluster(sonuma.Config{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := sonuma.NewCluster(sonuma.Config{Nodes: -3}); err == nil {
+		t.Fatal("negative nodes accepted")
+	}
+	if _, err := sonuma.NewCluster(sonuma.Config{Nodes: 2, Topology: sonuma.TopologyKind(99)}); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}
+
+func TestRMCStatsProgress(t *testing.T) {
+	_, c0, _ := newPair(t, 1<<14)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(8192)
+	if err := qp.Read(1, 0, buf, 0, 8192); err != nil {
+		t.Fatal(err)
+	}
+	s := c0.Node().RMCStats()
+	if s.WQConsumed != 1 || s.LinesSent != 128 || s.Completions != 1 || s.Errors != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMemoryLineVersionPolling(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<14)
+	mem := c1.Memory()
+	v0 := mem.LineVersion(128)
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(64)
+	_ = buf.WriteAt(0, []byte("poke"))
+	if err := qp.Write(1, 128, buf, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if mem.LineVersion(128) == v0 {
+		t.Fatal("remote write did not advance the line version")
+	}
+}

@@ -1,0 +1,229 @@
+package sonuma_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"sonuma"
+)
+
+// newPair builds a 2-node cluster with one context open on each node.
+func newPair(t *testing.T, segSize int) (*sonuma.Cluster, *sonuma.Context, *sonuma.Context) {
+	t.Helper()
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	c0, err := cl.Node(0).OpenContext(7, segSize)
+	if err != nil {
+		t.Fatalf("OpenContext node 0: %v", err)
+	}
+	c1, err := cl.Node(1).OpenContext(7, segSize)
+	if err != nil {
+		t.Fatalf("OpenContext node 1: %v", err)
+	}
+	return cl, c0, c1
+}
+
+func TestRemoteReadBasic(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<16)
+	want := []byte("the RMC converts remote operations into stateless request/reply exchanges")
+	if err := c1.Memory().WriteAt(128, want); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	qp, err := c0.NewQP(32)
+	if err != nil {
+		t.Fatalf("NewQP: %v", err)
+	}
+	buf, err := c0.AllocBuffer(256)
+	if err != nil {
+		t.Fatalf("AllocBuffer: %v", err)
+	}
+	if err := qp.Read(1, 128, buf, 0, len(want)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := buf.ReadAt(0, got); err != nil {
+		t.Fatalf("buffer ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote read mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestRemoteWriteBasic(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<16)
+	qp, _ := c0.NewQP(32)
+	buf, _ := c0.AllocBuffer(256)
+	want := []byte("one-sided remote write with copy semantics")
+	if err := buf.WriteAt(0, want); err != nil {
+		t.Fatalf("buffer WriteAt: %v", err)
+	}
+	if err := qp.Write(1, 4096, buf, 0, len(want)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := c1.Memory().ReadAt(4096, got); err != nil {
+		t.Fatalf("segment ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote write mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestRemoteFetchAdd(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<16)
+	if err := c1.Memory().Store64(64, 100); err != nil {
+		t.Fatal(err)
+	}
+	qp, _ := c0.NewQP(32)
+	old, err := qp.FetchAdd(1, 64, 42)
+	if err != nil {
+		t.Fatalf("FetchAdd: %v", err)
+	}
+	if old != 100 {
+		t.Fatalf("FetchAdd returned %d, want 100", old)
+	}
+	v, _ := c1.Memory().Load64(64)
+	if v != 142 {
+		t.Fatalf("word after FetchAdd = %d, want 142", v)
+	}
+}
+
+func TestBoundsErrorDeliveredViaCQ(t *testing.T) {
+	_, c0, _ := newPair(t, 1<<12)
+	qp, _ := c0.NewQP(32)
+	buf, _ := c0.AllocBuffer(1 << 13)
+	err := qp.Read(1, 1<<20, buf, 0, 64) // far outside node 1's segment
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected RemoteError, got %v", err)
+	}
+	if re.Status != sonuma.StatusBoundsError {
+		t.Fatalf("status = %v, want bounds error", re.Status)
+	}
+	// The QP must remain usable after an error completion.
+	if err := qp.Read(1, 0, buf, 0, 64); err != nil {
+		t.Fatalf("read after error: %v", err)
+	}
+}
+
+func TestAsyncPipelining(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<20)
+	mem := c1.Memory()
+	for i := 0; i < 1024; i++ {
+		if err := mem.Store64(i*8, uint64(i)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qp, _ := c0.NewQP(64)
+	buf, _ := c0.AllocBuffer(8 * 1024)
+	completed := 0
+	for i := 0; i < 1024; i++ {
+		i := i
+		_, err := qp.ReadAsync(1, uint64(i*8), buf, i*8, 8, func(_ int, err error) {
+			if err != nil {
+				t.Errorf("async read %d: %v", i, err)
+			}
+			completed++
+		})
+		if err != nil {
+			t.Fatalf("ReadAsync: %v", err)
+		}
+	}
+	if err := qp.DrainCQ(); err != nil {
+		t.Fatalf("DrainCQ: %v", err)
+	}
+	if completed != 1024 {
+		t.Fatalf("completed = %d, want 1024", completed)
+	}
+	for i := 0; i < 1024; i++ {
+		v, _ := buf.Load64(i * 8)
+		if v != uint64(i)*3 {
+			t.Fatalf("buf[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+func TestConcurrentAtomicsAreGloballyAtomic(t *testing.T) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctxs := make([]*sonuma.Context, 4)
+	for i := range ctxs {
+		if ctxs[i], err = cl.Node(i).OpenContext(1, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All four nodes hammer one counter word on node 0, including node 0
+	// itself through the loopback path; the local coherence hierarchy of
+	// the destination must make all of them atomic.
+	const perNode = 500
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		qp, err := ctxs[i].NewQP(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(qp *sonuma.QP) {
+			defer wg.Done()
+			for k := 0; k < perNode; k++ {
+				if _, err := qp.FetchAdd(0, 0, 1); err != nil {
+					t.Errorf("FetchAdd: %v", err)
+					return
+				}
+			}
+		}(qp)
+	}
+	wg.Wait()
+	v, _ := ctxs[0].Memory().Load64(0)
+	if v != 4*perNode {
+		t.Fatalf("counter = %d, want %d", v, 4*perNode)
+	}
+}
+
+func TestNodeFailureCompletesInFlight(t *testing.T) {
+	cl, c0, _ := newPair(t, 1<<16)
+	qp, _ := c0.NewQP(32)
+	buf, _ := c0.AllocBuffer(4096)
+	cl.FailNode(1)
+	err := qp.Read(1, 0, buf, 0, 64)
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusNodeFailure {
+		t.Fatalf("expected node-failure error, got %v", err)
+	}
+}
+
+func TestLargeTransferUnrolling(t *testing.T) {
+	_, c0, c1 := newPair(t, 1<<20)
+	payload := make([]byte, 300*1024+17) // odd size: exercises partial last line
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := c1.Memory().WriteAt(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	qp, _ := c0.NewQP(8)
+	buf, _ := c0.AllocBuffer(len(payload))
+	if err := qp.Read(1, 0, buf, 0, len(payload)); err != nil {
+		t.Fatalf("large read: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if err := buf.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large transfer corrupted")
+	}
+	stats := c0.Node().RMCStats()
+	wantLines := uint64((len(payload) + 63) / 64)
+	if stats.LinesSent < wantLines {
+		t.Fatalf("LinesSent = %d, want >= %d (unrolling)", stats.LinesSent, wantLines)
+	}
+}
