@@ -1,0 +1,175 @@
+package sonuma_test
+
+// Tests of the batched-issue API: many operations, one WQ publish, one
+// doorbell.
+
+import (
+	"errors"
+	"testing"
+
+	"sonuma"
+)
+
+func TestBatchSubmitWait(t *testing.T) {
+	cl, qps, bufs := faultCluster(t, 3, sonuma.Config{})
+	defer cl.Close()
+	qp, buf := qps[0], bufs[0]
+
+	// Seed distinct remote contents on nodes 1 and 2.
+	if err := bufs[1].WriteAt(0, []byte("from-node-1!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := qps[1].Write(1, 100, bufs[1], 0, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := bufs[2].WriteAt(0, []byte("from-node-2!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := qps[2].Write(2, 200, bufs[2], 0, 12); err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch mixing destinations and operations.
+	b := qp.NewBatch()
+	b.Read(1, 100, buf, 0, 12, nil)
+	b.Read(2, 200, buf, 64, 12, nil)
+	b.FetchAdd(1, 1024, 7, nil, 0, nil)
+	if b.Len() != 3 {
+		t.Fatalf("batch len %d, want 3", b.Len())
+	}
+	if err := b.SubmitWait(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	if err := buf.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-node-1!" {
+		t.Fatalf("batched read from node 1 = %q", got)
+	}
+	if err := buf.ReadAt(64, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-node-2!" {
+		t.Fatalf("batched read from node 2 = %q", got)
+	}
+	if v, err := qp.FetchAdd(1, 1024, 0); err != nil || v != 7 {
+		t.Fatalf("batched FetchAdd landed %d (err %v), want 7", v, err)
+	}
+	// The batch is reusable after SubmitWait.
+	b.Read(1, 100, buf, 128, 12, nil)
+	if err := b.SubmitWait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchLargerThanQueue submits a batch deeper than the WQ; Submit must
+// chunk it through the ring rather than fail or deadlock.
+func TestBatchLargerThanQueue(t *testing.T) {
+	cl, qps, bufs := faultCluster(t, 2, sonuma.Config{})
+	defer cl.Close()
+	qp, buf := qps[0], bufs[0]
+	depth := qp.Depth()
+	n := depth*2 + 3
+	b := qp.NewBatch()
+	for i := 0; i < n; i++ {
+		b.Read(1, uint64(i)*64, buf, i*64, 64, nil)
+	}
+	if err := b.SubmitWait(); err != nil {
+		t.Fatal(err)
+	}
+	if qp.Outstanding() != 0 {
+		t.Fatalf("outstanding %d after SubmitWait", qp.Outstanding())
+	}
+}
+
+// TestBatchCallbacksAndSlots checks per-op callbacks run and Submit
+// returns the slots used.
+func TestBatchCallbacksAndSlots(t *testing.T) {
+	cl, qps, bufs := faultCluster(t, 2, sonuma.Config{})
+	defer cl.Close()
+	qp, buf := qps[0], bufs[0]
+	ran := 0
+	b := qp.NewBatch()
+	for i := 0; i < 4; i++ {
+		b.Read(1, 0, buf, i*64, 64, func(_ int, err error) {
+			if err != nil {
+				t.Errorf("callback error: %v", err)
+			}
+			ran++
+		})
+	}
+	slots, err := b.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 4 {
+		t.Fatalf("got %d slots, want 4", len(slots))
+	}
+	seen := map[int]bool{}
+	for _, s := range slots {
+		if seen[s] {
+			t.Fatalf("duplicate slot %d", s)
+		}
+		seen[s] = true
+	}
+	if err := qp.DrainCQ(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 4 {
+		t.Fatalf("%d callbacks ran, want 4", ran)
+	}
+}
+
+// TestBatchValidation checks staging errors surface at Submit and poison
+// the whole batch.
+func TestBatchValidation(t *testing.T) {
+	cl, qps, bufs := faultCluster(t, 2, sonuma.Config{})
+	defer cl.Close()
+	qp, buf := qps[0], bufs[0]
+	b := qp.NewBatch()
+	b.Read(1, 0, buf, 0, 64, nil)
+	b.Read(99, 0, buf, 0, 64, nil) // node out of range
+	if _, err := b.Submit(); err == nil {
+		t.Fatal("Submit accepted an out-of-range node")
+	}
+	if qp.Outstanding() != 0 {
+		t.Fatalf("poisoned batch posted %d operations", qp.Outstanding())
+	}
+	// Remote errors surface through SubmitWait.
+	b.Read(1, faultSegSize*2, buf, 0, 64, nil) // out of segment bounds
+	err := b.SubmitWait()
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusBoundsError {
+		t.Fatalf("SubmitWait = %v, want StatusBoundsError", err)
+	}
+}
+
+// TestBatchSubmitWaitNested issues a SubmitWait from inside a completion
+// callback of an outer SubmitWait whose other operation fails. The nested
+// wait must not consume or mask the outer batch's error.
+func TestBatchSubmitWaitNested(t *testing.T) {
+	cl, qps, bufs := faultCluster(t, 2, sonuma.Config{})
+	defer cl.Close()
+	qp, buf := qps[0], bufs[0]
+	nestedErr := errors.New("callback never ran")
+	b := qp.NewBatch()
+	b.Read(1, faultSegSize*2, buf, 0, 64, nil) // fails bounds check at destination
+	b.Read(1, 0, buf, 0, 64, func(_ int, err error) {
+		if err != nil {
+			t.Errorf("healthy outer op failed: %v", err)
+			return
+		}
+		inner := qp.NewBatch()
+		inner.Read(1, 64, buf, 64, 64, nil)
+		nestedErr = inner.SubmitWait()
+	})
+	err := b.SubmitWait()
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusBoundsError {
+		t.Fatalf("outer SubmitWait = %v, want StatusBoundsError (nested wait must not mask it)", err)
+	}
+	if nestedErr != nil {
+		t.Fatalf("nested SubmitWait = %v", nestedErr)
+	}
+}

@@ -6,7 +6,12 @@ import (
 	"sonuma/internal/core"
 	"sonuma/internal/emu"
 	"sonuma/internal/fabric"
+	"sonuma/internal/proto"
 )
+
+// MaxBatchSize is the largest number of line transactions one fabric send
+// carries; Config.BatchSize is clamped to [1, MaxBatchSize].
+const MaxBatchSize = proto.MaxBatch
 
 // TopologyKind selects the fabric topology of a cluster. The protocol layer
 // is topology-agnostic (§3); the development platform emulates a full
@@ -33,7 +38,8 @@ type Config struct {
 	// Topology selects the fabric topology (default crossbar).
 	Topology TopologyKind
 	// LinkCredits is the per-destination, per-virtual-lane credit count
-	// of the fabric's flow control (default 64 packets).
+	// of the fabric's flow control (default 64). One credit covers one
+	// batch of up to BatchSize line packets.
 	LinkCredits int
 	// ITTEntries bounds in-flight WQ requests per node (default 1024,
 	// max 4096).
@@ -42,6 +48,22 @@ type Config struct {
 	TLBEntries int
 	// PageSize is the context-segment page size (default 8 KB).
 	PageSize int
+	// BatchSize is the number of line transactions each RMC packs into
+	// one fabric send (default MaxBatchSize, clamped to
+	// [1, MaxBatchSize]). 1 selects the per-packet data path, kept for
+	// ablation benchmarks.
+	BatchSize int
+}
+
+// EffectiveBatchSize reports the batch size a cluster built with this
+// configuration uses: BatchSize with the default and [1, MaxBatchSize]
+// clamp applied. The benchmark harness records it next to measured
+// results.
+func (c Config) EffectiveBatchSize() int {
+	if c.BatchSize <= 0 || c.BatchSize > MaxBatchSize {
+		return MaxBatchSize
+	}
+	return c.BatchSize
 }
 
 // Cluster is an emulated soNUMA machine: Nodes() nodes, each with its own
@@ -84,6 +106,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		ITTEntries: cfg.ITTEntries,
 		TLBEntries: cfg.TLBEntries,
 		PageSize:   cfg.PageSize,
+		// Resolved here so EffectiveBatchSize is authoritative for
+		// clusters built through the public API.
+		BatchSize: cfg.EffectiveBatchSize(),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes[i] = &Node{
@@ -200,6 +225,7 @@ func (n *Node) RMCStats() RMCStats {
 	return RMCStats{
 		WQConsumed:   s.WQConsumed.Load(),
 		LinesSent:    s.LinesSent.Load(),
+		BatchesSent:  s.BatchesSent.Load(),
 		RepliesRecv:  s.RepliesRecv.Load(),
 		RequestsRecv: s.RequestsRecv.Load(),
 		Completions:  s.Completions.Load(),
@@ -212,6 +238,7 @@ func (n *Node) RMCStats() RMCStats {
 type RMCStats struct {
 	WQConsumed   uint64 // WQ entries accepted by the request generation pipeline
 	LinesSent    uint64 // line-sized request packets injected into the fabric
+	BatchesSent  uint64 // request batches flushed into the fabric
 	RepliesRecv  uint64 // replies processed by the request completion pipeline
 	RequestsRecv uint64 // requests processed by the remote request processing pipeline
 	Completions  uint64 // CQ entries posted

@@ -7,8 +7,14 @@
 //	sonuma-bench -experiment all
 //	sonuma-bench -experiment fig7 -quick
 //	sonuma-bench -experiment table2
+//	sonuma-bench -experiment datapath -json BENCH.json
 //
-// Experiments: fig1, table1, fig7, fig8, fig9, table2, ablation, all.
+// Experiments: fig1, table1, fig7, fig8, fig9, table2, ablation, datapath,
+// all.
+//
+// The datapath experiment measures the batched RMC pipeline (ops/sec,
+// p50/p99 latency, allocs/op); -json additionally writes the results in
+// machine-readable form so successive changes can be compared.
 package main
 
 import (
@@ -22,8 +28,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|all")
+		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|datapath|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and op counts")
+		jsonOut    = flag.String("json", "", "write datapath results to this file as JSON (e.g. BENCH.json)")
 	)
 	flag.Parse()
 	o := bench.Options{Quick: *quick}
@@ -66,6 +73,23 @@ func main() {
 		run("Ablations (RMC design choices)", func() {
 			for _, a := range bench.Ablations(o) {
 				bench.Print(w, a)
+			}
+		})
+	}
+	if want("datapath") {
+		run("Data path (batched RMC pipeline)", func() {
+			d, err := bench.DataPath(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "datapath: %v\n", err)
+				os.Exit(1)
+			}
+			bench.Print(w, d)
+			if *jsonOut != "" {
+				if err := d.WriteJSON(*jsonOut); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *jsonOut)
 			}
 		})
 	}

@@ -60,6 +60,18 @@ func (c *Context) NewQP(depth int) (*QP, error) {
 		cbs:  make([]Completion, st.WQ.Cap()),
 		busy: make([]bool, st.WQ.Cap()),
 	}
+	// Preallocated completion callbacks keep the synchronous operations
+	// and batch waits allocation-free in steady state.
+	qp.syncCb = func(_ int, err error) {
+		qp.syncDone = true
+		qp.syncErr = err
+	}
+	qp.batchCb = func(_ int, err error) {
+		qp.batchWait--
+		if err != nil && qp.batchErr == nil {
+			qp.batchErr = err
+		}
+	}
 	// Dedicated scratch buffer for the synchronous atomics' return
 	// values, so FetchAdd/CompareSwap need no caller-provided buffer.
 	scratch, err := c.AllocBuffer(core.CacheLineSize)

@@ -1,0 +1,147 @@
+package sonuma_test
+
+// Microbenchmarks of the batched, pooled RMC data path. All report allocs:
+// the acceptance bar for the data path is zero allocations per steady-state
+// remote read, and the 4KB batched read is measured against the per-packet
+// (BatchSize=1) baseline it replaced.
+//
+// Run with: go test -bench 'DataPath|Messenger' -benchmem -run xxx .
+
+import (
+	"testing"
+
+	"sonuma"
+)
+
+// benchCluster builds a 2-node cluster with a context, QP, and 1 MiB
+// buffer on node 0 and a populated 4 MiB segment on node 1.
+func benchCluster(b *testing.B, cfg sonuma.Config) (*sonuma.Cluster, *sonuma.QP, *sonuma.Buffer) {
+	b.Helper()
+	const segSize = 4 << 20
+	cfg.Nodes = 2
+	cl, err := sonuma.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := cl.Node(0).OpenContext(1, segSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cl.Node(1).OpenContext(1, segSize); err != nil {
+		b.Fatal(err)
+	}
+	qp, err := ctx.NewQP(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := ctx.AllocBuffer(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, qp, buf
+}
+
+func benchRead(b *testing.B, cfg sonuma.Config, size int) {
+	cl, qp, buf := benchCluster(b, cfg)
+	defer cl.Close()
+	// Warm the packet/batch pools and the RMC TLB before measuring.
+	for i := 0; i < 100; i++ {
+		if err := qp.Read(1, 0, buf, 0, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qp.Read(1, 0, buf, 0, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataPathReadSingleLine is the paper's headline operation: one
+// synchronous cache-line remote read (§7.2).
+func BenchmarkDataPathReadSingleLine(b *testing.B) {
+	benchRead(b, sonuma.Config{}, 64)
+}
+
+// BenchmarkDataPathRead4KBBatched reads 4KB (64 lines) over the batched
+// data path: the RGP packs the unrolled lines into per-destination batches.
+func BenchmarkDataPathRead4KBBatched(b *testing.B) {
+	benchRead(b, sonuma.Config{}, 4096)
+}
+
+// BenchmarkDataPathRead4KBPerPacket is the pre-batching baseline: the same
+// 4KB read with BatchSize 1, one fabric send per line.
+func BenchmarkDataPathRead4KBPerPacket(b *testing.B) {
+	benchRead(b, sonuma.Config{BatchSize: 1}, 4096)
+}
+
+// BenchmarkDataPathWrite4KBBatched is the write-side equivalent.
+func BenchmarkDataPathWrite4KBBatched(b *testing.B) {
+	cl, qp, buf := benchCluster(b, sonuma.Config{})
+	defer cl.Close()
+	for i := 0; i < 100; i++ {
+		if err := qp.Write(1, 0, buf, 0, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qp.Write(1, 0, buf, 0, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessengerSendRecv measures the messaging library (§5.3) over
+// the batched data path: node 0 pushes 64-byte messages, node 1 receives.
+func BenchmarkMessengerSendRecv(b *testing.B) {
+	const segSize = 1 << 20
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	mcfg := sonuma.MessengerConfig{}
+	var ms [2]*sonuma.Messenger
+	for i := 0; i < 2; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, segSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qp, err := ctx.NewQP(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, mcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	n := b.N
+	go func() {
+		for i := 0; i < n; i++ {
+			if _, err := ms[1].Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		if err := ms[0].Send(1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}

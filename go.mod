@@ -1,0 +1,3 @@
+module sonuma
+
+go 1.24

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sonuma"
+	"sonuma/internal/stats"
+)
+
+// This file measures the batched RMC data path itself (rather than a paper
+// figure): per-operation latency distribution, throughput, and allocations
+// for the headline operations, in a machine-readable form (BENCH.json) so
+// successive PRs can track the performance trajectory.
+
+// DataPathStat is one measured data-path operation.
+type DataPathStat struct {
+	Name        string  `json:"name"`
+	Bytes       int     `json:"bytes"`         // transfer size per op
+	BatchSize   int     `json:"batch_size"`    // lines per fabric batch in THIS row's config
+	Ops         int     `json:"ops"`           // measured operations
+	OpsPerSec   float64 `json:"ops_per_sec"`   // sustained rate
+	P50Us       float64 `json:"p50_us"`        // median latency
+	P99Us       float64 `json:"p99_us"`        // tail latency
+	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per op
+}
+
+// DataPathData is the full data-path measurement set.
+type DataPathData struct {
+	GeneratedAt string         `json:"generated_at"`
+	Results     []DataPathStat `json:"results"`
+}
+
+// measureOp runs op() `ops` times, collecting per-op latency and the heap
+// allocation delta across the loop. The allocation count includes
+// everything the process allocates during the run — the RMC pipelines are
+// allocation-free in steady state, so a near-zero value here demonstrates
+// exactly that.
+func measureOp(name string, bytes, ops int, op func() error) (DataPathStat, error) {
+	lat := make([]float64, ops)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		t0 := time.Now()
+		if err := op(); err != nil {
+			return DataPathStat{}, err
+		}
+		lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e3
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	sort.Float64s(lat)
+	return DataPathStat{
+		Name:        name,
+		Bytes:       bytes,
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed,
+		P50Us:       lat[ops/2],
+		P99Us:       lat[ops*99/100],
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}, nil
+}
+
+// dpCluster builds the standard 2-node measurement cluster.
+func dpCluster(cfg sonuma.Config) (*sonuma.Cluster, *sonuma.QP, *sonuma.Buffer, error) {
+	const segSize = 4 << 20
+	cfg.Nodes = 2
+	cl, err := sonuma.NewCluster(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctx, err := cl.Node(0).OpenContext(1, segSize)
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	if _, err := cl.Node(1).OpenContext(1, segSize); err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	qp, err := ctx.NewQP(128)
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	buf, err := ctx.AllocBuffer(1 << 20)
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	return cl, qp, buf, nil
+}
+
+// measureRead measures synchronous remote reads of the given size under
+// the given cluster configuration.
+func measureRead(name string, size, ops int, cfg sonuma.Config) (DataPathStat, error) {
+	cl, qp, buf, err := dpCluster(cfg)
+	if err != nil {
+		return DataPathStat{}, err
+	}
+	defer cl.Close()
+	for i := 0; i < ops/10+1; i++ { // warm pools and TLB
+		if err := qp.Read(1, 0, buf, 0, size); err != nil {
+			return DataPathStat{}, err
+		}
+	}
+	s, err := measureOp(name, size, ops, func() error {
+		return qp.Read(1, 0, buf, 0, size)
+	})
+	s.BatchSize = cfg.EffectiveBatchSize()
+	return s, err
+}
+
+// DataPath measures the batched data path: single-line and 4KB reads, the
+// per-packet 4KB baseline, 4KB writes, and a messenger round trip.
+func DataPath(o Options) (DataPathData, error) {
+	ops := o.ops(20000, 2000)
+	d := DataPathData{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	add := func(s DataPathStat, err error) error {
+		if err != nil {
+			return err
+		}
+		if s.BatchSize == 0 {
+			s.BatchSize = sonuma.Config{}.EffectiveBatchSize()
+		}
+		d.Results = append(d.Results, s)
+		return nil
+	}
+	if err := add(measureRead("read_64B", 64, ops, sonuma.Config{})); err != nil {
+		return d, err
+	}
+	if err := add(measureRead("read_4KB_batched", 4096, ops, sonuma.Config{})); err != nil {
+		return d, err
+	}
+	if err := add(measureRead("read_4KB_per_packet", 4096, ops, sonuma.Config{BatchSize: 1})); err != nil {
+		return d, err
+	}
+
+	// 4KB batched write.
+	cl, qp, buf, err := dpCluster(sonuma.Config{})
+	if err != nil {
+		return d, err
+	}
+	for i := 0; i < ops/10+1; i++ {
+		if err := qp.Write(1, 0, buf, 0, 4096); err != nil {
+			cl.Close()
+			return d, err
+		}
+	}
+	err = add(measureOp("write_4KB_batched", 4096, ops, func() error {
+		return qp.Write(1, 0, buf, 0, 4096)
+	}))
+	cl.Close()
+	if err != nil {
+		return d, err
+	}
+
+	// Messenger 64B send (receiver drains on a second goroutine).
+	if err := d.measureMessenger(ops); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+func (d *DataPathData) measureMessenger(ops int) error {
+	const segSize = 1 << 20
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var ms [2]*sonuma.Messenger
+	for i := 0; i < 2; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, segSize)
+		if err != nil {
+			return err
+		}
+		qp, err := ctx.NewQP(0)
+		if err != nil {
+			return err
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, sonuma.MessengerConfig{}); err != nil {
+			return err
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < ops; i++ {
+			if _, err := ms[1].Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	msg := make([]byte, 64)
+	s, err := measureOp("msg_send_64B", 64, ops, func() error {
+		return ms[0].Send(1, msg)
+	})
+	if err != nil {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	s.BatchSize = sonuma.Config{}.EffectiveBatchSize()
+	d.Results = append(d.Results, s)
+	return nil
+}
+
+// WriteJSON writes the measurement set to path as indented JSON.
+func (d DataPathData) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Tables renders the measurements as a paper-style text table.
+func (d DataPathData) Tables() []*stats.Table {
+	t := stats.NewTable("Data path (batched RMC pipeline, wall clock)",
+		"operation", "bytes", "batch", "ops/sec", "p50 us", "p99 us", "allocs/op")
+	for _, r := range d.Results {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d", r.Bytes),
+			fmt.Sprintf("%d", r.BatchSize),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.P50Us),
+			fmt.Sprintf("%.2f", r.P99Us),
+			fmt.Sprintf("%.3f", r.AllocsPerOp))
+	}
+	return []*stats.Table{t}
+}

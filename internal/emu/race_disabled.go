@@ -1,0 +1,7 @@
+//go:build !race
+
+package emu
+
+// raceEnabled reports whether the Go race detector is compiled in; see
+// race_enabled.go.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package emu
+
+// raceEnabled reports whether the Go race detector is compiled in. The
+// segment seqlock's optimistic reads are validated-after-the-fact and thus
+// intentionally race with writers (exactly like hardware cache-coherent
+// polling); under the race detector, reads take the line lock instead so
+// every access is properly synchronized and the rest of the system can be
+// verified race-clean.
+const raceEnabled = true

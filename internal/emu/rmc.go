@@ -31,6 +31,11 @@ type Config struct {
 	// SpinCount is how many empty passes the RGP/RCP pipeline makes
 	// before parking on its doorbell.
 	SpinCount int
+	// BatchSize is the number of line transactions the RGP packs into
+	// one fabric batch per destination (default proto.MaxBatch, clamped
+	// to [1, proto.MaxBatch]). 1 selects the per-packet data path, kept
+	// for ablation benchmarks.
+	BatchSize int
 }
 
 const maxITT = 4096
@@ -57,6 +62,9 @@ func (c Config) withDefaults() Config {
 	if c.SpinCount <= 0 {
 		c.SpinCount = 128
 	}
+	if c.BatchSize <= 0 || c.BatchSize > proto.MaxBatch {
+		c.BatchSize = proto.MaxBatch
+	}
 	return c
 }
 
@@ -64,6 +72,7 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	WQConsumed   atomic.Uint64 // WQ entries accepted by the RGP
 	LinesSent    atomic.Uint64 // request packets injected
+	BatchesSent  atomic.Uint64 // request batches flushed into the fabric
 	RepliesRecv  atomic.Uint64 // reply packets processed by the RCP
 	RequestsRecv atomic.Uint64 // request packets processed by the RRPP
 	Completions  atomic.Uint64 // CQ entries posted
@@ -141,6 +150,8 @@ type QPState struct {
 
 // Doorbell wakes the RGP after a WQ post (the hardware analogue is the RMC
 // noticing the cached WQ tail change; the channel makes parking efficient).
+// Applications posting a burst of WQ entries ring it once for the burst
+// (doorbell coalescing).
 func (qp *QPState) Doorbell() {
 	select {
 	case qp.rmc.doorbell <- struct{}{}:
@@ -161,12 +172,27 @@ type ittEntry struct {
 	bufOff    uint64
 	remaining uint32
 	status    core.Status
+	linkEpoch uint64 // fabric link-failure epoch at issue time
+}
+
+// ctrlEvent is a fabric failure notification delivered to the RGP/RCP
+// pipeline: a failed node, or a failed link (isLink set, epoch valid).
+type ctrlEvent struct {
+	node   core.NodeID
+	linkTo core.NodeID
+	isLink bool
+	epoch  uint64
 }
 
 // RMC is the emulated remote memory controller for one node: the Context
 // Table, the ITT, and the three pipelines of Fig. 3, with RGP+RCP sharing
 // one goroutine and RRPP running on another (exactly the thread split of
 // the paper's RMCemu, §7.1).
+//
+// The data path is batched and allocation-free in steady state: the RGP
+// drains WQs round-robin into per-destination batch builders and flushes
+// whole batches into the fabric's shard queues; the RCP and RRPP consume
+// batches and recycle every packet back to the proto pool on completion.
 type RMC struct {
 	id  core.NodeID
 	ic  *fabric.Interconnect
@@ -182,8 +208,16 @@ type RMC struct {
 	itt     []ittEntry
 	ittFree []uint16
 
+	// Per-destination request batch builders (RGP side). txq[d] is the
+	// batch under construction toward node d; txdirty lists destinations
+	// touched since the last flushAll (txpending dedups it, keeping it
+	// bounded by the node count), flushed after every scheduling pass.
+	txq       []*proto.Batch
+	txdirty   []core.NodeID
+	txpending []bool
+
 	doorbell chan struct{}
-	control  chan core.NodeID // failed-node notifications
+	control  chan ctrlEvent // failed node/link notifications
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 
@@ -196,16 +230,19 @@ type RMC struct {
 func NewRMC(id core.NodeID, ic *fabric.Interconnect, cfg Config) *RMC {
 	cfg = cfg.withDefaults()
 	r := &RMC{
-		id:       id,
-		ic:       ic,
-		cfg:      cfg,
-		contexts: make(map[core.CtxID]*ContextState),
-		tlb:      mmu.NewTLB(cfg.TLBEntries, cfg.TLBWays),
-		itt:      make([]ittEntry, cfg.ITTEntries),
-		ittFree:  make([]uint16, 0, cfg.ITTEntries),
-		doorbell: make(chan struct{}, 1),
-		control:  make(chan core.NodeID, 16),
-		stopped:  make(chan struct{}),
+		id:        id,
+		ic:        ic,
+		cfg:       cfg,
+		contexts:  make(map[core.CtxID]*ContextState),
+		tlb:       mmu.NewTLB(cfg.TLBEntries, cfg.TLBWays),
+		itt:       make([]ittEntry, cfg.ITTEntries),
+		ittFree:   make([]uint16, 0, cfg.ITTEntries),
+		txq:       make([]*proto.Batch, ic.Nodes()),
+		txdirty:   make([]core.NodeID, 0, ic.Nodes()),
+		txpending: make([]bool, ic.Nodes()),
+		doorbell:  make(chan struct{}, 1),
+		control:   make(chan ctrlEvent, 16),
+		stopped:   make(chan struct{}),
 	}
 	for i := cfg.ITTEntries - 1; i >= 0; i-- {
 		r.ittFree = append(r.ittFree, uint16(i))
@@ -214,7 +251,13 @@ func NewRMC(id core.NodeID, ic *fabric.Interconnect, cfg Config) *RMC {
 	r.qps.Store(&empty)
 	ic.Watch(func(failed core.NodeID) {
 		select {
-		case r.control <- failed:
+		case r.control <- ctrlEvent{node: failed}:
+		case <-ic.Done():
+		}
+	})
+	ic.WatchLink(func(a, b core.NodeID, epoch uint64) {
+		select {
+		case r.control <- ctrlEvent{node: a, linkTo: b, isLink: true, epoch: epoch}:
 		case <-ic.Done():
 		}
 	})
@@ -308,29 +351,34 @@ func (r *RMC) runRGPRCP() {
 	idle := 0
 	for {
 		worked := false
-		// RCP: drain all pending replies first; completions free WQ
-		// slots and ITT entries that the RGP needs.
+		// RCP: drain all pending reply batches first; completions free
+		// WQ slots and ITT entries that the RGP needs.
 		for {
 			select {
-			case pkt := <-replies:
-				r.processReply(pkt)
+			case rb := <-replies:
+				r.processReplies(rb)
 				worked = true
 				continue
 			default:
 			}
 			break
 		}
-		// Control: failed-node notifications flush matching ITT state.
+		// Control: failed node/link notifications flush matching ITT
+		// state.
 		select {
-		case failed := <-r.control:
-			r.flushFailed(failed)
+		case ev := <-r.control:
+			r.handleControl(ev)
 			worked = true
 		default:
 		}
-		// RGP: poll registered WQs round-robin.
+		// RGP: poll registered WQs round-robin into the batch builders,
+		// then flush every pending batch. Flushing after the pass (and
+		// on every loop iteration before parking) bounds the latency a
+		// line can sit in a builder to one scheduling pass.
 		if r.pollWQs(replies) {
 			worked = true
 		}
+		r.flushAll(replies)
 		if worked {
 			idle = 0
 			continue
@@ -341,10 +389,10 @@ func (r *RMC) runRGPRCP() {
 		}
 		// Park until any work signal arrives.
 		select {
-		case pkt := <-replies:
-			r.processReply(pkt)
-		case failed := <-r.control:
-			r.flushFailed(failed)
+		case rb := <-replies:
+			r.processReplies(rb)
+		case ev := <-r.control:
+			r.handleControl(ev)
 		case <-r.doorbell:
 		case <-r.stopped:
 			return
@@ -356,8 +404,9 @@ func (r *RMC) runRGPRCP() {
 }
 
 // pollWQs runs one RGP pass over all QPs; it reports whether any entry was
-// consumed.
-func (r *RMC) pollWQs(replies <-chan *proto.Packet) bool {
+// consumed. Generated line packets accumulate in the per-destination batch
+// builders; the caller flushes them.
+func (r *RMC) pollWQs(replies <-chan *proto.Batch) bool {
 	qps := *r.qps.Load()
 	consumed := false
 	for _, qp := range qps {
@@ -378,8 +427,10 @@ func (r *RMC) pollWQs(replies <-chan *proto.Packet) bool {
 }
 
 // generate implements the RGP for one WQ entry (Fig. 3b): validate, init the
-// ITT entry, unroll into line-sized request packets, and inject.
-func (r *RMC) generate(qp *QPState, e qpring.WQEntry, wqIdx uint32, replies <-chan *proto.Packet) {
+// ITT entry, unroll into line-sized request packets, and append them to the
+// destination's batch builder. A multi-line transfer thus issues
+// ceil(lines/BatchSize) fabric sends instead of one per line.
+func (r *RMC) generate(qp *QPState, e qpring.WQEntry, wqIdx uint32, replies <-chan *proto.Batch) {
 	length := e.Length
 	if e.Op.IsAtomic() {
 		length = 8
@@ -426,6 +477,7 @@ func (r *RMC) generate(qp *QPState, e qpring.WQEntry, wqIdx uint32, replies <-ch
 		active: true, gen: ent.gen, qp: qp, wqIdx: wqIdx,
 		op: e.Op, node: e.Node, buf: buf, bufOff: e.BufOff,
 		remaining: nLines, status: core.StatusOK,
+		linkEpoch: r.ic.LinkEpoch(),
 	}
 	tid := core.Tid(uint16(idx) | ent.gen<<12)
 
@@ -435,66 +487,142 @@ func (r *RMC) generate(qp *QPState, e qpring.WQEntry, wqIdx uint32, replies <-ch
 		if rem := length - i*core.CacheLineSize; rem < lineLen {
 			lineLen = rem
 		}
-		pkt := &proto.Packet{
-			Kind: proto.KindRequest, Op: e.Op,
-			Dst: e.Node, Src: r.id, Ctx: qp.Ctx.ID, Tid: tid,
-			Offset:  e.Offset + uint64(i)*core.CacheLineSize,
-			LineIdx: i, Aux: lineLen,
-		}
+		pkt := proto.AllocPacket()
+		pkt.Kind, pkt.Op = proto.KindRequest, e.Op
+		pkt.Dst, pkt.Src, pkt.Ctx, pkt.Tid = e.Node, r.id, qp.Ctx.ID, tid
+		pkt.Offset = e.Offset + uint64(i)*core.CacheLineSize
+		pkt.LineIdx, pkt.Aux = i, lineLen
 		if i == nLines-1 {
 			pkt.Flags |= proto.FlagLast
 		}
 		switch e.Op {
 		case core.OpWrite, core.OpWriteNotify:
-			payload := make([]byte, lineLen)
+			payload := pkt.AllocPayload(int(lineLen))
 			if err := buf.ReadAt(int(e.BufOff+uint64(i)*core.CacheLineSize), payload); err != nil {
+				proto.FreePacket(pkt)
 				r.failITT(idx, core.StatusBoundsError)
 				return
 			}
-			pkt.Payload = payload
 		case core.OpFetchAdd:
-			payload := make([]byte, 8)
-			binary.LittleEndian.PutUint64(payload, e.Arg0)
-			pkt.Payload = payload
+			binary.LittleEndian.PutUint64(pkt.AllocPayload(8), e.Arg0)
 		case core.OpCompareSwap:
-			payload := make([]byte, 16)
+			payload := pkt.AllocPayload(16)
 			binary.LittleEndian.PutUint64(payload, e.Arg0)
 			binary.LittleEndian.PutUint64(payload[8:], e.Arg1)
-			pkt.Payload = payload
 		}
-		if err := r.sendDraining(pkt, replies); err != nil {
-			// Destination unreachable: flush what remains. Replies
-			// already in flight are discarded by the generation
-			// check.
-			r.failITT(idx, core.StatusNodeFailure)
+		r.queueRequest(pkt, replies)
+		if !ent.active {
+			// The destination became unreachable and a batch flush
+			// failed this transaction; stop unrolling it.
 			return
 		}
-		r.Stats.LinesSent.Add(1)
 	}
 }
 
-// sendDraining injects a request, continuing to drain the reply lane while
-// the destination lane is out of credits. Selecting on the lane send and
-// the reply lane together avoids both deadlock (request/reply cycles) and
-// lost wakeups (waiting for a reply that will never come because nothing of
-// ours is in flight).
-func (r *RMC) sendDraining(pkt *proto.Packet, replies <-chan *proto.Packet) error {
+// queueRequest appends a request packet to its destination's batch builder,
+// flushing the builder once it reaches the configured batch size.
+func (r *RMC) queueRequest(pkt *proto.Packet, replies <-chan *proto.Batch) {
+	dst := int(pkt.Dst)
+	if dst < 0 || dst >= len(r.txq) {
+		// Out-of-fabric destination: fail the transaction immediately.
+		// (Capture the tid before the free resets the packet.)
+		tid := pkt.Tid
+		proto.FreePacket(pkt)
+		r.failTid(tid, core.StatusNodeFailure)
+		return
+	}
+	b := r.txq[dst]
+	if b == nil {
+		b = proto.AllocBatch()
+		r.txq[dst] = b
+		if !r.txpending[dst] {
+			r.txpending[dst] = true
+			r.txdirty = append(r.txdirty, pkt.Dst)
+		}
+	}
+	if !b.Append(pkt) {
+		// Unreachable while BatchSize <= proto.MaxBatch (withDefaults
+		// clamps it) and builders are per-destination; a silent drop
+		// here would hang the transaction, so fail loudly.
+		panic("emu: batch builder rejected packet (BatchSize > proto.MaxBatch?)")
+	}
+	if b.Len() >= r.cfg.BatchSize {
+		r.flushDst(dst, replies)
+	}
+}
+
+// flushDst sends the batch pending toward dst, if any. On fabric failure it
+// completes every transaction with a line in the batch with
+// StatusNodeFailure (replies already in flight are discarded by the
+// generation check) and recycles the batch.
+func (r *RMC) flushDst(dst int, replies <-chan *proto.Batch) {
+	b := r.txq[dst]
+	if b == nil {
+		return
+	}
+	r.txq[dst] = nil
+	lines := uint64(b.Len()) // before the send: success forfeits ownership
+	if err := r.sendDraining(b, replies); err != nil {
+		for _, pkt := range b.Packets() {
+			r.failTid(pkt.Tid, core.StatusNodeFailure)
+		}
+		proto.FreeBatchPackets(b)
+		return
+	}
+	r.Stats.LinesSent.Add(lines)
+	r.Stats.BatchesSent.Add(1)
+}
+
+// flushAll flushes every pending batch builder.
+func (r *RMC) flushAll(replies <-chan *proto.Batch) {
+	if len(r.txdirty) == 0 {
+		return
+	}
+	for _, dst := range r.txdirty {
+		r.txpending[dst] = false
+		r.flushDst(int(dst), replies)
+	}
+	r.txdirty = r.txdirty[:0]
+}
+
+// sendDraining injects a request batch, continuing to drain the reply lane
+// while the destination lane is out of credits. Selecting on the lane send
+// and the reply lane together avoids both deadlock (request/reply cycles)
+// and lost wakeups (waiting for a reply that will never come because
+// nothing of ours is in flight).
+func (r *RMC) sendDraining(b *proto.Batch, replies <-chan *proto.Batch) error {
+	// Statistics must be captured before the send: a delivered batch is
+	// owned (and may already be recycled) by the receiver.
+	packets, wire := b.Len(), b.WireSize()
 	for {
-		lane, err := r.ic.LaneFor(pkt)
+		lane, err := r.ic.LaneFor(proto.KindRequest, r.id, b.Dst())
 		if err != nil {
 			return err
 		}
 		select {
-		case lane <- pkt:
-			r.ic.Account(pkt)
+		case lane <- b:
+			r.ic.Account(proto.KindRequest, packets, wire)
 			return nil
-		case rp := <-replies:
-			r.processReply(rp)
+		case rb := <-replies:
+			r.processReplies(rb)
 		case <-r.stopped:
 			return fabric.ErrClosed
 		case <-r.ic.Done():
 			return fabric.ErrClosed
 		}
+	}
+}
+
+// failTid fails the in-flight transaction identified by tid, if still
+// active under the same generation.
+func (r *RMC) failTid(tid core.Tid, status core.Status) {
+	idx := uint16(tid) & 0xFFF
+	gen := uint16(tid) >> 12
+	if int(idx) >= len(r.itt) {
+		return
+	}
+	if ent := &r.itt[idx]; ent.active && ent.gen&0xF == gen {
+		r.failITT(idx, status)
 	}
 }
 
@@ -511,6 +639,15 @@ func (r *RMC) failITT(idx uint16, status core.Status) {
 	r.complete(qp, wqIdx, status)
 }
 
+// handleControl dispatches a fabric failure notification.
+func (r *RMC) handleControl(ev ctrlEvent) {
+	if ev.isLink {
+		r.flushLink(ev.node, ev.linkTo, ev.epoch)
+		return
+	}
+	r.flushFailed(ev.node)
+}
+
 // flushFailed completes every in-flight transaction addressed to a failed
 // node with StatusNodeFailure and notifies the driver.
 func (r *RMC) flushFailed(failed core.NodeID) {
@@ -524,9 +661,43 @@ func (r *RMC) flushFailed(failed core.NodeID) {
 	}
 }
 
-// processReply implements the RCP (Fig. 3b): locate the ITT entry by tid,
-// store read/atomic payloads into the local buffer, and on the final line
-// post the CQ completion.
+// flushLink completes every in-flight transaction issued before the
+// link-failure epoch whose request or reply route crosses the failed link
+// a↔b with StatusNodeFailure. Replies crossing a failed link are dropped
+// by the fabric, so without this flush those transactions would hang
+// forever; the requester treats an unreachable destination like a failed
+// one (§5.1). The check is against the specific dead link, not the route's
+// current health — packets dropped while the link was down stay dropped
+// even if RestoreLink races ahead of this notification — while the epoch
+// stamp protects the converse race: a transaction issued after the restore
+// must not be killed by the stale notification. (With dimension-order
+// routing the reply route can cross different links than the request
+// route, hence both directions.)
+func (r *RMC) flushLink(a, b core.NodeID, epoch uint64) {
+	for i := range r.itt {
+		if !r.itt[i].active || r.itt[i].linkEpoch >= epoch {
+			continue
+		}
+		dst := r.itt[i].node
+		if r.ic.RouteCrosses(r.id, dst, a, b) || r.ic.RouteCrosses(r.id, dst, b, a) ||
+			r.ic.RouteCrosses(dst, r.id, a, b) || r.ic.RouteCrosses(dst, r.id, b, a) {
+			r.failITT(uint16(i), core.StatusNodeFailure)
+		}
+	}
+}
+
+// processReplies implements the RCP over one reply batch (Fig. 3b),
+// recycling every packet and the batch itself back to the proto pool.
+func (r *RMC) processReplies(rb *proto.Batch) {
+	for _, pkt := range rb.Packets() {
+		r.processReply(pkt)
+		proto.FreePacket(pkt)
+	}
+	proto.FreeBatch(rb)
+}
+
+// processReply locates the ITT entry by tid, stores read/atomic payloads
+// into the local buffer, and on the final line posts the CQ completion.
 func (r *RMC) processReply(pkt *proto.Packet) {
 	r.Stats.RepliesRecv.Add(1)
 	idx := uint16(pkt.Tid) & 0xFFF
@@ -582,8 +753,8 @@ func (r *RMC) runRRPP() {
 	requests := r.ic.Requests(r.id)
 	for {
 		select {
-		case pkt := <-requests:
-			r.processRequest(pkt)
+		case b := <-requests:
+			r.processRequests(b)
 		case <-r.stopped:
 			return
 		case <-r.ic.Done():
@@ -592,23 +763,50 @@ func (r *RMC) runRRPP() {
 	}
 }
 
-// processRequest implements the RRPP (Fig. 3b): stateless handling of one
-// line transaction using only the packet header and local CT state, always
-// answering with exactly one reply.
-func (r *RMC) processRequest(pkt *proto.Packet) {
-	r.Stats.RequestsRecv.Add(1)
-	reply := r.handle(pkt)
-	// Reply injection may block on credits; the reply lane always drains
-	// because RCPs consume unconditionally.
-	if err := r.ic.Send(reply); err != nil {
-		return // requester unreachable; its RMC flushes via ITT
+// processRequests implements the RRPP over one request batch (Fig. 3b):
+// stateless handling of each line transaction using only the packet header
+// and local CT state, always answering with exactly one reply per request.
+// Replies toward the same requester are re-batched, so a k-line inbound
+// batch produces one outbound reply batch, and every request packet is
+// recycled to the proto pool once answered.
+func (r *RMC) processRequests(b *proto.Batch) {
+	var rb *proto.Batch
+	for _, pkt := range b.Packets() {
+		r.Stats.RequestsRecv.Add(1)
+		reply := r.handle(pkt)
+		proto.FreePacket(pkt)
+		if rb != nil && !rb.Append(reply) {
+			r.sendReplies(rb)
+			rb = nil
+		}
+		if rb == nil {
+			rb = proto.AllocBatch()
+			rb.Append(reply)
+		}
+	}
+	proto.FreeBatch(b)
+	if rb != nil {
+		r.sendReplies(rb)
 	}
 }
 
+// sendReplies injects a reply batch. Injection may block on credits; the
+// reply lane always drains because RCPs consume unconditionally. If the
+// requester became unreachable the batch is dropped (its RMC flushes the
+// transactions via the ITT).
+func (r *RMC) sendReplies(rb *proto.Batch) {
+	if err := r.ic.SendBatch(rb); err != nil {
+		proto.FreeBatchPackets(rb)
+	}
+}
+
+// handle processes one request packet and returns its pool-allocated reply.
 func (r *RMC) handle(pkt *proto.Packet) *proto.Packet {
+	rp := pkt.ReplyInto(proto.AllocPacket(), core.StatusOK)
 	cs := r.Context(pkt.Ctx)
 	if cs == nil {
-		return pkt.Reply(core.StatusNoContext)
+		rp.Status = core.StatusNoContext
+		return rp
 	}
 	n := uint64(pkt.Aux)
 	if pkt.Op.IsWrite() {
@@ -618,29 +816,30 @@ func (r *RMC) handle(pkt *proto.Packet) *proto.Packet {
 		n = 8
 	}
 	if n == 0 || n > core.CacheLineSize || !cs.AS.InBounds(pkt.Offset, n) {
-		return pkt.Reply(core.StatusBoundsError)
+		rp.Status = core.StatusBoundsError
+		return rp
 	}
 	// Translate through the RMC TLB and the context's page table; with
 	// linear mappings this cannot fail in bounds, but the walk is the
 	// real control path (and the miss counter feeds the ablations).
 	if _, walks, ok := cs.AS.Translate(r.tlb, pkt.Offset); !ok {
-		return pkt.Reply(core.StatusBoundsError)
+		rp.Status = core.StatusBoundsError
+		return rp
 	} else if walks > 0 {
 		r.Stats.TLBMisses.Add(1)
 	}
 
 	switch pkt.Op {
 	case core.OpRead:
-		payload := make([]byte, n)
-		if err := cs.Seg.ReadAt(int(pkt.Offset), payload); err != nil {
-			return pkt.Reply(core.StatusBoundsError)
+		if err := cs.Seg.ReadAt(int(pkt.Offset), rp.AllocPayload(int(n))); err != nil {
+			rp.Payload = nil
+			rp.Status = core.StatusBoundsError
 		}
-		rp := pkt.Reply(core.StatusOK)
-		rp.Payload = payload
 		return rp
 	case core.OpWrite, core.OpWriteNotify:
 		if err := cs.Seg.WriteAt(int(pkt.Offset), pkt.Payload); err != nil {
-			return pkt.Reply(core.StatusBoundsError)
+			rp.Status = core.StatusBoundsError
+			return rp
 		}
 		// The remote-interrupt extension (§8): the final line of a
 		// write-with-notify raises the context's handler. Statelessly
@@ -651,36 +850,37 @@ func (r *RMC) handle(pkt *proto.Packet) *proto.Packet {
 				(*fn)(pkt.Src, pkt.Offset-uint64(pkt.LineIdx)*core.CacheLineSize, int(pkt.Aux)+int(pkt.LineIdx)*core.CacheLineSize)
 			}
 		}
-		return pkt.Reply(core.StatusOK)
+		return rp
 	case core.OpFetchAdd:
 		if len(pkt.Payload) < 8 {
-			return pkt.Reply(core.StatusBoundsError)
+			rp.Status = core.StatusBoundsError
+			return rp
 		}
 		delta := binary.LittleEndian.Uint64(pkt.Payload)
 		old, err := cs.Seg.FetchAdd64(int(pkt.Offset), delta)
 		if err != nil {
-			return pkt.Reply(core.StatusBadAlign)
+			rp.Status = core.StatusBadAlign
+			return rp
 		}
-		rp := pkt.Reply(core.StatusOK)
-		rp.Payload = make([]byte, 8)
-		binary.LittleEndian.PutUint64(rp.Payload, old)
+		binary.LittleEndian.PutUint64(rp.AllocPayload(8), old)
 		return rp
 	case core.OpCompareSwap:
 		if len(pkt.Payload) < 16 {
-			return pkt.Reply(core.StatusBoundsError)
+			rp.Status = core.StatusBoundsError
+			return rp
 		}
 		expected := binary.LittleEndian.Uint64(pkt.Payload)
 		newv := binary.LittleEndian.Uint64(pkt.Payload[8:])
 		old, err := cs.Seg.CompareSwap64(int(pkt.Offset), expected, newv)
 		if err != nil {
-			return pkt.Reply(core.StatusBadAlign)
+			rp.Status = core.StatusBadAlign
+			return rp
 		}
-		rp := pkt.Reply(core.StatusOK)
-		rp.Payload = make([]byte, 8)
-		binary.LittleEndian.PutUint64(rp.Payload, old)
+		binary.LittleEndian.PutUint64(rp.AllocPayload(8), old)
 		return rp
 	default:
-		return pkt.Reply(core.StatusBoundsError)
+		rp.Status = core.StatusBoundsError
+		return rp
 	}
 }
 

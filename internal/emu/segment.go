@@ -111,6 +111,19 @@ func (s *Segment) ReadAt(off int, dst []byte) error {
 		if n > len(dst) {
 			n = len(dst)
 		}
+		if raceEnabled {
+			// Optimistic seqlock reads intentionally race with the
+			// writer's copy and are validated afterwards; the race
+			// detector cannot see that validation, so under -race
+			// reads take the line lock like a writer would. See
+			// race_enabled.go.
+			held := s.lockLine(line)
+			copy(dst[:n], s.data[off:off+n])
+			s.unlockLine(line, held)
+			off += n
+			dst = dst[n:]
+			continue
+		}
 		v := &s.ver[line]
 		for spins := 0; ; spins++ {
 			v1 := v.Load()

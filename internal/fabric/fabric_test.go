@@ -105,23 +105,82 @@ func TestInterconnectDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case p := <-ic.Requests(2):
-		if p.Src != 0 {
-			t.Fatalf("request from %d", p.Src)
+	case b := <-ic.Requests(2):
+		if b.Len() != 1 || b.Src() != 0 {
+			t.Fatalf("request batch len=%d src=%d", b.Len(), b.Src())
 		}
 	default:
 		t.Fatal("request not delivered")
 	}
 	select {
-	case p := <-ic.Replies(2):
-		if p.Src != 1 {
-			t.Fatalf("reply from %d", p.Src)
+	case b := <-ic.Replies(2):
+		if b.Len() != 1 || b.Src() != 1 {
+			t.Fatalf("reply batch len=%d src=%d", b.Len(), b.Src())
 		}
 	default:
 		t.Fatal("reply not delivered")
 	}
 	if ic.ReqSent.Load() != 1 || ic.RplSent.Load() != 1 {
 		t.Fatal("counters wrong")
+	}
+	if ic.BatchesSent.Load() != 2 {
+		t.Fatalf("BatchesSent = %d, want 2", ic.BatchesSent.Load())
+	}
+}
+
+// mkBatch packs n single-line read requests for the same route into one
+// batch.
+func mkBatch(src, dst, n int) *proto.Batch {
+	b := proto.AllocBatch()
+	for i := 0; i < n; i++ {
+		if !b.Append(mkPkt(src, dst, proto.KindRequest)) {
+			panic("mkBatch: append failed")
+		}
+	}
+	return b
+}
+
+// TestBatchAmortizesCredits checks that a batch of MaxBatch packets charges
+// one credit, while the same packets sent individually charge one each.
+func TestBatchAmortizesCredits(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(2), 1)
+	defer ic.Close()
+	if err := ic.TrySendBatch(mkBatch(0, 1, proto.MaxBatch)); err != nil {
+		t.Fatalf("full batch on one credit: %v", err)
+	}
+	if err := ic.TrySendBatch(mkBatch(0, 1, 1)); err != ErrBackpressure {
+		t.Fatalf("second batch should be out of credits, got %v", err)
+	}
+	b := <-ic.Requests(1)
+	if b.Len() != proto.MaxBatch {
+		t.Fatalf("batch len %d, want %d", b.Len(), proto.MaxBatch)
+	}
+	if got := ic.ReqSent.Load(); got != proto.MaxBatch {
+		t.Fatalf("ReqSent = %d, want %d (per-packet counting)", got, proto.MaxBatch)
+	}
+	if got := ic.BatchesSent.Load(); got != 1 {
+		t.Fatalf("BatchesSent = %d, want 1 (per-batch credit)", got)
+	}
+}
+
+// TestBatchRouteMismatchRejected checks Append refuses to mix routes/lanes.
+func TestBatchRouteMismatchRejected(t *testing.T) {
+	b := proto.AllocBatch()
+	defer proto.FreeBatch(b)
+	if !b.Append(mkPkt(0, 1, proto.KindRequest)) {
+		t.Fatal("first append failed")
+	}
+	if b.Append(mkPkt(0, 2, proto.KindRequest)) {
+		t.Fatal("append accepted a different destination")
+	}
+	if b.Append(mkPkt(1, 1, proto.KindRequest)) {
+		t.Fatal("append accepted a different source")
+	}
+	if b.Append(mkPkt(0, 1, proto.KindReply)) {
+		t.Fatal("append accepted a different lane")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("batch len %d after rejected appends, want 1", b.Len())
 	}
 }
 
@@ -244,23 +303,24 @@ func TestCloseReleasesBlockedSenders(t *testing.T) {
 func TestLaneForMatchesSend(t *testing.T) {
 	ic := NewInterconnect(NewCrossbar(2), 4)
 	defer ic.Close()
-	pkt := mkPkt(0, 1, proto.KindRequest)
-	lane, err := ic.LaneFor(pkt)
+	b := mkBatch(0, 1, 2)
+	lane, err := ic.LaneFor(b.Kind(), b.Src(), b.Dst())
 	if err != nil {
 		t.Fatal(err)
 	}
-	lane <- pkt
-	ic.Account(pkt)
+	kind, packets, wire := b.Kind(), b.Len(), b.WireSize()
+	lane <- b
+	ic.Account(kind, packets, wire)
 	select {
-	case p := <-ic.Requests(1):
-		if p != pkt {
-			t.Fatal("wrong packet delivered")
+	case got := <-ic.Requests(1):
+		if got != b {
+			t.Fatal("wrong batch delivered")
 		}
 	default:
 		t.Fatal("LaneFor lane does not reach destination")
 	}
 	ic.FailNode(1)
-	if _, err := ic.LaneFor(pkt); err != ErrDown {
+	if _, err := ic.LaneFor(proto.KindRequest, 0, 1); err != ErrDown {
 		t.Fatalf("LaneFor to failed node: %v", err)
 	}
 }

@@ -25,32 +25,40 @@ var ErrBackpressure = errors.New("fabric: lane out of credits")
 
 // DefaultCredits is the per-(destination, lane) buffering of the
 // development-platform interconnect; it models link-level credit-based flow
-// control (§6: "credit-based flow control"). A sender blocks when the
-// destination's lane buffer is out of credits.
+// control (§6: "credit-based flow control"). One credit covers one batch of
+// up to proto.MaxBatch line packets, so flow-control accounting is amortized
+// over the batch. A sender blocks when the destination's lane is out of
+// credits.
 const DefaultCredits = 64
 
 // Interconnect is the development platform's fabric: an in-process crossbar
-// carrying proto.Packet values between emulated nodes over two virtual
-// lanes. Bounded channels provide the credit semantics; separate
-// request/reply lanes provide deadlock freedom, because reply traffic can
-// always drain regardless of request backpressure.
+// carrying proto.Batch frames between emulated nodes over two virtual
+// lanes. Each destination has a pair of bounded shard queues (request and
+// reply lanes); the bounded channels provide the credit semantics, and the
+// separate lanes provide deadlock freedom, because reply traffic can always
+// drain regardless of request backpressure. Batches amortize the per-send
+// route validation, lane selection, and counter updates over up to
+// proto.MaxBatch packets.
 type Interconnect struct {
 	n      int
 	topo   Topology
-	req    []chan *proto.Packet // per destination node
-	rpl    []chan *proto.Packet
+	req    []chan *proto.Batch // per destination node
+	rpl    []chan *proto.Batch
 	down   []atomic.Bool
 	closed atomic.Bool
 	done   chan struct{}
 
-	mu       sync.Mutex
-	linkDown map[Link]bool
-	watchers []func(core.NodeID)
+	mu           sync.Mutex
+	linkDown     map[Link]bool
+	watchers     []func(core.NodeID)
+	linkWatchers []func(a, b core.NodeID, epoch uint64)
+	linkEpoch    atomic.Uint64 // bumped by every FailLink
 
 	// Counters for fabric statistics.
-	ReqSent atomic.Uint64
-	RplSent atomic.Uint64
-	Bytes   atomic.Uint64
+	ReqSent     atomic.Uint64 // request packets
+	RplSent     atomic.Uint64 // reply packets
+	BatchesSent atomic.Uint64 // fabric sends (credit charges)
+	Bytes       atomic.Uint64
 }
 
 // NewInterconnect builds an interconnect for topo with the given per-lane
@@ -63,15 +71,15 @@ func NewInterconnect(topo Topology, credits int) *Interconnect {
 	ic := &Interconnect{
 		n:        n,
 		topo:     topo,
-		req:      make([]chan *proto.Packet, n),
-		rpl:      make([]chan *proto.Packet, n),
+		req:      make([]chan *proto.Batch, n),
+		rpl:      make([]chan *proto.Batch, n),
 		down:     make([]atomic.Bool, n),
 		done:     make(chan struct{}),
 		linkDown: make(map[Link]bool),
 	}
 	for i := 0; i < n; i++ {
-		ic.req[i] = make(chan *proto.Packet, credits)
-		ic.rpl[i] = make(chan *proto.Packet, credits)
+		ic.req[i] = make(chan *proto.Batch, credits)
+		ic.rpl[i] = make(chan *proto.Batch, credits)
 	}
 	return ic
 }
@@ -85,6 +93,23 @@ func (ic *Interconnect) Topology() Topology { return ic.topo }
 // Done returns a channel closed when the interconnect shuts down; RMC
 // pipelines select on it to terminate cleanly.
 func (ic *Interconnect) Done() <-chan struct{} { return ic.done }
+
+// RouteCrosses reports whether the deterministic route src→dst traverses
+// the directed link a→b. RMCs use it on link-failure notifications to
+// flush exactly the transactions whose traffic crossed the dead link —
+// independent of the link's CURRENT state, because a racing RestoreLink
+// cannot resurrect replies that were already dropped while it was down.
+func (ic *Interconnect) RouteCrosses(src, dst, a, b core.NodeID) bool {
+	if int(src) >= ic.n || int(dst) >= ic.n {
+		return false
+	}
+	for _, l := range ic.topo.Route(src, dst) {
+		if l.From == a && l.To == b {
+			return true
+		}
+	}
+	return false
+}
 
 // routeUp verifies every link of the deterministic route is healthy.
 func (ic *Interconnect) routeUp(src, dst core.NodeID) bool {
@@ -101,112 +126,112 @@ func (ic *Interconnect) routeUp(src, dst core.NodeID) bool {
 	return true
 }
 
-// Send injects a packet toward pkt.Dst on the lane selected by pkt.Kind.
-// It blocks while the destination lane is out of credits and fails fast if
-// the destination (or any link on the route) is down or the fabric closed.
-func (ic *Interconnect) Send(pkt *proto.Packet) error {
+// LaneFor validates the route for a batch with the given lane and endpoints
+// and returns the destination shard queue without sending. Callers that
+// must stay responsive while blocked on credits (the RMC's request
+// pipelines) select on the returned lane together with their inbound work;
+// they call Account after a successful direct send so fabric counters stay
+// correct.
+func (ic *Interconnect) LaneFor(kind proto.Kind, src, dst core.NodeID) (chan<- *proto.Batch, error) {
 	if ic.closed.Load() {
-		return ErrClosed
+		return nil, ErrClosed
 	}
-	dst := int(pkt.Dst)
-	if dst < 0 || dst >= ic.n {
-		return ErrDown
+	d := int(dst)
+	if d < 0 || d >= ic.n || int(src) < 0 || int(src) >= ic.n {
+		return nil, ErrDown
 	}
-	if ic.down[dst].Load() || ic.down[pkt.Src].Load() || !ic.routeUp(pkt.Src, pkt.Dst) {
-		return ErrDown
+	if ic.down[d].Load() || ic.down[src].Load() || !ic.routeUp(src, dst) {
+		return nil, ErrDown
 	}
-	var lane chan *proto.Packet
-	if pkt.Kind == proto.KindReply {
-		lane = ic.rpl[dst]
+	if kind == proto.KindReply {
+		return ic.rpl[d], nil
+	}
+	return ic.req[d], nil
+}
+
+// Account records a batch sent directly into a lane from LaneFor, given
+// its pre-send statistics. Callers must capture kind, packet count, and
+// wire size BEFORE handing the batch to the lane: a delivered batch is
+// owned (and may already be recycled) by the receiver.
+func (ic *Interconnect) Account(kind proto.Kind, packets, wireBytes int) {
+	if kind == proto.KindReply {
+		ic.RplSent.Add(uint64(packets))
 	} else {
-		lane = ic.req[dst]
+		ic.ReqSent.Add(uint64(packets))
+	}
+	ic.BatchesSent.Add(1)
+	ic.Bytes.Add(uint64(wireBytes))
+}
+
+// SendBatch injects a batch toward its destination on the lane selected by
+// its kind, charging a single credit for the whole batch. It blocks while
+// the destination lane is out of credits and fails fast if the destination
+// (or any link on the route) is down or the fabric closed. On success the
+// receiver owns the batch; on failure ownership stays with the caller.
+func (ic *Interconnect) SendBatch(b *proto.Batch) error {
+	kind, packets, wire := b.Kind(), b.Len(), b.WireSize()
+	lane, err := ic.LaneFor(kind, b.Src(), b.Dst())
+	if err != nil {
+		return err
 	}
 	select {
-	case lane <- pkt:
-		if pkt.Kind == proto.KindReply {
-			ic.RplSent.Add(1)
-		} else {
-			ic.ReqSent.Add(1)
-		}
-		ic.Bytes.Add(uint64(pkt.WireSize()))
+	case lane <- b:
+		ic.Account(kind, packets, wire)
 		return nil
 	case <-ic.done:
 		return ErrClosed
 	}
 }
 
-// LaneFor validates the route for pkt and returns the destination lane
-// channel without sending. Callers that must stay responsive while blocked
-// on credits (the RMC's request pipelines) select on the returned lane
-// together with their inbound work; they call Account after a successful
-// direct send so fabric counters stay correct.
-func (ic *Interconnect) LaneFor(pkt *proto.Packet) (chan<- *proto.Packet, error) {
-	if ic.closed.Load() {
-		return nil, ErrClosed
-	}
-	dst := int(pkt.Dst)
-	if dst < 0 || dst >= ic.n {
-		return nil, ErrDown
-	}
-	if ic.down[dst].Load() || ic.down[pkt.Src].Load() || !ic.routeUp(pkt.Src, pkt.Dst) {
-		return nil, ErrDown
-	}
-	if pkt.Kind == proto.KindReply {
-		return ic.rpl[dst], nil
-	}
-	return ic.req[dst], nil
-}
-
-// Account records a packet sent directly into a lane from LaneFor.
-func (ic *Interconnect) Account(pkt *proto.Packet) {
-	if pkt.Kind == proto.KindReply {
-		ic.RplSent.Add(1)
-	} else {
-		ic.ReqSent.Add(1)
-	}
-	ic.Bytes.Add(uint64(pkt.WireSize()))
-}
-
-// TrySend is Send without blocking: if the destination lane has no free
-// credit it returns ErrBackpressure immediately.
-func (ic *Interconnect) TrySend(pkt *proto.Packet) error {
-	if ic.closed.Load() {
-		return ErrClosed
-	}
-	dst := int(pkt.Dst)
-	if dst < 0 || dst >= ic.n {
-		return ErrDown
-	}
-	if ic.down[dst].Load() || ic.down[pkt.Src].Load() || !ic.routeUp(pkt.Src, pkt.Dst) {
-		return ErrDown
-	}
-	var lane chan *proto.Packet
-	if pkt.Kind == proto.KindReply {
-		lane = ic.rpl[dst]
-	} else {
-		lane = ic.req[dst]
+// TrySendBatch is SendBatch without blocking: if the destination lane has
+// no free credit it returns ErrBackpressure immediately.
+func (ic *Interconnect) TrySendBatch(b *proto.Batch) error {
+	kind, packets, wire := b.Kind(), b.Len(), b.WireSize()
+	lane, err := ic.LaneFor(kind, b.Src(), b.Dst())
+	if err != nil {
+		return err
 	}
 	select {
-	case lane <- pkt:
-		if pkt.Kind == proto.KindReply {
-			ic.RplSent.Add(1)
-		} else {
-			ic.ReqSent.Add(1)
-		}
-		ic.Bytes.Add(uint64(pkt.WireSize()))
+	case lane <- b:
+		ic.Account(kind, packets, wire)
 		return nil
 	default:
 		return ErrBackpressure
 	}
 }
 
-// Requests returns node's inbound request lane (consumed by its RRPP).
-func (ic *Interconnect) Requests(node core.NodeID) <-chan *proto.Packet {
+// Send injects a single packet as a one-packet batch. Convenience wrapper
+// for control-path and test traffic; the RMC data path builds multi-packet
+// batches instead.
+func (ic *Interconnect) Send(pkt *proto.Packet) error {
+	b := proto.AllocBatch()
+	b.Append(pkt)
+	if err := ic.SendBatch(b); err != nil {
+		proto.FreeBatch(b)
+		return err
+	}
+	return nil
+}
+
+// TrySend is Send without blocking.
+func (ic *Interconnect) TrySend(pkt *proto.Packet) error {
+	b := proto.AllocBatch()
+	b.Append(pkt)
+	if err := ic.TrySendBatch(b); err != nil {
+		proto.FreeBatch(b)
+		return err
+	}
+	return nil
+}
+
+// Requests returns node's inbound request lane (consumed by its RRPP). The
+// consumer owns received batches and their packets.
+func (ic *Interconnect) Requests(node core.NodeID) <-chan *proto.Batch {
 	return ic.req[node]
 }
 
 // Replies returns node's inbound reply lane (consumed by its RCP).
-func (ic *Interconnect) Replies(node core.NodeID) <-chan *proto.Packet {
+func (ic *Interconnect) Replies(node core.NodeID) <-chan *proto.Batch {
 	return ic.rpl[node]
 }
 
@@ -218,6 +243,24 @@ func (ic *Interconnect) Watch(fn func(core.NodeID)) {
 	ic.watchers = append(ic.watchers, fn)
 	ic.mu.Unlock()
 }
+
+// WatchLink registers a callback invoked (asynchronously) when a link
+// fails; the RMC uses it to flush in-flight transactions whose route became
+// unreachable, since replies crossing the dead link are dropped. The epoch
+// identifies the failure: transactions issued at or after it (see
+// LinkEpoch) were not affected by this particular failure.
+func (ic *Interconnect) WatchLink(fn func(a, b core.NodeID, epoch uint64)) {
+	ic.mu.Lock()
+	ic.linkWatchers = append(ic.linkWatchers, fn)
+	ic.mu.Unlock()
+}
+
+// LinkEpoch reports the current link-failure epoch. RMCs stamp each
+// transaction with it at issue time so an asynchronously delivered failure
+// notification can distinguish transactions issued before the failure
+// (whose replies may have been dropped) from ones issued after a racing
+// RestoreLink (which must not be flushed).
+func (ic *Interconnect) LinkEpoch() uint64 { return ic.linkEpoch.Load() }
 
 // FailNode marks a node down. In-flight packets to it are dropped (the
 // channel is drained), and watchers are notified.
@@ -237,10 +280,11 @@ func (ic *Interconnect) FailNode(id core.NodeID) {
 	}
 }
 
-func (ic *Interconnect) drain(ch chan *proto.Packet) {
+func (ic *Interconnect) drain(ch chan *proto.Batch) {
 	for {
 		select {
-		case <-ch:
+		case b := <-ch:
+			proto.FreeBatchPackets(b)
 		default:
 			return
 		}
@@ -254,11 +298,21 @@ func (ic *Interconnect) NodeDown(id core.NodeID) bool {
 
 // FailLink marks the directed link a→b (and b→a) down. Routes crossing it
 // fail with ErrDown; with crossbar topology that isolates exactly the pair.
+// Link watchers are notified so RMCs can flush transactions whose replies
+// would have crossed the link.
 func (ic *Interconnect) FailLink(a, b core.NodeID) {
 	ic.mu.Lock()
 	ic.linkDown[Link{From: a, To: b}] = true
 	ic.linkDown[Link{From: b, To: a}] = true
+	// The epoch bump is ordered after the link goes down: a transaction
+	// stamped with the new epoch either fails its send against the dead
+	// link or was issued after a restore.
+	epoch := ic.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, ic.linkWatchers...)
 	ic.mu.Unlock()
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
 }
 
 // RestoreLink brings a previously failed link back up.

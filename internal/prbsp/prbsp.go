@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sonuma"
@@ -70,15 +71,20 @@ type Options struct {
 	WorkPerEdge int
 }
 
-// workSink defeats dead-code elimination of the spin loop.
-var workSink uint64
+// workSink defeats dead-code elimination of the spin loop. It is shared by
+// every worker goroutine, so accesses are atomic (one load and one store
+// per call, outside the spin loop).
+var workSink atomic.Uint64
 
 func work(iters int) {
-	acc := workSink
+	if iters <= 0 {
+		return
+	}
+	acc := workSink.Load()
 	for i := 0; i < iters; i++ {
 		acc = acc*1664525 + 1013904223
 	}
-	workSink = acc
+	workSink.Store(acc)
 }
 
 // Result is the outcome of one run.

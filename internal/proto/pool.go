@@ -1,0 +1,127 @@
+package proto
+
+import (
+	"sync"
+
+	"sonuma/internal/core"
+)
+
+// This file provides the allocation-free steady state of the data path: a
+// sync.Pool-backed packet allocator (packets carry their payload in an
+// inline cache-line array, so no per-packet byte-slice allocation) and the
+// Batch framing type that carries up to MaxBatch line transactions with the
+// same route and virtual lane in one fabric send.
+//
+// Ownership discipline: whoever pulls a packet or batch out of a fabric
+// lane owns it and must release it with FreePacket / FreeBatch once done.
+// A failed send leaves ownership with the sender.
+
+// MaxBatch is the largest number of line transactions one Batch carries.
+// It bounds the per-destination buffering of the RMC's batch builders; the
+// RGP flushes a builder as soon as it reaches the configured batch size.
+const MaxBatch = 32
+
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// AllocPacket returns a packet from the pool with a zeroed header and nil
+// payload. The inline payload buffer may hold stale bytes; AllocPayload
+// callers overwrite exactly the range they claim.
+func AllocPacket() *Packet {
+	return pktPool.Get().(*Packet)
+}
+
+// FreePacket resets p and returns it to the pool. The caller must not
+// retain p or any payload slice obtained from it.
+func FreePacket(p *Packet) {
+	p.Reset()
+	pktPool.Put(p)
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// Batch is one fabric message carrying up to MaxBatch packets that share a
+// source, destination, and virtual lane. The fabric charges one credit per
+// batch, amortizing lane selection, route validation, and flow control over
+// all packets it carries.
+type Batch struct {
+	kind Kind
+	src  core.NodeID
+	dst  core.NodeID
+	n    int
+	pkts [MaxBatch]*Packet
+}
+
+// AllocBatch returns an empty batch from the pool. Its route and lane are
+// fixed by the first Append.
+func AllocBatch() *Batch {
+	return batchPool.Get().(*Batch)
+}
+
+// FreeBatch returns the batch (not its packets) to the pool.
+func FreeBatch(b *Batch) {
+	b.reset()
+	batchPool.Put(b)
+}
+
+// FreeBatchPackets releases every packet in the batch and then the batch
+// itself, for paths that drop a batch without processing it.
+func FreeBatchPackets(b *Batch) {
+	for i := 0; i < b.n; i++ {
+		FreePacket(b.pkts[i])
+	}
+	FreeBatch(b)
+}
+
+func (b *Batch) reset() {
+	for i := 0; i < b.n; i++ {
+		b.pkts[i] = nil
+	}
+	b.n = 0
+	b.kind = 0
+	b.src = 0
+	b.dst = 0
+}
+
+// Append adds a packet to the batch. The first packet fixes the batch's
+// kind and route; Append reports false when the batch is full or the packet
+// does not share them, in which case the caller flushes and starts a new
+// batch.
+func (b *Batch) Append(p *Packet) bool {
+	if b.n == 0 {
+		b.kind, b.src, b.dst = p.Kind, p.Src, p.Dst
+	} else if b.n == len(b.pkts) || p.Kind != b.kind || p.Src != b.src || p.Dst != b.dst {
+		return false
+	}
+	b.pkts[b.n] = p
+	b.n++
+	return true
+}
+
+// Len reports the number of packets in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Full reports whether the batch can take no further packet.
+func (b *Batch) Full() bool { return b.n == len(b.pkts) }
+
+// Kind reports the virtual lane of the batch (valid once non-empty).
+func (b *Batch) Kind() Kind { return b.kind }
+
+// Src reports the source node of the batch (valid once non-empty).
+func (b *Batch) Src() core.NodeID { return b.src }
+
+// Dst reports the destination node of the batch (valid once non-empty).
+func (b *Batch) Dst() core.NodeID { return b.dst }
+
+// Packets returns the batched packets. The slice aliases the batch and is
+// invalidated by FreeBatch.
+func (b *Batch) Packets() []*Packet { return b.pkts[:b.n] }
+
+// WireSize reports the summed encoded size of the batch's packets, used by
+// the fabric's byte counters.
+func (b *Batch) WireSize() int {
+	n := 0
+	for i := 0; i < b.n; i++ {
+		n += b.pkts[i].WireSize()
+	}
+	return n
+}

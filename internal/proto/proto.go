@@ -76,6 +76,28 @@ type Packet struct {
 	LineIdx uint32 // index of this line within the WQ request
 	Aux     uint32 // atomics: low half of operand descriptor (see below)
 	Payload []byte // nil or up to one cache line
+
+	// buf is the inline payload storage claimed through AllocPayload, so
+	// pooled packets carry a full cache line without a per-packet slice
+	// allocation. Payload normally aliases it but may point elsewhere
+	// (hand-built test packets); the data path never assumes aliasing.
+	buf [core.CacheLineSize]byte
+}
+
+// AllocPayload points Payload at the packet's inline buffer, sized to n
+// bytes (n must not exceed one cache line), and returns it for filling.
+func (p *Packet) AllocPayload(n int) []byte {
+	p.Payload = p.buf[:n:n]
+	return p.Payload
+}
+
+// Reset clears the packet header and payload reference for pool reuse. The
+// inline buffer is left dirty; AllocPayload claims exact ranges.
+func (p *Packet) Reset() {
+	p.Kind, p.Op, p.Status, p.Flags = 0, 0, 0, 0
+	p.Dst, p.Src, p.Ctx, p.Tid = 0, 0, 0, 0
+	p.Offset, p.LineIdx, p.Aux = 0, 0, 0
+	p.Payload = nil
 }
 
 // Atomic operand convention: FetchAdd and CompareSwap requests carry their
@@ -138,51 +160,70 @@ func (p *Packet) Marshal(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal decodes a packet from buf. The payload aliases buf.
+// Unmarshal decodes a packet from buf into a fresh packet. The payload is
+// copied into the packet's inline buffer, so the result is self-contained
+// and may be released with FreePacket.
 func Unmarshal(buf []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := UnmarshalInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalInto decodes a packet from buf into p (typically obtained from
+// AllocPacket), copying the payload into p's inline buffer.
+func UnmarshalInto(p *Packet, buf []byte) error {
 	if len(buf) < HeaderSize {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
-	p := &Packet{
-		Kind:    Kind(buf[0]),
-		Op:      core.Op(buf[1]),
-		Status:  core.Status(buf[2]),
-		Flags:   buf[3],
-		Dst:     core.NodeID(binary.LittleEndian.Uint16(buf[4:])),
-		Src:     core.NodeID(binary.LittleEndian.Uint16(buf[6:])),
-		Ctx:     core.CtxID(binary.LittleEndian.Uint16(buf[8:])),
-		Tid:     core.Tid(binary.LittleEndian.Uint16(buf[10:])),
-		Offset:  binary.LittleEndian.Uint64(buf[16:]),
-		LineIdx: binary.LittleEndian.Uint32(buf[24:]),
-		Aux:     binary.LittleEndian.Uint32(buf[28:]),
-	}
+	p.Kind = Kind(buf[0])
+	p.Op = core.Op(buf[1])
+	p.Status = core.Status(buf[2])
+	p.Flags = buf[3]
+	p.Dst = core.NodeID(binary.LittleEndian.Uint16(buf[4:]))
+	p.Src = core.NodeID(binary.LittleEndian.Uint16(buf[6:]))
+	p.Ctx = core.CtxID(binary.LittleEndian.Uint16(buf[8:]))
+	p.Tid = core.Tid(binary.LittleEndian.Uint16(buf[10:]))
+	p.Offset = binary.LittleEndian.Uint64(buf[16:])
+	p.LineIdx = binary.LittleEndian.Uint32(buf[24:])
+	p.Aux = binary.LittleEndian.Uint32(buf[28:])
+	p.Payload = nil
 	if p.Kind != KindRequest && p.Kind != KindReply {
-		return nil, ErrBadKind
+		return ErrBadKind
 	}
 	plen := int(binary.LittleEndian.Uint16(buf[12:]))
 	if plen > core.CacheLineSize || HeaderSize+plen > len(buf) {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	if plen > 0 {
-		p.Payload = buf[HeaderSize : HeaderSize+plen]
+		copy(p.AllocPayload(plen), buf[HeaderSize:HeaderSize+plen])
 	}
-	return p, nil
+	return nil
 }
 
 // Reply constructs the reply skeleton for a request: swapped route, same op,
 // ctx, tid, offset and line index (§6: "the tid ... is transferred from the
 // request to the associated reply packet").
 func (p *Packet) Reply(status core.Status) *Packet {
-	return &Packet{
-		Kind:    KindReply,
-		Op:      p.Op,
-		Status:  status,
-		Flags:   p.Flags,
-		Dst:     p.Src,
-		Src:     p.Dst,
-		Ctx:     p.Ctx,
-		Tid:     p.Tid,
-		Offset:  p.Offset,
-		LineIdx: p.LineIdx,
-	}
+	return p.ReplyInto(new(Packet), status)
+}
+
+// ReplyInto fills rp (typically obtained from AllocPacket) as the reply
+// skeleton for request p and returns it. The allocation-free analogue of
+// Reply, used by the RRPP hot path.
+func (p *Packet) ReplyInto(rp *Packet, status core.Status) *Packet {
+	rp.Kind = KindReply
+	rp.Op = p.Op
+	rp.Status = status
+	rp.Flags = p.Flags
+	rp.Dst = p.Src
+	rp.Src = p.Dst
+	rp.Ctx = p.Ctx
+	rp.Tid = p.Tid
+	rp.Offset = p.Offset
+	rp.LineIdx = p.LineIdx
+	rp.Aux = 0
+	rp.Payload = nil
+	return rp
 }

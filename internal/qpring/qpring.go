@@ -102,6 +102,35 @@ func (wq *WQ) Full() bool { return wq.full() }
 // Application (producer) side only.
 func (wq *WQ) NextSlot() uint32 { return wq.tail.Load() & wq.mask }
 
+// Room reports the number of free slots. Application (producer) side only.
+func (wq *WQ) Room() int { return int(wq.mask+1) - wq.len() }
+
+// SlotAt reports the WQ index that the k-th next Post (0-based) will
+// occupy, letting batched issue stage callbacks for a contiguous run of
+// slots before publishing it. Application (producer) side only.
+func (wq *WQ) SlotAt(k uint32) uint32 { return (wq.tail.Load() + k) & wq.mask }
+
+// PostMany writes up to len(es) entries at the tail with a single tail
+// publish — the ring analogue of a coalesced doorbell: the RMC observes the
+// whole burst at once. It returns the number of entries posted (bounded by
+// the free slots). Application (producer) side only.
+func (wq *WQ) PostMany(es []WQEntry) int {
+	t := wq.tail.Load()
+	room := int(wq.mask+1) - int(t-wq.head.Load())
+	n := len(es)
+	if n > room {
+		n = room
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		wq.slots[(t+uint32(i))&wq.mask] = es[i]
+	}
+	wq.tail.Store(t + uint32(n)) // release: publishes every slot write
+	return n
+}
+
 // Post writes an entry at the tail. It returns the WQ index of the entry and
 // false if the ring is full. Application (producer) side only.
 func (wq *WQ) Post(e WQEntry) (uint32, bool) {

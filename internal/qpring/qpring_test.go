@@ -188,3 +188,50 @@ func TestPropertyOccupancy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPostManySingleTailPublish(t *testing.T) {
+	wq := NewWQ(8)
+	es := make([]WQEntry, 5)
+	for i := range es {
+		es[i] = WQEntry{Offset: uint64(i)}
+	}
+	if wq.SlotAt(0) != 0 || wq.SlotAt(4) != 4 {
+		t.Fatal("SlotAt wrong on empty ring")
+	}
+	if n := wq.PostMany(es); n != 5 {
+		t.Fatalf("posted %d, want 5", n)
+	}
+	if wq.Len() != 5 || wq.Room() != 3 {
+		t.Fatalf("len=%d room=%d after PostMany", wq.Len(), wq.Room())
+	}
+	for i := 0; i < 5; i++ {
+		e, idx, ok := wq.Poll()
+		if !ok || e.Offset != uint64(i) || idx != uint32(i) {
+			t.Fatalf("poll %d: ok=%v off=%d idx=%d", i, ok, e.Offset, idx)
+		}
+	}
+}
+
+func TestPostManyBoundedByRoom(t *testing.T) {
+	wq := NewWQ(4)
+	es := make([]WQEntry, 7)
+	for i := range es {
+		es[i] = WQEntry{Offset: uint64(i)}
+	}
+	if n := wq.PostMany(es); n != 4 {
+		t.Fatalf("posted %d into depth-4 ring, want 4", n)
+	}
+	if n := wq.PostMany(es[4:]); n != 0 {
+		t.Fatalf("posted %d into full ring, want 0", n)
+	}
+	wq.Poll()
+	wq.Poll()
+	if n := wq.PostMany(es[4:]); n != 2 {
+		t.Fatalf("posted %d into ring with 2 free, want 2", n)
+	}
+	// Wrap-around run: entries 4..5 land in slots 0..1.
+	e, idx, _ := wq.Poll()
+	if e.Offset != 2 || idx != 2 {
+		t.Fatalf("FIFO broken after wrapped PostMany: off=%d idx=%d", e.Offset, idx)
+	}
+}

@@ -136,6 +136,7 @@ type Messenger struct {
 	sendBuf *Buffer // staging for outgoing ring writes
 	pullBuf *Buffer // landing area for pull reads
 	tiny    *Buffer // 8-byte scratch for credit/ack writes
+	batch   *Batch  // reusable op batch: ring writes issue with one doorbell
 
 	ringBase, creditBase, ackBase, stagBase int
 
@@ -187,6 +188,7 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 	if m.tiny, err = ctx.AllocBuffer(slotSize); err != nil {
 		return nil, err
 	}
+	m.batch = qp.NewBatch()
 	return m, nil
 }
 
@@ -315,19 +317,21 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 			return err
 		}
 	}
-	// Write the contiguous runs (the message may wrap the ring edge).
+	// Write the contiguous runs (the message may wrap the ring edge) as
+	// one batched issue: both rmc_writes post with a single WQ publish
+	// and doorbell, and the RGP packs their lines into shared fabric
+	// batches toward the peer.
 	first := int(m.txSeq[to] % uint64(m.cfg.RingSlots))
 	run1 := nSlots
 	if first+run1 > m.cfg.RingSlots {
 		run1 = m.cfg.RingSlots - first
 	}
-	if err := m.qp.Write(to, uint64(m.ringOff(m.me, first)), m.sendBuf, 0, run1*slotSize); err != nil {
-		return err
-	}
+	m.batch.Write(to, uint64(m.ringOff(m.me, first)), m.sendBuf, 0, run1*slotSize, nil)
 	if run2 := nSlots - run1; run2 > 0 {
-		if err := m.qp.Write(to, uint64(m.ringOff(m.me, 0)), m.sendBuf, run1*slotSize, run2*slotSize); err != nil {
-			return err
-		}
+		m.batch.Write(to, uint64(m.ringOff(m.me, 0)), m.sendBuf, run1*slotSize, run2*slotSize, nil)
+	}
+	if err := m.batch.SubmitWait(); err != nil {
+		return err
 	}
 	m.txSeq[to] += uint64(nSlots)
 	return nil

@@ -2,7 +2,6 @@ package sonuma
 
 import (
 	"sonuma/internal/core"
-	"sonuma/internal/qpring"
 )
 
 // This file implements the remote-notification extension the paper lists as
@@ -66,14 +65,8 @@ func (c *Context) NotifyChan(capacity int) <-chan Notification {
 // to (node, offset) that raises the destination context's notification
 // handler after its final line is written.
 func (q *QP) IssueWriteNotify(slot int, node int, offset uint64, buf *Buffer, bufOff int, n int) error {
-	if err := checkBuf(buf, bufOff, n); err != nil {
-		q.cbs[slot] = nil
-		return err
-	}
-	return q.post(slot, qpring.WQEntry{
-		Op: core.OpWriteNotify, Node: core.NodeID(node), Offset: offset,
-		Length: uint32(n), Buf: buf.id, BufOff: uint64(bufOff),
-	})
+	e, err := bufOpEntry(core.OpWriteNotify, node, offset, buf, bufOff, n)
+	return q.issue(slot, e, err)
 }
 
 // WriteNotifyAsync is WaitForSlot + IssueWriteNotify.

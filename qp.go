@@ -49,6 +49,17 @@ type QP struct {
 	scratch     *Buffer
 	outstanding int
 	spin        int
+
+	// Reusable completion callbacks, so the synchronous operations and
+	// batch waits allocate nothing in steady state.
+	syncCb      Completion // records into syncDone/syncErr
+	syncDone    bool
+	syncErr     error
+	syncActive  bool
+	batchCb     Completion // counts down batchWait, records batchErr
+	batchWait   int
+	batchErr    error
+	batchActive bool
 }
 
 // Depth reports the WQ capacity.
@@ -100,66 +111,77 @@ func (q *QP) post(slot int, e qpring.WQEntry) error {
 	return nil
 }
 
-// IssueRead schedules a remote read of n bytes from (node, offset) into
-// buf at bufOff, on a slot obtained from WaitForSlot.
-func (q *QP) IssueRead(slot int, node int, offset uint64, buf *Buffer, bufOff int, n int) error {
+// Entry constructors shared by the slot-at-a-time Issue* methods and the
+// batched-issue API (batch.go), so the WQ encoding of every operation —
+// including the Buf = ^uint32(0) "discard result" convention — lives in
+// exactly one place.
+
+// bufOpEntry builds the entry for a read/write-family op against a local
+// buffer range.
+func bufOpEntry(op core.Op, node int, offset uint64, buf *Buffer, bufOff, n int) (qpring.WQEntry, error) {
 	if err := checkBuf(buf, bufOff, n); err != nil {
+		return qpring.WQEntry{}, err
+	}
+	return qpring.WQEntry{
+		Op: op, Node: core.NodeID(node), Offset: offset,
+		Length: uint32(n), Buf: buf.id, BufOff: uint64(bufOff),
+	}, nil
+}
+
+// atomicEntry builds the entry for an atomic; a nil buf discards the
+// returned prior value.
+func atomicEntry(op core.Op, node int, offset uint64, arg0, arg1 uint64, buf *Buffer, bufOff int) (qpring.WQEntry, error) {
+	e := qpring.WQEntry{
+		Op: op, Node: core.NodeID(node), Offset: offset,
+		Length: 8, Arg0: arg0, Arg1: arg1, Buf: ^uint32(0),
+	}
+	if buf != nil {
+		if err := checkBuf(buf, bufOff, 8); err != nil {
+			return qpring.WQEntry{}, err
+		}
+		e.Buf, e.BufOff = buf.id, uint64(bufOff)
+	}
+	return e, nil
+}
+
+// issue posts a constructed entry (or surfaces its construction error) on
+// the pre-agreed slot.
+func (q *QP) issue(slot int, e qpring.WQEntry, err error) error {
+	if err != nil {
 		q.cbs[slot] = nil
 		return err
 	}
-	return q.post(slot, qpring.WQEntry{
-		Op: core.OpRead, Node: core.NodeID(node), Offset: offset,
-		Length: uint32(n), Buf: buf.id, BufOff: uint64(bufOff),
-	})
+	return q.post(slot, e)
+}
+
+// IssueRead schedules a remote read of n bytes from (node, offset) into
+// buf at bufOff, on a slot obtained from WaitForSlot.
+func (q *QP) IssueRead(slot int, node int, offset uint64, buf *Buffer, bufOff int, n int) error {
+	e, err := bufOpEntry(core.OpRead, node, offset, buf, bufOff, n)
+	return q.issue(slot, e, err)
 }
 
 // IssueWrite schedules a remote write of n bytes from buf at bufOff to
 // (node, offset).
 func (q *QP) IssueWrite(slot int, node int, offset uint64, buf *Buffer, bufOff int, n int) error {
-	if err := checkBuf(buf, bufOff, n); err != nil {
-		q.cbs[slot] = nil
-		return err
-	}
-	return q.post(slot, qpring.WQEntry{
-		Op: core.OpWrite, Node: core.NodeID(node), Offset: offset,
-		Length: uint32(n), Buf: buf.id, BufOff: uint64(bufOff),
-	})
+	e, err := bufOpEntry(core.OpWrite, node, offset, buf, bufOff, n)
+	return q.issue(slot, e, err)
 }
 
 // IssueFetchAdd schedules an atomic fetch-and-add of delta on the 8-byte
 // word at (node, offset). The previous value is stored into buf at bufOff
 // when buf is non-nil.
 func (q *QP) IssueFetchAdd(slot int, node int, offset uint64, delta uint64, buf *Buffer, bufOff int) error {
-	e := qpring.WQEntry{
-		Op: core.OpFetchAdd, Node: core.NodeID(node), Offset: offset,
-		Length: 8, Arg0: delta, Buf: ^uint32(0),
-	}
-	if buf != nil {
-		if err := checkBuf(buf, bufOff, 8); err != nil {
-			q.cbs[slot] = nil
-			return err
-		}
-		e.Buf, e.BufOff = buf.id, uint64(bufOff)
-	}
-	return q.post(slot, e)
+	e, err := atomicEntry(core.OpFetchAdd, node, offset, delta, 0, buf, bufOff)
+	return q.issue(slot, e, err)
 }
 
 // IssueCompareSwap schedules an atomic compare-and-swap on the 8-byte word
 // at (node, offset): if it equals expected it becomes newv. The previous
 // value is stored into buf at bufOff when buf is non-nil.
 func (q *QP) IssueCompareSwap(slot int, node int, offset uint64, expected, newv uint64, buf *Buffer, bufOff int) error {
-	e := qpring.WQEntry{
-		Op: core.OpCompareSwap, Node: core.NodeID(node), Offset: offset,
-		Length: 8, Arg0: expected, Arg1: newv, Buf: ^uint32(0),
-	}
-	if buf != nil {
-		if err := checkBuf(buf, bufOff, 8); err != nil {
-			q.cbs[slot] = nil
-			return err
-		}
-		e.Buf, e.BufOff = buf.id, uint64(bufOff)
-	}
-	return q.post(slot, e)
+	e, err := atomicEntry(core.OpCompareSwap, node, offset, expected, newv, buf, bufOff)
+	return q.issue(slot, e, err)
 }
 
 func checkBuf(buf *Buffer, off, n int) error {
@@ -260,27 +282,42 @@ func (q *QP) handle(e qpring.CQEntry) {
 // finishes, returning its status. Other outstanding async operations'
 // callbacks run as a side effect, so synchronous and asynchronous use mix
 // freely on one QP.
+//
+// The common (non-reentrant) case reuses the QP's preallocated completion
+// callback, keeping synchronous operations allocation-free; a synchronous
+// operation issued from inside a completion callback falls back to a fresh
+// closure so the nested completion cannot clobber the outer one.
 func (q *QP) execSync(issue func(slot int) error) error {
-	var (
-		opDone bool
-		opErr  error
-	)
-	slot, err := q.WaitForSlot(func(_ int, err error) {
-		opDone = true
-		opErr = err
-	})
+	if q.syncActive {
+		var (
+			opDone bool
+			opErr  error
+		)
+		return q.execSyncCb(issue, &opDone, &opErr, func(_ int, err error) {
+			opDone = true
+			opErr = err
+		})
+	}
+	q.syncActive = true
+	defer func() { q.syncActive = false }()
+	q.syncDone, q.syncErr = false, nil
+	return q.execSyncCb(issue, &q.syncDone, &q.syncErr, q.syncCb)
+}
+
+func (q *QP) execSyncCb(issue func(slot int) error, done *bool, opErr *error, cb Completion) error {
+	slot, err := q.WaitForSlot(cb)
 	if err != nil {
 		return err
 	}
 	if err := issue(slot); err != nil {
 		return err
 	}
-	for !opDone {
+	for !*done {
 		if err := q.processOne(true); err != nil {
 			return err
 		}
 	}
-	return opErr
+	return *opErr
 }
 
 // Read performs a blocking remote read of n bytes from (node, offset) into
