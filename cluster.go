@@ -213,10 +213,23 @@ func (n *Node) OpenContext(ctxID int, segmentSize int) (*Context, error) {
 }
 
 // OnFabricFailure registers a driver callback invoked when the fabric
-// reports a failed node. The callback runs on an RMC pipeline goroutine and
+// reports a failed node. Callbacks accumulate — a service (like the kvs
+// store) and the application can each register one, and all of them run in
+// registration order. The callback runs on an RMC pipeline goroutine and
 // must not block.
 func (n *Node) OnFabricFailure(fn func(failedNode int)) {
 	n.rmc.OnFailure(func(id core.NodeID) { fn(int(id)) })
+}
+
+// OnLinkFailure registers a driver callback invoked when the fabric reports
+// a failed link a↔b, after this node's RMC has flushed the in-flight
+// operations the dead link stranded. Every node observes every link failure;
+// services that care only about their own reachability filter on the
+// endpoints. Like OnFabricFailure, callbacks accumulate and all run. The
+// callback runs on an RMC pipeline goroutine and must not block; forward
+// into a channel for real work.
+func (n *Node) OnLinkFailure(fn func(a, b int)) {
+	n.rmc.OnLinkFailure(func(a, b core.NodeID) { fn(int(a), int(b)) })
 }
 
 // RMCStats snapshots the node's RMC counters.

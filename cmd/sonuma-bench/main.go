@@ -8,13 +8,18 @@
 //	sonuma-bench -experiment fig7 -quick
 //	sonuma-bench -experiment table2
 //	sonuma-bench -experiment datapath -json BENCH.json
+//	sonuma-bench -experiment kvs -json KVS.json
 //
 // Experiments: fig1, table1, fig7, fig8, fig9, table2, ablation, datapath,
-// all.
+// kvs, all.
 //
 // The datapath experiment measures the batched RMC pipeline (ops/sec,
-// p50/p99 latency, allocs/op); -json additionally writes the results in
-// machine-readable form so successive changes can be compared.
+// p50/p99 latency, allocs/op). The kvs experiment drives the sharded
+// one-sided KV service with a YCSB-style mixed load (A/B/C read-write
+// mixes, zipfian and uniform key distributions) and a kill-a-primary
+// failover run. For both, -json additionally writes the results in
+// machine-readable form so successive changes can be compared; with
+// -experiment all the datapath results win the file.
 package main
 
 import (
@@ -28,9 +33,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|datapath|all")
+		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|datapath|kvs|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and op counts")
-		jsonOut    = flag.String("json", "", "write datapath results to this file as JSON (e.g. BENCH.json)")
+		jsonOut    = flag.String("json", "", "write datapath/kvs results to this file as JSON (e.g. BENCH.json)")
 	)
 	flag.Parse()
 	o := bench.Options{Quick: *quick}
@@ -73,6 +78,23 @@ func main() {
 		run("Ablations (RMC design choices)", func() {
 			for _, a := range bench.Ablations(o) {
 				bench.Print(w, a)
+			}
+		})
+	}
+	if want("kvs") {
+		run("Sharded KV service (YCSB-style mixes + failover)", func() {
+			d, err := bench.KVS(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kvs: %v\n", err)
+				os.Exit(1)
+			}
+			bench.Print(w, d)
+			if *jsonOut != "" && *experiment == "kvs" {
+				if err := d.WriteJSON(*jsonOut); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *jsonOut)
 			}
 		})
 	}

@@ -41,4 +41,45 @@
 // send/receive with the push/pull threshold and barriers — are implemented
 // entirely in software on top of the one-sided operations, exactly as in the
 // paper; see Messenger and Barrier.
+//
+// # Atomics and their operands
+//
+// Two remote atomics are exposed, FetchAdd and CompareSwap, both acting on
+// an 8-byte word that must be 8-byte aligned and must not straddle a cache
+// line (StatusBadAlign otherwise). They execute inside the destination
+// node's coherence domain, so they are atomic against that node's local
+// loads, stores and Memory.FetchAdd64 as well as against other remote
+// atomics (§5.2, §7.4).
+//
+// Operand convention, end to end: the WQ entry carries the operands in
+// Arg0/Arg1 (FetchAdd: Arg0 = delta; CompareSwap: Arg0 = expected, Arg1 =
+// new value). On the wire the request packet carries them in its payload (8
+// bytes for FetchAdd, expected||new = 16 bytes for CompareSwap) and the
+// reply returns the 8-byte prior value. At the API, the prior value lands
+// in an optional result buffer: pass a nil *Buffer to the Issue*/Batch
+// forms to discard it (encoded internally as buffer id ^uint32(0)), or use
+// the synchronous QP.FetchAdd / QP.CompareSwap, which return it directly
+// from a QP-owned scratch buffer.
+//
+// # Batching and doorbells
+//
+// The data path is batched at two independent layers:
+//
+//   - Application → RMC: a work-queue post publishes the ring tail and
+//     rings the RMC's doorbell (a buffered-channel wakeup). Batch
+//     (QP.NewBatch) stages k operations and posts them with one tail
+//     publish and one doorbell per contiguous run of free slots
+//     (qpring.PostMany), so a burst pays one RMC wakeup instead of k. The
+//     RMC then observes the whole burst in a single scheduling pass.
+//   - RMC → fabric: the request generation pipeline unrolls WQ entries
+//     into line-sized packets and packs them into per-destination batches
+//     of up to MaxBatch lines (Config.BatchSize). One fabric send — and
+//     one flow-control credit — covers the whole batch; the remote request
+//     pipeline answers a k-line inbound batch with one k-line reply batch.
+//     Packets and batches are pooled, so steady-state reads allocate
+//     nothing.
+//
+// Completions travel the reverse path: the RMC posts CQ entries and kicks
+// the QP's completion doorbell; the application side spin-polls briefly
+// before parking on it (QP.Poll / DrainCQ / the synchronous operations).
 package sonuma

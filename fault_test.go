@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"sonuma"
 )
@@ -188,5 +189,65 @@ func TestPacketPoolReuseIntegrity(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Fatal(err)
+	}
+}
+
+// TestMessengerPeerLoss cuts every link of a messaging peer and verifies
+// the messenger surfaces the loss as a StatusNodeFailure error instead of
+// spinning forever in its credit wait — including when the ring toward the
+// dead peer is already full — and that surviving pairs keep messaging.
+func TestMessengerPeerLoss(t *testing.T) {
+	const n = 3
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mcfg := sonuma.MessengerConfig{RingSlots: 16}
+	segSize := sonuma.MessengerRegionSize(n, mcfg) + 4096
+	ms := make([]*sonuma.Messenger, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, segSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ctx.NewQP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, mcfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fill node 2's receive ring; node 2 never consumes, so the next send
+	// must wait for credits that can no longer come.
+	small := make([]byte, 8)
+	for i := 0; i < mcfg.RingSlots; i++ {
+		if err := ms[0].Send(2, small); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cl.FailLink(0, 2)
+		cl.FailLink(1, 2)
+	}()
+	err = ms[0].Send(2, small) // blocks on credits, then must fail
+	if err == nil {
+		t.Fatal("send to dead peer reported success")
+	}
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusNodeFailure {
+		t.Fatalf("send to dead peer: got %v, want StatusNodeFailure", err)
+	}
+
+	// The surviving pair still messages in both directions.
+	if err := ms[0].Send(1, []byte("alive")); err != nil {
+		t.Fatalf("surviving send: %v", err)
+	}
+	got, err := ms[1].Recv()
+	if err != nil || string(got.Data) != "alive" {
+		t.Fatalf("surviving recv: %q, %v", got.Data, err)
 	}
 }

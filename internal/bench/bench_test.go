@@ -69,6 +69,45 @@ func TestAblationCTCacheDirection(t *testing.T) {
 	}
 }
 
+func TestKVSQuick(t *testing.T) {
+	d, err := KVS(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawReadMostly, sawReadOnly bool
+	for _, r := range d.Results {
+		if r.GetHandlerInvocations != 0 {
+			t.Fatalf("workload %s/%s: %d handler invocations attributed to GETs, want 0",
+				r.Workload, r.Dist, r.GetHandlerInvocations)
+		}
+		if r.Workload == "B" && r.Dist == "zipfian" {
+			sawReadMostly = true
+		}
+		if r.Workload == "C" {
+			sawReadOnly = true
+			if r.ServerMsgsHandled != 0 {
+				t.Fatalf("read-only mix handled %d server messages, want 0", r.ServerMsgsHandled)
+			}
+		}
+		if r.OpsPerSec <= 0 || r.P99Us < r.P50Us {
+			t.Fatalf("workload %s/%s: implausible stats %+v", r.Workload, r.Dist, r)
+		}
+	}
+	if !sawReadMostly || !sawReadOnly {
+		t.Fatal("expected zipfian read-mostly (B) and read-only (C) rows")
+	}
+	f := d.Failover
+	if f == nil {
+		t.Fatal("missing failover run")
+	}
+	if f.Completed != f.Ops {
+		t.Fatalf("failover run completed %d/%d ops", f.Completed, f.Ops)
+	}
+	if f.Promotions == 0 {
+		t.Fatal("failover run recorded no shard promotions")
+	}
+}
+
 func TestEmuHelpers(t *testing.T) {
 	lat, err := EmuReadLatencyUs(64, 100)
 	if err != nil || lat <= 0 {

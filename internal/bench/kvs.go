@@ -1,0 +1,544 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sonuma"
+	"sonuma/internal/kvs"
+	"sonuma/internal/stats"
+)
+
+// This file measures the sharded KV service under a YCSB-style mixed load:
+// the classic A/B/C read-write mixes over zipfian and uniform key
+// distributions, plus a failover run that cuts every fabric link of a shard
+// primary mid-load. The headline claim under test is the paper's one-sided
+// story (§8): GETs are remote reads of version-stamped slots, so a
+// read-mostly mix completes with zero server-side handler invocations
+// attributable to GETs — measured from the stores' own message counters,
+// not asserted.
+
+// kvsWorkload is one YCSB-style mix.
+type kvsWorkload struct {
+	name    string
+	readPct int // percentage of operations that are GETs
+}
+
+// The YCSB core mixes: A = update-heavy, B = read-mostly, C = read-only.
+var kvsWorkloads = []kvsWorkload{
+	{name: "A", readPct: 50},
+	{name: "B", readPct: 95},
+	{name: "C", readPct: 100},
+}
+
+// KVSStat is one measured workload row.
+type KVSStat struct {
+	Workload  string  `json:"workload"`   // YCSB mix name (A/B/C)
+	Dist      string  `json:"dist"`       // key distribution (zipfian/uniform)
+	ReadPct   int     `json:"read_pct"`   // GET share of the mix
+	ValueSize int     `json:"value_size"` // PUT value bytes
+	GetBurst  int     `json:"get_burst"`  // GETs batched per MultiGet
+	Ops       int     `json:"ops"`        // operations completed
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	// ServerMsgsHandled is the total messenger messages processed by all
+	// store serve loops during the row (PUT forwards and their acks).
+	ServerMsgsHandled uint64 `json:"server_msgs_handled"`
+	// GetHandlerInvocations is the number of those messages NOT accounted
+	// for by PUT routing — i.e. server-CPU handler invocations caused by
+	// GETs. The one-sided data path keeps this at exactly 0.
+	GetHandlerInvocations int64 `json:"get_handler_invocations"`
+}
+
+// KVSFailoverStat records the kill-a-primary run.
+type KVSFailoverStat struct {
+	Workload   string  `json:"workload"`
+	Dist       string  `json:"dist"`
+	FailedNode int     `json:"failed_node"` // primary whose links were cut mid-run
+	Ops        int     `json:"ops"`         // operations attempted
+	Completed  int     `json:"completed"`   // operations that eventually succeeded
+	Retried    int     `json:"retried"`     // per-op retries spent on failover
+	Promotions uint64  `json:"promotions"`  // shard leaderships moved by watchers
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// KVSData is the full measurement set of the kvs experiment.
+type KVSData struct {
+	GeneratedAt string           `json:"generated_at"`
+	Nodes       int              `json:"nodes"`
+	Shards      int              `json:"shards"`
+	Replicas    int              `json:"replicas"`
+	Keys        int              `json:"keys"`
+	Results     []KVSStat        `json:"results"`
+	Failover    *KVSFailoverStat `json:"failover,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic key selection (stats.RNG/Zipf, so runs are reproducible)
+
+// keyPicker draws key indices for one client goroutine: uniform, or
+// zipfian with the YCSB constant s=0.99 plus YCSB's scramble so the
+// popular ranks scatter across the shard space instead of clustering.
+type keyPicker struct {
+	rng  *stats.RNG
+	zipf *stats.Zipf // nil for uniform
+	n    int
+}
+
+func newPicker(dist string, n int, seed uint64) *keyPicker {
+	p := &keyPicker{rng: stats.NewRNG(seed), n: n}
+	if dist == "zipfian" {
+		p.zipf = stats.NewZipf(p.rng, n, 0.99)
+	}
+	return p
+}
+
+func (p *keyPicker) next() int {
+	if p.zipf == nil {
+		return p.rng.Intn(p.n)
+	}
+	// Scrambled zipfian: finalize the rank into a stable pseudo-random
+	// key index (splitmix64 finalizer, as in ring placement).
+	h := uint64(p.zipf.Next())
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return int(h % uint64(p.n))
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+
+// kvsService is the cluster under test: one store member and one client per
+// node.
+type kvsService struct {
+	cluster *sonuma.Cluster
+	stores  []*kvs.Store
+	clients []*kvs.Client
+	keys    [][]byte
+	n       int
+}
+
+func startKVS(nodes, shards, replicas, buckets, slotSize, keyCount int) (*kvsService, error) {
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	cfg := kvs.Config{Shards: shards, Replicas: replicas, Buckets: buckets, SlotSize: slotSize}
+	svc := &kvsService{cluster: cl, n: nodes}
+	for i := 0; i < nodes; i++ {
+		ctx, err := cl.Node(i).OpenContext(3, cfg.SegmentSize(nodes)+4096)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		s, err := kvs.Open(ctx, cfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		svc.stores = append(svc.stores, s)
+	}
+	// Clients attach after every member is open: NewClient validates the
+	// geometry with a one-sided read of a peer's header.
+	for _, s := range svc.stores {
+		c, err := s.NewClient()
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		svc.clients = append(svc.clients, c)
+	}
+	svc.keys = make([][]byte, keyCount)
+	for i := range svc.keys {
+		svc.keys[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	return svc, nil
+}
+
+func (svc *kvsService) close() {
+	for _, s := range svc.stores {
+		s.Close()
+	}
+	svc.cluster.Close()
+}
+
+// preload writes every key once through the service (replicated PUTs).
+func (svc *kvsService) preload(valueSize int) error {
+	val := benchValue(valueSize, 0)
+	for i, k := range svc.keys {
+		if err := svc.clients[i%svc.n].Put(k, val); err != nil {
+			return fmt.Errorf("preload %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// benchValue builds a deterministic value of the given size.
+func benchValue(size, gen int) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte('a' + (gen+i)%26)
+	}
+	return v
+}
+
+// msgsHandled sums the serve-loop message counters across all stores.
+func (svc *kvsService) msgsHandled() uint64 {
+	var total uint64
+	for _, s := range svc.stores {
+		total += s.Stats().MsgsHandled
+	}
+	return total
+}
+
+// putsForwarded sums remote PUT forwards across all stores.
+func (svc *kvsService) putsForwarded() uint64 {
+	var total uint64
+	for _, s := range svc.stores {
+		total += s.Stats().PutsForwarded
+	}
+	return total
+}
+
+// runMix drives one workload row: every node's client runs its share of the
+// mix, batching GETs into MultiGet bursts of getBurst keys.
+func (svc *kvsService) runMix(w kvsWorkload, dist string, valueSize, totalOps, getBurst int) (KVSStat, error) {
+	perClient := totalOps / svc.n
+	latencies := make([][]float64, svc.n)
+	errs := make([]error, svc.n)
+	msgs0 := svc.msgsHandled()
+	fwd0 := svc.putsForwarded()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < svc.n; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			latencies[ci], errs[ci] = svc.clientMix(ci, w, dist, valueSize, perClient, getBurst)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return KVSStat{}, err
+		}
+	}
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	ops := len(all)
+	msgs := svc.msgsHandled() - msgs0
+	fwd := svc.putsForwarded() - fwd0
+	return KVSStat{
+		Workload:  w.name,
+		Dist:      dist,
+		ReadPct:   w.readPct,
+		ValueSize: valueSize,
+		GetBurst:  getBurst,
+		Ops:       ops,
+		OpsPerSec: float64(ops) / elapsed,
+		P50Us:     all[ops/2],
+		P99Us:     all[ops*99/100],
+		// Every forwarded PUT costs exactly two handler invocations (the
+		// PUT message at the primary, its ack at the origin); whatever
+		// remains would have to come from GETs.
+		ServerMsgsHandled:     msgs,
+		GetHandlerInvocations: int64(msgs) - 2*int64(fwd),
+	}, nil
+}
+
+// clientMix is one client goroutine's operation loop.
+func (svc *kvsService) clientMix(ci int, w kvsWorkload, dist string, valueSize, ops, getBurst int) ([]float64, error) {
+	client := svc.clients[ci]
+	picker := newPicker(dist, len(svc.keys), uint64(ci)*0x1000+7)
+	opRNG := stats.NewRNG(uint64(ci) + 0x5eed)
+	lat := make([]float64, 0, ops)
+	burst := make([][]byte, 0, getBurst)
+
+	flush := func() error {
+		if len(burst) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		_, gerrs := client.MultiGet(burst)
+		per := float64(time.Since(t0).Nanoseconds()) / 1e3 / float64(len(burst))
+		for _, err := range gerrs {
+			if err != nil && !errors.Is(err, kvs.ErrNotFound) {
+				return err
+			}
+			lat = append(lat, per)
+		}
+		burst = burst[:0]
+		return nil
+	}
+
+	gen := 0
+	for i := 0; i < ops; i++ {
+		key := svc.keys[picker.next()]
+		if opRNG.Intn(100) < w.readPct {
+			burst = append(burst, key)
+			if len(burst) == getBurst {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		gen++
+		t0 := time.Now()
+		if err := client.Put(key, benchValue(valueSize, gen)); err != nil {
+			return nil, err
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return lat, nil
+}
+
+// runFailover drives a read-mostly zipfian mix and cuts every link of a
+// busy primary at the halfway mark. Clients retry failed operations until
+// they complete; the run passes only if every operation eventually does.
+func (svc *kvsService) runFailover(totalOps, getBurst, valueSize int) (*KVSFailoverStat, error) {
+	// Victim: the non-client-0 node leading the most shards.
+	ring := svc.stores[0].Ring()
+	leads := make([]int, svc.n)
+	for s := 0; s < ring.Shards(); s++ {
+		leads[ring.Owners(s)[0]]++
+	}
+	victim := 1
+	for n := 1; n < svc.n; n++ {
+		if leads[n] > leads[victim] {
+			victim = n
+		}
+	}
+
+	// Clients run everywhere except the victim.
+	workers := make([]int, 0, svc.n-1)
+	for i := 0; i < svc.n; i++ {
+		if i != victim {
+			workers = append(workers, i)
+		}
+	}
+	perClient := totalOps / len(workers)
+	var completed, retried atomic.Int64
+	half := int64(perClient*len(workers)) / 2
+	tripwire := make(chan struct{})
+	var once sync.Once
+
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi, ci := range workers {
+		wi, ci := wi, ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := svc.clients[ci]
+			picker := newPicker("zipfian", len(svc.keys), uint64(ci)*31+99)
+			opRNG := stats.NewRNG(uint64(ci) ^ 0xfa11)
+			gen := 0
+			for i := 0; i < perClient; i++ {
+				key := svc.keys[picker.next()]
+				isRead := opRNG.Intn(100) < 95
+				var lastErr error
+				ok := false
+				for attempt := 0; attempt < 200; attempt++ {
+					if isRead {
+						_, err := client.Get(key)
+						if err == nil || errors.Is(err, kvs.ErrNotFound) {
+							ok = true
+						} else {
+							lastErr = err
+						}
+					} else {
+						gen++
+						if err := client.Put(key, benchValue(valueSize, gen)); err == nil {
+							ok = true
+						} else {
+							lastErr = err
+						}
+					}
+					if ok {
+						break
+					}
+					retried.Add(1)
+				}
+				if !ok {
+					errs[wi] = fmt.Errorf("op on %q never completed after failover: %w", key, lastErr)
+					return
+				}
+				if completed.Add(1) == half {
+					once.Do(func() { close(tripwire) })
+				}
+			}
+		}()
+	}
+
+	// The mid-load failure: the victim primary falls off the fabric.
+	failDone := make(chan struct{})
+	go func() {
+		defer close(failDone)
+		<-tripwire
+		for i := 0; i < svc.n; i++ {
+			if i != victim {
+				svc.cluster.FailLink(victim, i)
+			}
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	once.Do(func() { close(tripwire) }) // release the failure goroutine
+	<-failDone
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var promotions uint64
+	for i, s := range svc.stores {
+		if i != victim {
+			promotions += s.Stats().Promotions
+		}
+	}
+	return &KVSFailoverStat{
+		Workload:   "B",
+		Dist:       "zipfian",
+		FailedNode: victim,
+		Ops:        perClient * len(workers),
+		Completed:  int(completed.Load()),
+		Retried:    int(retried.Load()),
+		Promotions: promotions,
+		OpsPerSec:  float64(completed.Load()) / elapsed,
+	}, nil
+}
+
+// KVS measures the sharded KV service: the YCSB A/B/C mixes over zipfian
+// and uniform key distributions, a larger-value row, and the failover run.
+func KVS(o Options) (KVSData, error) {
+	const (
+		nodes    = 4
+		shards   = 32
+		replicas = 2
+		buckets  = 512 // ≤25% load at the full-mode key count: probe chains stay short
+		slotSize = 256
+		getBurst = 8
+	)
+	keyCount := o.ops(4000, 800)
+	rowOps := o.ops(20000, 2000)
+
+	svc, err := startKVS(nodes, shards, replicas, buckets, slotSize, keyCount)
+	if err != nil {
+		return KVSData{}, err
+	}
+	defer svc.close()
+	if err := svc.preload(64); err != nil {
+		return KVSData{}, err
+	}
+
+	d := KVSData{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Nodes:       nodes,
+		Shards:      shards,
+		Replicas:    replicas,
+		Keys:        keyCount,
+	}
+	type row struct {
+		w         kvsWorkload
+		dist      string
+		valueSize int
+	}
+	rows := []row{
+		{kvsWorkloads[0], "zipfian", 64},
+		{kvsWorkloads[1], "zipfian", 64},
+		{kvsWorkloads[2], "zipfian", 64},
+	}
+	if !o.Quick {
+		rows = append(rows,
+			row{kvsWorkloads[0], "uniform", 64},
+			row{kvsWorkloads[1], "uniform", 64},
+			row{kvsWorkloads[2], "uniform", 64},
+			row{kvsWorkloads[1], "zipfian", 200},
+		)
+	}
+	for _, r := range rows {
+		s, err := svc.runMix(r.w, r.dist, r.valueSize, rowOps, getBurst)
+		if err != nil {
+			return d, fmt.Errorf("workload %s/%s: %w", r.w.name, r.dist, err)
+		}
+		d.Results = append(d.Results, s)
+	}
+
+	// The failover run needs its own cluster: the mix rows above must not
+	// see a degraded fabric.
+	fsvc, err := startKVS(nodes, shards, replicas, buckets, slotSize, keyCount)
+	if err != nil {
+		return d, err
+	}
+	defer fsvc.close()
+	if err := fsvc.preload(64); err != nil {
+		return d, err
+	}
+	if d.Failover, err = fsvc.runFailover(o.ops(8000, 1200), getBurst, 64); err != nil {
+		return d, fmt.Errorf("failover run: %w", err)
+	}
+	return d, nil
+}
+
+// WriteJSON writes the measurement set to path as indented JSON.
+func (d KVSData) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Tables renders the measurements as paper-style text tables.
+func (d KVSData) Tables() []*stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Sharded KV service (%d nodes, %d shards, %d replicas, %d keys)",
+			d.Nodes, d.Shards, d.Replicas, d.Keys),
+		"mix", "dist", "read%", "val B", "ops/sec", "p50 us", "p99 us", "srv msgs", "get handlers")
+	for _, r := range d.Results {
+		t.AddRow(r.Workload, r.Dist,
+			fmt.Sprintf("%d", r.ReadPct),
+			fmt.Sprintf("%d", r.ValueSize),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.P50Us),
+			fmt.Sprintf("%.2f", r.P99Us),
+			fmt.Sprintf("%d", r.ServerMsgsHandled),
+			fmt.Sprintf("%d", r.GetHandlerInvocations))
+	}
+	out := []*stats.Table{t}
+	if f := d.Failover; f != nil {
+		ft := stats.NewTable("KV failover (all links of a primary cut mid-load)",
+			"mix", "dist", "failed node", "ops", "completed", "retries", "promotions", "ops/sec")
+		ft.AddRow(f.Workload, f.Dist,
+			fmt.Sprintf("%d", f.FailedNode),
+			fmt.Sprintf("%d", f.Ops),
+			fmt.Sprintf("%d", f.Completed),
+			fmt.Sprintf("%d", f.Retried),
+			fmt.Sprintf("%d", f.Promotions),
+			fmt.Sprintf("%.0f", f.OpsPerSec))
+		out = append(out, ft)
+	}
+	return out
+}

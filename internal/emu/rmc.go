@@ -221,7 +221,9 @@ type RMC struct {
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 
-	onFailure func(core.NodeID)
+	cbMu          sync.Mutex
+	onFailure     []func(core.NodeID)
+	onLinkFailure []func(a, b core.NodeID)
 
 	Stats Stats
 }
@@ -270,9 +272,35 @@ func NewRMC(id core.NodeID, ic *fabric.Interconnect, cfg Config) *RMC {
 // NodeID reports the RMC's fabric address.
 func (r *RMC) NodeID() core.NodeID { return r.id }
 
-// OnFailure registers the driver's failure-notification callback (§5.1).
-// It is invoked from the RMC pipeline goroutine; callbacks must not block.
-func (r *RMC) OnFailure(fn func(core.NodeID)) { r.onFailure = fn }
+// OnFailure registers a driver failure-notification callback (§5.1).
+// Callbacks accumulate — services and applications can each register one —
+// and every registered callback runs, in registration order, on the RMC
+// pipeline goroutine; callbacks must not block.
+func (r *RMC) OnFailure(fn func(core.NodeID)) {
+	r.cbMu.Lock()
+	r.onFailure = append(r.onFailure, fn)
+	r.cbMu.Unlock()
+}
+
+// OnLinkFailure registers a driver link-failure callback, invoked after
+// the RMC has flushed the in-flight transactions stranded by a failed link
+// a↔b. Like OnFailure, callbacks accumulate and run on the RMC pipeline
+// goroutine without blocking. Replicated services use them to stop routing
+// traffic through nodes the fabric can no longer reach.
+func (r *RMC) OnLinkFailure(fn func(a, b core.NodeID)) {
+	r.cbMu.Lock()
+	r.onLinkFailure = append(r.onLinkFailure, fn)
+	r.cbMu.Unlock()
+}
+
+// failureCallbacks snapshots the registered callback lists for invocation
+// outside the lock.
+func (r *RMC) failureCallbacks() ([]func(core.NodeID), []func(a, b core.NodeID)) {
+	r.cbMu.Lock()
+	defer r.cbMu.Unlock()
+	return append([]func(core.NodeID){}, r.onFailure...),
+		append([]func(a, b core.NodeID){}, r.onLinkFailure...)
+}
 
 // OpenContext registers a context segment of size bytes under ctx id,
 // creating the CT entry the RRPP consults for incoming requests.
@@ -656,8 +684,9 @@ func (r *RMC) flushFailed(failed core.NodeID) {
 			r.failITT(uint16(i), core.StatusNodeFailure)
 		}
 	}
-	if r.onFailure != nil {
-		r.onFailure(failed)
+	cbs, _ := r.failureCallbacks()
+	for _, fn := range cbs {
+		fn(failed)
 	}
 }
 
@@ -683,6 +712,10 @@ func (r *RMC) flushLink(a, b core.NodeID, epoch uint64) {
 			r.ic.RouteCrosses(dst, r.id, a, b) || r.ic.RouteCrosses(dst, r.id, b, a) {
 			r.failITT(uint16(i), core.StatusNodeFailure)
 		}
+	}
+	_, cbs := r.failureCallbacks()
+	for _, fn := range cbs {
+		fn(a, b)
 	}
 }
 

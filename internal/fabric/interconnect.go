@@ -296,6 +296,21 @@ func (ic *Interconnect) NodeDown(id core.NodeID) bool {
 	return int(id) < ic.n && ic.down[id].Load()
 }
 
+// Reachable reports whether dst is currently reachable from src: fabric
+// open, both endpoints up, and every link of the deterministic route
+// healthy. Software spin loops that wait on destination-side progress
+// (messenger credits, staging acknowledgements) use it to bail out when
+// the peer falls off the fabric instead of spinning forever.
+func (ic *Interconnect) Reachable(src, dst core.NodeID) bool {
+	if ic.closed.Load() {
+		return false
+	}
+	if int(src) < 0 || int(src) >= ic.n || int(dst) < 0 || int(dst) >= ic.n {
+		return false
+	}
+	return !ic.down[src].Load() && !ic.down[dst].Load() && ic.routeUp(src, dst)
+}
+
 // FailLink marks the directed link a→b (and b→a) down. Routes crossing it
 // fail with ErrDown; with crossbar topology that isolates exactly the pair.
 // Link watchers are notified so RMCs can flush transactions whose replies

@@ -1,0 +1,236 @@
+package kvs
+
+import (
+	"errors"
+	"runtime"
+
+	"sonuma"
+)
+
+// tornRetries bounds the seqlock retries against one replica before the
+// client moves on to the next one (seqlocks favor the writer by design, so
+// a hot slot can stay torn for a while).
+const tornRetries = 256
+
+// MaxGetBatch is the largest GET burst MultiGet issues as one batched
+// work-queue publish.
+const MaxGetBatch = 16
+
+// Client issues operations against the sharded store. GETs (and MultiGet
+// bursts) are pure one-sided remote reads on the client's own QP; PUTs are
+// handed to the colocated Store member, which routes them to the shard
+// primary over the messenger. A Client must be driven by a single
+// goroutine; open one per worker goroutine.
+type Client struct {
+	store *Store
+	qp    *sonuma.QP
+	buf   *sonuma.Buffer // MaxGetBatch slot images
+	batch *sonuma.Batch
+	entry []byte     // single-slot parse scratch
+	resp  chan error // reusable PUT response channel
+}
+
+// NewClient opens a client on this store member. It validates the remote
+// geometry with a one-sided read of a peer member's store header — the
+// same mechanism every later GET uses — so every member of the service
+// must have called Open before clients attach.
+func (s *Store) NewClient() (*Client, error) {
+	qp, err := s.ctx.NewQP(0)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := s.ctx.AllocBuffer(MaxGetBatch * s.cfg.SlotSize)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		store: s,
+		qp:    qp,
+		buf:   buf,
+		entry: make([]byte, s.cfg.SlotSize),
+		resp:  make(chan error, 1),
+	}
+	c.batch = qp.NewBatch()
+	// Validate remote geometry with a one-sided read of a peer's store
+	// header — the same mechanism every later GET uses. Any shard led by
+	// another node will do; only a single-node cluster has none.
+	probe := -1
+	for shard := 0; shard < s.ring.Shards() && probe < 0; shard++ {
+		for _, o := range s.ring.Owners(shard) {
+			if o != s.me {
+				probe = o
+				break
+			}
+		}
+	}
+	if probe >= 0 {
+		if err := qp.Read(probe, uint64(s.cfg.RegionOffset), buf, 0, headerSize); err != nil {
+			return nil, err
+		}
+		hdr := make([]byte, headerSize)
+		if err := buf.ReadAt(0, hdr); err != nil {
+			return nil, err
+		}
+		if err := checkHeader(hdr, s.cfg); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Put stores key=value. The write is applied by the shard's primary and
+// synchronously replicated to its reachable backups before Put returns, so
+// a following Get — against any reachable replica — observes it.
+func (c *Client) Put(key, value []byte) error {
+	s := c.store
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if entryHdr+len(key)+len(value) > s.cfg.SlotSize {
+		return ErrTooLarge
+	}
+	req := &putReq{key: key, value: value, shard: s.ring.ShardOf(key), resp: c.resp}
+	return s.put(req)
+}
+
+// Get fetches a key with one-sided remote reads: the slot is read from the
+// shard's primary (or, when the fabric has reported it unreachable, the
+// next replica in ring order), validated against its seqlock version and
+// checksum, and re-read while torn. No code runs on the serving node.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	s := c.store
+	shard := s.ring.ShardOf(key)
+	owners := s.ring.Owners(shard)
+	down := s.downSnapshot()
+	var lastErr error
+	tried := false
+	for _, target := range owners {
+		if target != s.me && down[target] {
+			continue
+		}
+		tried = true
+		val, err := c.getFrom(target, shard, key)
+		switch {
+		case err == nil:
+			return val, nil
+		case errors.Is(err, ErrNotFound):
+			// Authoritative: a reachable replica owns the shard and
+			// has no such key.
+			return nil, ErrNotFound
+		case sonuma.IsNodeFailure(err):
+			// The fabric flushed our read: treat the replica as gone,
+			// tell the store, and fail over to the next one.
+			s.reportDown(target)
+			lastErr = err
+		default:
+			lastErr = err
+		}
+	}
+	if !tried || lastErr == nil {
+		return nil, ErrNoReplica
+	}
+	return nil, lastErr
+}
+
+// getFrom performs the probe/retry read loop against one replica.
+func (c *Client) getFrom(target, shard int, key []byte) ([]byte, error) {
+	s := c.store
+	h := fnv1a(key)
+probeLoop:
+	for probe := 0; probe < maxProbes; probe++ {
+		b := int((h + uint64(probe)) % uint64(s.cfg.Buckets))
+		off := uint64(s.cfg.slotOff(shard, b))
+		retries := 0
+		for {
+			if err := c.qp.Read(target, off, c.buf, 0, s.cfg.SlotSize); err != nil {
+				return nil, err
+			}
+			if err := c.buf.ReadAt(0, c.entry); err != nil {
+				return nil, err
+			}
+			val, status := parseEntry(c.entry, key)
+			switch status {
+			case entryMatch:
+				return val, nil
+			case entryEmpty:
+				return nil, ErrNotFound
+			case entryMismatch:
+				continue probeLoop
+			case entryTorn:
+				retries++
+				if retries > tornRetries {
+					return nil, ErrRetryExhausted
+				}
+				// Back off so a continuously replicating writer
+				// cannot starve the reader indefinitely.
+				runtime.Gosched()
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// MultiGet fetches a burst of keys. The first-probe slot reads for the
+// whole burst are issued as one batch — a single work-queue publish and
+// RMC doorbell via QP.NewBatch — and keys whose first probe misses,
+// collides, or tears fall back to the single-key path. Results and errors
+// are positional; a missing key yields (nil, ErrNotFound) at its index.
+func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
+	s := c.store
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	down := s.downSnapshot()
+	for base := 0; base < len(keys); base += MaxGetBatch {
+		end := base + MaxGetBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[base:end]
+		targets := make([]int, len(chunk))
+		for i, key := range chunk {
+			shard := s.ring.ShardOf(key)
+			owners := s.ring.Owners(shard)
+			targets[i] = -1
+			for _, o := range owners {
+				if o == s.me || !down[o] {
+					targets[i] = o
+					break
+				}
+			}
+			if targets[i] < 0 {
+				errs[base+i] = ErrNoReplica
+				continue
+			}
+			b := int(fnv1a(key) % uint64(s.cfg.Buckets))
+			c.batch.Read(targets[i], uint64(s.cfg.slotOff(shard, b)), c.buf, i*s.cfg.SlotSize, s.cfg.SlotSize, nil)
+		}
+		burstErr := c.batch.SubmitWait()
+		for i, key := range chunk {
+			if errs[base+i] != nil {
+				continue
+			}
+			if burstErr != nil {
+				// At least one read in the burst failed; re-resolve
+				// this key individually (Get also handles failover).
+				vals[base+i], errs[base+i] = c.Get(key)
+				continue
+			}
+			if err := c.buf.ReadAt(i*s.cfg.SlotSize, c.entry); err != nil {
+				errs[base+i] = err
+				continue
+			}
+			val, status := parseEntry(c.entry, key)
+			switch status {
+			case entryMatch:
+				vals[base+i] = val
+			case entryEmpty:
+				errs[base+i] = ErrNotFound
+			default:
+				// Collision chain or torn snapshot: take the full
+				// probe/retry path for this key only.
+				vals[base+i], errs[base+i] = c.Get(key)
+			}
+		}
+	}
+	return vals, errs
+}

@@ -1,10 +1,32 @@
-// Package kvs is a key-value store built on soNUMA one-sided operations —
-// the class of application the paper names as a killer app (§8: key-value
-// stores "can take advantage of one-sided read operations", citing Pilaf
-// [38]). The server publishes a hash table inside its context segment;
-// clients GET entirely with remote reads, never interrupting the server
-// core, and detect racing updates with a per-entry version + checksum
-// (Pilaf's self-verifying data structures).
+// Package kvs is a scale-out key-value service built on soNUMA one-sided
+// operations — the class of application the paper names as a killer app
+// (§8: key-value stores "can take advantage of one-sided read operations",
+// citing Pilaf [38]).
+//
+// The key space is split into a fixed number of shards; a consistent-hash
+// ring places every shard on Replicas cluster nodes (primary first), and
+// every node publishes an identical slot table inside its context segment.
+// The data path splits exactly as the paper prescribes:
+//
+//   - GETs are pure one-sided remote reads of version-stamped slots. A
+//     client reads the slot from the shard primary (or, after failover, a
+//     backup), validates the seqlock version and checksum, and retries torn
+//     snapshots — the serving node's CPU is never involved (FaRM/Pilaf
+//     style; cf. the same seqlock pattern in internal/emu/segment.go).
+//   - PUTs are routed to the shard primary over the Messenger (§5.3
+//     unsolicited send/receive). The primary applies the write under its
+//     local per-slot seqlock, then replicates the slot image to the backups
+//     with one-sided remote writes bracketed by remote FetchAdds on the
+//     slot's version word, so backup readers see the same torn-or-stable
+//     discipline as primary readers.
+//   - Failover rides the fabric's failure watchers: when a link failure
+//     (or node failure) makes an owner unreachable, stores and clients
+//     promote the next replica in ring order, and pending forwarded PUTs
+//     are re-routed.
+//
+// Slot layout is identical on every node, so a replica write is a single
+// remote write at the same offset the primary used, and any replica can
+// serve any GET for the shards it owns.
 package kvs
 
 import (
@@ -12,23 +34,41 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"runtime"
 
 	"sonuma"
+	"sonuma/internal/core"
 )
 
-// Layout of the store inside the server's context segment:
+// Store geometry defaults; all participants must configure identically.
+const (
+	// DefaultShards is the default shard count. More shards smooth the
+	// ring's load balance and shrink failover blast radius.
+	DefaultShards = 32
+	// DefaultReplicas is the default copies per shard (primary + 1).
+	DefaultReplicas = 2
+	// DefaultBuckets is the default open-addressed bucket count per shard.
+	DefaultBuckets = 128
+	// DefaultSlotSize is the default slot size in bytes (version word +
+	// entry header + key + value).
+	DefaultSlotSize = 256
+	// DefaultVNodes is the default virtual-node count per node on the
+	// consistent-hash ring.
+	DefaultVNodes = 64
+)
+
+// Segment layout of the store region (identical on every node):
 //
-//	header   (64 B):  magic, bucket count, slot size
-//	buckets  (bucketCount × slotSize):  open-addressed entries
+//	header  (64 B): magic, shards, buckets, slotSize, replicas
+//	slots   (shards × buckets × slotSize): open-addressed entries
 //
-// Entry layout (within its slot):
+// Entry layout within its slot:
 //
-//	version  u64   odd while the server is writing (seqlock)
-//	keyLen   u32
-//	valLen   u32
-//	crc      u32   checksum over key||value
-//	_pad     u32
+//	version u64   seqlock: odd while a writer is mid-update, advances by
+//	              2 per committed update, 0 = empty slot
+//	keyLen  u32
+//	valLen  u32
+//	crc     u32   IEEE CRC-32 over key||value
+//	_pad    u32
 //	key, value bytes
 const (
 	headerSize = 64
@@ -37,195 +77,118 @@ const (
 	maxProbes  = 16
 )
 
-// Errors returned by the client.
+// Errors returned by the service.
 var (
 	// ErrNotFound reports a missing key.
 	ErrNotFound = errors.New("kvs: key not found")
 	// ErrTooLarge reports a key/value pair exceeding the slot size.
 	ErrTooLarge = errors.New("kvs: entry exceeds slot size")
-	// ErrRetryExhausted reports persistent version/checksum mismatches
-	// (the server kept writing the entry while we read it).
+	// ErrEmptyKey reports a zero-length key, which the slot format cannot
+	// represent (parseEntry treats keyLen == 0 as a torn snapshot).
+	ErrEmptyKey = errors.New("kvs: empty key")
+	// ErrRetryExhausted reports persistent version/checksum mismatches on
+	// every reachable replica (writers kept the slot torn while we read).
 	ErrRetryExhausted = errors.New("kvs: too many torn reads, giving up")
 	// ErrBadStore reports a segment that does not contain a store.
 	ErrBadStore = errors.New("kvs: segment does not hold a key-value store")
+	// ErrShardFull reports an exhausted probe chain for a shard's table.
+	ErrShardFull = errors.New("kvs: shard bucket chain full")
+	// ErrNoReplica reports that every owner of a key's shard is
+	// unreachable.
+	ErrNoReplica = errors.New("kvs: no reachable replica")
+	// ErrClosed reports an operation against a closed store.
+	ErrClosed = errors.New("kvs: store closed")
 )
 
-// Server owns the store and serves PUTs locally. GETs from remote clients
-// proceed without any server involvement.
-type Server struct {
-	ctx      *sonuma.Context
-	mem      *sonuma.Memory
-	buckets  int
-	slotSize int
+// Config fixes the geometry of a store. The zero value of every field
+// selects the default; every participating node must use the same Config.
+type Config struct {
+	// Shards is the fixed shard count of the key space (default
+	// DefaultShards). Key→shard placement depends only on this, so it is
+	// stable under cluster resizes.
+	Shards int
+	// Replicas is how many copies of each shard the service keeps,
+	// primary included (default DefaultReplicas, clamped to the cluster
+	// size).
+	Replicas int
+	// Buckets is the open-addressed bucket count per shard (default
+	// DefaultBuckets).
+	Buckets int
+	// SlotSize is the per-entry slot size in bytes, rounded up to a
+	// cache-line multiple so slot version words are atomics-aligned and
+	// slots never share a line (default DefaultSlotSize).
+	SlotSize int
+	// VNodes is the virtual-node count per node on the placement ring
+	// (default DefaultVNodes).
+	VNodes int
+	// RegionOffset is where the store region begins within each node's
+	// context segment (default 0). The Messenger region follows the store
+	// region automatically.
+	RegionOffset int
+	// Messenger tunes the PUT-routing messenger. RegionOffset within it
+	// is overwritten; leave zero for defaults.
+	Messenger sonuma.MessengerConfig
 }
 
-// RegionSize reports the context-segment bytes a store with the given
-// geometry occupies.
-func RegionSize(buckets, slotSize int) int { return headerSize + buckets*slotSize }
-
-// NewServer initializes a store at the start of ctx's segment.
-func NewServer(ctx *sonuma.Context, buckets, slotSize int) (*Server, error) {
-	if buckets <= 0 || slotSize < entryHdr+8 {
-		return nil, fmt.Errorf("kvs: invalid geometry buckets=%d slotSize=%d", buckets, slotSize)
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
 	}
-	if ctx.SegmentSize() < RegionSize(buckets, slotSize) {
-		return nil, fmt.Errorf("kvs: segment %d bytes < %d required", ctx.SegmentSize(), RegionSize(buckets, slotSize))
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
 	}
-	s := &Server{ctx: ctx, mem: ctx.Memory(), buckets: buckets, slotSize: slotSize}
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], magic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(buckets))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(slotSize))
-	if err := s.mem.WriteAt(0, hdr[:]); err != nil {
-		return nil, err
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
 	}
-	return s, nil
+	if c.SlotSize <= 0 {
+		c.SlotSize = DefaultSlotSize
+	}
+	c.SlotSize = core.AlignUp(c.SlotSize)
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	return c
 }
 
-func hashKey(key []byte) uint64 {
-	// FNV-1a.
-	h := uint64(14695981039346656037)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	return h
+// RegionSize reports the context-segment bytes the store region occupies
+// with this configuration (header + slot tables, before the messenger
+// region).
+func (c Config) RegionSize() int {
+	c = c.withDefaults()
+	return headerSize + c.Shards*c.Buckets*c.SlotSize
 }
 
-func (s *Server) slotOff(bucket int) int { return headerSize + bucket*s.slotSize }
-
-// Put inserts or updates a key. Writes are seqlocked per entry: the version
-// goes odd, the entry is written, the version goes even+1 — so a concurrent
-// one-sided reader either sees a stable version+checksum or retries.
-func (s *Server) Put(key, value []byte) error {
-	if entryHdr+len(key)+len(value) > s.slotSize {
-		return ErrTooLarge
-	}
-	h := hashKey(key)
-	for probe := 0; probe < maxProbes; probe++ {
-		b := int((h + uint64(probe)) % uint64(s.buckets))
-		off := s.slotOff(b)
-		ver, err := s.mem.Load64(off)
-		if err != nil {
-			return err
-		}
-		occupied := ver != 0
-		if occupied {
-			cur, err := s.readKey(off)
-			if err != nil {
-				return err
-			}
-			if string(cur) != string(key) {
-				continue // probe next bucket
-			}
-		}
-		return s.writeEntry(off, ver, key, value)
-	}
-	return fmt.Errorf("kvs: bucket chain full for key %q", key)
+// SegmentSize reports the total context-segment bytes a node of an n-node
+// cluster must open to host the store: region offset, slot tables, and the
+// PUT-routing messenger region.
+func (c Config) SegmentSize(n int) int {
+	c = c.withDefaults()
+	mcfg := c.Messenger
+	mcfg.RegionOffset = c.RegionOffset + c.RegionSize()
+	return mcfg.RegionOffset + sonuma.MessengerRegionSize(n, mcfg)
 }
 
-func (s *Server) readKey(off int) ([]byte, error) {
-	var meta [entryHdr]byte
-	if err := s.mem.ReadAt(off, meta[:]); err != nil {
-		return nil, err
-	}
-	keyLen := int(binary.LittleEndian.Uint32(meta[8:]))
-	key := make([]byte, keyLen)
-	if err := s.mem.ReadAt(off+entryHdr, key); err != nil {
-		return nil, err
-	}
-	return key, nil
+// slotOff locates a (shard, bucket) slot within the store region. The
+// layout is identical on every node, which is what makes replication a
+// plain remote write of the primary's slot image at the same offset.
+func (c Config) slotOff(shard, bucket int) int {
+	return c.RegionOffset + headerSize + (shard*c.Buckets+bucket)*c.SlotSize
 }
 
-func (s *Server) writeEntry(off int, oldVer uint64, key, value []byte) error {
-	// Version odd: readers back off.
-	if err := s.mem.Store64(off, oldVer|1); err != nil {
-		return err
-	}
-	buf := make([]byte, entryHdr+len(key)+len(value))
-	// version written separately; fill from keyLen on
-	binary.LittleEndian.PutUint32(buf[8:], uint32(len(key)))
-	binary.LittleEndian.PutUint32(buf[12:], uint32(len(value)))
-	crc := crc32.ChecksumIEEE(append(append([]byte{}, key...), value...))
-	binary.LittleEndian.PutUint32(buf[16:], crc)
-	copy(buf[entryHdr:], key)
-	copy(buf[entryHdr+len(key):], value)
-	if err := s.mem.WriteAt(off+8, buf[8:]); err != nil {
-		return err
-	}
-	// Version even and advanced: entry stable.
-	return s.mem.Store64(off, (oldVer|1)+1)
-}
-
-// Get serves a local lookup on the server (used by tests and the example's
-// warm path).
-func (s *Server) Get(key []byte) ([]byte, error) {
-	h := hashKey(key)
-	for probe := 0; probe < maxProbes; probe++ {
-		b := int((h + uint64(probe)) % uint64(s.buckets))
-		off := s.slotOff(b)
-		entry := make([]byte, s.slotSize)
-		if err := s.mem.ReadAt(off, entry); err != nil {
-			return nil, err
-		}
-		val, status := parseEntry(entry, key)
-		switch status {
-		case entryMatch:
-			return val, nil
-		case entryEmpty:
-			return nil, ErrNotFound
-		}
-	}
-	return nil, ErrNotFound
-}
-
-// Client performs one-sided GETs against a remote store.
-type Client struct {
-	qp       *sonuma.QP
-	buf      *sonuma.Buffer
-	server   int
-	buckets  int
-	slotSize int
-}
-
-// NewClient attaches to the store on server node `server`, learning the
-// geometry with a remote read of the header.
-func NewClient(ctx *sonuma.Context, qp *sonuma.QP, server int) (*Client, error) {
-	buf, err := ctx.AllocBuffer(64 << 10)
-	if err != nil {
-		return nil, err
-	}
-	if err := qp.Read(server, 0, buf, 0, headerSize); err != nil {
-		return nil, err
-	}
-	var hdr [headerSize]byte
-	if err := buf.ReadAt(0, hdr[:]); err != nil {
-		return nil, err
-	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
-		return nil, ErrBadStore
-	}
-	c := &Client{
-		qp: qp, buf: buf, server: server,
-		buckets:  int(binary.LittleEndian.Uint32(hdr[4:])),
-		slotSize: int(binary.LittleEndian.Uint32(hdr[8:])),
-	}
-	if c.buckets <= 0 || c.slotSize <= 0 || c.slotSize > buf.Size() {
-		return nil, ErrBadStore
-	}
-	return c, nil
-}
-
+// entryStatus classifies a parsed slot image.
 type entryStatus int
 
 const (
-	entryMatch entryStatus = iota
-	entryEmpty
-	entryMismatch
-	entryTorn
+	entryMatch    entryStatus = iota // stable entry holding the key
+	entryEmpty                       // never-written slot
+	entryMismatch                    // stable entry holding another key
+	entryTorn                        // odd version or checksum failure
 )
 
-// parseEntry validates a slot image against key.
+// parseEntry validates a slot image against key. A torn result means a
+// writer was mid-update somewhere between the version read and the last
+// payload byte; one-sided readers retry, exactly as with a local seqlock.
 func parseEntry(entry, key []byte) ([]byte, entryStatus) {
 	ver := binary.LittleEndian.Uint64(entry)
 	if ver == 0 {
@@ -253,41 +216,42 @@ func parseEntry(entry, key []byte) ([]byte, entryStatus) {
 	return out, entryMatch
 }
 
-// Get fetches a key with one-sided remote reads: one read per probe, with
-// checksum-validated retry on torn entries (the Pilaf approach — the server
-// core is never involved).
-func (c *Client) Get(key []byte) ([]byte, error) {
-	h := hashKey(key)
-	for probe := 0; probe < maxProbes; probe++ {
-		b := int((h + uint64(probe)) % uint64(c.buckets))
-		off := uint64(headerSize + b*c.slotSize)
-		const maxRetries = 1024
-		retries := 0
-	retry:
-		if err := c.qp.Read(c.server, off, c.buf, 0, c.slotSize); err != nil {
-			return nil, err
-		}
-		entry := make([]byte, c.slotSize)
-		if err := c.buf.ReadAt(0, entry); err != nil {
-			return nil, err
-		}
-		val, status := parseEntry(entry, key)
-		switch status {
-		case entryMatch:
-			return val, nil
-		case entryEmpty:
-			return nil, ErrNotFound
-		case entryTorn:
-			retries++
-			if retries > maxRetries {
-				return nil, ErrRetryExhausted
-			}
-			// Back off so a continuously writing server cannot
-			// starve the reader indefinitely (seqlocks favor the
-			// writer by design).
-			runtime.Gosched()
-			goto retry
-		}
+// encodeEntryBody fills dst (at least entryHdr+len(key)+len(value) bytes)
+// with the entry image minus the version word, which writers publish
+// separately.
+func encodeEntryBody(dst, key, value []byte) {
+	binary.LittleEndian.PutUint32(dst[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(dst[12:], uint32(len(value)))
+	c := crc32.NewIEEE()
+	c.Write(key)
+	c.Write(value)
+	binary.LittleEndian.PutUint32(dst[16:], c.Sum32())
+	binary.LittleEndian.PutUint32(dst[20:], 0)
+	copy(dst[entryHdr:], key)
+	copy(dst[entryHdr+len(key):], value)
+}
+
+// checkHeader validates a store header image against cfg.
+func checkHeader(hdr []byte, cfg Config) error {
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return ErrBadStore
 	}
-	return nil, ErrNotFound
+	if int(binary.LittleEndian.Uint32(hdr[4:])) != cfg.Shards ||
+		int(binary.LittleEndian.Uint32(hdr[8:])) != cfg.Buckets ||
+		int(binary.LittleEndian.Uint32(hdr[12:])) != cfg.SlotSize ||
+		int(binary.LittleEndian.Uint32(hdr[16:])) != cfg.Replicas {
+		return fmt.Errorf("kvs: header geometry mismatch: %w", ErrBadStore)
+	}
+	return nil
+}
+
+// writeHeader publishes the store header into the local region.
+func writeHeader(mem *sonuma.Memory, cfg Config) error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(cfg.Shards))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(cfg.Buckets))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(cfg.SlotSize))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(cfg.Replicas))
+	return mem.WriteAt(cfg.RegionOffset, hdr[:])
 }

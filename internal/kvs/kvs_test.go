@@ -4,85 +4,177 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
 
 	"sonuma"
 )
 
-func newStore(t *testing.T, buckets, slotSize int) (*Server, *Client) {
-	t.Helper()
-	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(cl.Close)
-	serverCtx, err := cl.Node(0).OpenContext(2, RegionSize(buckets, slotSize)+4096)
-	if err != nil {
-		t.Fatal(err)
-	}
-	clientCtx, err := cl.Node(1).OpenContext(2, 4096)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := NewServer(serverCtx, buckets, slotSize)
-	if err != nil {
-		t.Fatal(err)
-	}
-	qp, err := clientCtx.NewQP(32)
-	if err != nil {
-		t.Fatal(err)
-	}
-	client, err := NewClient(clientCtx, qp, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return srv, client
+// testConfig keeps the store small enough for fast tests while preserving
+// multi-line entries (the torn-read window).
+func testConfig() Config {
+	return Config{Shards: 16, Replicas: 2, Buckets: 32, SlotSize: 256, VNodes: 16}
 }
 
-func TestPutGetRemote(t *testing.T) {
-	srv, client := newStore(t, 256, 256)
-	pairs := map[string]string{
-		"alpha": "first value",
-		"beta":  "second value",
-		"gamma": "third value with a somewhat longer payload",
+// newService builds an n-node cluster with one store member per node.
+func newService(t *testing.T, n int, cfg Config) (*sonuma.Cluster, []*Store) {
+	t.Helper()
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for k, v := range pairs {
-		if err := srv.Put([]byte(k), []byte(v)); err != nil {
+	stores := make([]*Store, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(7, cfg.SegmentSize(n)+4096)
+		if err != nil {
+			cl.Close()
+			t.Fatal(err)
+		}
+		if stores[i], err = Open(ctx, cfg); err != nil {
+			cl.Close()
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, s := range stores {
+			s.Close()
+		}
+		cl.Close()
+	})
+	return cl, stores
+}
+
+func newTestClient(t *testing.T, s *Store) *Client {
+	t.Helper()
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestShardStability checks the consistent-hashing invariants: key→shard
+// placement never depends on the node count, and growing the cluster moves
+// a shard's primary only onto the new node, for a bounded fraction of
+// shards.
+func TestShardStability(t *testing.T) {
+	const shards, replicas, vnodes = 256, 2, 64
+	nodes4 := []int{0, 1, 2, 3}
+	nodes5 := []int{0, 1, 2, 3, 4}
+	r4 := NewRing(nodes4, shards, replicas, vnodes)
+	r5 := NewRing(nodes5, shards, replicas, vnodes)
+
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if r4.ShardOf(key) != r5.ShardOf(key) {
+			t.Fatalf("key %q changed shard when the cluster grew", key)
+		}
+	}
+
+	moved := 0
+	for s := 0; s < shards; s++ {
+		o4, o5 := r4.Owners(s), r5.Owners(s)
+		if len(o4) != replicas || len(o5) != replicas {
+			t.Fatalf("shard %d: owner counts %d/%d, want %d", s, len(o4), len(o5), replicas)
+		}
+		seen := map[int]bool{}
+		for _, o := range o5 {
+			if seen[o] {
+				t.Fatalf("shard %d: duplicate owner %d", s, o)
+			}
+			seen[o] = true
+		}
+		if o4[0] != o5[0] {
+			moved++
+			if o5[0] != 4 {
+				t.Fatalf("shard %d: primary moved %d -> %d, not to the new node", s, o4[0], o5[0])
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no shard moved to the new node; ring is not spreading load")
+	}
+	// Expected movement is ~1/5 of shards; anything above 40% means the
+	// ring lost the minimal-movement property.
+	if moved > shards*2/5 {
+		t.Fatalf("%d/%d primaries moved on grow; consistent hashing should bound this", moved, shards)
+	}
+}
+
+// TestRingBalance ensures no node owns a wildly outsized share of primaries.
+func TestRingBalance(t *testing.T) {
+	const shards = 256
+	nodes := []int{0, 1, 2, 3}
+	r := NewRing(nodes, shards, 2, 64)
+	counts := map[int]int{}
+	for s := 0; s < shards; s++ {
+		counts[r.Owners(s)[0]]++
+	}
+	for n, c := range counts {
+		if c > shards/len(nodes)*3 {
+			t.Fatalf("node %d leads %d/%d shards; ring is badly unbalanced", n, c, shards)
+		}
+	}
+}
+
+func TestPutGetSharded(t *testing.T) {
+	const n = 4
+	_, stores := newService(t, n, testConfig())
+	clients := make([]*Client, n)
+	for i, s := range stores {
+		clients[i] = newTestClient(t, s)
+	}
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		v := []byte(fmt.Sprintf("profile-%04d", i))
+		if err := clients[i%n].Put(k, v); err != nil {
 			t.Fatalf("Put(%q): %v", k, err)
 		}
 	}
-	for k, v := range pairs {
-		got, err := client.Get([]byte(k))
-		if err != nil {
-			t.Fatalf("Get(%q): %v", k, err)
-		}
-		if string(got) != v {
-			t.Fatalf("Get(%q) = %q, want %q", k, got, v)
+	// Every key is visible from every node through one-sided reads.
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		want := fmt.Sprintf("profile-%04d", i)
+		for c := 0; c < n; c++ {
+			got, err := clients[c].Get(k)
+			if err != nil {
+				t.Fatalf("client %d Get(%q): %v", c, k, err)
+			}
+			if string(got) != want {
+				t.Fatalf("client %d Get(%q) = %q, want %q", c, k, got, want)
+			}
 		}
 	}
-}
-
-func TestGetMissing(t *testing.T) {
-	srv, client := newStore(t, 64, 128)
-	if err := srv.Put([]byte("present"), []byte("x")); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := client.Get([]byte("absent")); !errors.Is(err, ErrNotFound) {
+	if _, err := clients[0].Get([]byte("absent")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+	// PUTs crossed nodes, so forwarding and replication must have run.
+	var forwarded, replicated uint64
+	for _, s := range stores {
+		st := s.Stats()
+		forwarded += st.PutsForwarded
+		replicated += st.ReplicaWrites
+	}
+	if forwarded == 0 {
+		t.Fatal("no PUT was forwarded to a remote primary")
+	}
+	if replicated == 0 {
+		t.Fatal("no slot image was replicated to a backup")
 	}
 }
 
 func TestUpdateVisible(t *testing.T) {
-	srv, client := newStore(t, 64, 128)
+	_, stores := newService(t, 3, testConfig())
+	writer := newTestClient(t, stores[0])
+	reader := newTestClient(t, stores[1])
 	key := []byte("counter")
 	for i := 0; i < 10; i++ {
 		val := []byte(fmt.Sprintf("value-%d", i))
-		if err := srv.Put(key, val); err != nil {
+		if err := writer.Put(key, val); err != nil {
 			t.Fatal(err)
 		}
-		got, err := client.Get(key)
+		got, err := reader.Get(key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,46 +184,90 @@ func TestUpdateVisible(t *testing.T) {
 	}
 }
 
-func TestCollisionProbing(t *testing.T) {
-	// A tiny table forces probe chains.
-	srv, client := newStore(t, 8, 128)
-	keys := []string{"a", "b", "c", "d", "e", "f"}
-	for i, k := range keys {
-		if err := srv.Put([]byte(k), []byte{byte(i)}); err != nil {
-			t.Fatalf("Put(%q): %v", k, err)
-		}
-	}
-	for i, k := range keys {
-		got, err := client.Get([]byte(k))
-		if err != nil {
-			t.Fatalf("Get(%q): %v", k, err)
-		}
-		if len(got) != 1 || got[0] != byte(i) {
-			t.Fatalf("Get(%q) = %v, want [%d]", k, got, i)
-		}
-	}
-}
-
 func TestTooLarge(t *testing.T) {
-	srv, _ := newStore(t, 8, 64)
-	if err := srv.Put([]byte("k"), make([]byte, 200)); !errors.Is(err, ErrTooLarge) {
+	_, stores := newService(t, 2, testConfig())
+	c := newTestClient(t, stores[0])
+	if err := c.Put([]byte("k"), make([]byte, 4096)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("expected ErrTooLarge, got %v", err)
 	}
 }
 
-func TestConcurrentReadersWithWriter(t *testing.T) {
-	// Self-verifying reads must never return a torn value while the
-	// server updates the same key (multi-line entry forces the race
-	// window open).
-	srv, client := newStore(t, 32, 512)
+func TestShardFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.Buckets = 4
+	_, stores := newService(t, 2, cfg)
+	c := newTestClient(t, stores[0])
+	ring := stores[0].Ring()
+	target := ring.ShardOf([]byte("seed"))
+	inserted := 0
+	var err error
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("k-%d", i))
+		if ring.ShardOf(k) != target {
+			continue
+		}
+		if err = c.Put(k, []byte("v")); err != nil {
+			break
+		}
+		inserted++
+	}
+	if !errors.Is(err, ErrShardFull) {
+		t.Fatalf("expected ErrShardFull after %d inserts, got %v", inserted, err)
+	}
+	if inserted == 0 || inserted > cfg.Buckets {
+		t.Fatalf("inserted %d keys into a %d-bucket shard", inserted, cfg.Buckets)
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	const n = 3
+	_, stores := newService(t, n, testConfig())
+	c := newTestClient(t, stores[0])
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("mg:%03d", i)), []byte(fmt.Sprintf("val-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A burst larger than MaxGetBatch, with a missing key mixed in.
+	batch := make([][]byte, 0, keys+1)
+	for i := 0; i < keys; i++ {
+		batch = append(batch, []byte(fmt.Sprintf("mg:%03d", i)))
+	}
+	batch = append(batch, []byte("mg:absent"))
+	vals, errs := c.MultiGet(batch)
+	for i := 0; i < keys; i++ {
+		if errs[i] != nil {
+			t.Fatalf("MultiGet[%d]: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("val-%03d", i); string(vals[i]) != want {
+			t.Fatalf("MultiGet[%d] = %q, want %q", i, vals[i], want)
+		}
+	}
+	if !errors.Is(errs[keys], ErrNotFound) {
+		t.Fatalf("missing key: expected ErrNotFound, got %v", errs[keys])
+	}
+}
+
+// TestTornRetryUnderPutLoad hammers one key with replicated PUTs while
+// readers on other nodes GET it with one-sided reads; the version+checksum
+// validation must never let a torn snapshot through. Run under -race in CI.
+func TestTornRetryUnderPutLoad(t *testing.T) {
+	const n = 3
+	cfg := testConfig()
+	cfg.SlotSize = 512 // multi-line entries keep the race window open
+	_, stores := newService(t, n, cfg)
+
 	key := []byte("hot")
-	vals := make([][]byte, 16)
+	vals := make([][]byte, 8)
 	for i := range vals {
 		vals[i] = bytes.Repeat([]byte{byte('A' + i)}, 300)
 	}
-	if err := srv.Put(key, vals[0]); err != nil {
+	writer := newTestClient(t, stores[0])
+	if err := writer.Put(key, vals[0]); err != nil {
 		t.Fatal(err)
 	}
+
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -143,41 +279,123 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 				return
 			default:
 			}
-			if err := srv.Put(key, vals[i%len(vals)]); err != nil {
+			if err := writer.Put(key, vals[i%len(vals)]); err != nil {
 				t.Errorf("writer: %v", err)
 				return
 			}
-			// A realistic server does work between updates; a
-			// zero-gap write loop can starve seqlock readers by
-			// construction.
-			for y := 0; y < 4; y++ {
-				runtime.Gosched()
-			}
 		}
 	}()
-	for i := 0; i < 300; i++ {
-		got, err := client.Get(key)
-		if err != nil {
-			t.Fatalf("reader: %v", err)
-		}
-		// Any stable snapshot is uniform; a torn one would mix bytes.
-		for _, b := range got[1:] {
-			if b != got[0] {
-				t.Fatalf("torn read slipped through checksum: %q", got[:16])
+
+	var rg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		reader := newTestClient(t, stores[r])
+		rg.Add(1)
+		go func(c *Client, node int) {
+			defer rg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := c.Get(key)
+				if err != nil {
+					if errors.Is(err, ErrRetryExhausted) {
+						continue // writer kept the slot hot; legal
+					}
+					t.Errorf("reader %d: %v", node, err)
+					return
+				}
+				for _, b := range got[1:] {
+					if b != got[0] {
+						t.Errorf("reader %d: torn read slipped through checksum: %q...", node, got[:8])
+						return
+					}
+				}
 			}
-		}
+		}(reader, r)
 	}
+	rg.Wait()
 	close(stop)
 	wg.Wait()
 }
 
-func TestServerLocalGet(t *testing.T) {
-	srv, _ := newStore(t, 64, 128)
-	if err := srv.Put([]byte("k"), []byte("local")); err != nil {
+// TestReplicaPromotionAfterFailLink cuts every fabric link of a shard
+// primary mid-service and verifies clients fail GETs over to the backup,
+// PUTs re-route to the promoted leader, and the stores record promotions.
+func TestReplicaPromotionAfterFailLink(t *testing.T) {
+	const n = 4
+	cl, stores := newService(t, n, testConfig())
+	client := newTestClient(t, stores[0])
+	ring := stores[0].Ring()
+
+	// A key whose primary is not the client's node.
+	var key []byte
+	victim := -1
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("fo:%03d", i))
+		if p := ring.Owners(ring.ShardOf(k))[0]; p != 0 {
+			key, victim = k, p
+			break
+		}
+	}
+	if key == nil {
+		t.Fatal("no key with a non-client primary found")
+	}
+	if err := client.Put(key, []byte("before")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := srv.Get([]byte("k"))
-	if err != nil || string(got) != "local" {
-		t.Fatalf("local Get = %q, %v", got, err)
+
+	// The primary falls off the fabric: every link to it dies.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.FailLink(victim, i)
+		}
+	}
+
+	// GET fails over to the backup replica (retry while the failure
+	// notification propagates).
+	var got []byte
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if got, err = client.Get(key); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("Get after primary loss: %v", err)
+	}
+	if string(got) != "before" {
+		t.Fatalf("Get after primary loss = %q, want %q", got, "before")
+	}
+
+	// PUT routes to the promoted leader.
+	for attempt := 0; attempt < 50; attempt++ {
+		if err = client.Put(key, []byte("after")); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("Put after primary loss: %v", err)
+	}
+	if got, err = client.Get(key); err != nil || string(got) != "after" {
+		t.Fatalf("Get(updated) = %q, %v; want %q", got, err, "after")
+	}
+
+	var promotions uint64
+	for i, s := range stores {
+		if i == victim {
+			continue
+		}
+		promotions += s.Stats().Promotions
+	}
+	if promotions == 0 {
+		t.Fatal("no store recorded a leadership promotion")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	_, stores := newService(t, 2, testConfig())
+	c := newTestClient(t, stores[0])
+	if err := c.Put(nil, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("Put(empty key) = %v, want ErrEmptyKey", err)
+	}
+	if err := c.Put([]byte{}, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("Put(empty key) = %v, want ErrEmptyKey", err)
 	}
 }

@@ -1,0 +1,129 @@
+package kvs
+
+import "sort"
+
+// This file implements the placement half of the store: a fixed shard space
+// hashed over the cluster's nodes with a consistent-hash ring.
+//
+// Keys map to shards with a plain hash — that mapping depends only on the
+// configured shard count, never on the cluster size, so growing the cluster
+// never re-shards a key. Shards map to nodes by walking a ring of virtual
+// node points: each node contributes VNodes points, a shard's owners are the
+// first Replicas distinct nodes clockwise from the shard's point, and adding
+// a node therefore steals only the shards whose arcs its new points land on
+// (the classic consistent-hashing minimal-movement property — cf. the
+// resource-mapping concerns of multi-level disaggregated NUMA systems in
+// PAPERS.md).
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring maps the key space onto cluster nodes: hash(key) → shard (stable in
+// the node count), shard → an owner list of Replicas() distinct nodes via
+// consistent hashing, primary first. A Ring is immutable after construction;
+// all participants of a store build identical rings from the shared Config.
+type Ring struct {
+	shards   int
+	replicas int
+	points   []ringPoint
+	owners   [][]int // per shard, primary first
+}
+
+// fnv1a is the 64-bit FNV-1a hash used for both key→shard and ring-point
+// placement.
+func fnv1a(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 finalizes an integer into a well-distributed ring position
+// (splitmix64 finalizer).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing places shards over nodes with replicas copies each (clamped to the
+// node count) and vnodes ring points per node. The node list is typically
+// 0..clusterNodes-1; any distinct ids work.
+func NewRing(nodes []int, shards, replicas, vnodes int) *Ring {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas > len(nodes) {
+		replicas = len(nodes)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{shards: shards, replicas: replicas}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			h := mix64(uint64(n)<<20 | uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	r.owners = make([][]int, shards)
+	for s := 0; s < shards; s++ {
+		r.owners[s] = r.ownersAt(mix64(0x9e3779b97f4a7c15 ^ uint64(s)))
+	}
+	return r
+}
+
+// ownersAt walks the ring clockwise from point h collecting the first
+// replicas distinct nodes.
+func (r *Ring) ownersAt(h uint64) []int {
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]int, 0, r.replicas)
+	for i := 0; i < len(r.points) && len(owners) < r.replicas; i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		dup := false
+		for _, o := range owners {
+			if o == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners = append(owners, n)
+		}
+	}
+	return owners
+}
+
+// Shards reports the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Replicas reports the copies kept of each shard (primary included).
+func (r *Ring) Replicas() int { return r.replicas }
+
+// ShardOf maps a key to its shard. The mapping depends only on the shard
+// count, so it is stable across cluster resizes.
+func (r *Ring) ShardOf(key []byte) int {
+	return int(fnv1a(key) % uint64(r.shards))
+}
+
+// Owners returns the nodes holding a shard, primary first. The returned
+// slice is shared; callers must not modify it.
+func (r *Ring) Owners(shard int) []int { return r.owners[shard] }

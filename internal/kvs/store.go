@@ -1,0 +1,766 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sonuma"
+)
+
+// PUT-routing message kinds (first byte of every messenger payload).
+const (
+	msgPut byte = 1 // reqID u64, shard u32, keyLen u32, key, value
+	msgAck byte = 2 // reqID u64, status u8
+)
+
+// Ack status codes.
+const (
+	ackOK byte = iota
+	ackTooLarge
+	ackShardFull
+	ackWrongOwner
+	ackNoReplica
+	ackBadRequest
+)
+
+// Serve-loop pacing: spin (with Gosched) this many empty passes, then park
+// on the put/failure channels with a poll tick for the messenger rings —
+// inbound forwards are plain remote writes with no doorbell, so the tick
+// bounds their idle-path latency.
+const (
+	idleSpins = 64
+	idlePoll  = 100 * time.Microsecond
+)
+
+// ackErr converts an ack status into the client-visible error.
+func ackErr(code byte) error {
+	switch code {
+	case ackOK:
+		return nil
+	case ackTooLarge:
+		return ErrTooLarge
+	case ackShardFull:
+		return ErrShardFull
+	case ackWrongOwner:
+		return errors.New("kvs: routed to non-owner")
+	case ackNoReplica:
+		return ErrNoReplica
+	case ackBadRequest:
+		return fmt.Errorf("kvs: peer rejected PUT frame: %w", ErrBadStore)
+	default:
+		return fmt.Errorf("kvs: unknown ack status %d", code)
+	}
+}
+
+// StoreStats is a point-in-time snapshot of one store's counters. The
+// harness uses MsgsHandled to demonstrate the one-sided GET claim: GETs
+// never produce a message, so a read-only phase leaves it unchanged on
+// every node.
+type StoreStats struct {
+	MsgsHandled   uint64 // messenger messages processed by the serve loop
+	PutsApplied   uint64 // PUTs applied locally as shard owner
+	PutsForwarded uint64 // PUTs forwarded to a remote primary
+	ReplicaWrites uint64 // slot images replicated to backups
+	ReplicaSkips  uint64 // replications skipped (backup unreachable)
+	Promotions    uint64 // shard leaderships moved off an unreachable node
+	Rerouted      uint64 // pending PUTs re-routed after a failure event
+}
+
+// putReq is one PUT travelling from a colocated client into the serve loop.
+type putReq struct {
+	key, value []byte
+	shard      int
+	attempts   int
+	resp       chan error
+}
+
+// fwdPut is a PUT forwarded to a remote primary, awaiting its ack.
+type fwdPut struct {
+	req    *putReq
+	target int
+}
+
+// Store is one node's member of the sharded KV service. Every cluster node
+// opens one; the store owns the node's slot tables, a Messenger for PUT
+// routing, and a replication QP, all driven by a single serve goroutine.
+// GETs never touch a Store — clients read slots with one-sided remote
+// operations only.
+type Store struct {
+	ctx  *sonuma.Context
+	cfg  Config
+	ring *Ring
+	me   int
+	n    int
+
+	mem   *sonuma.Memory
+	qp    *sonuma.QP        // replication ops (serve goroutine only)
+	batch *sonuma.Batch     // reusable replication burst (serve goroutine)
+	msgr  *sonuma.Messenger // PUT routing (serve goroutine only)
+
+	repBuf   *sonuma.Buffer // staging: slot body image for replica writes
+	priorBuf *sonuma.Buffer // landing area for FetchAdd prior values
+	scratch  []byte         // local slot image scratch (serve goroutine)
+	txBuf    []byte         // outbound message scratch (serve goroutine)
+
+	leader  []int  // per-shard index into Owners (serve goroutine)
+	down    []bool // per-node unreachability (serve goroutine)
+	downPub atomic.Pointer[[]bool]
+
+	putCh   chan *putReq
+	failCh  chan int
+	stop    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	pending map[uint64]*fwdPut
+	nextID  uint64
+
+	msgsHandled   atomic.Uint64
+	putsApplied   atomic.Uint64
+	putsForwarded atomic.Uint64
+	replicaWrites atomic.Uint64
+	replicaSkips  atomic.Uint64
+	promotions    atomic.Uint64
+	rerouted      atomic.Uint64
+}
+
+// Open joins this node to the sharded store on ctx. Every node of the
+// cluster must call Open with an identical Config on the same context id,
+// with a segment of at least Config.SegmentSize(cluster nodes) bytes. Open
+// claims the node's fabric failure callbacks (OnFabricFailure and
+// OnLinkFailure) for failover detection and starts the serve goroutine.
+func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	n := ctx.Node().Cluster().Nodes()
+	if need := cfg.SegmentSize(n); ctx.SegmentSize() < need {
+		return nil, fmt.Errorf("kvs: segment %d bytes < %d required", ctx.SegmentSize(), need)
+	}
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	s := &Store{
+		ctx:     ctx,
+		cfg:     cfg,
+		ring:    NewRing(nodes, cfg.Shards, cfg.Replicas, cfg.VNodes),
+		me:      ctx.NodeID(),
+		n:       n,
+		mem:     ctx.Memory(),
+		leader:  make([]int, cfg.Shards),
+		down:    make([]bool, n),
+		putCh:   make(chan *putReq, 128),
+		failCh:  make(chan int, 64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*fwdPut),
+		scratch: make([]byte, cfg.SlotSize),
+	}
+	s.publishDown()
+	if err := writeHeader(s.mem, cfg); err != nil {
+		return nil, err
+	}
+	var err error
+	if s.qp, err = ctx.NewQP(0); err != nil {
+		return nil, err
+	}
+	s.batch = s.qp.NewBatch()
+	if s.repBuf, err = ctx.AllocBuffer(cfg.SlotSize); err != nil {
+		return nil, err
+	}
+	if s.priorBuf, err = ctx.AllocBuffer(8 * n); err != nil {
+		return nil, err
+	}
+	mqp, err := ctx.NewQP(0)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := cfg.Messenger
+	mcfg.RegionOffset = cfg.RegionOffset + cfg.RegionSize()
+	if s.msgr, err = sonuma.NewMessenger(ctx, mqp, mcfg); err != nil {
+		return nil, err
+	}
+	// Failover detection: the fabric's watchers report failed nodes and
+	// links; the serve loop turns the ones affecting our reachability
+	// into leadership promotions and PUT re-routes.
+	node := ctx.Node()
+	node.OnFabricFailure(func(failed int) { s.reportDown(failed) })
+	node.OnLinkFailure(func(a, b int) {
+		if a == s.me {
+			s.reportDown(b)
+		} else if b == s.me {
+			s.reportDown(a)
+		}
+	})
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Ring exposes the store's placement ring (shared, immutable).
+func (s *Store) Ring() *Ring { return s.ring }
+
+// NodeID reports the node this store member runs on.
+func (s *Store) NodeID() int { return s.me }
+
+// Config reports the store's resolved configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		MsgsHandled:   s.msgsHandled.Load(),
+		PutsApplied:   s.putsApplied.Load(),
+		PutsForwarded: s.putsForwarded.Load(),
+		ReplicaWrites: s.replicaWrites.Load(),
+		ReplicaSkips:  s.replicaSkips.Load(),
+		Promotions:    s.promotions.Load(),
+		Rerouted:      s.rerouted.Load(),
+	}
+}
+
+// reportDown queues a node-unreachable report for the serve loop. Safe from
+// any goroutine (fabric watchers, clients observing read failures); reports
+// are best-effort — a full queue drops them, and the fabric watcher will
+// re-fire for real failures.
+func (s *Store) reportDown(node int) {
+	select {
+	case s.failCh <- node:
+	default:
+	}
+}
+
+// downSnapshot returns the serve loop's latest published unreachability
+// view. The returned slice is immutable.
+func (s *Store) downSnapshot() []bool { return *s.downPub.Load() }
+
+// publishDown republishes the down set for lock-free readers (clients).
+func (s *Store) publishDown() {
+	cp := make([]bool, len(s.down))
+	copy(cp, s.down)
+	s.downPub.Store(&cp)
+}
+
+// Close stops the serve goroutine. Pending PUTs fail with ErrClosed. Close
+// the store before closing the cluster.
+func (s *Store) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+// put hands a PUT to the serve loop and waits for its outcome.
+func (s *Store) put(req *putReq) error {
+	select {
+	case s.putCh <- req:
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-req.resp:
+		return err
+	case <-s.done:
+		// The serve loop exited; it fails everything it saw, but the
+		// response may already be in flight.
+		select {
+		case err := <-req.resp:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// serve is the store's single driving goroutine: it routes and applies
+// PUTs, replicates to backups, answers forwarded PUTs, and reacts to
+// failure reports. GET traffic never appears here. Like the RMC pipelines,
+// it spin-polls briefly when work is flowing and parks (on its channels
+// plus a short poll tick for the messenger rings) when idle, so an idle
+// service does not pin cores.
+func (s *Store) serve() {
+	defer s.wg.Done()
+	defer close(s.done)
+	defer s.shutdown()
+	idle := 0
+	for {
+		worked := false
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	drainFail:
+		for {
+			select {
+			case n := <-s.failCh:
+				s.markDown(n)
+				worked = true
+			default:
+				break drainFail
+			}
+		}
+	drainPuts:
+		for i := 0; i < 64; i++ {
+			select {
+			case req := <-s.putCh:
+				s.handlePut(req)
+				worked = true
+			default:
+				break drainPuts
+			}
+		}
+		for {
+			msg, ok, err := s.msgr.TryRecv()
+			if err != nil {
+				return // fabric closed underneath us
+			}
+			if !ok {
+				break
+			}
+			worked = true
+			s.handleMsg(msg)
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < idleSpins {
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case n := <-s.failCh:
+			s.markDown(n)
+		case req := <-s.putCh:
+			s.handlePut(req)
+		case <-time.After(idlePoll):
+		}
+		idle = 0
+	}
+}
+
+// shutdown fails every pending and queued PUT so no client blocks forever.
+func (s *Store) shutdown() {
+	for id, f := range s.pending {
+		delete(s.pending, id)
+		f.req.resp <- ErrClosed
+	}
+	for {
+		select {
+		case req := <-s.putCh:
+			req.resp <- ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// markDown records a node as unreachable, promotes the next replica for
+// every shard it led, and re-routes pending PUTs that were forwarded to it.
+// Eviction is sticky for the store's lifetime, even across RestoreLink: a
+// replica that missed writes while unreachable would serve stale values if
+// silently re-admitted, so rejoin is deliberately deferred to the
+// anti-entropy repair item in ROADMAP.md.
+func (s *Store) markDown(node int) {
+	if node < 0 || node >= s.n || node == s.me || s.down[node] {
+		return
+	}
+	s.down[node] = true
+	s.publishDown()
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		owners := s.ring.Owners(shard)
+		if owners[s.leader[shard]%len(owners)] == node {
+			s.advanceLeader(shard)
+		}
+	}
+	for id, f := range s.pending {
+		if f.target != node {
+			continue
+		}
+		delete(s.pending, id)
+		s.rerouted.Add(1)
+		s.handlePut(f.req)
+	}
+}
+
+// advanceLeader moves a shard's leadership to the next reachable owner in
+// ring order (a no-op leaving the current leader if none is reachable).
+func (s *Store) advanceLeader(shard int) {
+	owners := s.ring.Owners(shard)
+	cur := s.leader[shard] % len(owners)
+	for step := 1; step <= len(owners); step++ {
+		next := (cur + step) % len(owners)
+		if !s.down[owners[next]] || owners[next] == s.me {
+			s.leader[shard] = next
+			s.promotions.Add(1)
+			return
+		}
+	}
+}
+
+// leaderOf reports the node currently leading a shard from this store's
+// view, skipping known-unreachable owners.
+func (s *Store) leaderOf(shard int) int {
+	owners := s.ring.Owners(shard)
+	cur := s.leader[shard] % len(owners)
+	for step := 0; step < len(owners); step++ {
+		n := owners[(cur+step)%len(owners)]
+		if n == s.me || !s.down[n] {
+			return n
+		}
+	}
+	return owners[cur]
+}
+
+// handlePut routes one PUT: applied here when this node leads the shard,
+// otherwise forwarded to the leader over the messenger.
+func (s *Store) handlePut(req *putReq) {
+	if req.attempts > s.ring.Replicas()+2 {
+		req.resp <- ErrNoReplica
+		return
+	}
+	req.attempts++
+	target := s.leaderOf(req.shard)
+	if target == s.me {
+		req.resp <- s.applyPut(req.shard, req.key, req.value)
+		return
+	}
+	if s.down[target] {
+		req.resp <- ErrNoReplica
+		return
+	}
+	id := s.nextID
+	s.nextID++
+	msg := s.encodePut(id, req.shard, req.key, req.value)
+	if err := s.msgr.Send(target, msg); err != nil {
+		if sonuma.IsNodeFailure(err) {
+			// The leader became unreachable mid-send; mark it and
+			// retry toward the promoted replica.
+			s.markDown(target)
+			s.handlePut(req)
+			return
+		}
+		// Anything else (oversized frame, protocol corruption) is the
+		// caller's problem, not grounds to evict a healthy node.
+		req.resp <- err
+		return
+	}
+	s.putsForwarded.Add(1)
+	s.pending[id] = &fwdPut{req: req, target: target}
+}
+
+// encodePut frames a PUT request into the store's reusable send scratch.
+func (s *Store) encodePut(id uint64, shard int, key, value []byte) []byte {
+	need := 17 + len(key) + len(value)
+	if cap(s.txBuf) < need {
+		s.txBuf = make([]byte, need)
+	}
+	b := s.txBuf[:need]
+	b[0] = msgPut
+	binary.LittleEndian.PutUint64(b[1:], id)
+	binary.LittleEndian.PutUint32(b[9:], uint32(shard))
+	binary.LittleEndian.PutUint32(b[13:], uint32(len(key)))
+	copy(b[17:], key)
+	copy(b[17+len(key):], value)
+	return b
+}
+
+// handleMsg dispatches one inbound messenger message.
+func (s *Store) handleMsg(m sonuma.Message) {
+	s.msgsHandled.Add(1)
+	if len(m.Data) == 0 {
+		return
+	}
+	switch m.Data[0] {
+	case msgPut:
+		if len(m.Data) < 17 {
+			return // not even an id to ack
+		}
+		id := binary.LittleEndian.Uint64(m.Data[1:])
+		shard := int(binary.LittleEndian.Uint32(m.Data[9:]))
+		keyLen := int(binary.LittleEndian.Uint32(m.Data[13:]))
+		if shard < 0 || shard >= s.cfg.Shards || keyLen <= 0 || 17+keyLen > len(m.Data) {
+			// Mismatched configurations between members; a silent drop
+			// would leave the origin's client blocked forever.
+			s.ackTo(m.From, id, ackBadRequest)
+			return
+		}
+		key := m.Data[17 : 17+keyLen]
+		value := m.Data[17+keyLen:]
+		s.ackTo(m.From, id, s.applyForwarded(shard, key, value))
+	case msgAck:
+		if len(m.Data) < 10 {
+			return
+		}
+		id := binary.LittleEndian.Uint64(m.Data[1:])
+		f, ok := s.pending[id]
+		if !ok {
+			return
+		}
+		delete(s.pending, id)
+		code := m.Data[9]
+		if code == ackWrongOwner {
+			// The receiver no longer (or never) owned the shard; move
+			// our leader view past it and retry.
+			s.advanceLeader(f.req.shard)
+			s.handlePut(f.req)
+			return
+		}
+		f.req.resp <- ackErr(code)
+	}
+}
+
+// applyForwarded applies a PUT received over the messenger, refusing shards
+// this node does not own.
+func (s *Store) applyForwarded(shard int, key, value []byte) byte {
+	owner := false
+	for _, o := range s.ring.Owners(shard) {
+		if o == s.me {
+			owner = true
+			break
+		}
+	}
+	if !owner {
+		return ackWrongOwner
+	}
+	switch err := s.applyPut(shard, key, value); {
+	case err == nil:
+		return ackOK
+	case errors.Is(err, ErrTooLarge):
+		return ackTooLarge
+	case errors.Is(err, ErrShardFull):
+		return ackShardFull
+	default:
+		return ackNoReplica
+	}
+}
+
+// ackTo answers a forwarded PUT. A failed ack send means the requester
+// became unreachable; it will re-route via its own failure watcher.
+func (s *Store) ackTo(node int, id uint64, code byte) {
+	var b [10]byte
+	b[0] = msgAck
+	binary.LittleEndian.PutUint64(b[1:], id)
+	b[9] = code
+	_ = s.msgr.Send(node, b[:])
+}
+
+// findBucket probes a shard's local table for key, returning the bucket to
+// write. Placement is decided here, by the applying owner, and replicated
+// as a slot image at the same offset — so replicas never diverge on probe
+// order.
+func (s *Store) findBucket(shard int, key []byte) (int, error) {
+	h := fnv1a(key)
+	for probe := 0; probe < maxProbes; probe++ {
+		b := int((h + uint64(probe)) % uint64(s.cfg.Buckets))
+		off := s.cfg.slotOff(shard, b)
+		ver, err := s.mem.Load64(off)
+		if err != nil {
+			return 0, err
+		}
+		if ver == 0 {
+			return b, nil
+		}
+		if err := s.mem.ReadAt(off, s.scratch); err != nil {
+			return 0, err
+		}
+		keyLen := int(binary.LittleEndian.Uint32(s.scratch[8:]))
+		if keyLen == len(key) && entryHdr+keyLen <= len(s.scratch) &&
+			string(s.scratch[entryHdr:entryHdr+keyLen]) == string(key) {
+			return b, nil
+		}
+	}
+	return 0, ErrShardFull
+}
+
+// applyPut writes key=value into the local shard table under the slot's
+// seqlock, then replicates the committed slot image to the shard's backups:
+// a remote FetchAdd takes each backup's version odd, a remote write lands
+// the body, and a final FetchAdd publishes the even, advanced version —
+// the same torn-or-stable discipline one-sided readers rely on locally.
+func (s *Store) applyPut(shard int, key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if entryHdr+len(key)+len(value) > s.cfg.SlotSize {
+		return ErrTooLarge
+	}
+	bucket, err := s.findBucket(shard, key)
+	if err != nil {
+		return err
+	}
+	off := s.cfg.slotOff(shard, bucket)
+
+	// Local commit under the slot seqlock.
+	ver, err := s.mem.Load64(off)
+	if err != nil {
+		return err
+	}
+	body := s.scratch[:entryHdr+len(key)+len(value)]
+	encodeEntryBody(body, key, value)
+	if err := s.mem.Store64(off, ver|1); err != nil {
+		return err
+	}
+	if err := s.mem.WriteAt(off+8, body[8:]); err != nil {
+		return err
+	}
+	if err := s.mem.Store64(off, (ver|1)+1); err != nil {
+		return err
+	}
+	s.putsApplied.Add(1)
+	return s.replicate(shard, off, body)
+}
+
+// replicate pushes the committed slot body at off to every reachable
+// backup of the shard. Unreachable backups are skipped (and marked down);
+// availability wins over replica count, exactly like the promotion path.
+//
+// Known limitation (asymmetric partitions): failure views are per-node, so
+// a reachable-but-demoted old primary can replicate into a backup that
+// other nodes already promoted, racing the backup's own local seqlock. The
+// checksum keeps torn data detectable, but an interleaving can strand a
+// slot's version odd until the next PUT rewrites it; healing that without
+// a writer is the anti-entropy repair item in ROADMAP.md.
+func (s *Store) replicate(shard int, off int, body []byte) error {
+	owners := s.ring.Owners(shard)
+	targets := make([]int, 0, len(owners))
+	for _, o := range owners {
+		if o != s.me && !s.down[o] {
+			targets = append(targets, o)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	if err := s.repBuf.WriteAt(0, body); err != nil {
+		return err
+	}
+	errs := make([]error, len(targets))
+
+	// Phase 1: take every backup's slot version odd with one batched
+	// FetchAdd burst; the prior values land in priorBuf.
+	batch := s.batch
+	for i, t := range targets {
+		i := i
+		batch.FetchAdd(t, uint64(off), 1, s.priorBuf, 8*i, func(_ int, err error) {
+			if err != nil {
+				errs[i] = err
+			}
+		})
+	}
+	if s.wholesaleFailure(batch.SubmitWait(), errs) {
+		// Submission itself failed (e.g. cluster closing): the per-op
+		// callbacks never ran, so no prior values landed — abandon
+		// replication for this PUT.
+		return s.failTargets(targets, errs)
+	}
+	// A backup whose version was left odd by a writer that died mid-
+	// replication needs one extra bump to re-enter the odd (writing)
+	// state; the final FetchAdd then lands it even again.
+	for i, t := range targets {
+		if errs[i] != nil {
+			continue
+		}
+		prior, err := s.priorBuf.Load64(8 * i)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if prior&1 == 1 {
+			if _, err := s.qp.FetchAdd(t, uint64(off), 1); err != nil {
+				errs[i] = err
+			}
+		}
+	}
+
+	// Phase 2: land the slot body (everything after the version word)
+	// on the backups still standing.
+	staged := false
+	for i, t := range targets {
+		if errs[i] != nil {
+			continue
+		}
+		i := i
+		batch.Write(t, uint64(off+8), s.repBuf, 8, len(body)-8, func(_ int, err error) {
+			if err != nil {
+				errs[i] = err
+			}
+		})
+		staged = true
+	}
+	if staged && s.wholesaleFailure(batch.SubmitWait(), errs) {
+		// Without the bodies landed, publishing versions in phase 3
+		// would stamp stale data as committed on the backups.
+		return s.failTargets(targets, errs)
+	}
+
+	// Phase 3: publish the even, advanced version.
+	staged = false
+	for i, t := range targets {
+		if errs[i] != nil {
+			continue
+		}
+		i := i
+		batch.FetchAdd(t, uint64(off), 1, nil, 0, func(_ int, err error) {
+			if err != nil {
+				errs[i] = err
+			}
+		})
+		staged = true
+	}
+	if staged {
+		s.wholesaleFailure(batch.SubmitWait(), errs)
+	}
+
+	for i := range targets {
+		if errs[i] == nil {
+			s.replicaWrites.Add(1)
+		}
+	}
+	return s.failTargets(targets, errs)
+}
+
+// wholesaleFailure handles a SubmitWait error that is NOT a per-operation
+// remote error: the submission failed before the per-op callbacks could
+// run, so every still-nil error slot is poisoned with it. Per-op remote
+// errors are already recorded by the callbacks and report false here.
+func (s *Store) wholesaleFailure(err error, errs []error) bool {
+	if err == nil {
+		return false
+	}
+	var re *sonuma.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	for i := range errs {
+		if errs[i] == nil {
+			errs[i] = err
+		}
+	}
+	return true
+}
+
+// failTargets marks targets whose replication failed with a fabric error as
+// down. The PUT itself still succeeds if the local commit did — degraded
+// replication is reported through the stats, not the client.
+func (s *Store) failTargets(targets []int, errs []error) error {
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		s.replicaSkips.Add(1)
+		if sonuma.IsNodeFailure(err) {
+			s.markDown(targets[i])
+		}
+	}
+	return nil
+}

@@ -144,6 +144,7 @@ type Messenger struct {
 	rxSeq          []uint64 // slots consumed from each peer
 	lastCreditSent []uint64
 	stagingGen     [][]uint64
+	txBroken       []bool // send path wedged: a ring write failed mid-message
 
 	rxQueue []Message
 
@@ -169,6 +170,7 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 		rxSeq:          make([]uint64, n),
 		lastCreditSent: make([]uint64, n),
 		stagingGen:     make([][]uint64, n),
+		txBroken:       make([]bool, n),
 	}
 	for i := range m.stagingGen {
 		m.stagingGen[i] = make([]uint64, cfg.StagingSlots)
@@ -190,6 +192,22 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 	}
 	m.batch = qp.NewBatch()
 	return m, nil
+}
+
+// reachable reports whether the fabric can currently carry traffic between
+// this node and peer p. The messenger's blocking loops (credit waits,
+// staging-ack waits, continuation-slot waits) consult it so a peer falling
+// off the fabric mid-conversation surfaces as an error or a dropped
+// message instead of an unbounded spin.
+func (m *Messenger) reachable(p int) bool {
+	return m.ctx.node.cluster.ic.Reachable(core.NodeID(m.me), core.NodeID(p))
+}
+
+// errPeerDown is the error delivered when a send's destination becomes
+// unreachable; it carries StatusNodeFailure so callers can errors.As it
+// exactly like a failed remote operation.
+func errPeerDown() error {
+	return &core.RemoteError{Status: core.StatusNodeFailure}
 }
 
 // ringOff locates, within the segment of the node owning a ring, the slot
@@ -273,7 +291,16 @@ func (m *Messenger) Send(to int, data []byte) error {
 // into the peer's ring with at most two rmc_writes (one unless the message
 // wraps the ring edge). Out-of-order line delivery is tolerated by the
 // receiver through the per-slot epoch stamps.
+//
+// A ring write that fails partway (the fabric dropped some of a message's
+// lines) permanently wedges the channel toward that peer: txSeq cannot
+// advance past the partial message, and rewriting the same slots with a
+// later message would let the receiver stitch fragments of two messages
+// together. Sends to such a peer fail fast with StatusNodeFailure.
 func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
+	if m.txBroken[to] {
+		return errPeerDown()
+	}
 	nSlots := slotsFor(len(data))
 	if nSlots > m.cfg.RingSlots {
 		return ErrMessageTooLarge
@@ -287,6 +314,10 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 		}
 		if int(m.txSeq[to]-consumed)+nSlots <= m.cfg.RingSlots {
 			break
+		}
+		// A peer that fell off the fabric will never return credits.
+		if !m.reachable(to) {
+			return errPeerDown()
 		}
 		// While blocked, keep draining inbound traffic so two nodes
 		// saturating each other's rings cannot deadlock.
@@ -331,6 +362,9 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 		m.batch.Write(to, uint64(m.ringOff(m.me, 0)), m.sendBuf, run1*slotSize, run2*slotSize, nil)
 	}
 	if err := m.batch.SubmitWait(); err != nil {
+		// Some of the message's lines may have landed; see the wedge
+		// note above.
+		m.txBroken[to] = true
 		return err
 	}
 	m.txSeq[to] += uint64(nSlots)
@@ -371,6 +405,10 @@ func (m *Messenger) allocStaging(to int) (int, error) {
 				m.stagingGen[to][k]++
 				return k, nil
 			}
+		}
+		// A peer that fell off the fabric will never acknowledge.
+		if !m.reachable(to) {
+			return 0, errPeerDown()
 		}
 		if err := m.pump(); err != nil {
 			return 0, err
@@ -465,10 +503,16 @@ func (m *Messenger) tryConsume(p int) (bool, error) {
 		take = slotPayload
 	}
 	data = append(data, payload[:take]...)
-	// Continuation slots of one rmc_write may land out of order; spin on
-	// each epoch stamp in turn.
+	// Continuation slots of one rmc_write may land out of order; spin
+	// briefly on each epoch stamp in turn. If a line does not appear, the
+	// message is either still in flight (retry on a later pump pass) or
+	// was cut off by a fabric failure and will never arrive (the sender
+	// wedges that channel rather than rewriting the slots, see
+	// sendPush) — either way, park at the head instead of spinning so
+	// one stalled peer cannot wedge the whole messenger.
 	for i := 1; i < nSlots; i++ {
-		for {
+		landed := false
+		for spin := 0; spin < 4096; spin++ {
 			ok, cmeta, cpayload, err := m.readSlot(p, m.rxSeq[p]+uint64(i))
 			if err != nil {
 				return false, err
@@ -478,9 +522,16 @@ func (m *Messenger) tryConsume(p int) (bool, error) {
 					return false, errProtocol
 				}
 				data = append(data, cpayload[:cmeta&metaLenMask]...)
+				landed = true
 				break
 			}
+			if !m.reachable(p) {
+				return false, nil
+			}
 			runtime.Gosched()
+		}
+		if !landed {
+			return false, nil
 		}
 	}
 	m.rxSeq[p] += uint64(nSlots)
@@ -501,6 +552,12 @@ func (m *Messenger) tryConsume(p int) (bool, error) {
 		}
 		// Single rmc_read of the staged payload (§5.3 pull).
 		if err := m.qp.Read(p, srcOff, m.pullBuf, 0, maxInt(dataLen, 1)); err != nil {
+			if IsNodeFailure(err) {
+				// The sender died with the payload staged on its side;
+				// the descriptor's slots are already consumed, so the
+				// message is simply lost with its sender.
+				return true, nil
+			}
 			return false, err
 		}
 		body := make([]byte, dataLen)
@@ -510,11 +567,13 @@ func (m *Messenger) tryConsume(p int) (bool, error) {
 			}
 		}
 		// Acknowledge by writing the generation into the sender's ack
-		// word — the "zero-length message" completion signal of §5.3.
+		// word — the "zero-length message" completion signal of §5.3. A
+		// failed ack means the sender is gone; the payload is still
+		// delivered locally.
 		if err := m.tiny.Store64(0, gen); err != nil {
 			return false, err
 		}
-		if err := m.qp.Write(p, uint64(m.ackOff(m.me, slotIdx)), m.tiny, 0, 8); err != nil {
+		if err := m.qp.Write(p, uint64(m.ackOff(m.me, slotIdx)), m.tiny, 0, 8); err != nil && !IsNodeFailure(err) {
 			return false, err
 		}
 		m.rxQueue = append(m.rxQueue, Message{From: p, Data: body})
@@ -523,7 +582,8 @@ func (m *Messenger) tryConsume(p int) (bool, error) {
 }
 
 // flushCredits publishes our consumed-slot count to peer p when the unsent
-// delta justifies a write (or force is set).
+// delta justifies a write (or force is set). An unreachable peer is
+// skipped — the debt stays recorded and flushes after a link restore.
 func (m *Messenger) flushCredits(p int, force bool) error {
 	debt := m.rxSeq[p] - m.lastCreditSent[p]
 	if debt == 0 {
@@ -532,10 +592,16 @@ func (m *Messenger) flushCredits(p int, force bool) error {
 	if !force && int(debt) < maxInt(1, m.cfg.RingSlots/4) {
 		return nil
 	}
+	if !m.reachable(p) {
+		return nil
+	}
 	if err := m.tiny.Store64(8, m.rxSeq[p]); err != nil {
 		return err
 	}
 	if err := m.qp.Write(p, uint64(m.creditOff(m.me)), m.tiny, 8, 8); err != nil {
+		if IsNodeFailure(err) {
+			return nil // raced with a failure; retry after restore
+		}
 		return err
 	}
 	m.lastCreditSent[p] = m.rxSeq[p]

@@ -27,6 +27,15 @@ const (
 	StatusBadAlign    = core.StatusBadAlign
 )
 
+// IsNodeFailure reports whether err is (or wraps) the StatusNodeFailure
+// completion the RMC delivers when the fabric cannot reach the peer — the
+// signal failover logic keys on, as distinct from application-level errors
+// like bounds violations.
+func IsNodeFailure(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Status == core.StatusNodeFailure
+}
+
 // Completion is the callback type of the asynchronous API, mirroring the
 // callbacks of Fig. 4: it runs on the application goroutine, from inside
 // WaitForSlot / Poll / DrainCQ / the synchronous operations, never
