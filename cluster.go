@@ -165,11 +165,27 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // RMC's driver failure callback fires (§5.1).
 func (c *Cluster) FailNode(i int) { c.ic.FailNode(core.NodeID(i)) }
 
+// RestoreNode brings a previously failed node back onto the fabric and
+// fires every RMC's driver restore callback. The fabric restores only
+// connectivity; whatever state the node missed while down is the
+// application's problem (services run anti-entropy repair before
+// re-admitting it — see internal/kvs).
+func (c *Cluster) RestoreNode(i int) { c.ic.RestoreNode(core.NodeID(i)) }
+
 // FailLink injects a bidirectional link failure between nodes a and b.
 func (c *Cluster) FailLink(a, b int) { c.ic.FailLink(core.NodeID(a), core.NodeID(b)) }
 
-// RestoreLink repairs a previously failed link.
+// RestoreLink repairs a previously failed link and fires every RMC's
+// driver link-restore callback.
 func (c *Cluster) RestoreLink(a, b int) { c.ic.RestoreLink(core.NodeID(a), core.NodeID(b)) }
+
+// Reachable reports whether the fabric can currently carry traffic from
+// node a to node b: both endpoints up and every link of the deterministic
+// route healthy. Services consult it before re-admitting a peer, because a
+// single link-restore event does not imply the whole route is back.
+func (c *Cluster) Reachable(a, b int) bool {
+	return c.ic.Reachable(core.NodeID(a), core.NodeID(b))
+}
 
 // Interconnect exposes fabric counters for instrumentation.
 func (c *Cluster) Interconnect() *fabric.Interconnect { return c.ic }
@@ -230,6 +246,26 @@ func (n *Node) OnFabricFailure(fn func(failedNode int)) {
 // into a channel for real work.
 func (n *Node) OnLinkFailure(fn func(a, b int)) {
 	n.rmc.OnLinkFailure(func(a, b core.NodeID) { fn(int(a), int(b)) })
+}
+
+// OnFabricRestore registers a driver callback invoked when the fabric
+// reports a previously failed node restored — the symmetric half of
+// OnFabricFailure. The fabric guarantees connectivity only; services
+// re-sync whatever state the node missed before re-admitting it. The
+// callback runs on an RMC pipeline goroutine and must not block.
+func (n *Node) OnFabricRestore(fn func(restoredNode int)) {
+	n.rmc.OnRestore(func(id core.NodeID) { fn(int(id)) })
+}
+
+// OnLinkRestore registers a driver callback invoked when the fabric
+// reports a restored link a↔b — the symmetric half of OnLinkFailure.
+// Every node observes every link restore. Failure and restore events for
+// one link are epoch-stamped by the fabric and delivered to callbacks in
+// epoch order, so a racing Fail/Restore pair cannot leave a service
+// believing the stale state. The callback runs on an RMC pipeline
+// goroutine and must not block; forward into a channel for real work.
+func (n *Node) OnLinkRestore(fn func(a, b int)) {
+	n.rmc.OnLinkRestore(func(a, b core.NodeID) { fn(int(a), int(b)) })
 }
 
 // RMCStats snapshots the node's RMC counters.

@@ -1,13 +1,16 @@
-// Failover: fault containment on a soNUMA cluster. Unlike large-scale
-// shared physical memory, where "the failure of any one node can take down
-// the entire system by corrupting shared state" (§2.2), soNUMA's global
-// address space spans independent OS instances: a failed node surfaces as
-// error completions on in-flight operations plus a driver notification
-// (§5.1), and the survivors keep running.
+// Failover: fault containment and repair on a soNUMA cluster. Unlike
+// large-scale shared physical memory, where "the failure of any one node
+// can take down the entire system by corrupting shared state" (§2.2),
+// soNUMA's global address space spans independent OS instances: a failed
+// node surfaces as error completions on in-flight operations plus a driver
+// notification (§5.1), and the survivors keep running.
 //
 // This program replicates a small record across three storage nodes, kills
 // one mid-run, and shows the client failing over to a replica without the
-// cluster missing a beat.
+// cluster missing a beat. It then walks the repair half of the lifecycle:
+// the node is restored, the driver's restore notification fires, the
+// client re-replicates the state the node missed while it was down, and
+// the healed node serves reads again.
 //
 // Run with:
 //
@@ -38,11 +41,19 @@ func main() {
 		}
 	}
 
-	// The driver learns about fabric failures asynchronously (§5.1).
+	// The driver learns about fabric failures — and restores — through
+	// asynchronous notifications (§5.1).
 	failures := make(chan int, 4)
 	cluster.Node(0).OnFabricFailure(func(node int) {
 		select {
 		case failures <- node:
+		default:
+		}
+	})
+	restores := make(chan int, 4)
+	cluster.Node(0).OnFabricRestore(func(node int) {
+		select {
+		case restores <- node:
 		default:
 		}
 	})
@@ -120,4 +131,41 @@ func main() {
 	}
 	v, _ := ctxs[2].Memory().Load64(2048)
 	fmt.Printf("post-failure fetch-and-add on node 2: counter = %d (want 100)\n", v)
+
+	// While node 1 was down, the record moved on: write v2 to the
+	// surviving replicas. Node 1's copy is now stale — which is exactly
+	// why a restored node must be repaired before it serves again.
+	record2 := []byte("replicated-state-v2")
+	if err := buf.WriteAt(0, record2); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range replicas[1:] {
+		if err := qp.Write(r, 0, buf, 0, len(record2)); err != nil {
+			log.Fatalf("re-replicate to node %d: %v", r, err)
+		}
+	}
+
+	// Repair: the fabric restores connectivity only; the driver's restore
+	// notification is the application's cue to re-sync missed state (the
+	// kvs service automates this with anti-entropy repair — see
+	// internal/kvs and the -experiment kvs heal run).
+	fmt.Println("restoring node 1")
+	cluster.RestoreNode(1)
+	if n := <-restores; n != 1 {
+		log.Fatalf("driver notified of restore of node %d", n)
+	}
+	fmt.Println("driver notification received: node 1 is back — repairing it")
+	if err := qp.Write(1, 0, buf, 0, len(record2)); err != nil {
+		log.Fatalf("repairing node 1: %v", err)
+	}
+
+	// Node 1 is the preferred replica again and serves the CURRENT value.
+	got, from, err = readPreferred()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %q from node %d — failed, healed, repaired, rejoined\n", got, from)
+	if from != 1 || string(got) != string(record2) {
+		log.Fatalf("expected %q from node 1, got %q from node %d", record2, got, from)
+	}
 }

@@ -6,6 +6,7 @@ package sonuma_test
 // Run with -race in CI.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -249,5 +250,167 @@ func TestMessengerPeerLoss(t *testing.T) {
 	got, err := ms[1].Recv()
 	if err != nil || string(got.Data) != "alive" {
 		t.Fatalf("surviving recv: %q, %v", got.Data, err)
+	}
+}
+
+// msgFaultPair builds a 2-node cluster with a messenger on each node.
+func msgFaultPair(t *testing.T, mcfg sonuma.MessengerConfig) (*sonuma.Cluster, []*sonuma.Messenger) {
+	t.Helper()
+	const n = 2
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	segSize := sonuma.MessengerRegionSize(n, mcfg) + 4096
+	ms := make([]*sonuma.Messenger, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, segSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ctx.NewQP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, mcfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cl, ms
+}
+
+// TestMessengerChannelReset wedges the 0→1 channel with a link failure
+// mid-message, restores the link, and verifies the reset handshake brings
+// the channel back: the wedged message is discarded whole (no fragment is
+// ever delivered), post-heal sends flow in both directions, and a second
+// fail/heal cycle resets again.
+func TestMessengerChannelReset(t *testing.T) {
+	cl, ms := msgFaultPair(t, sonuma.MessengerConfig{RingSlots: 32, Threshold: sonuma.ThresholdAlwaysPush})
+
+	// Baseline exchange.
+	if err := ms[0].Send(1, []byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ms[1].Recv(); err != nil || string(m.Data) != "warmup" {
+		t.Fatalf("warmup recv: %q %v", m.Data, err)
+	}
+
+	for cycle := 0; cycle < 2; cycle++ {
+		cl.FailLink(0, 1)
+		// A multi-slot send over the dead link fails and wedges the
+		// channel.
+		lost := bytes.Repeat([]byte{0xBA}, 500)
+		err := ms[0].Send(1, lost)
+		if !sonuma.IsNodeFailure(err) {
+			t.Fatalf("cycle %d: send over dead link: %v, want node failure", cycle, err)
+		}
+		// Further sends fail fast while the peer is unreachable.
+		if err := ms[0].Send(1, []byte("still-down")); !sonuma.IsNodeFailure(err) {
+			t.Fatalf("cycle %d: send on wedged channel: %v, want node failure", cycle, err)
+		}
+
+		cl.RestoreLink(0, 1)
+		// The receiver must be pumping for the handshake to complete.
+		want := fmt.Sprintf("healed-%d-%s", cycle, bytes.Repeat([]byte{'x'}, 200))
+		recvDone := make(chan error, 1)
+		go func() {
+			m, err := ms[1].Recv()
+			if err == nil && string(m.Data) != want {
+				err = fmt.Errorf("post-heal recv %q (len %d), want %q", m.Data[:min(len(m.Data), 32)], len(m.Data), want[:32])
+			}
+			recvDone <- err
+		}()
+		if err := ms[0].Send(1, []byte(want)); err != nil {
+			t.Fatalf("cycle %d: send after heal: %v", cycle, err)
+		}
+		if err := <-recvDone; err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		// Reverse direction was never wedged and still works.
+		if err := ms[1].Send(0, []byte("reverse")); err != nil {
+			t.Fatalf("cycle %d: reverse send: %v", cycle, err)
+		}
+		if m, err := ms[0].Recv(); err != nil || string(m.Data) != "reverse" {
+			t.Fatalf("cycle %d: reverse recv: %q %v", cycle, m.Data, err)
+		}
+	}
+	if ms[0].Resets != 2 {
+		t.Fatalf("sender performed %d channel resets, want 2", ms[0].Resets)
+	}
+}
+
+// TestMessengerResetNoStitching streams large multi-slot pushed messages,
+// cuts the link mid-stream (so a message can be dropped with some of its
+// lines already landed), heals, and resumes. Every delivered message must
+// be internally consistent — one uniform pattern byte, full length — and
+// the post-heal sentinel must arrive: a fragment of the interrupted
+// message stitched onto a post-reset one would show up as a mixed pattern.
+func TestMessengerResetNoStitching(t *testing.T) {
+	cl, ms := msgFaultPair(t, sonuma.MessengerConfig{RingSlots: 64, Threshold: sonuma.ThresholdAlwaysPush})
+
+	const msgSize = 3000 // ~54 ring slots: several fabric batches per send
+	payload := func(pat byte) []byte { return bytes.Repeat([]byte{pat}, msgSize) }
+
+	sendErr := make(chan error, 1)
+	go func() {
+		// Stream until the link failure wedges the channel.
+		for i := 0; ; i++ {
+			if err := ms[0].Send(1, payload(byte('a'+i%16))); err != nil {
+				if sonuma.IsNodeFailure(err) {
+					sendErr <- nil
+				} else {
+					sendErr <- err
+				}
+				return
+			}
+		}
+	}()
+
+	// Consume a few messages, then cut the link mid-stream.
+	seen := 0
+	for seen < 4 {
+		m, err := ms[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkUniform(t, m.Data, msgSize)
+		seen++
+	}
+	cl.FailLink(0, 1)
+	if err := <-sendErr; err != nil {
+		t.Fatalf("streaming sender: %v", err)
+	}
+	cl.RestoreLink(0, 1)
+
+	// Post-heal sentinel with a pattern the stream never used.
+	done := make(chan error, 1)
+	go func() { done <- ms[0].Send(1, payload(0xEE)) }()
+	for {
+		m, err := ms[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkUniform(t, m.Data, msgSize)
+		if m.Data[0] == 0xEE {
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+}
+
+// checkUniform asserts a delivered message is whole: exactly size bytes,
+// all carrying one pattern byte.
+func checkUniform(t *testing.T, data []byte, size int) {
+	t.Helper()
+	if len(data) != size {
+		t.Fatalf("message length %d, want %d (partial delivery?)", len(data), size)
+	}
+	for i, b := range data {
+		if b != data[0] {
+			t.Fatalf("byte %d = %#x, first byte %#x: stitched fragments", i, b, data[0])
+		}
 	}
 }

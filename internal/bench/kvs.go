@@ -69,6 +69,35 @@ type KVSFailoverStat struct {
 	OpsPerSec  float64 `json:"ops_per_sec"`
 }
 
+// KVSHealStat records the kill → heal → converge run: a primary's links
+// are all cut at one third of the load and restored at two thirds, the mix
+// keeps running across the whole outage, and the run passes only if every
+// operation eventually completes, the victim is repaired and re-admitted
+// everywhere, the rejoined replica serves one-sided GETs again, and all
+// replicas of every key are byte-identical afterwards.
+type KVSHealStat struct {
+	Workload   string `json:"workload"`
+	Dist       string `json:"dist"`
+	FailedNode int    `json:"failed_node"` // primary cut at 1/3, healed at 2/3
+	Ops        int    `json:"ops"`         // operations attempted
+	Completed  int    `json:"completed"`   // operations that eventually succeeded
+	Retried    int    `json:"retried"`     // per-op retries spent on the outage
+	// RepairMs measures RestoreLink → every store (victim included)
+	// publishing a clear down view: detection, anti-entropy streaming,
+	// and re-admission.
+	RepairMs      float64 `json:"repair_ms"`
+	RepairedSlots uint64  `json:"repaired_slots"` // slot diffs streamed by repairers
+	RepairBytes   uint64  `json:"repair_bytes"`   // messenger bytes spent on diffs
+	Rejoins       uint64  `json:"rejoins"`        // peer re-admissions recorded
+	// VictimServes is true when the rejoined replica answered a direct
+	// one-sided GET with the current value after convergence.
+	VictimServes bool `json:"victim_serves_gets"`
+	// ReplicasIdentical is true when every replica of every key returned
+	// byte-identical values after convergence.
+	ReplicasIdentical bool    `json:"replicas_identical"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+}
+
 // KVSData is the full measurement set of the kvs experiment.
 type KVSData struct {
 	GeneratedAt string           `json:"generated_at"`
@@ -78,6 +107,7 @@ type KVSData struct {
 	Keys        int              `json:"keys"`
 	Results     []KVSStat        `json:"results"`
 	Failover    *KVSFailoverStat `json:"failover,omitempty"`
+	Heal        *KVSHealStat     `json:"heal,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -313,11 +343,9 @@ func (svc *kvsService) clientMix(ci int, w kvsWorkload, dist string, valueSize, 
 	return lat, nil
 }
 
-// runFailover drives a read-mostly zipfian mix and cuts every link of a
-// busy primary at the halfway mark. Clients retry failed operations until
-// they complete; the run passes only if every operation eventually does.
-func (svc *kvsService) runFailover(totalOps, getBurst, valueSize int) (*KVSFailoverStat, error) {
-	// Victim: the non-client-0 node leading the most shards.
+// busiestPrimary picks the non-zero node leading the most shards — the
+// most disruptive victim for fault runs.
+func (svc *kvsService) busiestPrimary() int {
 	ring := svc.stores[0].Ring()
 	leads := make([]int, svc.n)
 	for s := 0; s < ring.Shards(); s++ {
@@ -329,6 +357,14 @@ func (svc *kvsService) runFailover(totalOps, getBurst, valueSize int) (*KVSFailo
 			victim = n
 		}
 	}
+	return victim
+}
+
+// runFailover drives a read-mostly zipfian mix and cuts every link of a
+// busy primary at the halfway mark. Clients retry failed operations until
+// they complete; the run passes only if every operation eventually does.
+func (svc *kvsService) runFailover(totalOps, getBurst, valueSize int) (*KVSFailoverStat, error) {
+	victim := svc.busiestPrimary()
 
 	// Clients run everywhere except the victim.
 	workers := make([]int, 0, svc.n-1)
@@ -430,8 +466,191 @@ func (svc *kvsService) runFailover(totalOps, getBurst, valueSize int) (*KVSFailo
 	}, nil
 }
 
+// runHeal drives a read-mostly zipfian mix across the full failure
+// lifecycle: every link of a busy primary is cut when a third of the load
+// has completed and restored at two thirds. Operations retry until they
+// succeed; after the load drains, the run waits for the cluster to
+// converge (every store's down view clear), then audits the repair: the
+// rejoined replica must serve a direct one-sided GET with current data,
+// and every replica of every key must be byte-identical.
+func (svc *kvsService) runHeal(totalOps, getBurst, valueSize int) (*KVSHealStat, error) {
+	victim := svc.busiestPrimary()
+	workers := make([]int, 0, svc.n-1)
+	for i := 0; i < svc.n; i++ {
+		if i != victim {
+			workers = append(workers, i)
+		}
+	}
+	perClient := totalOps / len(workers)
+	var completed, retried atomic.Int64
+	third := int64(perClient*len(workers)) / 3
+	failWire := make(chan struct{})
+	healWire := make(chan struct{})
+	var failOnce, healOnce sync.Once
+
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi, ci := range workers {
+		wi, ci := wi, ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := svc.clients[ci]
+			picker := newPicker("zipfian", len(svc.keys), uint64(ci)*17+3)
+			opRNG := stats.NewRNG(uint64(ci) ^ 0x4ea1)
+			gen := 0
+			for i := 0; i < perClient; i++ {
+				key := svc.keys[picker.next()]
+				isRead := opRNG.Intn(100) < 95
+				var lastErr error
+				ok := false
+				for attempt := 0; attempt < 200; attempt++ {
+					if isRead {
+						_, err := client.Get(key)
+						if err == nil || errors.Is(err, kvs.ErrNotFound) {
+							ok = true
+						} else {
+							lastErr = err
+						}
+					} else {
+						gen++
+						if err := client.Put(key, benchValue(valueSize, gen)); err == nil {
+							ok = true
+						} else {
+							lastErr = err
+						}
+					}
+					if ok {
+						break
+					}
+					retried.Add(1)
+				}
+				if !ok {
+					errs[wi] = fmt.Errorf("op on %q never completed across the outage: %w", key, lastErr)
+					return
+				}
+				switch completed.Add(1) {
+				case third:
+					failOnce.Do(func() { close(failWire) })
+				case 2 * third:
+					healOnce.Do(func() { close(healWire) })
+				}
+			}
+		}()
+	}
+
+	// The fault injector: cut at 1/3, heal at 2/3, then time convergence
+	// (restore → every store publishing a clear down view).
+	var restoredAt, convergedAt time.Time
+	var convergeErr error
+	faultDone := make(chan struct{})
+	go func() {
+		defer close(faultDone)
+		<-failWire
+		for i := 0; i < svc.n; i++ {
+			if i != victim {
+				svc.cluster.FailLink(victim, i)
+			}
+		}
+		<-healWire
+		restoredAt = time.Now()
+		for i := 0; i < svc.n; i++ {
+			if i != victim {
+				svc.cluster.RestoreLink(victim, i)
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			clear := true
+			for _, s := range svc.stores {
+				for p, d := range s.DownView() {
+					if d && p != s.NodeID() {
+						clear = false
+					}
+				}
+			}
+			if clear {
+				convergedAt = time.Now()
+				return
+			}
+			if time.Now().After(deadline) {
+				convergeErr = fmt.Errorf("cluster did not converge within %s of RestoreLink", time.Since(restoredAt))
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	failOnce.Do(func() { close(failWire) }) // release the injector
+	healOnce.Do(func() { close(healWire) })
+	<-faultDone
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if convergeErr != nil {
+		return nil, convergeErr
+	}
+
+	// Audit: replicas byte-identical, and the victim serving one-sided
+	// GETs with current data. The audit client runs on node 0 and reads
+	// every replica directly.
+	audit := svc.clients[0]
+	ring := svc.stores[0].Ring()
+	victimServes := false
+	for _, key := range svc.keys {
+		owners := ring.Owners(ring.ShardOf(key))
+		var ref []byte
+		var refSet bool
+		for _, o := range owners {
+			val, err := audit.GetReplica(o, key)
+			if err != nil && !errors.Is(err, kvs.ErrNotFound) {
+				return nil, fmt.Errorf("post-heal GetReplica(%d, %q): %w", o, key, err)
+			}
+			if !refSet {
+				ref, refSet = val, true
+			} else if string(ref) != string(val) {
+				return nil, fmt.Errorf("replica divergence on %q: node %d disagrees with its peers", key, o)
+			}
+			if o == victim && err == nil {
+				victimServes = true
+			}
+		}
+	}
+	if !victimServes {
+		return nil, fmt.Errorf("rejoined node %d never served a one-sided GET", victim)
+	}
+
+	var repairedSlots, repairBytes, rejoins uint64
+	for _, s := range svc.stores {
+		st := s.Stats()
+		repairedSlots += st.RepairedSlots
+		repairBytes += st.RepairBytes
+		rejoins += st.Rejoins
+	}
+	return &KVSHealStat{
+		Workload:          "B",
+		Dist:              "zipfian",
+		FailedNode:        victim,
+		Ops:               perClient * len(workers),
+		Completed:         int(completed.Load()),
+		Retried:           int(retried.Load()),
+		RepairMs:          convergedAt.Sub(restoredAt).Seconds() * 1e3,
+		RepairedSlots:     repairedSlots,
+		RepairBytes:       repairBytes,
+		Rejoins:           rejoins,
+		VictimServes:      true,
+		ReplicasIdentical: true,
+		OpsPerSec:         float64(completed.Load()) / elapsed,
+	}, nil
+}
+
 // KVS measures the sharded KV service: the YCSB A/B/C mixes over zipfian
-// and uniform key distributions, a larger-value row, and the failover run.
+// and uniform key distributions, a larger-value row, the failover run, and
+// the kill → heal → converge run.
 func KVS(o Options) (KVSData, error) {
 	const (
 		nodes    = 4
@@ -499,6 +718,21 @@ func KVS(o Options) (KVSData, error) {
 	if d.Failover, err = fsvc.runFailover(o.ops(8000, 1200), getBurst, 64); err != nil {
 		return d, fmt.Errorf("failover run: %w", err)
 	}
+
+	// The heal run gets a fresh cluster too: it exercises the full
+	// fail → evict → restore → repair → rejoin lifecycle and audits
+	// convergence, so it must start from an intact fabric.
+	hsvc, err := startKVS(nodes, shards, replicas, buckets, slotSize, keyCount)
+	if err != nil {
+		return d, err
+	}
+	defer hsvc.close()
+	if err := hsvc.preload(64); err != nil {
+		return d, err
+	}
+	if d.Heal, err = hsvc.runHeal(o.ops(8000, 1200), getBurst, 64); err != nil {
+		return d, fmt.Errorf("heal run: %w", err)
+	}
 	return d, nil
 }
 
@@ -539,6 +773,24 @@ func (d KVSData) Tables() []*stats.Table {
 			fmt.Sprintf("%d", f.Promotions),
 			fmt.Sprintf("%.0f", f.OpsPerSec))
 		out = append(out, ft)
+	}
+	if h := d.Heal; h != nil {
+		ht := stats.NewTable("KV heal (links cut at 1/3 of load, restored at 2/3; anti-entropy rejoin)",
+			"mix", "dist", "failed node", "ops", "completed", "retries",
+			"repair ms", "slots repaired", "repair bytes", "rejoins", "victim serves", "replicas identical", "ops/sec")
+		ht.AddRow(h.Workload, h.Dist,
+			fmt.Sprintf("%d", h.FailedNode),
+			fmt.Sprintf("%d", h.Ops),
+			fmt.Sprintf("%d", h.Completed),
+			fmt.Sprintf("%d", h.Retried),
+			fmt.Sprintf("%.1f", h.RepairMs),
+			fmt.Sprintf("%d", h.RepairedSlots),
+			fmt.Sprintf("%d", h.RepairBytes),
+			fmt.Sprintf("%d", h.Rejoins),
+			fmt.Sprintf("%v", h.VictimServes),
+			fmt.Sprintf("%v", h.ReplicasIdentical),
+			fmt.Sprintf("%.0f", h.OpsPerSec))
+		out = append(out, ht)
 	}
 	return out
 }

@@ -175,13 +175,15 @@ type ittEntry struct {
 	linkEpoch uint64 // fabric link-failure epoch at issue time
 }
 
-// ctrlEvent is a fabric failure notification delivered to the RGP/RCP
-// pipeline: a failed node, or a failed link (isLink set, epoch valid).
+// ctrlEvent is a fabric health notification delivered to the RGP/RCP
+// pipeline: a failed or restored node, or a failed or restored link
+// (isLink set, epoch valid).
 type ctrlEvent struct {
-	node   core.NodeID
-	linkTo core.NodeID
-	isLink bool
-	epoch  uint64
+	node    core.NodeID
+	linkTo  core.NodeID
+	isLink  bool
+	restore bool
+	epoch   uint64
 }
 
 // RMC is the emulated remote memory controller for one node: the Context
@@ -223,7 +225,21 @@ type RMC struct {
 
 	cbMu          sync.Mutex
 	onFailure     []func(core.NodeID)
+	onRestore     []func(core.NodeID)
 	onLinkFailure []func(a, b core.NodeID)
+	onLinkRestore []func(a, b core.NodeID)
+
+	// linkSeen/nodeSeen record, per undirected link and per node, the
+	// highest event epoch whose callbacks this RMC has delivered. Fabric
+	// watchers fire asynchronously, so a Fail/Restore pair racing through
+	// the control channel can arrive out of order; callbacks for an event
+	// older than one already delivered for the same link or node are
+	// suppressed so services always observe the final state last. (ITT
+	// flushes are NOT suppressed — a stale failure still identifies
+	// transactions whose replies were dropped during the outage window.)
+	// Pipeline-goroutine state; no lock.
+	linkSeen map[[2]core.NodeID]uint64
+	nodeSeen map[core.NodeID]uint64
 
 	Stats Stats
 }
@@ -245,21 +261,35 @@ func NewRMC(id core.NodeID, ic *fabric.Interconnect, cfg Config) *RMC {
 		doorbell:  make(chan struct{}, 1),
 		control:   make(chan ctrlEvent, 16),
 		stopped:   make(chan struct{}),
+		linkSeen:  make(map[[2]core.NodeID]uint64),
+		nodeSeen:  make(map[core.NodeID]uint64),
 	}
 	for i := cfg.ITTEntries - 1; i >= 0; i-- {
 		r.ittFree = append(r.ittFree, uint16(i))
 	}
 	empty := []*QPState{}
 	r.qps.Store(&empty)
-	ic.Watch(func(failed core.NodeID) {
+	ic.Watch(func(failed core.NodeID, epoch uint64) {
 		select {
-		case r.control <- ctrlEvent{node: failed}:
+		case r.control <- ctrlEvent{node: failed, epoch: epoch}:
+		case <-ic.Done():
+		}
+	})
+	ic.WatchRestore(func(restored core.NodeID, epoch uint64) {
+		select {
+		case r.control <- ctrlEvent{node: restored, restore: true, epoch: epoch}:
 		case <-ic.Done():
 		}
 	})
 	ic.WatchLink(func(a, b core.NodeID, epoch uint64) {
 		select {
 		case r.control <- ctrlEvent{node: a, linkTo: b, isLink: true, epoch: epoch}:
+		case <-ic.Done():
+		}
+	})
+	ic.WatchLinkRestore(func(a, b core.NodeID, epoch uint64) {
+		select {
+		case r.control <- ctrlEvent{node: a, linkTo: b, isLink: true, restore: true, epoch: epoch}:
 		case <-ic.Done():
 		}
 	})
@@ -282,6 +312,16 @@ func (r *RMC) OnFailure(fn func(core.NodeID)) {
 	r.cbMu.Unlock()
 }
 
+// OnRestore registers a driver node-restore callback — the symmetric half
+// of OnFailure, invoked when the fabric reports a previously failed node
+// restored. Callbacks accumulate and run on the RMC pipeline goroutine
+// without blocking.
+func (r *RMC) OnRestore(fn func(core.NodeID)) {
+	r.cbMu.Lock()
+	r.onRestore = append(r.onRestore, fn)
+	r.cbMu.Unlock()
+}
+
 // OnLinkFailure registers a driver link-failure callback, invoked after
 // the RMC has flushed the in-flight transactions stranded by a failed link
 // a↔b. Like OnFailure, callbacks accumulate and run on the RMC pipeline
@@ -293,13 +333,33 @@ func (r *RMC) OnLinkFailure(fn func(a, b core.NodeID)) {
 	r.cbMu.Unlock()
 }
 
-// failureCallbacks snapshots the registered callback lists for invocation
-// outside the lock.
-func (r *RMC) failureCallbacks() ([]func(core.NodeID), []func(a, b core.NodeID)) {
+// OnLinkRestore registers a driver link-restore callback — the symmetric
+// half of OnLinkFailure. Delivery is epoch-ordered per link: if a failure
+// and a restore of the same link race through the asynchronous
+// notification path, the callback for the older event is suppressed, so
+// a service always hears about the link's final state last.
+func (r *RMC) OnLinkRestore(fn func(a, b core.NodeID)) {
+	r.cbMu.Lock()
+	r.onLinkRestore = append(r.onLinkRestore, fn)
+	r.cbMu.Unlock()
+}
+
+// nodeCallbacks snapshots the registered node failure/restore callback
+// lists for invocation outside the lock.
+func (r *RMC) nodeCallbacks() ([]func(core.NodeID), []func(core.NodeID)) {
 	r.cbMu.Lock()
 	defer r.cbMu.Unlock()
 	return append([]func(core.NodeID){}, r.onFailure...),
-		append([]func(a, b core.NodeID){}, r.onLinkFailure...)
+		append([]func(core.NodeID){}, r.onRestore...)
+}
+
+// linkCallbacks snapshots the registered link failure/restore callback
+// lists for invocation outside the lock.
+func (r *RMC) linkCallbacks() ([]func(a, b core.NodeID), []func(a, b core.NodeID)) {
+	r.cbMu.Lock()
+	defer r.cbMu.Unlock()
+	return append([]func(a, b core.NodeID){}, r.onLinkFailure...),
+		append([]func(a, b core.NodeID){}, r.onLinkRestore...)
 }
 
 // OpenContext registers a context segment of size bytes under ctx id,
@@ -667,24 +727,89 @@ func (r *RMC) failITT(idx uint16, status core.Status) {
 	r.complete(qp, wqIdx, status)
 }
 
-// handleControl dispatches a fabric failure notification.
+// handleControl dispatches a fabric health notification.
 func (r *RMC) handleControl(ev ctrlEvent) {
 	if ev.isLink {
-		r.flushLink(ev.node, ev.linkTo, ev.epoch)
+		if ev.restore {
+			r.deliverLinkRestore(ev.node, ev.linkTo, ev.epoch)
+		} else {
+			r.flushLink(ev.node, ev.linkTo, ev.epoch)
+		}
 		return
 	}
-	r.flushFailed(ev.node)
+	if ev.restore {
+		if !r.deliverNodeCallbacks(ev.node, ev.epoch) {
+			return
+		}
+		_, cbs := r.nodeCallbacks()
+		for _, fn := range cbs {
+			fn(ev.node)
+		}
+		return
+	}
+	r.flushFailed(ev.node, ev.epoch)
+}
+
+// deliverNodeCallbacks reports whether callbacks for a node event at epoch
+// should run, recording the epoch as delivered when they should — the
+// node-level twin of deliverCallbacks.
+func (r *RMC) deliverNodeCallbacks(id core.NodeID, epoch uint64) bool {
+	if epoch <= r.nodeSeen[id] {
+		return false
+	}
+	r.nodeSeen[id] = epoch
+	return true
+}
+
+// linkKey normalizes an undirected link for the linkSeen map.
+func linkKey(a, b core.NodeID) [2]core.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]core.NodeID{a, b}
+}
+
+// deliverCallbacks reports whether callbacks for a link event at epoch
+// should run, recording the epoch as delivered when they should. An event
+// older than one already delivered for the same link is stale: a racing
+// newer Fail/Restore of that link overtook it in the notification path.
+func (r *RMC) deliverCallbacks(a, b core.NodeID, epoch uint64) bool {
+	k := linkKey(a, b)
+	if epoch <= r.linkSeen[k] {
+		return false
+	}
+	r.linkSeen[k] = epoch
+	return true
+}
+
+// deliverLinkRestore runs the link-restore callbacks for a↔b, unless a
+// newer event for the same link was already delivered. Restores flush
+// nothing: no in-flight transaction is endangered by a link coming back.
+func (r *RMC) deliverLinkRestore(a, b core.NodeID, epoch uint64) {
+	if !r.deliverCallbacks(a, b, epoch) {
+		return
+	}
+	_, cbs := r.linkCallbacks()
+	for _, fn := range cbs {
+		fn(a, b)
+	}
 }
 
 // flushFailed completes every in-flight transaction addressed to a failed
-// node with StatusNodeFailure and notifies the driver.
-func (r *RMC) flushFailed(failed core.NodeID) {
+// node with StatusNodeFailure and notifies the driver. The ITT flush runs
+// even for a stale event (transactions issued before the failure lost
+// their replies regardless of a racing restore); only the driver
+// callbacks are epoch-gated.
+func (r *RMC) flushFailed(failed core.NodeID, epoch uint64) {
 	for i := range r.itt {
 		if r.itt[i].active && r.itt[i].node == failed {
 			r.failITT(uint16(i), core.StatusNodeFailure)
 		}
 	}
-	cbs, _ := r.failureCallbacks()
+	if !r.deliverNodeCallbacks(failed, epoch) {
+		return
+	}
+	cbs, _ := r.nodeCallbacks()
 	for _, fn := range cbs {
 		fn(failed)
 	}
@@ -713,7 +838,10 @@ func (r *RMC) flushLink(a, b core.NodeID, epoch uint64) {
 			r.failITT(uint16(i), core.StatusNodeFailure)
 		}
 	}
-	_, cbs := r.failureCallbacks()
+	if !r.deliverCallbacks(a, b, epoch) {
+		return
+	}
+	cbs, _ := r.linkCallbacks()
 	for _, fn := range cbs {
 		fn(a, b)
 	}

@@ -225,7 +225,7 @@ func TestNodeFailure(t *testing.T) {
 	ic := NewInterconnect(NewCrossbar(4), 4)
 	defer ic.Close()
 	notified := make(chan core.NodeID, 1)
-	ic.Watch(func(id core.NodeID) { notified <- id })
+	ic.Watch(func(id core.NodeID, _ uint64) { notified <- id })
 	ic.FailNode(2)
 	if err := ic.Send(mkPkt(0, 2, proto.KindRequest)); err != ErrDown {
 		t.Fatalf("send to failed node: %v", err)
@@ -322,5 +322,80 @@ func TestLaneForMatchesSend(t *testing.T) {
 	ic.FailNode(1)
 	if _, err := ic.LaneFor(proto.KindRequest, 0, 1); err != ErrDown {
 		t.Fatalf("LaneFor to failed node: %v", err)
+	}
+}
+
+// TestRestoreWatchers verifies the restore half of the watcher API: link
+// and node restores notify their watchers, share the link-event epoch
+// counter with failures (so a Fail/Restore pair is totally ordered), and a
+// restore of a healthy link or node notifies nobody.
+func TestRestoreWatchers(t *testing.T) {
+	ic := NewInterconnect(NewCrossbar(3), 2)
+	defer ic.Close()
+
+	type linkEv struct {
+		a, b  core.NodeID
+		epoch uint64
+	}
+	linkFail := make(chan linkEv, 4)
+	linkRestore := make(chan linkEv, 4)
+	nodeRestore := make(chan core.NodeID, 4)
+	ic.WatchLink(func(a, b core.NodeID, e uint64) { linkFail <- linkEv{a, b, e} })
+	ic.WatchLinkRestore(func(a, b core.NodeID, e uint64) { linkRestore <- linkEv{a, b, e} })
+	nodeEpochs := make(chan uint64, 4)
+	ic.Watch(func(id core.NodeID, e uint64) { nodeEpochs <- e })
+	ic.WatchRestore(func(id core.NodeID, e uint64) {
+		nodeRestore <- id
+		nodeEpochs <- e
+	})
+
+	ic.FailLink(0, 1)
+	fe := <-linkFail
+	ic.RestoreLink(0, 1)
+	re := <-linkRestore
+	if re.a != 0 || re.b != 1 {
+		t.Fatalf("restore event for link %d-%d, want 0-1", re.a, re.b)
+	}
+	if re.epoch <= fe.epoch {
+		t.Fatalf("restore epoch %d not after failure epoch %d", re.epoch, fe.epoch)
+	}
+	if !ic.Reachable(0, 1) {
+		t.Fatal("pair unreachable after RestoreLink")
+	}
+
+	// Restoring a healthy link is a no-op: no event, no epoch bump.
+	before := ic.LinkEpoch()
+	ic.RestoreLink(0, 1)
+	if ic.LinkEpoch() != before {
+		t.Fatal("RestoreLink of a healthy link bumped the epoch")
+	}
+	select {
+	case ev := <-linkRestore:
+		t.Fatalf("spurious restore event %v for a healthy link", ev)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	ic.FailNode(2)
+	if !ic.NodeDown(2) {
+		t.Fatal("node 2 not down after FailNode")
+	}
+	ic.RestoreNode(2)
+	if id := <-nodeRestore; id != 2 {
+		t.Fatalf("node restore event for %d, want 2", id)
+	}
+	if ic.NodeDown(2) || !ic.Reachable(0, 2) {
+		t.Fatal("node 2 still down after RestoreNode")
+	}
+	// Node fail and restore share one epoch counter: the two stamps must
+	// be distinct and nonzero, so a racing pair is always orderable.
+	ne1, ne2 := <-nodeEpochs, <-nodeEpochs
+	if ne1 == ne2 || ne1 == 0 || ne2 == 0 {
+		t.Fatalf("node event epochs %d/%d not orderable", ne1, ne2)
+	}
+	ic.RestoreNode(2) // healthy node: no event
+	select {
+	case id := <-nodeRestore:
+		t.Fatalf("spurious node restore event %d", id)
+	case <-time.After(10 * time.Millisecond):
 	}
 }

@@ -48,11 +48,14 @@ type Interconnect struct {
 	closed atomic.Bool
 	done   chan struct{}
 
-	mu           sync.Mutex
-	linkDown     map[Link]bool
-	watchers     []func(core.NodeID)
-	linkWatchers []func(a, b core.NodeID, epoch uint64)
-	linkEpoch    atomic.Uint64 // bumped by every FailLink
+	mu                  sync.Mutex
+	linkDown            map[Link]bool
+	watchers            []func(id core.NodeID, epoch uint64)
+	restoreWatchers     []func(id core.NodeID, epoch uint64)
+	linkWatchers        []func(a, b core.NodeID, epoch uint64)
+	linkRestoreWatchers []func(a, b core.NodeID, epoch uint64)
+	linkEpoch           atomic.Uint64 // bumped by every FailLink and RestoreLink
+	nodeEpoch           atomic.Uint64 // bumped by every FailNode and RestoreNode
 
 	// Counters for fabric statistics.
 	ReqSent     atomic.Uint64 // request packets
@@ -235,12 +238,26 @@ func (ic *Interconnect) Replies(node core.NodeID) <-chan *proto.Batch {
 	return ic.rpl[node]
 }
 
-// Watch registers a callback invoked (asynchronously, once per failure) when
-// a node fails; the RMC uses it to flush in-flight transactions targeting
-// the failed node with StatusNodeFailure.
-func (ic *Interconnect) Watch(fn func(core.NodeID)) {
+// Watch registers a callback invoked (asynchronously, once per failure)
+// when a node fails; the RMC uses it to flush in-flight transactions
+// targeting the failed node with StatusNodeFailure. Node fail and restore
+// events share one epoch counter, bumped under the state flip, so a
+// racing FailNode/RestoreNode pair can always be ordered by comparing
+// epochs even when the asynchronous notifications arrive out of order.
+func (ic *Interconnect) Watch(fn func(id core.NodeID, epoch uint64)) {
 	ic.mu.Lock()
 	ic.watchers = append(ic.watchers, fn)
+	ic.mu.Unlock()
+}
+
+// WatchRestore registers a callback invoked (asynchronously) when a
+// previously failed node is restored with RestoreNode. Symmetric to Watch
+// and stamped from the same node-event epoch counter; services use it to
+// begin re-admitting the peer (typically after an anti-entropy repair
+// pass).
+func (ic *Interconnect) WatchRestore(fn func(id core.NodeID, epoch uint64)) {
+	ic.mu.Lock()
+	ic.restoreWatchers = append(ic.restoreWatchers, fn)
 	ic.mu.Unlock()
 }
 
@@ -255,28 +272,46 @@ func (ic *Interconnect) WatchLink(fn func(a, b core.NodeID, epoch uint64)) {
 	ic.mu.Unlock()
 }
 
-// LinkEpoch reports the current link-failure epoch. RMCs stamp each
-// transaction with it at issue time so an asynchronously delivered failure
-// notification can distinguish transactions issued before the failure
-// (whose replies may have been dropped) from ones issued after a racing
-// RestoreLink (which must not be flushed).
+// WatchLinkRestore registers a callback invoked (asynchronously) when a
+// link is restored with RestoreLink — the symmetric half of WatchLink.
+// Fail and restore events share one epoch counter, bumped under the same
+// lock that flips the link state, so a racing Fail/Restore pair can always
+// be ordered by comparing epochs even when the asynchronous notifications
+// arrive out of order.
+func (ic *Interconnect) WatchLinkRestore(fn func(a, b core.NodeID, epoch uint64)) {
+	ic.mu.Lock()
+	ic.linkRestoreWatchers = append(ic.linkRestoreWatchers, fn)
+	ic.mu.Unlock()
+}
+
+// LinkEpoch reports the current link-event epoch (bumped by every FailLink
+// and RestoreLink). RMCs stamp each transaction with it at issue time so an
+// asynchronously delivered failure notification can distinguish
+// transactions issued before the failure (whose replies may have been
+// dropped) from ones issued after a racing RestoreLink (which must not be
+// flushed).
 func (ic *Interconnect) LinkEpoch() uint64 { return ic.linkEpoch.Load() }
 
 // FailNode marks a node down. In-flight packets to it are dropped (the
 // channel is drained), and watchers are notified.
 func (ic *Interconnect) FailNode(id core.NodeID) {
-	if int(id) >= ic.n || ic.down[id].Swap(true) {
+	if int(id) >= ic.n {
 		return
 	}
+	ic.mu.Lock()
+	if ic.down[id].Swap(true) {
+		ic.mu.Unlock()
+		return
+	}
+	epoch := ic.nodeEpoch.Add(1)
+	ws := append([]func(core.NodeID, uint64){}, ic.watchers...)
+	ic.mu.Unlock()
 	// Drain pending traffic so no reply is ever generated, matching a
 	// node that lost power: requests in its queues vanish.
 	ic.drain(ic.req[int(id)])
 	ic.drain(ic.rpl[int(id)])
-	ic.mu.Lock()
-	ws := append([]func(core.NodeID){}, ic.watchers...)
-	ic.mu.Unlock()
 	for _, w := range ws {
-		go w(id)
+		go w(id, epoch)
 	}
 }
 
@@ -288,6 +323,27 @@ func (ic *Interconnect) drain(ch chan *proto.Batch) {
 		default:
 			return
 		}
+	}
+}
+
+// RestoreNode brings a previously failed node back onto the fabric. Its
+// queues start empty (FailNode drained them) and restore watchers are
+// notified; state the node held before the failure is the application's
+// problem — the fabric only restores connectivity.
+func (ic *Interconnect) RestoreNode(id core.NodeID) {
+	if int(id) >= ic.n {
+		return
+	}
+	ic.mu.Lock()
+	if !ic.down[id].Swap(false) {
+		ic.mu.Unlock()
+		return
+	}
+	epoch := ic.nodeEpoch.Add(1)
+	ws := append([]func(core.NodeID, uint64){}, ic.restoreWatchers...)
+	ic.mu.Unlock()
+	for _, w := range ws {
+		go w(id, epoch)
 	}
 }
 
@@ -330,12 +386,25 @@ func (ic *Interconnect) FailLink(a, b core.NodeID) {
 	}
 }
 
-// RestoreLink brings a previously failed link back up.
+// RestoreLink brings a previously failed link back up. Like FailLink it
+// bumps the shared link epoch after flipping the state and notifies the
+// link-restore watchers with that epoch, so downstream consumers can order
+// a racing Fail/Restore pair correctly. Restoring a link that was never
+// failed is a no-op.
 func (ic *Interconnect) RestoreLink(a, b core.NodeID) {
 	ic.mu.Lock()
+	if !ic.linkDown[Link{From: a, To: b}] && !ic.linkDown[Link{From: b, To: a}] {
+		ic.mu.Unlock()
+		return
+	}
 	delete(ic.linkDown, Link{From: a, To: b})
 	delete(ic.linkDown, Link{From: b, To: a})
+	epoch := ic.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, ic.linkRestoreWatchers...)
 	ic.mu.Unlock()
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
 }
 
 // Close shuts the fabric down, releasing blocked senders and signalling

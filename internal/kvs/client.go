@@ -2,6 +2,7 @@ package kvs
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 
 	"sonuma"
@@ -55,8 +56,8 @@ func (s *Store) NewClient() (*Client, error) {
 	// header — the same mechanism every later GET uses. Any shard led by
 	// another node will do; only a single-node cluster has none.
 	probe := -1
-	for shard := 0; shard < s.ring.Shards() && probe < 0; shard++ {
-		for _, o := range s.ring.Owners(shard) {
+	for shard := 0; shard < s.ring().Shards() && probe < 0; shard++ {
+		for _, o := range s.ring().ownersShared(shard) {
 			if o != s.me {
 				probe = o
 				break
@@ -89,7 +90,7 @@ func (c *Client) Put(key, value []byte) error {
 	if entryHdr+len(key)+len(value) > s.cfg.SlotSize {
 		return ErrTooLarge
 	}
-	req := &putReq{key: key, value: value, shard: s.ring.ShardOf(key), resp: c.resp}
+	req := &putReq{key: key, value: value, shard: s.ring().ShardOf(key), resp: c.resp}
 	return s.put(req)
 }
 
@@ -99,8 +100,8 @@ func (c *Client) Put(key, value []byte) error {
 // checksum, and re-read while torn. No code runs on the serving node.
 func (c *Client) Get(key []byte) ([]byte, error) {
 	s := c.store
-	shard := s.ring.ShardOf(key)
-	owners := s.ring.Owners(shard)
+	shard := s.ring().ShardOf(key)
+	owners := s.ring().ownersShared(shard)
 	down := s.downSnapshot()
 	var lastErr error
 	tried := false
@@ -130,6 +131,19 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 		return nil, ErrNoReplica
 	}
 	return nil, lastErr
+}
+
+// GetReplica fetches a key from one specific replica with the same
+// one-sided probe/retry loop Get uses, ignoring failover routing. Intended
+// for convergence checks (is this rejoined replica serving? are replicas
+// byte-identical?) and repair tooling; normal reads should use Get, which
+// picks a reachable replica automatically.
+func (c *Client) GetReplica(node int, key []byte) ([]byte, error) {
+	s := c.store
+	if node < 0 || node >= s.n {
+		return nil, fmt.Errorf("kvs: replica %d outside cluster [0,%d)", node, s.n)
+	}
+	return c.getFrom(node, s.ring().ShardOf(key), key)
 }
 
 // getFrom performs the probe/retry read loop against one replica.
@@ -188,8 +202,8 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 		chunk := keys[base:end]
 		targets := make([]int, len(chunk))
 		for i, key := range chunk {
-			shard := s.ring.ShardOf(key)
-			owners := s.ring.Owners(shard)
+			shard := s.ring().ShardOf(key)
+			owners := s.ring().ownersShared(shard)
 			targets[i] = -1
 			for _, o := range owners {
 				if o == s.me || !down[o] {

@@ -23,6 +23,16 @@
 //     (or node failure) makes an owner unreachable, stores and clients
 //     promote the next replica in ring order, and pending forwarded PUTs
 //     are re-routed.
+//   - Rejoin rides the restore watchers: when an evicted peer becomes
+//     reachable again, each shard leader streams it the writes it missed
+//     (anti-entropy: one-sided version scans + messenger-routed slot
+//     diffs + an end-of-stream ack barrier) and only then clears it from
+//     the published down view, so a stale replica is never read. Shard
+//     leadership then re-derives deterministically, returning each shard
+//     to its original primary.
+//   - The ring can grow: Store.AddNode admits a cluster node as a new
+//     placement member; the joining store migrates the shards it gains
+//     (one-sided bulk reads from current owners) before serving them.
 //
 // Slot layout is identical on every node, so a replica write is a single
 // remote write at the same offset the primary used, and any replica can
@@ -121,6 +131,11 @@ type Config struct {
 	// VNodes is the virtual-node count per node on the placement ring
 	// (default DefaultVNodes).
 	VNodes int
+	// Members lists the cluster nodes initially on the placement ring
+	// (default: every cluster node). A node outside Members can still
+	// Open a store — it holds slot tables and routes PUTs but owns no
+	// shards — and joins later when every member calls Store.AddNode.
+	Members []int
 	// RegionOffset is where the store region begins within each node's
 	// context segment (default 0). The Messenger region follows the store
 	// region automatically.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"sonuma"
 )
@@ -386,6 +387,369 @@ func TestReplicaPromotionAfterFailLink(t *testing.T) {
 	}
 	if promotions == 0 {
 		t.Fatal("no store recorded a leadership promotion")
+	}
+}
+
+// TestOwnersDefensiveCopy proves a caller mutating an Owners result cannot
+// corrupt placement: the ring hands out copies, and the store's routing
+// state is immune to the mutation.
+func TestOwnersDefensiveCopy(t *testing.T) {
+	r := NewRing([]int{0, 1, 2, 3}, 64, 2, 32)
+	for s := 0; s < r.Shards(); s++ {
+		want := r.Owners(s)
+		got := r.Owners(s)
+		for i := range got {
+			got[i] = -got[i] - 1000 // vandalize the returned slice
+		}
+		after := r.Owners(s)
+		if len(after) != len(want) {
+			t.Fatalf("shard %d: owner count changed after caller mutation", s)
+		}
+		for i := range after {
+			if after[i] != want[i] {
+				t.Fatalf("shard %d: owner %d changed %d -> %d after caller mutation",
+					s, i, want[i], after[i])
+			}
+		}
+	}
+}
+
+// TestRingAddNode checks the resize path: the old ring is untouched, the
+// new ring contains the member, movement is bounded, ownership is only
+// ever gained by the joining node, and MovedShards reports exactly the
+// changed shards.
+func TestRingAddNode(t *testing.T) {
+	const shards = 256
+	r4 := NewRing([]int{0, 1, 2, 3}, shards, 2, 64)
+	r5 := r4.AddNode(4)
+	if r4.ContainsNode(4) {
+		t.Fatal("AddNode mutated the receiver")
+	}
+	if !r5.ContainsNode(4) {
+		t.Fatal("AddNode result does not contain the new member")
+	}
+	if r5.AddNode(4) != r5 {
+		t.Fatal("adding an existing member should return the receiver")
+	}
+	moved := MovedShards(r4, r5)
+	movedSet := map[int]bool{}
+	for _, s := range moved {
+		movedSet[s] = true
+	}
+	for s := 0; s < shards; s++ {
+		o4, o5 := r4.Owners(s), r5.Owners(s)
+		changed := len(o4) != len(o5)
+		for i := 0; !changed && i < len(o4); i++ {
+			changed = o4[i] != o5[i]
+		}
+		if changed != movedSet[s] {
+			t.Fatalf("shard %d: changed=%v but MovedShards says %v", s, changed, movedSet[s])
+		}
+		// Gained ownership may only go to the joining node.
+		for _, o := range o5 {
+			if o == 4 {
+				continue
+			}
+			found := false
+			for _, p := range o4 {
+				if p == o {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("shard %d: node %d gained ownership on AddNode(4)", s, o)
+			}
+		}
+	}
+	// Expected owner-set movement is ~replicas/nodes = 40% of shards (the
+	// new node claims its share of every owner list, not just primaries);
+	// far above that means the ring lost the minimal-movement property.
+	if len(moved) == 0 || len(moved) > shards*3/5 {
+		t.Fatalf("%d/%d shards moved on AddNode; want bounded, nonzero movement", len(moved), shards)
+	}
+}
+
+// waitDownObserved polls until every surviving store has victim in its
+// published down view — the outage must be observed before a heal can
+// exercise the repair path (an unobserved fail/restore pair is correctly
+// coalesced away by the epoch-ordered watchers).
+func waitDownObserved(t *testing.T, stores []*Store, victim int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		all := true
+		for i, s := range stores {
+			if i != victim && !s.downSnapshot()[victim] {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("eviction of node %d was never observed by all stores", victim)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitRejoined polls until every store's published down view clears every
+// other node, i.e. the cluster fully re-admitted itself after a heal.
+func waitRejoined(t *testing.T, stores []*Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		clear := true
+		for _, s := range stores {
+			for p, d := range s.downSnapshot() {
+				if d && p != s.NodeID() {
+					clear = false
+				}
+			}
+		}
+		if clear {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, s := range stores {
+				t.Logf("store %d down view: %v", i, s.downSnapshot())
+			}
+			t.Fatal("cluster did not re-admit all nodes after heal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRejoinAfterHeal is the full lifecycle: fail → evict → write through
+// the outage → restore → repair → rejoin. After the heal, every store must
+// clear the victim from its down view, the victim must serve one-sided
+// GETs with the CURRENT values (including every write it missed), and all
+// replicas of every key must be byte-identical.
+func TestRejoinAfterHeal(t *testing.T) {
+	const n = 4
+	cl, stores := newService(t, n, testConfig())
+	client := newTestClient(t, stores[0])
+	ring := stores[0].Ring()
+
+	const keys = 120
+	key := func(i int) []byte { return []byte(fmt.Sprintf("rj:%03d", i)) }
+	for i := 0; i < keys; i++ {
+		if err := client.Put(key(i), []byte(fmt.Sprintf("v1-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The victim: a non-client node owning at least one shard.
+	victim := -1
+	for s := 0; s < ring.Shards() && victim < 0; s++ {
+		for _, o := range ring.Owners(s) {
+			if o != 0 {
+				victim = o
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no victim found")
+	}
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.FailLink(victim, i)
+		}
+	}
+
+	// Overwrite every key during the outage; the victim misses all of it.
+	// Retry while the failure notifications propagate.
+	for i := 0; i < keys; i++ {
+		var err error
+		for attempt := 0; attempt < 100; attempt++ {
+			if err = client.Put(key(i), []byte(fmt.Sprintf("v2-%03d", i))); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("Put(%q) during outage: %v", key(i), err)
+		}
+	}
+
+	// Heal. The watchers drive repair + rejoin with no further help.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.RestoreLink(victim, i)
+		}
+	}
+	waitRejoined(t, stores)
+
+	var rejoins, repaired uint64
+	for _, s := range stores {
+		rejoins += s.Stats().Rejoins
+		repaired += s.Stats().RepairedSlots
+	}
+	if rejoins == 0 {
+		t.Fatal("no store recorded a rejoin")
+	}
+	if repaired == 0 {
+		t.Fatal("rejoin happened but no slot diff was streamed (victim missed writes)")
+	}
+
+	// The rejoined replica serves one-sided GETs with current data, and
+	// every replica of every key is byte-identical.
+	for i := 0; i < keys; i++ {
+		k := key(i)
+		want := fmt.Sprintf("v2-%03d", i)
+		for _, o := range stores[0].Ring().Owners(stores[0].Ring().ShardOf(k)) {
+			got, err := client.GetReplica(o, k)
+			if err != nil {
+				t.Fatalf("GetReplica(%d, %q): %v", o, k, err)
+			}
+			if string(got) != want {
+				t.Fatalf("GetReplica(%d, %q) = %q, want %q (replica divergence after repair)", o, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRejoinFixesStuckOddSlot plants a stuck-odd version (a writer that
+// died mid-replication) on an evicted backup and verifies the repair pass
+// lands a stable image even though the backup's version word was AHEAD of
+// a clean even value.
+func TestRejoinFixesStuckOddSlot(t *testing.T) {
+	const n = 3
+	cl, stores := newService(t, n, testConfig())
+	client := newTestClient(t, stores[0])
+	ring := stores[0].Ring()
+
+	// A key whose shard has a non-client owner to play the backup victim.
+	var k []byte
+	victim := -1
+	for i := 0; i < 1000 && victim < 0; i++ {
+		cand := []byte(fmt.Sprintf("odd:%03d", i))
+		for _, o := range ring.Owners(ring.ShardOf(cand)) {
+			if o != 0 {
+				k, victim = cand, o
+				break
+			}
+		}
+	}
+	if err := client.Put(k, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evict the victim, then emulate the dead mid-replication writer: take
+	// the victim's local slot version odd with no body following.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.FailLink(victim, i)
+		}
+	}
+	waitDownObserved(t, stores, victim)
+	shard := ring.ShardOf(k)
+	vs := stores[victim]
+	bucket, err := vs.findBucket(shard, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := vs.cfg.slotOff(shard, bucket)
+	ver, err := vs.mem.Load64(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.mem.Store64(off, ver|1); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.RestoreLink(victim, i)
+		}
+	}
+	waitRejoined(t, stores)
+
+	got, err := client.GetReplica(victim, k)
+	if err != nil {
+		t.Fatalf("GetReplica after stuck-odd repair: %v", err)
+	}
+	if string(got) != "stable" {
+		t.Fatalf("GetReplica = %q, want %q", got, "stable")
+	}
+	if v, _ := vs.mem.Load64(off); v&1 == 1 {
+		t.Fatalf("slot version still odd (%d) after repair", v)
+	}
+}
+
+// TestStoreAddNodeMigration grows a live service onto a cluster node that
+// was not an initial ring member: the joining store migrates the shards it
+// gains before serving them, and afterwards every key reads correctly from
+// every replica, including the new one.
+func TestStoreAddNodeMigration(t *testing.T) {
+	const n = 5
+	cfg := testConfig()
+	cfg.Members = []int{0, 1, 2, 3} // node 4 opens a store but owns nothing yet
+	_, stores := newService(t, n, cfg)
+	client := newTestClient(t, stores[0])
+
+	const keys = 150
+	key := func(i int) []byte { return []byte(fmt.Sprintf("grow:%03d", i)) }
+	for i := 0; i < keys; i++ {
+		if err := client.Put(key(i), []byte(fmt.Sprintf("val-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Joining node first (it migrates before serving), then the rest.
+	if err := stores[4].AddNode(4); err != nil {
+		t.Fatalf("AddNode on joining store: %v", err)
+	}
+	if stores[4].Stats().ShardsMigrated == 0 {
+		t.Fatal("joining store migrated no shards")
+	}
+	for i := 0; i < 4; i++ {
+		if err := stores[i].AddNode(4); err != nil {
+			t.Fatalf("AddNode on store %d: %v", i, err)
+		}
+	}
+	ring := stores[0].Ring()
+	if !ring.ContainsNode(4) {
+		t.Fatal("ring does not contain the new member after resize")
+	}
+
+	// Every key reads correctly through normal routing and from every
+	// replica directly — including shards now owned by node 4.
+	newOwned := 0
+	for i := 0; i < keys; i++ {
+		k := key(i)
+		want := fmt.Sprintf("val-%03d", i)
+		if got, err := client.Get(k); err != nil || string(got) != want {
+			t.Fatalf("Get(%q) after resize = %q, %v; want %q", k, got, err, want)
+		}
+		for _, o := range ring.Owners(ring.ShardOf(k)) {
+			got, err := client.GetReplica(o, k)
+			if err != nil {
+				t.Fatalf("GetReplica(%d, %q) after resize: %v", o, k, err)
+			}
+			if string(got) != want {
+				t.Fatalf("GetReplica(%d, %q) = %q, want %q", o, k, got, want)
+			}
+			if o == 4 {
+				newOwned++
+			}
+		}
+	}
+	if newOwned == 0 {
+		t.Fatal("no tested key landed on the new node; resize moved nothing")
+	}
+
+	// Writes after the resize replicate to the new member too.
+	if err := client.Put(key(0), []byte("post-resize")); err != nil {
+		t.Fatal(err)
+	}
+	k0 := key(0)
+	for _, o := range ring.Owners(ring.ShardOf(k0)) {
+		got, err := client.GetReplica(o, k0)
+		if err != nil || string(got) != "post-resize" {
+			t.Fatalf("replica %d after post-resize write: %q, %v", o, got, err)
+		}
 	}
 }
 

@@ -23,13 +23,19 @@ type ringPoint struct {
 
 // Ring maps the key space onto cluster nodes: hash(key) → shard (stable in
 // the node count), shard → an owner list of Replicas() distinct nodes via
-// consistent hashing, primary first. A Ring is immutable after construction;
-// all participants of a store build identical rings from the shared Config.
+// consistent hashing, primary first. A Ring is immutable after
+// construction; resizing (AddNode) builds a NEW ring, so every published
+// *Ring stays a consistent snapshot. All participants of a store build
+// identical rings from the shared Config and apply resizes in the same
+// order.
 type Ring struct {
-	shards   int
-	replicas int
-	points   []ringPoint
-	owners   [][]int // per shard, primary first
+	shards       int
+	replicas     int // effective (clamped to the node count)
+	wantReplicas int // configured, before clamping; re-applied on resize
+	vnodes       int
+	nodes        []int
+	points       []ringPoint
+	owners       [][]int // per shard, primary first
 }
 
 // fnv1a is the 64-bit FNV-1a hash used for both key→shard and ring-point
@@ -64,13 +70,17 @@ func NewRing(nodes []int, shards, replicas, vnodes int) *Ring {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
+	want := replicas
 	if replicas > len(nodes) {
 		replicas = len(nodes)
 	}
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
 	}
-	r := &Ring{shards: shards, replicas: replicas}
+	r := &Ring{
+		shards: shards, replicas: replicas, wantReplicas: want,
+		vnodes: vnodes, nodes: append([]int(nil), nodes...),
+	}
 	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
 	for _, n := range nodes {
 		for v := 0; v < vnodes; v++ {
@@ -124,6 +134,60 @@ func (r *Ring) ShardOf(key []byte) int {
 	return int(fnv1a(key) % uint64(r.shards))
 }
 
+// Nodes returns the ring's member list (a copy).
+func (r *Ring) Nodes() []int { return append([]int(nil), r.nodes...) }
+
+// ContainsNode reports whether node is a ring member.
+func (r *Ring) ContainsNode(node int) bool {
+	for _, n := range r.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
 // Owners returns the nodes holding a shard, primary first. The returned
-// slice is shared; callers must not modify it.
-func (r *Ring) Owners(shard int) []int { return r.owners[shard] }
+// slice is a defensive copy: callers may keep or mutate it freely without
+// corrupting placement. Package-internal hot paths that promise not to
+// mutate use ownersShared instead.
+func (r *Ring) Owners(shard int) []int {
+	return append([]int(nil), r.owners[shard]...)
+}
+
+// ownersShared returns the internal owner slice for a shard, primary
+// first. It aliases ring state: callers must treat it as read-only.
+func (r *Ring) ownersShared(shard int) []int { return r.owners[shard] }
+
+// AddNode returns a new ring with node added as a member, leaving the
+// receiver untouched. Consistent hashing keeps movement minimal: a shard's
+// owner set changes only where the new node's ring points land, so most
+// shards keep their exact placement and the rest gain the new node. Adding
+// an existing member returns the receiver unchanged. If the configured
+// replica count was clamped by a small member list, growth re-expands it.
+func (r *Ring) AddNode(node int) *Ring {
+	if r.ContainsNode(node) {
+		return r
+	}
+	return NewRing(append(r.Nodes(), node), r.shards, r.wantReplicas, r.vnodes)
+}
+
+// MovedShards lists the shards whose owner set differs between old and
+// new — the shards a store must migrate when applying the resize.
+func MovedShards(old, next *Ring) []int {
+	if old.shards != next.shards {
+		return nil
+	}
+	var moved []int
+	for s := 0; s < old.shards; s++ {
+		a, b := old.owners[s], next.owners[s]
+		same := len(a) == len(b)
+		for i := 0; same && i < len(a); i++ {
+			same = a[i] == b[i]
+		}
+		if !same {
+			moved = append(moved, s)
+		}
+	}
+	return moved
+}

@@ -12,10 +12,13 @@ import (
 	"sonuma"
 )
 
-// PUT-routing message kinds (first byte of every messenger payload).
+// Messenger message kinds (first byte of every messenger payload).
 const (
-	msgPut byte = 1 // reqID u64, shard u32, keyLen u32, key, value
-	msgAck byte = 2 // reqID u64, status u8
+	msgPut       byte = 1 // reqID u64, shard u32, keyLen u32, key, value
+	msgAck       byte = 2 // reqID u64, status u8
+	msgRepair    byte = 3 // shard u32, bucket u32, ver u64, slot body
+	msgRepairEnd byte = 4 // token u64: all diffs for this repair streamed
+	msgRepairAck byte = 5 // token u64: peer applied everything up to End
 )
 
 // Ack status codes.
@@ -35,6 +38,31 @@ const (
 const (
 	idleSpins = 64
 	idlePoll  = 100 * time.Microsecond
+)
+
+// Anti-entropy repair and migration tuning.
+const (
+	// repairVerBurst is how many peer slot-version words one batched
+	// one-sided read burst fetches during a repair scan.
+	repairVerBurst = 32
+	// repairOddRetries bounds re-reads of a remotely odd slot version
+	// before treating it as stuck (a live writer clears it in one
+	// replication round trip; a dead writer never does).
+	repairOddRetries = 8
+	// repairProbeTimeout bounds the responsiveness probe sent before any
+	// diffs: a reachable-but-silent peer (store closed, serve loop
+	// wedged) costs a short abort instead of a full stream.
+	repairProbeTimeout = time.Second
+	// repairAckTimeout bounds the wait for a peer to acknowledge the end
+	// of a repair stream. A peer that is reachable but not serving (its
+	// store closed) would otherwise wedge the repairing serve loop.
+	repairAckTimeout = 5 * time.Second
+	// healRetryMax caps the backoff between repair retries against a
+	// reachable peer whose repair keeps aborting.
+	healRetryMax = 30 * time.Second
+	// migrateBurst is how many whole slots one batched one-sided read
+	// burst fetches during shard migration.
+	migrateBurst = 8
 )
 
 // ackErr converts an ack status into the client-visible error.
@@ -62,13 +90,17 @@ func ackErr(code byte) error {
 // never produce a message, so a read-only phase leaves it unchanged on
 // every node.
 type StoreStats struct {
-	MsgsHandled   uint64 // messenger messages processed by the serve loop
-	PutsApplied   uint64 // PUTs applied locally as shard owner
-	PutsForwarded uint64 // PUTs forwarded to a remote primary
-	ReplicaWrites uint64 // slot images replicated to backups
-	ReplicaSkips  uint64 // replications skipped (backup unreachable)
-	Promotions    uint64 // shard leaderships moved off an unreachable node
-	Rerouted      uint64 // pending PUTs re-routed after a failure event
+	MsgsHandled    uint64 // messenger messages processed by the serve loop
+	PutsApplied    uint64 // PUTs applied locally as shard owner
+	PutsForwarded  uint64 // PUTs forwarded to a remote primary
+	ReplicaWrites  uint64 // slot images replicated to backups
+	ReplicaSkips   uint64 // replications skipped (backup unreachable)
+	Promotions     uint64 // shard leaderships moved off an unreachable node
+	Rerouted       uint64 // pending PUTs re-routed after a failure event
+	Rejoins        uint64 // peers re-admitted after anti-entropy repair
+	RepairedSlots  uint64 // slot diffs streamed to healed peers
+	RepairBytes    uint64 // messenger bytes spent on repair diffs
+	ShardsMigrated uint64 // shards pulled from old owners after a ring resize
 }
 
 // putReq is one PUT travelling from a colocated client into the serve loop.
@@ -91,41 +123,71 @@ type fwdPut struct {
 // GETs never touch a Store — clients read slots with one-sided remote
 // operations only.
 type Store struct {
-	ctx  *sonuma.Context
-	cfg  Config
-	ring *Ring
-	me   int
-	n    int
+	ctx     *sonuma.Context
+	cfg     Config
+	ringPub atomic.Pointer[Ring] // current placement ring (swapped by AddNode)
+	me      int
+	n       int
 
 	mem   *sonuma.Memory
-	qp    *sonuma.QP        // replication ops (serve goroutine only)
-	batch *sonuma.Batch     // reusable replication burst (serve goroutine)
-	msgr  *sonuma.Messenger // PUT routing (serve goroutine only)
+	qp    *sonuma.QP        // replication + repair ops (serve goroutine only)
+	batch *sonuma.Batch     // reusable op burst (serve goroutine)
+	msgr  *sonuma.Messenger // PUT routing + repair diffs (serve goroutine only)
 
 	repBuf   *sonuma.Buffer // staging: slot body image for replica writes
 	priorBuf *sonuma.Buffer // landing area for FetchAdd prior values
+	verBuf   *sonuma.Buffer // landing area for repair version-scan bursts
+	migBuf   *sonuma.Buffer // landing area for migration slot reads
 	scratch  []byte         // local slot image scratch (serve goroutine)
 	txBuf    []byte         // outbound message scratch (serve goroutine)
 
-	leader  []int  // per-shard index into Owners (serve goroutine)
+	leader  []int  // per-shard index into owners (serve goroutine)
 	down    []bool // per-node unreachability (serve goroutine)
 	downPub atomic.Pointer[[]bool]
 
-	putCh   chan *putReq
-	failCh  chan int
-	stop    chan struct{}
-	done    chan struct{}
-	wg      sync.WaitGroup
-	pending map[uint64]*fwdPut
-	nextID  uint64
+	putCh    chan *putReq
+	failCh   chan int
+	healCh   chan struct{}
+	resizeCh chan *resizeReq
+	stop     chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+	pending  map[uint64]*fwdPut
+	nextID   uint64
 
-	msgsHandled   atomic.Uint64
-	putsApplied   atomic.Uint64
-	putsForwarded atomic.Uint64
-	replicaWrites atomic.Uint64
-	replicaSkips  atomic.Uint64
-	promotions    atomic.Uint64
-	rerouted      atomic.Uint64
+	// Repair state (serve goroutine). wantAckPeer/wantAckToken/gotAck
+	// track the msgRepairAck the loop in awaitRepairAck is waiting on.
+	// While inRepair is set, inbound forwarded PUTs are deferred instead
+	// of applied, so no write can race the repair's version scan — they
+	// drain (and replicate, now including the re-admitted peer) as soon
+	// as the repair concludes. healPending/healRetryAt/healBackoff drive
+	// retries of aborted repairs from the serve loop's idle tick.
+	wantAckPeer  int
+	wantAckToken uint64
+	gotAck       bool
+	inRepair     bool
+	deferred     []sonuma.Message
+	healPending  bool
+	healRetryAt  time.Time
+	healBackoff  time.Duration
+
+	msgsHandled    atomic.Uint64
+	putsApplied    atomic.Uint64
+	putsForwarded  atomic.Uint64
+	replicaWrites  atomic.Uint64
+	replicaSkips   atomic.Uint64
+	promotions     atomic.Uint64
+	rerouted       atomic.Uint64
+	rejoins        atomic.Uint64
+	repairedSlots  atomic.Uint64
+	repairBytes    atomic.Uint64
+	shardsMigrated atomic.Uint64
+}
+
+// resizeReq is one AddNode request travelling into the serve loop.
+type resizeReq struct {
+	node int
+	resp chan error
 }
 
 // Open joins this node to the sharded store on ctx. Every node of the
@@ -139,26 +201,38 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if need := cfg.SegmentSize(n); ctx.SegmentSize() < need {
 		return nil, fmt.Errorf("kvs: segment %d bytes < %d required", ctx.SegmentSize(), need)
 	}
-	nodes := make([]int, n)
-	for i := range nodes {
-		nodes[i] = i
+	nodes := cfg.Members
+	if len(nodes) == 0 {
+		nodes = make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	for _, id := range nodes {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("kvs: ring member %d outside cluster [0,%d)", id, n)
+		}
 	}
 	s := &Store{
-		ctx:     ctx,
-		cfg:     cfg,
-		ring:    NewRing(nodes, cfg.Shards, cfg.Replicas, cfg.VNodes),
-		me:      ctx.NodeID(),
-		n:       n,
-		mem:     ctx.Memory(),
-		leader:  make([]int, cfg.Shards),
-		down:    make([]bool, n),
-		putCh:   make(chan *putReq, 128),
-		failCh:  make(chan int, 64),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		pending: make(map[uint64]*fwdPut),
-		scratch: make([]byte, cfg.SlotSize),
+		ctx:         ctx,
+		cfg:         cfg,
+		me:          ctx.NodeID(),
+		n:           n,
+		mem:         ctx.Memory(),
+		leader:      make([]int, cfg.Shards),
+		down:        make([]bool, n),
+		putCh:       make(chan *putReq, 128),
+		failCh:      make(chan int, 64),
+		healCh:      make(chan struct{}, 1),
+		resizeCh:    make(chan *resizeReq, 4),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		pending:     make(map[uint64]*fwdPut),
+		scratch:     make([]byte, cfg.SlotSize),
+		wantAckPeer: -1,
+		healBackoff: time.Second,
 	}
+	s.ringPub.Store(NewRing(nodes, cfg.Shards, cfg.Replicas, cfg.VNodes))
 	s.publishDown()
 	if err := writeHeader(s.mem, cfg); err != nil {
 		return nil, err
@@ -174,6 +248,12 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if s.priorBuf, err = ctx.AllocBuffer(8 * n); err != nil {
 		return nil, err
 	}
+	if s.verBuf, err = ctx.AllocBuffer(8 * repairVerBurst); err != nil {
+		return nil, err
+	}
+	if s.migBuf, err = ctx.AllocBuffer(migrateBurst * cfg.SlotSize); err != nil {
+		return nil, err
+	}
 	mqp, err := ctx.NewQP(0)
 	if err != nil {
 		return nil, err
@@ -185,7 +265,9 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	}
 	// Failover detection: the fabric's watchers report failed nodes and
 	// links; the serve loop turns the ones affecting our reachability
-	// into leadership promotions and PUT re-routes.
+	// into leadership promotions and PUT re-routes. Restore events feed
+	// the symmetric path: a heal scan that repairs and re-admits peers
+	// that became reachable again.
 	node := ctx.Node()
 	node.OnFabricFailure(func(failed int) { s.reportDown(failed) })
 	node.OnLinkFailure(func(a, b int) {
@@ -195,13 +277,19 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 			s.reportDown(a)
 		}
 	})
+	node.OnFabricRestore(func(int) { s.reportHeal() })
+	node.OnLinkRestore(func(a, b int) { s.reportHeal() })
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
 }
 
-// Ring exposes the store's placement ring (shared, immutable).
-func (s *Store) Ring() *Ring { return s.ring }
+// Ring returns the store's current placement ring — an immutable snapshot;
+// AddNode publishes a new one.
+func (s *Store) Ring() *Ring { return s.ringPub.Load() }
+
+// ring is the internal spelling of Ring.
+func (s *Store) ring() *Ring { return s.ringPub.Load() }
 
 // NodeID reports the node this store member runs on.
 func (s *Store) NodeID() int { return s.me }
@@ -212,13 +300,17 @@ func (s *Store) Config() Config { return s.cfg }
 // Stats snapshots the store's counters.
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
-		MsgsHandled:   s.msgsHandled.Load(),
-		PutsApplied:   s.putsApplied.Load(),
-		PutsForwarded: s.putsForwarded.Load(),
-		ReplicaWrites: s.replicaWrites.Load(),
-		ReplicaSkips:  s.replicaSkips.Load(),
-		Promotions:    s.promotions.Load(),
-		Rerouted:      s.rerouted.Load(),
+		MsgsHandled:    s.msgsHandled.Load(),
+		PutsApplied:    s.putsApplied.Load(),
+		PutsForwarded:  s.putsForwarded.Load(),
+		ReplicaWrites:  s.replicaWrites.Load(),
+		ReplicaSkips:   s.replicaSkips.Load(),
+		Promotions:     s.promotions.Load(),
+		Rerouted:       s.rerouted.Load(),
+		Rejoins:        s.rejoins.Load(),
+		RepairedSlots:  s.repairedSlots.Load(),
+		RepairBytes:    s.repairBytes.Load(),
+		ShardsMigrated: s.shardsMigrated.Load(),
 	}
 }
 
@@ -233,9 +325,27 @@ func (s *Store) reportDown(node int) {
 	}
 }
 
+// reportHeal queues a heal scan for the serve loop: some fabric link or
+// node was restored, so peers in the down set may be reachable again. The
+// channel is a single-slot latch — scans coalesce, and the scan itself
+// checks per-peer reachability.
+func (s *Store) reportHeal() {
+	select {
+	case s.healCh <- struct{}{}:
+	default:
+	}
+}
+
 // downSnapshot returns the serve loop's latest published unreachability
 // view. The returned slice is immutable.
 func (s *Store) downSnapshot() []bool { return *s.downPub.Load() }
+
+// DownView returns a copy of the store's published unreachability view:
+// DownView()[i] is true while node i is evicted (and not yet repaired and
+// re-admitted). Harnesses use it to measure repair convergence.
+func (s *Store) DownView() []bool {
+	return append([]bool(nil), s.downSnapshot()...)
+}
 
 // publishDown republishes the down set for lock-free readers (clients).
 func (s *Store) publishDown() {
@@ -305,6 +415,18 @@ func (s *Store) serve() {
 				break drainFail
 			}
 		}
+		select {
+		case <-s.healCh:
+			s.healScan()
+			worked = true
+		default:
+		}
+		select {
+		case req := <-s.resizeCh:
+			s.handleResize(req)
+			worked = true
+		default:
+		}
 	drainPuts:
 		for i := 0; i < 64; i++ {
 			select {
@@ -340,9 +462,14 @@ func (s *Store) serve() {
 			return
 		case n := <-s.failCh:
 			s.markDown(n)
+		case <-s.healCh:
+			s.healScan()
+		case req := <-s.resizeCh:
+			s.handleResize(req)
 		case req := <-s.putCh:
 			s.handlePut(req)
 		case <-time.After(idlePoll):
+			s.retryHeal()
 		}
 		idle = 0
 	}
@@ -358,6 +485,8 @@ func (s *Store) shutdown() {
 		select {
 		case req := <-s.putCh:
 			req.resp <- ErrClosed
+		case req := <-s.resizeCh:
+			req.resp <- ErrClosed
 		default:
 			return
 		}
@@ -366,10 +495,10 @@ func (s *Store) shutdown() {
 
 // markDown records a node as unreachable, promotes the next replica for
 // every shard it led, and re-routes pending PUTs that were forwarded to it.
-// Eviction is sticky for the store's lifetime, even across RestoreLink: a
-// replica that missed writes while unreachable would serve stale values if
-// silently re-admitted, so rejoin is deliberately deferred to the
-// anti-entropy repair item in ROADMAP.md.
+// Eviction holds until a heal scan re-admits the node: a replica that
+// missed writes while unreachable would serve stale values if silently
+// re-admitted, so rejoin happens only after markUp's anti-entropy repair
+// pass brings its slot tables back in sync.
 func (s *Store) markDown(node int) {
 	if node < 0 || node >= s.n || node == s.me || s.down[node] {
 		return
@@ -377,7 +506,7 @@ func (s *Store) markDown(node int) {
 	s.down[node] = true
 	s.publishDown()
 	for shard := 0; shard < s.cfg.Shards; shard++ {
-		owners := s.ring.Owners(shard)
+		owners := s.ring().ownersShared(shard)
 		if owners[s.leader[shard]%len(owners)] == node {
 			s.advanceLeader(shard)
 		}
@@ -395,7 +524,7 @@ func (s *Store) markDown(node int) {
 // advanceLeader moves a shard's leadership to the next reachable owner in
 // ring order (a no-op leaving the current leader if none is reachable).
 func (s *Store) advanceLeader(shard int) {
-	owners := s.ring.Owners(shard)
+	owners := s.ring().ownersShared(shard)
 	cur := s.leader[shard] % len(owners)
 	for step := 1; step <= len(owners); step++ {
 		next := (cur + step) % len(owners)
@@ -410,7 +539,7 @@ func (s *Store) advanceLeader(shard int) {
 // leaderOf reports the node currently leading a shard from this store's
 // view, skipping known-unreachable owners.
 func (s *Store) leaderOf(shard int) int {
-	owners := s.ring.Owners(shard)
+	owners := s.ring().ownersShared(shard)
 	cur := s.leader[shard] % len(owners)
 	for step := 0; step < len(owners); step++ {
 		n := owners[(cur+step)%len(owners)]
@@ -421,10 +550,333 @@ func (s *Store) leaderOf(shard int) int {
 	return owners[cur]
 }
 
+// resetLeadership deterministically re-derives every shard's leader as the
+// first reachable owner in ring order. Run whenever the down set shrinks
+// (rejoin) or the ring changes (resize), so every store that shares a down
+// view converges on the same leader for every shard — in particular,
+// leadership returns to a shard's original primary once it is repaired.
+func (s *Store) resetLeadership() {
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		owners := s.ring().ownersShared(shard)
+		for i, o := range owners {
+			if o == s.me || !s.down[o] {
+				s.leader[shard] = i
+				break
+			}
+		}
+	}
+}
+
+// errRepairAborted reports a repair pass that could not complete: the peer
+// fell off the fabric again mid-stream, or stayed silent past the ack
+// timeout. The peer remains evicted; the next heal event retries.
+var errRepairAborted = errors.New("kvs: repair aborted: peer unreachable or not serving")
+
+// containsInt reports whether list holds v.
+func containsInt(list []int, v int) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// healScan re-admits every evicted peer the fabric can reach again, after
+// an anti-entropy repair pass. Triggered by link/node restore events (and
+// re-armed from the idle tick with backoff when a repair aborts); the
+// per-peer reachability check makes it safe to run on any of them, because
+// a single restored link does not imply the whole route is back.
+func (s *Store) healScan() {
+	cl := s.ctx.Node().Cluster()
+	s.healPending = false
+	for p := 0; p < s.n; p++ {
+		if p == s.me || !s.down[p] || !cl.Reachable(s.me, p) {
+			continue
+		}
+		s.markUp(p)
+		if s.down[p] {
+			// Repair aborted against a reachable peer: schedule a
+			// retry with backoff rather than waiting for another
+			// restore event that may never come.
+			s.healPending = true
+			s.healRetryAt = time.Now().Add(s.healBackoff)
+			s.healBackoff *= 2
+			if s.healBackoff > healRetryMax {
+				s.healBackoff = healRetryMax
+			}
+		}
+	}
+}
+
+// retryHeal re-runs the heal scan from the idle tick once the backoff
+// deadline for a previously aborted repair passes.
+func (s *Store) retryHeal() {
+	if s.healPending && time.Now().After(s.healRetryAt) {
+		s.healScan()
+	}
+}
+
+// markUp is the inverse of markDown, with the crucial asymmetry the
+// ROADMAP calls out: eviction was instant, re-admission must be earned.
+// The peer missed every write replicated while it was unreachable, so we
+// first stream it the diffs for every shard this node currently leads
+// (repairPeer), and only when the peer acknowledges the full stream do we
+// clear it from the published down view — from that point clients read
+// from it and replication includes it again.
+//
+// While the repair is in flight, inbound forwarded PUTs are deferred
+// (inRepair), so this store applies no write between the version scan and
+// the down-view clear — the scan is therefore complete, and because each
+// shard's diffs come only from its current leader, no slot ever has a
+// repairer and a replicator writing it concurrently. The deferred PUTs
+// drain right after, replicating to the re-admitted peer. Leadership then
+// re-derives deterministically, returning each shard to its original
+// primary.
+//
+// Known window (see ARCHITECTURE.md): this store clears the peer once its
+// OWN led shards are verified; shards led by other stores are repaired by
+// those leaders concurrently, so a client routing through this store's
+// view can briefly read a not-yet-repaired shard from the peer. The
+// window is bounded by the slowest concurrent repair; closing it fully
+// needs the configuration-epoch authority tracked in ROADMAP.md.
+func (s *Store) markUp(peer int) {
+	s.inRepair = true
+	err := s.repairPeer(peer)
+	s.inRepair = false
+	if err == nil {
+		s.down[peer] = false
+		s.publishDown()
+		s.resetLeadership()
+		s.rejoins.Add(1)
+		s.healBackoff = time.Second
+	}
+	s.drainDeferred()
+}
+
+// drainDeferred applies the forwarded PUTs parked while a repair was in
+// flight. Runs after the down view is updated, so their replication
+// includes a freshly re-admitted peer.
+func (s *Store) drainDeferred() {
+	for len(s.deferred) > 0 {
+		m := s.deferred[0]
+		s.deferred = s.deferred[1:]
+		s.handleMsg(m)
+	}
+	s.deferred = nil
+}
+
+// repairPeer streams this node's image of every shard it leads (and the
+// peer owns) to the peer, then runs an end-of-stream barrier: the peer
+// acknowledges a token only after applying everything before it, because
+// the messenger delivers one sender's messages in order. Other shards are
+// some other leader's responsibility — every store runs the same scan, so
+// coverage is complete without coordination, and each shard has exactly
+// one repairer (its leader), which is also the only node replicating new
+// writes for it. A cheap probe barrier runs before any diff is read or
+// streamed, so a reachable-but-silent peer aborts quickly.
+func (s *Store) repairPeer(peer int) error {
+	ring := s.ring()
+	if !ring.ContainsNode(peer) {
+		return nil // not a placement member: nothing to repair
+	}
+	if err := s.repairBarrier(peer, repairProbeTimeout); err != nil {
+		return err
+	}
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		if s.leaderOf(shard) != s.me || !containsInt(ring.ownersShared(shard), peer) {
+			continue
+		}
+		if err := s.repairShard(peer, shard); err != nil {
+			return err
+		}
+	}
+	return s.repairBarrier(peer, repairAckTimeout)
+}
+
+// repairBarrier sends an end-of-stream token and waits (bounded) for the
+// peer to acknowledge it.
+func (s *Store) repairBarrier(peer int, timeout time.Duration) error {
+	token := s.nextID
+	s.nextID++
+	var b [9]byte
+	b[0] = msgRepairEnd
+	binary.LittleEndian.PutUint64(b[1:], token)
+	if err := s.msgr.Send(peer, b[:]); err != nil {
+		return err
+	}
+	return s.awaitRepairAck(peer, token, timeout)
+}
+
+// repairShard scans the peer's slot versions for one shard with batched
+// one-sided reads and streams a diff for every slot the peer is missing,
+// behind on, or stuck odd on.
+func (s *Store) repairShard(peer, shard int) error {
+	for base := 0; base < s.cfg.Buckets; base += repairVerBurst {
+		end := base + repairVerBurst
+		if end > s.cfg.Buckets {
+			end = s.cfg.Buckets
+		}
+		for b := base; b < end; b++ {
+			s.batch.Read(peer, uint64(s.cfg.slotOff(shard, b)), s.verBuf, 8*(b-base), 8, nil)
+		}
+		if err := s.batch.SubmitWait(); err != nil {
+			return err
+		}
+		// Snapshot the burst before reusing verBuf for odd re-reads.
+		for b := base; b < end; b++ {
+			remote, err := s.verBuf.Load64(8 * (b - base))
+			if err != nil {
+				return err
+			}
+			if err := s.repairSlot(peer, shard, b, remote); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// repairSlot compares one slot's local and remote versions and streams the
+// local image when the peer needs it. Version words are comparable across
+// replicas because every replica starts at zero and advances by exactly
+// two per applied update; a lagging version is a count of missed writes.
+func (s *Store) repairSlot(peer, shard, bucket int, remote uint64) error {
+	off := s.cfg.slotOff(shard, bucket)
+	// A transiently odd remote version usually means a live replicator is
+	// mid-update there; re-read before declaring it stuck.
+	for r := 0; remote&1 == 1 && r < repairOddRetries; r++ {
+		runtime.Gosched()
+		if err := s.qp.Read(peer, uint64(off), s.verBuf, 0, 8); err != nil {
+			return err
+		}
+		v, err := s.verBuf.Load64(0)
+		if err != nil {
+			return err
+		}
+		remote = v
+	}
+	local, err := s.mem.Load64(off)
+	if err != nil {
+		return err
+	}
+	if local&1 == 1 {
+		// Another replicator holds this very slot odd locally right now;
+		// whatever it is writing is also being replicated to the peer.
+		return nil
+	}
+	if remote&1 == 0 && remote >= local {
+		// Peer is current — or ahead, meaning it applied writes we never
+		// saw (an asymmetric partition let a stale leader keep serving
+		// it). Version counting cannot arbitrate that without a config
+		// epoch authority; we keep the peer's data and let the next
+		// leader write win. Documented limitation, as in replicate.
+		return nil
+	}
+	// Frame the local image as a diff: kind, shard, bucket, version, then
+	// the slot body after the version word.
+	used := 0
+	if err := s.mem.ReadAt(off, s.scratch); err != nil {
+		return err
+	}
+	if local != 0 {
+		keyLen := int(binary.LittleEndian.Uint32(s.scratch[8:]))
+		valLen := int(binary.LittleEndian.Uint32(s.scratch[12:]))
+		used = entryHdr + keyLen + valLen
+		if keyLen <= 0 || valLen < 0 || used > s.cfg.SlotSize {
+			return nil // locally torn image; do not propagate garbage
+		}
+	}
+	need := 17
+	if used > 8 {
+		need += used - 8
+	}
+	if cap(s.txBuf) < need {
+		s.txBuf = make([]byte, need)
+	}
+	b := s.txBuf[:need]
+	b[0] = msgRepair
+	binary.LittleEndian.PutUint32(b[1:], uint32(shard))
+	binary.LittleEndian.PutUint32(b[5:], uint32(bucket))
+	binary.LittleEndian.PutUint64(b[9:], local)
+	if used > 8 {
+		copy(b[17:], s.scratch[8:used])
+	}
+	if err := s.msgr.Send(peer, b); err != nil {
+		return err
+	}
+	s.repairedSlots.Add(1)
+	s.repairBytes.Add(uint64(need))
+	return nil
+}
+
+// awaitRepairAck drives the messenger until the peer acknowledges the
+// repair token, handling other control traffic along the way (forwarded
+// PUTs are deferred by handleMsg while inRepair). Bails if the peer falls
+// off the fabric or stays silent past the timeout.
+func (s *Store) awaitRepairAck(peer int, token uint64, timeout time.Duration) error {
+	s.wantAckPeer, s.wantAckToken, s.gotAck = peer, token, false
+	defer func() { s.wantAckPeer = -1 }()
+	deadline := time.Now().Add(timeout)
+	for !s.gotAck {
+		msg, ok, err := s.msgr.TryRecv()
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.handleMsg(msg)
+			continue
+		}
+		if !s.ctx.Node().Cluster().Reachable(s.me, peer) {
+			return errRepairAborted
+		}
+		if time.Now().After(deadline) {
+			return errRepairAborted
+		}
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// applyRepair installs one streamed slot diff under the local seqlock
+// discipline, so concurrent one-sided readers see torn-or-stable exactly
+// as with replication. Stale diffs — from a repairer whose image is older
+// than what replication already delivered here — are rejected by version.
+func (s *Store) applyRepair(shard, bucket int, ver uint64, body []byte) {
+	if shard < 0 || shard >= s.cfg.Shards || bucket < 0 || bucket >= s.cfg.Buckets {
+		return
+	}
+	if 8+len(body) > s.cfg.SlotSize || ver&1 == 1 {
+		return
+	}
+	off := s.cfg.slotOff(shard, bucket)
+	cur, err := s.mem.Load64(off)
+	if err != nil {
+		return
+	}
+	// Accept strictly newer data, or any stable image when our slot is
+	// stuck odd (its writer died mid-replication and will never finish).
+	if !(ver > cur || (cur&1 == 1 && ver >= cur&^1)) {
+		return
+	}
+	if ver == 0 {
+		// The repairer has no entry here: clear the stuck slot.
+		_ = s.mem.Store64(off, 0)
+		return
+	}
+	if err := s.mem.Store64(off, cur|1); err != nil {
+		return
+	}
+	if err := s.mem.WriteAt(off+8, body); err != nil {
+		return
+	}
+	_ = s.mem.Store64(off, ver)
+}
+
 // handlePut routes one PUT: applied here when this node leads the shard,
 // otherwise forwarded to the leader over the messenger.
 func (s *Store) handlePut(req *putReq) {
-	if req.attempts > s.ring.Replicas()+2 {
+	if req.attempts > s.ring().Replicas()+2 {
 		req.resp <- ErrNoReplica
 		return
 	}
@@ -476,10 +928,19 @@ func (s *Store) encodePut(id uint64, shard int, key, value []byte) []byte {
 
 // handleMsg dispatches one inbound messenger message.
 func (s *Store) handleMsg(m sonuma.Message) {
-	s.msgsHandled.Add(1)
 	if len(m.Data) == 0 {
+		s.msgsHandled.Add(1)
 		return
 	}
+	// While a repair's version scan is in flight, forwarded PUTs are
+	// parked: applying one would write a slot the scan may already have
+	// passed, losing the write on the healing peer. They drain (counted
+	// then) the moment the repair concludes.
+	if s.inRepair && m.Data[0] == msgPut {
+		s.deferred = append(s.deferred, m)
+		return
+	}
+	s.msgsHandled.Add(1)
 	switch m.Data[0] {
 	case msgPut:
 		if len(m.Data) < 17 {
@@ -516,6 +977,34 @@ func (s *Store) handleMsg(m sonuma.Message) {
 			return
 		}
 		f.req.resp <- ackErr(code)
+	case msgRepair:
+		if len(m.Data) < 17 {
+			return
+		}
+		shard := int(binary.LittleEndian.Uint32(m.Data[1:]))
+		bucket := int(binary.LittleEndian.Uint32(m.Data[5:]))
+		ver := binary.LittleEndian.Uint64(m.Data[9:])
+		s.applyRepair(shard, bucket, ver, m.Data[17:])
+	case msgRepairEnd:
+		if len(m.Data) < 9 {
+			return
+		}
+		// Ordered delivery per sender means every diff before this token
+		// is already applied; acknowledge so the repairer can re-admit
+		// us. A failed ack send leaves the repairer to time out and
+		// retry on the next heal event.
+		var b [9]byte
+		b[0] = msgRepairAck
+		copy(b[1:], m.Data[1:9])
+		_ = s.msgr.Send(m.From, b[:])
+	case msgRepairAck:
+		if len(m.Data) < 9 {
+			return
+		}
+		token := binary.LittleEndian.Uint64(m.Data[1:])
+		if m.From == s.wantAckPeer && token == s.wantAckToken {
+			s.gotAck = true
+		}
 	}
 }
 
@@ -523,7 +1012,7 @@ func (s *Store) handleMsg(m sonuma.Message) {
 // this node does not own.
 func (s *Store) applyForwarded(shard int, key, value []byte) byte {
 	owner := false
-	for _, o := range s.ring.Owners(shard) {
+	for _, o := range s.ring().ownersShared(shard) {
 		if o == s.me {
 			owner = true
 			break
@@ -631,7 +1120,7 @@ func (s *Store) applyPut(shard int, key, value []byte) error {
 // slot's version odd until the next PUT rewrites it; healing that without
 // a writer is the anti-entropy repair item in ROADMAP.md.
 func (s *Store) replicate(shard int, off int, body []byte) error {
-	owners := s.ring.Owners(shard)
+	owners := s.ring().ownersShared(shard)
 	targets := make([]int, 0, len(owners))
 	for _, o := range owners {
 		if o != s.me && !s.down[o] {
@@ -763,4 +1252,136 @@ func (s *Store) failTargets(targets []int, errs []error) error {
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ring resize
+
+// AddNode grows the placement ring by one member and waits until this
+// store has applied the resize. Every member (including the joining node,
+// which must already have Open'd a store) calls AddNode with the same
+// argument; call it on the joining node FIRST — that call migrates every
+// shard the node gains from the shards' current owners before returning,
+// so by the time other members start routing to it the data is in place.
+// Key→shard placement never changes on resize, and consistent hashing
+// moves only the shards whose ring arcs the new node's points claim.
+func (s *Store) AddNode(node int) error {
+	if node < 0 || node >= s.n {
+		return fmt.Errorf("kvs: node %d outside cluster [0,%d)", node, s.n)
+	}
+	req := &resizeReq{node: node, resp: make(chan error, 1)}
+	select {
+	case s.resizeCh <- req:
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case err := <-req.resp:
+		return err
+	case <-s.done:
+		select {
+		case err := <-req.resp:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// handleResize applies one AddNode on the serve loop. Only the joining
+// node ever gains ownership on an AddNode (the new points can push other
+// nodes out of an owner list, never pull them in), so migration runs only
+// when this store IS the joining node.
+func (s *Store) handleResize(req *resizeReq) {
+	old := s.ring()
+	if old.ContainsNode(req.node) {
+		req.resp <- nil
+		return
+	}
+	next := old.AddNode(req.node)
+	if req.node == s.me {
+		for _, shard := range MovedShards(old, next) {
+			if !containsInt(next.ownersShared(shard), s.me) || containsInt(old.ownersShared(shard), s.me) {
+				continue
+			}
+			if err := s.migrateShard(old, shard); err != nil {
+				req.resp <- fmt.Errorf("kvs: migrating shard %d: %w", shard, err)
+				return
+			}
+			s.shardsMigrated.Add(1)
+		}
+	}
+	s.ringPub.Store(next)
+	s.resetLeadership()
+	req.resp <- nil
+}
+
+// migrateShard pulls one shard's slot table from a current owner with
+// batched one-sided reads, installing each stable slot locally before this
+// node starts serving the shard.
+func (s *Store) migrateShard(old *Ring, shard int) error {
+	src := -1
+	for _, o := range old.ownersShared(shard) {
+		if o != s.me && !s.down[o] {
+			src = o
+			break
+		}
+	}
+	if src < 0 {
+		return ErrNoReplica
+	}
+	for base := 0; base < s.cfg.Buckets; base += migrateBurst {
+		end := base + migrateBurst
+		if end > s.cfg.Buckets {
+			end = s.cfg.Buckets
+		}
+		for b := base; b < end; b++ {
+			s.batch.Read(src, uint64(s.cfg.slotOff(shard, b)), s.migBuf, (b-base)*s.cfg.SlotSize, s.cfg.SlotSize, nil)
+		}
+		if err := s.batch.SubmitWait(); err != nil {
+			return err
+		}
+		for b := base; b < end; b++ {
+			if err := s.migrateSlot(src, shard, b, (b-base)*s.cfg.SlotSize); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// migrateSlot installs one fetched slot image locally, re-reading while a
+// writer on the source holds it odd. Installation follows the local
+// seqlock discipline so one-sided readers that race the ring swap still
+// see torn-or-stable.
+func (s *Store) migrateSlot(src, shard, bucket, bufOff int) error {
+	img := s.scratch
+	if err := s.migBuf.ReadAt(bufOff, img); err != nil {
+		return err
+	}
+	ver := binary.LittleEndian.Uint64(img)
+	for r := 0; ver&1 == 1 && r < repairOddRetries; r++ {
+		runtime.Gosched()
+		if err := s.qp.Read(src, uint64(s.cfg.slotOff(shard, bucket)), s.migBuf, bufOff, s.cfg.SlotSize); err != nil {
+			return err
+		}
+		if err := s.migBuf.ReadAt(bufOff, img); err != nil {
+			return err
+		}
+		ver = binary.LittleEndian.Uint64(img)
+	}
+	if ver == 0 || ver&1 == 1 {
+		// Empty — or held odd beyond patience, in which case the live
+		// writer replicating it will overwrite us the moment the ring
+		// swap makes us an owner.
+		return nil
+	}
+	off := s.cfg.slotOff(shard, bucket)
+	if err := s.mem.Store64(off, ver|1); err != nil {
+		return err
+	}
+	if err := s.mem.WriteAt(off+8, img[8:]); err != nil {
+		return err
+	}
+	return s.mem.Store64(off, ver)
 }

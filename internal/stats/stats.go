@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -28,12 +29,27 @@ func (r *RNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Intn returns a value in [0, n). It panics if n <= 0.
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+//
+// The reduction is Lemire's multiply-shift with rejection (Lemire,
+// "Fast Random Integer Generation in an Interval", 2019) rather than a
+// plain modulo: `Uint64() % n` over-weights the low residues whenever n
+// does not divide 2^64, which would skew YCSB key draws. The fast path is
+// one 128-bit multiply; the rare rejection loop (probability < n/2^64)
+// discards exactly the draws that would land in the biased remainder.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with n <= 0")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) % n: size of the unbiased suffix
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Float64 returns a value in [0, 1).

@@ -35,6 +35,57 @@ func TestIntnRange(t *testing.T) {
 			t.Fatalf("Intn(13) = %d", v)
 		}
 	}
+	// Huge ranges (where modulo bias would be worst) stay in bounds and
+	// reach the upper half of the interval.
+	huge := (1 << 62) + 12345
+	sawHigh := false
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(huge)
+		if v < 0 || v >= huge {
+			t.Fatalf("Intn(%d) = %d", huge, v)
+		}
+		if v > huge/2 {
+			sawHigh = true
+		}
+	}
+	if !sawHigh {
+		t.Fatalf("Intn(%d) never reached the upper half in 10000 draws", huge)
+	}
+	if r.Intn(1) != 0 {
+		t.Fatal("Intn(1) must be 0")
+	}
+}
+
+// TestIntnUniform is the distribution test guarding the YCSB key draws: a
+// chi-square goodness-of-fit check over a bucket count that does not
+// divide the generator's 2^64 range, so any reduction bias (the old
+// `Uint64 % n`) or a broken rejection loop shows up as skew.
+func TestIntnUniform(t *testing.T) {
+	const n = 1000
+	const draws = 1_000_000
+	r := NewRNG(0xD15C0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 999 degrees of freedom: mean 999, stddev ~44.7. Accept ±5 sigma
+	// (~[775, 1223]); a uniformity bug shifts chi-square by orders of
+	// magnitude, not fractions of a sigma.
+	if chi2 < 775 || chi2 > 1223 {
+		t.Fatalf("chi-square = %.1f over %d buckets (expect ~999±224); Intn is not uniform", chi2, n)
+	}
+	// And no bucket may be starved or doubled outright.
+	for i, c := range counts {
+		if float64(c) < expected*0.7 || float64(c) > expected*1.3 {
+			t.Fatalf("bucket %d drawn %d times (expected ~%.0f)", i, c, expected)
+		}
+	}
 }
 
 func TestFloat64Range(t *testing.T) {

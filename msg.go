@@ -33,6 +33,16 @@ import (
 //   - Flow control is credit-based: receivers publish cumulative
 //     consumed-slot counts into each sender's segment, bounding ring
 //     occupancy without any connection state.
+//   - A ring write that fails partway (a fabric failure dropped some of a
+//     message's lines) wedges the channel toward that peer, because
+//     rewriting the same slots would let the receiver stitch fragments of
+//     two messages together. When the fabric heals, the wedged sender
+//     recovers the channel with a reset handshake built from the same
+//     one-sided writes as the data path: it proposes a fresh channel
+//     generation in the receiver's reset word, the receiver discards the
+//     partial message (zeroing its ring and rewinding its consume
+//     cursor), acknowledges the generation, and both sides restart the
+//     ring from slot zero with fresh credits.
 
 // Message slot geometry: one cache line per slot, 8-byte header.
 const (
@@ -104,8 +114,9 @@ func MessengerRegionSize(n int, cfg MessengerConfig) int {
 	rings := n * cfg.RingSlots * slotSize
 	credits := n * slotSize
 	acks := core.AlignUp(n * cfg.StagingSlots * 8)
+	resets := n * slotSize
 	staging := n * cfg.StagingSlots * cfg.StagingSize
-	return rings + credits + acks + staging
+	return rings + credits + acks + resets + staging
 }
 
 // Message is one received unsolicited message.
@@ -138,13 +149,16 @@ type Messenger struct {
 	tiny    *Buffer // 8-byte scratch for credit/ack writes
 	batch   *Batch  // reusable op batch: ring writes issue with one doorbell
 
-	ringBase, creditBase, ackBase, stagBase int
+	ringBase, creditBase, ackBase, resetBase, stagBase int
 
 	txSeq          []uint64 // slots written toward each peer
 	rxSeq          []uint64 // slots consumed from each peer
 	lastCreditSent []uint64
 	stagingGen     [][]uint64
-	txBroken       []bool // send path wedged: a ring write failed mid-message
+	txBroken       []bool   // send path wedged: a ring write failed mid-message
+	txGen          []uint64 // channel generation proposed toward each peer
+	rxGen          []uint64 // channel generation accepted from each peer
+	Resets         uint64   // channel resets completed as the wedged sender
 
 	rxQueue []Message
 
@@ -171,6 +185,8 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 		lastCreditSent: make([]uint64, n),
 		stagingGen:     make([][]uint64, n),
 		txBroken:       make([]bool, n),
+		txGen:          make([]uint64, n),
+		rxGen:          make([]uint64, n),
 	}
 	for i := range m.stagingGen {
 		m.stagingGen[i] = make([]uint64, cfg.StagingSlots)
@@ -178,7 +194,8 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 	m.ringBase = cfg.RegionOffset
 	m.creditBase = m.ringBase + n*cfg.RingSlots*slotSize
 	m.ackBase = m.creditBase + n*slotSize
-	m.stagBase = m.ackBase + core.AlignUp(n*cfg.StagingSlots*8)
+	m.resetBase = m.ackBase + core.AlignUp(n*cfg.StagingSlots*8)
+	m.stagBase = m.resetBase + n*slotSize
 
 	var err error
 	if m.sendBuf, err = ctx.AllocBuffer(cfg.RingSlots * slotSize); err != nil {
@@ -224,6 +241,11 @@ func (m *Messenger) creditOff(p int) int { return m.creditBase + p*slotSize }
 func (m *Messenger) ackOff(rcv, k int) int {
 	return m.ackBase + (rcv*m.cfg.StagingSlots+k)*8
 }
+
+// resetOff locates, within my segment, the reset line written by peer p.
+// Word 0 is p's channel-generation proposal for the ring p→me; word 1 is
+// p's acknowledgement of my proposal for the ring me→p.
+func (m *Messenger) resetOff(p int) int { return m.resetBase + p*slotSize }
 
 // stagingOff locates, within my segment, staging slot k toward peer p.
 func (m *Messenger) stagingOff(p, k int) int {
@@ -293,13 +315,17 @@ func (m *Messenger) Send(to int, data []byte) error {
 // receiver through the per-slot epoch stamps.
 //
 // A ring write that fails partway (the fabric dropped some of a message's
-// lines) permanently wedges the channel toward that peer: txSeq cannot
-// advance past the partial message, and rewriting the same slots with a
-// later message would let the receiver stitch fragments of two messages
-// together. Sends to such a peer fail fast with StatusNodeFailure.
+// lines) wedges the channel toward that peer: txSeq cannot advance past
+// the partial message, and rewriting the same slots with a later message
+// would let the receiver stitch fragments of two messages together. While
+// the peer stays unreachable, sends fail fast with StatusNodeFailure; once
+// the fabric heals, the next send first runs the channel-reset handshake
+// (resetChannel) so the pair resynchronizes and the wedge lifts.
 func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 	if m.txBroken[to] {
-		return errPeerDown()
+		if err := m.resetChannel(to); err != nil {
+			return err
+		}
 	}
 	nSlots := slotsFor(len(data))
 	if nSlots > m.cfg.RingSlots {
@@ -371,10 +397,130 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 	return nil
 }
 
+// resetChannel recovers a wedged send channel toward peer `to`: propose a
+// fresh ring restart point in the peer's reset word, wait (pumping, so the
+// peer's own reset toward us can complete concurrently) until the peer
+// acknowledges it, then resume the ring from that point with matching
+// credits. The proposal value is a sequence number, not an opaque
+// generation: it is chosen so every post-reset slot carries an epoch stamp
+// strictly greater than anything the wedged generation could have written,
+// which makes the handshake safe against stragglers — a line of the old
+// partial message that lands after the receiver rewound can never match a
+// post-reset epoch, so nothing can be stitched. Returns StatusNodeFailure
+// if the peer is or becomes unreachable mid-handshake; the channel stays
+// wedged and the next send proposes a fresh, higher restart point.
+func (m *Messenger) resetChannel(to int) error {
+	if !m.reachable(to) {
+		return errPeerDown()
+	}
+	// Skip two whole ring generations past the wedge point: the partial
+	// message wrote epochs at most txSeq/RingSlots+2 (it can spill one
+	// generation past the wedge), and slots from `start` on carry epoch
+	// start/RingSlots+1 and up. Monotone across retries so a re-proposal
+	// after a lost acknowledgement always triggers a fresh accept.
+	ring := uint64(m.cfg.RingSlots)
+	start := (m.txSeq[to]/ring + 2) * ring
+	if start <= m.txGen[to] {
+		start = m.txGen[to] + ring
+	}
+	m.txGen[to] = start
+	if err := m.tiny.Store64(16, start); err != nil {
+		return err
+	}
+	if err := m.qp.Write(to, uint64(m.resetOff(m.me)), m.tiny, 16, 8); err != nil {
+		if IsNodeFailure(err) {
+			return errPeerDown()
+		}
+		return err
+	}
+	for {
+		ack, err := m.mem.Load64(m.resetOff(to) + 8)
+		if err != nil {
+			return err
+		}
+		if ack >= start {
+			break
+		}
+		if !m.reachable(to) {
+			return errPeerDown()
+		}
+		if err := m.pump(); err != nil {
+			return err
+		}
+		runtime.Gosched()
+	}
+	// The peer has discarded the partial message and rewound its consume
+	// cursor to `start`; resume our side from the same point with a full
+	// ring of credits (consumed == sent).
+	m.txSeq[to] = start
+	if err := m.mem.Store64(m.creditOff(to), start); err != nil {
+		return err
+	}
+	// Pull transfers staged before the wedge were lost with the partition:
+	// their descriptors never completed, so their acknowledgements will
+	// never arrive. Resynchronize the staging generations to whatever the
+	// peer last acknowledged so every slot is allocatable again.
+	for k := range m.stagingGen[to] {
+		acked, err := m.mem.Load64(m.ackOff(to, k))
+		if err != nil {
+			return err
+		}
+		m.stagingGen[to][k] = acked
+	}
+	m.txBroken[to] = false
+	m.Resets++
+	return nil
+}
+
+// handleResets is the receiver half of the channel-reset handshake: for
+// each peer that proposed a restart point newer than the one we last
+// accepted, discard the partial message (zero the peer's ring for
+// hygiene — the epoch scheme already makes stale slots unreadable), rewind
+// the consume cursor to the restart point, and acknowledge it. If the
+// acknowledgement write is lost to another failure the peer stays wedged
+// and will re-propose a strictly higher point, so accepting first keeps
+// the retry path idempotent.
+func (m *Messenger) handleResets() error {
+	for p := 0; p < m.n; p++ {
+		if p == m.me {
+			continue
+		}
+		req, err := m.mem.Load64(m.resetOff(p))
+		if err != nil {
+			return err
+		}
+		if req <= m.rxGen[p] || req == 0 {
+			continue
+		}
+		m.rxGen[p] = req
+		zero := make([]byte, m.cfg.RingSlots*slotSize)
+		if err := m.mem.WriteAt(m.ringOff(p, 0), zero); err != nil {
+			return err
+		}
+		m.rxSeq[p] = req
+		m.lastCreditSent[p] = req
+		if err := m.tiny.Store64(24, req); err != nil {
+			return err
+		}
+		if err := m.qp.Write(p, uint64(m.resetOff(m.me)+8), m.tiny, 24, 8); err != nil && !IsNodeFailure(err) {
+			return err
+		}
+	}
+	return nil
+}
+
 // sendPull stages chunk in the local segment and pushes a 24-byte
 // descriptor; the receiver fetches the payload with one rmc_read and
 // acknowledges by writing the staging generation into our ack word.
 func (m *Messenger) sendPull(to int, chunk []byte) error {
+	// A wedged channel must reset before staging: stale staging
+	// generations from the lost partition would otherwise make every slot
+	// look permanently busy.
+	if m.txBroken[to] {
+		if err := m.resetChannel(to); err != nil {
+			return err
+		}
+	}
 	k, err := m.allocStaging(to)
 	if err != nil {
 		return err
@@ -445,8 +591,12 @@ func (m *Messenger) TryRecv() (Message, bool, error) {
 // progress when we poll.
 func (m *Messenger) Poll() error { return m.pump() }
 
-// pump performs one non-blocking pass over all peers' rings.
+// pump performs one non-blocking pass over all peers' rings, serving
+// channel-reset proposals first so a wedged peer can resynchronize.
 func (m *Messenger) pump() error {
+	if err := m.handleResets(); err != nil {
+		return err
+	}
 	for p := 0; p < m.n; p++ {
 		if p == m.me {
 			continue

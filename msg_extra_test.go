@@ -118,8 +118,9 @@ func TestMessengerInterleavedSizes(t *testing.T) {
 func TestMessengerRegionSizeAccounts(t *testing.T) {
 	cfg := sonuma.MessengerConfig{RingSlots: 32, StagingSlots: 2, StagingSize: 4096}
 	size := sonuma.MessengerRegionSize(4, cfg)
-	// rings: 4*32*64; credits: 4*64; acks: align64(4*2*8); staging: 4*2*4096
-	want := 4*32*64 + 4*64 + 64 + 4*2*4096
+	// rings: 4*32*64; credits: 4*64; acks: align64(4*2*8); resets: 4*64;
+	// staging: 4*2*4096
+	want := 4*32*64 + 4*64 + 64 + 4*64 + 4*2*4096
 	if size != want {
 		t.Fatalf("region size %d, want %d", size, want)
 	}
