@@ -175,6 +175,14 @@ func (c *Cluster) RestoreNode(i int) { c.ic.RestoreNode(core.NodeID(i)) }
 // FailLink injects a bidirectional link failure between nodes a and b.
 func (c *Cluster) FailLink(a, b int) { c.ic.FailLink(core.NodeID(a), core.NodeID(b)) }
 
+// FailLinkDirected injects a one-way link failure: traffic a→b is dropped
+// while b→a keeps flowing — the asymmetric-partition case where a node can
+// be written to but cannot answer (or renew leases). RestoreLink repairs
+// both directions.
+func (c *Cluster) FailLinkDirected(a, b int) {
+	c.ic.FailLinkDirected(core.NodeID(a), core.NodeID(b))
+}
+
 // RestoreLink repairs a previously failed link and fires every RMC's
 // driver link-restore callback.
 func (c *Cluster) RestoreLink(a, b int) { c.ic.RestoreLink(core.NodeID(a), core.NodeID(b)) }

@@ -36,9 +36,10 @@ func main() {
 		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|datapath|kvs|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and op counts")
 		jsonOut    = flag.String("json", "", "write datapath/kvs results to this file as JSON (e.g. BENCH.json)")
+		seed       = flag.Uint64("seed", 0, "seed for randomized choices (key pickers, fault runs); 0 = fixed default; printed with results so failing partition schedules are reproducible")
 	)
 	flag.Parse()
-	o := bench.Options{Quick: *quick}
+	o := bench.Options{Quick: *quick, Seed: *seed}
 	w := os.Stdout
 
 	run := func(name string, f func()) {
@@ -85,7 +86,7 @@ func main() {
 		run("Sharded KV service (YCSB-style mixes + failover)", func() {
 			d, err := bench.KVS(o)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "kvs: %v\n", err)
+				fmt.Fprintf(os.Stderr, "kvs: %v\nreproduce with -seed (see error above for the run's seed)\n", err)
 				os.Exit(1)
 			}
 			bench.Print(w, d)

@@ -193,6 +193,71 @@ func TestPacketPoolReuseIntegrity(t *testing.T) {
 	}
 }
 
+// TestFailLinkDirectedAsymmetric injects a ONE-WAY link cut and verifies
+// the asymmetric-partition semantics: both two-sided operations of the
+// pair fail deterministically (a request over the healthy direction would
+// strand when its reply drops on the dead one, so issue fails instead of
+// hanging), Reachable reports the pair unreachable in both directions,
+// third-party routes keep working, and a single RestoreLink heals both
+// directions.
+func TestFailLinkDirectedAsymmetric(t *testing.T) {
+	cl, qps, bufs := faultCluster(t, 3, sonuma.Config{})
+	defer cl.Close()
+
+	cl.FailLinkDirected(0, 1)
+
+	// 0→1 fails on the dead direction itself.
+	err := qps[0].Read(1, 0, bufs[0], 0, 64)
+	var re *sonuma.RemoteError
+	if !errors.As(err, &re) || re.Status != sonuma.StatusNodeFailure {
+		t.Fatalf("read over dead direction: got %v, want StatusNodeFailure", err)
+	}
+	// 1→0 fails too — not because its request cannot travel (that
+	// direction is healthy) but because its reply would be dropped; a
+	// hang here was the failure mode before issue-time reply-route
+	// validation.
+	err = qps[1].Read(0, 0, bufs[1], 0, 64)
+	if !errors.As(err, &re) || re.Status != sonuma.StatusNodeFailure {
+		t.Fatalf("read whose reply crosses dead direction: got %v, want StatusNodeFailure", err)
+	}
+	if cl.Reachable(0, 1) || cl.Reachable(1, 0) {
+		t.Fatal("asymmetrically cut pair still reports Reachable")
+	}
+
+	// Third-party routes are unaffected in both directions.
+	if err := qps[0].Read(2, 0, bufs[0], 0, 4096); err != nil {
+		t.Fatalf("unrelated route 0→2 broken: %v", err)
+	}
+	if err := qps[2].Read(1, 0, bufs[2], 0, 4096); err != nil {
+		t.Fatalf("unrelated route 2→1 broken: %v", err)
+	}
+
+	// In-flight operations racing the cut must complete, never hang.
+	var completed int
+	for i := 0; i < 16; i++ {
+		if _, err := qps[2].ReadAsync(0, 0, bufs[2], 0, 32<<10, func(_ int, err error) {
+			completed++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qps[2].DrainCQ(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 16 {
+		t.Fatalf("completed %d of 16 unrelated in-flight operations", completed)
+	}
+
+	// One restore heals both directions.
+	cl.RestoreLink(0, 1)
+	if err := qps[0].Read(1, 0, bufs[0], 0, 64); err != nil {
+		t.Fatalf("0→1 after restore: %v", err)
+	}
+	if err := qps[1].Read(0, 0, bufs[1], 0, 64); err != nil {
+		t.Fatalf("1→0 after restore: %v", err)
+	}
+}
+
 // TestMessengerPeerLoss cuts every link of a messaging peer and verifies
 // the messenger surfaces the loss as a StatusNodeFailure error instead of
 // spinning forever in its credit wait — including when the ring toward the

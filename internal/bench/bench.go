@@ -18,6 +18,12 @@ import (
 // the full suite stays test-friendly; Full mode is for the CLI.
 type Options struct {
 	Quick bool
+	// Seed pins every randomized choice an experiment makes (key pickers,
+	// operation mixes, fault schedules) so a run — in particular a failed
+	// fault-injection run — is reproducible bit for bit. Zero selects the
+	// fixed default seed; harnesses print the effective seed with their
+	// results.
+	Seed uint64
 }
 
 // ops picks an operation count by mode.
@@ -26,6 +32,14 @@ func (o Options) ops(full, quick int) int {
 		return quick
 	}
 	return full
+}
+
+// seed resolves the effective seed (zero = the fixed default).
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
 }
 
 // RequestSizes is the §7.2/§7.3 sweep: 64 B to 8 KB in powers of two.

@@ -98,9 +98,39 @@ type KVSHealStat struct {
 	OpsPerSec         float64 `json:"ops_per_sec"`
 }
 
+// KVSAsymStat records the asymmetric-partition run: a busy shard leader is
+// one-way partitioned (it can be written to but cannot send — so lease
+// renewals and replication die while its colocated clients keep it
+// absorbing writes), the coordinator's epoch bump demotes and fences it,
+// the promoted replica serves the winning epoch, and after the heal the
+// run audits that repair's (epoch, version) order rolled the stale
+// absorbed writes back: every contested key converges to the winning
+// epoch's last acknowledged value on byte-identical replicas.
+type KVSAsymStat struct {
+	FailedNode  int `json:"failed_node"` // the one-way-partitioned stale leader
+	Coordinator int `json:"coordinator"`
+	Contested   int `json:"contested_keys"` // keys written by BOTH sides
+	// Absorbed counts writes the stale leader acknowledged during the
+	// partition while its lease was still valid — these push its version
+	// counts ahead of the winning side, the case version-count
+	// anti-entropy could never settle.
+	Absorbed int `json:"absorbed_writes"`
+	// FencedErrors counts stale-side writes that surfaced ErrFenced after
+	// the lease lapsed (errors, never silent drops).
+	FencedErrors int    `json:"fenced_errors"`
+	EpochStart   uint64 `json:"epoch_start"`
+	EpochEnd     uint64 `json:"epoch_end"` // after demote + repair + re-admit
+	// WinnerPreserved is true when every contested key ended at the
+	// winning epoch's last acknowledged value on every replica.
+	WinnerPreserved   bool    `json:"winner_writes_preserved"`
+	ReplicasIdentical bool    `json:"replicas_identical"`
+	ConvergeMs        float64 `json:"converge_ms"` // heal → clean epoch everywhere
+}
+
 // KVSData is the full measurement set of the kvs experiment.
 type KVSData struct {
 	GeneratedAt string           `json:"generated_at"`
+	Seed        uint64           `json:"seed"` // reproduces every randomized choice
 	Nodes       int              `json:"nodes"`
 	Shards      int              `json:"shards"`
 	Replicas    int              `json:"replicas"`
@@ -108,6 +138,7 @@ type KVSData struct {
 	Results     []KVSStat        `json:"results"`
 	Failover    *KVSFailoverStat `json:"failover,omitempty"`
 	Heal        *KVSHealStat     `json:"heal,omitempty"`
+	Asym        *KVSAsymStat     `json:"asym,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -154,15 +185,15 @@ type kvsService struct {
 	clients []*kvs.Client
 	keys    [][]byte
 	n       int
+	seed    uint64
 }
 
-func startKVS(nodes, shards, replicas, buckets, slotSize, keyCount int) (*kvsService, error) {
+func startKVS(nodes, keyCount int, cfg kvs.Config, seed uint64) (*kvsService, error) {
 	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: nodes})
 	if err != nil {
 		return nil, err
 	}
-	cfg := kvs.Config{Shards: shards, Replicas: replicas, Buckets: buckets, SlotSize: slotSize}
-	svc := &kvsService{cluster: cl, n: nodes}
+	svc := &kvsService{cluster: cl, n: nodes, seed: seed}
 	for i := 0; i < nodes; i++ {
 		ctx, err := cl.Node(i).OpenContext(3, cfg.SegmentSize(nodes)+4096)
 		if err != nil {
@@ -293,8 +324,8 @@ func (svc *kvsService) runMix(w kvsWorkload, dist string, valueSize, totalOps, g
 // clientMix is one client goroutine's operation loop.
 func (svc *kvsService) clientMix(ci int, w kvsWorkload, dist string, valueSize, ops, getBurst int) ([]float64, error) {
 	client := svc.clients[ci]
-	picker := newPicker(dist, len(svc.keys), uint64(ci)*0x1000+7)
-	opRNG := stats.NewRNG(uint64(ci) + 0x5eed)
+	picker := newPicker(dist, len(svc.keys), svc.seed^(uint64(ci)*0x1000+7))
+	opRNG := stats.NewRNG(svc.seed + uint64(ci) + 0x5eed)
 	lat := make([]float64, 0, ops)
 	burst := make([][]byte, 0, getBurst)
 
@@ -388,8 +419,8 @@ func (svc *kvsService) runFailover(totalOps, getBurst, valueSize int) (*KVSFailo
 		go func() {
 			defer wg.Done()
 			client := svc.clients[ci]
-			picker := newPicker("zipfian", len(svc.keys), uint64(ci)*31+99)
-			opRNG := stats.NewRNG(uint64(ci) ^ 0xfa11)
+			picker := newPicker("zipfian", len(svc.keys), svc.seed^(uint64(ci)*31+99))
+			opRNG := stats.NewRNG(svc.seed + uint64(ci) ^ 0xfa11)
 			gen := 0
 			for i := 0; i < perClient; i++ {
 				key := svc.keys[picker.next()]
@@ -497,8 +528,8 @@ func (svc *kvsService) runHeal(totalOps, getBurst, valueSize int) (*KVSHealStat,
 		go func() {
 			defer wg.Done()
 			client := svc.clients[ci]
-			picker := newPicker("zipfian", len(svc.keys), uint64(ci)*17+3)
-			opRNG := stats.NewRNG(uint64(ci) ^ 0x4ea1)
+			picker := newPicker("zipfian", len(svc.keys), svc.seed^(uint64(ci)*17+3))
+			opRNG := stats.NewRNG(svc.seed + uint64(ci) ^ 0x4ea1)
 			gen := 0
 			for i := 0; i < perClient; i++ {
 				key := svc.keys[picker.next()]
@@ -648,9 +679,162 @@ func (svc *kvsService) runHeal(totalOps, getBurst, valueSize int) (*KVSHealStat,
 	}, nil
 }
 
+// runAsymmetric drives the asymmetric-partition lifecycle on a cluster
+// configured with a short lease: one-way-cut a busy leader's outbound
+// links, let its colocated client keep absorbing writes until the lease
+// fences it, wait for the demoting epoch, land the winning epoch's writes
+// on the promoted replica, heal, and audit that repair's (epoch, version)
+// order made the cluster converge to the winning image.
+func (svc *kvsService) runAsymmetric(lease time.Duration) (*KVSAsymStat, error) {
+	victim := svc.busiestPrimary()
+	ring := svc.stores[0].Ring()
+	coord := 0
+
+	// Contested keys: led by the victim, written by both sides.
+	var contested [][]byte
+	for _, k := range svc.keys {
+		if ring.Owners(ring.ShardOf(k))[0] == victim {
+			contested = append(contested, k)
+			if len(contested) == 24 {
+				break
+			}
+		}
+	}
+	if len(contested) == 0 {
+		return nil, fmt.Errorf("asym: victim %d leads no preloaded key", victim)
+	}
+	witness := (victim + 1) % svc.n
+	st := &KVSAsymStat{
+		FailedNode:  victim,
+		Coordinator: coord,
+		Contested:   len(contested),
+		EpochStart:  svc.stores[witness].Epoch(),
+	}
+
+	// Baseline on the healthy epoch.
+	for _, k := range contested {
+		if err := svc.clients[witness].Put(k, benchValue(64, 0)); err != nil {
+			return nil, fmt.Errorf("asym baseline put: %w", err)
+		}
+	}
+
+	// One-way partition: the victim can be written to but cannot send —
+	// renewals and replication die, absorption continues.
+	for i := 0; i < svc.n; i++ {
+		if i != victim {
+			svc.cluster.FailLinkDirected(victim, i)
+		}
+	}
+
+	var absorbed, fencedErrs atomic.Int64
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		c := svc.clients[victim]
+		seq := 0
+		for start := time.Now(); time.Since(start) < 8*lease; {
+			seq++
+			err := c.Put(contested[seq%len(contested)], []byte(fmt.Sprintf("stale-%08d", seq)))
+			switch {
+			case err == nil:
+				absorbed.Add(1)
+			case errors.Is(err, kvs.ErrFenced):
+				fencedErrs.Add(1)
+			}
+		}
+	}()
+
+	// Winning side: write every contested key through the epoch
+	// transition (parks while the demoting epoch is pending).
+	lastWin := make(map[string][]byte, len(contested))
+	deadline := time.Now().Add(40 * lease)
+	for _, k := range contested {
+		for gen := 1; ; gen++ {
+			val := []byte(fmt.Sprintf("win-%s-%d", k, gen))
+			if err := svc.clients[witness].Put(k, val); err == nil {
+				lastWin[string(k)] = val
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("asym: winning write on %q never landed after the epoch bump", k)
+			}
+		}
+	}
+	if !svc.stores[witness].EpochDown(victim) {
+		return nil, fmt.Errorf("asym: winning writes landed but the stale leader was never evicted")
+	}
+	<-staleDone
+	st.Absorbed = int(absorbed.Load())
+	st.FencedErrors = int(fencedErrs.Load())
+	if st.Absorbed == 0 {
+		return nil, fmt.Errorf("asym: stale leader absorbed nothing; no divergence to arbitrate")
+	}
+	if st.FencedErrors == 0 && svc.stores[victim].Stats().Fenced == 0 {
+		return nil, fmt.Errorf("asym: stale leader never fenced itself")
+	}
+
+	// Heal and wait for a clean epoch everywhere.
+	healedAt := time.Now()
+	for i := 0; i < svc.n; i++ {
+		if i != victim {
+			svc.cluster.RestoreLink(victim, i)
+		}
+	}
+	convergeBy := time.Now().Add(30 * time.Second)
+	for {
+		clean := true
+		epoch := svc.stores[0].Epoch()
+		for _, s := range svc.stores {
+			if s.Epoch() != epoch {
+				clean = false
+			}
+			for p := 0; p < svc.n; p++ {
+				if s.EpochDown(p) {
+					clean = false
+				}
+			}
+			for p, d := range s.DownView() {
+				if d && p != s.NodeID() {
+					clean = false
+				}
+			}
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(convergeBy) {
+			return nil, fmt.Errorf("asym: cluster did not converge within %s of the heal", time.Since(healedAt))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st.ConvergeMs = time.Since(healedAt).Seconds() * 1e3
+	st.EpochEnd = svc.stores[witness].Epoch()
+
+	// Audit: every contested key holds the winning epoch's last
+	// acknowledged value on every replica — the stale leader's absorbed
+	// writes (version counts ahead!) were rolled back.
+	st.WinnerPreserved, st.ReplicasIdentical = true, true
+	audit := svc.clients[witness]
+	for _, k := range contested {
+		want := lastWin[string(k)]
+		for _, o := range ring.Owners(ring.ShardOf(k)) {
+			got, err := audit.GetReplica(o, k)
+			if err != nil {
+				return nil, fmt.Errorf("asym audit GetReplica(%d, %q): %w", o, k, err)
+			}
+			if string(got) != string(want) {
+				return nil, fmt.Errorf("asym: replica %d of %q = %q, want winning %q (stale write survived)",
+					o, k, got, want)
+			}
+		}
+	}
+	return st, nil
+}
+
 // KVS measures the sharded KV service: the YCSB A/B/C mixes over zipfian
-// and uniform key distributions, a larger-value row, the failover run, and
-// the kill → heal → converge run.
+// and uniform key distributions, a larger-value row, the failover run, the
+// kill → heal → converge run, and the asymmetric-partition (stale leader
+// fenced by an epoch bump) run.
 func KVS(o Options) (KVSData, error) {
 	const (
 		nodes    = 4
@@ -662,8 +846,9 @@ func KVS(o Options) (KVSData, error) {
 	)
 	keyCount := o.ops(4000, 800)
 	rowOps := o.ops(20000, 2000)
+	cfg := kvs.Config{Shards: shards, Replicas: replicas, Buckets: buckets, SlotSize: slotSize}
 
-	svc, err := startKVS(nodes, shards, replicas, buckets, slotSize, keyCount)
+	svc, err := startKVS(nodes, keyCount, cfg, o.seed())
 	if err != nil {
 		return KVSData{}, err
 	}
@@ -674,6 +859,7 @@ func KVS(o Options) (KVSData, error) {
 
 	d := KVSData{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        o.seed(),
 		Nodes:       nodes,
 		Shards:      shards,
 		Replicas:    replicas,
@@ -706,8 +892,11 @@ func KVS(o Options) (KVSData, error) {
 	}
 
 	// The failover run needs its own cluster: the mix rows above must not
-	// see a degraded fabric.
-	fsvc, err := startKVS(nodes, shards, replicas, buckets, slotSize, keyCount)
+	// see a degraded fabric. A short lease keeps the epoch transition
+	// (eviction grace = 2×lease) inside the run's budget.
+	faultCfg := cfg
+	faultCfg.Lease = 40 * time.Millisecond
+	fsvc, err := startKVS(nodes, keyCount, faultCfg, o.seed())
 	if err != nil {
 		return d, err
 	}
@@ -716,13 +905,13 @@ func KVS(o Options) (KVSData, error) {
 		return d, err
 	}
 	if d.Failover, err = fsvc.runFailover(o.ops(8000, 1200), getBurst, 64); err != nil {
-		return d, fmt.Errorf("failover run: %w", err)
+		return d, fmt.Errorf("failover run (seed %d): %w", o.seed(), err)
 	}
 
 	// The heal run gets a fresh cluster too: it exercises the full
 	// fail → evict → restore → repair → rejoin lifecycle and audits
 	// convergence, so it must start from an intact fabric.
-	hsvc, err := startKVS(nodes, shards, replicas, buckets, slotSize, keyCount)
+	hsvc, err := startKVS(nodes, keyCount, faultCfg, o.seed())
 	if err != nil {
 		return d, err
 	}
@@ -731,7 +920,22 @@ func KVS(o Options) (KVSData, error) {
 		return d, err
 	}
 	if d.Heal, err = hsvc.runHeal(o.ops(8000, 1200), getBurst, 64); err != nil {
-		return d, fmt.Errorf("heal run: %w", err)
+		return d, fmt.Errorf("heal run (seed %d): %w", o.seed(), err)
+	}
+
+	// The asymmetric-partition run: a stale leader keeps absorbing its
+	// colocated clients' writes until the lease fences it, the epoch bump
+	// demotes it, and convergence is audited against the winning epoch.
+	asvc, err := startKVS(nodes, keyCount, faultCfg, o.seed())
+	if err != nil {
+		return d, err
+	}
+	defer asvc.close()
+	if err := asvc.preload(64); err != nil {
+		return d, err
+	}
+	if d.Asym, err = asvc.runAsymmetric(faultCfg.Lease); err != nil {
+		return d, fmt.Errorf("asymmetric-partition run (seed %d): %w", o.seed(), err)
 	}
 	return d, nil
 }
@@ -748,8 +952,8 @@ func (d KVSData) WriteJSON(path string) error {
 // Tables renders the measurements as paper-style text tables.
 func (d KVSData) Tables() []*stats.Table {
 	t := stats.NewTable(
-		fmt.Sprintf("Sharded KV service (%d nodes, %d shards, %d replicas, %d keys)",
-			d.Nodes, d.Shards, d.Replicas, d.Keys),
+		fmt.Sprintf("Sharded KV service (%d nodes, %d shards, %d replicas, %d keys, seed %d)",
+			d.Nodes, d.Shards, d.Replicas, d.Keys, d.Seed),
 		"mix", "dist", "read%", "val B", "ops/sec", "p50 us", "p99 us", "srv msgs", "get handlers")
 	for _, r := range d.Results {
 		t.AddRow(r.Workload, r.Dist,
@@ -791,6 +995,23 @@ func (d KVSData) Tables() []*stats.Table {
 			fmt.Sprintf("%v", h.ReplicasIdentical),
 			fmt.Sprintf("%.0f", h.OpsPerSec))
 		out = append(out, ht)
+	}
+	if a := d.Asym; a != nil {
+		at := stats.NewTable("KV asymmetric partition (stale leader one-way cut; lease fencing + epoch arbitration)",
+			"stale leader", "coordinator", "contested keys", "absorbed", "fenced errs",
+			"epoch start", "epoch end", "winner preserved", "replicas identical", "converge ms")
+		at.AddRow(
+			fmt.Sprintf("%d", a.FailedNode),
+			fmt.Sprintf("%d", a.Coordinator),
+			fmt.Sprintf("%d", a.Contested),
+			fmt.Sprintf("%d", a.Absorbed),
+			fmt.Sprintf("%d", a.FencedErrors),
+			fmt.Sprintf("%d", a.EpochStart),
+			fmt.Sprintf("%d", a.EpochEnd),
+			fmt.Sprintf("%v", a.WinnerPreserved),
+			fmt.Sprintf("%v", a.ReplicasIdentical),
+			fmt.Sprintf("%.1f", a.ConvergeMs))
+		out = append(out, at)
 	}
 	return out
 }

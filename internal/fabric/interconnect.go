@@ -135,6 +135,14 @@ func (ic *Interconnect) routeUp(src, dst core.NodeID) bool {
 // pipelines) select on the returned lane together with their inbound work;
 // they call Account after a successful direct send so fabric counters stay
 // correct.
+//
+// Requests additionally validate the REPLY route: the protocol answers
+// every request with exactly one reply over the reverse route, so under an
+// asymmetric (one-way) link failure a request sent over the healthy
+// direction is guaranteed to strand — its reply is dropped on the dead
+// direction and nothing would ever complete the transaction. Failing the
+// issue deterministically is the development platform's stand-in for the
+// requester-side timeout real hardware would need.
 func (ic *Interconnect) LaneFor(kind proto.Kind, src, dst core.NodeID) (chan<- *proto.Batch, error) {
 	if ic.closed.Load() {
 		return nil, ErrClosed
@@ -148,6 +156,9 @@ func (ic *Interconnect) LaneFor(kind proto.Kind, src, dst core.NodeID) (chan<- *
 	}
 	if kind == proto.KindReply {
 		return ic.rpl[d], nil
+	}
+	if !ic.routeUp(dst, src) {
+		return nil, ErrDown
 	}
 	return ic.req[d], nil
 }
@@ -352,11 +363,13 @@ func (ic *Interconnect) NodeDown(id core.NodeID) bool {
 	return int(id) < ic.n && ic.down[id].Load()
 }
 
-// Reachable reports whether dst is currently reachable from src: fabric
-// open, both endpoints up, and every link of the deterministic route
-// healthy. Software spin loops that wait on destination-side progress
-// (messenger credits, staging acknowledgements) use it to bail out when
-// the peer falls off the fabric instead of spinning forever.
+// Reachable reports whether src and dst can currently complete
+// request/reply traffic: fabric open, both endpoints up, and every link of
+// BOTH deterministic routes healthy — an asymmetric cut leaves the pair
+// unable to complete any transaction even though one direction still
+// carries packets. Software spin loops that wait on destination-side
+// progress (messenger credits, staging acknowledgements) use it to bail
+// out when the peer falls off the fabric instead of spinning forever.
 func (ic *Interconnect) Reachable(src, dst core.NodeID) bool {
 	if ic.closed.Load() {
 		return false
@@ -364,7 +377,8 @@ func (ic *Interconnect) Reachable(src, dst core.NodeID) bool {
 	if int(src) < 0 || int(src) >= ic.n || int(dst) < 0 || int(dst) >= ic.n {
 		return false
 	}
-	return !ic.down[src].Load() && !ic.down[dst].Load() && ic.routeUp(src, dst)
+	return !ic.down[src].Load() && !ic.down[dst].Load() &&
+		ic.routeUp(src, dst) && ic.routeUp(dst, src)
 }
 
 // FailLink marks the directed link a→b (and b→a) down. Routes crossing it
@@ -378,6 +392,26 @@ func (ic *Interconnect) FailLink(a, b core.NodeID) {
 	// The epoch bump is ordered after the link goes down: a transaction
 	// stamped with the new epoch either fails its send against the dead
 	// link or was issued after a restore.
+	epoch := ic.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, ic.linkWatchers...)
+	ic.mu.Unlock()
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
+}
+
+// FailLinkDirected marks only the directed link a→b down, leaving b→a
+// healthy — the asymmetric-partition case, where a can no longer push
+// traffic toward b but traffic (and blind one-sided effects) still flows
+// the other way. Requests crossing the dead direction vanish; so do
+// replies, which means a request that LANDS over the healthy direction
+// can still complete at the destination while its acknowledgement is
+// lost — exactly the partial-effect behaviour a real one-way partition
+// produces. Link watchers are notified as for FailLink; RestoreLink
+// clears both directions.
+func (ic *Interconnect) FailLinkDirected(a, b core.NodeID) {
+	ic.mu.Lock()
+	ic.linkDown[Link{From: a, To: b}] = true
 	epoch := ic.linkEpoch.Add(1)
 	ws := append([]func(core.NodeID, core.NodeID, uint64){}, ic.linkWatchers...)
 	ic.mu.Unlock()

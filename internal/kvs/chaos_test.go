@@ -1,0 +1,418 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sonuma/internal/stats"
+)
+
+// Partition-schedule chaos suite: a table-driven + seeded-random fault
+// scheduler drives arbitrary FailLink/RestoreLink sequences — including
+// asymmetric one-way cuts — against a live kvs workload, then asserts the
+// post-heal invariants:
+//
+//   - liveness: every operation returns (acked or a definite error, the
+//     fencing deadline bounds stalls — no hangs, no silent drops);
+//   - convergence: after the final heal the cluster settles on one epoch
+//     with nothing evicted, replicas byte-identical for every key, and
+//     every surviving value one its (exclusive) writer actually wrote —
+//     an acknowledgement from a LOSING epoch may legitimately roll back
+//     to an older value of the same writer, but repair never fabricates
+//     data, crosses keys, or leaves replicas disagreeing;
+//   - no acknowledged write from the winning (settled) epoch is lost.
+//
+// Reproducibility: random schedules derive from CHAOS_SEED (default fixed)
+// and every subtest logs its seed; CHAOS_SCHEDULES caps the random
+// schedule count so CI stays bounded. Run with -race in the chaos CI job.
+
+// chaosOp is one step of a fault schedule.
+type chaosOp struct {
+	at       time.Duration // offset from schedule start, in lease units ×lease
+	fail     bool
+	directed bool
+	a, b     int
+}
+
+// chaosEnvInt reads a positive integer from the environment.
+func chaosEnvInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// chaosEnvSeed reads the base seed from CHAOS_SEED.
+func chaosEnvSeed(def uint64) uint64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseUint(v, 0, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// runChaosSchedule drives one schedule against a live workload and checks
+// the post-heal invariants. Times in the schedule are multiples of the
+// lease so the same shapes work under raceScale.
+func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp) {
+	t.Helper()
+	const n = 4
+	cfg := leaseConfig(20 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	t.Logf("chaos %q: seed=%#x lease=%s %d fault events (set CHAOS_SEED to reproduce)",
+		name, seed, cfg.Lease, len(schedule))
+
+	const keysPerWorker = 8
+	type worker struct {
+		client    *Client
+		keys      [][]byte
+		lastAck   [][]byte
+		attempted []map[string]bool // every value this worker ever TRIED to write
+		acked     int
+		errs      int
+	}
+	workers := make([]*worker, n)
+	for w := 0; w < n; w++ {
+		workers[w] = &worker{client: newTestClient(t, stores[w])}
+		for k := 0; k < keysPerWorker; k++ {
+			key := []byte(fmt.Sprintf("chaos:%d:%d", w, k))
+			workers[w].keys = append(workers[w].keys, key)
+			workers[w].lastAck = append(workers[w].lastAck, nil)
+			workers[w].attempted = append(workers[w].attempted, map[string]bool{"init": true})
+		}
+	}
+
+	// Preload so every key exists before the faults start.
+	for _, w := range workers {
+		for i, key := range w.keys {
+			if err := w.client.Put(key, []byte("init")); err != nil {
+				t.Fatalf("preload %q: %v", key, err)
+			}
+			w.lastAck[i] = []byte("init")
+		}
+	}
+
+	var dur time.Duration
+	for _, op := range schedule {
+		if op.at > dur {
+			dur = op.at
+		}
+	}
+	runFor := dur + 6*cfg.Lease
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		wi, w := wi, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := stats.NewRNG(seed ^ uint64(wi)*0x9e3779b97f4a7c15)
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ki := rng.Intn(len(w.keys))
+				if rng.Intn(100) < 70 {
+					seq++
+					val := []byte(fmt.Sprintf("w%d-%d-%06d", wi, ki, seq))
+					w.attempted[ki][string(val)] = true
+					start := time.Now()
+					err := w.client.Put(w.keys[ki], val)
+					if d := time.Since(start); d > 60*cfg.Lease+10*time.Second {
+						t.Errorf("worker %d: put stalled %s (hang)", wi, d)
+						return
+					}
+					if err == nil {
+						w.acked++
+						w.lastAck[ki] = val
+					} else {
+						w.errs++
+					}
+				} else {
+					_, err := w.client.Get(w.keys[ki])
+					if err != nil {
+						w.errs++
+					}
+				}
+			}
+		}()
+	}
+
+	// The fault scheduler.
+	start := time.Now()
+	for _, op := range schedule {
+		if wait := op.at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		switch {
+		case op.fail && op.directed:
+			cl.FailLinkDirected(op.a, op.b)
+		case op.fail:
+			cl.FailLink(op.a, op.b)
+		default:
+			cl.RestoreLink(op.a, op.b)
+		}
+	}
+	if wait := runFor - time.Since(start); wait > 0 {
+		time.Sleep(wait)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Safety net: restore every pair, then the cluster must converge.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			cl.RestoreLink(a, b)
+		}
+	}
+	waitConverged(t, stores, 45*time.Second)
+
+	// Mid-run audit, BEFORE any further write touches the keys: after
+	// convergence every replica of every key must be byte-identical, and
+	// the surviving value must be one this key's (exclusive) writer
+	// actually attempted — repair may legitimately roll an acknowledgement
+	// from a LOSING epoch back to an older value of the same writer, but
+	// it must never fabricate data, cross keys, or leave replicas
+	// disagreeing.
+	ring := stores[0].Ring()
+	audit := workers[0].client
+	for wi, w := range workers {
+		for ki, key := range w.keys {
+			var ref []byte
+			for oi, o := range ring.Owners(ring.ShardOf(key)) {
+				got, err := audit.GetReplica(o, key)
+				if err != nil {
+					t.Fatalf("post-heal GetReplica(%d, %q): %v", o, key, err)
+				}
+				if oi == 0 {
+					ref = got
+					if !w.attempted[ki][string(got)] {
+						t.Fatalf("key %q holds %q, which worker %d never wrote (fabricated or crossed data)",
+							key, got, wi)
+					}
+				} else if !bytes.Equal(got, ref) {
+					t.Fatalf("replica divergence on %q after convergence: %q vs %q", key, got, ref)
+				}
+			}
+		}
+	}
+
+	// Final round on the settled (winning) epoch: every acknowledged
+	// write here MUST survive — this is the no-acked-write-lost check for
+	// the epoch that won.
+	for wi, w := range workers {
+		for ki, key := range w.keys {
+			final := []byte(fmt.Sprintf("final-w%d-%d", wi, ki))
+			var err error
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				if err = w.client.Put(key, final); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("worker %d: final put on %q never acked: %v", wi, key, err)
+				}
+			}
+			w.lastAck[ki] = final
+		}
+	}
+
+	// Audit: every replica of every key byte-identical and equal to the
+	// final acknowledged value.
+	for wi, w := range workers {
+		for ki, key := range w.keys {
+			for _, o := range ring.Owners(ring.ShardOf(key)) {
+				got, err := audit.GetReplica(o, key)
+				if err != nil {
+					t.Fatalf("GetReplica(%d, %q): %v", o, key, err)
+				}
+				if !bytes.Equal(got, w.lastAck[ki]) {
+					t.Fatalf("replica %d of %q = %q, want %q (worker %d; acked write lost or divergence)",
+						o, key, got, w.lastAck[ki], wi)
+				}
+			}
+		}
+	}
+	total := 0
+	for _, w := range workers {
+		total += w.acked
+	}
+	if total == 0 {
+		t.Fatal("no operation ever completed during the schedule")
+	}
+	for wi, w := range workers {
+		t.Logf("worker %d: acked=%d errs=%d", wi, w.acked, w.errs)
+	}
+}
+
+// lease units: schedules are written as multiples of the (race-scaled)
+// lease; at() converts.
+func at(leases int) time.Duration {
+	return time.Duration(leases) * 20 * time.Millisecond * raceScale
+}
+
+// TestChaosSchedules runs the table-driven schedules plus a capped set of
+// seeded-random ones.
+func TestChaosSchedules(t *testing.T) {
+	table := []struct {
+		name     string
+		schedule []chaosOp
+	}{
+		{
+			// A node falls off the fabric whole and heals.
+			name: "node-blip",
+			schedule: []chaosOp{
+				{at: at(2), fail: true, a: 1, b: 0}, {at: at(2), fail: true, a: 1, b: 2}, {at: at(2), fail: true, a: 1, b: 3},
+				{at: at(8), a: 1, b: 0}, {at: at(8), a: 1, b: 2}, {at: at(8), a: 1, b: 3},
+			},
+		},
+		{
+			// Asymmetric one-way isolation: node 2 can receive but not
+			// send — the stale-leader shape.
+			name: "asym-oneway",
+			schedule: []chaosOp{
+				{at: at(2), fail: true, directed: true, a: 2, b: 0},
+				{at: at(2), fail: true, directed: true, a: 2, b: 1},
+				{at: at(2), fail: true, directed: true, a: 2, b: 3},
+				{at: at(10), a: 2, b: 0}, {at: at(10), a: 2, b: 1}, {at: at(10), a: 2, b: 3},
+			},
+		},
+		{
+			// A flapping link: fail/heal faster than the eviction grace.
+			name: "flap",
+			schedule: []chaosOp{
+				{at: at(1), fail: true, a: 1, b: 3}, {at: at(2), a: 1, b: 3},
+				{at: at(3), fail: true, a: 1, b: 3}, {at: at(4), a: 1, b: 3},
+				{at: at(5), fail: true, a: 1, b: 3}, {at: at(7), a: 1, b: 3},
+			},
+		},
+		{
+			// Two overlapping outages, one of them one-way, healing out
+			// of order.
+			name: "double-fault",
+			schedule: []chaosOp{
+				{at: at(2), fail: true, a: 3, b: 0}, {at: at(2), fail: true, a: 3, b: 1}, {at: at(2), fail: true, a: 3, b: 2},
+				{at: at(4), fail: true, directed: true, a: 1, b: 0},
+				{at: at(9), a: 1, b: 0},
+				{at: at(12), a: 3, b: 0}, {at: at(12), a: 3, b: 1}, {at: at(12), a: 3, b: 2},
+			},
+		},
+	}
+	for _, tc := range table {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runChaosSchedule(t, tc.name, chaosEnvSeed(0x50eed), tc.schedule)
+		})
+	}
+
+	// Seeded-random schedules: arbitrary fail/restore sequences over
+	// random pairs, one-way cuts included. CHAOS_SCHEDULES caps the count
+	// (CI budget); CHAOS_SEED pins the base seed for reproduction.
+	count := chaosEnvInt("CHAOS_SCHEDULES", 3)
+	base := chaosEnvSeed(0xC4A05)
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		t.Run(fmt.Sprintf("random-seed-%#x", seed), func(t *testing.T) {
+			runChaosSchedule(t, "random", seed, randomSchedule(seed))
+		})
+	}
+}
+
+// randomSchedule generates a fault schedule from a seed: 4–9 events over
+// ~12 lease durations; failures pick a random pair and direction, with a
+// bias toward later restores (the safety net restores everything at the
+// end regardless, so an unbalanced schedule is legal).
+func randomSchedule(seed uint64) []chaosOp {
+	rng := stats.NewRNG(seed)
+	const n = 4
+	events := 4 + rng.Intn(6)
+	ops := make([]chaosOp, 0, events)
+	type link struct{ a, b int }
+	downLinks := map[link]bool{}
+	for i := 0; i < events; i++ {
+		when := at(1 + rng.Intn(12))
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		l := link{a: min(a, b), b: max(a, b)}
+		if downLinks[l] && rng.Intn(100) < 60 {
+			ops = append(ops, chaosOp{at: when, a: a, b: b})
+			delete(downLinks, l)
+			continue
+		}
+		ops = append(ops, chaosOp{at: when, fail: true, directed: rng.Intn(100) < 40, a: a, b: b})
+		downLinks[l] = true
+	}
+	// Schedules execute in time order.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].at < ops[j-1].at; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	return ops
+}
+
+// TestChaosFencedNeverSilent pins the "fenced writes are errors, not
+// silent drops" invariant directly: during an asymmetric isolation every
+// PUT against the stale leader either acks (lease still valid — and the
+// value then really is on the leader) or returns a definite error; the
+// response channel always fires within the fencing deadline.
+func TestChaosFencedNeverSilent(t *testing.T) {
+	const n = 3
+	cfg := leaseConfig(15 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	ring := stores[0].Ring()
+	victim := 1
+	key := shardLedBy(t, ring, "silent", victim)
+	c := newTestClient(t, stores[victim])
+	if err := c.Put(key, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.FailLinkDirected(victim, i)
+		}
+	}
+	acked, errored := 0, 0
+	for start := time.Now(); time.Since(start) < 10*cfg.Lease; {
+		opStart := time.Now()
+		err := c.Put(key, []byte(fmt.Sprintf("v-%d", acked+errored)))
+		if time.Since(opStart) > 10*cfg.Lease+5*time.Second {
+			t.Fatalf("put response took %s: silent drop window", time.Since(opStart))
+		}
+		if err == nil {
+			acked++
+		} else {
+			errored++
+		}
+	}
+	if errored == 0 {
+		t.Fatal("isolation never surfaced a write error: fencing silent")
+	}
+	t.Logf("during isolation: %d acked (pre-lapse), %d definite errors", acked, errored)
+
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.RestoreLink(victim, i)
+		}
+	}
+	waitConverged(t, stores, 30*time.Second)
+}

@@ -98,15 +98,23 @@ func (c *Client) Put(key, value []byte) error {
 // shard's primary (or, when the fabric has reported it unreachable, the
 // next replica in ring order), validated against its seqlock version and
 // checksum, and re-read while torn. No code runs on the serving node.
+// Replicas evicted by the configuration epoch are skipped even when
+// locally reachable — an evicted replica is unverified until the
+// re-admitting epoch, so reading it could surface writes the winning
+// epoch rolled back (or miss writes it never received).
 func (c *Client) Get(key []byte) ([]byte, error) {
 	s := c.store
 	shard := s.ring().ShardOf(key)
 	owners := s.ring().ownersShared(shard)
 	down := s.downSnapshot()
+	cfg := s.cfgSnapshot()
 	var lastErr error
 	tried := false
 	for _, target := range owners {
 		if target != s.me && down[target] {
+			continue
+		}
+		if cfg.downBit(target) {
 			continue
 		}
 		tried = true
@@ -194,6 +202,7 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 	vals := make([][]byte, len(keys))
 	errs := make([]error, len(keys))
 	down := s.downSnapshot()
+	cfg := s.cfgSnapshot()
 	for base := 0; base < len(keys); base += MaxGetBatch {
 		end := base + MaxGetBatch
 		if end > len(keys) {
@@ -206,6 +215,9 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 			owners := s.ring().ownersShared(shard)
 			targets[i] = -1
 			for _, o := range owners {
+				if cfg.downBit(o) {
+					continue
+				}
 				if o == s.me || !down[o] {
 					targets[i] = o
 					break

@@ -1,0 +1,299 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// This file implements the configuration-epoch authority (FaRM-style): a
+// single coordinator node owns a seqlock-published config slot inside its
+// store region — (epoch, evicted-node bitmask) — and every other node
+// caches it with one-sided reads. Membership changes (evictions after
+// failures, re-admissions after anti-entropy repair) are EPOCH TRANSITIONS:
+// the coordinator bumps the epoch and rewrites the slot, and per-shard
+// leadership everywhere re-derives as a pure function of (ring, down mask),
+// so publishing the mask IS publishing leadership — two nodes holding the
+// same epoch can never disagree on who leads a shard.
+//
+// Safety against stale leaders comes from leases (lease.go): the
+// coordinator activates an epoch that demotes a leader only after that
+// leader's lease has provably lapsed, and a leader whose lease lapses
+// fences itself. Repair then arbitrates divergence on (epoch, version)
+// instead of bare version counts: each shard carries an epoch word stamped
+// by leader writes, and a repairer operating under a newer epoch overrides
+// a peer wholesale — which is what makes the asymmetric-partition case
+// (a stale leader that kept absorbing writes) convergent with a defined
+// winner (store.go repairShard/applyRepair).
+
+// Config slot layout (one cache line in the coordinator's store region):
+//
+//	word 0: seq   — seqlock: odd while the coordinator is mid-update
+//	word 1: epoch — configuration epoch; 0 = never published, first is 1
+//	word 2: down  — bitmask of evicted nodes (bit i = node i)
+//	words 3..7: reserved
+//
+// A one-sided read of the line is torn-free at line granularity, but the
+// seqlock discipline keeps the slot safe if it ever grows past one line.
+
+// configView is the lock-free snapshot of the cached configuration that
+// client goroutines read (GET routing skips evicted replicas).
+type configView struct {
+	epoch uint64
+	down  uint64
+}
+
+// downBit reports whether node is evicted in this view.
+func (v configView) downBit(node int) bool {
+	return node >= 0 && node < 64 && v.down&(1<<uint(node)) != 0
+}
+
+// parseConfigSlot decodes a config-slot line. ok is false for a torn
+// (odd-seq) or never-published image.
+func parseConfigSlot(line []byte) (epoch, down uint64, ok bool) {
+	seq := binary.LittleEndian.Uint64(line[0:])
+	if seq == 0 || seq&1 == 1 {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(line[8:]), binary.LittleEndian.Uint64(line[16:]), true
+}
+
+// writeConfigSlot publishes (epoch, down) into the local config slot under
+// the seqlock discipline. Coordinator only; serve goroutine only.
+func (s *Store) writeConfigSlot(epoch, down uint64) {
+	off := s.cfg.cfgSlotOff()
+	seq, err := s.mem.Load64(off)
+	if err != nil {
+		return
+	}
+	if err := s.mem.Store64(off, seq|1); err != nil {
+		return
+	}
+	_ = s.mem.Store64(off+8, epoch)
+	_ = s.mem.Store64(off+16, down)
+	_ = s.mem.Store64(off, (seq|1)+1)
+}
+
+// publishCfg refreshes the lock-free configuration snapshot for clients.
+func (s *Store) publishCfg() {
+	s.cfgPub.Store(&configView{epoch: s.cfgEpoch, down: s.cfgDown})
+}
+
+// cfgSnapshot returns the current lock-free configuration view.
+func (s *Store) cfgSnapshot() configView { return *s.cfgPub.Load() }
+
+// Epoch reports the store's cached configuration epoch. Harnesses use it
+// to watch epoch transitions (evictions and re-admissions both bump it).
+func (s *Store) Epoch() uint64 { return s.cfgSnapshot().epoch }
+
+// EpochDown reports whether node is evicted in the cached configuration —
+// the cluster-wide, totally ordered counterpart of DownView's local
+// reachability guess.
+func (s *Store) EpochDown(node int) bool { return s.cfgSnapshot().downBit(node) }
+
+// cfgDownBit reports eviction from the serve goroutine's cached mask.
+func (s *Store) cfgDownBit(node int) bool {
+	return node >= 0 && node < 64 && s.cfgDown&(1<<uint(node)) != 0
+}
+
+// pollConfig re-reads the coordinator's config slot with a one-sided read
+// and adopts any newer epoch. Serve goroutine, non-coordinator only.
+func (s *Store) pollConfig() {
+	s.cfgDirty = false
+	if err := s.qp.Read(s.coord, uint64(s.cfg.cfgSlotOff()), s.cfgBuf, 0, cfgSlotSize); err != nil {
+		return // coordinator unreachable: keep the cached epoch
+	}
+	if err := s.cfgBuf.ReadAt(0, s.cfgLine); err != nil {
+		return
+	}
+	epoch, down, ok := parseConfigSlot(s.cfgLine)
+	if !ok {
+		s.cfgDirty = true // torn mid-update: re-read on the next pass
+		return
+	}
+	if epoch > s.cfgEpoch {
+		s.adoptConfig(epoch, down)
+	}
+}
+
+// adoptConfig installs a new configuration epoch on the serve goroutine:
+// leadership re-derives from the down mask, re-admitted peers resume
+// serving, the (now stale) lease is renewed eagerly, still-down peers are
+// queued for (re-)verification, and parked PUTs re-route under the new
+// leadership. Called by the coordinator immediately after bumpConfig and
+// by every other node when a poll observes a newer epoch.
+func (s *Store) adoptConfig(epoch, down uint64) {
+	if epoch == s.cfgEpoch && down == s.cfgDown {
+		return
+	}
+	old := s.cfgDown
+	s.cfgEpoch, s.cfgDown = epoch, down
+	s.epochBumps.Add(1)
+	s.countPromotions(old, down)
+	s.publishCfg()
+	// A cleared bit means the peer was verified by every shard leader:
+	// resume reading from and replicating to it. Local reachability can
+	// lag the config, so clear the local down flag only when the fabric
+	// agrees.
+	cl := s.ctx.Node().Cluster()
+	changed := false
+	for p := 0; p < s.n; p++ {
+		if down&(1<<uint(p)) != 0 {
+			// Every epoch bump restarts verification: a repair proven
+			// under an older epoch may no longer cover the shards this
+			// node leads now.
+			s.repaired[p] = false
+			continue
+		}
+		s.repaired[p] = false
+		if s.down[p] && p != s.me && cl.Reachable(s.me, p) {
+			s.down[p] = false
+			changed = true
+		}
+	}
+	if changed {
+		s.publishDown()
+	}
+	if down != 0 {
+		s.healPending = true
+		s.healRetryAt = time.Now()
+	}
+	// Claim the new epoch's lineage for every shard this node now leads:
+	// a promoted leader's (replicated) image is authoritative from this
+	// epoch on, even before its first write. Without this stamp, a demoted
+	// absorber advancing slot versions under the OLD word could tie words
+	// with the new leader and win repair's equal-word version comparison —
+	// exactly the divergence epochs exist to arbitrate. An evicted node
+	// never stamps (it may be the fallback "leader" of a shard whose every
+	// owner is down, and claiming lineage there would let stale data
+	// outrank the real last leader's — reverse pull settles those by the
+	// words the actual leaders left behind).
+	if !s.cfgDownBit(s.me) {
+		for shard := 0; shard < s.cfg.Shards; shard++ {
+			if s.leaderUnder(shard, down) != s.me {
+				continue
+			}
+			off := s.cfg.shardEpochOff(shard)
+			if w, err := s.mem.Load64(off); err == nil && epoch > w {
+				_ = s.mem.Store64(off, epoch)
+			}
+		}
+	}
+	s.renewAt = time.Time{} // the old lease died with its epoch
+	s.parkedDirty = true
+}
+
+// bumpConfig publishes a new epoch with the given down mask and nudges
+// every reachable peer to re-read it. Coordinator only.
+func (s *Store) bumpConfig(down uint64) {
+	epoch := s.cfgEpoch + 1
+	s.writeConfigSlot(epoch, down)
+	// Every bump restarts rejoin verification (see adoptConfig).
+	for p := range s.rejoinAcks {
+		s.rejoinAcks[p] = 0
+	}
+	s.adoptConfig(epoch, down)
+	s.nudgePeers(epoch)
+}
+
+// nudgePeers broadcasts a best-effort epoch-change control frame so peers
+// poll the slot now instead of at their next scheduled read.
+func (s *Store) nudgePeers(epoch uint64) {
+	var b [9]byte
+	b[0] = ctlCfgChanged
+	binary.LittleEndian.PutUint64(b[1:], epoch)
+	cl := s.ctx.Node().Cluster()
+	for p := 0; p < s.n; p++ {
+		if p == s.me || !cl.Reachable(s.me, p) {
+			continue
+		}
+		_ = s.msgr.SendControl(p, b[:])
+	}
+}
+
+// leaderUnder reports the shard leader implied by a down mask: the first
+// owner in ring order not marked down (falling back to the primary when
+// every owner is). A pure function of (ring, mask), so every node at the
+// same epoch derives the same leader.
+func (s *Store) leaderUnder(shard int, down uint64) int {
+	owners := s.ring().ownersShared(shard)
+	for _, o := range owners {
+		if o >= 64 || down&(1<<uint(o)) == 0 {
+			return o
+		}
+	}
+	return owners[0]
+}
+
+// leaderOf reports the node leading a shard under the cached configuration.
+func (s *Store) leaderOf(shard int) int { return s.leaderUnder(shard, s.cfgDown) }
+
+// countPromotions accounts leadership moves between two down masks.
+func (s *Store) countPromotions(oldMask, newMask uint64) {
+	if oldMask == newMask {
+		return
+	}
+	var moved uint64
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		if s.leaderUnder(shard, oldMask) != s.leaderUnder(shard, newMask) {
+			moved++
+		}
+	}
+	if moved > 0 {
+		s.promotions.Add(moved)
+	}
+}
+
+// expectedReporters computes which nodes must verify (repair) peer before
+// the coordinator may re-admit it: the current leader of every shard the
+// peer owns. Shards with no live leader contribute nothing — no writes can
+// land there, so there is nothing the peer could have missed that a
+// repairer could prove.
+func (s *Store) expectedReporters(peer int) uint64 {
+	var mask uint64
+	ring := s.ring()
+	if !ring.ContainsNode(peer) {
+		return 0
+	}
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		if !containsInt(ring.ownersShared(shard), peer) {
+			continue
+		}
+		l := s.leaderOf(shard)
+		if l == peer || s.cfgDownBit(l) {
+			continue
+		}
+		mask |= 1 << uint(l)
+	}
+	return mask
+}
+
+// maybeReadmit re-admits the lowest-numbered evicted peer whose repair has
+// been verified by all of its expected reporters. Coordinator only.
+//
+// Re-admission is deliberately staged — ONE peer per epoch bump — because
+// of leaderless shards: when every owner of a shard is evicted (a double
+// fault), no live leader exists to verify either owner for it, so
+// expectedReporters excludes the shard for both and a bulk re-admission
+// would bring the pair back with the shard never reconciled (writes the
+// old leader acknowledged before fencing would silently stay missing from
+// its peer). Admitting one peer at a time gives the shard a live leader
+// again; the NEXT candidate's expected-reporter set then includes that
+// leader, whose repair pass (push or pull, ordered by the shard-epoch
+// words) reconciles the shard before anyone reads the second peer.
+func (s *Store) maybeReadmit() {
+	if s.cfgDown == 0 {
+		return
+	}
+	cl := s.ctx.Node().Cluster()
+	for p := 0; p < s.n && p < 64; p++ {
+		bit := uint64(1) << uint(p)
+		if s.cfgDown&bit == 0 || !cl.Reachable(s.me, p) {
+			continue
+		}
+		expected := s.expectedReporters(p)
+		if s.rejoinAcks[p]&expected == expected {
+			s.bumpConfig(s.cfgDown &^ bit)
+			return
+		}
+	}
+}

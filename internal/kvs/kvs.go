@@ -19,17 +19,29 @@
 //     with one-sided remote writes bracketed by remote FetchAdds on the
 //     slot's version word, so backup readers see the same torn-or-stable
 //     discipline as primary readers.
-//   - Failover rides the fabric's failure watchers: when a link failure
-//     (or node failure) makes an owner unreachable, stores and clients
-//     promote the next replica in ring order, and pending forwarded PUTs
-//     are re-routed.
-//   - Rejoin rides the restore watchers: when an evicted peer becomes
-//     reachable again, each shard leader streams it the writes it missed
-//     (anti-entropy: one-sided version scans + messenger-routed slot
-//     diffs + an end-of-stream ack barrier) and only then clears it from
-//     the published down view, so a stale replica is never read. Shard
-//     leadership then re-derives deterministically, returning each shard
-//     to its original primary.
+//   - Membership and per-shard leadership are governed by CONFIGURATION
+//     EPOCHS (config.go): a coordinator-owned, seqlock-published config
+//     slot that every node caches and re-reads with one-sided GETs.
+//     Leadership is a pure function of (ring, epoch down mask), so nodes
+//     at the same epoch can never disagree on who leads a shard.
+//   - Leaders hold time-bounded LEASES renewed over the Messenger's
+//     control frames (lease.go) and FENCE THEMSELVES when a lease lapses:
+//     PUTs are rejected or parked, replication stops. The coordinator
+//     activates a demoting epoch only after the old lease provably
+//     lapsed, so a partitioned stale leader goes read-only instead of
+//     diverging — the split-brain arbitration the ROADMAP called for.
+//   - Failover rides the fabric's failure watchers into the coordinator's
+//     eviction clock: the epoch bump that demotes the dead leader
+//     promotes the next replica everywhere at once; writes in the gap
+//     park rather than guessing a leader. GETs still fail over instantly
+//     on local reachability.
+//   - Rejoin is an epoch transition: after a heal, each shard's epoch
+//     leader streams the evicted peer the writes it missed (anti-entropy:
+//     one-sided scans + messenger slot diffs + an ack barrier), ordered
+//     by (epoch, version) so the winning epoch's image prevails over a
+//     stale leader's absorbed writes; the coordinator re-admits the peer
+//     only after EVERY expected leader reports its repair verified —
+//     closing PR 3's cross-leader stale-read window.
 //   - The ring can grow: Store.AddNode admits a cluster node as a new
 //     placement member; the joining store migrates the shards it gains
 //     (one-sided bulk reads from current owners) before serving them.
@@ -44,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"sonuma"
 	"sonuma/internal/core"
@@ -64,12 +77,24 @@ const (
 	// DefaultVNodes is the default virtual-node count per node on the
 	// consistent-hash ring.
 	DefaultVNodes = 64
+	// DefaultLease is the default leadership lease duration. Generous for
+	// the development platform so background load (or the race detector)
+	// cannot trip spurious fencing; fault-injection tests and harnesses
+	// shrink it to exercise the fencing window quickly.
+	DefaultLease = 250 * time.Millisecond
 )
 
 // Segment layout of the store region (identical on every node):
 //
-//	header  (64 B): magic, shards, buckets, slotSize, replicas
-//	slots   (shards × buckets × slotSize): open-addressed entries
+//	header       (64 B): magic, shards, buckets, slotSize, replicas
+//	config slot  (64 B): seqlock-published configuration epoch — authoritative
+//	             only in the coordinator's segment; peers cache it with
+//	             one-sided reads (see config.go)
+//	shard epochs (shards × 8 B, line-aligned): per-shard word recording the
+//	             configuration epoch under which the shard last accepted a
+//	             leader write or a repair — the "epoch" half of the
+//	             (epoch, version) order repair arbitrates with
+//	slots        (shards × buckets × slotSize): open-addressed entries
 //
 // Entry layout within its slot:
 //
@@ -81,10 +106,11 @@ const (
 //	_pad    u32
 //	key, value bytes
 const (
-	headerSize = 64
-	magic      = 0x534f4e4b // "SONK"
-	entryHdr   = 24
-	maxProbes  = 16
+	headerSize  = 64
+	cfgSlotSize = 64
+	magic       = 0x534f4e4b // "SONK"
+	entryHdr    = 24
+	maxProbes   = 16
 )
 
 // Errors returned by the service.
@@ -108,6 +134,14 @@ var (
 	ErrNoReplica = errors.New("kvs: no reachable replica")
 	// ErrClosed reports an operation against a closed store.
 	ErrClosed = errors.New("kvs: store closed")
+	// ErrFenced reports a PUT rejected by lease fencing: the shard's
+	// leader could not prove it still holds leadership (its lease lapsed,
+	// it has been evicted from the configuration, or no reachable leader
+	// exists under the current epoch) and the write timed out waiting for
+	// the next configuration epoch. The write was NOT applied; callers may
+	// retry — a demoted leader stays fenced, so the retry lands on the
+	// epoch's real leader once the configuration propagates.
+	ErrFenced = errors.New("kvs: write fenced awaiting configuration epoch")
 )
 
 // Config fixes the geometry of a store. The zero value of every field
@@ -136,6 +170,21 @@ type Config struct {
 	// Open a store — it holds slot tables and routes PUTs but owns no
 	// shards — and joins later when every member calls Store.AddNode.
 	Members []int
+	// Coordinator is the cluster node owning the configuration-epoch
+	// authority (default: the first ring member). The coordinator's config
+	// slot is the single source of truth for membership and (derived)
+	// per-shard leadership; every other node caches it with one-sided
+	// reads. If the coordinator is unreachable no epoch can change — a
+	// FaRM-style availability trade documented in ARCHITECTURE.md.
+	Coordinator int
+	// Lease is the leadership lease duration (default DefaultLease). A
+	// leader whose lease lapses fences itself: it rejects PUTs and stops
+	// replicating until a fresh grant (or a new epoch) arrives, so a
+	// partitioned stale leader goes read-only instead of diverging. The
+	// coordinator waits 2×Lease after the last grant before activating an
+	// epoch that demotes a silent leader, so the old lease provably lapses
+	// before the new leader serves.
+	Lease time.Duration
 	// RegionOffset is where the store region begins within each node's
 	// context segment (default 0). The Messenger region follows the store
 	// region automatically.
@@ -163,15 +212,18 @@ func (c Config) withDefaults() Config {
 	if c.VNodes <= 0 {
 		c.VNodes = DefaultVNodes
 	}
+	if c.Lease <= 0 {
+		c.Lease = DefaultLease
+	}
 	return c
 }
 
 // RegionSize reports the context-segment bytes the store region occupies
-// with this configuration (header + slot tables, before the messenger
-// region).
+// with this configuration (header + config slot + shard epoch table + slot
+// tables, before the messenger region).
 func (c Config) RegionSize() int {
 	c = c.withDefaults()
-	return headerSize + c.Shards*c.Buckets*c.SlotSize
+	return headerSize + cfgSlotSize + core.AlignUp(8*c.Shards) + c.Shards*c.Buckets*c.SlotSize
 }
 
 // SegmentSize reports the total context-segment bytes a node of an n-node
@@ -184,11 +236,23 @@ func (c Config) SegmentSize(n int) int {
 	return mcfg.RegionOffset + sonuma.MessengerRegionSize(n, mcfg)
 }
 
+// cfgSlotOff locates the configuration slot within the store region. Only
+// the coordinator's copy is authoritative; every node carries the line so
+// the layout stays identical.
+func (c Config) cfgSlotOff() int { return c.RegionOffset + headerSize }
+
+// shardEpochOff locates a shard's epoch word: the configuration epoch under
+// which the shard last accepted a leader write or repair on this node.
+func (c Config) shardEpochOff(shard int) int {
+	return c.RegionOffset + headerSize + cfgSlotSize + 8*shard
+}
+
 // slotOff locates a (shard, bucket) slot within the store region. The
 // layout is identical on every node, which is what makes replication a
 // plain remote write of the primary's slot image at the same offset.
 func (c Config) slotOff(shard, bucket int) int {
-	return c.RegionOffset + headerSize + (shard*c.Buckets+bucket)*c.SlotSize
+	return c.RegionOffset + headerSize + cfgSlotSize + core.AlignUp(8*c.Shards) +
+		(shard*c.Buckets+bucket)*c.SlotSize
 }
 
 // entryStatus classifies a parsed slot image.

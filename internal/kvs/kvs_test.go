@@ -12,9 +12,11 @@ import (
 )
 
 // testConfig keeps the store small enough for fast tests while preserving
-// multi-line entries (the torn-read window).
+// multi-line entries (the torn-read window). The short lease keeps epoch
+// transitions (eviction grace, fencing deadlines) test-friendly.
 func testConfig() Config {
-	return Config{Shards: 16, Replicas: 2, Buckets: 32, SlotSize: 256, VNodes: 16}
+	return Config{Shards: 16, Replicas: 2, Buckets: 32, SlotSize: 256, VNodes: 16,
+		Lease: 50 * time.Millisecond}
 }
 
 // newService builds an n-node cluster with one store member per node.
@@ -613,20 +615,25 @@ func TestRejoinAfterHeal(t *testing.T) {
 // TestRejoinFixesStuckOddSlot plants a stuck-odd version (a writer that
 // died mid-replication) on an evicted backup and verifies the repair pass
 // lands a stable image even though the backup's version word was AHEAD of
-// a clean even value.
+// a clean even value. The victim must be a BACKUP: under configuration
+// epochs a shard is only ever repaired by its epoch leader, and a stuck
+// slot on a backup is precisely the dead-mid-replication case — a leader's
+// own slots cannot be stuck by anyone else.
 func TestRejoinFixesStuckOddSlot(t *testing.T) {
 	const n = 3
 	cl, stores := newService(t, n, testConfig())
 	client := newTestClient(t, stores[0])
 	ring := stores[0].Ring()
 
-	// A key whose shard has a non-client owner to play the backup victim.
+	// A key whose shard a non-client node BACKS (not leads), so the
+	// surviving leader repairs the planted slot.
 	var k []byte
 	victim := -1
 	for i := 0; i < 1000 && victim < 0; i++ {
 		cand := []byte(fmt.Sprintf("odd:%03d", i))
-		for _, o := range ring.Owners(ring.ShardOf(cand)) {
-			if o != 0 {
+		owners := ring.Owners(ring.ShardOf(cand))
+		for _, o := range owners[1:] {
+			if o != 0 && owners[0] != o {
 				k, victim = cand, o
 				break
 			}

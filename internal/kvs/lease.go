@@ -1,0 +1,259 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"time"
+
+	"sonuma"
+)
+
+// This file implements lease-fenced leadership on top of the configuration
+// epochs of config.go. Every non-coordinator node continuously renews a
+// time-bounded lease with the coordinator over the Messenger's control
+// frames (renewals double as heartbeats); a node may serve PUTs for the
+// shards it leads only while it holds a lease for the CURRENT epoch. The
+// timeline that makes a stale leader safe:
+//
+//	t0          leader L renews; coordinator records lastRenew[L] = t0
+//	t0+ε        partition: L's renewals stop reaching the coordinator
+//	≤ t0+L      L's lease lapses → L FENCES ITSELF: PUTs are rejected or
+//	            parked, replication stops; L cannot diverge further
+//	t0+2L       the coordinator's eviction grace passes: only now does it
+//	            activate the epoch that demotes L, so the new leader
+//	            (promoted by the same epoch) can never overlap L's lease
+//	heal        anti-entropy repair orders the divergence by
+//	            (epoch, version); the winning epoch's image prevails
+//
+// Control frames are lossy latest-wins by design, so every message here is
+// idempotent state, re-published periodically: renewals every lease/3,
+// repair-completion reports every lease/2 until acknowledged by an epoch
+// bump, grants only in answer to renewals.
+
+// Control frame kinds (first byte of every messenger control frame).
+const (
+	ctlLeaseRenew byte = 1 // epoch u64 — renewal request + heartbeat
+	ctlLeaseGrant byte = 2 // epoch u64, lease µs u32
+	ctlLeaseDeny  byte = 3 // epoch u64 — sender is evicted at this epoch
+	ctlCfgChanged byte = 4 // epoch u64 — nudge: re-read the config slot
+	ctlRepairDone byte = 5 // epoch u64, repaired-peer bitmask u64
+)
+
+// Timing derived from the lease duration.
+func (s *Store) renewEvery() time.Duration   { return s.lease / 3 }
+func (s *Store) reportEvery() time.Duration  { return s.lease / 2 }
+func (s *Store) cfgPollEvery() time.Duration { return s.lease / 2 }
+func (s *Store) evictGrace() time.Duration   { return 2 * s.lease }
+func (s *Store) hbExpiry() time.Duration     { return 4 * s.lease }
+
+// fenceWait bounds how long a PUT parks awaiting a lease or an epoch
+// transition before failing with ErrFenced.
+func (s *Store) fenceWait() time.Duration { return 6 * s.lease }
+
+// leaseValid reports whether this node may serve leader writes right now.
+// The coordinator is the authority and cannot be fenced from itself; every
+// other node needs an unexpired lease granted for the current epoch.
+func (s *Store) leaseValid(now time.Time) bool {
+	if s.me == s.coord {
+		return !s.cfgDownBit(s.me)
+	}
+	return s.leaseEpoch == s.cfgEpoch && now.Before(s.leaseUntil)
+}
+
+// leaseTick sends the periodic renewal/heartbeat. Serve goroutine,
+// non-coordinator only. Safe to call from within a repair: renewals keep a
+// long repair from fencing its own leader.
+func (s *Store) leaseTick(now time.Time) {
+	if !now.After(s.renewAt) {
+		return
+	}
+	s.renewAt = now.Add(s.renewEvery())
+	var b [9]byte
+	b[0] = ctlLeaseRenew
+	binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
+	_ = s.msgr.SendControl(s.coord, b[:])
+}
+
+// drainCtrl dispatches every pending control frame. Safe to call from
+// within a repair: handlers only mutate lease fields, dirty flags, and the
+// coordinator's bookkeeping — adoption, parking, and eviction decisions
+// run from the top-level tick only.
+func (s *Store) drainCtrl() {
+	for {
+		msg, ok, err := s.msgr.TryRecvControl()
+		if err != nil || !ok {
+			return
+		}
+		s.handleCtrl(msg)
+	}
+}
+
+// handleCtrl dispatches one control frame.
+func (s *Store) handleCtrl(m sonuma.Message) {
+	if len(m.Data) < 9 {
+		return
+	}
+	epoch := binary.LittleEndian.Uint64(m.Data[1:])
+	switch m.Data[0] {
+	case ctlLeaseRenew:
+		if s.me != s.coord {
+			return
+		}
+		s.grantLease(m.From)
+	case ctlLeaseGrant:
+		if m.From != s.coord || len(m.Data) < 13 {
+			return
+		}
+		if epoch == s.cfgEpoch {
+			dur := time.Duration(binary.LittleEndian.Uint32(m.Data[9:])) * time.Microsecond
+			s.leaseEpoch = epoch
+			s.leaseUntil = time.Now().Add(dur)
+			s.parkedDirty = true // fenced PUTs can go now
+		} else if epoch > s.cfgEpoch {
+			// Granted for an epoch we have not adopted yet: read the
+			// slot first, then the next renewal collects a usable grant.
+			s.cfgDirty = true
+		}
+	case ctlLeaseDeny:
+		// We are evicted at the coordinator's epoch: stay fenced and
+		// learn the details from the slot.
+		if m.From == s.coord && epoch >= s.cfgEpoch {
+			s.cfgDirty = true
+		}
+	case ctlCfgChanged:
+		if epoch > s.cfgEpoch {
+			s.cfgDirty = true
+		}
+	case ctlRepairDone:
+		if s.me != s.coord || len(m.Data) < 17 || epoch != s.cfgEpoch {
+			return
+		}
+		peers := binary.LittleEndian.Uint64(m.Data[9:])
+		s.recordRepairDone(m.From, peers)
+	}
+}
+
+// grantLease answers one renewal: evicted (or eviction-pending) nodes are
+// denied, everyone else gets a fresh lease for the current epoch and has
+// its heartbeat recorded. Coordinator only.
+func (s *Store) grantLease(p int) {
+	if p < 0 || p >= s.n || p == s.me {
+		return
+	}
+	now := time.Now()
+	if s.cfgDownBit(p) || !s.evictAt[p].IsZero() {
+		var b [9]byte
+		b[0] = ctlLeaseDeny
+		binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
+		_ = s.msgr.SendControl(p, b[:])
+		return
+	}
+	s.lastRenew[p] = now
+	s.granted[p] = true
+	var b [13]byte
+	b[0] = ctlLeaseGrant
+	binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
+	binary.LittleEndian.PutUint32(b[9:], uint32(s.lease/time.Microsecond))
+	if err := s.msgr.SendControl(p, b[:]); err != nil {
+		// The grant cannot reach a holder we believe is alive (one-way
+		// partition): without grants its lease lapses, so treat it like
+		// any other unreachable peer and start the eviction clock.
+		s.reportDown(p)
+	}
+}
+
+// coordTick drives the coordinator's state machine: expire silent lease
+// holders, activate pending evictions whose lease grace has passed, and
+// re-admit fully repaired peers. Top-level tick only (never mid-repair).
+func (s *Store) coordTick(now time.Time) {
+	for p := 0; p < s.n; p++ {
+		if p == s.me || !s.granted[p] {
+			continue
+		}
+		if now.Sub(s.lastRenew[p]) > s.hbExpiry() {
+			// The holder went silent past any lease it could still hold.
+			s.granted[p] = false
+			s.markDown(p)
+		}
+	}
+	mask := s.cfgDown
+	for p := 0; p < s.n && p < 64; p++ {
+		if s.evictAt[p].IsZero() || !now.After(s.evictAt[p]) {
+			continue
+		}
+		mask |= 1 << uint(p)
+		s.evictAt[p] = time.Time{}
+		s.granted[p] = false
+	}
+	if mask != s.cfgDown {
+		s.bumpConfig(mask)
+	}
+	s.maybeReadmit()
+}
+
+// scheduleEvict starts the eviction clock for a node the coordinator now
+// believes unreachable: the epoch that demotes it activates only after any
+// lease it could hold has provably lapsed (lastRenew + 2×lease), so the
+// promoted successor can never serve while the stale leader still writes.
+func (s *Store) scheduleEvict(node int) {
+	if node == s.me || s.cfgDownBit(node) || !s.evictAt[node].IsZero() {
+		return
+	}
+	at := time.Now()
+	if s.granted[node] {
+		if grace := s.lastRenew[node].Add(s.evictGrace()); grace.After(at) {
+			at = grace
+		}
+	}
+	s.evictAt[node] = at
+}
+
+// reportRepair tells the coordinator this node verified the given peer
+// (streamed and acknowledged every diff for the shards it leads) under the
+// current epoch. Idempotent and re-sent by reportTick until an epoch bump
+// acknowledges it, because control frames are lossy latest-wins.
+func (s *Store) reportRepair() {
+	var peers uint64
+	for p := 0; p < s.n && p < 64; p++ {
+		if s.repaired[p] && s.cfgDownBit(p) {
+			peers |= 1 << uint(p)
+		}
+	}
+	if peers == 0 {
+		return
+	}
+	if s.me == s.coord {
+		s.recordRepairDone(s.me, peers)
+		return
+	}
+	var b [17]byte
+	b[0] = ctlRepairDone
+	binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
+	binary.LittleEndian.PutUint64(b[9:], peers)
+	_ = s.msgr.SendControl(s.coord, b[:])
+}
+
+// reportTick re-publishes repair-completion reports while any repaired
+// peer is still awaiting re-admission.
+func (s *Store) reportTick(now time.Time) {
+	if !now.After(s.reportAt) {
+		return
+	}
+	s.reportAt = now.Add(s.reportEvery())
+	s.reportRepair()
+}
+
+// recordRepairDone accumulates one reporter's verified-peer set, skipping
+// peers under a post-link-event quarantine (see dropStaleAcks).
+// Coordinator only; cleared on every epoch bump.
+func (s *Store) recordRepairDone(reporter int, peers uint64) {
+	if reporter < 0 || reporter >= 64 {
+		return
+	}
+	now := time.Now()
+	for p := 0; p < s.n && p < 64; p++ {
+		if peers&(1<<uint(p)) == 0 || now.Before(s.ackQuarantine[p]) {
+			continue
+		}
+		s.rejoinAcks[p] |= 1 << uint(reporter)
+	}
+}

@@ -1,0 +1,466 @@
+package kvs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sonuma"
+)
+
+// Tests for lease-fenced leadership: the asymmetric-partition acceptance
+// scenario (a stale leader that keeps absorbing writes is fenced by an
+// epoch bump and rolled back by (epoch, version) repair), the fencing
+// window under millisecond leases, and the error surface of fenced writes.
+// Run under -race in CI (raceScale stretches the lease timings there).
+
+// leaseConfig is testConfig with a tight, race-scaled lease for fencing
+// scenarios.
+func leaseConfig(lease time.Duration) Config {
+	cfg := testConfig()
+	cfg.Lease = lease * raceScale
+	return cfg
+}
+
+// shardLedBy finds a key (from a deterministic sequence) whose shard is
+// led by `leader` under an all-up configuration.
+func shardLedBy(t *testing.T, ring *Ring, prefix string, leader int) []byte {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("%s:%04d", prefix, i))
+		if ring.Owners(ring.ShardOf(k))[0] == leader {
+			return k
+		}
+	}
+	t.Fatalf("no key led by node %d", leader)
+	return nil
+}
+
+// waitEpochAtLeast polls until every listed store reports a cached epoch
+// >= want.
+func waitEpochAtLeast(t *testing.T, stores []*Store, skip int, want uint64, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		ok := true
+		for i, s := range stores {
+			if i == skip {
+				continue
+			}
+			if s.Epoch() < want {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(end) {
+			for i, s := range stores {
+				t.Logf("store %d epoch=%d", i, s.Epoch())
+			}
+			t.Fatalf("cluster never reached epoch %d", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitConverged polls until every store agrees on one epoch with an empty
+// down mask and a clear local down view.
+func waitConverged(t *testing.T, stores []*Store, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		ok := true
+		epoch := stores[0].Epoch()
+		for _, s := range stores {
+			if s.Epoch() != epoch {
+				ok = false
+			}
+			for p := 0; p < len(stores); p++ {
+				if s.EpochDown(p) {
+					ok = false
+				}
+			}
+			for p, d := range s.DownView() {
+				if d && p != s.NodeID() {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(end) {
+			for i, s := range stores {
+				t.Logf("store %d epoch=%d down=%v", i, s.Epoch(), s.DownView())
+			}
+			t.Fatal("cluster did not converge to a single clean epoch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAsymmetricPartitionFencedStaleLeader is the acceptance scenario for
+// configuration epochs: a shard leader is one-way partitioned (it cannot
+// send, so lease renewals die, but it keeps absorbing writes from its own
+// colocated clients while its lease lasts), the coordinator's epoch bump
+// demotes it, the promoted replica serves the winning epoch's writes, and
+// after the heal the cluster converges to byte-identical replicas holding
+// the WINNING epoch's values — the stale leader's absorbed writes are
+// rolled back by the (epoch, version) repair order even where they pushed
+// version counts AHEAD of the winning side, the exact case PR 3's
+// version-count anti-entropy could never settle.
+func TestAsymmetricPartitionFencedStaleLeader(t *testing.T) {
+	const n = 4
+	cfg := leaseConfig(25 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	ring := stores[0].Ring()
+
+	// Victim: a non-coordinator shard leader.
+	victim := 1
+	key := shardLedBy(t, ring, "asym", victim)
+	witness := 2 // healthy node hosting the winning-epoch writer
+	if ring.Owners(ring.ShardOf(key))[1] == witness {
+		witness = 3
+	}
+
+	staleClient := newTestClient(t, stores[victim])
+	winClient := newTestClient(t, stores[witness])
+	if err := winClient.Put(key, []byte("baseline")); err != nil {
+		t.Fatal(err)
+	}
+
+	// One-way partition: the victim can receive but not send. Renewals
+	// (and replication) die; local clients keep the stale leader
+	// absorbing.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.FailLinkDirected(victim, i)
+		}
+	}
+
+	// The stale leader's client hammers the contested key: acks while the
+	// lease lasts (absorbed — these advance the victim's version count far
+	// past the winning side), definite errors once fenced.
+	var absorbed, fencedErrs atomic.Int64
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		seq := 0
+		for start := time.Now(); time.Since(start) < 8*cfg.Lease; {
+			seq++
+			err := staleClient.Put(key, []byte(fmt.Sprintf("stale-%06d", seq)))
+			switch {
+			case err == nil:
+				absorbed.Add(1)
+			case errors.Is(err, ErrFenced):
+				fencedErrs.Add(1)
+			}
+		}
+	}()
+
+	// The winning side writes through the transition: parks while the
+	// demoting epoch is pending, then lands on the promoted leader.
+	var lastWin []byte
+	winDeadline := time.Now().Add(20 * cfg.Lease)
+	wins := 0
+	for i := 0; wins < 3; i++ {
+		val := []byte(fmt.Sprintf("win-%06d", i))
+		if err := winClient.Put(key, val); err == nil {
+			lastWin = val
+			wins++
+		}
+		if time.Now().After(winDeadline) {
+			t.Fatal("winning-side writes never landed after the epoch bump")
+		}
+	}
+	waitEpochAtLeast(t, stores, victim, 2, 20*cfg.Lease)
+	if !stores[witness].EpochDown(victim) {
+		t.Fatal("epoch bumped but the stale leader is not evicted in it")
+	}
+	<-staleDone
+	if absorbed.Load() == 0 {
+		t.Fatal("stale leader absorbed nothing: the partition fenced too early to test divergence")
+	}
+	if fencedErrs.Load() == 0 {
+		t.Fatal("no PUT surfaced ErrFenced: the stale leader never fenced itself")
+	}
+	if got := stores[victim].Stats().Fenced; got == 0 {
+		t.Fatal("victim recorded no fenced writes")
+	}
+	t.Logf("absorbed=%d fenced=%d (stale version count pushed ahead by %d writes)",
+		absorbed.Load(), fencedErrs.Load(), absorbed.Load())
+
+	// Heal and converge: repair must pick the winning epoch's image even
+	// though the victim's slot version is far ahead.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.RestoreLink(victim, i)
+		}
+	}
+	waitConverged(t, stores, 30*time.Second)
+
+	for _, o := range ring.Owners(ring.ShardOf(key)) {
+		got, err := winClient.GetReplica(o, key)
+		if err != nil {
+			t.Fatalf("GetReplica(%d) after heal: %v", o, err)
+		}
+		if !bytes.Equal(got, lastWin) {
+			t.Fatalf("replica %d = %q, want winning value %q (stale leader's absorbed write survived repair)",
+				o, got, lastWin)
+		}
+	}
+
+	// The rejoined ex-leader serves writes again under the new epoch.
+	if err := staleClient.Put(key, []byte("post-heal")); err != nil {
+		t.Fatalf("put via rejoined ex-leader: %v", err)
+	}
+	if got, err := winClient.Get(key); err != nil || string(got) != "post-heal" {
+		t.Fatalf("post-heal read = %q, %v", got, err)
+	}
+}
+
+// TestDoubleFaultLeaderlessShardReconciles pins the staged-readmission
+// path: both owners of a shard are evicted in sequence, with a write
+// acknowledged by the surviving leader in between (so the two copies
+// diverge and the second owner can never learn of the write while down).
+// When both heal, the shard is leaderless — no live leader can verify
+// either owner — so the coordinator must re-admit them one epoch at a
+// time: the first admitted owner becomes the shard's leader, reconciles
+// the second (push or pull, ordered by the shard-epoch words), and only
+// then is the second re-admitted. A bulk re-admission would bring both
+// back with the acknowledged write permanently missing from one replica.
+func TestDoubleFaultLeaderlessShardReconciles(t *testing.T) {
+	const n = 4
+	cfg := leaseConfig(25 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	ring := stores[0].Ring()
+
+	// A key whose owners exclude the coordinator, so both can be evicted.
+	var key []byte
+	var owners []int
+	for i := 0; i < 10000 && key == nil; i++ {
+		k := []byte(fmt.Sprintf("dbl:%04d", i))
+		o := ring.Owners(ring.ShardOf(k))
+		if o[0] != 0 && o[1] != 0 {
+			key, owners = k, o
+		}
+	}
+	if key == nil {
+		t.Fatal("no key with coordinator-free owner set")
+	}
+	leader, backup := owners[0], owners[1]
+	c := newTestClient(t, stores[0])
+	if err := c.Put(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evict the backup and wait for the demoting epoch.
+	for i := 0; i < n; i++ {
+		if i != backup {
+			cl.FailLink(backup, i)
+		}
+	}
+	deadline := time.Now().Add(30 * cfg.Lease)
+	for !stores[leader].EpochDown(backup) {
+		if time.Now().After(deadline) {
+			t.Fatal("backup eviction epoch never activated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The leader acknowledges a write the backup can never see.
+	var err error
+	for i := 0; i < 200; i++ {
+		if err = c.Put(key, []byte("v2")); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("put during backup outage: %v", err)
+	}
+
+	// Now evict the leader too: the shard is leaderless.
+	for i := 0; i < n; i++ {
+		if i != leader {
+			cl.FailLink(leader, i)
+		}
+	}
+	deadline = time.Now().Add(30 * cfg.Lease)
+	for !stores[0].EpochDown(leader) {
+		if time.Now().After(deadline) {
+			t.Fatal("leader eviction epoch never activated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Heal everything; staged re-admission must reconcile the shard.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			cl.RestoreLink(a, b)
+		}
+	}
+	waitConverged(t, stores, 30*time.Second)
+
+	for _, o := range owners {
+		got, gerr := c.GetReplica(o, key)
+		if gerr != nil {
+			t.Fatalf("GetReplica(%d, %q): %v", o, key, gerr)
+		}
+		if string(got) != "v2" {
+			t.Fatalf("replica %d = %q, want %q (acked write lost across the double fault)", o, got, "v2")
+		}
+	}
+}
+
+// TestLeaseExpiryRaceTightLeases hammers PUTs across repeated lease-lapse
+// transitions with millisecond leases: a PUT in flight when the lease
+// lapses must either complete on the old epoch before the new leader
+// serves, or fail — never hang, never be silently dropped. After the final
+// heal the replicas must be byte-identical. Run under -race.
+func TestLeaseExpiryRaceTightLeases(t *testing.T) {
+	const n = 3
+	cfg := leaseConfig(3 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	ring := stores[0].Ring()
+
+	victim := 1
+	key := shardLedBy(t, ring, "race", victim)
+	other := 2
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var acked, failed atomic.Int64
+	for _, node := range []int{0, other} {
+		c := newTestClient(t, stores[node])
+		wg.Add(1)
+		go func(c *Client, node int) {
+			defer wg.Done()
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seq++
+				start := time.Now()
+				err := c.Put(key, []byte(fmt.Sprintf("n%d-%06d", node, seq)))
+				if err == nil {
+					acked.Add(1)
+				} else {
+					failed.Add(1)
+				}
+				// The fencing deadline bounds every outcome; a stall
+				// past ~10× of it is a hang, the pre-epoch failure mode.
+				if d := time.Since(start); d > 60*cfg.Lease+5*time.Second {
+					t.Errorf("put stalled %s (hang across lease transition)", d)
+					return
+				}
+			}
+		}(c, node)
+	}
+
+	// Fault loop: repeatedly sever the leader's renewal path (one-way) for
+	// a few lease durations, then heal.
+	for cycle := 0; cycle < 4; cycle++ {
+		cl.FailLinkDirected(victim, 0)
+		time.Sleep(5 * cfg.Lease)
+		cl.RestoreLink(victim, 0)
+		time.Sleep(8 * cfg.Lease)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if acked.Load() == 0 {
+		t.Fatal("no PUT ever succeeded across the lease transitions")
+	}
+	t.Logf("acked=%d failed=%d across 4 lease-lapse cycles", acked.Load(), failed.Load())
+
+	waitConverged(t, stores, 30*time.Second)
+
+	// Settle with a final write, then every replica must agree on it.
+	final := []byte("settled")
+	fc := newTestClient(t, stores[0])
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = fc.Put(key, final); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("final settle put: %v", err)
+	}
+	for _, o := range ring.Owners(ring.ShardOf(key)) {
+		got, gerr := fc.GetReplica(o, key)
+		if gerr != nil || !bytes.Equal(got, final) {
+			t.Fatalf("replica %d after settle = %q, %v; want %q", o, got, gerr, final)
+		}
+	}
+}
+
+// TestFencedWriteSurfacesAsError pins the error surface: with the
+// coordinator unreachable (no epoch can change), a PUT toward a leader
+// that cannot renew its lease fails with ErrFenced within the fencing
+// deadline — an explicit error, not a hang and not a silent drop.
+func TestFencedWriteSurfacesAsError(t *testing.T) {
+	const n = 3
+	cfg := leaseConfig(20 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	ring := stores[0].Ring()
+
+	victim := 1
+	key := shardLedBy(t, ring, "fence", victim)
+	c := newTestClient(t, stores[victim])
+	if err := c.Put(key, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the victim COMPLETELY and also isolate the coordinator from
+	// the remaining node, so no epoch transition can rescue the write.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.FailLink(victim, i)
+		}
+	}
+	cl.FailLink(0, 2)
+
+	// Wait out the lease, then the fenced leader must reject its own
+	// client's write with a definite error.
+	time.Sleep(2 * cfg.Lease)
+	start := time.Now()
+	err := c.Put(key, []byte("doomed"))
+	if err == nil {
+		t.Fatal("write on a fenced, isolated leader succeeded")
+	}
+	if !errors.Is(err, ErrFenced) && !sonuma.IsNodeFailure(err) {
+		t.Fatalf("fenced write error = %v, want ErrFenced (or node failure)", err)
+	}
+	if d := time.Since(start); d > 8*cfg.Lease+5*time.Second {
+		t.Fatalf("fenced write took %s to fail; fencing deadline is ~%s", d, 6*cfg.Lease)
+	}
+
+	// Heal everything; the cluster converges and the key is writable.
+	for i := 0; i < n; i++ {
+		if i != victim {
+			cl.RestoreLink(victim, i)
+		}
+	}
+	cl.RestoreLink(0, 2)
+	waitConverged(t, stores, 30*time.Second)
+	var werr error
+	for i := 0; i < 100; i++ {
+		if werr = c.Put(key, []byte("recovered")); werr == nil {
+			break
+		}
+	}
+	if werr != nil {
+		t.Fatalf("post-heal write: %v", werr)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package kvs
+
+// raceScale is 1 without the race detector; see race_enabled_test.go.
+const raceScale = 1

@@ -1,0 +1,8 @@
+//go:build race
+
+package kvs
+
+// raceScale stretches fault-injection lease timings under the race
+// detector, whose instrumentation slows serve-loop iterations enough to
+// trip millisecond leases spuriously.
+const raceScale = 4

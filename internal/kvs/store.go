@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,11 +15,12 @@ import (
 
 // Messenger message kinds (first byte of every messenger payload).
 const (
-	msgPut       byte = 1 // reqID u64, shard u32, keyLen u32, key, value
-	msgAck       byte = 2 // reqID u64, status u8
-	msgRepair    byte = 3 // shard u32, bucket u32, ver u64, slot body
-	msgRepairEnd byte = 4 // token u64: all diffs for this repair streamed
-	msgRepairAck byte = 5 // token u64: peer applied everything up to End
+	msgPut        byte = 1 // reqID u64, shard u32, keyLen u32, key, value
+	msgAck        byte = 2 // reqID u64, status u8
+	msgRepair     byte = 3 // shard u32, bucket u32, ver u64, epoch u64, slot body
+	msgRepairEnd  byte = 4 // token u64: all diffs for this repair streamed
+	msgRepairAck  byte = 5 // token u64: peer applied everything up to End
+	msgShardEpoch byte = 6 // shard u32, epoch u64: stamp after a shard's diffs
 )
 
 // Ack status codes.
@@ -29,6 +31,7 @@ const (
 	ackWrongOwner
 	ackNoReplica
 	ackBadRequest
+	ackFenced // leader's lease lapsed: write rejected, not applied
 )
 
 // Serve-loop pacing: spin (with Gosched) this many empty passes, then park
@@ -42,9 +45,20 @@ const (
 
 // Anti-entropy repair and migration tuning.
 const (
-	// repairVerBurst is how many peer slot-version words one batched
-	// one-sided read burst fetches during a repair scan.
+	// repairVerBurst is how many peer slot headers one batched one-sided
+	// read burst fetches during a repair scan.
 	repairVerBurst = 32
+	// repairScanBytes is the prefix of each slot a repair scan compares:
+	// version word + key/value lengths + checksum. With the epoch order,
+	// divergence can hide behind EQUAL version counts (both sides applied
+	// the same number of writes during a partition), so the scan compares
+	// the checksum too, not just the version.
+	repairScanBytes = 24
+	// maxPutAttempts bounds forward attempts for one PUT (re-forwards
+	// after wrong-owner or fenced acks, periodic parked retries) before it
+	// fails with ErrNoReplica; the fencing deadline is the primary bound,
+	// this is a backstop against routing loops.
+	maxPutAttempts = 100
 	// repairOddRetries bounds re-reads of a remotely odd slot version
 	// before treating it as stuck (a live writer clears it in one
 	// replication round trip; a dead writer never does).
@@ -80,6 +94,8 @@ func ackErr(code byte) error {
 		return ErrNoReplica
 	case ackBadRequest:
 		return fmt.Errorf("kvs: peer rejected PUT frame: %w", ErrBadStore)
+	case ackFenced:
+		return ErrFenced
 	default:
 		return fmt.Errorf("kvs: unknown ack status %d", code)
 	}
@@ -97,10 +113,12 @@ type StoreStats struct {
 	ReplicaSkips   uint64 // replications skipped (backup unreachable)
 	Promotions     uint64 // shard leaderships moved off an unreachable node
 	Rerouted       uint64 // pending PUTs re-routed after a failure event
-	Rejoins        uint64 // peers re-admitted after anti-entropy repair
+	Rejoins        uint64 // peer repairs completed (verified for re-admission)
 	RepairedSlots  uint64 // slot diffs streamed to healed peers
 	RepairBytes    uint64 // messenger bytes spent on repair diffs
 	ShardsMigrated uint64 // shards pulled from old owners after a ring resize
+	Fenced         uint64 // PUTs rejected or timed out by lease fencing
+	EpochBumps     uint64 // configuration epochs adopted (coordinator bumps included)
 }
 
 // putReq is one PUT travelling from a colocated client into the serve loop.
@@ -108,6 +126,7 @@ type putReq struct {
 	key, value []byte
 	shard      int
 	attempts   int
+	deadline   time.Time // set on first park; bounds fencing stalls
 	resp       chan error
 }
 
@@ -138,15 +157,60 @@ type Store struct {
 	priorBuf *sonuma.Buffer // landing area for FetchAdd prior values
 	verBuf   *sonuma.Buffer // landing area for repair version-scan bursts
 	migBuf   *sonuma.Buffer // landing area for migration slot reads
+	cfgBuf   *sonuma.Buffer // landing area for one-sided config-slot reads
 	scratch  []byte         // local slot image scratch (serve goroutine)
 	txBuf    []byte         // outbound message scratch (serve goroutine)
+	cfgLine  []byte         // config-slot parse scratch (serve goroutine)
 
-	leader  []int  // per-shard index into owners (serve goroutine)
-	down    []bool // per-node unreachability (serve goroutine)
+	down    []bool // per-node local unreachability (serve goroutine)
 	downPub atomic.Pointer[[]bool]
+
+	// Configuration-epoch state (serve goroutine; cfgPub is the lock-free
+	// snapshot clients read). Leadership everywhere derives from
+	// (ring, cfgDown) — see config.go.
+	coord      int
+	lease      time.Duration
+	cfgEpoch   uint64
+	cfgDown    uint64
+	cfgDirty   bool // a nudge/deny/failure hinted at a newer epoch
+	cfgPollAt  time.Time
+	ctrlPollAt time.Time // next control-line scan (keeps it off the hot path)
+	cfgPub     atomic.Pointer[configView]
+
+	// Lease state (serve goroutine). leaseValid gates every leader write.
+	leaseEpoch uint64
+	leaseUntil time.Time
+	renewAt    time.Time
+
+	// Fenced/unroutable PUTs parked until a grant or an epoch transition.
+	// Also retried periodically: a remote leader acquiring ITS lease is
+	// invisible to the origin, so parked PUTs re-probe on a short cadence.
+	parked        []*putReq
+	parkedDirty   bool
+	parkedRetryAt time.Time
+
+	// Rejoin bookkeeping: repaired[p] records that THIS node verified p
+	// for the shards it leads under the current epoch; reportAt paces the
+	// re-published ctlRepairDone frames. Coordinator-only: lastRenew and
+	// granted track lease heartbeats, evictAt pending (grace-delayed)
+	// evictions, rejoinAcks the per-peer reporter sets.
+	repaired      []bool
+	reportAt      time.Time
+	lastRenew     []time.Time
+	granted       []bool
+	evictAt       []time.Time
+	rejoinAcks    []uint64
+	ackQuarantine []time.Time
+
+	// Stuck-slot scrub state: slots observed odd at the same version
+	// across two passes one lease apart (no live writer is that slow) are
+	// unstuck — see scrubPass.
+	scrubAt    time.Time
+	scrubMarks map[int]uint64
 
 	putCh    chan *putReq
 	failCh   chan int
+	linkCh   chan [2]int // fabric link-failure endpoints (coordinator bookkeeping)
 	healCh   chan struct{}
 	resizeCh chan *resizeReq
 	stop     chan struct{}
@@ -182,6 +246,8 @@ type Store struct {
 	repairedSlots  atomic.Uint64
 	repairBytes    atomic.Uint64
 	shardsMigrated atomic.Uint64
+	fenced         atomic.Uint64
+	epochBumps     atomic.Uint64
 }
 
 // resizeReq is one AddNode request travelling into the serve loop.
@@ -201,6 +267,9 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if need := cfg.SegmentSize(n); ctx.SegmentSize() < need {
 		return nil, fmt.Errorf("kvs: segment %d bytes < %d required", ctx.SegmentSize(), need)
 	}
+	if n > 64 {
+		return nil, fmt.Errorf("kvs: configuration epochs support at most 64 nodes, cluster has %d", n)
+	}
 	nodes := cfg.Members
 	if len(nodes) == 0 {
 		nodes = make([]int, n)
@@ -213,27 +282,40 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("kvs: ring member %d outside cluster [0,%d)", id, n)
 		}
 	}
+	if cfg.Coordinator < 0 || cfg.Coordinator >= n {
+		return nil, fmt.Errorf("kvs: coordinator %d outside cluster [0,%d)", cfg.Coordinator, n)
+	}
 	s := &Store{
-		ctx:         ctx,
-		cfg:         cfg,
-		me:          ctx.NodeID(),
-		n:           n,
-		mem:         ctx.Memory(),
-		leader:      make([]int, cfg.Shards),
-		down:        make([]bool, n),
-		putCh:       make(chan *putReq, 128),
-		failCh:      make(chan int, 64),
-		healCh:      make(chan struct{}, 1),
-		resizeCh:    make(chan *resizeReq, 4),
-		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
-		pending:     make(map[uint64]*fwdPut),
-		scratch:     make([]byte, cfg.SlotSize),
-		wantAckPeer: -1,
-		healBackoff: time.Second,
+		ctx:           ctx,
+		cfg:           cfg,
+		me:            ctx.NodeID(),
+		n:             n,
+		mem:           ctx.Memory(),
+		down:          make([]bool, n),
+		coord:         cfg.Coordinator,
+		lease:         cfg.Lease,
+		repaired:      make([]bool, n),
+		lastRenew:     make([]time.Time, n),
+		granted:       make([]bool, n),
+		evictAt:       make([]time.Time, n),
+		rejoinAcks:    make([]uint64, n),
+		ackQuarantine: make([]time.Time, n),
+		putCh:         make(chan *putReq, 128),
+		failCh:        make(chan int, 64),
+		linkCh:        make(chan [2]int, 64),
+		healCh:        make(chan struct{}, 1),
+		resizeCh:      make(chan *resizeReq, 4),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+		pending:       make(map[uint64]*fwdPut),
+		scratch:       make([]byte, cfg.SlotSize),
+		cfgLine:       make([]byte, cfgSlotSize),
+		wantAckPeer:   -1,
+		healBackoff:   time.Second,
 	}
 	s.ringPub.Store(NewRing(nodes, cfg.Shards, cfg.Replicas, cfg.VNodes))
 	s.publishDown()
+	s.publishCfg()
 	if err := writeHeader(s.mem, cfg); err != nil {
 		return nil, err
 	}
@@ -248,10 +330,13 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if s.priorBuf, err = ctx.AllocBuffer(8 * n); err != nil {
 		return nil, err
 	}
-	if s.verBuf, err = ctx.AllocBuffer(8 * repairVerBurst); err != nil {
+	if s.verBuf, err = ctx.AllocBuffer(repairScanBytes * repairVerBurst); err != nil {
 		return nil, err
 	}
 	if s.migBuf, err = ctx.AllocBuffer(migrateBurst * cfg.SlotSize); err != nil {
+		return nil, err
+	}
+	if s.cfgBuf, err = ctx.AllocBuffer(cfgSlotSize); err != nil {
 		return nil, err
 	}
 	mqp, err := ctx.NewQP(0)
@@ -263,19 +348,36 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if s.msgr, err = sonuma.NewMessenger(ctx, mqp, mcfg); err != nil {
 		return nil, err
 	}
+	// The coordinator seeds the configuration authority: epoch 1, nobody
+	// evicted. Peers start at epoch 0 with the identical (empty) down mask
+	// and adopt epoch 1 on their first poll, so leadership never disagrees
+	// during bootstrap.
+	if s.me == s.coord {
+		s.cfgEpoch, s.cfgDown = 1, 0
+		s.writeConfigSlot(1, 0)
+		s.publishCfg()
+	}
 	// Failover detection: the fabric's watchers report failed nodes and
 	// links; the serve loop turns the ones affecting our reachability
 	// into leadership promotions and PUT re-routes. Restore events feed
 	// the symmetric path: a heal scan that repairs and re-admits peers
 	// that became reachable again.
 	node := ctx.Node()
-	node.OnFabricFailure(func(failed int) { s.reportDown(failed) })
+	node.OnFabricFailure(func(failed int) {
+		s.reportDown(failed)
+		s.reportLinkEvent(failed, failed)
+	})
 	node.OnLinkFailure(func(a, b int) {
 		if a == s.me {
 			s.reportDown(b)
 		} else if b == s.me {
 			s.reportDown(a)
 		}
+		// The coordinator hears about EVERY link failure: a collected
+		// repair report involving either endpoint may have just gone
+		// stale (the reporter can no longer replicate to the peer it
+		// verified), so re-admission must wait for fresh reports.
+		s.reportLinkEvent(a, b)
 	})
 	node.OnFabricRestore(func(int) { s.reportHeal() })
 	node.OnLinkRestore(func(a, b int) { s.reportHeal() })
@@ -311,6 +413,8 @@ func (s *Store) Stats() StoreStats {
 		RepairedSlots:  s.repairedSlots.Load(),
 		RepairBytes:    s.repairBytes.Load(),
 		ShardsMigrated: s.shardsMigrated.Load(),
+		Fenced:         s.fenced.Load(),
+		EpochBumps:     s.epochBumps.Load(),
 	}
 }
 
@@ -322,6 +426,40 @@ func (s *Store) reportDown(node int) {
 	select {
 	case s.failCh <- node:
 	default:
+	}
+}
+
+// reportLinkEvent queues a fabric link-failure event for the coordinator's
+// serve loop, which discards collected repair reports involving either
+// endpoint (they may no longer cover the peer's state). Best-effort like
+// reportDown; a dropped event is re-covered because reporters also
+// invalidate their own repaired flags and re-verify before re-reporting.
+func (s *Store) reportLinkEvent(a, b int) {
+	if s.me != s.coord {
+		return
+	}
+	select {
+	case s.linkCh <- [2]int{a, b}:
+	default:
+	}
+}
+
+// dropStaleAcks is the serve-loop half of reportLinkEvent: collected
+// repair reports about either endpoint are discarded, and further reports
+// about them are QUARANTINED for one lease. The quarantine closes a
+// lossy-channel race: a report published on a control line just before the
+// link event can be consumed just after this clear — but every node
+// overwrites its control line with renewals on a lease/3 cadence, so any
+// report older than one lease cannot still be delivered; after the
+// quarantine only genuinely fresh (post-event, re-verified) reports count.
+// Coordinator only.
+func (s *Store) dropStaleAcks(a, b int) {
+	until := time.Now().Add(s.lease)
+	for _, p := range [2]int{a, b} {
+		if p >= 0 && p < s.n {
+			s.rejoinAcks[p] = 0
+			s.ackQuarantine[p] = until
+		}
 	}
 }
 
@@ -411,6 +549,9 @@ func (s *Store) serve() {
 			case n := <-s.failCh:
 				s.markDown(n)
 				worked = true
+			case ev := <-s.linkCh:
+				s.dropStaleAcks(ev[0], ev[1])
+				worked = true
 			default:
 				break drainFail
 			}
@@ -448,6 +589,7 @@ func (s *Store) serve() {
 			worked = true
 			s.handleMsg(msg)
 		}
+		s.tick()
 		if worked {
 			idle = 0
 			continue
@@ -469,18 +611,148 @@ func (s *Store) serve() {
 		case req := <-s.putCh:
 			s.handlePut(req)
 		case <-time.After(idlePoll):
-			s.retryHeal()
 		}
 		idle = 0
 	}
 }
 
-// shutdown fails every pending and queued PUT so no client blocks forever.
+// tick drives the time-based state machines once per serve pass: control
+// frames, config polling, lease renewal, the coordinator's eviction and
+// re-admission clocks, parked-PUT deadlines, repair reports, and heal
+// retries. Everything is time-gated — the control-line scan on lease/8
+// (control traffic changes on lease/3 cadences, so scanning n peer lines
+// every data-path pass would be pure overhead) — so running tick on busy
+// passes too keeps fencing responsive under load without taxing it.
+func (s *Store) tick() {
+	now := time.Now()
+	if now.After(s.ctrlPollAt) {
+		s.ctrlPollAt = now.Add(s.lease / 8)
+		s.drainCtrl()
+	}
+	if s.me == s.coord {
+		s.coordTick(now)
+	} else {
+		if s.cfgDirty || now.After(s.cfgPollAt) {
+			s.cfgPollAt = now.Add(s.cfgPollEvery())
+			s.pollConfig()
+		}
+		s.leaseTick(now)
+	}
+	s.parkedTick(now)
+	s.reportTick(now)
+	if s.healPending && now.After(s.healRetryAt) {
+		s.healScan()
+	}
+	if now.After(s.scrubAt) {
+		s.scrubAt = now.Add(s.lease)
+		s.scrubPass()
+	}
+}
+
+// scrubPass heals slots stranded odd by a writer that died mid-update —
+// the one corruption repair cannot reach, because repair only ever targets
+// EVICTED peers while a stale replicator can strand a slot on a node that
+// stays up the whole time (PR 2's documented remnant, bounded now by the
+// fencing window but still possible inside it). A slot odd at the SAME
+// version across two passes one lease apart has no live writer (a real
+// replication completes in microseconds; an abandoned one never does):
+// if the body's checksum proves the dead writer finished it, the slot is
+// simply published; otherwise the image is re-fetched one-sidedly from
+// another replica. Runs once per lease per node — a few hundred local
+// word loads — so it costs nothing in steady state.
+func (s *Store) scrubPass() {
+	ring := s.ring()
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		if !containsInt(ring.ownersShared(shard), s.me) {
+			continue
+		}
+		for b := 0; b < s.cfg.Buckets; b++ {
+			off := s.cfg.slotOff(shard, b)
+			ver, err := s.mem.Load64(off)
+			if err != nil {
+				return
+			}
+			idx := shard*s.cfg.Buckets + b
+			if ver&1 == 0 {
+				if s.scrubMarks != nil {
+					delete(s.scrubMarks, idx)
+				}
+				continue
+			}
+			if s.scrubMarks == nil {
+				s.scrubMarks = make(map[int]uint64)
+			}
+			if prev, seen := s.scrubMarks[idx]; !seen || prev != ver {
+				s.scrubMarks[idx] = ver // first sighting (or a live writer moved it)
+				continue
+			}
+			delete(s.scrubMarks, idx)
+			s.unstickSlot(shard, b, ver)
+		}
+	}
+}
+
+// unstickSlot repairs one slot proven stuck odd. The common case — the
+// dead writer landed the full body but not the final version bump — is
+// detected by the checksum and fixed with a single publish; a half-landed
+// body is replaced by a stable image fetched from another replica (left
+// for the next pass if none is reachable).
+func (s *Store) unstickSlot(shard, bucket int, ver uint64) {
+	off := s.cfg.slotOff(shard, bucket)
+	if err := s.mem.ReadAt(off, s.scratch); err != nil {
+		return
+	}
+	keyLen := int(binary.LittleEndian.Uint32(s.scratch[8:]))
+	valLen := int(binary.LittleEndian.Uint32(s.scratch[12:]))
+	crc := binary.LittleEndian.Uint32(s.scratch[16:])
+	if keyLen > 0 && valLen >= 0 && entryHdr+keyLen+valLen <= s.cfg.SlotSize &&
+		crc32.ChecksumIEEE(s.scratch[entryHdr:entryHdr+keyLen+valLen]) == crc {
+		_ = s.mem.Store64(off, ver+1)
+		return
+	}
+	cl := s.ctx.Node().Cluster()
+	for _, o := range s.ring().ownersShared(shard) {
+		if o == s.me || s.down[o] || !cl.Reachable(s.me, o) {
+			continue
+		}
+		if err := s.qp.Read(o, uint64(off), s.migBuf, 0, s.cfg.SlotSize); err != nil {
+			continue
+		}
+		if err := s.migBuf.ReadAt(0, s.scratch); err != nil {
+			return
+		}
+		theirs := binary.LittleEndian.Uint64(s.scratch)
+		if theirs&1 == 1 {
+			continue // busy or stuck over there too; try another replica
+		}
+		if theirs == 0 {
+			_ = s.mem.Store64(off, 0) // no replica holds an entry: clear
+			return
+		}
+		pub := theirs
+		if pub <= ver {
+			pub = ver + 1 // keep the version monotonic (ver is odd, so +1 is even)
+		}
+		if err := s.mem.WriteAt(off+8, s.scratch[8:]); err != nil {
+			return
+		}
+		_ = s.mem.Store64(off, pub)
+		return
+	}
+	// No replica reachable: stay stuck for now; the next pass retries.
+}
+
+// shutdown fails every pending, parked, and queued PUT so no client blocks
+// forever.
 func (s *Store) shutdown() {
 	for id, f := range s.pending {
 		delete(s.pending, id)
 		f.req.resp <- ErrClosed
 	}
+	for _, req := range s.parked {
+		req.resp <- ErrClosed
+	}
+	s.parked = nil
 	for {
 		select {
 		case req := <-s.putCh:
@@ -493,23 +765,34 @@ func (s *Store) shutdown() {
 	}
 }
 
-// markDown records a node as unreachable, promotes the next replica for
-// every shard it led, and re-routes pending PUTs that were forwarded to it.
-// Eviction holds until a heal scan re-admits the node: a replica that
-// missed writes while unreachable would serve stale values if silently
-// re-admitted, so rejoin happens only after markUp's anti-entropy repair
-// pass brings its slot tables back in sync.
+// markDown records a node as locally unreachable. Unlike PR 2's design,
+// reachability no longer moves leadership by itself: leadership is a pure
+// function of the configuration epoch, so a failure report here either
+// starts the coordinator's (lease-grace-delayed) eviction clock, or — on
+// every other node — parks writes routed at the dead leader until the
+// coordinator's epoch bump re-derives leadership cluster-wide. GETs still
+// fail over instantly on the local view; only write authority waits for
+// the epoch, because that is exactly the split-brain window.
 func (s *Store) markDown(node int) {
-	if node < 0 || node >= s.n || node == s.me || s.down[node] {
+	if node < 0 || node >= s.n || node == s.me {
+		return
+	}
+	// A fresh failure report always invalidates this node's repair
+	// verification of the peer — even when the peer was already down:
+	// replication to a repaired-but-evicted peer may just have failed,
+	// meaning it missed a write this node acknowledged, so the earlier
+	// verification no longer covers its state.
+	s.repaired[node] = false
+	if s.down[node] {
 		return
 	}
 	s.down[node] = true
 	s.publishDown()
-	for shard := 0; shard < s.cfg.Shards; shard++ {
-		owners := s.ring().ownersShared(shard)
-		if owners[s.leader[shard]%len(owners)] == node {
-			s.advanceLeader(shard)
-		}
+	if s.me == s.coord {
+		s.scheduleEvict(node)
+	} else {
+		// The coordinator is likely bumping the epoch; poll eagerly.
+		s.cfgDirty = true
 	}
 	for id, f := range s.pending {
 		if f.target != node {
@@ -521,49 +804,53 @@ func (s *Store) markDown(node int) {
 	}
 }
 
-// advanceLeader moves a shard's leadership to the next reachable owner in
-// ring order (a no-op leaving the current leader if none is reachable).
-func (s *Store) advanceLeader(shard int) {
-	owners := s.ring().ownersShared(shard)
-	cur := s.leader[shard] % len(owners)
-	for step := 1; step <= len(owners); step++ {
-		next := (cur + step) % len(owners)
-		if !s.down[owners[next]] || owners[next] == s.me {
-			s.leader[shard] = next
-			s.promotions.Add(1)
-			return
+// park shelves a PUT that cannot be served under the current configuration
+// (fenced leader, evicted or unreachable leader) until a lease grant or an
+// epoch transition re-routes it, bounded by the fencing deadline.
+func (s *Store) park(req *putReq) {
+	if req.deadline.IsZero() {
+		req.deadline = time.Now().Add(s.fenceWait())
+	}
+	s.parked = append(s.parked, req)
+}
+
+// parkedTick re-routes parked PUTs after a configuration or lease change
+// (and periodically regardless, since a REMOTE leader acquiring its lease
+// is invisible here) and fails the ones that outwaited the fencing
+// deadline: a fenced write surfaces as ErrFenced, never as a silent drop.
+func (s *Store) parkedTick(now time.Time) {
+	if len(s.parked) == 0 {
+		s.parkedDirty = false
+		return
+	}
+	kept := s.parked[:0]
+	for _, req := range s.parked {
+		if now.After(req.deadline) {
+			s.fenced.Add(1)
+			req.resp <- ErrFenced
+			continue
 		}
+		kept = append(kept, req)
+	}
+	s.parked = kept
+	if s.parkedDirty || now.After(s.parkedRetryAt) {
+		s.parkedDirty = false
+		s.parkedRetryAt = now.Add(s.lease / 4)
+		s.drainParked()
 	}
 }
 
-// leaderOf reports the node currently leading a shard from this store's
-// view, skipping known-unreachable owners.
-func (s *Store) leaderOf(shard int) int {
-	owners := s.ring().ownersShared(shard)
-	cur := s.leader[shard] % len(owners)
-	for step := 0; step < len(owners); step++ {
-		n := owners[(cur+step)%len(owners)]
-		if n == s.me || !s.down[n] {
-			return n
-		}
+// drainParked re-runs routing for every parked PUT under the current
+// configuration. PUTs that still cannot be served re-park with their
+// original deadline.
+func (s *Store) drainParked() {
+	if len(s.parked) == 0 {
+		return
 	}
-	return owners[cur]
-}
-
-// resetLeadership deterministically re-derives every shard's leader as the
-// first reachable owner in ring order. Run whenever the down set shrinks
-// (rejoin) or the ring changes (resize), so every store that shares a down
-// view converges on the same leader for every shard — in particular,
-// leadership returns to a shard's original primary once it is repaired.
-func (s *Store) resetLeadership() {
-	for shard := 0; shard < s.cfg.Shards; shard++ {
-		owners := s.ring().ownersShared(shard)
-		for i, o := range owners {
-			if o == s.me || !s.down[o] {
-				s.leader[shard] = i
-				break
-			}
-		}
+	reqs := s.parked
+	s.parked = nil
+	for _, req := range reqs {
+		s.handlePut(req)
 	}
 }
 
@@ -582,20 +869,32 @@ func containsInt(list []int, v int) bool {
 	return false
 }
 
-// healScan re-admits every evicted peer the fabric can reach again, after
-// an anti-entropy repair pass. Triggered by link/node restore events (and
-// re-armed from the idle tick with backoff when a repair aborts); the
-// per-peer reachability check makes it safe to run on any of them, because
-// a single restored link does not imply the whole route is back.
+// healScan verifies (repairs) every peer that is evicted — in the
+// configuration or merely in this node's local view — and reachable again.
+// Triggered by link/node restore events, by epoch adoptions that show
+// down peers, and re-armed from the tick with backoff when a repair
+// aborts; the per-peer reachability check makes it safe to run on any of
+// them, because a single restored link does not imply the whole route is
+// back. Before repairing, the cached configuration is refreshed so a
+// demoted leader cannot "repair" peers with shards it no longer leads.
 func (s *Store) healScan() {
 	cl := s.ctx.Node().Cluster()
 	s.healPending = false
+	if s.me != s.coord {
+		s.pollConfig()
+	}
 	for p := 0; p < s.n; p++ {
-		if p == s.me || !s.down[p] || !cl.Reachable(s.me, p) {
+		if p == s.me || s.repaired[p] {
+			continue
+		}
+		if !s.down[p] && !s.cfgDownBit(p) {
+			continue
+		}
+		if !cl.Reachable(s.me, p) {
 			continue
 		}
 		s.markUp(p)
-		if s.down[p] {
+		if !s.repaired[p] {
 			// Repair aborted against a reachable peer: schedule a
 			// retry with backoff rather than waiting for another
 			// restore event that may never come.
@@ -609,47 +908,49 @@ func (s *Store) healScan() {
 	}
 }
 
-// retryHeal re-runs the heal scan from the idle tick once the backoff
-// deadline for a previously aborted repair passes.
-func (s *Store) retryHeal() {
-	if s.healPending && time.Now().After(s.healRetryAt) {
-		s.healScan()
-	}
-}
-
-// markUp is the inverse of markDown, with the crucial asymmetry the
-// ROADMAP calls out: eviction was instant, re-admission must be earned.
-// The peer missed every write replicated while it was unreachable, so we
-// first stream it the diffs for every shard this node currently leads
-// (repairPeer), and only when the peer acknowledges the full stream do we
-// clear it from the published down view — from that point clients read
-// from it and replication includes it again.
+// markUp verifies one healed peer, with the crucial asymmetry the ROADMAP
+// calls out: eviction was instant, re-admission must be earned. The peer
+// missed every write replicated while it was unreachable, so this node
+// streams it the diffs for every shard it currently leads (repairPeer) and
+// only a full acknowledged stream marks the peer repaired.
+//
+// What happens next depends on who evicted the peer. A peer evicted only
+// in this node's LOCAL view (the configuration never demoted it) is
+// re-admitted locally, as in PR 3. A peer evicted by the configuration
+// stays evicted until the coordinator has collected repair reports from
+// EVERY shard leader with data on it and publishes the re-admitting epoch
+// — which closes PR 3's stale-read window: no client anywhere reads the
+// peer before every one of its shards is verified, because eviction and
+// re-admission are now epoch transitions, not per-node opinions.
 //
 // While the repair is in flight, inbound forwarded PUTs are deferred
 // (inRepair), so this store applies no write between the version scan and
-// the down-view clear — the scan is therefore complete, and because each
-// shard's diffs come only from its current leader, no slot ever has a
-// repairer and a replicator writing it concurrently. The deferred PUTs
-// drain right after, replicating to the re-admitted peer. Leadership then
-// re-derives deterministically, returning each shard to its original
-// primary.
-//
-// Known window (see ARCHITECTURE.md): this store clears the peer once its
-// OWN led shards are verified; shards led by other stores are repaired by
-// those leaders concurrently, so a client routing through this store's
-// view can briefly read a not-yet-repaired shard from the peer. The
-// window is bounded by the slowest concurrent repair; closing it fully
-// needs the configuration-epoch authority tracked in ROADMAP.md.
+// the repair barrier; the deferred PUTs drain right after and replicate to
+// the repaired peer (replication resumes for repaired peers immediately,
+// so nothing is missed while the coordinator collects the other reports).
 func (s *Store) markUp(peer int) {
 	s.inRepair = true
 	err := s.repairPeer(peer)
 	s.inRepair = false
 	if err == nil {
-		s.down[peer] = false
-		s.publishDown()
-		s.resetLeadership()
+		s.repaired[peer] = true
 		s.rejoins.Add(1)
 		s.healBackoff = time.Second
+		if !s.cfgDownBit(peer) {
+			// Transient local eviction the configuration never saw:
+			// local re-admission suffices, and a pending eviction whose
+			// grace has not expired is cancelled — the peer is verified
+			// and reachable again.
+			s.down[peer] = false
+			s.repaired[peer] = false
+			s.publishDown()
+			if s.me == s.coord {
+				s.evictAt[peer] = time.Time{}
+			}
+		} else {
+			s.reportRepair()
+			s.reportAt = time.Now().Add(s.reportEvery())
+		}
 	}
 	s.drainDeferred()
 }
@@ -670,11 +971,12 @@ func (s *Store) drainDeferred() {
 // peer owns) to the peer, then runs an end-of-stream barrier: the peer
 // acknowledges a token only after applying everything before it, because
 // the messenger delivers one sender's messages in order. Other shards are
-// some other leader's responsibility — every store runs the same scan, so
-// coverage is complete without coordination, and each shard has exactly
-// one repairer (its leader), which is also the only node replicating new
-// writes for it. A cheap probe barrier runs before any diff is read or
-// streamed, so a reachable-but-silent peer aborts quickly.
+// some other leader's responsibility — the coordinator re-admits the peer
+// only after every expected leader has reported, so coverage is complete
+// and verified, and each shard has exactly one repairer (its epoch
+// leader), which is also the only node replicating new writes for it. A
+// cheap probe barrier runs before any diff is read or streamed, so a
+// reachable-but-silent peer aborts quickly.
 func (s *Store) repairPeer(peer int) error {
 	ring := s.ring()
 	if !ring.ContainsNode(peer) {
@@ -708,77 +1010,218 @@ func (s *Store) repairBarrier(peer int, timeout time.Duration) error {
 	return s.awaitRepairAck(peer, token, timeout)
 }
 
-// repairShard scans the peer's slot versions for one shard with batched
-// one-sided reads and streams a diff for every slot the peer is missing,
-// behind on, or stuck odd on.
+// repairShard converges one shard between this node and the peer, ordered
+// by (epoch, version). The two shard-epoch words — stamped by leader
+// writes and by repair — totally order the lineages, and data always
+// flows from the newer lineage to the older one, whichever side holds it:
+//
+//   - local word ABOVE the peer's: the repairer's image wins wholesale
+//     (supersede): slots whose header prefix (version, lengths, checksum
+//     — the checksum catches divergence hiding behind EQUAL version
+//     counts) differs are force-streamed regardless of version order, and
+//     stale extras are cleared. This settles the asymmetric partition
+//     where a stale leader left the peer AHEAD by bare version count.
+//   - words EQUAL: same lineage — PR 3's conservative version comparison
+//     (missed writes, stuck-odd fixes).
+//   - local word BELOW the peer's: the PEER holds the newer lineage (it
+//     led this shard more recently than anything we have — e.g. the old
+//     leader of a shard whose promoted backup never took a write, or a
+//     double fault that left the shard leaderless); the repairer PULLS
+//     the peer's image into itself with one-sided reads instead of
+//     pushing, so acknowledged writes that conflict with nothing are
+//     preserved rather than rolled back.
+//
+// The shard-epoch stamp travels after the shard's diffs (ordered
+// delivery), so a partially streamed shard never claims the repair epoch.
 func (s *Store) repairShard(peer, shard int) error {
+	if err := s.qp.Read(peer, uint64(s.cfg.shardEpochOff(shard)), s.verBuf, 0, 8); err != nil {
+		return err
+	}
+	peerWord, err := s.verBuf.Load64(0)
+	if err != nil {
+		return err
+	}
+	localWord, err := s.mem.Load64(s.cfg.shardEpochOff(shard))
+	if err != nil {
+		return err
+	}
+	if peerWord > localWord {
+		return s.reverseRepairShard(peer, shard, peerWord)
+	}
+	supersede := peerWord < localWord
 	for base := 0; base < s.cfg.Buckets; base += repairVerBurst {
 		end := base + repairVerBurst
 		if end > s.cfg.Buckets {
 			end = s.cfg.Buckets
 		}
 		for b := base; b < end; b++ {
-			s.batch.Read(peer, uint64(s.cfg.slotOff(shard, b)), s.verBuf, 8*(b-base), 8, nil)
+			s.batch.Read(peer, uint64(s.cfg.slotOff(shard, b)), s.verBuf,
+				repairScanBytes*(b-base), repairScanBytes, nil)
 		}
 		if err := s.batch.SubmitWait(); err != nil {
 			return err
 		}
-		// Snapshot the burst before reusing verBuf for odd re-reads.
+		var hdr [repairScanBytes]byte
 		for b := base; b < end; b++ {
-			remote, err := s.verBuf.Load64(8 * (b - base))
-			if err != nil {
+			if err := s.verBuf.ReadAt(repairScanBytes*(b-base), hdr[:]); err != nil {
 				return err
 			}
-			if err := s.repairSlot(peer, shard, b, remote); err != nil {
+			if err := s.repairSlot(peer, shard, b, hdr[:], localWord, supersede); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	// Stamp the peer's shard epoch: every diff above is already applied
+	// when this frame lands, so the shard now carries the repair lineage.
+	need := 13
+	if cap(s.txBuf) < need {
+		s.txBuf = make([]byte, need)
+	}
+	b := s.txBuf[:need]
+	b[0] = msgShardEpoch
+	binary.LittleEndian.PutUint32(b[1:], uint32(shard))
+	binary.LittleEndian.PutUint64(b[5:], localWord)
+	return s.msgr.Send(peer, b)
 }
 
-// repairSlot compares one slot's local and remote versions and streams the
-// local image when the peer needs it. Version words are comparable across
-// replicas because every replica starts at zero and advances by exactly
-// two per applied update; a lagging version is a count of missed writes.
-func (s *Store) repairSlot(peer, shard, bucket int, remote uint64) error {
+// reverseRepairShard pulls one shard's image FROM the peer with batched
+// one-sided reads: the peer's shard epoch proves its lineage is newer than
+// anything this node holds, so this node converges toward the peer —
+// installing every differing stable slot under the local seqlock, clearing
+// local extras the peer never wrote, then adopting the peer's shard epoch.
+// The peer's own data is already current, so nothing is streamed to it.
+func (s *Store) reverseRepairShard(peer, shard int, peerWord uint64) error {
+	for base := 0; base < s.cfg.Buckets; base += migrateBurst {
+		end := base + migrateBurst
+		if end > s.cfg.Buckets {
+			end = s.cfg.Buckets
+		}
+		for b := base; b < end; b++ {
+			s.batch.Read(peer, uint64(s.cfg.slotOff(shard, b)), s.migBuf, (b-base)*s.cfg.SlotSize, s.cfg.SlotSize, nil)
+		}
+		if err := s.batch.SubmitWait(); err != nil {
+			return err
+		}
+		for b := base; b < end; b++ {
+			if err := s.pullSlot(peer, shard, b, (b-base)*s.cfg.SlotSize); err != nil {
+				return err
+			}
+		}
+	}
+	return s.mem.Store64(s.cfg.shardEpochOff(shard), peerWord)
+}
+
+// pullSlot installs one fetched peer slot locally when it differs,
+// re-reading while transiently odd. A peer slot stuck odd past patience is
+// skipped (kept local) — its writer is dead and a later repair round
+// settles it; an empty peer slot clears any stale local entry.
+func (s *Store) pullSlot(peer, shard, bucket, bufOff int) error {
+	img := s.scratch
+	if err := s.migBuf.ReadAt(bufOff, img); err != nil {
+		return err
+	}
+	ver := binary.LittleEndian.Uint64(img)
+	for r := 0; ver&1 == 1 && r < repairOddRetries; r++ {
+		runtime.Gosched()
+		if err := s.qp.Read(peer, uint64(s.cfg.slotOff(shard, bucket)), s.migBuf, bufOff, s.cfg.SlotSize); err != nil {
+			return err
+		}
+		if err := s.migBuf.ReadAt(bufOff, img); err != nil {
+			return err
+		}
+		ver = binary.LittleEndian.Uint64(img)
+	}
+	if ver&1 == 1 {
+		return nil // stuck odd on the peer; keep the local image for now
+	}
 	off := s.cfg.slotOff(shard, bucket)
+	cur, err := s.mem.Load64(off)
+	if err != nil {
+		return err
+	}
+	if ver == 0 {
+		if cur != 0 {
+			_ = s.mem.Store64(off, 0)
+		}
+		return nil
+	}
+	// Skip byte-identical slots (header prefix compare, as in the push
+	// scan).
+	if cur == ver {
+		var local [repairScanBytes]byte
+		if err := s.mem.ReadAt(off, local[:]); err != nil {
+			return err
+		}
+		if string(local[8:]) == string(img[8:repairScanBytes]) {
+			return nil
+		}
+	}
+	used := entryHdr + int(binary.LittleEndian.Uint32(img[8:])) + int(binary.LittleEndian.Uint32(img[12:]))
+	if used < entryHdr || used > s.cfg.SlotSize {
+		return nil // torn garbage; do not install
+	}
+	if err := s.mem.Store64(off, cur|1); err != nil {
+		return err
+	}
+	if err := s.mem.WriteAt(off+8, img[8:used]); err != nil {
+		return err
+	}
+	s.repairedSlots.Add(1)
+	return s.mem.Store64(off, ver)
+}
+
+// repairSlot compares one slot's local and remote images and streams the
+// local one when the (epoch, version) order says the peer needs it. At
+// equal epochs version words are comparable because every replica starts
+// at zero and advances by exactly two per applied update; under an epoch
+// supersede the checksum settles divergence that equal version counts
+// hide. Frames carry the repairer's shard lineage (localWord), which the
+// peer orders against its own word in applyRepair.
+func (s *Store) repairSlot(peer, shard, bucket int, remoteHdr []byte, localWord uint64, supersede bool) error {
+	off := s.cfg.slotOff(shard, bucket)
+	remote := binary.LittleEndian.Uint64(remoteHdr)
 	// A transiently odd remote version usually means a live replicator is
 	// mid-update there; re-read before declaring it stuck.
 	for r := 0; remote&1 == 1 && r < repairOddRetries; r++ {
 		runtime.Gosched()
-		if err := s.qp.Read(peer, uint64(off), s.verBuf, 0, 8); err != nil {
+		if err := s.qp.Read(peer, uint64(off), s.verBuf, 0, repairScanBytes); err != nil {
 			return err
 		}
-		v, err := s.verBuf.Load64(0)
-		if err != nil {
+		if err := s.verBuf.ReadAt(0, remoteHdr); err != nil {
 			return err
 		}
-		remote = v
+		remote = binary.LittleEndian.Uint64(remoteHdr)
 	}
 	local, err := s.mem.Load64(off)
 	if err != nil {
 		return err
 	}
 	if local&1 == 1 {
-		// Another replicator holds this very slot odd locally right now;
-		// whatever it is writing is also being replicated to the peer.
+		// This very slot is being written locally right now (a stale
+		// replicator's remote bump); whatever lands will be replicated
+		// or repaired on a later pass.
 		return nil
 	}
-	if remote&1 == 0 && remote >= local {
-		// Peer is current — or ahead, meaning it applied writes we never
-		// saw (an asymmetric partition let a stale leader keep serving
-		// it). Version counting cannot arbitrate that without a config
-		// epoch authority; we keep the peer's data and let the next
-		// leader write win. Documented limitation, as in replicate.
-		return nil
-	}
-	// Frame the local image as a diff: kind, shard, bucket, version, then
-	// the slot body after the version word.
-	used := 0
 	if err := s.mem.ReadAt(off, s.scratch); err != nil {
 		return err
 	}
+	if remote&1 == 0 {
+		if !supersede && remote >= local {
+			// Equal epochs: the peer is current or ahead within the same
+			// write lineage; keep its data.
+			return nil
+		}
+		if supersede && remote == local &&
+			string(remoteHdr[8:repairScanBytes]) == string(s.scratch[8:repairScanBytes]) {
+			// Byte-equal header (version, lengths, checksum): already
+			// converged, nothing to stream.
+			return nil
+		}
+	}
+	// Frame the local image as a diff: kind, shard, bucket, version,
+	// epoch, then the slot body after the version word. A zero version
+	// clears a slot the stale side wrote but the winning epoch never did.
+	used := 0
 	if local != 0 {
 		keyLen := int(binary.LittleEndian.Uint32(s.scratch[8:]))
 		valLen := int(binary.LittleEndian.Uint32(s.scratch[12:]))
@@ -787,7 +1230,7 @@ func (s *Store) repairSlot(peer, shard, bucket int, remote uint64) error {
 			return nil // locally torn image; do not propagate garbage
 		}
 	}
-	need := 17
+	need := 25
 	if used > 8 {
 		need += used - 8
 	}
@@ -799,8 +1242,9 @@ func (s *Store) repairSlot(peer, shard, bucket int, remote uint64) error {
 	binary.LittleEndian.PutUint32(b[1:], uint32(shard))
 	binary.LittleEndian.PutUint32(b[5:], uint32(bucket))
 	binary.LittleEndian.PutUint64(b[9:], local)
+	binary.LittleEndian.PutUint64(b[17:], localWord)
 	if used > 8 {
-		copy(b[17:], s.scratch[8:used])
+		copy(b[25:], s.scratch[8:used])
 	}
 	if err := s.msgr.Send(peer, b); err != nil {
 		return err
@@ -827,6 +1271,14 @@ func (s *Store) awaitRepairAck(peer int, token uint64, timeout time.Duration) er
 			s.handleMsg(msg)
 			continue
 		}
+		// Keep lease and heartbeat traffic flowing while the barrier
+		// waits, so a long repair can neither fence its own leader nor
+		// look dead to the coordinator. (Config adoption and eviction
+		// decisions stay parked until the top-level tick.)
+		s.drainCtrl()
+		if s.me != s.coord {
+			s.leaseTick(time.Now())
+		}
 		if !s.ctx.Node().Cluster().Reachable(s.me, peer) {
 			return errRepairAborted
 		}
@@ -840,13 +1292,23 @@ func (s *Store) awaitRepairAck(peer int, token uint64, timeout time.Duration) er
 
 // applyRepair installs one streamed slot diff under the local seqlock
 // discipline, so concurrent one-sided readers see torn-or-stable exactly
-// as with replication. Stale diffs — from a repairer whose image is older
-// than what replication already delivered here — are rejected by version.
-func (s *Store) applyRepair(shard, bucket int, ver uint64, body []byte) {
+// as with replication. Acceptance is ordered by (epoch, version): a frame
+// from a newer configuration epoch than this shard last accepted a leader
+// write under wins unconditionally — version counts cannot veto the
+// winning epoch, which is what lets repair roll back a stale leader's
+// absorbed writes. At the shard's own epoch, only strictly newer versions
+// (or fixes for a stuck-odd slot) apply, and frames from an OLDER epoch —
+// a stale repairer that still believes it leads — are rejected outright.
+func (s *Store) applyRepair(shard, bucket int, ver, fepoch uint64, body []byte) {
 	if shard < 0 || shard >= s.cfg.Shards || bucket < 0 || bucket >= s.cfg.Buckets {
 		return
 	}
 	if 8+len(body) > s.cfg.SlotSize || ver&1 == 1 {
+		return
+	}
+	epochOff := s.cfg.shardEpochOff(shard)
+	word, err := s.mem.Load64(epochOff)
+	if err != nil || fepoch < word {
 		return
 	}
 	off := s.cfg.slotOff(shard, bucket)
@@ -854,13 +1316,16 @@ func (s *Store) applyRepair(shard, bucket int, ver uint64, body []byte) {
 	if err != nil {
 		return
 	}
-	// Accept strictly newer data, or any stable image when our slot is
-	// stuck odd (its writer died mid-replication and will never finish).
-	if !(ver > cur || (cur&1 == 1 && ver >= cur&^1)) {
-		return
+	if fepoch == word {
+		// Same lineage: accept strictly newer data, or any stable image
+		// when our slot is stuck odd (its writer died mid-replication).
+		if !(ver > cur || (cur&1 == 1 && ver >= cur&^1)) {
+			return
+		}
 	}
 	if ver == 0 {
-		// The repairer has no entry here: clear the stuck slot.
+		// The repairer has no entry here: clear the (stuck or stale)
+		// slot.
 		_ = s.mem.Store64(off, 0)
 		return
 	}
@@ -873,32 +1338,64 @@ func (s *Store) applyRepair(shard, bucket int, ver uint64, body []byte) {
 	_ = s.mem.Store64(off, ver)
 }
 
-// handlePut routes one PUT: applied here when this node leads the shard,
-// otherwise forwarded to the leader over the messenger.
-func (s *Store) handlePut(req *putReq) {
-	if req.attempts > s.ring().Replicas()+2 {
-		req.resp <- ErrNoReplica
+// applyShardEpoch stamps a shard's epoch word after a repair stream for it
+// completed (monotonic: the word never regresses).
+func (s *Store) applyShardEpoch(shard int, epoch uint64) {
+	if shard < 0 || shard >= s.cfg.Shards {
 		return
 	}
-	req.attempts++
+	off := s.cfg.shardEpochOff(shard)
+	if cur, err := s.mem.Load64(off); err == nil && epoch > cur {
+		_ = s.mem.Store64(off, epoch)
+	}
+}
+
+// handlePut routes one PUT under the configuration epoch: applied here
+// when this node leads the shard AND holds a valid lease, forwarded to the
+// epoch's leader when that leader is reachable, and otherwise PARKED until
+// a lease grant or an epoch transition — never served by a self-appointed
+// replacement, because that is exactly the split-brain write path the
+// epochs exist to close. Parked writes that outwait the fencing deadline
+// fail with ErrFenced.
+func (s *Store) handlePut(req *putReq) {
 	target := s.leaderOf(req.shard)
+	if s.cfgDownBit(target) {
+		// Every owner of the shard is evicted at this epoch: no node may
+		// accept the write until the configuration changes.
+		s.park(req)
+		return
+	}
 	if target == s.me {
+		if !s.leaseValid(time.Now()) {
+			// FENCED: we may have been demoted without knowing it yet.
+			// Request a fresh grant eagerly and hold the write.
+			s.renewAt = time.Time{}
+			s.park(req)
+			return
+		}
 		req.resp <- s.applyPut(req.shard, req.key, req.value)
 		return
 	}
 	if s.down[target] {
+		// The epoch's leader is locally unreachable. Guessing a
+		// replacement would fork the shard; wait for the coordinator.
+		s.park(req)
+		return
+	}
+	if req.attempts > maxPutAttempts {
 		req.resp <- ErrNoReplica
 		return
 	}
+	req.attempts++
 	id := s.nextID
 	s.nextID++
 	msg := s.encodePut(id, req.shard, req.key, req.value)
 	if err := s.msgr.Send(target, msg); err != nil {
 		if sonuma.IsNodeFailure(err) {
-			// The leader became unreachable mid-send; mark it and
-			// retry toward the promoted replica.
+			// The leader became unreachable mid-send; record it and hold
+			// the write for the next epoch.
 			s.markDown(target)
-			s.handlePut(req)
+			s.park(req)
 			return
 		}
 		// Anything else (oversized frame, protocol corruption) is the
@@ -969,22 +1466,31 @@ func (s *Store) handleMsg(m sonuma.Message) {
 		}
 		delete(s.pending, id)
 		code := m.Data[9]
-		if code == ackWrongOwner {
-			// The receiver no longer (or never) owned the shard; move
-			// our leader view past it and retry.
-			s.advanceLeader(f.req.shard)
-			s.handlePut(f.req)
+		if code == ackWrongOwner || code == ackFenced {
+			// Our routing is stale (the receiver is not the epoch's
+			// leader) or the leader is fenced awaiting demotion. Either
+			// way a new epoch resolves it: re-read the config and hold
+			// the write.
+			s.cfgDirty = true
+			s.park(f.req)
 			return
 		}
 		f.req.resp <- ackErr(code)
 	case msgRepair:
-		if len(m.Data) < 17 {
+		if len(m.Data) < 25 {
 			return
 		}
 		shard := int(binary.LittleEndian.Uint32(m.Data[1:]))
 		bucket := int(binary.LittleEndian.Uint32(m.Data[5:]))
 		ver := binary.LittleEndian.Uint64(m.Data[9:])
-		s.applyRepair(shard, bucket, ver, m.Data[17:])
+		fepoch := binary.LittleEndian.Uint64(m.Data[17:])
+		s.applyRepair(shard, bucket, ver, fepoch, m.Data[25:])
+	case msgShardEpoch:
+		if len(m.Data) < 13 {
+			return
+		}
+		shard := int(binary.LittleEndian.Uint32(m.Data[1:]))
+		s.applyShardEpoch(shard, binary.LittleEndian.Uint64(m.Data[5:]))
 	case msgRepairEnd:
 		if len(m.Data) < 9 {
 			return
@@ -1008,18 +1514,19 @@ func (s *Store) handleMsg(m sonuma.Message) {
 	}
 }
 
-// applyForwarded applies a PUT received over the messenger, refusing shards
-// this node does not own.
+// applyForwarded applies a PUT received over the messenger, refusing
+// shards this node does not lead under its cached epoch and FENCING writes
+// when the lease has lapsed: a demoted-but-unaware leader answers
+// ackFenced instead of silently absorbing a write the new epoch will never
+// see.
 func (s *Store) applyForwarded(shard int, key, value []byte) byte {
-	owner := false
-	for _, o := range s.ring().ownersShared(shard) {
-		if o == s.me {
-			owner = true
-			break
-		}
-	}
-	if !owner {
+	if s.leaderOf(shard) != s.me || s.cfgDownBit(s.me) {
 		return ackWrongOwner
+	}
+	if !s.leaseValid(time.Now()) {
+		s.renewAt = time.Time{} // chase a fresh grant
+		s.fenced.Add(1)
+		return ackFenced
 	}
 	switch err := s.applyPut(shard, key, value); {
 	case err == nil:
@@ -1089,6 +1596,13 @@ func (s *Store) applyPut(shard int, key, value []byte) error {
 	}
 	off := s.cfg.slotOff(shard, bucket)
 
+	// Stamp the shard's epoch word BEFORE committing, so a repair frame
+	// from any older epoch can never outrank a write acknowledged under
+	// this one — this is the "epoch" half of the (epoch, version) order.
+	if err := s.mem.Store64(s.cfg.shardEpochOff(shard), s.cfgEpoch); err != nil {
+		return err
+	}
+
 	// Local commit under the slot seqlock.
 	ver, err := s.mem.Load64(off)
 	if err != nil {
@@ -1111,21 +1625,28 @@ func (s *Store) applyPut(shard int, key, value []byte) error {
 
 // replicate pushes the committed slot body at off to every reachable
 // backup of the shard. Unreachable backups are skipped (and marked down);
-// availability wins over replica count, exactly like the promotion path.
+// availability wins over replica count. Backups evicted by the
+// configuration rejoin replication the moment THIS node has verified them
+// (repaired), so nothing is missed between repair and the re-admitting
+// epoch.
 //
-// Known limitation (asymmetric partitions): failure views are per-node, so
-// a reachable-but-demoted old primary can replicate into a backup that
-// other nodes already promoted, racing the backup's own local seqlock. The
-// checksum keeps torn data detectable, but an interleaving can strand a
-// slot's version odd until the next PUT rewrites it; healing that without
-// a writer is the anti-entropy repair item in ROADMAP.md.
+// The stale-leader race PR 2 documented here is now bounded by the lease:
+// a demoted-but-unaware leader can replicate into a promoted backup only
+// until its lease lapses (≤ one lease duration), it fences itself before
+// the new epoch activates, and the divergence the window leaves behind is
+// settled by the (epoch, version) repair order with the winning epoch's
+// image prevailing.
 func (s *Store) replicate(shard int, off int, body []byte) error {
 	owners := s.ring().ownersShared(shard)
 	targets := make([]int, 0, len(owners))
 	for _, o := range owners {
-		if o != s.me && !s.down[o] {
-			targets = append(targets, o)
+		if o == s.me {
+			continue
 		}
+		if (s.down[o] || s.cfgDownBit(o)) && !s.repaired[o] {
+			continue
+		}
+		targets = append(targets, o)
 	}
 	if len(targets) == 0 {
 		return nil
@@ -1311,8 +1832,11 @@ func (s *Store) handleResize(req *resizeReq) {
 			s.shardsMigrated.Add(1)
 		}
 	}
+	// Leadership derives from (ring, config down mask), so swapping the
+	// ring re-derives it everywhere identically; parked PUTs may route to
+	// the new member now.
 	s.ringPub.Store(next)
-	s.resetLeadership()
+	s.parkedDirty = true
 	req.resp <- nil
 }
 

@@ -33,6 +33,12 @@ import (
 //   - Flow control is credit-based: receivers publish cumulative
 //     consumed-slot counts into each sender's segment, bounding ring
 //     occupancy without any connection state.
+//   - A second frame class, CONTROL frames, exists for configuration and
+//     lease traffic (SendControl/TryRecvControl): one dedicated line per
+//     sender pair, overwritten whole with a single line-atomic rmc_write,
+//     latest-wins and never subject to ring credits — so epoch and lease
+//     state always gets through even when the data rings are full or
+//     wedged.
 //   - A ring write that fails partway (a fabric failure dropped some of a
 //     message's lines) wedges the channel toward that peer, because
 //     rewriting the same slots would let the receiver stitch fragments of
@@ -48,6 +54,16 @@ import (
 const (
 	slotSize    = core.CacheLineSize
 	slotPayload = slotSize - 8
+)
+
+// Control-frame geometry: one dedicated line per (sender, receiver) pair,
+// 16-byte header (sequence word + length word), written whole with a single
+// line-atomic rmc_write.
+const (
+	ctrlHdr = 16
+	// MaxControlFrame is the largest control-frame payload: one cache line
+	// minus the sequence and length words.
+	MaxControlFrame = slotSize - ctrlHdr
 )
 
 // Slot kinds (top 4 bits of the meta word).
@@ -115,8 +131,9 @@ func MessengerRegionSize(n int, cfg MessengerConfig) int {
 	credits := n * slotSize
 	acks := core.AlignUp(n * cfg.StagingSlots * 8)
 	resets := n * slotSize
+	ctrl := n * slotSize
 	staging := n * cfg.StagingSlots * cfg.StagingSize
-	return rings + credits + acks + resets + staging
+	return rings + credits + acks + resets + ctrl + staging
 }
 
 // Message is one received unsolicited message.
@@ -128,6 +145,9 @@ type Message struct {
 // ErrMessageTooLarge reports a push-only messenger asked to send a message
 // that does not fit its ring.
 var ErrMessageTooLarge = errors.New("sonuma: message exceeds push ring capacity and pull is disabled")
+
+// ErrControlTooLarge reports a control frame exceeding MaxControlFrame.
+var ErrControlTooLarge = errors.New("sonuma: control frame exceeds one line")
 
 // errProtocol reports ring corruption (a continuation slot where a message
 // head was expected), which indicates mismatched configurations.
@@ -147,9 +167,10 @@ type Messenger struct {
 	sendBuf *Buffer // staging for outgoing ring writes
 	pullBuf *Buffer // landing area for pull reads
 	tiny    *Buffer // 8-byte scratch for credit/ack writes
+	ctrlBuf *Buffer // one-line staging for outgoing control frames
 	batch   *Batch  // reusable op batch: ring writes issue with one doorbell
 
-	ringBase, creditBase, ackBase, resetBase, stagBase int
+	ringBase, creditBase, ackBase, resetBase, ctrlBase, stagBase int
 
 	txSeq          []uint64 // slots written toward each peer
 	rxSeq          []uint64 // slots consumed from each peer
@@ -158,9 +179,12 @@ type Messenger struct {
 	txBroken       []bool   // send path wedged: a ring write failed mid-message
 	txGen          []uint64 // channel generation proposed toward each peer
 	rxGen          []uint64 // channel generation accepted from each peer
+	txCtrlSeq      []uint64 // control frames published toward each peer
+	rxCtrlSeen     []uint64 // latest control sequence consumed from each peer
 	Resets         uint64   // channel resets completed as the wedged sender
 
 	rxQueue []Message
+	rxCtrl  []Message
 
 	// Counters for the experiment harness.
 	Pushed uint64 // messages sent via push
@@ -187,6 +211,8 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 		txBroken:       make([]bool, n),
 		txGen:          make([]uint64, n),
 		rxGen:          make([]uint64, n),
+		txCtrlSeq:      make([]uint64, n),
+		rxCtrlSeen:     make([]uint64, n),
 	}
 	for i := range m.stagingGen {
 		m.stagingGen[i] = make([]uint64, cfg.StagingSlots)
@@ -195,7 +221,8 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 	m.creditBase = m.ringBase + n*cfg.RingSlots*slotSize
 	m.ackBase = m.creditBase + n*slotSize
 	m.resetBase = m.ackBase + core.AlignUp(n*cfg.StagingSlots*8)
-	m.stagBase = m.resetBase + n*slotSize
+	m.ctrlBase = m.resetBase + n*slotSize
+	m.stagBase = m.ctrlBase + n*slotSize
 
 	var err error
 	if m.sendBuf, err = ctx.AllocBuffer(cfg.RingSlots * slotSize); err != nil {
@@ -205,6 +232,9 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 		return nil, err
 	}
 	if m.tiny, err = ctx.AllocBuffer(slotSize); err != nil {
+		return nil, err
+	}
+	if m.ctrlBuf, err = ctx.AllocBuffer(slotSize); err != nil {
 		return nil, err
 	}
 	m.batch = qp.NewBatch()
@@ -246,6 +276,11 @@ func (m *Messenger) ackOff(rcv, k int) int {
 // Word 0 is p's channel-generation proposal for the ring p→me; word 1 is
 // p's acknowledgement of my proposal for the ring me→p.
 func (m *Messenger) resetOff(p int) int { return m.resetBase + p*slotSize }
+
+// ctrlOff locates, within my segment, the control line written by peer p:
+// a sequence word, a length word, and up to MaxControlFrame payload bytes,
+// published whole with one line-atomic remote write.
+func (m *Messenger) ctrlOff(p int) int { return m.ctrlBase + p*slotSize }
 
 // stagingOff locates, within my segment, staging slot k toward peer p.
 func (m *Messenger) stagingOff(p, k int) int {
@@ -561,6 +596,90 @@ func (m *Messenger) allocStaging(to int) (int, error) {
 		}
 		runtime.Gosched()
 	}
+}
+
+// SendControl publishes a control frame toward node `to`. Control frames
+// are the messenger's second frame class, added for configuration-epoch
+// and lease traffic (see internal/kvs): each sender owns ONE dedicated
+// line in the receiver's segment, published whole with a single
+// line-atomic rmc_write, so a control frame can never be blocked behind
+// data-ring backpressure — a leader renewing its lease must not wait on a
+// full PUT ring. The channel is deliberately lossy with latest-wins
+// semantics: a frame published before the receiver polled the previous
+// one replaces it. Callers therefore send only idempotent, periodically
+// re-published state (lease renewals, grants, epoch-change nudges,
+// repair-completion reports), never one-shot commands.
+func (m *Messenger) SendControl(to int, data []byte) error {
+	if to < 0 || to >= m.n {
+		return fmt.Errorf("sonuma: control send to node %d out of range [0,%d)", to, m.n)
+	}
+	if len(data) > MaxControlFrame {
+		return ErrControlTooLarge
+	}
+	if to == m.me {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		m.rxCtrl = append(m.rxCtrl, Message{From: m.me, Data: cp})
+		return nil
+	}
+	m.txCtrlSeq[to]++
+	var line [slotSize]byte
+	binary.LittleEndian.PutUint64(line[0:], m.txCtrlSeq[to])
+	binary.LittleEndian.PutUint32(line[8:], uint32(len(data)))
+	copy(line[ctrlHdr:], data)
+	if err := m.ctrlBuf.WriteAt(0, line[:]); err != nil {
+		return err
+	}
+	if err := m.qp.Write(to, uint64(m.ctrlOff(m.me)), m.ctrlBuf, 0, slotSize); err != nil {
+		if IsNodeFailure(err) {
+			return errPeerDown()
+		}
+		return err
+	}
+	return nil
+}
+
+// pollControl scans every peer's control line and queues frames newer than
+// the last consumed sequence. Reading the line is torn-free (one cache
+// line), so a frame is always observed whole.
+func (m *Messenger) pollControl() error {
+	for p := 0; p < m.n; p++ {
+		if p == m.me {
+			continue
+		}
+		var line [slotSize]byte
+		if err := m.mem.ReadAt(m.ctrlOff(p), line[:]); err != nil {
+			return err
+		}
+		seq := binary.LittleEndian.Uint64(line[0:])
+		if seq == 0 || seq <= m.rxCtrlSeen[p] {
+			continue
+		}
+		m.rxCtrlSeen[p] = seq
+		length := int(binary.LittleEndian.Uint32(line[8:]))
+		if length > MaxControlFrame {
+			continue // mismatched configurations; drop rather than wedge
+		}
+		data := make([]byte, length)
+		copy(data, line[ctrlHdr:ctrlHdr+length])
+		m.rxCtrl = append(m.rxCtrl, Message{From: p, Data: data})
+	}
+	return nil
+}
+
+// TryRecvControl returns the next pending control frame without blocking.
+// Frames are per-sender latest-wins: a sender that published twice between
+// polls delivers only the newer frame.
+func (m *Messenger) TryRecvControl() (Message, bool, error) {
+	if err := m.pollControl(); err != nil {
+		return Message{}, false, err
+	}
+	if len(m.rxCtrl) == 0 {
+		return Message{}, false, nil
+	}
+	msg := m.rxCtrl[0]
+	m.rxCtrl = m.rxCtrl[1:]
+	return msg, true, nil
 }
 
 // Recv returns the next message, blocking until one arrives.

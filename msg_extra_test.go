@@ -119,8 +119,8 @@ func TestMessengerRegionSizeAccounts(t *testing.T) {
 	cfg := sonuma.MessengerConfig{RingSlots: 32, StagingSlots: 2, StagingSize: 4096}
 	size := sonuma.MessengerRegionSize(4, cfg)
 	// rings: 4*32*64; credits: 4*64; acks: align64(4*2*8); resets: 4*64;
-	// staging: 4*2*4096
-	want := 4*32*64 + 4*64 + 64 + 4*64 + 4*2*4096
+	// control lines: 4*64; staging: 4*2*4096
+	want := 4*32*64 + 4*64 + 64 + 4*64 + 4*64 + 4*2*4096
 	if size != want {
 		t.Fatalf("region size %d, want %d", size, want)
 	}
@@ -134,6 +134,96 @@ func TestMessengerRegionSizeAccounts(t *testing.T) {
 	qp, _ := ctx.NewQP(8)
 	if _, err := sonuma.NewMessenger(ctx, qp, cfg); err == nil {
 		t.Fatal("undersized segment accepted")
+	}
+}
+
+// TestMessengerControlFrames exercises the lossy latest-wins control
+// channel: frames arrive whole, a burst published between polls collapses
+// to the newest frame, oversized frames are rejected, and control delivery
+// keeps working while the data ring toward the receiver is saturated.
+func TestMessengerControlFrames(t *testing.T) {
+	const n = 2
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mcfg := sonuma.MessengerConfig{RingSlots: 8}
+	segSize := sonuma.MessengerRegionSize(n, mcfg) + 4096
+	ms := make([]*sonuma.Messenger, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(1, segSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ctx.NewQP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[i], err = sonuma.NewMessenger(ctx, qp, mcfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Single frame round trip.
+	if err := ms[0].SendControl(1, []byte("lease-renew")); err != nil {
+		t.Fatal(err)
+	}
+	var got sonuma.Message
+	ok := false
+	for i := 0; i < 1000 && !ok; i++ {
+		if got, ok, err = ms[1].TryRecvControl(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ok || string(got.Data) != "lease-renew" {
+		t.Fatalf("control recv = %q ok=%v, want lease-renew", got.Data, ok)
+	}
+
+	// A burst published between polls collapses to the latest frame.
+	for i := 0; i < 5; i++ {
+		if err := ms[0].SendControl(1, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := []byte{}
+	for i := 0; i < 1000; i++ {
+		m, ok, err := ms[1].TryRecvControl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			seen = append(seen, m.Data...)
+		}
+	}
+	if len(seen) == 0 || seen[len(seen)-1] != 'e' {
+		t.Fatalf("latest-wins violated: saw %q, want final frame 'e'", seen)
+	}
+
+	// Oversized frames are rejected outright.
+	if err := ms[0].SendControl(1, make([]byte, sonuma.MaxControlFrame+1)); err != sonuma.ErrControlTooLarge {
+		t.Fatalf("oversized control frame: %v, want ErrControlTooLarge", err)
+	}
+
+	// Saturate the 0→1 data ring (node 1 never consumes); control frames
+	// still get through because they bypass ring credits entirely.
+	small := make([]byte, 8)
+	for i := 0; i < mcfg.RingSlots; i++ {
+		if err := ms[0].Send(1, small); err != nil {
+			t.Fatalf("ring fill %d: %v", i, err)
+		}
+	}
+	if err := ms[0].SendControl(1, []byte("through")); err != nil {
+		t.Fatalf("control send with full data ring: %v", err)
+	}
+	ok = false
+	for i := 0; i < 1000 && !ok; i++ {
+		if got, ok, err = ms[1].TryRecvControl(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ok || string(got.Data) != "through" {
+		t.Fatalf("control frame blocked behind full data ring: %q ok=%v", got.Data, ok)
 	}
 }
 
