@@ -16,10 +16,13 @@
 // The datapath experiment measures the batched RMC pipeline (ops/sec,
 // p50/p99 latency, allocs/op). The kvs experiment drives the sharded
 // one-sided KV service with a YCSB-style mixed load (A/B/C read-write
-// mixes, zipfian and uniform key distributions) and a kill-a-primary
-// failover run. For both, -json additionally writes the results in
-// machine-readable form so successive changes can be compared; with
-// -experiment all the datapath results win the file.
+// mixes, zipfian and uniform key distributions), a kill-a-primary
+// failover run, a heal run, an asymmetric-partition run, and two
+// coordinator-kill runs (the epoch authority fully partitioned, and
+// node-failed) reporting failover-ms and stalled-write counts for the
+// deterministic succession. For both, -json additionally writes the
+// results in machine-readable form so successive changes can be
+// compared; with -experiment all the datapath results win the file.
 package main
 
 import (

@@ -127,6 +127,43 @@ type KVSAsymStat struct {
 	ConvergeMs        float64 `json:"converge_ms"` // heal → clean epoch everywhere
 }
 
+// KVSCoordStat records one coordinator-kill run: the node holding the
+// epoch authority is taken out mid-load (fully partitioned, or "node
+// failed" — permanently cut, never healed), a succession member must
+// activate a new term and epoch with no operator input, and the writes
+// that parked or fenced during the authority blackout must complete under
+// the successor. FailoverMs is the headline number: cut → first write
+// acknowledged into a shard the dead coordinator led.
+type KVSCoordStat struct {
+	// Mode is "partition" (cut, failover, heal, demotion audited) or
+	// "node-fail" (cut for the rest of the run; survivors audited).
+	Mode            string `json:"mode"`
+	SeedCoordinator int    `json:"seed_coordinator"`
+	Successor       int    `json:"successor"`
+	TermStart       uint64 `json:"term_start"`
+	TermEnd         uint64 `json:"term_end"`
+	EpochStart      uint64 `json:"epoch_start"`
+	EpochEnd        uint64 `json:"epoch_end"`
+	// FailoverMs: link cut → first PUT acknowledged into a shard the
+	// seed coordinator led (parked through the succession).
+	FailoverMs float64 `json:"failover_ms"`
+	// StalledWrites counts PUT attempts that surfaced a definite error
+	// (ErrFenced or unroutable) while the authority was down — stalls are
+	// errors, never hangs; CompletedAfter counts the writes that then
+	// landed under the successor's term.
+	StalledWrites  int `json:"stalled_writes"`
+	CompletedAfter int `json:"completed_after_failover"`
+	// StaleMsMax is the largest config-slot staleness any survivor
+	// reported during the blackout (the failover trigger's input).
+	StaleMsMax        float64 `json:"slot_stale_ms_max"`
+	ExCoordDemoted    bool    `json:"ex_coordinator_demoted"`    // partition mode only
+	ReplicasIdentical bool    `json:"replicas_identical"`        // audited set
+	ConvergeMs        float64 `json:"converge_ms,omitempty"`     // partition mode: heal → clean (term, epoch)
+	Takeovers         uint64  `json:"takeovers"`                 // terms activated by successors
+	CoordDemotions    uint64  `json:"coordinator_demotions"`     // observed self-demotions
+	FencedWrites      uint64  `json:"fenced_writes_cluster_sum"` // store counters, cluster-wide
+}
+
 // KVSData is the full measurement set of the kvs experiment.
 type KVSData struct {
 	GeneratedAt string           `json:"generated_at"`
@@ -139,6 +176,7 @@ type KVSData struct {
 	Failover    *KVSFailoverStat `json:"failover,omitempty"`
 	Heal        *KVSHealStat     `json:"heal,omitempty"`
 	Asym        *KVSAsymStat     `json:"asym,omitempty"`
+	CoordFail   []KVSCoordStat   `json:"coord_fail,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -591,26 +629,11 @@ func (svc *kvsService) runHeal(totalOps, getBurst, valueSize int) (*KVSHealStat,
 				svc.cluster.RestoreLink(victim, i)
 			}
 		}
-		deadline := time.Now().Add(30 * time.Second)
-		for {
-			clear := true
-			for _, s := range svc.stores {
-				for p, d := range s.DownView() {
-					if d && p != s.NodeID() {
-						clear = false
-					}
-				}
-			}
-			if clear {
-				convergedAt = time.Now()
-				return
-			}
-			if time.Now().After(deadline) {
-				convergeErr = fmt.Errorf("cluster did not converge within %s of RestoreLink", time.Since(restoredAt))
-				return
-			}
-			time.Sleep(time.Millisecond)
+		if err := svc.waitCleanConfig(30 * time.Second); err != nil {
+			convergeErr = fmt.Errorf("after RestoreLink: %w", err)
+			return
 		}
+		convergedAt = time.Now()
 	}()
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
@@ -780,32 +803,8 @@ func (svc *kvsService) runAsymmetric(lease time.Duration) (*KVSAsymStat, error) 
 			svc.cluster.RestoreLink(victim, i)
 		}
 	}
-	convergeBy := time.Now().Add(30 * time.Second)
-	for {
-		clean := true
-		epoch := svc.stores[0].Epoch()
-		for _, s := range svc.stores {
-			if s.Epoch() != epoch {
-				clean = false
-			}
-			for p := 0; p < svc.n; p++ {
-				if s.EpochDown(p) {
-					clean = false
-				}
-			}
-			for p, d := range s.DownView() {
-				if d && p != s.NodeID() {
-					clean = false
-				}
-			}
-		}
-		if clean {
-			break
-		}
-		if time.Now().After(convergeBy) {
-			return nil, fmt.Errorf("asym: cluster did not converge within %s of the heal", time.Since(healedAt))
-		}
-		time.Sleep(time.Millisecond)
+	if err := svc.waitCleanConfig(30 * time.Second); err != nil {
+		return nil, fmt.Errorf("asym: %w", err)
 	}
 	st.ConvergeMs = time.Since(healedAt).Seconds() * 1e3
 	st.EpochEnd = svc.stores[witness].Epoch()
@@ -829,6 +828,224 @@ func (svc *kvsService) runAsymmetric(lease time.Duration) (*KVSAsymStat, error) 
 		}
 	}
 	return st, nil
+}
+
+// runCoordFail drives one coordinator-kill lifecycle on a fresh cluster:
+// cut every link of the seed coordinator under live load against the
+// shards it leads, measure cut → first write acknowledged under the
+// successor's term, and audit the succession. In partition mode the links
+// heal afterwards and the run additionally audits ex-coordinator demotion
+// and convergence to one clean (term, epoch); in node-fail mode the
+// coordinator stays dead (a dead node and a permanent full partition are
+// indistinguishable on this fabric) and only the survivors are audited.
+func (svc *kvsService) runCoordFail(mode string, lease time.Duration) (*KVSCoordStat, error) {
+	const coord = 0
+	ring := svc.stores[0].Ring()
+	witness := 1
+	st := &KVSCoordStat{
+		Mode:            mode,
+		SeedCoordinator: coord,
+		TermStart:       svc.stores[witness].Term(),
+		EpochStart:      svc.stores[witness].Epoch(),
+	}
+
+	// Contested keys: led by the seed coordinator, so their writes have
+	// no legal leader until the successor's first epoch evicts it.
+	var keys [][]byte
+	for _, k := range svc.keys {
+		if ring.Owners(ring.ShardOf(k))[0] == coord {
+			keys = append(keys, k)
+			if len(keys) == 16 {
+				break
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("coord-fail: coordinator %d leads no preloaded key", coord)
+	}
+
+	for i := 1; i < svc.n; i++ {
+		svc.cluster.FailLink(coord, i)
+	}
+	cutAt := time.Now()
+
+	// Sample the survivors' slot staleness on its own ticker: the hammer
+	// loop below blocks inside parked PUTs across the very window where
+	// staleness peaks, so inline sampling would only ever see the
+	// post-failover residue.
+	staleMax := make(chan float64, 1)
+	stopSample := make(chan struct{})
+	go func() {
+		max := 0.0
+		tick := time.NewTicker(lease / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSample:
+				staleMax <- max
+				return
+			case <-tick.C:
+				if m := svc.maxStaleMs(coord); m > max {
+					max = m
+				}
+			}
+		}
+	}()
+	var sampleOnce sync.Once
+	stopSampling := func() {
+		sampleOnce.Do(func() {
+			close(stopSample)
+			st.StaleMsMax = <-staleMax
+		})
+	}
+	defer stopSampling()
+
+	// Hammer the contested keys from a survivor until every one has been
+	// re-acknowledged under the successor. Definite errors (fenced or
+	// unroutable) are the expected shape of the blackout; a hang is a
+	// failure.
+	client := svc.clients[witness]
+	deadline := cutAt.Add(60*lease + 30*time.Second)
+	landed := make(map[string]bool, len(keys))
+	putErr := make(chan error, 1)
+	gen := 0
+	for len(landed) < len(keys) {
+		for _, k := range keys {
+			if landed[string(k)] {
+				continue
+			}
+			gen++
+			// Watchdog the PUT instead of timing it after return: the
+			// invariant under test is "complete or fail — never hang",
+			// and a genuinely wedged Put would otherwise wedge the run.
+			k, g := k, gen
+			go func() { putErr <- client.Put(k, benchValue(64, g)) }()
+			var err error
+			select {
+			case err = <-putErr:
+			case <-time.After(10*lease + 10*time.Second):
+				return nil, fmt.Errorf("coord-fail(%s): put on %q wedged past %s — hang, not a definite error",
+					mode, k, 10*lease+10*time.Second)
+			}
+			if err == nil {
+				if st.FailoverMs == 0 {
+					st.FailoverMs = time.Since(cutAt).Seconds() * 1e3
+				}
+				landed[string(k)] = true
+				st.CompletedAfter++
+				continue
+			}
+			st.StalledWrites++
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("coord-fail(%s): write on %q never completed after the authority died: %w", mode, k, err)
+			}
+		}
+	}
+	stopSampling()
+
+	st.Successor = svc.stores[witness].Coordinator()
+	if st.Successor == coord {
+		return nil, fmt.Errorf("coord-fail(%s): writes completed but the term never moved off the dead coordinator", mode)
+	}
+	if !svc.stores[witness].EpochDown(coord) {
+		return nil, fmt.Errorf("coord-fail(%s): successor's epoch did not evict the dead coordinator", mode)
+	}
+
+	if mode == "partition" {
+		healedAt := time.Now()
+		for i := 1; i < svc.n; i++ {
+			svc.cluster.RestoreLink(coord, i)
+		}
+		if err := svc.waitCleanConfig(30 * time.Second); err != nil {
+			return nil, fmt.Errorf("coord-fail(%s): %w", mode, err)
+		}
+		st.ConvergeMs = time.Since(healedAt).Seconds() * 1e3
+		st.ExCoordDemoted = svc.stores[coord].Coordinator() == st.Successor &&
+			svc.stores[coord].Stats().CoordDemotions > 0
+		if !st.ExCoordDemoted {
+			return nil, fmt.Errorf("coord-fail(%s): healed ex-coordinator never demoted itself", mode)
+		}
+	}
+
+	// Audit: every contested key byte-identical across the replicas still
+	// in the configuration (all of them after a heal; the survivors in
+	// node-fail mode).
+	st.ReplicasIdentical = true
+	for _, k := range keys {
+		var ref []byte
+		var refSet bool
+		for _, o := range ring.Owners(ring.ShardOf(k)) {
+			if mode == "node-fail" && o == coord {
+				continue
+			}
+			got, err := client.GetReplica(o, k)
+			if err != nil {
+				return nil, fmt.Errorf("coord-fail(%s) audit GetReplica(%d, %q): %w", mode, o, k, err)
+			}
+			if !refSet {
+				ref, refSet = got, true
+			} else if string(got) != string(ref) {
+				return nil, fmt.Errorf("coord-fail(%s): replica divergence on %q", mode, k)
+			}
+		}
+	}
+
+	st.TermEnd = svc.stores[witness].Term()
+	st.EpochEnd = svc.stores[witness].Epoch()
+	for _, s := range svc.stores {
+		stats := s.Stats()
+		st.Takeovers += stats.Takeovers
+		st.CoordDemotions += stats.CoordDemotions
+		st.FencedWrites += stats.Fenced
+	}
+	return st, nil
+}
+
+// maxStaleMs reports the largest config-slot staleness any node other
+// than skip currently reports.
+func (svc *kvsService) maxStaleMs(skip int) float64 {
+	max := 0.0
+	for i, s := range svc.stores {
+		if i == skip {
+			continue
+		}
+		if ms := s.Stats().CfgStaleMs; ms > max {
+			max = ms
+		}
+	}
+	return max
+}
+
+// waitCleanConfig waits for every store to agree on one (term, epoch)
+// with nothing evicted and clear local down views.
+func (svc *kvsService) waitCleanConfig(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		clean := true
+		term, epoch := svc.stores[0].Term(), svc.stores[0].Epoch()
+		for _, s := range svc.stores {
+			if s.Term() != term || s.Epoch() != epoch {
+				clean = false
+			}
+			for p := 0; p < svc.n; p++ {
+				if s.EpochDown(p) {
+					clean = false
+				}
+			}
+			for p, d := range s.DownView() {
+				if d && p != s.NodeID() {
+					clean = false
+				}
+			}
+		}
+		if clean {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster did not converge to one clean (term, epoch) within %s", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // KVS measures the sharded KV service: the YCSB A/B/C mixes over zipfian
@@ -937,6 +1154,27 @@ func KVS(o Options) (KVSData, error) {
 	if d.Asym, err = asvc.runAsymmetric(faultCfg.Lease); err != nil {
 		return d, fmt.Errorf("asymmetric-partition run (seed %d): %w", o.seed(), err)
 	}
+
+	// Coordinator-kill runs: the epoch authority itself is taken out —
+	// once as a healed full partition (ex-coordinator demotion audited),
+	// once as a permanent node failure (survivors audited). Each needs a
+	// fresh cluster so the succession starts from the seed term.
+	for _, mode := range []string{"partition", "node-fail"} {
+		csvc, err := startKVS(nodes, keyCount, faultCfg, o.seed())
+		if err != nil {
+			return d, err
+		}
+		if err := csvc.preload(64); err != nil {
+			csvc.close()
+			return d, err
+		}
+		cs, err := csvc.runCoordFail(mode, faultCfg.Lease)
+		csvc.close()
+		if err != nil {
+			return d, fmt.Errorf("coordinator-kill run (seed %d): %w", o.seed(), err)
+		}
+		d.CoordFail = append(d.CoordFail, *cs)
+	}
 	return d, nil
 }
 
@@ -1012,6 +1250,26 @@ func (d KVSData) Tables() []*stats.Table {
 			fmt.Sprintf("%v", a.ReplicasIdentical),
 			fmt.Sprintf("%.1f", a.ConvergeMs))
 		out = append(out, at)
+	}
+	if len(d.CoordFail) > 0 {
+		ct := stats.NewTable("KV coordinator kill (epoch authority lost; deterministic succession takes over)",
+			"mode", "coord", "successor", "term", "epoch", "failover ms", "stalled", "completed",
+			"stale ms max", "demoted", "replicas identical", "converge ms")
+		for _, c := range d.CoordFail {
+			ct.AddRow(c.Mode,
+				fmt.Sprintf("%d", c.SeedCoordinator),
+				fmt.Sprintf("%d", c.Successor),
+				fmt.Sprintf("%d→%d", c.TermStart, c.TermEnd),
+				fmt.Sprintf("%d→%d", c.EpochStart, c.EpochEnd),
+				fmt.Sprintf("%.1f", c.FailoverMs),
+				fmt.Sprintf("%d", c.StalledWrites),
+				fmt.Sprintf("%d", c.CompletedAfter),
+				fmt.Sprintf("%.1f", c.StaleMsMax),
+				fmt.Sprintf("%v", c.ExCoordDemoted),
+				fmt.Sprintf("%v", c.ReplicasIdentical),
+				fmt.Sprintf("%.1f", c.ConvergeMs))
+		}
+		out = append(out, ct)
 	}
 	return out
 }

@@ -61,8 +61,10 @@ func chaosEnvSeed(def uint64) uint64 {
 
 // runChaosSchedule drives one schedule against a live workload and checks
 // the post-heal invariants. Times in the schedule are multiples of the
-// lease so the same shapes work under raceScale.
-func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp) {
+// lease so the same shapes work under raceScale. requireTakeover pins the
+// coordinator-kill schedules' reason to exist: the settled configuration
+// must have been activated by a SUCCESSOR, not the seed coordinator.
+func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp, requireTakeover bool) {
 	t.Helper()
 	const n = 4
 	cfg := leaseConfig(20 * time.Millisecond)
@@ -174,13 +176,30 @@ func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp
 		return
 	}
 
-	// Safety net: restore every pair, then the cluster must converge.
+	// Safety net: restore every pair, then the cluster must converge —
+	// since PR 5 this includes term agreement: every store following the
+	// same coordinator, which for the coordinator-kill schedules means a
+	// successor-activated term survived the heal.
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			cl.RestoreLink(a, b)
 		}
 	}
 	waitConverged(t, stores, 45*time.Second)
+	var takeovers uint64
+	for _, s := range stores {
+		takeovers += s.Stats().Takeovers
+	}
+	t.Logf("settled: term=%d coord=%d epoch=%d takeovers=%d",
+		stores[0].Term(), stores[0].Coordinator(), stores[0].Epoch(), takeovers)
+	if requireTakeover {
+		if takeovers == 0 {
+			t.Fatal("schedule requires a successor-activated term but no takeover happened")
+		}
+		if got := stores[0].Coordinator(); got == 0 {
+			t.Fatalf("settled coordinator is still the seed (%d) after a coordinator-kill schedule", got)
+		}
+	}
 
 	// Mid-run audit, BEFORE any further write touches the keys: after
 	// convergence every replica of every key must be byte-identical, and
@@ -270,8 +289,9 @@ func at(leases int) time.Duration {
 // seeded-random ones.
 func TestChaosSchedules(t *testing.T) {
 	table := []struct {
-		name     string
-		schedule []chaosOp
+		name         string
+		schedule     []chaosOp
+		wantTakeover bool // the schedule exists to force a succession
 	}{
 		{
 			// A node falls off the fabric whole and heals.
@@ -312,11 +332,39 @@ func TestChaosSchedules(t *testing.T) {
 				{at: at(12), a: 3, b: 0}, {at: at(12), a: 3, b: 1}, {at: at(12), a: 3, b: 2},
 			},
 		},
+		{
+			// The epoch authority itself dies mid-workload: every link of
+			// the seed coordinator (node 0) is cut, so the epoch change
+			// that unparks its shards' writes must ORIGINATE FROM A
+			// SUCCESSOR — no schedule before PR 5 could require that. The
+			// healed ex-coordinator must then demote and rejoin.
+			name:         "coord-kill",
+			wantTakeover: true,
+			schedule: []chaosOp{
+				{at: at(2), fail: true, a: 0, b: 1}, {at: at(2), fail: true, a: 0, b: 2}, {at: at(2), fail: true, a: 0, b: 3},
+				{at: at(16), a: 0, b: 1}, {at: at(16), a: 0, b: 2}, {at: at(16), a: 0, b: 3},
+			},
+		},
+		{
+			// Asymmetric coordinator partition: the coordinator can
+			// receive but not send — renewals and blind writes keep
+			// landing on it while its grants, mirror refreshes, and
+			// slot-read replies all die. It must self-fence on lost
+			// authority contact while a successor takes the term.
+			name:         "coord-asym",
+			wantTakeover: true,
+			schedule: []chaosOp{
+				{at: at(2), fail: true, directed: true, a: 0, b: 1},
+				{at: at(2), fail: true, directed: true, a: 0, b: 2},
+				{at: at(2), fail: true, directed: true, a: 0, b: 3},
+				{at: at(16), a: 0, b: 1}, {at: at(16), a: 0, b: 2}, {at: at(16), a: 0, b: 3},
+			},
+		},
 	}
 	for _, tc := range table {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			runChaosSchedule(t, tc.name, chaosEnvSeed(0x50eed), tc.schedule)
+			runChaosSchedule(t, tc.name, chaosEnvSeed(0x50eed), tc.schedule, tc.wantTakeover)
 		})
 	}
 
@@ -328,7 +376,7 @@ func TestChaosSchedules(t *testing.T) {
 	for i := 0; i < count; i++ {
 		seed := base + uint64(i)
 		t.Run(fmt.Sprintf("random-seed-%#x", seed), func(t *testing.T) {
-			runChaosSchedule(t, "random", seed, randomSchedule(seed))
+			runChaosSchedule(t, "random", seed, randomSchedule(seed), false)
 		})
 	}
 }

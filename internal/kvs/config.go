@@ -2,42 +2,136 @@ package kvs
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"time"
 )
 
-// This file implements the configuration-epoch authority (FaRM-style): a
-// single coordinator node owns a seqlock-published config slot inside its
-// store region — (epoch, evicted-node bitmask) — and every other node
-// caches it with one-sided reads. Membership changes (evictions after
-// failures, re-admissions after anti-entropy repair) are EPOCH TRANSITIONS:
-// the coordinator bumps the epoch and rewrites the slot, and per-shard
-// leadership everywhere re-derives as a pure function of (ring, down mask),
-// so publishing the mask IS publishing leadership — two nodes holding the
-// same epoch can never disagree on who leads a shard.
+// This file implements the configuration-epoch authority (FaRM-style),
+// REPLICATED since PR 5: the active coordinator owns a seqlock-published
+// config slot inside its store region — (term, epoch, evicted-node
+// bitmask) — and every other node caches it with one-sided reads.
+// Membership changes (evictions after failures, re-admissions after
+// anti-entropy repair) are EPOCH TRANSITIONS: the coordinator bumps the
+// epoch and rewrites the slot, and per-shard leadership everywhere
+// re-derives as a pure function of (ring, down mask), so publishing the
+// mask IS publishing leadership — two nodes holding the same epoch can
+// never disagree on who leads a shard.
+//
+// THE AUTHORITY ITSELF NOW SURVIVES AN OUTAGE. The first k ring members
+// (the SUCCESSION SET, active coordinator first) each carry the config
+// slot at the same region offset; the active coordinator writes its own
+// slot, then write-through-mirrors the image onto the other succession
+// members in succession order with one-sided remote writes. The slot
+// gained a TERM word — (generation << 6 | owner-node) — that totally
+// orders coordinator successions: configurations order lexicographically
+// on (term, epoch), a mirror holding an older term is superseded, and a
+// torn mirror image fails the seqlock parse. Deterministic succession:
+// when a node's reads of the active coordinator's slot stay stale past
+// failoverWait, it scans the succession set's slots, adopts the highest
+// (term, epoch) image it can read, and — if it is the first live member
+// in succession order — fences the deposed coordinator by activating a
+// fresh term (next generation, its own node id in the owner bits) whose
+// first epoch evicts the old coordinator. Activation is write-through:
+// a new (term, epoch) must land on at least one other succession member
+// BEFORE the activator's own slot changes, so a coordinator that cannot
+// reach ANY authority replica (it is almost certainly the partitioned
+// side) freezes instead of racing its epoch ahead invisibly — the trade
+// against a majority quorum is documented in ARCHITECTURE.md. A healed
+// ex-coordinator demotes itself on observing a higher term on any mirror
+// (mirrorTick reads before it writes) and rejoins as a regular node.
 //
 // Safety against stale leaders comes from leases (lease.go): the
 // coordinator activates an epoch that demotes a leader only after that
 // leader's lease has provably lapsed, and a leader whose lease lapses
-// fences itself. Repair then arbitrates divergence on (epoch, version)
-// instead of bare version counts: each shard carries an epoch word stamped
-// by leader writes, and a repairer operating under a newer epoch overrides
-// a peer wholesale — which is what makes the asymmetric-partition case
-// (a stale leader that kept absorbing writes) convergent with a defined
-// winner (store.go repairShard/applyRepair).
+// fences itself. The active coordinator's own writes are fenced the same
+// way against succession: it must refresh authority contact (a mirror
+// write) every hbExpiry or stop serving leader writes, and failoverWait
+// exceeds hbExpiry, so a deposed coordinator has always fenced itself
+// before its successor's first epoch activates. Repair then arbitrates
+// divergence on (epoch, version): each shard carries an epoch word
+// stamped by leader writes, and a repairer operating under a newer epoch
+// overrides a peer wholesale (store.go repairShard/applyRepair).
 
-// Config slot layout (one cache line in the coordinator's store region):
+// Config slot layout (one cache line, same offset in every succession
+// member's store region):
 //
-//	word 0: seq   — seqlock: odd while the coordinator is mid-update
-//	word 1: epoch — configuration epoch; 0 = never published, first is 1
-//	word 2: down  — bitmask of evicted nodes (bit i = node i)
-//	words 3..7: reserved
+//	word 0: seq   — seqlock: odd while the owner is mid-update
+//	word 1: term  — coordinator term: generation << 6 | owner node id;
+//	                0 only in a never-published image
+//	word 2: epoch — configuration epoch; 0 = never published, first is 1
+//	word 3: down  — bitmask of evicted nodes (bit i = node i)
+//	word 4: sum   — CRC of (term, epoch, down): rejects a MIXED image
+//	words 5..7: reserved
 //
 // A one-sided read of the line is torn-free at line granularity, but the
-// seqlock discipline keeps the slot safe if it ever grows past one line.
+// seqlock discipline keeps the slot safe if it ever grows past one line —
+// and the checksum catches what neither can: a remote mirror write
+// interleaving with the target's own local seqlock stores can leave an
+// even-seq line whose words come from two configurations; such an image
+// fails the sum and reads as torn.
+
+// termBits is how many low term bits carry the owner node id (the 64-node
+// ceiling configuration epochs already impose).
+const termBits = 6
+
+// termFor builds a term word from a generation counter and owner node.
+func termFor(gen uint64, owner int) uint64 {
+	return gen<<termBits | uint64(owner)
+}
+
+// termOwner extracts the coordinator node a term names.
+func termOwner(term uint64) int { return int(term & (1<<termBits - 1)) }
+
+// nextTerm is the term a successor activates: the next generation, owned
+// by the successor.
+func nextTerm(after uint64, owner int) uint64 {
+	return termFor((after>>termBits)+1, owner)
+}
+
+// epochGenShift/epochOwnerShift give every term a disjoint epoch range:
+// the generation selects a 2^32-epoch band and the claimant's node id a
+// 2^26-epoch sub-band within it, so even two claimants racing to the
+// SAME generation (mutual unreachability can let both activate — the
+// writeMirror term guard is read-then-write, not atomic) produce
+// disjoint epoch numbers. A takeover starts from termEpochFloor(term)+1,
+// which exceeds ANY epoch a lower term could have activated — including
+// activations whose every write-through copy died with the old
+// authority set, which no scan can recover. That keeps the term-less
+// shard epoch words (the raw u64s repair arbitrates on) totally ordered
+// across successions without widening them. Within a term, epochs
+// advance by 1; 2^26 membership changes per term is decades of
+// continuous churn.
+const (
+	epochGenShift   = 32
+	epochOwnerShift = epochGenShift - termBits
+)
+
+// termEpochFloor is the exclusive lower bound of a term's epoch range.
+// Only takeovers start from it — the seed term bootstraps at epoch 1,
+// which is safe because generation 1 is never contested (takeovers
+// always advance the generation).
+func termEpochFloor(term uint64) uint64 {
+	return ((term>>termBits)-1)<<epochGenShift | uint64(termOwner(term))<<epochOwnerShift
+}
+
+// cfgNewer orders two configurations lexicographically on (term, epoch).
+func cfgNewer(term, epoch, thanTerm, thanEpoch uint64) bool {
+	return term > thanTerm || (term == thanTerm && epoch > thanEpoch)
+}
+
+// authorityQuorum is how many MIRROR contacts (acks or refreshes) an
+// active coordinator or claimant needs for authority liveness: itself
+// plus this many mirrors is a strict majority of the succession set. For
+// the default k = 3 that is one mirror; the majority rule matters at
+// k ≥ 4, where an "any one mirror" rule would let a partition with
+// disjoint mirror pairs keep two coordinators alive indefinitely — with
+// a majority, two sides can never both hold one.
+func (s *Store) authorityQuorum() int { return len(s.succ) / 2 }
 
 // configView is the lock-free snapshot of the cached configuration that
-// client goroutines read (GET routing skips evicted replicas).
+// client goroutines (and harnesses) read.
 type configView struct {
+	term  uint64
 	epoch uint64
 	down  uint64
 }
@@ -47,19 +141,39 @@ func (v configView) downBit(node int) bool {
 	return node >= 0 && node < 64 && v.down&(1<<uint(node)) != 0
 }
 
-// parseConfigSlot decodes a config-slot line. ok is false for a torn
-// (odd-seq) or never-published image.
-func parseConfigSlot(line []byte) (epoch, down uint64, ok bool) {
-	seq := binary.LittleEndian.Uint64(line[0:])
-	if seq == 0 || seq&1 == 1 {
-		return 0, 0, false
-	}
-	return binary.LittleEndian.Uint64(line[8:]), binary.LittleEndian.Uint64(line[16:]), true
+// cfgSlotSum checksums a slot's payload words. The sum travels in word 4
+// and lets parseConfigSlot reject a MIXED image — a remote mirror write
+// interleaving with the target's own local seqlock stores can leave an
+// even-seq line whose words come from two different configurations,
+// which neither the seq parity nor line-granularity tearing rules catch.
+func cfgSlotSum(term, epoch, down uint64) uint64 {
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[0:], term)
+	binary.LittleEndian.PutUint64(b[8:], epoch)
+	binary.LittleEndian.PutUint64(b[16:], down)
+	return uint64(crc32.ChecksumIEEE(b[:]))
 }
 
-// writeConfigSlot publishes (epoch, down) into the local config slot under
-// the seqlock discipline. Coordinator only; serve goroutine only.
-func (s *Store) writeConfigSlot(epoch, down uint64) {
+// parseConfigSlot decodes a config-slot line. ok is false for a torn
+// (odd-seq), checksum-failing (mixed), or never-published image.
+func parseConfigSlot(line []byte) (term, epoch, down uint64, ok bool) {
+	seq := binary.LittleEndian.Uint64(line[0:])
+	if seq == 0 || seq&1 == 1 {
+		return 0, 0, 0, false
+	}
+	term = binary.LittleEndian.Uint64(line[8:])
+	epoch = binary.LittleEndian.Uint64(line[16:])
+	down = binary.LittleEndian.Uint64(line[24:])
+	if binary.LittleEndian.Uint64(line[32:]) != cfgSlotSum(term, epoch, down) {
+		return 0, 0, 0, false
+	}
+	return term, epoch, down, true
+}
+
+// writeConfigSlot publishes (term, epoch, down) into the local config slot
+// under the seqlock discipline. Active coordinator (or a successor staging
+// its takeover) only; serve goroutine only.
+func (s *Store) writeConfigSlot(term, epoch, down uint64) {
 	off := s.cfg.cfgSlotOff()
 	seq, err := s.mem.Load64(off)
 	if err != nil {
@@ -68,14 +182,16 @@ func (s *Store) writeConfigSlot(epoch, down uint64) {
 	if err := s.mem.Store64(off, seq|1); err != nil {
 		return
 	}
-	_ = s.mem.Store64(off+8, epoch)
-	_ = s.mem.Store64(off+16, down)
+	_ = s.mem.Store64(off+8, term)
+	_ = s.mem.Store64(off+16, epoch)
+	_ = s.mem.Store64(off+24, down)
+	_ = s.mem.Store64(off+32, cfgSlotSum(term, epoch, down))
 	_ = s.mem.Store64(off, (seq|1)+1)
 }
 
 // publishCfg refreshes the lock-free configuration snapshot for clients.
 func (s *Store) publishCfg() {
-	s.cfgPub.Store(&configView{epoch: s.cfgEpoch, down: s.cfgDown})
+	s.cfgPub.Store(&configView{term: s.cfgTerm, epoch: s.cfgEpoch, down: s.cfgDown})
 }
 
 // cfgSnapshot returns the current lock-free configuration view.
@@ -84,6 +200,14 @@ func (s *Store) cfgSnapshot() configView { return *s.cfgPub.Load() }
 // Epoch reports the store's cached configuration epoch. Harnesses use it
 // to watch epoch transitions (evictions and re-admissions both bump it).
 func (s *Store) Epoch() uint64 { return s.cfgSnapshot().epoch }
+
+// Term reports the store's cached coordinator term. Harnesses use it to
+// watch coordinator successions (a takeover bumps the term's generation).
+func (s *Store) Term() uint64 { return s.cfgSnapshot().term }
+
+// Coordinator reports the node this store currently believes holds the
+// epoch authority — the owner encoded in its cached term.
+func (s *Store) Coordinator() int { return termOwner(s.cfgSnapshot().term) }
 
 // EpochDown reports whether node is evicted in the cached configuration —
 // the cluster-wide, totally ordered counterpart of DownView's local
@@ -95,36 +219,252 @@ func (s *Store) cfgDownBit(node int) bool {
 	return node >= 0 && node < 64 && s.cfgDown&(1<<uint(node)) != 0
 }
 
-// pollConfig re-reads the coordinator's config slot with a one-sided read
-// and adopts any newer epoch. Serve goroutine, non-coordinator only.
-func (s *Store) pollConfig() {
+// markCfgFresh records a successful authority contact (a slot read at or
+// above the cached configuration, a mirror ack, or an activation) for the
+// slot-staleness stat and the failover trigger.
+func (s *Store) markCfgFresh(now time.Time) {
+	s.cfgLastOK = now
+	s.cfgFreshNano.Store(now.UnixNano())
+}
+
+// pollConfig re-reads the active coordinator's config slot with a
+// one-sided read and adopts any newer (term, epoch). Serve goroutine,
+// non-coordinator only. Every outcome that fails to refresh the cached
+// configuration retries promptly — a failed remote read on a short
+// backoff (the coordinator may be gone: this path feeds the slot-
+// staleness clock and, past failoverWait, the succession scan), a torn
+// or unreadable image on the next pass — so a stale cache is never
+// silently served for a full poll cadence.
+func (s *Store) pollConfig(now time.Time) {
 	s.cfgDirty = false
-	if err := s.qp.Read(s.coord, uint64(s.cfg.cfgSlotOff()), s.cfgBuf, 0, cfgSlotSize); err != nil {
-		return // coordinator unreachable: keep the cached epoch
-	}
-	if err := s.cfgBuf.ReadAt(0, s.cfgLine); err != nil {
-		return
-	}
-	epoch, down, ok := parseConfigSlot(s.cfgLine)
+	term, epoch, down, ok := s.readPeerSlot(s.coord)
 	if !ok {
-		s.cfgDirty = true // torn mid-update: re-read on the next pass
+		// Unreachable coordinator, torn or garbage image, or local buffer
+		// failure: retry on a short cadence and let the staleness clock
+		// run.
+		s.cfgStalePolls.Add(1)
+		s.cfgPollAt = now.Add(s.lease / 8)
+		s.maybeFailover(now)
 		return
 	}
-	if epoch > s.cfgEpoch {
+	if cfgNewer(s.cfgTerm, s.cfgEpoch, term, epoch) {
+		// An image BELOW the cached configuration — e.g. a deposed
+		// coordinator still publishing its last term, or a claimant whose
+		// staged takeover never activated. Not a refresh: the staleness
+		// clock keeps running so the succession scan can find the real
+		// authority.
+		s.cfgStalePolls.Add(1)
+		s.maybeFailover(now)
+		return
+	}
+	s.markCfgFresh(now)
+	if term > s.cfgTerm {
+		s.adoptTerm(term, epoch, down)
+	} else if epoch > s.cfgEpoch {
 		s.adoptConfig(epoch, down)
 	}
 }
 
-// adoptConfig installs a new configuration epoch on the serve goroutine:
-// leadership re-derives from the down mask, re-admitted peers resume
-// serving, the (now stale) lease is renewed eagerly, still-down peers are
-// queued for (re-)verification, and parked PUTs re-route under the new
-// leadership. Called by the coordinator immediately after bumpConfig and
+// readPeerSlot one-sidedly reads and validates peer p's config slot:
+// reachable, stable (even seq, checksum intact), and naming a plausible
+// owner. One helper so the parse guards cannot drift between the poll,
+// scan, and mirror paths. Serve goroutine (uses the shared cfg buffers).
+func (s *Store) readPeerSlot(p int) (term, epoch, down uint64, ok bool) {
+	if err := s.qp.Read(p, uint64(s.cfg.cfgSlotOff()), s.cfgBuf, 0, cfgSlotSize); err != nil {
+		return 0, 0, 0, false
+	}
+	if err := s.cfgBuf.ReadAt(0, s.cfgLine); err != nil {
+		return 0, 0, 0, false
+	}
+	term, epoch, down, ok = parseConfigSlot(s.cfgLine)
+	if !ok || termOwner(term) >= s.n {
+		return 0, 0, 0, false
+	}
+	return term, epoch, down, true
+}
+
+// maybeFailover runs the succession scan once the active coordinator's
+// slot has been stale past failoverWait. Serve goroutine.
+func (s *Store) maybeFailover(now time.Time) {
+	if len(s.succ) <= 1 || now.Sub(s.cfgLastOK) < s.failoverWait() {
+		return
+	}
+	s.successionScan(now)
+}
+
+// successionScan reads every succession member's config slot, adopts the
+// highest (term, epoch) image found, and — when nothing newer exists
+// anywhere and this node is the first live member in succession order —
+// takes the authority over. Paced on lease/2 so a dead coordinator does
+// not turn every serve pass into k remote reads. Also triggered directly
+// (scanNow) by control frames carrying a term above the cached one, so a
+// node whose link to the OLD coordinator is still healthy learns of a
+// succession it cannot see in the old coordinator's slot.
+func (s *Store) successionScan(now time.Time) {
+	if now.Before(s.scanAt) {
+		return // pacing; a pending scanNow latch stays set and retries
+	}
+	s.scanNow = false
+	s.scanAt = now.Add(s.lease / 2)
+	bestTerm, bestEpoch, bestDown := s.cfgTerm, s.cfgEpoch, s.cfgDown
+	found := false
+	// The scanner's OWN mirror slot is a candidate too: a configuration
+	// whose only surviving write-through copy landed here (the other
+	// mirror unreachable when the coordinator activated it, then died)
+	// must be adopted before any takeover, or the claimant would carry a
+	// stale down mask into its first epoch — silently un-evicting a node
+	// the lost configuration had demoted, without repair. (The epoch
+	// NUMBER itself cannot collide across terms: generations own
+	// disjoint ranges, see epochGenShift.) Adoption guards (strictly
+	// newer term, or newer epoch at the cached term) make reading our
+	// own stale ex-coordinator image harmless.
+	for _, p := range s.succ {
+		term, epoch, down, ok := s.readPeerSlot(p)
+		if !ok {
+			continue // unreachable, torn mid-mirror, or never published
+		}
+		if cfgNewer(term, epoch, bestTerm, bestEpoch) {
+			bestTerm, bestEpoch, bestDown = term, epoch, down
+			found = true
+		}
+	}
+	if found {
+		if bestTerm > s.cfgTerm {
+			// A new coordinator claimed the authority: follow it and give
+			// it a fresh staleness window.
+			s.markCfgFresh(now)
+			s.adoptTerm(bestTerm, bestEpoch, bestDown)
+		} else {
+			// A newer epoch of the CURRENT term salvaged from a mirror.
+			// The term's owner is still the node whose staleness got us
+			// here, so the failover clock keeps running: the next scan,
+			// now holding the highest replicated epoch, may take over.
+			s.adoptConfig(bestEpoch, bestDown)
+		}
+		return
+	}
+	// Electing (as opposed to adopting) additionally requires OUR OWN
+	// staleness clock to have run out: a scan triggered by a higher-term
+	// nudge (scanNow) whose slot reads transiently fail must not let a
+	// node with a perfectly fresh view of its coordinator self-elect a
+	// competing term on the spot.
+	if now.Sub(s.cfgLastOK) >= s.failoverWait() && s.successor() == s.me {
+		s.takeOver(now)
+	}
+}
+
+// successor computes the deterministic takeover candidate: the first
+// succession member — skipping the coordinator being deposed, evicted
+// members, and members this node cannot reach — in succession order.
+// Every live node computes the same candidate modulo reachability, and
+// the term's total order settles the races reachability disagreements
+// can still produce.
+func (s *Store) successor() int {
+	cl := s.ctx.Node().Cluster()
+	for _, p := range s.succ {
+		if p == s.coord || s.cfgDownBit(p) {
+			continue
+		}
+		if p == s.me {
+			return p
+		}
+		if !s.down[p] && cl.Reachable(s.me, p) {
+			return p
+		}
+	}
+	return -1
+}
+
+// takeOver activates a fresh coordinator term on this node: next
+// generation, this node in the owner bits, first epoch evicting the
+// deposed coordinator. The activation is write-through (publishAuthority):
+// unless at least one other succession member accepted the new image,
+// nothing changes locally and the scan retries — a successor that cannot
+// replicate the authority must not claim it. Serve goroutine.
+func (s *Store) takeOver(now time.Time) {
+	term := nextTerm(s.cfgTerm, s.me)
+	// The new generation's epoch range outranks every epoch the deposed
+	// term could have activated, observed or not (see epochGenShift).
+	epoch := termEpochFloor(term) + 1
+	if epoch <= s.cfgEpoch {
+		epoch = s.cfgEpoch + 1
+	}
+	mask := s.cfgDown
+	if old := s.coord; old >= 0 && old < 64 {
+		mask |= 1 << uint(old)
+	}
+	if !s.publishAuthority(term, epoch, mask, s.coord) {
+		return // no authority replica reachable; retry on the next scan
+	}
+	s.takeovers.Add(1)
+	s.cfgTerm = term
+	s.coord = s.me
+	s.authOK = now
+	s.markCfgFresh(now)
+	// Fresh coordinator bookkeeping: no grants outstanding, no eviction
+	// clocks armed, repair reports restart under the new term.
+	for p := 0; p < s.n; p++ {
+		s.granted[p] = false
+		s.lastRenew[p] = now
+		s.evictAt[p] = time.Time{}
+		s.rejoinAcks[p] = 0
+	}
+	s.adoptConfig(epoch, mask)
+	s.nudgePeers(epoch)
+	// Peers this node already cannot reach go onto the eviction clock
+	// under the new authority — with the FULL lease grace applied
+	// unconditionally (scheduleEvict's granted[] shortcut does not apply:
+	// the deposed regime may have granted these peers leases this node
+	// never saw, and they must provably lapse before their shards'
+	// leadership moves).
+	for p := 0; p < s.n; p++ {
+		if p != s.me && s.down[p] && !s.cfgDownBit(p) {
+			s.evictAt[p] = now.Add(s.evictGrace())
+		}
+	}
+}
+
+// adoptTerm installs a configuration from a NEWER coordinator term. Unlike
+// same-term adoption, the epoch is accepted unconditionally — (term, epoch)
+// order lexicographically, and a term change invalidates any lease and any
+// coordinator role this node held. An ex-coordinator lands here when it
+// observes its succession: it demotes itself to a follower of the new
+// term's owner.
+func (s *Store) adoptTerm(term, epoch, down uint64) {
+	if term <= s.cfgTerm {
+		return
+	}
+	if s.me == s.coord {
+		// Deposed: drop every coordinator clock; the new authority owns
+		// eviction, re-admission, and lease arbitration now.
+		s.coordDemotions.Add(1)
+		for p := 0; p < s.n; p++ {
+			s.granted[p] = false
+			s.evictAt[p] = time.Time{}
+			s.rejoinAcks[p] = 0
+		}
+	}
+	s.cfgTerm = term
+	s.coord = termOwner(term)
+	s.leaseEpoch, s.leaseUntil = 0, time.Time{} // the old lease died with its term
+	s.forceConfig(epoch, down)
+}
+
+// adoptConfig installs a new same-term configuration epoch on the serve
+// goroutine. Called by the coordinator immediately after an activation and
 // by every other node when a poll observes a newer epoch.
 func (s *Store) adoptConfig(epoch, down uint64) {
 	if epoch == s.cfgEpoch && down == s.cfgDown {
 		return
 	}
+	s.forceConfig(epoch, down)
+}
+
+// forceConfig is the shared tail of adoptConfig/adoptTerm: leadership
+// re-derives from the down mask, re-admitted peers resume serving, the
+// (now stale) lease is renewed eagerly, still-down peers are queued for
+// (re-)verification, and parked PUTs re-route under the new leadership.
+func (s *Store) forceConfig(epoch, down uint64) {
 	old := s.cfgDown
 	s.cfgEpoch, s.cfgDown = epoch, down
 	s.epochBumps.Add(1)
@@ -183,30 +523,167 @@ func (s *Store) adoptConfig(epoch, down uint64) {
 }
 
 // bumpConfig publishes a new epoch with the given down mask and nudges
-// every reachable peer to re-read it. Coordinator only.
-func (s *Store) bumpConfig(down uint64) {
+// every reachable peer to re-read it. Active coordinator only. Returns
+// false — with no local state changed — when the write-through rule
+// blocked the activation (no authority replica reachable); the caller's
+// clocks stay armed and retry.
+func (s *Store) bumpConfig(down uint64) bool {
 	epoch := s.cfgEpoch + 1
-	s.writeConfigSlot(epoch, down)
-	// Every bump restarts rejoin verification (see adoptConfig).
+	if !s.publishAuthority(s.cfgTerm, epoch, down, -1) {
+		return false
+	}
+	s.authOK = time.Now()
+	// Every bump restarts rejoin verification (see forceConfig).
 	for p := range s.rejoinAcks {
 		s.rejoinAcks[p] = 0
 	}
 	s.adoptConfig(epoch, down)
 	s.nudgePeers(epoch)
+	return true
 }
 
-// nudgePeers broadcasts a best-effort epoch-change control frame so peers
-// poll the slot now instead of at their next scheduled read.
+// publishAuthority write-through-publishes (term, epoch, down): mirrors
+// first, in succession order, then the local slot. With a replicated
+// authority (k > 1) at least one mirror must accept the image before the
+// local slot changes — a coordinator (or claimant) that cannot reach ANY
+// other authority replica is almost certainly the partitioned side, and
+// freezing its configuration is what keeps a deposed coordinator's epoch
+// from racing ahead of the succession invisibly. skip names the deposed
+// coordinator during a takeover: its slot is its own to write, and it is
+// unreachable from the claimant by definition.
+func (s *Store) publishAuthority(term, epoch, down uint64, skip int) bool {
+	cl := s.ctx.Node().Cluster()
+	acked := 0
+	for _, p := range s.succ {
+		if p == s.me || p == skip || !cl.Reachable(s.me, p) {
+			continue
+		}
+		if s.writeMirror(p, term, epoch, down) == nil {
+			acked++
+		}
+	}
+	if len(s.succ) > 1 && acked < s.authorityQuorum() {
+		return false
+	}
+	s.writeConfigSlot(term, epoch, down)
+	return true
+}
+
+// writeMirror lands one config-slot image on a succession member with a
+// single one-sided line write, guarded by a term read: if the mirror
+// already carries a higher term, this writer has been superseded and must
+// not clobber the successor's image (the small read-write race that
+// remains is healed by the real coordinator's lease/2 mirror refresh, and
+// readers order whatever they find by (term, epoch) anyway). The image's
+// seq word advances with (term + epoch) so every accepted update is a
+// distinct even value.
+func (s *Store) writeMirror(p int, term, epoch, down uint64) error {
+	if err := s.qp.Read(p, uint64(s.cfg.cfgSlotOff()+8), s.mirBuf, 0, 8); err != nil {
+		return err
+	}
+	cur, err := s.mirBuf.Load64(0)
+	if err != nil {
+		return err
+	}
+	if cur > term {
+		return errSuperseded
+	}
+	line := s.cfgLine
+	for i := range line {
+		line[i] = 0
+	}
+	binary.LittleEndian.PutUint64(line[0:], (term+epoch)<<1)
+	binary.LittleEndian.PutUint64(line[8:], term)
+	binary.LittleEndian.PutUint64(line[16:], epoch)
+	binary.LittleEndian.PutUint64(line[24:], down)
+	binary.LittleEndian.PutUint64(line[32:], cfgSlotSum(term, epoch, down))
+	if err := s.mirBuf.WriteAt(0, line); err != nil {
+		return err
+	}
+	return s.qp.Write(p, uint64(s.cfg.cfgSlotOff()), s.mirBuf, 0, cfgSlotSize)
+}
+
+// mirrorRefresh re-publishes the current image to every reachable mirror
+// and refreshes authOK (the coordinator's self-fencing clock) on any ack.
+// Unlike mirrorTick it NEVER adopts a configuration — which makes it safe
+// from the mid-repair maintenance path (awaitRepairAck), where adoption
+// and eviction decisions must wait for the top-level tick. Without it, a
+// repair outlasting hbExpiry would stale the coordinator's authority
+// contact and fence the whole cluster's renewals despite healthy
+// mirrors. A superseding term simply fails the term-guarded writes, so a
+// genuinely deposed coordinator still fences until the top-level
+// mirrorTick observes the successor.
+func (s *Store) mirrorRefresh(now time.Time) {
+	if len(s.succ) <= 1 {
+		s.authOK = now
+		s.markCfgFresh(now)
+		return
+	}
+	cl := s.ctx.Node().Cluster()
+	contacted := 0
+	for _, p := range s.succ {
+		if p == s.me || !cl.Reachable(s.me, p) {
+			continue
+		}
+		if s.writeMirror(p, s.cfgTerm, s.cfgEpoch, s.cfgDown) == nil {
+			contacted++
+		}
+	}
+	if contacted >= s.authorityQuorum() {
+		s.authOK = now
+		s.markCfgFresh(now)
+	}
+}
+
+// mirrorTick is the active coordinator's authority heartbeat, on a lease/2
+// cadence: every reachable mirror is read (a higher term anywhere means
+// this coordinator was deposed while partitioned — adopt it and demote)
+// and refreshed with the current image (lossy latest-wins, like every
+// other control path: a mirror clobbered by a deposed writer heals within
+// one cadence). A successful mirror contact refreshes authOK, the
+// coordinator's own self-fencing clock (lease.go leaseValid).
+func (s *Store) mirrorTick(now time.Time) {
+	if len(s.succ) <= 1 {
+		// Collapsed single-authority mode: the local slot IS the
+		// authority, so it is fresh by definition (keeps CfgStaleMs
+		// meaningful on 2-node clusters).
+		s.authOK = now
+		s.markCfgFresh(now)
+		return
+	}
+	cl := s.ctx.Node().Cluster()
+	contacted := 0
+	for _, p := range s.succ {
+		if p == s.me || !cl.Reachable(s.me, p) {
+			continue
+		}
+		if term, epoch, down, ok := s.readPeerSlot(p); ok && term > s.cfgTerm {
+			s.adoptTerm(term, epoch, down)
+			s.markCfgFresh(now)
+			return // demoted: a follower now, pollConfig takes over
+		}
+		if s.writeMirror(p, s.cfgTerm, s.cfgEpoch, s.cfgDown) == nil {
+			contacted++
+		}
+	}
+	if contacted >= s.authorityQuorum() {
+		s.authOK = now
+		s.markCfgFresh(now)
+	}
+}
+
+// nudgePeers broadcasts a best-effort config-change control frame so peers
+// poll the slot (or, seeing a new term, scan the succession set) now
+// instead of at their next scheduled read.
 func (s *Store) nudgePeers(epoch uint64) {
-	var b [9]byte
-	b[0] = ctlCfgChanged
-	binary.LittleEndian.PutUint64(b[1:], epoch)
+	var b [ctlMaxLen]byte
+	frame := encodeCtl(b[:], ctlFrame{kind: ctlCfgChanged, term: s.cfgTerm, epoch: epoch})
 	cl := s.ctx.Node().Cluster()
 	for p := 0; p < s.n; p++ {
 		if p == s.me || !cl.Reachable(s.me, p) {
 			continue
 		}
-		_ = s.msgr.SendControl(p, b[:])
+		_ = s.msgr.SendControl(p, frame)
 	}
 }
 
@@ -268,7 +745,7 @@ func (s *Store) expectedReporters(peer int) uint64 {
 }
 
 // maybeReadmit re-admits the lowest-numbered evicted peer whose repair has
-// been verified by all of its expected reporters. Coordinator only.
+// been verified by all of its expected reporters. Active coordinator only.
 //
 // Re-admission is deliberately staged — ONE peer per epoch bump — because
 // of leaderless shards: when every owner of a shard is evicted (a double

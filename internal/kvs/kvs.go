@@ -24,6 +24,15 @@
 //     slot that every node caches and re-reads with one-sided GETs.
 //     Leadership is a pure function of (ring, epoch down mask), so nodes
 //     at the same epoch can never disagree on who leads a shard.
+//   - The epoch authority itself is REPLICATED: the slot — which gained a
+//     coordinator TERM word — is write-through mirrored onto the first
+//     CoordReplicas ring members, and when the active coordinator's slot
+//     stays stale past the failover threshold, the first live succession
+//     member adopts the highest (term, epoch) image it can read and
+//     activates a fresh term whose first epoch evicts the old
+//     coordinator; a healed ex-coordinator demotes itself on observing
+//     the higher term. Stale-coordinator control frames are rejected by
+//     term, so a deposed authority cannot grant leases or nudge epochs.
 //   - Leaders hold time-bounded LEASES renewed over the Messenger's
 //     control frames (lease.go) and FENCE THEMSELVES when a lease lapses:
 //     PUTs are rejected or parked, replication stops. The coordinator
@@ -82,14 +91,20 @@ const (
 	// cannot trip spurious fencing; fault-injection tests and harnesses
 	// shrink it to exercise the fencing window quickly.
 	DefaultLease = 250 * time.Millisecond
+	// DefaultCoordReplicas is the default size of the epoch-authority
+	// succession set: the coordinator plus the mirrors its config slot is
+	// write-through-replicated onto, which are also the deterministic
+	// takeover candidates when the coordinator dies (config.go).
+	DefaultCoordReplicas = 3
 )
 
 // Segment layout of the store region (identical on every node):
 //
 //	header       (64 B): magic, shards, buckets, slotSize, replicas
-//	config slot  (64 B): seqlock-published configuration epoch — authoritative
-//	             only in the coordinator's segment; peers cache it with
-//	             one-sided reads (see config.go)
+//	config slot  (64 B): seqlock-published (term, epoch, down, sum) — authoritative
+//	             in the active coordinator's segment, write-through mirrored
+//	             into the other succession members' segments, cached
+//	             everywhere else with one-sided reads (see config.go)
 //	shard epochs (shards × 8 B, line-aligned): per-shard word recording the
 //	             configuration epoch under which the shard last accepted a
 //	             leader write or a repair — the "epoch" half of the
@@ -170,13 +185,24 @@ type Config struct {
 	// Open a store — it holds slot tables and routes PUTs but owns no
 	// shards — and joins later when every member calls Store.AddNode.
 	Members []int
-	// Coordinator is the cluster node owning the configuration-epoch
-	// authority (default: the first ring member). The coordinator's config
-	// slot is the single source of truth for membership and (derived)
+	// Coordinator is the cluster node SEEDING the configuration-epoch
+	// authority (default: the first ring member). The active coordinator's
+	// config slot is the source of truth for membership and (derived)
 	// per-shard leadership; every other node caches it with one-sided
-	// reads. If the coordinator is unreachable no epoch can change — a
-	// FaRM-style availability trade documented in ARCHITECTURE.md.
+	// reads. The authority is replicated: the slot is write-through
+	// mirrored onto the next CoordReplicas-1 ring members, and when the
+	// active coordinator's slot stays unreadable past failoverWait the
+	// first live succession member activates a fresh term and takes over —
+	// so the authority itself survives an outage (config.go).
 	Coordinator int
+	// CoordReplicas is the succession-set size k: the active coordinator
+	// plus k-1 mirrors carrying the config slot, which double as the
+	// deterministic takeover candidates (default DefaultCoordReplicas,
+	// clamped to the member count). Values resolving below 3 collapse to
+	// a single, non-replicated authority — with only two authority
+	// members a claimant cannot distinguish a dead peer from its own
+	// partition, and every epoch change would hostage the lone mirror.
+	CoordReplicas int
 	// Lease is the leadership lease duration (default DefaultLease). A
 	// leader whose lease lapses fences itself: it rejects PUTs and stops
 	// replicating until a fresh grant (or a new epoch) arrives, so a
@@ -236,9 +262,10 @@ func (c Config) SegmentSize(n int) int {
 	return mcfg.RegionOffset + sonuma.MessengerRegionSize(n, mcfg)
 }
 
-// cfgSlotOff locates the configuration slot within the store region. Only
-// the coordinator's copy is authoritative; every node carries the line so
-// the layout stays identical.
+// cfgSlotOff locates the configuration slot within the store region. The
+// active coordinator's copy is authoritative and the succession members
+// carry write-through mirrors of it; every other node still carries the
+// line so the layout stays identical.
 func (c Config) cfgSlotOff() int { return c.RegionOffset + headerSize }
 
 // shardEpochOff locates a shard's epoch word: the configuration epoch under

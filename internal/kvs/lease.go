@@ -1,17 +1,17 @@
 package kvs
 
 import (
-	"encoding/binary"
 	"time"
 
 	"sonuma"
 )
 
-// This file implements lease-fenced leadership on top of the configuration
-// epochs of config.go. Every non-coordinator node continuously renews a
-// time-bounded lease with the coordinator over the Messenger's control
-// frames (renewals double as heartbeats); a node may serve PUTs for the
-// shards it leads only while it holds a lease for the CURRENT epoch. The
+// This file implements lease-fenced leadership on top of the replicated
+// configuration-epoch authority of config.go. Every non-coordinator node
+// continuously renews a time-bounded lease with the ACTIVE coordinator —
+// the owner of its cached term — over the Messenger's control frames
+// (renewals double as heartbeats); a node may serve PUTs for the shards
+// it leads only while it holds a lease for the CURRENT (term, epoch). The
 // timeline that makes a stale leader safe:
 //
 //	t0          leader L renews; coordinator records lastRenew[L] = t0
@@ -24,19 +24,21 @@ import (
 //	heal        anti-entropy repair orders the divergence by
 //	            (epoch, version); the winning epoch's image prevails
 //
+// The ACTIVE COORDINATOR's own leader writes are fenced the same way
+// against succession (PR 5): its implicit lease is authority contact — a
+// mirror write acknowledged within hbExpiry (mirrorTick). A coordinator
+// that cannot reach any authority replica stops serving leader writes at
+// t0+4L, and a successor's first epoch activates no earlier than t0+5L
+// (failoverWait), so a deposed coordinator is always fenced before the
+// new term's leaders serve — the same no-overlap argument, one level up.
+//
 // Control frames are lossy latest-wins by design, so every message here is
 // idempotent state, re-published periodically: renewals every lease/3,
 // repair-completion reports every lease/2 until acknowledged by an epoch
-// bump, grants only in answer to renewals.
-
-// Control frame kinds (first byte of every messenger control frame).
-const (
-	ctlLeaseRenew byte = 1 // epoch u64 — renewal request + heartbeat
-	ctlLeaseGrant byte = 2 // epoch u64, lease µs u32
-	ctlLeaseDeny  byte = 3 // epoch u64 — sender is evicted at this epoch
-	ctlCfgChanged byte = 4 // epoch u64 — nudge: re-read the config slot
-	ctlRepairDone byte = 5 // epoch u64, repaired-peer bitmask u64
-)
+// bump, grants only in answer to renewals. Every frame carries the
+// sender's (term, epoch) — see msg.go — and frames below the receiver's
+// cached term are rejected outright: a deposed coordinator cannot grant,
+// deny, or nudge anybody.
 
 // Timing derived from the lease duration.
 func (s *Store) renewEvery() time.Duration   { return s.lease / 3 }
@@ -45,38 +47,53 @@ func (s *Store) cfgPollEvery() time.Duration { return s.lease / 2 }
 func (s *Store) evictGrace() time.Duration   { return 2 * s.lease }
 func (s *Store) hbExpiry() time.Duration     { return 4 * s.lease }
 
+// failoverWait is how long the active coordinator's slot must stay stale
+// (unreadable, torn, or below the cached configuration) before the
+// succession scan may activate a new term. It exceeds hbExpiry — the
+// deposed coordinator's self-fencing bound — so old and new authority
+// never serve leader writes concurrently, and stays below fenceWait so a
+// PUT parked at the start of the outage can still complete under the
+// successor's first epoch instead of timing out.
+func (s *Store) failoverWait() time.Duration { return 5 * s.lease }
+
 // fenceWait bounds how long a PUT parks awaiting a lease or an epoch
 // transition before failing with ErrFenced.
 func (s *Store) fenceWait() time.Duration { return 6 * s.lease }
 
 // leaseValid reports whether this node may serve leader writes right now.
-// The coordinator is the authority and cannot be fenced from itself; every
-// other node needs an unexpired lease granted for the current epoch.
+// The active coordinator is the lease authority and grants to itself by
+// proving authority contact (a mirror ack within hbExpiry — with a
+// replicated authority, a coordinator that cannot reach any mirror must
+// assume a successor is being elected and fence); every other node needs
+// an unexpired lease granted for the current (term, epoch).
 func (s *Store) leaseValid(now time.Time) bool {
 	if s.me == s.coord {
-		return !s.cfgDownBit(s.me)
+		if s.cfgDownBit(s.me) {
+			return false
+		}
+		return len(s.succ) <= 1 || now.Sub(s.authOK) <= s.hbExpiry()
 	}
-	return s.leaseEpoch == s.cfgEpoch && now.Before(s.leaseUntil)
+	return s.leaseTerm == s.cfgTerm && s.leaseEpoch == s.cfgEpoch && now.Before(s.leaseUntil)
 }
 
-// leaseTick sends the periodic renewal/heartbeat. Serve goroutine,
-// non-coordinator only. Safe to call from within a repair: renewals keep a
-// long repair from fencing its own leader.
+// leaseTick sends the periodic renewal/heartbeat to the active
+// coordinator. Serve goroutine, non-coordinator only. Safe to call from
+// within a repair: renewals keep a long repair from fencing its own
+// leader.
 func (s *Store) leaseTick(now time.Time) {
 	if !now.After(s.renewAt) {
 		return
 	}
 	s.renewAt = now.Add(s.renewEvery())
-	var b [9]byte
-	b[0] = ctlLeaseRenew
-	binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
-	_ = s.msgr.SendControl(s.coord, b[:])
+	var b [ctlMaxLen]byte
+	_ = s.msgr.SendControl(s.coord, encodeCtl(b[:], ctlFrame{
+		kind: ctlLeaseRenew, term: s.cfgTerm, epoch: s.cfgEpoch}))
 }
 
 // drainCtrl dispatches every pending control frame. Safe to call from
 // within a repair: handlers only mutate lease fields, dirty flags, and the
-// coordinator's bookkeeping — adoption, parking, and eviction decisions
-// run from the top-level tick only.
+// coordinator's bookkeeping — adoption, succession, parking, and eviction
+// decisions run from the top-level tick only.
 func (s *Store) drainCtrl() {
 	for {
 		msg, ok, err := s.msgr.TryRecvControl()
@@ -87,28 +104,52 @@ func (s *Store) drainCtrl() {
 	}
 }
 
-// handleCtrl dispatches one control frame.
+// handleCtrl dispatches one control frame, ordering it by term first: a
+// frame below the cached term comes from (or via) a deposed coordinator
+// and is rejected — a renewal gets a corrective nudge back so the stale
+// sender re-reads the configuration; a frame ABOVE the cached term proves
+// a succession this node has not observed yet, so it schedules the
+// observation (an immediate succession scan, or — on the deposed
+// coordinator itself — an immediate mirror read) without acting on the
+// frame's own content.
 func (s *Store) handleCtrl(m sonuma.Message) {
-	if len(m.Data) < 9 {
+	f, ok := parseCtl(m.Data)
+	if !ok {
 		return
 	}
-	epoch := binary.LittleEndian.Uint64(m.Data[1:])
-	switch m.Data[0] {
+	if f.term > s.cfgTerm {
+		if s.me == s.coord {
+			s.mirrorAt = time.Time{} // verify the claimed succession on the mirrors now
+		} else {
+			s.scanNow = true
+		}
+		return
+	}
+	if f.term < s.cfgTerm {
+		if f.kind == ctlLeaseRenew && m.From >= 0 && m.From < s.n && m.From != s.me {
+			var b [ctlMaxLen]byte
+			_ = s.msgr.SendControl(m.From, encodeCtl(b[:], ctlFrame{
+				kind: ctlCfgChanged, term: s.cfgTerm, epoch: s.cfgEpoch}))
+		}
+		return
+	}
+	switch f.kind {
 	case ctlLeaseRenew:
 		if s.me != s.coord {
 			return
 		}
 		s.grantLease(m.From)
 	case ctlLeaseGrant:
-		if m.From != s.coord || len(m.Data) < 13 {
+		if m.From != s.coord {
 			return
 		}
-		if epoch == s.cfgEpoch {
-			dur := time.Duration(binary.LittleEndian.Uint32(m.Data[9:])) * time.Microsecond
-			s.leaseEpoch = epoch
+		if f.epoch == s.cfgEpoch {
+			dur := time.Duration(f.arg) * time.Microsecond
+			s.leaseTerm = f.term
+			s.leaseEpoch = f.epoch
 			s.leaseUntil = time.Now().Add(dur)
 			s.parkedDirty = true // fenced PUTs can go now
-		} else if epoch > s.cfgEpoch {
+		} else if f.epoch > s.cfgEpoch {
 			// Granted for an epoch we have not adopted yet: read the
 			// slot first, then the next renewal collects a usable grant.
 			s.cfgDirty = true
@@ -116,44 +157,54 @@ func (s *Store) handleCtrl(m sonuma.Message) {
 	case ctlLeaseDeny:
 		// We are evicted at the coordinator's epoch: stay fenced and
 		// learn the details from the slot.
-		if m.From == s.coord && epoch >= s.cfgEpoch {
+		if m.From == s.coord && f.epoch >= s.cfgEpoch {
 			s.cfgDirty = true
 		}
 	case ctlCfgChanged:
-		if epoch > s.cfgEpoch {
+		if f.epoch > s.cfgEpoch {
 			s.cfgDirty = true
 		}
 	case ctlRepairDone:
-		if s.me != s.coord || len(m.Data) < 17 || epoch != s.cfgEpoch {
+		if s.me != s.coord || f.epoch != s.cfgEpoch {
 			return
 		}
-		peers := binary.LittleEndian.Uint64(m.Data[9:])
-		s.recordRepairDone(m.From, peers)
+		s.recordRepairDone(m.From, f.arg)
 	}
 }
 
 // grantLease answers one renewal: evicted (or eviction-pending) nodes are
-// denied, everyone else gets a fresh lease for the current epoch and has
-// its heartbeat recorded. Coordinator only.
+// denied, everyone else gets a fresh lease for the current (term, epoch)
+// and has its heartbeat recorded. Active coordinator only.
 func (s *Store) grantLease(p int) {
 	if p < 0 || p >= s.n || p == s.me {
 		return
 	}
 	now := time.Now()
-	if s.cfgDownBit(p) || !s.evictAt[p].IsZero() {
-		var b [9]byte
-		b[0] = ctlLeaseDeny
-		binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
-		_ = s.msgr.SendControl(p, b[:])
+	var b [ctlMaxLen]byte
+	// An authority that cannot prove mirror contact must not extend
+	// leases either: a successor may already be electing on the other
+	// side of the partition, and a lease granted now would let the peer
+	// keep absorbing writes the successor's epoch will roll back — for
+	// the whole partition, not the bounded fencing window. Denying keeps
+	// the peer fenced (definite errors) until the configuration resolves.
+	authorityLapsed := len(s.succ) > 1 && now.Sub(s.authOK) > s.hbExpiry()
+	if s.cfgDownBit(p) || !s.evictAt[p].IsZero() || authorityLapsed {
+		if authorityLapsed && !s.cfgDownBit(p) && s.evictAt[p].IsZero() {
+			// The heartbeat WAS observed — only the lease is withheld.
+			// Without this, a long mirror outage would age every live
+			// renewing peer past hbExpiry and mass-evict them the moment
+			// the mirrors heal.
+			s.lastRenew[p] = now
+		}
+		_ = s.msgr.SendControl(p, encodeCtl(b[:], ctlFrame{
+			kind: ctlLeaseDeny, term: s.cfgTerm, epoch: s.cfgEpoch}))
 		return
 	}
 	s.lastRenew[p] = now
 	s.granted[p] = true
-	var b [13]byte
-	b[0] = ctlLeaseGrant
-	binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
-	binary.LittleEndian.PutUint32(b[9:], uint32(s.lease/time.Microsecond))
-	if err := s.msgr.SendControl(p, b[:]); err != nil {
+	frame := encodeCtl(b[:], ctlFrame{kind: ctlLeaseGrant, term: s.cfgTerm,
+		epoch: s.cfgEpoch, arg: uint64(s.lease / time.Microsecond)})
+	if err := s.msgr.SendControl(p, frame); err != nil {
 		// The grant cannot reach a holder we believe is alive (one-way
 		// partition): without grants its lease lapses, so treat it like
 		// any other unreachable peer and start the eviction clock.
@@ -161,10 +212,21 @@ func (s *Store) grantLease(p int) {
 	}
 }
 
-// coordTick drives the coordinator's state machine: expire silent lease
-// holders, activate pending evictions whose lease grace has passed, and
-// re-admit fully repaired peers. Top-level tick only (never mid-repair).
+// coordTick drives the active coordinator's state machine: refresh (and
+// term-check) the authority mirrors, expire silent lease holders, activate
+// pending evictions whose lease grace has passed, and re-admit fully
+// repaired peers. Top-level tick only (never mid-repair). An eviction or
+// re-admission blocked by the write-through rule (no mirror reachable)
+// keeps its clock armed and retries next tick — the configuration freezes
+// rather than diverging.
 func (s *Store) coordTick(now time.Time) {
+	if now.After(s.mirrorAt) {
+		s.mirrorAt = now.Add(s.lease / 2)
+		s.mirrorTick(now)
+		if s.coord != s.me {
+			return // deposed: mirrorTick adopted the successor's term
+		}
+	}
 	for p := 0; p < s.n; p++ {
 		if p == s.me || !s.granted[p] {
 			continue
@@ -181,11 +243,14 @@ func (s *Store) coordTick(now time.Time) {
 			continue
 		}
 		mask |= 1 << uint(p)
-		s.evictAt[p] = time.Time{}
-		s.granted[p] = false
 	}
-	if mask != s.cfgDown {
-		s.bumpConfig(mask)
+	if mask != s.cfgDown && s.bumpConfig(mask) {
+		for p := 0; p < s.n && p < 64; p++ {
+			if mask&(1<<uint(p)) != 0 {
+				s.evictAt[p] = time.Time{}
+				s.granted[p] = false
+			}
+		}
 	}
 	s.maybeReadmit()
 }
@@ -207,10 +272,11 @@ func (s *Store) scheduleEvict(node int) {
 	s.evictAt[node] = at
 }
 
-// reportRepair tells the coordinator this node verified the given peer
-// (streamed and acknowledged every diff for the shards it leads) under the
-// current epoch. Idempotent and re-sent by reportTick until an epoch bump
-// acknowledges it, because control frames are lossy latest-wins.
+// reportRepair tells the active coordinator this node verified the given
+// peer (streamed and acknowledged every diff for the shards it leads)
+// under the current (term, epoch). Idempotent and re-sent by reportTick
+// until an epoch bump acknowledges it, because control frames are lossy
+// latest-wins.
 func (s *Store) reportRepair() {
 	var peers uint64
 	for p := 0; p < s.n && p < 64; p++ {
@@ -225,11 +291,9 @@ func (s *Store) reportRepair() {
 		s.recordRepairDone(s.me, peers)
 		return
 	}
-	var b [17]byte
-	b[0] = ctlRepairDone
-	binary.LittleEndian.PutUint64(b[1:], s.cfgEpoch)
-	binary.LittleEndian.PutUint64(b[9:], peers)
-	_ = s.msgr.SendControl(s.coord, b[:])
+	var b [ctlMaxLen]byte
+	_ = s.msgr.SendControl(s.coord, encodeCtl(b[:], ctlFrame{
+		kind: ctlRepairDone, term: s.cfgTerm, epoch: s.cfgEpoch, arg: peers}))
 }
 
 // reportTick re-publishes repair-completion reports while any repaired
@@ -244,7 +308,7 @@ func (s *Store) reportTick(now time.Time) {
 
 // recordRepairDone accumulates one reporter's verified-peer set, skipping
 // peers under a post-link-event quarantine (see dropStaleAcks).
-// Coordinator only; cleared on every epoch bump.
+// Coordinator only; cleared on every epoch bump and term change.
 func (s *Store) recordRepairDone(reporter int, peers uint64) {
 	if reporter < 0 || reporter >= 64 {
 		return

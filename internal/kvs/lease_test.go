@@ -68,16 +68,17 @@ func waitEpochAtLeast(t *testing.T, stores []*Store, skip int, want uint64, dead
 	}
 }
 
-// waitConverged polls until every store agrees on one epoch with an empty
-// down mask and a clear local down view.
+// waitConverged polls until every store agrees on one (term, epoch) with
+// an empty down mask and a clear local down view.
 func waitConverged(t *testing.T, stores []*Store, deadline time.Duration) {
 	t.Helper()
 	end := time.Now().Add(deadline)
 	for {
 		ok := true
 		epoch := stores[0].Epoch()
+		term := stores[0].Term()
 		for _, s := range stores {
-			if s.Epoch() != epoch {
+			if s.Epoch() != epoch || s.Term() != term {
 				ok = false
 			}
 			for p := 0; p < len(stores); p++ {
@@ -96,9 +97,10 @@ func waitConverged(t *testing.T, stores []*Store, deadline time.Duration) {
 		}
 		if time.Now().After(end) {
 			for i, s := range stores {
-				t.Logf("store %d epoch=%d down=%v", i, s.Epoch(), s.DownView())
+				t.Logf("store %d term=%d coord=%d epoch=%d down=%v",
+					i, s.Term(), s.Coordinator(), s.Epoch(), s.DownView())
 			}
-			t.Fatal("cluster did not converge to a single clean epoch")
+			t.Fatal("cluster did not converge to a single clean (term, epoch)")
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -1,0 +1,88 @@
+package kvs
+
+import "encoding/binary"
+
+// Control-frame wire format. Control frames ride the Messenger's lossy
+// latest-wins control lines (one line per sender pair, see msg.go in the
+// root package), so every frame is idempotent state, re-published on a
+// cadence. Since the epoch authority became replicated (config.go), every
+// frame carries the sender's COORDINATOR TERM in addition to the epoch:
+// the term totally orders coordinator successions, so a receiver can
+// reject frames from a deposed coordinator (or from a peer that has not
+// heard of the succession yet) without a round trip. Layout:
+//
+//	byte  0      kind
+//	bytes 1..8   term  — sender's cached coordinator term
+//	bytes 9..16  epoch — sender's cached configuration epoch
+//	bytes 17..   kind-specific tail (grant: lease µs u32;
+//	             repair-done: repaired-peer bitmask u64)
+//
+// The largest frame (ctlRepairDone, 25 bytes) stays well under the
+// messenger's MaxControlFrame line budget.
+
+// Control frame kinds (first byte of every messenger control frame).
+const (
+	ctlLeaseRenew byte = 1 // renewal request + heartbeat
+	ctlLeaseGrant byte = 2 // tail: lease µs u32
+	ctlLeaseDeny  byte = 3 // sender is evicted at this (term, epoch)
+	ctlCfgChanged byte = 4 // nudge: re-read the config slot / scan succession
+	ctlRepairDone byte = 5 // tail: repaired-peer bitmask u64
+)
+
+// ctlHdrLen is the fixed prefix every control frame carries; ctlMaxLen the
+// largest full frame.
+const (
+	ctlHdrLen = 17
+	ctlMaxLen = 25
+)
+
+// ctlFrame is one decoded control frame.
+type ctlFrame struct {
+	kind  byte
+	term  uint64
+	epoch uint64
+	arg   uint64 // ctlLeaseGrant: lease µs; ctlRepairDone: peer bitmask
+}
+
+// encodeCtl frames f into buf (at least ctlMaxLen bytes) and returns the
+// encoded slice.
+func encodeCtl(buf []byte, f ctlFrame) []byte {
+	buf[0] = f.kind
+	binary.LittleEndian.PutUint64(buf[1:], f.term)
+	binary.LittleEndian.PutUint64(buf[9:], f.epoch)
+	switch f.kind {
+	case ctlLeaseGrant:
+		binary.LittleEndian.PutUint32(buf[17:], uint32(f.arg))
+		return buf[:21]
+	case ctlRepairDone:
+		binary.LittleEndian.PutUint64(buf[17:], f.arg)
+		return buf[:25]
+	}
+	return buf[:ctlHdrLen]
+}
+
+// parseCtl decodes one control frame. ok is false for a frame too short
+// for its kind (a peer running a different wire format).
+func parseCtl(data []byte) (ctlFrame, bool) {
+	if len(data) < ctlHdrLen {
+		return ctlFrame{}, false
+	}
+	f := ctlFrame{
+		kind:  data[0],
+		term:  binary.LittleEndian.Uint64(data[1:]),
+		epoch: binary.LittleEndian.Uint64(data[9:]),
+	}
+	switch f.kind {
+	case ctlLeaseGrant:
+		if len(data) < 21 {
+			return ctlFrame{}, false
+		}
+		f.arg = uint64(binary.LittleEndian.Uint32(data[17:]))
+	case ctlRepairDone:
+		if len(data) < 25 {
+			return ctlFrame{}, false
+		}
+		f.arg = binary.LittleEndian.Uint64(data[17:])
+	}
+	return f, true
+}

@@ -119,6 +119,22 @@ type StoreStats struct {
 	ShardsMigrated uint64 // shards pulled from old owners after a ring resize
 	Fenced         uint64 // PUTs rejected or timed out by lease fencing
 	EpochBumps     uint64 // configuration epochs adopted (coordinator bumps included)
+	// CfgStalePolls counts config polls that failed to refresh the cached
+	// configuration (coordinator unreachable, torn image, or an image
+	// below the cache — a deposed coordinator's slot). The failover
+	// trigger is CfgStaleMs, which these feed.
+	CfgStalePolls uint64
+	// CfgStaleMs is the age of the cached configuration: milliseconds
+	// since the last successful authority contact (a slot read at or
+	// above the cache for followers, a mirror ack for the active
+	// coordinator). Grows without bound while the authority is
+	// unreachable; succession triggers past failoverWait.
+	CfgStaleMs float64
+	// Takeovers counts coordinator terms this node activated (successions
+	// it won); CoordDemotions counts terms it lost while holding the
+	// authority (observed a successor and demoted itself).
+	Takeovers      uint64
+	CoordDemotions uint64
 }
 
 // putReq is one PUT travelling from a colocated client into the serve loop.
@@ -158,6 +174,7 @@ type Store struct {
 	verBuf   *sonuma.Buffer // landing area for repair version-scan bursts
 	migBuf   *sonuma.Buffer // landing area for migration slot reads
 	cfgBuf   *sonuma.Buffer // landing area for one-sided config-slot reads
+	mirBuf   *sonuma.Buffer // staging for authority mirror writes + term guards
 	scratch  []byte         // local slot image scratch (serve goroutine)
 	txBuf    []byte         // outbound message scratch (serve goroutine)
 	cfgLine  []byte         // config-slot parse scratch (serve goroutine)
@@ -167,17 +184,27 @@ type Store struct {
 
 	// Configuration-epoch state (serve goroutine; cfgPub is the lock-free
 	// snapshot clients read). Leadership everywhere derives from
-	// (ring, cfgDown) — see config.go.
-	coord      int
-	lease      time.Duration
-	cfgEpoch   uint64
-	cfgDown    uint64
-	cfgDirty   bool // a nudge/deny/failure hinted at a newer epoch
-	cfgPollAt  time.Time
-	ctrlPollAt time.Time // next control-line scan (keeps it off the hot path)
-	cfgPub     atomic.Pointer[configView]
+	// (ring, cfgDown); the authority is replicated over succ with coord
+	// naming the CURRENT term's owner — see config.go.
+	coord        int   // active coordinator: termOwner(cfgTerm)
+	succ         []int // succession set: seed coordinator first, then k-1 mirrors
+	lease        time.Duration
+	cfgTerm      uint64
+	cfgEpoch     uint64
+	cfgDown      uint64
+	cfgDirty     bool // a nudge/deny/failure hinted at a newer epoch
+	scanNow      bool // a control frame claimed a term above the cache: scan now
+	cfgPollAt    time.Time
+	scanAt       time.Time // succession-scan pacing (lease/2)
+	mirrorAt     time.Time // coordinator's next mirror refresh/term check
+	cfgLastOK    time.Time // last successful authority contact (failover clock)
+	authOK       time.Time // coordinator: last mirror ack (self-fencing clock)
+	cfgFreshNano atomic.Int64
+	ctrlPollAt   time.Time // next control-line scan (keeps it off the hot path)
+	cfgPub       atomic.Pointer[configView]
 
 	// Lease state (serve goroutine). leaseValid gates every leader write.
+	leaseTerm  uint64
 	leaseEpoch uint64
 	leaseUntil time.Time
 	renewAt    time.Time
@@ -248,6 +275,9 @@ type Store struct {
 	shardsMigrated atomic.Uint64
 	fenced         atomic.Uint64
 	epochBumps     atomic.Uint64
+	cfgStalePolls  atomic.Uint64
+	takeovers      atomic.Uint64
+	coordDemotions atomic.Uint64
 }
 
 // resizeReq is one AddNode request travelling into the serve loop.
@@ -285,6 +315,28 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if cfg.Coordinator < 0 || cfg.Coordinator >= n {
 		return nil, fmt.Errorf("kvs: coordinator %d outside cluster [0,%d)", cfg.Coordinator, n)
 	}
+	// Resolve the authority succession set: the seed coordinator first,
+	// then the next ring members in order, CoordReplicas deep. Meaningful
+	// replication needs at least three authority members (with two, a
+	// claimant could never distinguish a dead peer from its own partition,
+	// and every epoch change would hostage the lone mirror), so smaller
+	// resolved sets collapse to the PR 4 single-authority behavior.
+	k := cfg.CoordReplicas
+	if k <= 0 {
+		k = DefaultCoordReplicas
+	}
+	succ := []int{cfg.Coordinator}
+	for _, m := range nodes {
+		if len(succ) >= k {
+			break
+		}
+		if m != cfg.Coordinator {
+			succ = append(succ, m)
+		}
+	}
+	if len(succ) < 3 {
+		succ = succ[:1]
+	}
 	s := &Store{
 		ctx:           ctx,
 		cfg:           cfg,
@@ -293,6 +345,8 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 		mem:           ctx.Memory(),
 		down:          make([]bool, n),
 		coord:         cfg.Coordinator,
+		succ:          succ,
+		cfgTerm:       termFor(1, cfg.Coordinator),
 		lease:         cfg.Lease,
 		repaired:      make([]bool, n),
 		lastRenew:     make([]time.Time, n),
@@ -339,6 +393,9 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if s.cfgBuf, err = ctx.AllocBuffer(cfgSlotSize); err != nil {
 		return nil, err
 	}
+	if s.mirBuf, err = ctx.AllocBuffer(cfgSlotSize); err != nil {
+		return nil, err
+	}
 	mqp, err := ctx.NewQP(0)
 	if err != nil {
 		return nil, err
@@ -348,13 +405,18 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if s.msgr, err = sonuma.NewMessenger(ctx, mqp, mcfg); err != nil {
 		return nil, err
 	}
-	// The coordinator seeds the configuration authority: epoch 1, nobody
-	// evicted. Peers start at epoch 0 with the identical (empty) down mask
-	// and adopt epoch 1 on their first poll, so leadership never disagrees
-	// during bootstrap.
+	// The seed coordinator seeds the configuration authority: term
+	// generation 1 owned by it, epoch 1, nobody evicted. Peers start at
+	// epoch 0 under the SAME statically known term with the identical
+	// (empty) down mask and adopt epoch 1 on their first poll, so
+	// leadership (and renewal routing) never disagrees during bootstrap;
+	// the mirrors fill in within one mirrorTick cadence.
+	now := time.Now()
+	s.cfgLastOK, s.authOK = now, now
+	s.cfgFreshNano.Store(now.UnixNano())
 	if s.me == s.coord {
 		s.cfgEpoch, s.cfgDown = 1, 0
-		s.writeConfigSlot(1, 0)
+		s.writeConfigSlot(s.cfgTerm, 1, 0)
 		s.publishCfg()
 	}
 	// Failover detection: the fabric's watchers report failed nodes and
@@ -415,6 +477,10 @@ func (s *Store) Stats() StoreStats {
 		ShardsMigrated: s.shardsMigrated.Load(),
 		Fenced:         s.fenced.Load(),
 		EpochBumps:     s.epochBumps.Load(),
+		CfgStalePolls:  s.cfgStalePolls.Load(),
+		CfgStaleMs:     float64(time.Now().UnixNano()-s.cfgFreshNano.Load()) / 1e6,
+		Takeovers:      s.takeovers.Load(),
+		CoordDemotions: s.coordDemotions.Load(),
 	}
 }
 
@@ -434,8 +500,10 @@ func (s *Store) reportDown(node int) {
 // endpoint (they may no longer cover the peer's state). Best-effort like
 // reportDown; a dropped event is re-covered because reporters also
 // invalidate their own repaired flags and re-verify before re-reporting.
+// Runs on fabric watcher goroutines, so the coordinator check reads the
+// published snapshot, not the serve goroutine's s.coord.
 func (s *Store) reportLinkEvent(a, b int) {
-	if s.me != s.coord {
+	if s.me != termOwner(s.cfgSnapshot().term) {
 		return
 	}
 	select {
@@ -632,9 +700,17 @@ func (s *Store) tick() {
 	if s.me == s.coord {
 		s.coordTick(now)
 	} else {
+		if s.scanNow {
+			// A control frame claimed a term above our cache: the old
+			// coordinator's slot cannot show it, so scan the succession
+			// set directly instead of waiting out the staleness clock.
+			// The latch clears only when a scan actually runs (pacing
+			// can defer it), so the hint is never silently dropped.
+			s.successionScan(now)
+		}
 		if s.cfgDirty || now.After(s.cfgPollAt) {
 			s.cfgPollAt = now.Add(s.cfgPollEvery())
-			s.pollConfig()
+			s.pollConfig(now)
 		}
 		s.leaseTick(now)
 	}
@@ -859,6 +935,10 @@ func (s *Store) drainParked() {
 // timeout. The peer remains evicted; the next heal event retries.
 var errRepairAborted = errors.New("kvs: repair aborted: peer unreachable or not serving")
 
+// errSuperseded reports a mirror write refused because the mirror already
+// carries a higher coordinator term: the writer has been deposed.
+var errSuperseded = errors.New("kvs: authority superseded by a higher term")
+
 // containsInt reports whether list holds v.
 func containsInt(list []int, v int) bool {
 	for _, x := range list {
@@ -881,7 +961,7 @@ func (s *Store) healScan() {
 	cl := s.ctx.Node().Cluster()
 	s.healPending = false
 	if s.me != s.coord {
-		s.pollConfig()
+		s.pollConfig(time.Now())
 	}
 	for p := 0; p < s.n; p++ {
 		if p == s.me || s.repaired[p] {
@@ -1273,11 +1353,21 @@ func (s *Store) awaitRepairAck(peer int, token uint64, timeout time.Duration) er
 		}
 		// Keep lease and heartbeat traffic flowing while the barrier
 		// waits, so a long repair can neither fence its own leader nor
-		// look dead to the coordinator. (Config adoption and eviction
-		// decisions stay parked until the top-level tick.)
+		// look dead to the coordinator — and the coordinator's own
+		// authority contact stays fresh too, or a repair outlasting
+		// hbExpiry would deny every renewal it grants from this very
+		// loop. (Config adoption and eviction decisions stay parked
+		// until the top-level tick; mirrorRefresh never adopts.)
 		s.drainCtrl()
-		if s.me != s.coord {
-			s.leaseTick(time.Now())
+		if now := time.Now(); s.me != s.coord {
+			s.leaseTick(now)
+		} else if !s.mirrorAt.IsZero() && now.After(s.mirrorAt) {
+			// Cadence refresh only: a ZEROED mirrorAt is handleCtrl's
+			// "higher term claimed — verify now" hint, reserved for the
+			// top-level mirrorTick (the only place adoption may run), so
+			// it must not be consumed and re-armed here.
+			s.mirrorAt = now.Add(s.lease / 2)
+			s.mirrorRefresh(now)
 		}
 		if !s.ctx.Node().Cluster().Reachable(s.me, peer) {
 			return errRepairAborted

@@ -1,0 +1,388 @@
+package kvs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sonuma"
+)
+
+// Tests for the replicated epoch authority (PR 5): term encoding and slot
+// parsing, term-ordered takeover and demotion at the unit level on
+// quiesced stores, and the two acceptance scenarios — the seed
+// coordinator fully partitioned, and node-failed (all links cut for the
+// run) — under live load, with the post-heal audits: successor-activated
+// term+epoch, parked writes completing (or ErrFenced, never hanging),
+// ex-coordinator demotion, and byte-identical replicas.
+
+func TestTermEncoding(t *testing.T) {
+	seed := termFor(1, 0)
+	if seed != 1<<termBits {
+		t.Fatalf("termFor(1,0) = %d", seed)
+	}
+	if termOwner(seed) != 0 {
+		t.Fatalf("termOwner(%d) = %d, want 0", seed, termOwner(seed))
+	}
+	succ1 := nextTerm(seed, 1)
+	if succ1 != termFor(2, 1) || termOwner(succ1) != 1 {
+		t.Fatalf("nextTerm(%d, 1) = %d (owner %d)", seed, succ1, termOwner(succ1))
+	}
+	if !cfgNewer(succ1, 1, seed, 99) {
+		t.Fatal("a higher term must outrank any epoch of a lower term")
+	}
+	if cfgNewer(seed, 99, succ1, 1) {
+		t.Fatal("a lower term's epoch lead must not outrank a higher term")
+	}
+	if !cfgNewer(seed, 2, seed, 1) || cfgNewer(seed, 1, seed, 1) {
+		t.Fatal("same-term configurations must order by epoch, strictly")
+	}
+	// Concurrent claimants of one generation order deterministically by
+	// the owner bits.
+	if !cfgNewer(nextTerm(seed, 2), 1, nextTerm(seed, 1), 5) {
+		t.Fatal("tie-break between same-generation claimants must be total")
+	}
+	// Generations own disjoint epoch ranges: the seed generation starts
+	// at floor 0 (bootstrap epochs stay small), and a successor's first
+	// epoch outranks any epoch the deposed term could have activated.
+	if termEpochFloor(seed) != 0 {
+		t.Fatalf("seed epoch floor = %d, want 0", termEpochFloor(seed))
+	}
+	if termEpochFloor(succ1)+1 <= 1<<32-1 {
+		t.Fatal("successor epochs must outrank every possible seed-term epoch")
+	}
+}
+
+func TestParseConfigSlotTornAndStale(t *testing.T) {
+	line := make([]byte, cfgSlotSize)
+	// Never published: all zeros.
+	if _, _, _, ok := parseConfigSlot(line); ok {
+		t.Fatal("parsed a never-published slot")
+	}
+	// Torn: odd seq (a mirror write or local update in flight).
+	binary.LittleEndian.PutUint64(line[0:], 7)
+	binary.LittleEndian.PutUint64(line[8:], termFor(2, 1))
+	binary.LittleEndian.PutUint64(line[16:], 5)
+	binary.LittleEndian.PutUint64(line[24:], 0b1001)
+	binary.LittleEndian.PutUint64(line[32:], cfgSlotSum(termFor(2, 1), 5, 0b1001))
+	if _, _, _, ok := parseConfigSlot(line); ok {
+		t.Fatal("parsed a torn (odd-seq) slot image")
+	}
+	// Stable image round-trips.
+	binary.LittleEndian.PutUint64(line[0:], 8)
+	term, epoch, down, ok := parseConfigSlot(line)
+	if !ok || term != termFor(2, 1) || epoch != 5 || down != 0b1001 {
+		t.Fatalf("parse = (%d, %d, %#b, %v)", term, epoch, down, ok)
+	}
+	// A MIXED image — words from two different configurations, even seq
+	// (a remote mirror write interleaved with local seqlock stores) —
+	// fails the checksum and reads as torn.
+	binary.LittleEndian.PutUint64(line[24:], 0b0110) // mask from another config
+	if _, _, _, ok := parseConfigSlot(line); ok {
+		t.Fatal("parsed a mixed (checksum-failing) slot image")
+	}
+}
+
+// TestTermOrderedTakeoverAndDemotion drives the succession state machine
+// deterministically: every serve goroutine is stopped first, so the test
+// can call the serve-side methods directly without racing them. A
+// successor scans, finds nothing newer, takes over with a write-through
+// term activation that evicts the old coordinator; the ex-coordinator's
+// next mirror pass observes the higher term and demotes itself; and
+// control frames from the deposed term are rejected everywhere.
+func TestTermOrderedTakeoverAndDemotion(t *testing.T) {
+	_, stores := newService(t, 4, testConfig())
+	// Let bootstrap polls finish (peers adopt epoch 1), then quiesce.
+	waitEpochAtLeast(t, stores, -1, 1, 10*time.Second)
+	for _, s := range stores {
+		s.Close()
+	}
+	s0, s1, s2 := stores[0], stores[1], stores[2]
+	seedTerm := termFor(1, 0)
+	if s1.cfgTerm != seedTerm || s1.coord != 0 {
+		t.Fatalf("store 1 bootstrap term=%d coord=%d", s1.cfgTerm, s1.coord)
+	}
+
+	// Succession: store 1 is the first live non-coordinator member; after
+	// failoverWait of staleness it must activate the next generation and
+	// evict the old coordinator in its first epoch.
+	now := time.Now()
+	s1.cfgLastOK = now.Add(-2 * s1.failoverWait())
+	s1.maybeFailover(now)
+	wantTerm := termFor(2, 1)
+	if s1.cfgTerm != wantTerm || s1.coord != 1 {
+		t.Fatalf("after takeover: term=%d coord=%d, want term=%d coord=1", s1.cfgTerm, s1.coord, wantTerm)
+	}
+	if !s1.cfgDownBit(0) {
+		t.Fatal("takeover epoch did not evict the deposed coordinator")
+	}
+	if got := s1.Stats().Takeovers; got != 1 {
+		t.Fatalf("Takeovers = %d, want 1", got)
+	}
+
+	// Write-through: the activation must already be on mirror 2's slot
+	// (detectable by any scanner even if node 1 dies right now).
+	if err := s2.qp.Read(1, uint64(s2.cfg.cfgSlotOff()), s2.cfgBuf, 0, cfgSlotSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.cfgBuf.ReadAt(0, s2.cfgLine); err != nil {
+		t.Fatal(err)
+	}
+	if term, _, _, ok := parseConfigSlot(s2.cfgLine); !ok || term != wantTerm {
+		t.Fatalf("successor slot term=%d ok=%v, want %d", term, ok, wantTerm)
+	}
+
+	// Demotion: the ex-coordinator's mirror pass sees the higher term.
+	if s0.coord != 0 {
+		t.Fatalf("store 0 demoted early: coord=%d", s0.coord)
+	}
+	s0.mirrorTick(time.Now())
+	if s0.coord != 1 || s0.cfgTerm != wantTerm {
+		t.Fatalf("after mirror pass: coord=%d term=%d, want coord=1 term=%d", s0.coord, s0.cfgTerm, wantTerm)
+	}
+	if got := s0.Stats().CoordDemotions; got != 1 {
+		t.Fatalf("CoordDemotions = %d, want 1", got)
+	}
+	if !s0.cfgDownBit(0) {
+		t.Fatal("demoted ex-coordinator did not adopt its own eviction")
+	}
+
+	// A deposed coordinator's mirror write must be refused by the term
+	// guard, not clobber the successor's image.
+	if err := s0.writeMirror(2, seedTerm, 99, 0); !errors.Is(err, errSuperseded) {
+		t.Fatalf("stale mirror write: err=%v, want errSuperseded", err)
+	}
+
+	// Stale-term control frames are rejected: a grant from the deposed
+	// term must not validate a lease under the new one.
+	s2.adoptTerm(wantTerm, s1.cfgEpoch, s1.cfgDown)
+	var b [ctlMaxLen]byte
+	s2.handleCtrl(testCtl(0, encodeCtl(b[:], ctlFrame{
+		kind: ctlLeaseGrant, term: seedTerm, epoch: s2.cfgEpoch, arg: 1e6})))
+	if s2.leaseValid(time.Now()) {
+		t.Fatal("a stale-term grant validated a lease")
+	}
+	// The matching-term grant from the new coordinator does.
+	s2.handleCtrl(testCtl(1, encodeCtl(b[:], ctlFrame{
+		kind: ctlLeaseGrant, term: wantTerm, epoch: s2.cfgEpoch, arg: 1e6})))
+	if !s2.leaseValid(time.Now()) {
+		t.Fatal("a current-term grant did not validate the lease")
+	}
+}
+
+// testCtl builds an inbound control message for white-box dispatch.
+func testCtl(from int, frame []byte) sonuma.Message {
+	return sonuma.Message{From: from, Data: append([]byte(nil), frame...)}
+}
+
+// TestCoordinatorFailoverNodeDeath is the node-failure acceptance run: the
+// seed coordinator drops off the fabric entirely under live load; a
+// successor must activate a new term+epoch without operator input, parked
+// writes toward coordinator-led shards must complete (or fail ErrFenced —
+// never hang), and after the heal the ex-coordinator must demote itself
+// and converge to byte-identical replicas.
+func TestCoordinatorFailoverNodeDeath(t *testing.T) {
+	runCoordinatorFailover(t, false)
+}
+
+// TestCoordinatorFailoverAsymmetric is the partition variant: the
+// coordinator can receive but not send, so renewals keep landing on it
+// while its grants, mirror writes, and slot-read replies all die. It must
+// self-fence (authority contact lost) before the successor's first epoch
+// activates.
+func TestCoordinatorFailoverAsymmetric(t *testing.T) {
+	runCoordinatorFailover(t, true)
+}
+
+func runCoordinatorFailover(t *testing.T, directed bool) {
+	const n = 4
+	cfg := leaseConfig(20 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	ring := stores[0].Ring()
+	seedTerm := stores[1].Term()
+	key := shardLedBy(t, ring, "coordfail", 0) // a shard the coordinator leads
+
+	c2 := newTestClient(t, stores[2])
+	if err := c2.Put(key, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A colocated writer keeps hammering the coordinator so its
+	// self-fencing (not just its death) is observable in the asymmetric
+	// case.
+	c0 := newTestClient(t, stores[0])
+	var coordAcked, coordFenced atomic.Int64
+	coordDone := make(chan struct{})
+	go func() {
+		defer close(coordDone)
+		seq := 0
+		for start := time.Now(); time.Since(start) < 40*cfg.Lease; {
+			seq++
+			err := c0.Put(key, []byte(fmt.Sprintf("coord-%06d", seq)))
+			switch {
+			case err == nil:
+				coordAcked.Add(1)
+			case errors.Is(err, ErrFenced):
+				coordFenced.Add(1)
+			}
+			if coordFenced.Load() >= 1 {
+				return // self-fencing observed; stop hammering
+			}
+		}
+	}()
+
+	for i := 1; i < n; i++ {
+		if directed {
+			cl.FailLinkDirected(0, i)
+		} else {
+			cl.FailLink(0, i)
+		}
+	}
+	cutAt := time.Now()
+
+	// The slot-staleness stat must surface the blackout long before the
+	// failover threshold (the PR 4 bug was a silent stale cache).
+	time.Sleep(2 * cfg.Lease)
+	if st := stores[2].Stats(); st.CfgStalePolls == 0 || st.CfgStaleMs <= 0 {
+		t.Fatalf("no staleness surfaced during the blackout: %+v", st)
+	}
+
+	// A write toward a coordinator-led shard must complete once the
+	// successor's epoch evicts the old coordinator — retrying through any
+	// ErrFenced the fencing deadline surfaces, but never hanging.
+	var failoverMs float64
+	deadline := time.Now().Add(60 * cfg.Lease)
+	for i := 0; ; i++ {
+		start := time.Now()
+		err := c2.Put(key, []byte(fmt.Sprintf("successor-%04d", i)))
+		if d := time.Since(start); d > 10*cfg.Lease+10*time.Second {
+			t.Fatalf("put stalled %s during coordinator failover (hang)", d)
+		}
+		if err == nil {
+			failoverMs = time.Since(cutAt).Seconds() * 1e3
+			break
+		}
+		if !errors.Is(err, ErrFenced) && !errors.Is(err, ErrNoReplica) {
+			t.Fatalf("unexpected error during failover: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write never completed after coordinator loss: %v", err)
+		}
+	}
+	t.Logf("failover: first write landed %.1fms after the cut", failoverMs)
+
+	// The successor (first live succession member) owns the new term.
+	for _, i := range []int{1, 2, 3} {
+		if got := stores[i].Term(); got <= seedTerm {
+			t.Fatalf("store %d still on term %d after failover", i, got)
+		}
+		if got := stores[i].Coordinator(); got != 1 {
+			t.Fatalf("store %d coordinator = %d, want successor 1", i, got)
+		}
+		if !stores[i].EpochDown(0) {
+			t.Fatalf("store %d: deposed coordinator not evicted", i)
+		}
+	}
+	if got := stores[1].Stats().Takeovers; got == 0 {
+		t.Fatal("successor recorded no takeover")
+	}
+	<-coordDone
+	if directed {
+		// The asymmetric coordinator kept absorbing its colocated writes
+		// only until authority contact lapsed; after that they fence.
+		if coordFenced.Load() == 0 {
+			t.Fatal("deposed coordinator never fenced its colocated writes")
+		}
+	}
+
+	// Heal. The ex-coordinator must observe the higher term, demote, be
+	// repaired, and be re-admitted; the cluster converges on one
+	// (term, epoch) with byte-identical replicas.
+	for i := 1; i < n; i++ {
+		cl.RestoreLink(0, i)
+	}
+	waitConverged(t, stores, 45*time.Second)
+	if got := stores[0].Coordinator(); got != 1 {
+		t.Fatalf("healed ex-coordinator follows %d, want successor 1", got)
+	}
+	if got := stores[0].Stats().CoordDemotions; got == 0 {
+		t.Fatal("ex-coordinator recorded no demotion")
+	}
+
+	// Settle the key and audit replicas.
+	var werr error
+	for i := 0; i < 200; i++ {
+		if werr = c2.Put(key, []byte("settled")); werr == nil {
+			break
+		}
+	}
+	if werr != nil {
+		t.Fatalf("post-heal settle write: %v", werr)
+	}
+	var ref []byte
+	for oi, o := range ring.Owners(ring.ShardOf(key)) {
+		got, err := c2.GetReplica(o, key)
+		if err != nil {
+			t.Fatalf("GetReplica(%d): %v", o, err)
+		}
+		if oi == 0 {
+			ref = got
+		} else if !bytes.Equal(got, ref) {
+			t.Fatalf("replica divergence after failover heal: %q vs %q", got, ref)
+		}
+	}
+	if string(ref) != "settled" {
+		t.Fatalf("settled value lost: %q", ref)
+	}
+
+	// The healed ex-coordinator serves writes again as a regular node.
+	var perr error
+	for i := 0; i < 200; i++ {
+		if perr = c0.Put(key, []byte("via-ex-coord")); perr == nil {
+			break
+		}
+	}
+	if perr != nil {
+		t.Fatalf("put via healed ex-coordinator: %v", perr)
+	}
+}
+
+// TestFailoverFrozenWithoutAuthorityReplica pins the write-through trade:
+// a claimant that cannot reach ANY other succession member must not
+// activate a term — the configuration freezes (writes fence with definite
+// errors) instead of risking a divergent authority.
+func TestFailoverFrozenWithoutAuthorityReplica(t *testing.T) {
+	const n = 4
+	cfg := leaseConfig(15 * time.Millisecond)
+	cl, stores := newService(t, n, cfg)
+	seedTerm := stores[3].Term()
+
+	// Isolate every succession pair — 0, 1, 2 mutually cut, each still
+	// reaching node 3. No claimant can reach another authority replica,
+	// so the term must never move.
+	cl.FailLink(0, 1)
+	cl.FailLink(0, 2)
+	cl.FailLink(1, 2)
+
+	time.Sleep(12 * cfg.Lease) // well past failoverWait
+	for i, s := range stores {
+		if got := s.Term(); got != seedTerm {
+			t.Fatalf("store %d moved to term %d with no authority replica reachable", i, got)
+		}
+	}
+	// Heal; the original coordinator still owns the term and the cluster
+	// converges without a succession.
+	cl.RestoreLink(0, 1)
+	cl.RestoreLink(0, 2)
+	cl.RestoreLink(1, 2)
+	waitConverged(t, stores, 45*time.Second)
+	for i, s := range stores {
+		if got := s.Term(); got != seedTerm {
+			t.Fatalf("store %d on term %d after heal, want seed term %d", i, got, seedTerm)
+		}
+	}
+}
