@@ -39,6 +39,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "fig1|table1|fig7|fig8|fig9|table2|ablation|datapath|kvs|all")
 		quick      = flag.Bool("quick", false, "reduced sweeps and op counts")
 		jsonOut    = flag.String("json", "", "write datapath/kvs results to this file as JSON (e.g. BENCH.json)")
+		skew       = flag.Bool("skew", false, "with -experiment kvs: run the skew-serving ablation (replica spread, hot-key cache, rebalancing) instead of the standard kvs suite")
 		seed       = flag.Uint64("seed", 0, "seed for randomized choices (key pickers, fault runs); 0 = fixed default; printed with results so failing partition schedules are reproducible")
 	)
 	flag.Parse()
@@ -85,7 +86,23 @@ func main() {
 			}
 		})
 	}
-	if want("kvs") {
+	if want("kvs") && *skew {
+		run("KV skew ablation (replica spread / hot-key cache / rebalance)", func() {
+			d, err := bench.KVSSkew(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kvs -skew: %v\nreproduce with -seed (see error above for the run's seed)\n", err)
+				os.Exit(1)
+			}
+			bench.Print(w, d)
+			if *jsonOut != "" {
+				if err := d.WriteJSON(*jsonOut); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *jsonOut)
+			}
+		})
+	} else if want("kvs") {
 		run("Sharded KV service (YCSB-style mixes + failover)", func() {
 			d, err := bench.KVS(o)
 			if err != nil {

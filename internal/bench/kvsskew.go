@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sonuma/internal/kvs"
+	"sonuma/internal/stats"
+)
+
+// This file measures the skew-aware serving stack as an ablation: the
+// same YCSB-C zipfian (θ=0.99) read mix is driven against four fresh
+// clusters that differ only in which features are on — primary-only
+// reads (the baseline every earlier measurement used), replica-spread
+// reads (power-of-two-choices over the replica set), the hot-key
+// read-lease cache on top, and load-driven shard rebalancing on top of
+// that. Ops/s and tail latency are reported per mode, plus the cache and
+// rebalancer counters that explain them.
+
+// kvsSkewTheta is the zipfian skew every mode runs under — the YCSB
+// default, hot enough that the top key alone is a few percent of the
+// load.
+const kvsSkewTheta = 0.99
+
+// kvsSkewHotKeysShare sets the per-client hot-key cache capacity in the
+// cached modes as a fraction of the keyspace: keys/8 entries hold ~60% of
+// the θ=0.99 zipfian mass, the knee of the hit-rate curve.
+const kvsSkewHotKeysShare = 8
+
+// KVSSkewStat is one ablation mode's measurement.
+type KVSSkewStat struct {
+	Mode      string `json:"mode"` // off | spread | spread+cache | spread+cache+rebal
+	Spread    bool   `json:"spread"`
+	Cache     bool   `json:"cache"`
+	Rebalance bool   `json:"rebalance"`
+
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheHitPct        float64 `json:"cache_hit_pct"` // hits / measured GETs
+	CacheFills         uint64  `json:"cache_fills"`
+	CacheProbes        uint64  `json:"cache_probes"`
+	CacheInvalidations uint64  `json:"cache_invalidations"`
+	Rebalances         uint64  `json:"rebalances"`
+
+	// SpeedupVsOff is this mode's ops/s over the primary-only baseline.
+	SpeedupVsOff float64 `json:"speedup_vs_off"`
+}
+
+// KVSSkewData is the full skew-ablation measurement set.
+type KVSSkewData struct {
+	GeneratedAt string        `json:"generated_at"`
+	Seed        uint64        `json:"seed"`
+	Nodes       int           `json:"nodes"`
+	Shards      int           `json:"shards"`
+	Replicas    int           `json:"replicas"`
+	Keys        int           `json:"keys"`
+	Theta       float64       `json:"theta"`
+	Workload    string        `json:"workload"`
+	HotKeys     int           `json:"hot_keys"` // cache capacity in cached modes
+	Modes       []KVSSkewStat `json:"modes"`
+}
+
+// KVSSkew runs the skew ablation: four modes, each on a fresh cluster,
+// same seed, same keys, same zipfian θ=0.99 read-only mix.
+func KVSSkew(o Options) (KVSSkewData, error) {
+	const (
+		nodes    = 4
+		shards   = 32
+		replicas = 2
+		buckets  = 512
+		slotSize = 256
+		getBurst = 8
+	)
+	keyCount := o.ops(4000, 800)
+	rowOps := o.ops(60000, 12000)
+	hotKeys := keyCount / kvsSkewHotKeysShare
+	// One short lease for every mode: the cached modes probe shard
+	// versions at lease/2 and the rebalancer aggregates every two leases,
+	// so a bench-scale run spans several of each.
+	lease := 30 * time.Millisecond
+
+	d := KVSSkewData{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        o.seed(),
+		Nodes:       nodes,
+		Shards:      shards,
+		Replicas:    replicas,
+		Keys:        keyCount,
+		Theta:       kvsSkewTheta,
+		Workload:    "C",
+		HotKeys:     hotKeys,
+	}
+
+	modes := []struct {
+		name                 string
+		spread, cache, rebal bool
+	}{
+		{"off", false, false, false},
+		{"spread", true, false, false},
+		{"spread+cache", true, true, false},
+		{"spread+cache+rebal", true, true, true},
+	}
+	for _, m := range modes {
+		cfg := kvs.Config{
+			Shards: shards, Replicas: replicas, Buckets: buckets,
+			SlotSize: slotSize, Lease: lease,
+			ReadSpread: m.spread,
+			Rebalance:  m.rebal,
+		}
+		if m.cache {
+			cfg.HotKeys = hotKeys
+		}
+		svc, err := startKVS(nodes, keyCount, cfg, o.seed())
+		if err != nil {
+			return d, fmt.Errorf("skew mode %s: %w", m.name, err)
+		}
+		st, err := runSkewMode(svc, rowOps, getBurst)
+		svc.close()
+		if err != nil {
+			return d, fmt.Errorf("skew mode %s: %w", m.name, err)
+		}
+		st.Mode, st.Spread, st.Cache, st.Rebalance = m.name, m.spread, m.cache, m.rebal
+		if base := d.Modes; len(base) > 0 && base[0].OpsPerSec > 0 {
+			st.SpeedupVsOff = st.OpsPerSec / base[0].OpsPerSec
+		} else {
+			st.SpeedupVsOff = 1
+		}
+		d.Modes = append(d.Modes, st)
+	}
+	return d, nil
+}
+
+// runSkewMode preloads, warms (sketch promotion, picker EWMAs, load
+// counters), and measures one mode.
+func runSkewMode(svc *kvsService, rowOps, getBurst int) (KVSSkewStat, error) {
+	if err := svc.preload(64); err != nil {
+		return KVSSkewStat{}, err
+	}
+	wc := kvsWorkloads[2] // C: 100% reads
+	if _, err := svc.runMix(wc, "zipfian", 64, rowOps/4, getBurst); err != nil {
+		return KVSSkewStat{}, fmt.Errorf("warmup: %w", err)
+	}
+	hits0, fills0, probes0, invals0 := svc.cacheTotals()
+	mix, err := svc.runMix(wc, "zipfian", 64, rowOps, getBurst)
+	if err != nil {
+		return KVSSkewStat{}, err
+	}
+	hits, fills, probes, invals := svc.cacheTotals()
+	var rebalances uint64
+	for _, s := range svc.stores {
+		rebalances += s.Stats().Rebalances
+	}
+	st := KVSSkewStat{
+		Ops:                mix.Ops,
+		OpsPerSec:          mix.OpsPerSec,
+		P50Us:              mix.P50Us,
+		P99Us:              mix.P99Us,
+		CacheHits:          hits - hits0,
+		CacheFills:         fills - fills0,
+		CacheProbes:        probes - probes0,
+		CacheInvalidations: invals - invals0,
+		Rebalances:         rebalances,
+	}
+	if mix.Ops > 0 {
+		st.CacheHitPct = 100 * float64(st.CacheHits) / float64(mix.Ops)
+	}
+	return st, nil
+}
+
+// cacheTotals sums the clients' hot-key cache counters.
+func (svc *kvsService) cacheTotals() (hits, fills, probes, invals uint64) {
+	for _, c := range svc.clients {
+		cs := c.CacheStats()
+		hits += cs.Hits
+		fills += cs.Fills
+		probes += cs.Probes
+		invals += cs.Invalidations
+	}
+	return
+}
+
+// WriteJSON writes the ablation to path as indented JSON.
+func (d KVSSkewData) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Tables renders the ablation as a paper-style text table.
+func (d KVSSkewData) Tables() []*stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("KV skew ablation (workload %s, zipfian θ=%.2f; %d nodes, %d shards, %d replicas, %d keys, seed %d)",
+			d.Workload, d.Theta, d.Nodes, d.Shards, d.Replicas, d.Keys, d.Seed),
+		"mode", "ops/sec", "p50 us", "p99 us", "hit%", "fills", "probes", "invals", "rebalances", "vs off")
+	for _, m := range d.Modes {
+		t.AddRow(m.Mode,
+			fmt.Sprintf("%.0f", m.OpsPerSec),
+			fmt.Sprintf("%.2f", m.P50Us),
+			fmt.Sprintf("%.2f", m.P99Us),
+			fmt.Sprintf("%.1f", m.CacheHitPct),
+			fmt.Sprintf("%d", m.CacheFills),
+			fmt.Sprintf("%d", m.CacheProbes),
+			fmt.Sprintf("%d", m.CacheInvalidations),
+			fmt.Sprintf("%d", m.Rebalances),
+			fmt.Sprintf("%.2fx", m.SpeedupVsOff))
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"sonuma/internal/stats"
+)
+
+// The skew ablation's whole premise is that the workload really is
+// zipfian-skewed: the hot-key cache sizing (keys/8) and the expected
+// speedup both follow from the θ=0.99 mass curve. This test pins the
+// scrambled-zipfian key picker to that distribution — a chi-square-style
+// goodness-of-fit over every key index against the exact per-index
+// expectation (zipf pmf pushed through the scramble, collisions merged),
+// plus the headline number: the hottest key's observed share versus
+// stats.ZipfTopMass.
+
+// scramble mirrors keyPicker.next's rank→index finalizer (splitmix64).
+// Duplicated here on purpose: if the picker's scramble changes, the
+// expected distribution below silently stops matching and this test
+// fails, which is exactly the alarm we want.
+func scramble(rank, n int) int {
+	h := uint64(rank)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return int(h % uint64(n))
+}
+
+func TestScrambledZipfianDistribution(t *testing.T) {
+	const (
+		n     = 4000   // keyspace of the full-scale skew ablation
+		s     = 0.99   // kvsSkewTheta
+		draws = 400000 // ~100 expected hits per uniform cell; tail cells ≥10
+	)
+
+	// Exact expected mass per key index: rank r has pmf 1/((r+1)^s · H),
+	// and lands on index scramble(r); distinct ranks can collide on one
+	// index, so masses add.
+	expected := make([]float64, n)
+	var h float64
+	for r := 0; r < n; r++ {
+		h += 1.0 / math.Pow(float64(r+1), s)
+	}
+	for r := 0; r < n; r++ {
+		expected[scramble(r, n)] += 1.0 / (math.Pow(float64(r+1), s) * h)
+	}
+
+	observed := make([]int, n)
+	p := newPicker("zipfian", n, 0xD15C0)
+	for i := 0; i < draws; i++ {
+		idx := p.next()
+		if idx < 0 || idx >= n {
+			t.Fatalf("picker returned %d outside [0, %d)", idx, n)
+		}
+		observed[idx]++
+	}
+
+	// Chi-square statistic over all n cells. With the expected counts
+	// ranging from ~12 (tail) to ~46k (the hottest key) the statistic is
+	// ~χ²(n-1): mean n-1, sd √(2(n-1))≈89. A +6σ bound is loose enough
+	// to never flake on a fixed seed and tight enough that a picker bug
+	// (wrong exponent, broken scramble, off-by-one rank) blows through it
+	// by orders of magnitude.
+	chi2, cells := 0.0, 0
+	for i := 0; i < n; i++ {
+		e := expected[i] * draws
+		if e == 0 {
+			// A collision elsewhere left this index with no rank at all:
+			// the picker must never produce it.
+			if observed[i] != 0 {
+				t.Fatalf("index %d drawn %d times but no rank scrambles to it", i, observed[i])
+			}
+			continue
+		}
+		d := float64(observed[i]) - e
+		chi2 += d * d / e
+		cells++
+	}
+	bound := float64(cells-1) + 6*math.Sqrt(2*float64(cells-1))
+	if chi2 > bound {
+		t.Fatalf("chi-square %.0f exceeds %.0f: picker does not match scrambled zipf(%.2f) over %d keys", chi2, bound, s, n)
+	}
+
+	// Headline skew: the hottest key's share must match ZipfTopMass(n,s,1)
+	// (≈11% of all traffic on one key of 4000). The scramble can merge
+	// another rank's mass into the same index, so compare against the
+	// scramble-aware expectation but sanity-bound it by the analytic one.
+	hotIdx, hotMass := 0, 0.0
+	for i, e := range expected {
+		if e > hotMass {
+			hotIdx, hotMass = i, e
+		}
+	}
+	top1 := stats.ZipfTopMass(n, s, 1)
+	if hotMass < top1 {
+		t.Fatalf("scrambled top index mass %.4f below analytic top-1 mass %.4f (scramble lost mass?)", hotMass, top1)
+	}
+	got := float64(observed[hotIdx]) / draws
+	if got < 0.8*hotMass || got > 1.2*hotMass {
+		t.Fatalf("hottest key drew %.4f of traffic, expected %.4f ±20%% (ZipfTopMass(1)=%.4f)", got, hotMass, top1)
+	}
+	t.Logf("chi2=%.0f (bound %.0f), hottest key share %.4f vs expected %.4f, analytic top-1 %.4f",
+		chi2, bound, got, hotMass, top1)
+}

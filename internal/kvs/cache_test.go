@@ -1,0 +1,349 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the skew-aware serving stack: the hot-key read-lease cache
+// (read-your-writes, bounded cross-client staleness, invalidation racing
+// live PUTs — run under -race in CI), replica-spread reads, the per-key
+// MultiGet failover, and the load-driven rebalancer. Lease timings are
+// race-scaled like the lease and chaos suites.
+
+// cacheConfig is leaseConfig plus the skew-serving features.
+func cacheConfig(lease time.Duration) Config {
+	cfg := leaseConfig(lease)
+	cfg.ReadSpread = true
+	cfg.HotKeys = 8
+	return cfg
+}
+
+// TestCacheReadYourWrites pins the same-client guarantee: a Put
+// acknowledged to this client is visible to its very next Get, cached or
+// not — the ack's shard version lets the cache fold the write in (or
+// drop the shard) instead of waiting out a probe.
+func TestCacheReadYourWrites(t *testing.T) {
+	cfg := cacheConfig(10 * time.Millisecond)
+	_, stores := newService(t, 3, cfg)
+	c := newTestClient(t, stores[0])
+	key := []byte("hot:ryw")
+	for i := 0; i < 200; i++ {
+		want := []byte(fmt.Sprintf("v-%06d", i))
+		if err := c.Put(key, want); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		got, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("get %d after acked put: got %q, want %q (read-your-writes broken)", i, got, want)
+		}
+	}
+	if cs := c.CacheStats(); cs.Fills == 0 {
+		t.Fatalf("hot key was never cached (stats %+v); the test exercised nothing", cs)
+	}
+}
+
+// TestCacheInvalidationRace races live PUTs against cached GETs from
+// other clients under millisecond leases: every read must return a value
+// the writer actually wrote, per-reader sequences must be monotone (the
+// cache only ever moves forward), and once the writer stops, a read
+// after the probe window must return the final acknowledged value — no
+// stale read outlives a lease. Run with -race.
+func TestCacheInvalidationRace(t *testing.T) {
+	cfg := cacheConfig(15 * time.Millisecond)
+	_, stores := newService(t, 3, cfg)
+	key := []byte("hot:race")
+	writer := newTestClient(t, stores[0])
+	if err := writer.Put(key, []byte("seq-000000")); err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 300
+	readers := []*Client{newTestClient(t, stores[1]), newTestClient(t, stores[2])}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for ri, rc := range readers {
+		ri, rc := ri, rc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := rc.Get(key)
+				if err != nil {
+					// Transient (an epoch transition mid-read): liveness
+					// is not under test here, staleness is.
+					continue
+				}
+				// Cache hits never block: on a single-CPU box this loop
+				// would otherwise starve the stores' lease heartbeats and
+				// wedge the cluster it is trying to race.
+				runtime.Gosched()
+				seq, err := strconv.Atoi(strings.TrimPrefix(string(got), "seq-"))
+				if err != nil {
+					t.Errorf("reader %d: read %q, never written", ri, got)
+					return
+				}
+				if seq < last {
+					t.Errorf("reader %d: sequence went backwards %d -> %d (cache resurrected an old value)",
+						ri, last, seq)
+					return
+				}
+				last = seq
+			}
+		}()
+	}
+
+	var writeErr error
+	for i := 1; i <= writes && writeErr == nil; i++ {
+		val := []byte(fmt.Sprintf("seq-%06d", i))
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			err := writer.Put(key, val)
+			if err == nil {
+				break
+			}
+			// Fenced/parked writes during an epoch transition are the
+			// documented error surface; retry until the ack lands.
+			if time.Now().After(deadline) {
+				writeErr = fmt.Errorf("put %d never acked: %w", i, err)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// The cross-client staleness bound is the probe cadence (lease/2);
+	// after a full lease every reader's next probe is due.
+	time.Sleep(2 * cfg.Lease)
+	close(stop)
+	wg.Wait()
+	if writeErr != nil {
+		t.Fatal(writeErr)
+	}
+	if t.Failed() {
+		return
+	}
+	want := []byte(fmt.Sprintf("seq-%06d", writes))
+	for ri, rc := range readers {
+		var got []byte
+		var err error
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if got, err = rc.Get(key); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("reader %d: final get: %v", ri, err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("reader %d: read %q a full lease after the last ack, want %q (stale read outlived the lease)",
+				ri, got, want)
+		}
+	}
+}
+
+// TestSpreadReadsStayCorrect pins replica-spread GETs: with ReadSpread
+// on, single-key reads still always return the latest acknowledged
+// value, and the picker actually samples more than one replica.
+func TestSpreadReadsStayCorrect(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadSpread = true
+	_, stores := newService(t, 3, cfg)
+	c := newTestClient(t, stores[1])
+	key := []byte("spread:k")
+	for gen := 0; gen < 20; gen++ {
+		want := []byte(fmt.Sprintf("g-%04d", gen))
+		if err := c.Put(key, want); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			got, err := c.Get(key)
+			if err != nil {
+				t.Fatalf("gen %d read %d: %v", gen, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("gen %d read %d: got %q, want %q", gen, i, got, want)
+			}
+		}
+	}
+	sampled := 0
+	for _, l := range c.picker.ewma {
+		if l > 0 {
+			sampled++
+		}
+	}
+	if sampled < 2 {
+		t.Fatalf("picker sampled %d replicas; spread never left the primary", sampled)
+	}
+}
+
+// TestMultiGetDeadReplicaFailover pins the per-key failover: a burst
+// whose keys are led by a node that just fell off the fabric must still
+// return every key's latest value — each failed read falls back to the
+// single-key ring-order path individually.
+func TestMultiGetDeadReplicaFailover(t *testing.T) {
+	cfg := leaseConfig(20 * time.Millisecond)
+	cl, stores := newService(t, 4, cfg)
+	ring := stores[0].Ring()
+	c := newTestClient(t, stores[0])
+	const victim = 2
+
+	var keys [][]byte
+	want := map[string][]byte{}
+	victimLed := 0
+	for i := 0; len(keys) < 12 && i < 10000; i++ {
+		k := []byte(fmt.Sprintf("mg:%04d", i))
+		led := ring.Owners(ring.ShardOf(k))[0] == victim
+		if led {
+			victimLed++
+		} else if len(keys)-victimLed >= 6 {
+			continue // keep the burst half victim-led, half not
+		}
+		keys = append(keys, k)
+		want[string(k)] = []byte(fmt.Sprintf("val-%04d", i))
+		if err := c.Put(k, want[string(k)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if victimLed == 0 {
+		t.Fatalf("no test key led by node %d", victim)
+	}
+
+	for i := 0; i < 4; i++ {
+		if i != victim {
+			cl.FailLink(victim, i)
+		}
+	}
+	vals, errs := c.MultiGet(keys)
+	for i, k := range keys {
+		if errs[i] != nil {
+			t.Fatalf("MultiGet[%q] after primary death: %v", k, errs[i])
+		}
+		if !bytes.Equal(vals[i], want[string(k)]) {
+			t.Fatalf("MultiGet[%q] = %q, want %q", k, vals[i], want[string(k)])
+		}
+	}
+}
+
+// TestRebalanceMovesHotShard drives a write-skewed load at one node until
+// the coordinator's rebalancer flips a rotation bit: leadership of a hot
+// shard must move off the hot node via an epoch bump, with every key
+// still serving its latest value from byte-identical replicas afterwards.
+func TestRebalanceMovesHotShard(t *testing.T) {
+	cfg := leaseConfig(15 * time.Millisecond)
+	cfg.Rebalance = true
+	_, stores := newService(t, 4, cfg)
+	ring := stores[0].Ring()
+	const hot = 1
+
+	var keys [][]byte
+	for i := 0; len(keys) < 24 && i < 20000; i++ {
+		k := []byte(fmt.Sprintf("rb:%05d", i))
+		if ring.Owners(ring.ShardOf(k))[0] == hot {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		t.Fatalf("node %d leads no shard", hot)
+	}
+
+	// Hammer the hot node's shards from three nodes until the coordinator
+	// reacts (or the deadline passes). Each round is one write plus a
+	// MultiGet sweep of every hot key: the burst reads land 16x-weighted
+	// load samples on the hot leader far faster than puts alone, which
+	// matters under -race where put throughput alone can sit below the
+	// rebalancer's minimum-load floor.
+	writers := []*Client{newTestClient(t, stores[0]), newTestClient(t, stores[2]), newTestClient(t, stores[3])}
+	deadline := time.Now().Add(80 * cfg.Lease)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for wi, wc := range writers {
+		wi, wc := wi, wc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys[(seq+wi)%len(keys)]
+				// Errors here are the rotation epoch's expected fencing
+				// surface; the final audit (with retries) owns correctness.
+				_ = wc.Put(k, []byte(fmt.Sprintf("w%d-%06d", wi, seq)))
+				_, _ = wc.MultiGet(keys)
+			}
+		}()
+	}
+	for stores[0].Stats().Rebalances == 0 && time.Now().Before(deadline) {
+		time.Sleep(cfg.Lease / 4)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if stores[0].Stats().Rebalances == 0 {
+		t.Fatal("skewed write load never triggered a rebalance")
+	}
+	view := stores[0].cfgSnapshot()
+	if view.rot == 0 {
+		t.Fatal("rebalance counted but the rotation mask is still zero")
+	}
+	moved := 0
+	for sh := 0; sh < cfg.Shards; sh++ {
+		if view.rot&(1<<uint(sh)) == 0 {
+			continue
+		}
+		if ring.Owners(sh)[0] != hot {
+			t.Fatalf("rotated shard %d was led by %d, not the hot node %d", sh, ring.Owners(sh)[0], hot)
+		}
+		if got := stores[0].leaderOf(sh); got == hot {
+			t.Fatalf("shard %d still led by the hot node after rotation", sh)
+		}
+		moved++
+	}
+	t.Logf("rebalances=%d rot=%#x moved=%d shards off node %d", stores[0].Stats().Rebalances, view.rot, moved, hot)
+
+	// No data loss across the epoch bump: a fresh write to every key must
+	// land and read back identically from both replicas.
+	c := writers[0]
+	for i, k := range keys {
+		want := []byte(fmt.Sprintf("final-%04d", i))
+		var err error
+		for try := 0; try < 100; try++ {
+			if err = c.Put(k, want); err == nil {
+				break
+			}
+			time.Sleep(cfg.Lease / 4)
+		}
+		if err != nil {
+			t.Fatalf("final put %q: %v", k, err)
+		}
+		for _, o := range ring.Owners(ring.ShardOf(k)) {
+			got, gerr := c.GetReplica(o, k)
+			if gerr != nil {
+				t.Fatalf("GetReplica(%d, %q): %v", o, k, gerr)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("replica %d of %q = %q, want %q (write lost across rotation)", o, k, got, want)
+			}
+		}
+	}
+}

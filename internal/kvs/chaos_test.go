@@ -63,11 +63,14 @@ func chaosEnvSeed(def uint64) uint64 {
 // the post-heal invariants. Times in the schedule are multiples of the
 // lease so the same shapes work under raceScale. requireTakeover pins the
 // coordinator-kill schedules' reason to exist: the settled configuration
-// must have been activated by a SUCCESSOR, not the seed coordinator.
-func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp, requireTakeover bool) {
+// must have been activated by a SUCCESSOR, not the seed coordinator. cfg
+// lets a schedule run with the skew-serving features on (replica-spread
+// reads, hot-key caches); with caches enabled the post-heal audit also
+// reads through every worker's cache and must never see a value the
+// settled epoch rolled back.
+func runChaosSchedule(t *testing.T, name string, seed uint64, cfg Config, schedule []chaosOp, requireTakeover bool) {
 	t.Helper()
 	const n = 4
-	cfg := leaseConfig(20 * time.Millisecond)
 	cl, stores := newService(t, n, cfg)
 	t.Logf("chaos %q: seed=%#x lease=%s %d fault events (set CHAOS_SEED to reproduce)",
 		name, seed, cfg.Lease, len(schedule))
@@ -210,7 +213,9 @@ func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp
 	// disagreeing.
 	ring := stores[0].Ring()
 	audit := workers[0].client
+	settled := make([][][]byte, len(workers))
 	for wi, w := range workers {
+		settled[wi] = make([][]byte, len(w.keys))
 		for ki, key := range w.keys {
 			var ref []byte
 			for oi, o := range ring.Owners(ring.ShardOf(key)) {
@@ -226,6 +231,29 @@ func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp
 					}
 				} else if !bytes.Equal(got, ref) {
 					t.Fatalf("replica divergence on %q after convergence: %q vs %q", key, got, ref)
+				}
+			}
+			settled[wi][ki] = ref
+		}
+	}
+
+	// Cache staleness audit: a full lease past convergence every cached
+	// entry has either been fenced by the heal's epoch bump or re-probed,
+	// so a read THROUGH each worker's own hot-key cache must return
+	// exactly the settled replica value — never a value acked by the
+	// losing side that repair rolled back. (Without caches this is the
+	// plain read path and still must agree.)
+	if cfg.HotKeys > 0 {
+		time.Sleep(2 * cfg.Lease)
+		for wi, w := range workers {
+			for ki, key := range w.keys {
+				got, err := w.client.Get(key)
+				if err != nil {
+					t.Fatalf("post-heal cached Get(%q): %v", key, err)
+				}
+				if !bytes.Equal(got, settled[wi][ki]) {
+					t.Fatalf("worker %d cached read of %q = %q, want settled %q (stale cache outlived the heal)",
+						wi, key, got, settled[wi][ki])
 				}
 			}
 		}
@@ -265,6 +293,16 @@ func runChaosSchedule(t *testing.T, name string, seed uint64, schedule []chaosOp
 						o, key, got, w.lastAck[ki], wi)
 				}
 			}
+			// Read-your-writes through the worker's own (possibly cached)
+			// read path: the final acked Put must be what its client reads.
+			got, err := w.client.Get(key)
+			if err != nil {
+				t.Fatalf("worker %d final Get(%q): %v", wi, key, err)
+			}
+			if !bytes.Equal(got, w.lastAck[ki]) {
+				t.Fatalf("worker %d reads %q = %q after acking %q (cache broke read-your-writes)",
+					wi, key, got, w.lastAck[ki])
+			}
 		}
 	}
 	total := 0
@@ -292,6 +330,7 @@ func TestChaosSchedules(t *testing.T) {
 		name         string
 		schedule     []chaosOp
 		wantTakeover bool // the schedule exists to force a succession
+		cached       bool // run with replica-spread reads + hot-key caches on
 	}{
 		{
 			// A node falls off the fabric whole and heals.
@@ -305,6 +344,21 @@ func TestChaosSchedules(t *testing.T) {
 			// Asymmetric one-way isolation: node 2 can receive but not
 			// send — the stale-leader shape.
 			name: "asym-oneway",
+			schedule: []chaosOp{
+				{at: at(2), fail: true, directed: true, a: 2, b: 0},
+				{at: at(2), fail: true, directed: true, a: 2, b: 1},
+				{at: at(2), fail: true, directed: true, a: 2, b: 3},
+				{at: at(10), a: 2, b: 0}, {at: at(10), a: 2, b: 1}, {at: at(10), a: 2, b: 3},
+			},
+		},
+		{
+			// The stale-leader shape again, but with hot-key caches live on
+			// every worker: reads served from cache during the partition
+			// must be fenced by the healing epoch bump — the post-heal
+			// cached audit fails if any client's cache still serves a value
+			// acked by the isolated leader that repair rolled back.
+			name:   "asym-oneway-cached",
+			cached: true,
 			schedule: []chaosOp{
 				{at: at(2), fail: true, directed: true, a: 2, b: 0},
 				{at: at(2), fail: true, directed: true, a: 2, b: 1},
@@ -364,7 +418,11 @@ func TestChaosSchedules(t *testing.T) {
 	for _, tc := range table {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			runChaosSchedule(t, tc.name, chaosEnvSeed(0x50eed), tc.schedule, tc.wantTakeover)
+			cfg := leaseConfig(20 * time.Millisecond)
+			if tc.cached {
+				cfg = cacheConfig(20 * time.Millisecond)
+			}
+			runChaosSchedule(t, tc.name, chaosEnvSeed(0x50eed), cfg, tc.schedule, tc.wantTakeover)
 		})
 	}
 
@@ -376,7 +434,7 @@ func TestChaosSchedules(t *testing.T) {
 	for i := 0; i < count; i++ {
 		seed := base + uint64(i)
 		t.Run(fmt.Sprintf("random-seed-%#x", seed), func(t *testing.T) {
-			runChaosSchedule(t, "random", seed, randomSchedule(seed), false)
+			runChaosSchedule(t, "random", seed, leaseConfig(20*time.Millisecond), randomSchedule(seed), false)
 		})
 	}
 }

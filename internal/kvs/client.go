@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"sonuma"
 )
@@ -17,6 +19,10 @@ const tornRetries = 256
 // work-queue publish.
 const MaxGetBatch = 16
 
+// clientSeq differentiates the picker streams of clients opened on the
+// same node, so colocated workers explore replicas independently.
+var clientSeq atomic.Uint64
+
 // Client issues operations against the sharded store. GETs (and MultiGet
 // bursts) are pure one-sided remote reads on the client's own QP; PUTs are
 // handed to the colocated Store member, which routes them to the shard
@@ -29,6 +35,14 @@ type Client struct {
 	batch *sonuma.Batch
 	entry []byte     // single-slot parse scratch
 	resp  chan error // reusable PUT response channel
+
+	picker *replicaPicker // replica-spread GETs (Config.ReadSpread)
+	elig   []int          // pickTarget candidate scratch
+	hot    *hotCache      // hot-key read cache (Config.HotKeys > 0)
+	nReads uint64         // successful reads, for load sampling
+
+	opErr  [MaxGetBatch]error // MultiGet per-op completion errors
+	opDone [MaxGetBatch]bool  // MultiGet per-op completion fired
 }
 
 // NewClient opens a client on this store member. It validates the remote
@@ -52,6 +66,24 @@ func (s *Store) NewClient() (*Client, error) {
 		resp:  make(chan error, 1),
 	}
 	c.batch = qp.NewBatch()
+	if s.cfg.ReadSpread {
+		c.picker = newReplicaPicker(s.n, uint64(s.me)<<32|clientSeq.Add(1))
+		c.elig = make([]int, 0, s.cfg.Replicas+1)
+	}
+	if s.cfg.HotKeys > 0 {
+		probeBuf, err := s.ctx.AllocBuffer(s.cfg.Shards * shardLineSize)
+		if err != nil {
+			return nil, err
+		}
+		c.hot = &hotCache{
+			capacity: s.cfg.HotKeys,
+			lease:    s.cfg.Lease,
+			sketch:   newSpaceSaver(2 * s.cfg.HotKeys),
+			entries:  make(map[string][]byte, s.cfg.HotKeys),
+			binds:    make(map[int]*shardBind),
+			probeBuf: probeBuf,
+		}
+	}
 	// Validate remote geometry with a one-sided read of a peer's store
 	// header — the same mechanism every later GET uses. Any shard led by
 	// another node will do; only a single-node cluster has none.
@@ -91,40 +123,123 @@ func (c *Client) Put(key, value []byte) error {
 		return ErrTooLarge
 	}
 	req := &putReq{key: key, value: value, shard: s.ring().ShardOf(key), resp: c.resp}
-	return s.put(req)
+	err := s.put(req)
+	if err == nil && c.hot != nil {
+		// The ack carried the leader's post-put shard version; fold it in
+		// so our own writes are visible through the cache immediately.
+		c.notePut(req.shard, key, value, req.ver)
+	}
+	return err
 }
 
-// Get fetches a key with one-sided remote reads: the slot is read from the
-// shard's primary (or, when the fabric has reported it unreachable, the
-// next replica in ring order), validated against its seqlock version and
-// checksum, and re-read while torn. No code runs on the serving node.
-// Replicas evicted by the configuration epoch are skipped even when
-// locally reachable — an evicted replica is unverified until the
-// re-admitting epoch, so reading it could surface writes the winning
-// epoch rolled back (or miss writes it never received).
+// Get fetches a key with one-sided remote reads. When the hot-key cache is
+// on, the key is counted in the client's frequency sketch and — once hot —
+// served from local memory under the shard's read lease (see hotkeys.go for
+// the invalidation timeline). Otherwise the slot is read from a replica,
+// validated against its seqlock version and checksum, and re-read while
+// torn; with Config.ReadSpread the first replica tried is chosen by a
+// power-of-two-choices draw over the shard's reachable replicas, weighted
+// by smoothed observed latency, and the rest serve as ring-order failover.
+// No code runs on the serving node. Replicas evicted by the configuration
+// epoch are skipped even when locally reachable — an evicted replica is
+// unverified until the re-admitting epoch, so reading it could surface
+// writes the winning epoch rolled back (or miss writes it never received).
 func (c *Client) Get(key []byte) ([]byte, error) {
 	s := c.store
 	shard := s.ring().ShardOf(key)
-	owners := s.ring().ownersShared(shard)
 	down := s.downSnapshot()
 	cfg := s.cfgSnapshot()
+	if c.hot != nil {
+		c.cacheFence(cfg)
+		e := c.hot.sketch.touch(key)
+		if v, ok := c.cacheGet(cfg, shard, key, down); ok {
+			return v, nil
+		}
+		if e.hits >= hotPromoteHits {
+			if val, err, ok := c.cacheFill(cfg, shard, key, down); ok {
+				return val, err
+			}
+			// The fill could not bind a replica (and may have reported
+			// one down); refresh the view and take the normal path.
+			down = s.downSnapshot()
+		}
+	}
+	return c.getFailover(cfg, shard, key, down)
+}
+
+// pickTarget chooses the replica a read should try first: the shard's
+// reachable owners under the configuration's rotation mask, narrowed by the
+// power-of-two-choices picker when replica-spread is on, or simply the
+// first reachable owner (the leader, when it is healthy) otherwise.
+// Returns -1 when no replica is reachable.
+func (c *Client) pickTarget(cfg configView, shard int, down []bool) int {
+	s := c.store
+	owners := s.ring().ownersUnder(shard, cfg.rot)
+	if c.picker == nil {
+		for _, o := range owners {
+			if (o == s.me || !down[o]) && !cfg.downBit(o) {
+				return o
+			}
+		}
+		return -1
+	}
+	c.elig = c.elig[:0]
+	for _, o := range owners {
+		if (o == s.me || !down[o]) && !cfg.downBit(o) {
+			c.elig = append(c.elig, o)
+		}
+	}
+	return c.picker.pick(c.elig)
+}
+
+// getFailover runs the spread-then-failover read: the picked replica
+// first, then the remaining owners in ring order. ErrNotFound from any
+// reachable replica is authoritative.
+func (c *Client) getFailover(cfg configView, shard int, key []byte, down []bool) ([]byte, error) {
+	s := c.store
+	owners := s.ring().ownersUnder(shard, cfg.rot)
+	preferred := -1
+	if c.picker != nil {
+		preferred = c.pickTarget(cfg, shard, down)
+	}
 	var lastErr error
 	tried := false
-	for _, target := range owners {
-		if target != s.me && down[target] {
-			continue
-		}
-		if cfg.downBit(target) {
-			continue
+	for i := -1; i < len(owners); i++ {
+		var target int
+		if i < 0 {
+			if preferred < 0 {
+				continue
+			}
+			target = preferred
+		} else {
+			target = owners[i]
+			if target == preferred {
+				continue
+			}
+			if target != s.me && down[target] {
+				continue
+			}
+			if cfg.downBit(target) {
+				continue
+			}
 		}
 		tried = true
+		var start time.Time
+		if c.picker != nil {
+			start = time.Now()
+		}
 		val, err := c.getFrom(target, shard, key)
 		switch {
 		case err == nil:
+			if c.picker != nil {
+				c.picker.observe(target, float64(time.Since(start).Nanoseconds())/1e3)
+			}
+			c.sampleRead(target, shard)
 			return val, nil
 		case errors.Is(err, ErrNotFound):
 			// Authoritative: a reachable replica owns the shard and
 			// has no such key.
+			c.sampleRead(target, shard)
 			return nil, ErrNotFound
 		case sonuma.IsNodeFailure(err):
 			// The fabric flushed our read: treat the replica as gone,
@@ -139,6 +254,29 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 		return nil, ErrNoReplica
 	}
 	return nil, lastErr
+}
+
+// sampleRead feeds the rebalancer's per-shard read counters: every
+// loadSampleRate-th successful read lands one atomic increment on the
+// shard line of the node that served it (locally when we served
+// ourselves, a one-sided FetchAdd otherwise). Best-effort — a failed
+// sample is simply dropped; the counters steer placement, not
+// correctness.
+func (c *Client) sampleRead(target, shard int) {
+	s := c.store
+	if !s.cfg.Rebalance || s.cfg.Shards > 64 {
+		return
+	}
+	c.nReads++
+	if c.nReads%loadSampleRate != 0 {
+		return
+	}
+	off := s.cfg.shardLineOff(shard) + shardLineReads
+	if target == s.me {
+		_, _ = s.mem.FetchAdd64(off, 1)
+		return
+	}
+	_, _ = c.qp.FetchAdd(target, uint64(off), 1)
 }
 
 // GetReplica fetches a key from one specific replica with the same
@@ -192,17 +330,23 @@ probeLoop:
 	return nil, ErrNotFound
 }
 
-// MultiGet fetches a burst of keys. The first-probe slot reads for the
-// whole burst are issued as one batch — a single work-queue publish and
-// RMC doorbell via QP.NewBatch — and keys whose first probe misses,
-// collides, or tears fall back to the single-key path. Results and errors
-// are positional; a missing key yields (nil, ErrNotFound) at its index.
+// MultiGet fetches a burst of keys. Cache-served keys never leave the
+// client; the rest have their first-probe slot reads issued as one batch —
+// a single work-queue publish and RMC doorbell via QP.NewBatch — with
+// per-operation completions, so a key whose read failed, missed, collided,
+// or tore falls back to the single-key path (with its full ring-order
+// failover) INDIVIDUALLY; one dead replica no longer drags the whole
+// burst through the slow path. Results and errors are positional; a
+// missing key yields (nil, ErrNotFound) at its index.
 func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 	s := c.store
 	vals := make([][]byte, len(keys))
 	errs := make([]error, len(keys))
 	down := s.downSnapshot()
 	cfg := s.cfgSnapshot()
+	if c.hot != nil {
+		c.cacheFence(cfg)
+	}
 	for base := 0; base < len(keys); base += MaxGetBatch {
 		end := base + MaxGetBatch
 		if end > len(keys) {
@@ -212,32 +356,44 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 		targets := make([]int, len(chunk))
 		for i, key := range chunk {
 			shard := s.ring().ShardOf(key)
-			owners := s.ring().ownersShared(shard)
 			targets[i] = -1
-			for _, o := range owners {
-				if cfg.downBit(o) {
+			c.opErr[i], c.opDone[i] = nil, false
+			if c.hot != nil {
+				e := c.hot.sketch.touch(key)
+				if v, ok := c.cacheGet(cfg, shard, key, down); ok {
+					vals[base+i] = v
 					continue
 				}
-				if o == s.me || !down[o] {
-					targets[i] = o
-					break
+				if e.hits >= hotPromoteHits {
+					// Hot but not yet cached: route through Get so the
+					// fill path installs it for the next burst.
+					vals[base+i], errs[base+i] = c.Get(key)
+					continue
 				}
 			}
-			if targets[i] < 0 {
+			target := c.pickTarget(cfg, shard, down)
+			if target < 0 {
 				errs[base+i] = ErrNoReplica
 				continue
 			}
+			targets[i] = target
 			b := int(fnv1a(key) % uint64(s.cfg.Buckets))
-			c.batch.Read(targets[i], uint64(s.cfg.slotOff(shard, b)), c.buf, i*s.cfg.SlotSize, s.cfg.SlotSize, nil)
+			idx := i
+			c.batch.Read(target, uint64(s.cfg.slotOff(shard, b)), c.buf, i*s.cfg.SlotSize, s.cfg.SlotSize,
+				func(_ int, err error) { c.opErr[idx], c.opDone[idx] = err, true })
 		}
 		burstErr := c.batch.SubmitWait()
 		for i, key := range chunk {
-			if errs[base+i] != nil {
+			if targets[i] < 0 {
 				continue
 			}
-			if burstErr != nil {
-				// At least one read in the burst failed; re-resolve
-				// this key individually (Get also handles failover).
+			if c.opErr[i] != nil || (burstErr != nil && !c.opDone[i]) {
+				// This key's read failed (or the burst died before its
+				// completion fired): re-resolve it individually — Get
+				// fails over across the remaining replicas.
+				if c.opErr[i] != nil && sonuma.IsNodeFailure(c.opErr[i]) {
+					s.reportDown(targets[i])
+				}
 				vals[base+i], errs[base+i] = c.Get(key)
 				continue
 			}
@@ -249,6 +405,7 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 			switch status {
 			case entryMatch:
 				vals[base+i] = val
+				c.sampleRead(targets[i], s.ring().ShardOf(key))
 			case entryEmpty:
 				errs[base+i] = ErrNotFound
 			default:

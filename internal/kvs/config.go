@@ -60,8 +60,11 @@ import (
 //	                0 only in a never-published image
 //	word 2: epoch — configuration epoch; 0 = never published, first is 1
 //	word 3: down  — bitmask of evicted nodes (bit i = node i)
-//	word 4: sum   — CRC of (term, epoch, down): rejects a MIXED image
-//	words 5..7: reserved
+//	word 4: sum   — CRC of (term, epoch, down, rot): rejects a MIXED image
+//	word 5: rot   — shard-rotation bitmask for load rebalancing (bit s =
+//	                shard s's owner list rotated left by one, promoting the
+//	                next replica to primary; see Ring.ownersUnder)
+//	words 6..7: reserved
 //
 // A one-sided read of the line is torn-free at line granularity, but the
 // seqlock discipline keeps the slot safe if it ever grows past one line —
@@ -134,6 +137,7 @@ type configView struct {
 	term  uint64
 	epoch uint64
 	down  uint64
+	rot   uint64
 }
 
 // downBit reports whether node is evicted in this view.
@@ -146,34 +150,36 @@ func (v configView) downBit(node int) bool {
 // interleaving with the target's own local seqlock stores can leave an
 // even-seq line whose words come from two different configurations,
 // which neither the seq parity nor line-granularity tearing rules catch.
-func cfgSlotSum(term, epoch, down uint64) uint64 {
-	var b [24]byte
+func cfgSlotSum(term, epoch, down, rot uint64) uint64 {
+	var b [32]byte
 	binary.LittleEndian.PutUint64(b[0:], term)
 	binary.LittleEndian.PutUint64(b[8:], epoch)
 	binary.LittleEndian.PutUint64(b[16:], down)
+	binary.LittleEndian.PutUint64(b[24:], rot)
 	return uint64(crc32.ChecksumIEEE(b[:]))
 }
 
 // parseConfigSlot decodes a config-slot line. ok is false for a torn
 // (odd-seq), checksum-failing (mixed), or never-published image.
-func parseConfigSlot(line []byte) (term, epoch, down uint64, ok bool) {
+func parseConfigSlot(line []byte) (term, epoch, down, rot uint64, ok bool) {
 	seq := binary.LittleEndian.Uint64(line[0:])
 	if seq == 0 || seq&1 == 1 {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
 	term = binary.LittleEndian.Uint64(line[8:])
 	epoch = binary.LittleEndian.Uint64(line[16:])
 	down = binary.LittleEndian.Uint64(line[24:])
-	if binary.LittleEndian.Uint64(line[32:]) != cfgSlotSum(term, epoch, down) {
-		return 0, 0, 0, false
+	rot = binary.LittleEndian.Uint64(line[40:])
+	if binary.LittleEndian.Uint64(line[32:]) != cfgSlotSum(term, epoch, down, rot) {
+		return 0, 0, 0, 0, false
 	}
-	return term, epoch, down, true
+	return term, epoch, down, rot, true
 }
 
-// writeConfigSlot publishes (term, epoch, down) into the local config slot
-// under the seqlock discipline. Active coordinator (or a successor staging
-// its takeover) only; serve goroutine only.
-func (s *Store) writeConfigSlot(term, epoch, down uint64) {
+// writeConfigSlot publishes (term, epoch, down, rot) into the local config
+// slot under the seqlock discipline. Active coordinator (or a successor
+// staging its takeover) only; serve goroutine only.
+func (s *Store) writeConfigSlot(term, epoch, down, rot uint64) {
 	off := s.cfg.cfgSlotOff()
 	seq, err := s.mem.Load64(off)
 	if err != nil {
@@ -185,13 +191,14 @@ func (s *Store) writeConfigSlot(term, epoch, down uint64) {
 	_ = s.mem.Store64(off+8, term)
 	_ = s.mem.Store64(off+16, epoch)
 	_ = s.mem.Store64(off+24, down)
-	_ = s.mem.Store64(off+32, cfgSlotSum(term, epoch, down))
+	_ = s.mem.Store64(off+32, cfgSlotSum(term, epoch, down, rot))
+	_ = s.mem.Store64(off+40, rot)
 	_ = s.mem.Store64(off, (seq|1)+1)
 }
 
 // publishCfg refreshes the lock-free configuration snapshot for clients.
 func (s *Store) publishCfg() {
-	s.cfgPub.Store(&configView{term: s.cfgTerm, epoch: s.cfgEpoch, down: s.cfgDown})
+	s.cfgPub.Store(&configView{term: s.cfgTerm, epoch: s.cfgEpoch, down: s.cfgDown, rot: s.cfgRot})
 }
 
 // cfgSnapshot returns the current lock-free configuration view.
@@ -237,7 +244,7 @@ func (s *Store) markCfgFresh(now time.Time) {
 // silently served for a full poll cadence.
 func (s *Store) pollConfig(now time.Time) {
 	s.cfgDirty = false
-	term, epoch, down, ok := s.readPeerSlot(s.coord)
+	term, epoch, down, rot, ok := s.readPeerSlot(s.coord)
 	if !ok {
 		// Unreachable coordinator, torn or garbage image, or local buffer
 		// failure: retry on a short cadence and let the staleness clock
@@ -259,9 +266,9 @@ func (s *Store) pollConfig(now time.Time) {
 	}
 	s.markCfgFresh(now)
 	if term > s.cfgTerm {
-		s.adoptTerm(term, epoch, down)
+		s.adoptTerm(term, epoch, down, rot)
 	} else if epoch > s.cfgEpoch {
-		s.adoptConfig(epoch, down)
+		s.adoptConfig(epoch, down, rot)
 	}
 }
 
@@ -269,18 +276,18 @@ func (s *Store) pollConfig(now time.Time) {
 // reachable, stable (even seq, checksum intact), and naming a plausible
 // owner. One helper so the parse guards cannot drift between the poll,
 // scan, and mirror paths. Serve goroutine (uses the shared cfg buffers).
-func (s *Store) readPeerSlot(p int) (term, epoch, down uint64, ok bool) {
+func (s *Store) readPeerSlot(p int) (term, epoch, down, rot uint64, ok bool) {
 	if err := s.qp.Read(p, uint64(s.cfg.cfgSlotOff()), s.cfgBuf, 0, cfgSlotSize); err != nil {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
 	if err := s.cfgBuf.ReadAt(0, s.cfgLine); err != nil {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
-	term, epoch, down, ok = parseConfigSlot(s.cfgLine)
+	term, epoch, down, rot, ok = parseConfigSlot(s.cfgLine)
 	if !ok || termOwner(term) >= s.n {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
-	return term, epoch, down, true
+	return term, epoch, down, rot, true
 }
 
 // maybeFailover runs the succession scan once the active coordinator's
@@ -306,7 +313,7 @@ func (s *Store) successionScan(now time.Time) {
 	}
 	s.scanNow = false
 	s.scanAt = now.Add(s.lease / 2)
-	bestTerm, bestEpoch, bestDown := s.cfgTerm, s.cfgEpoch, s.cfgDown
+	bestTerm, bestEpoch, bestDown, bestRot := s.cfgTerm, s.cfgEpoch, s.cfgDown, s.cfgRot
 	found := false
 	// The scanner's OWN mirror slot is a candidate too: a configuration
 	// whose only surviving write-through copy landed here (the other
@@ -319,12 +326,12 @@ func (s *Store) successionScan(now time.Time) {
 	// newer term, or newer epoch at the cached term) make reading our
 	// own stale ex-coordinator image harmless.
 	for _, p := range s.succ {
-		term, epoch, down, ok := s.readPeerSlot(p)
+		term, epoch, down, rot, ok := s.readPeerSlot(p)
 		if !ok {
 			continue // unreachable, torn mid-mirror, or never published
 		}
 		if cfgNewer(term, epoch, bestTerm, bestEpoch) {
-			bestTerm, bestEpoch, bestDown = term, epoch, down
+			bestTerm, bestEpoch, bestDown, bestRot = term, epoch, down, rot
 			found = true
 		}
 	}
@@ -333,13 +340,13 @@ func (s *Store) successionScan(now time.Time) {
 			// A new coordinator claimed the authority: follow it and give
 			// it a fresh staleness window.
 			s.markCfgFresh(now)
-			s.adoptTerm(bestTerm, bestEpoch, bestDown)
+			s.adoptTerm(bestTerm, bestEpoch, bestDown, bestRot)
 		} else {
 			// A newer epoch of the CURRENT term salvaged from a mirror.
 			// The term's owner is still the node whose staleness got us
 			// here, so the failover clock keeps running: the next scan,
 			// now holding the highest replicated epoch, may take over.
-			s.adoptConfig(bestEpoch, bestDown)
+			s.adoptConfig(bestEpoch, bestDown, bestRot)
 		}
 		return
 	}
@@ -393,7 +400,7 @@ func (s *Store) takeOver(now time.Time) {
 	if old := s.coord; old >= 0 && old < 64 {
 		mask |= 1 << uint(old)
 	}
-	if !s.publishAuthority(term, epoch, mask, s.coord) {
+	if !s.publishAuthority(term, epoch, mask, s.cfgRot, s.coord) {
 		return // no authority replica reachable; retry on the next scan
 	}
 	s.takeovers.Add(1)
@@ -409,7 +416,7 @@ func (s *Store) takeOver(now time.Time) {
 		s.evictAt[p] = time.Time{}
 		s.rejoinAcks[p] = 0
 	}
-	s.adoptConfig(epoch, mask)
+	s.adoptConfig(epoch, mask, s.cfgRot)
 	s.nudgePeers(epoch)
 	// Peers this node already cannot reach go onto the eviction clock
 	// under the new authority — with the FULL lease grace applied
@@ -430,7 +437,7 @@ func (s *Store) takeOver(now time.Time) {
 // coordinator role this node held. An ex-coordinator lands here when it
 // observes its succession: it demotes itself to a follower of the new
 // term's owner.
-func (s *Store) adoptTerm(term, epoch, down uint64) {
+func (s *Store) adoptTerm(term, epoch, down, rot uint64) {
 	if term <= s.cfgTerm {
 		return
 	}
@@ -447,28 +454,28 @@ func (s *Store) adoptTerm(term, epoch, down uint64) {
 	s.cfgTerm = term
 	s.coord = termOwner(term)
 	s.leaseEpoch, s.leaseUntil = 0, time.Time{} // the old lease died with its term
-	s.forceConfig(epoch, down)
+	s.forceConfig(epoch, down, rot)
 }
 
 // adoptConfig installs a new same-term configuration epoch on the serve
 // goroutine. Called by the coordinator immediately after an activation and
 // by every other node when a poll observes a newer epoch.
-func (s *Store) adoptConfig(epoch, down uint64) {
-	if epoch == s.cfgEpoch && down == s.cfgDown {
+func (s *Store) adoptConfig(epoch, down, rot uint64) {
+	if epoch == s.cfgEpoch && down == s.cfgDown && rot == s.cfgRot {
 		return
 	}
-	s.forceConfig(epoch, down)
+	s.forceConfig(epoch, down, rot)
 }
 
 // forceConfig is the shared tail of adoptConfig/adoptTerm: leadership
 // re-derives from the down mask, re-admitted peers resume serving, the
 // (now stale) lease is renewed eagerly, still-down peers are queued for
 // (re-)verification, and parked PUTs re-route under the new leadership.
-func (s *Store) forceConfig(epoch, down uint64) {
-	old := s.cfgDown
-	s.cfgEpoch, s.cfgDown = epoch, down
+func (s *Store) forceConfig(epoch, down, rot uint64) {
+	old, oldRot := s.cfgDown, s.cfgRot
+	s.cfgEpoch, s.cfgDown, s.cfgRot = epoch, down, rot
 	s.epochBumps.Add(1)
-	s.countPromotions(old, down)
+	s.countPromotions(old, down, oldRot, rot)
 	s.publishCfg()
 	// A cleared bit means the peer was verified by every shard leader:
 	// resume reading from and replicating to it. Local reachability can
@@ -509,7 +516,7 @@ func (s *Store) forceConfig(epoch, down uint64) {
 	// words the actual leaders left behind).
 	if !s.cfgDownBit(s.me) {
 		for shard := 0; shard < s.cfg.Shards; shard++ {
-			if s.leaderUnder(shard, down) != s.me {
+			if s.leaderUnder(shard, down, rot) != s.me {
 				continue
 			}
 			off := s.cfg.shardEpochOff(shard)
@@ -522,14 +529,14 @@ func (s *Store) forceConfig(epoch, down uint64) {
 	s.parkedDirty = true
 }
 
-// bumpConfig publishes a new epoch with the given down mask and nudges
-// every reachable peer to re-read it. Active coordinator only. Returns
-// false — with no local state changed — when the write-through rule
-// blocked the activation (no authority replica reachable); the caller's
-// clocks stay armed and retry.
-func (s *Store) bumpConfig(down uint64) bool {
+// bumpConfig publishes a new epoch with the given down mask and rotation
+// mask and nudges every reachable peer to re-read it. Active coordinator
+// only. Returns false — with no local state changed — when the
+// write-through rule blocked the activation (no authority replica
+// reachable); the caller's clocks stay armed and retry.
+func (s *Store) bumpConfig(down, rot uint64) bool {
 	epoch := s.cfgEpoch + 1
-	if !s.publishAuthority(s.cfgTerm, epoch, down, -1) {
+	if !s.publishAuthority(s.cfgTerm, epoch, down, rot, -1) {
 		return false
 	}
 	s.authOK = time.Now()
@@ -537,7 +544,7 @@ func (s *Store) bumpConfig(down uint64) bool {
 	for p := range s.rejoinAcks {
 		s.rejoinAcks[p] = 0
 	}
-	s.adoptConfig(epoch, down)
+	s.adoptConfig(epoch, down, rot)
 	s.nudgePeers(epoch)
 	return true
 }
@@ -551,21 +558,21 @@ func (s *Store) bumpConfig(down uint64) bool {
 // from racing ahead of the succession invisibly. skip names the deposed
 // coordinator during a takeover: its slot is its own to write, and it is
 // unreachable from the claimant by definition.
-func (s *Store) publishAuthority(term, epoch, down uint64, skip int) bool {
+func (s *Store) publishAuthority(term, epoch, down, rot uint64, skip int) bool {
 	cl := s.ctx.Node().Cluster()
 	acked := 0
 	for _, p := range s.succ {
 		if p == s.me || p == skip || !cl.Reachable(s.me, p) {
 			continue
 		}
-		if s.writeMirror(p, term, epoch, down) == nil {
+		if s.writeMirror(p, term, epoch, down, rot) == nil {
 			acked++
 		}
 	}
 	if len(s.succ) > 1 && acked < s.authorityQuorum() {
 		return false
 	}
-	s.writeConfigSlot(term, epoch, down)
+	s.writeConfigSlot(term, epoch, down, rot)
 	return true
 }
 
@@ -577,7 +584,7 @@ func (s *Store) publishAuthority(term, epoch, down uint64, skip int) bool {
 // readers order whatever they find by (term, epoch) anyway). The image's
 // seq word advances with (term + epoch) so every accepted update is a
 // distinct even value.
-func (s *Store) writeMirror(p int, term, epoch, down uint64) error {
+func (s *Store) writeMirror(p int, term, epoch, down, rot uint64) error {
 	if err := s.qp.Read(p, uint64(s.cfg.cfgSlotOff()+8), s.mirBuf, 0, 8); err != nil {
 		return err
 	}
@@ -596,7 +603,8 @@ func (s *Store) writeMirror(p int, term, epoch, down uint64) error {
 	binary.LittleEndian.PutUint64(line[8:], term)
 	binary.LittleEndian.PutUint64(line[16:], epoch)
 	binary.LittleEndian.PutUint64(line[24:], down)
-	binary.LittleEndian.PutUint64(line[32:], cfgSlotSum(term, epoch, down))
+	binary.LittleEndian.PutUint64(line[32:], cfgSlotSum(term, epoch, down, rot))
+	binary.LittleEndian.PutUint64(line[40:], rot)
 	if err := s.mirBuf.WriteAt(0, line); err != nil {
 		return err
 	}
@@ -625,7 +633,7 @@ func (s *Store) mirrorRefresh(now time.Time) {
 		if p == s.me || !cl.Reachable(s.me, p) {
 			continue
 		}
-		if s.writeMirror(p, s.cfgTerm, s.cfgEpoch, s.cfgDown) == nil {
+		if s.writeMirror(p, s.cfgTerm, s.cfgEpoch, s.cfgDown, s.cfgRot) == nil {
 			contacted++
 		}
 	}
@@ -657,12 +665,12 @@ func (s *Store) mirrorTick(now time.Time) {
 		if p == s.me || !cl.Reachable(s.me, p) {
 			continue
 		}
-		if term, epoch, down, ok := s.readPeerSlot(p); ok && term > s.cfgTerm {
-			s.adoptTerm(term, epoch, down)
+		if term, epoch, down, rot, ok := s.readPeerSlot(p); ok && term > s.cfgTerm {
+			s.adoptTerm(term, epoch, down, rot)
 			s.markCfgFresh(now)
 			return // demoted: a follower now, pollConfig takes over
 		}
-		if s.writeMirror(p, s.cfgTerm, s.cfgEpoch, s.cfgDown) == nil {
+		if s.writeMirror(p, s.cfgTerm, s.cfgEpoch, s.cfgDown, s.cfgRot) == nil {
 			contacted++
 		}
 	}
@@ -687,12 +695,14 @@ func (s *Store) nudgePeers(epoch uint64) {
 	}
 }
 
-// leaderUnder reports the shard leader implied by a down mask: the first
-// owner in ring order not marked down (falling back to the primary when
-// every owner is). A pure function of (ring, mask), so every node at the
-// same epoch derives the same leader.
-func (s *Store) leaderUnder(shard int, down uint64) int {
-	owners := s.ring().ownersShared(shard)
+// leaderFor reports the shard leader implied by a ring, down mask, and
+// rotation mask: the first owner in (possibly rotated) ring order not
+// marked down (falling back to the rotated primary when every owner is).
+// A pure function of (ring, masks), so every node — and every client
+// holding a configView snapshot — at the same epoch derives the same
+// leader.
+func leaderFor(r *Ring, shard int, down, rot uint64) int {
+	owners := r.ownersUnder(shard, rot)
 	for _, o := range owners {
 		if o >= 64 || down&(1<<uint(o)) == 0 {
 			return o
@@ -701,17 +711,22 @@ func (s *Store) leaderUnder(shard int, down uint64) int {
 	return owners[0]
 }
 
-// leaderOf reports the node leading a shard under the cached configuration.
-func (s *Store) leaderOf(shard int) int { return s.leaderUnder(shard, s.cfgDown) }
+// leaderUnder is leaderFor over the store's current ring.
+func (s *Store) leaderUnder(shard int, down, rot uint64) int {
+	return leaderFor(s.ring(), shard, down, rot)
+}
 
-// countPromotions accounts leadership moves between two down masks.
-func (s *Store) countPromotions(oldMask, newMask uint64) {
-	if oldMask == newMask {
+// leaderOf reports the node leading a shard under the cached configuration.
+func (s *Store) leaderOf(shard int) int { return s.leaderUnder(shard, s.cfgDown, s.cfgRot) }
+
+// countPromotions accounts leadership moves between two configurations.
+func (s *Store) countPromotions(oldMask, newMask, oldRot, newRot uint64) {
+	if oldMask == newMask && oldRot == newRot {
 		return
 	}
 	var moved uint64
 	for shard := 0; shard < s.cfg.Shards; shard++ {
-		if s.leaderUnder(shard, oldMask) != s.leaderUnder(shard, newMask) {
+		if s.leaderUnder(shard, oldMask, oldRot) != s.leaderUnder(shard, newMask, newRot) {
 			moved++
 		}
 	}
@@ -769,7 +784,7 @@ func (s *Store) maybeReadmit() {
 		}
 		expected := s.expectedReporters(p)
 		if s.rejoinAcks[p]&expected == expected {
-			s.bumpConfig(s.cfgDown &^ bit)
+			s.bumpConfig(s.cfgDown&^bit, s.cfgRot)
 			return
 		}
 	}

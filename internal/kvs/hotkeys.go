@@ -1,0 +1,384 @@
+package kvs
+
+import (
+	"time"
+
+	"sonuma"
+)
+
+// This file implements the client's hot-key read cache: the top-N keys a
+// client observes (tracked with a space-saver sketch) are served from
+// local memory under a per-shard READ LEASE bound to the configuration
+// (term, epoch) and the shard's VERSION WORD (store.go bumpShardVer).
+// The invalidation timeline:
+//
+//	fill      read the shard version V from the bound replica, THEN the
+//	          value — a put acked before the version read has already
+//	          bumped past its commit, so the value read observes it
+//	put       leader commits the slot, bumps the shard version (backups
+//	          bump inside the replication batch), THEN acks — so by ack
+//	          time every replica's version exceeds any pre-put fill tag
+//	probe     every lease/2 the client re-reads the bound replica's
+//	          version word (8 bytes, one-sided); a changed version drops
+//	          the shard's whole cached set
+//	fence     a (term, epoch) change — eviction, rotation, succession —
+//	          wipes the cache outright; an unreachable or evicted bound
+//	          replica drops its shard's set
+//
+// Own PUTs are handled precisely: the ack carries the leader's post-put
+// shard version, so a cache bound to the leader advances its tag and
+// updates the written key in place (read-your-writes without a probe);
+// any ambiguity — version skipped ahead, cache bound to a backup — drops
+// the shard's set instead. The staleness bound for OTHER clients' writes
+// is the probe cadence: a cached value can lag a foreign put by at most
+// lease/2 < one lease, the same bound a demoted leader's reads already
+// live with. No stale read outlives a lease.
+
+// hotPromoteHits is how many sketch touches a key needs before the
+// client starts caching it: cold keys and one-shot scans never pay the
+// fill's extra version read.
+const hotPromoteHits = 4
+
+// ssEntry is one space-saver sketch slot.
+type ssEntry struct {
+	count uint64 // estimated frequency (inherits the evicted min on entry)
+	hits  uint64 // true touches since this key entered the sketch
+}
+
+// spaceSaver is the bounded top-N frequency sketch (Metwally et al.'s
+// space-saving): capacity slots; a new key evicts the current minimum
+// and inherits its count, so a genuinely frequent key is never
+// undercounted by more than the evicted minimum.
+type spaceSaver struct {
+	cap    int
+	counts map[string]*ssEntry
+	// floor is a lower bound on the minimum count in the sketch; counts
+	// only grow and evicted slots re-enter at min+1, so the floor is
+	// monotone and lets the eviction scan stop at the first entry sitting
+	// on it instead of walking the whole map.
+	floor uint64
+}
+
+func newSpaceSaver(capacity int) *spaceSaver {
+	return &spaceSaver{cap: capacity, counts: make(map[string]*ssEntry, capacity)}
+}
+
+// touch records one observation of key and returns its sketch slot.
+func (t *spaceSaver) touch(key []byte) *ssEntry {
+	if e, ok := t.counts[string(key)]; ok {
+		e.count++
+		e.hits++
+		return e
+	}
+	e := &ssEntry{count: 1, hits: 1}
+	if len(t.counts) >= t.cap {
+		minK, minC := "", ^uint64(0)
+		for k, s := range t.counts {
+			if s.count < minC {
+				minK, minC = k, s.count
+				if minC <= t.floor {
+					break
+				}
+			}
+		}
+		delete(t.counts, minK)
+		t.floor = minC
+		e.count = minC + 1
+	}
+	t.counts[string(key)] = e
+	return e
+}
+
+// tracked reports whether key currently occupies a sketch slot.
+func (t *spaceSaver) tracked(key string) bool {
+	_, ok := t.counts[key]
+	return ok
+}
+
+// shardBind is one shard's cache lease state: the replica its cached
+// reads bind to (version and value MUST come from the same replica — the
+// version words of different replicas advance independently), the last
+// observed shard version, the next probe deadline, and the cached keys
+// for wholesale drops.
+type shardBind struct {
+	node    int
+	ver     uint64
+	checkAt time.Time
+	keys    map[string]struct{}
+}
+
+// hotCache is a client's cache state. Single-goroutine like the Client
+// that owns it.
+type hotCache struct {
+	capacity int
+	lease    time.Duration
+	sketch   *spaceSaver
+	entries  map[string][]byte // key → owned value copy
+	binds    map[int]*shardBind
+	probeBuf *sonuma.Buffer // one node's whole shard-line table
+	term     uint64         // configuration fence the whole cache is bound to
+	epoch    uint64
+
+	hits          uint64
+	fills         uint64
+	probes        uint64
+	invalidations uint64
+}
+
+// CacheStats is a point-in-time snapshot of one client's hot-key cache
+// counters.
+type CacheStats struct {
+	Hits          uint64 // GETs served from local memory
+	Fills         uint64 // cache entries installed
+	Probes        uint64 // one-sided shard-version probe reads
+	Invalidations uint64 // shard sets dropped by version change or fence
+}
+
+// CacheStats snapshots the client's cache counters (zero when the
+// hot-key cache is disabled).
+func (c *Client) CacheStats() CacheStats {
+	if c.hot == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:          c.hot.hits,
+		Fills:         c.hot.fills,
+		Probes:        c.hot.probes,
+		Invalidations: c.hot.invalidations,
+	}
+}
+
+// cacheFence wipes the cache when the configuration moved: term or epoch
+// changes cover successions, evictions, re-admissions, AND rotation-mask
+// rebalances (a rotation only ever lands with an epoch bump), so no
+// cached value survives a leadership change.
+func (c *Client) cacheFence(cfg configView) {
+	hc := c.hot
+	if cfg.term == hc.term && cfg.epoch == hc.epoch {
+		return
+	}
+	if len(hc.entries) > 0 {
+		hc.invalidations++
+	}
+	hc.entries = make(map[string][]byte, hc.capacity)
+	hc.binds = make(map[int]*shardBind)
+	hc.term, hc.epoch = cfg.term, cfg.epoch
+}
+
+// dropShard forgets a shard's bind and every value cached under it.
+func (hc *hotCache) dropShard(shard int) {
+	bind := hc.binds[shard]
+	if bind == nil {
+		return
+	}
+	for k := range bind.keys {
+		delete(hc.entries, k)
+	}
+	delete(hc.binds, shard)
+	hc.invalidations++
+}
+
+// dropShardEntries empties a shard's cached set but keeps the bind (the
+// replica is still healthy; only its data moved).
+func (hc *hotCache) dropShardEntries(shard int) {
+	bind := hc.binds[shard]
+	if bind == nil {
+		return
+	}
+	for k := range bind.keys {
+		delete(hc.entries, k)
+	}
+	bind.keys = make(map[string]struct{})
+	hc.invalidations++
+}
+
+// readShardVer one-sidedly reads the shard's version word from node.
+func (c *Client) readShardVer(node, shard int) (uint64, error) {
+	off := uint64(c.store.cfg.shardLineOff(shard) + shardLineVer)
+	if err := c.qp.Read(node, off, c.buf, 0, 8); err != nil {
+		return 0, err
+	}
+	return c.buf.Load64(0)
+}
+
+// probeNode renews every bind to node at once: one one-sided read of the
+// node's whole shard-line table, then each bound shard's version word is
+// compared against its tag — a probe costs one round trip regardless of
+// how many shards are bound, so a large cache doesn't multiply probe
+// traffic. Shards whose version moved have their cached sets dropped.
+func (c *Client) probeNode(node int, now time.Time) error {
+	hc := c.hot
+	off := uint64(c.store.cfg.shardLineOff(0))
+	n := c.store.cfg.Shards * shardLineSize
+	if err := c.qp.Read(node, off, hc.probeBuf, 0, n); err != nil {
+		return err
+	}
+	hc.probes++
+	deadline := now.Add(hc.lease / 2)
+	for sh, bind := range hc.binds {
+		if bind.node != node {
+			continue
+		}
+		ver, err := hc.probeBuf.Load64(sh*shardLineSize + shardLineVer)
+		if err != nil {
+			return err
+		}
+		bind.checkAt = deadline
+		if ver != bind.ver {
+			hc.dropShardEntries(sh)
+			bind.ver = ver
+		}
+	}
+	return nil
+}
+
+// dropNode forgets every bind to node (and its cached values).
+func (hc *hotCache) dropNode(node int) {
+	for sh, bind := range hc.binds {
+		if bind.node == node {
+			hc.dropShard(sh)
+		}
+	}
+}
+
+// cacheGet serves key from the cache when its shard's lease is intact:
+// bound replica still serving, version probe (at most one per lease/2)
+// unchanged. ok=false means the caller takes the remote-read path.
+func (c *Client) cacheGet(cfg configView, shard int, key []byte, down []bool) ([]byte, bool) {
+	hc := c.hot
+	v, cached := hc.entries[string(key)]
+	if !cached {
+		return nil, false
+	}
+	bind := hc.binds[shard]
+	if bind == nil {
+		delete(hc.entries, string(key))
+		return nil, false
+	}
+	if (bind.node != c.store.me && down[bind.node]) || cfg.downBit(bind.node) {
+		hc.dropShard(shard)
+		return nil, false
+	}
+	now := time.Now()
+	if !now.Before(bind.checkAt) {
+		if err := c.probeNode(bind.node, now); err != nil {
+			if sonuma.IsNodeFailure(err) {
+				c.store.reportDown(bind.node)
+			}
+			hc.dropNode(bind.node)
+			return nil, false
+		}
+		// The probe may have invalidated this shard's set (or just this
+		// key); re-check before serving.
+		if v, cached = hc.entries[string(key)]; !cached {
+			return nil, false
+		}
+	}
+	hc.hits++
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// cacheFill reads key through the shard's bound replica — version word
+// FIRST, then the value (see the file comment for why that order is the
+// safe one) — and installs the result. ok=false means the fill could not
+// bind a replica and the caller should take the normal path; otherwise
+// the returned (value, error) is the GET's result.
+func (c *Client) cacheFill(cfg configView, shard int, key []byte, down []bool) ([]byte, error, bool) {
+	hc := c.hot
+	bind := hc.binds[shard]
+	if bind != nil && ((bind.node != c.store.me && down[bind.node]) || cfg.downBit(bind.node)) {
+		hc.dropShard(shard)
+		bind = nil
+	}
+	if bind == nil {
+		node := c.pickTarget(cfg, shard, down)
+		if node < 0 {
+			return nil, nil, false
+		}
+		ver, err := c.readShardVer(node, shard)
+		if err != nil {
+			if sonuma.IsNodeFailure(err) {
+				c.store.reportDown(node)
+			}
+			return nil, nil, false
+		}
+		bind = &shardBind{
+			node: node, ver: ver,
+			checkAt: time.Now().Add(hc.lease / 2),
+			keys:    make(map[string]struct{}),
+		}
+		hc.binds[shard] = bind
+	}
+	val, err := c.getFrom(bind.node, shard, key)
+	if err != nil {
+		if sonuma.IsNodeFailure(err) {
+			c.store.reportDown(bind.node)
+			hc.dropShard(shard)
+			return nil, nil, false // fail over on the normal path
+		}
+		return nil, err, true // authoritative (ErrNotFound etc.)
+	}
+	c.sampleRead(bind.node, shard)
+	if len(hc.entries) >= hc.capacity {
+		// Make room by shedding a cached key that fell out of the
+		// sketch; if every cached key is still hot, serve without
+		// caching.
+		evicted := false
+		for k := range hc.entries {
+			if !hc.sketch.tracked(k) {
+				bs := hc.binds[c.store.ring().ShardOf([]byte(k))]
+				if bs != nil {
+					delete(bs.keys, k)
+				}
+				delete(hc.entries, k)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return val, nil, true
+		}
+	}
+	stored := make([]byte, len(val))
+	copy(stored, val)
+	hc.entries[string(key)] = stored
+	bind.keys[string(key)] = struct{}{}
+	hc.fills++
+	return val, nil, true
+}
+
+// notePut folds an acknowledged own-write into the cache. Bound to the
+// leader with the ack's version exactly one past the tag, the tag
+// advances and the written key updates in place — read-your-writes with
+// no probe. Anything less exact (version skipped ahead: a foreign write
+// raced ours; bound to a backup: its version word advances on its own
+// clock) drops the shard's cached set instead of guessing.
+func (c *Client) notePut(shard int, key, value []byte, ver uint64) {
+	hc := c.hot
+	cfg := c.store.cfgSnapshot()
+	c.cacheFence(cfg)
+	bind := hc.binds[shard]
+	if bind == nil {
+		return
+	}
+	leader := leaderFor(c.store.ring(), shard, cfg.down, cfg.rot)
+	if bind.node == leader && ver == bind.ver+1 {
+		bind.ver = ver
+		bind.checkAt = time.Now().Add(hc.lease / 2)
+		if _, cached := hc.entries[string(key)]; cached {
+			stored := make([]byte, len(value))
+			copy(stored, value)
+			hc.entries[string(key)] = stored
+		}
+		return
+	}
+	if bind.node == leader && ver > bind.ver {
+		hc.dropShardEntries(shard)
+		bind.ver = ver
+		bind.checkAt = time.Now().Add(hc.lease / 2)
+		return
+	}
+	hc.dropShard(shard)
+}

@@ -109,6 +109,14 @@ const (
 //	             configuration epoch under which the shard last accepted a
 //	             leader write or a repair — the "epoch" half of the
 //	             (epoch, version) order repair arbitrates with
+//	shard lines  (shards × 64 B, one line per shard): the skew-serving
+//	             feedback words. Word 0 is the shard VERSION — bumped by
+//	             every local write, replica publish, repair install, or
+//	             migration install, it is what a client's hot-key cache
+//	             probes to invalidate; words 1 and 2 are the sampled GET
+//	             counter (clients FetchAdd it on the replica that served
+//	             them) and the leader's write counter, which the
+//	             coordinator aggregates for load-driven rebalancing
 //	slots        (shards × buckets × slotSize): open-addressed entries
 //
 // Entry layout within its slot:
@@ -126,6 +134,21 @@ const (
 	magic       = 0x534f4e4b // "SONK"
 	entryHdr    = 24
 	maxProbes   = 16
+)
+
+// Shard-line geometry: one cache line of feedback words per shard.
+const (
+	shardLineSize = 64
+	// shardLineVer / shardLineReads / shardLineWrites are the word offsets
+	// within a shard's line.
+	shardLineVer    = 0
+	shardLineReads  = 8
+	shardLineWrites = 16
+	// loadSampleRate is the GET sampling rate: clients FetchAdd the read
+	// counter of the serving replica once every loadSampleRate reads, by
+	// that amount, so the counter stays calibrated while the extra remote
+	// op costs ~1/loadSampleRate of read throughput.
+	loadSampleRate = 16
 )
 
 // Errors returned by the service.
@@ -211,6 +234,29 @@ type Config struct {
 	// epoch that demotes a silent leader, so the old lease provably lapses
 	// before the new leader serves.
 	Lease time.Duration
+	// ReadSpread fans one-sided GETs across every reachable replica of a
+	// shard instead of pinning them to the primary: each client picks the
+	// replica with power-of-two-choices over an EWMA of its observed
+	// per-replica read latency. Correctness is unchanged — replicas are
+	// seqlock-validated and the down views gate evicted peers exactly as
+	// on the failover path — so this is purely a load-spreading knob for
+	// skewed read traffic. Off by default.
+	ReadSpread bool
+	// HotKeys enables the per-client hot-key read-lease cache and sets its
+	// capacity: each client tracks its HotKeys most frequent keys with a
+	// space-saver sketch and serves them from a local cache bound to
+	// (term, epoch, shard version), re-probing each shard's version word
+	// every Lease/2 — see client.go for the invalidation timeline. 0 (the
+	// default) disables the cache.
+	HotKeys int
+	// Rebalance lets the coordinator rotate shard leadership by observed
+	// load: stores export per-shard read/write counters in their shard
+	// lines, the coordinator aggregates them every two leases, and when
+	// one node carries more than rebalanceRatio× the mean load it
+	// activates an epoch whose rotation mask moves the hottest such
+	// shard's primary onto its (lighter) next replica. Off by default;
+	// requires Shards <= 64 (the rotation mask is one word).
+	Rebalance bool
 	// RegionOffset is where the store region begins within each node's
 	// context segment (default 0). The Messenger region follows the store
 	// region automatically.
@@ -249,7 +295,8 @@ func (c Config) withDefaults() Config {
 // tables, before the messenger region).
 func (c Config) RegionSize() int {
 	c = c.withDefaults()
-	return headerSize + cfgSlotSize + core.AlignUp(8*c.Shards) + c.Shards*c.Buckets*c.SlotSize
+	return headerSize + cfgSlotSize + core.AlignUp(8*c.Shards) +
+		c.Shards*shardLineSize + c.Shards*c.Buckets*c.SlotSize
 }
 
 // SegmentSize reports the total context-segment bytes a node of an n-node
@@ -274,12 +321,19 @@ func (c Config) shardEpochOff(shard int) int {
 	return c.RegionOffset + headerSize + cfgSlotSize + 8*shard
 }
 
+// shardLineOff locates a shard's feedback line: version word (hot-key
+// cache invalidation), sampled read counter, and leader write counter.
+func (c Config) shardLineOff(shard int) int {
+	return c.RegionOffset + headerSize + cfgSlotSize + core.AlignUp(8*c.Shards) +
+		shard*shardLineSize
+}
+
 // slotOff locates a (shard, bucket) slot within the store region. The
 // layout is identical on every node, which is what makes replication a
 // plain remote write of the primary's slot image at the same offset.
 func (c Config) slotOff(shard, bucket int) int {
 	return c.RegionOffset + headerSize + cfgSlotSize + core.AlignUp(8*c.Shards) +
-		(shard*c.Buckets+bucket)*c.SlotSize
+		c.Shards*shardLineSize + (shard*c.Buckets+bucket)*c.SlotSize
 }
 
 // entryStatus classifies a parsed slot image.

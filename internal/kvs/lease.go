@@ -244,7 +244,7 @@ func (s *Store) coordTick(now time.Time) {
 		}
 		mask |= 1 << uint(p)
 	}
-	if mask != s.cfgDown && s.bumpConfig(mask) {
+	if mask != s.cfgDown && s.bumpConfig(mask, s.cfgRot) {
 		for p := 0; p < s.n && p < 64; p++ {
 			if mask&(1<<uint(p)) != 0 {
 				s.evictAt[p] = time.Time{}
@@ -253,6 +253,7 @@ func (s *Store) coordTick(now time.Time) {
 		}
 	}
 	s.maybeReadmit()
+	s.rebalanceTick(now)
 }
 
 // scheduleEvict starts the eviction clock for a node the coordinator now

@@ -1,0 +1,139 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// This file implements the coordinator's feedback-driven shard
+// rebalancer (MAO-style warehouse placement, PAPERS.md): stores export
+// per-shard load counters in their shard lines — reads sampled by
+// clients with one remote FetchAdd per loadSampleRate GETs against the
+// node that served them, writes counted by the leader that applied them
+// — and the coordinator aggregates the counters on a 2-lease cadence
+// with one one-sided read of each member's shard-line table. When one
+// node carries disproportionate load, the coordinator flips the hottest
+// eligible shard's bit in the configuration's ROTATION MASK and
+// activates the change as an ordinary epoch bump: the rotation promotes
+// the shard's next replica to primary (Ring.ownersUnder) without moving
+// any data — the replica set is unchanged — and the epoch machinery
+// already fences leases, re-routes parked PUTs, and invalidates hot-key
+// caches on the transition. One shard per tick keeps each move's effect
+// observable in the next load sample before the next move.
+
+const (
+	// rebalEvery is the aggregation cadence, in leases. Two leases lets
+	// every member report (reads land continuously; writes at each apply)
+	// and keeps the coordinator's extra remote reads negligible.
+	rebalEvery = 2
+	// rebalRatio triggers a move when the busiest node's load exceeds
+	// this multiple of the mean: high enough to ignore sampling noise,
+	// low enough to catch a zipfian hot node (whose share is many times
+	// the mean).
+	rebalRatio = 1.5
+	// rebalMinLoad is the minimum per-tick load units (sampled reads
+	// scaled back up, plus writes) on the busiest node before a move is
+	// considered — an idle cluster never rotates.
+	rebalMinLoad = 256
+)
+
+// rebalanceTick runs one aggregation + (at most) one rotation. Active
+// coordinator only, from coordTick. Skips entirely while any node is
+// evicted: failure handling owns the epoch machinery then, and load
+// observed during a partition says nothing about the healed cluster.
+func (s *Store) rebalanceTick(now time.Time) {
+	if !s.cfg.Rebalance || s.cfg.Shards > 64 || s.loadBuf == nil {
+		return
+	}
+	if now.Before(s.rebalAt) {
+		return
+	}
+	s.rebalAt = now.Add(time.Duration(rebalEvery) * s.lease)
+	if s.cfgDown != 0 {
+		return
+	}
+	ring := s.ring()
+	shards := s.cfg.Shards
+	if s.loadPrev == nil {
+		s.loadPrev = make([][]uint64, s.n)
+	}
+	nodeLoad := make([]float64, s.n)
+	shardLoad := make([]float64, shards)
+	sampled := false
+	for _, p := range ring.Nodes() {
+		line := s.loadLine
+		if p == s.me {
+			if err := s.mem.ReadAt(s.cfg.shardLineOff(0), line); err != nil {
+				return
+			}
+		} else {
+			if err := s.qp.Read(p, uint64(s.cfg.shardLineOff(0)), s.loadBuf, 0, len(line)); err != nil {
+				continue // unreachable: its load stays invisible this tick
+			}
+			if err := s.loadBuf.ReadAt(0, line); err != nil {
+				return
+			}
+		}
+		prev := s.loadPrev[p]
+		warmup := prev == nil
+		if warmup {
+			// First sight of this node's counters (fresh coordinator, or
+			// a node joined): snapshot only — absolute counts are not a
+			// per-tick delta.
+			prev = make([]uint64, 2*shards)
+			s.loadPrev[p] = prev
+		}
+		for sh := 0; sh < shards; sh++ {
+			reads := binary.LittleEndian.Uint64(line[sh*shardLineSize+shardLineReads:])
+			writes := binary.LittleEndian.Uint64(line[sh*shardLineSize+shardLineWrites:])
+			dr, dw := reads-prev[2*sh], writes-prev[2*sh+1]
+			prev[2*sh], prev[2*sh+1] = reads, writes
+			if warmup {
+				continue
+			}
+			load := float64(dr)*loadSampleRate + float64(dw)
+			nodeLoad[p] += load
+			shardLoad[sh] += load
+			sampled = true
+		}
+	}
+	if !sampled {
+		return
+	}
+	members := ring.Nodes()
+	var total float64
+	hot, hotLoad := -1, 0.0
+	for _, p := range members {
+		total += nodeLoad[p]
+		if nodeLoad[p] > hotLoad {
+			hot, hotLoad = p, nodeLoad[p]
+		}
+	}
+	mean := total / float64(len(members))
+	if hot < 0 || hotLoad < rebalMinLoad || hotLoad < rebalRatio*mean {
+		return
+	}
+	// Move the hottest shard the hot node leads whose rotation lands its
+	// leadership on a node that stays below the hot node's load even
+	// after absorbing the shard.
+	best, bestLoad := -1, 0.0
+	for sh := 0; sh < shards && sh < 64; sh++ {
+		if s.leaderOf(sh) != hot {
+			continue
+		}
+		rot := s.cfgRot ^ (1 << uint(sh))
+		tgt := s.leaderUnder(sh, s.cfgDown, rot)
+		if tgt == hot || nodeLoad[tgt]+shardLoad[sh] >= hotLoad {
+			continue
+		}
+		if shardLoad[sh] > bestLoad {
+			best, bestLoad = sh, shardLoad[sh]
+		}
+	}
+	if best < 0 {
+		return
+	}
+	if s.bumpConfig(s.cfgDown, s.cfgRot^(1<<uint(best))) {
+		s.rebalances.Add(1)
+	}
+}

@@ -36,6 +36,7 @@ type Ring struct {
 	nodes        []int
 	points       []ringPoint
 	owners       [][]int // per shard, primary first
+	rotated      [][]int // per shard, owners rotated left by one (load rebalancing)
 }
 
 // fnv1a is the 64-bit FNV-1a hash used for both key→shard and ring-point
@@ -95,8 +96,15 @@ func NewRing(nodes []int, shards, replicas, vnodes int) *Ring {
 		return r.points[i].node < r.points[j].node
 	})
 	r.owners = make([][]int, shards)
+	r.rotated = make([][]int, shards)
 	for s := 0; s < shards; s++ {
 		r.owners[s] = r.ownersAt(mix64(0x9e3779b97f4a7c15 ^ uint64(s)))
+		// Precompute the rotated owner list (same replica set, next owner
+		// promoted to primary) so rebalanced lookups stay allocation-free.
+		rot := make([]int, len(r.owners[s]))
+		copy(rot, r.owners[s][1:])
+		rot[len(rot)-1] = r.owners[s][0]
+		r.rotated[s] = rot
 	}
 	return r
 }
@@ -158,6 +166,19 @@ func (r *Ring) Owners(shard int) []int {
 // ownersShared returns the internal owner slice for a shard, primary
 // first. It aliases ring state: callers must treat it as read-only.
 func (r *Ring) ownersShared(shard int) []int { return r.owners[shard] }
+
+// ownersUnder returns the shard's owner list under a rotation mask:
+// bit shard set (and shard < 64) promotes the next replica to primary by
+// rotating the owner list left by one. The replica SET never changes — a
+// rotation moves leadership and primary-read placement without migrating
+// any data, which is what lets the coordinator rebalance hot shards
+// through a plain epoch transition. Aliases ring state: read-only.
+func (r *Ring) ownersUnder(shard int, rot uint64) []int {
+	if shard < 64 && rot&(1<<uint(shard)) != 0 && len(r.owners[shard]) > 1 {
+		return r.rotated[shard]
+	}
+	return r.owners[shard]
+}
 
 // AddNode returns a new ring with node added as a member, leaving the
 // receiver untouched. Consistent hashing keeps movement minimal: a shard's

@@ -1,0 +1,76 @@
+package kvs
+
+// replicaPicker is the client-side read balancer for replica-spread GETs:
+// power-of-two-choices over the shard's reachable replicas, seeded by an
+// EWMA of each replica's observed one-sided read latency. Two random
+// candidates are drawn and the one with the lower smoothed latency wins —
+// the classic result is that two choices already collapse the max queue
+// to O(log log n) of random placement, without the herding a global
+// "pick the fastest" rule causes when every client has the same stale
+// view. An unsampled replica (EWMA 0) wins outright so every replica
+// gets explored before the smoothed latencies take over. Correctness is
+// untouched by spreading: replicas are seqlock-validated and the down
+// views already gate evicted or unreachable peers — the picker only
+// chooses WHICH safe replica to try first.
+type replicaPicker struct {
+	state uint64    // private splitmix64 stream, seeded per client
+	ewma  []float64 // per-node observed GET latency, µs; 0 = unsampled
+}
+
+// ewmaBlend is how much of the previous smoothed latency survives each
+// observation (new = 0.75·old + 0.25·sample): heavy enough to ride out
+// single-read jitter, light enough to track a load shift within a few
+// dozen reads.
+const ewmaBlend = 0.75
+
+func newReplicaPicker(n int, seed uint64) *replicaPicker {
+	return &replicaPicker{
+		state: seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		ewma:  make([]float64, n),
+	}
+}
+
+func (p *replicaPicker) rand() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	return mix64(p.state)
+}
+
+// pick chooses the replica to try first from the eligible candidates.
+func (p *replicaPicker) pick(eligible []int) int {
+	switch len(eligible) {
+	case 0:
+		return -1
+	case 1:
+		return eligible[0]
+	}
+	i := int(p.rand() % uint64(len(eligible)))
+	j := int(p.rand() % uint64(len(eligible)-1))
+	if j >= i {
+		j++
+	}
+	a, b := eligible[i], eligible[j]
+	la, lb := p.ewma[a], p.ewma[b]
+	// Unsampled beats sampled (exploration); then lower latency wins.
+	switch {
+	case la == 0:
+		return a
+	case lb == 0:
+		return b
+	case lb < la:
+		return b
+	default:
+		return a
+	}
+}
+
+// observe folds one successful read's latency into the replica's EWMA.
+func (p *replicaPicker) observe(node int, us float64) {
+	if node < 0 || node >= len(p.ewma) || us <= 0 {
+		return
+	}
+	if p.ewma[node] == 0 {
+		p.ewma[node] = us
+		return
+	}
+	p.ewma[node] = ewmaBlend*p.ewma[node] + (1-ewmaBlend)*us
+}

@@ -16,7 +16,7 @@ import (
 // Messenger message kinds (first byte of every messenger payload).
 const (
 	msgPut        byte = 1 // reqID u64, shard u32, keyLen u32, key, value
-	msgAck        byte = 2 // reqID u64, status u8
+	msgAck        byte = 2 // reqID u64, status u8, shard version u64
 	msgRepair     byte = 3 // shard u32, bucket u32, ver u64, epoch u64, slot body
 	msgRepairEnd  byte = 4 // token u64: all diffs for this repair streamed
 	msgRepairAck  byte = 5 // token u64: peer applied everything up to End
@@ -135,13 +135,20 @@ type StoreStats struct {
 	// authority (observed a successor and demoted itself).
 	Takeovers      uint64
 	CoordDemotions uint64
+	// Rebalances counts load-driven shard-rotation epochs this node
+	// activated as coordinator (rebalance.go).
+	Rebalances uint64
 }
 
 // putReq is one PUT travelling from a colocated client into the serve loop.
+// ver carries the leader's shard version after the apply back to the
+// client (written before resp is signalled, so the channel receive orders
+// it): the hot-key cache uses it for read-your-writes without a probe.
 type putReq struct {
 	key, value []byte
 	shard      int
 	attempts   int
+	ver        uint64
 	deadline   time.Time // set on first park; bounds fencing stalls
 	resp       chan error
 }
@@ -192,8 +199,9 @@ type Store struct {
 	cfgTerm      uint64
 	cfgEpoch     uint64
 	cfgDown      uint64
-	cfgDirty     bool // a nudge/deny/failure hinted at a newer epoch
-	scanNow      bool // a control frame claimed a term above the cache: scan now
+	cfgRot       uint64 // shard-rotation mask (load rebalancing), epoch-bound
+	cfgDirty     bool   // a nudge/deny/failure hinted at a newer epoch
+	scanNow      bool   // a control frame claimed a term above the cache: scan now
 	cfgPollAt    time.Time
 	scanAt       time.Time // succession-scan pacing (lease/2)
 	mirrorAt     time.Time // coordinator's next mirror refresh/term check
@@ -234,6 +242,15 @@ type Store struct {
 	// unstuck — see scrubPass.
 	scrubAt    time.Time
 	scrubMarks map[int]uint64
+
+	// Load-driven rebalancing state (coordinator; see rebalance.go).
+	// loadPrev holds the last (reads, writes) counter snapshot per node
+	// per shard so each tick works on deltas; loadBuf/loadLine stage the
+	// one-sided reads of each member's shard-line table.
+	rebalAt  time.Time
+	loadPrev [][]uint64
+	loadBuf  *sonuma.Buffer
+	loadLine []byte
 
 	putCh    chan *putReq
 	failCh   chan int
@@ -278,6 +295,7 @@ type Store struct {
 	cfgStalePolls  atomic.Uint64
 	takeovers      atomic.Uint64
 	coordDemotions atomic.Uint64
+	rebalances     atomic.Uint64
 }
 
 // resizeReq is one AddNode request travelling into the serve loop.
@@ -396,6 +414,14 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	if s.mirBuf, err = ctx.AllocBuffer(cfgSlotSize); err != nil {
 		return nil, err
 	}
+	if cfg.Rebalance && cfg.Shards <= 64 {
+		// Any succession member can inherit the coordinator role, so every
+		// node stages the rebalancer's load-table reads.
+		if s.loadBuf, err = ctx.AllocBuffer(cfg.Shards * shardLineSize); err != nil {
+			return nil, err
+		}
+		s.loadLine = make([]byte, cfg.Shards*shardLineSize)
+	}
 	mqp, err := ctx.NewQP(0)
 	if err != nil {
 		return nil, err
@@ -416,7 +442,7 @@ func Open(ctx *sonuma.Context, cfg Config) (*Store, error) {
 	s.cfgFreshNano.Store(now.UnixNano())
 	if s.me == s.coord {
 		s.cfgEpoch, s.cfgDown = 1, 0
-		s.writeConfigSlot(s.cfgTerm, 1, 0)
+		s.writeConfigSlot(s.cfgTerm, 1, 0, 0)
 		s.publishCfg()
 	}
 	// Failover detection: the fabric's watchers report failed nodes and
@@ -481,6 +507,7 @@ func (s *Store) Stats() StoreStats {
 		CfgStaleMs:     float64(time.Now().UnixNano()-s.cfgFreshNano.Load()) / 1e6,
 		Takeovers:      s.takeovers.Load(),
 		CoordDemotions: s.coordDemotions.Load(),
+		Rebalances:     s.rebalances.Load(),
 	}
 }
 
@@ -784,6 +811,7 @@ func (s *Store) unstickSlot(shard, bucket int, ver uint64) {
 	if keyLen > 0 && valLen >= 0 && entryHdr+keyLen+valLen <= s.cfg.SlotSize &&
 		crc32.ChecksumIEEE(s.scratch[entryHdr:entryHdr+keyLen+valLen]) == crc {
 		_ = s.mem.Store64(off, ver+1)
+		s.bumpShardVer(shard)
 		return
 	}
 	cl := s.ctx.Node().Cluster()
@@ -803,6 +831,7 @@ func (s *Store) unstickSlot(shard, bucket int, ver uint64) {
 		}
 		if theirs == 0 {
 			_ = s.mem.Store64(off, 0) // no replica holds an entry: clear
+			s.bumpShardVer(shard)
 			return
 		}
 		pub := theirs
@@ -813,6 +842,7 @@ func (s *Store) unstickSlot(shard, bucket int, ver uint64) {
 			return
 		}
 		_ = s.mem.Store64(off, pub)
+		s.bumpShardVer(shard)
 		return
 	}
 	// No replica reachable: stay stuck for now; the next pass retries.
@@ -1222,6 +1252,7 @@ func (s *Store) pullSlot(peer, shard, bucket, bufOff int) error {
 	if ver == 0 {
 		if cur != 0 {
 			_ = s.mem.Store64(off, 0)
+			s.bumpShardVer(shard)
 		}
 		return nil
 	}
@@ -1247,7 +1278,9 @@ func (s *Store) pullSlot(peer, shard, bucket, bufOff int) error {
 		return err
 	}
 	s.repairedSlots.Add(1)
-	return s.mem.Store64(off, ver)
+	err = s.mem.Store64(off, ver)
+	s.bumpShardVer(shard) // pulled image replaced local data: invalidate caches
+	return err
 }
 
 // repairSlot compares one slot's local and remote images and streams the
@@ -1417,6 +1450,7 @@ func (s *Store) applyRepair(shard, bucket int, ver, fepoch uint64, body []byte) 
 		// The repairer has no entry here: clear the (stuck or stale)
 		// slot.
 		_ = s.mem.Store64(off, 0)
+		s.bumpShardVer(shard)
 		return
 	}
 	if err := s.mem.Store64(off, cur|1); err != nil {
@@ -1426,6 +1460,10 @@ func (s *Store) applyRepair(shard, bucket int, ver, fepoch uint64, body []byte) 
 		return
 	}
 	_ = s.mem.Store64(off, ver)
+	// A repair changed this shard's contents outside the PUT path: bump
+	// the shard version so cache entries filled from the pre-repair image
+	// (a rolled-back stale leader's, say) die on their next probe.
+	s.bumpShardVer(shard)
 }
 
 // applyShardEpoch stamps a shard's epoch word after a repair stream for it
@@ -1463,7 +1501,9 @@ func (s *Store) handlePut(req *putReq) {
 			s.park(req)
 			return
 		}
-		req.resp <- s.applyPut(req.shard, req.key, req.value)
+		ver, err := s.applyPut(req.shard, req.key, req.value)
+		req.ver = ver
+		req.resp <- err
 		return
 	}
 	if s.down[target] {
@@ -1539,12 +1579,13 @@ func (s *Store) handleMsg(m sonuma.Message) {
 		if shard < 0 || shard >= s.cfg.Shards || keyLen <= 0 || 17+keyLen > len(m.Data) {
 			// Mismatched configurations between members; a silent drop
 			// would leave the origin's client blocked forever.
-			s.ackTo(m.From, id, ackBadRequest)
+			s.ackTo(m.From, id, ackBadRequest, 0)
 			return
 		}
 		key := m.Data[17 : 17+keyLen]
 		value := m.Data[17+keyLen:]
-		s.ackTo(m.From, id, s.applyForwarded(shard, key, value))
+		code, sv := s.applyForwarded(shard, key, value)
+		s.ackTo(m.From, id, code, sv)
 	case msgAck:
 		if len(m.Data) < 10 {
 			return
@@ -1564,6 +1605,9 @@ func (s *Store) handleMsg(m sonuma.Message) {
 			s.cfgDirty = true
 			s.park(f.req)
 			return
+		}
+		if len(m.Data) >= 18 {
+			f.req.ver = binary.LittleEndian.Uint64(m.Data[10:])
 		}
 		f.req.resp <- ackErr(code)
 	case msgRepair:
@@ -1609,34 +1653,37 @@ func (s *Store) handleMsg(m sonuma.Message) {
 // when the lease has lapsed: a demoted-but-unaware leader answers
 // ackFenced instead of silently absorbing a write the new epoch will never
 // see.
-func (s *Store) applyForwarded(shard int, key, value []byte) byte {
+func (s *Store) applyForwarded(shard int, key, value []byte) (byte, uint64) {
 	if s.leaderOf(shard) != s.me || s.cfgDownBit(s.me) {
-		return ackWrongOwner
+		return ackWrongOwner, 0
 	}
 	if !s.leaseValid(time.Now()) {
 		s.renewAt = time.Time{} // chase a fresh grant
 		s.fenced.Add(1)
-		return ackFenced
+		return ackFenced, 0
 	}
-	switch err := s.applyPut(shard, key, value); {
+	switch ver, err := s.applyPut(shard, key, value); {
 	case err == nil:
-		return ackOK
+		return ackOK, ver
 	case errors.Is(err, ErrTooLarge):
-		return ackTooLarge
+		return ackTooLarge, 0
 	case errors.Is(err, ErrShardFull):
-		return ackShardFull
+		return ackShardFull, 0
 	default:
-		return ackNoReplica
+		return ackNoReplica, 0
 	}
 }
 
-// ackTo answers a forwarded PUT. A failed ack send means the requester
-// became unreachable; it will re-route via its own failure watcher.
-func (s *Store) ackTo(node int, id uint64, code byte) {
-	var b [10]byte
+// ackTo answers a forwarded PUT, carrying the leader's post-apply shard
+// version for the origin client's hot-key cache. A failed ack send means
+// the requester became unreachable; it will re-route via its own failure
+// watcher.
+func (s *Store) ackTo(node int, id uint64, code byte, shardVer uint64) {
+	var b [18]byte
 	b[0] = msgAck
 	binary.LittleEndian.PutUint64(b[1:], id)
 	b[9] = code
+	binary.LittleEndian.PutUint64(b[10:], shardVer)
 	_ = s.msgr.Send(node, b[:])
 }
 
@@ -1668,21 +1715,49 @@ func (s *Store) findBucket(shard int, key []byte) (int, error) {
 	return 0, ErrShardFull
 }
 
+// bumpShardVer advances the shard's cache-invalidation version word. Order
+// matters for the hot-key cache (client.go): the bump happens AFTER the
+// slot commit and BEFORE the PUT acks, so a bumped version proves the new
+// value is readable, and any cache entry filled against the old version
+// self-invalidates on its next probe. Local word only — backups' copies
+// advance inside replicate's final batch, before the origin's ack.
+func (s *Store) bumpShardVer(shard int) uint64 {
+	off := s.cfg.shardLineOff(shard) + shardLineVer
+	v, err := s.mem.Load64(off)
+	if err != nil {
+		return 0
+	}
+	v++
+	_ = s.mem.Store64(off, v)
+	return v
+}
+
+// countShardWrite advances the shard's leader-write load counter (the
+// write half of the rebalancer's feedback signal; reads are sampled by
+// clients with remote FetchAdds on the neighbouring word).
+func (s *Store) countShardWrite(shard int) {
+	off := s.cfg.shardLineOff(shard) + shardLineWrites
+	if v, err := s.mem.Load64(off); err == nil {
+		_ = s.mem.Store64(off, v+1)
+	}
+}
+
 // applyPut writes key=value into the local shard table under the slot's
 // seqlock, then replicates the committed slot image to the shard's backups:
 // a remote FetchAdd takes each backup's version odd, a remote write lands
 // the body, and a final FetchAdd publishes the even, advanced version —
 // the same torn-or-stable discipline one-sided readers rely on locally.
-func (s *Store) applyPut(shard int, key, value []byte) error {
+// Returns the shard's post-commit version for the client's ack.
+func (s *Store) applyPut(shard int, key, value []byte) (uint64, error) {
 	if len(key) == 0 {
-		return ErrEmptyKey
+		return 0, ErrEmptyKey
 	}
 	if entryHdr+len(key)+len(value) > s.cfg.SlotSize {
-		return ErrTooLarge
+		return 0, ErrTooLarge
 	}
 	bucket, err := s.findBucket(shard, key)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	off := s.cfg.slotOff(shard, bucket)
 
@@ -1690,27 +1765,29 @@ func (s *Store) applyPut(shard int, key, value []byte) error {
 	// from any older epoch can never outrank a write acknowledged under
 	// this one — this is the "epoch" half of the (epoch, version) order.
 	if err := s.mem.Store64(s.cfg.shardEpochOff(shard), s.cfgEpoch); err != nil {
-		return err
+		return 0, err
 	}
 
 	// Local commit under the slot seqlock.
 	ver, err := s.mem.Load64(off)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	body := s.scratch[:entryHdr+len(key)+len(value)]
 	encodeEntryBody(body, key, value)
 	if err := s.mem.Store64(off, ver|1); err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.mem.WriteAt(off+8, body[8:]); err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.mem.Store64(off, (ver|1)+1); err != nil {
-		return err
+		return 0, err
 	}
+	sv := s.bumpShardVer(shard)
+	s.countShardWrite(shard)
 	s.putsApplied.Add(1)
-	return s.replicate(shard, off, body)
+	return sv, s.replicate(shard, off, body)
 }
 
 // replicate pushes the committed slot body at off to every reachable
@@ -1803,7 +1880,11 @@ func (s *Store) replicate(shard int, off int, body []byte) error {
 		return s.failTargets(targets, errs)
 	}
 
-	// Phase 3: publish the even, advanced version.
+	// Phase 3: publish the even, advanced version, and advance the
+	// backup's shard-version word in the same burst — completing before
+	// the origin acks, so a hot-key cache bound to the backup observes
+	// the invalidation no later than the PUT's success.
+	verOff := uint64(s.cfg.shardLineOff(shard) + shardLineVer)
 	staged = false
 	for i, t := range targets {
 		if errs[i] != nil {
@@ -1811,6 +1892,11 @@ func (s *Store) replicate(shard int, off int, body []byte) error {
 		}
 		i := i
 		batch.FetchAdd(t, uint64(off), 1, nil, 0, func(_ int, err error) {
+			if err != nil {
+				errs[i] = err
+			}
+		})
+		batch.FetchAdd(t, verOff, 1, nil, 0, func(_ int, err error) {
 			if err != nil {
 				errs[i] = err
 			}
@@ -1997,5 +2083,7 @@ func (s *Store) migrateSlot(src, shard, bucket, bufOff int) error {
 	if err := s.mem.WriteAt(off+8, img[8:]); err != nil {
 		return err
 	}
-	return s.mem.Store64(off, ver)
+	err := s.mem.Store64(off, ver)
+	s.bumpShardVer(shard) // migration installed new data: invalidate caches
+	return err
 }

@@ -60,7 +60,7 @@ func TestTermEncoding(t *testing.T) {
 func TestParseConfigSlotTornAndStale(t *testing.T) {
 	line := make([]byte, cfgSlotSize)
 	// Never published: all zeros.
-	if _, _, _, ok := parseConfigSlot(line); ok {
+	if _, _, _, _, ok := parseConfigSlot(line); ok {
 		t.Fatal("parsed a never-published slot")
 	}
 	// Torn: odd seq (a mirror write or local update in flight).
@@ -68,21 +68,22 @@ func TestParseConfigSlotTornAndStale(t *testing.T) {
 	binary.LittleEndian.PutUint64(line[8:], termFor(2, 1))
 	binary.LittleEndian.PutUint64(line[16:], 5)
 	binary.LittleEndian.PutUint64(line[24:], 0b1001)
-	binary.LittleEndian.PutUint64(line[32:], cfgSlotSum(termFor(2, 1), 5, 0b1001))
-	if _, _, _, ok := parseConfigSlot(line); ok {
+	binary.LittleEndian.PutUint64(line[40:], 0b11)
+	binary.LittleEndian.PutUint64(line[32:], cfgSlotSum(termFor(2, 1), 5, 0b1001, 0b11))
+	if _, _, _, _, ok := parseConfigSlot(line); ok {
 		t.Fatal("parsed a torn (odd-seq) slot image")
 	}
 	// Stable image round-trips.
 	binary.LittleEndian.PutUint64(line[0:], 8)
-	term, epoch, down, ok := parseConfigSlot(line)
-	if !ok || term != termFor(2, 1) || epoch != 5 || down != 0b1001 {
-		t.Fatalf("parse = (%d, %d, %#b, %v)", term, epoch, down, ok)
+	term, epoch, down, rot, ok := parseConfigSlot(line)
+	if !ok || term != termFor(2, 1) || epoch != 5 || down != 0b1001 || rot != 0b11 {
+		t.Fatalf("parse = (%d, %d, %#b, %#b, %v)", term, epoch, down, rot, ok)
 	}
 	// A MIXED image — words from two different configurations, even seq
 	// (a remote mirror write interleaved with local seqlock stores) —
 	// fails the checksum and reads as torn.
 	binary.LittleEndian.PutUint64(line[24:], 0b0110) // mask from another config
-	if _, _, _, ok := parseConfigSlot(line); ok {
+	if _, _, _, _, ok := parseConfigSlot(line); ok {
 		t.Fatal("parsed a mixed (checksum-failing) slot image")
 	}
 }
@@ -132,7 +133,7 @@ func TestTermOrderedTakeoverAndDemotion(t *testing.T) {
 	if err := s2.cfgBuf.ReadAt(0, s2.cfgLine); err != nil {
 		t.Fatal(err)
 	}
-	if term, _, _, ok := parseConfigSlot(s2.cfgLine); !ok || term != wantTerm {
+	if term, _, _, _, ok := parseConfigSlot(s2.cfgLine); !ok || term != wantTerm {
 		t.Fatalf("successor slot term=%d ok=%v, want %d", term, ok, wantTerm)
 	}
 
@@ -153,13 +154,13 @@ func TestTermOrderedTakeoverAndDemotion(t *testing.T) {
 
 	// A deposed coordinator's mirror write must be refused by the term
 	// guard, not clobber the successor's image.
-	if err := s0.writeMirror(2, seedTerm, 99, 0); !errors.Is(err, errSuperseded) {
+	if err := s0.writeMirror(2, seedTerm, 99, 0, 0); !errors.Is(err, errSuperseded) {
 		t.Fatalf("stale mirror write: err=%v, want errSuperseded", err)
 	}
 
 	// Stale-term control frames are rejected: a grant from the deposed
 	// term must not validate a lease under the new one.
-	s2.adoptTerm(wantTerm, s1.cfgEpoch, s1.cfgDown)
+	s2.adoptTerm(wantTerm, s1.cfgEpoch, s1.cfgDown, s1.cfgRot)
 	var b [ctlMaxLen]byte
 	s2.handleCtrl(testCtl(0, encodeCtl(b[:], ctlFrame{
 		kind: ctlLeaseGrant, term: seedTerm, epoch: s2.cfgEpoch, arg: 1e6})))

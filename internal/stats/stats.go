@@ -84,6 +84,24 @@ func (z *Zipf) Next() int {
 	return sort.SearchFloat64s(z.cdf, u)
 }
 
+// ZipfTopMass returns the expected probability mass of the k most
+// popular ranks of a Zipf(s) distribution over n items — the reference
+// value distribution tests compare observed frequencies against.
+func ZipfTopMass(n int, s float64, k int) float64 {
+	if k > n {
+		k = n
+	}
+	top, sum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		p := 1.0 / math.Pow(float64(i+1), s)
+		sum += p
+		if i < k {
+			top += p
+		}
+	}
+	return top / sum
+}
+
 // Sample accumulates observations for summary statistics.
 type Sample struct {
 	vals   []float64
