@@ -72,7 +72,7 @@ func (c Config) EffectiveBatchSize() int {
 // learned") — is running the full software stack at wall-clock speed.
 type Cluster struct {
 	cfg   Config
-	ic    *fabric.Interconnect
+	ic    fabric.Transport
 	nodes []*Node
 }
 
@@ -120,6 +120,41 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// NewClusterWithTransport builds a cluster view over an externally
+// constructed transport, hosting RMCs only for the listed local nodes —
+// the multi-process mode, where each sonuma-node daemon (and the parent
+// driving clients) hosts a subset of the fabric's endpoints. Node(i)
+// returns nil for non-hosted nodes. The caller owns the transport's
+// lifetime up to Close, which closes it along with the local RMCs.
+func NewClusterWithTransport(cfg Config, tr fabric.Transport, local []int) (*Cluster, error) {
+	n := tr.Nodes()
+	if cfg.Nodes != 0 && cfg.Nodes != n {
+		return nil, fmt.Errorf("sonuma: Config.Nodes %d does not match transport size %d", cfg.Nodes, n)
+	}
+	cfg.Nodes = n
+	c := &Cluster{cfg: cfg, ic: tr, nodes: make([]*Node, n)}
+	rcfg := emu.Config{
+		ITTEntries: cfg.ITTEntries,
+		TLBEntries: cfg.TLBEntries,
+		PageSize:   cfg.PageSize,
+		BatchSize:  cfg.EffectiveBatchSize(),
+	}
+	for _, i := range local {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("sonuma: local node %d out of range [0,%d)", i, n)
+		}
+		if c.nodes[i] != nil {
+			return nil, fmt.Errorf("sonuma: local node %d listed twice", i)
+		}
+		c.nodes[i] = &Node{
+			cluster: c,
+			id:      core.NodeID(i),
+			rmc:     emu.NewRMC(core.NodeID(i), tr, rcfg),
+		}
+	}
+	return c, nil
+}
+
 // rectangle factors n into the most square w×h grid.
 func rectangle(n int) (w, h int) {
 	w = 1
@@ -157,7 +192,8 @@ func box(n int) (x, y, z int) {
 // Nodes reports the cluster size.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 
-// Node returns the i-th node.
+// Node returns the i-th node, or nil if this process does not host it
+// (multi-process clusters host a subset; see NewClusterWithTransport).
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // FailNode injects a node failure: the node stops answering, in-flight
@@ -195,15 +231,18 @@ func (c *Cluster) Reachable(a, b int) bool {
 	return c.ic.Reachable(core.NodeID(a), core.NodeID(b))
 }
 
-// Interconnect exposes fabric counters for instrumentation.
-func (c *Cluster) Interconnect() *fabric.Interconnect { return c.ic }
+// Transport exposes the underlying fabric transport for instrumentation.
+func (c *Cluster) Transport() fabric.Transport { return c.ic }
 
-// Close shuts the fabric and all RMC pipelines down. Outstanding operations
-// are abandoned; Close blocks until all pipeline goroutines exit.
+// Close shuts the fabric and all locally hosted RMC pipelines down.
+// Outstanding operations are abandoned; Close blocks until all pipeline
+// goroutines exit.
 func (c *Cluster) Close() {
 	c.ic.Close()
 	for _, n := range c.nodes {
-		n.rmc.Close()
+		if n != nil {
+			n.rmc.Close()
+		}
 	}
 }
 

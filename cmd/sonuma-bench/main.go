@@ -40,6 +40,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced sweeps and op counts")
 		jsonOut    = flag.String("json", "", "write datapath/kvs results to this file as JSON (e.g. BENCH.json)")
 		skew       = flag.Bool("skew", false, "with -experiment kvs: run the skew-serving ablation (replica spread, hot-key cache, rebalancing) instead of the standard kvs suite")
+		transport  = flag.String("transport", "chan", "with -experiment kvs: chan (in-process lanes) or proc (store members in sonuma-node daemon processes over the socket fabric)")
 		seed       = flag.Uint64("seed", 0, "seed for randomized choices (key pickers, fault runs); 0 = fixed default; printed with results so failing partition schedules are reproducible")
 	)
 	flag.Parse()
@@ -91,6 +92,22 @@ func main() {
 			d, err := bench.KVSSkew(o)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "kvs -skew: %v\nreproduce with -seed (see error above for the run's seed)\n", err)
+				os.Exit(1)
+			}
+			bench.Print(w, d)
+			if *jsonOut != "" {
+				if err := d.WriteJSON(*jsonOut); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *jsonOut)
+			}
+		})
+	} else if want("kvs") && *transport == "proc" {
+		run("Sharded KV service, multi-process (YCSB-style mixes + failover + coordinator SIGKILL)", func() {
+			d, err := bench.KVSProc(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kvs -transport proc: %v\nreproduce with -seed (see error above for the run's seed)\n", err)
 				os.Exit(1)
 			}
 			bench.Print(w, d)

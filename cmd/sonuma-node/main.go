@@ -1,0 +1,190 @@
+// Command sonuma-node hosts one emulated soNUMA node in its own OS
+// process: a ProcFabric endpoint, the node's RMC pipelines, and
+// (optionally) a kvs store partition. A driving process — sonuma-bench
+// in -transport proc mode, or the proc chaos tests — spawns one daemon
+// per member node, talks soNUMA to it over the fabric sockets, and
+// drives fault schedules through the control socket. Because the daemon
+// is a real process, SIGKILL is a real crash: its memory is gone, its
+// sockets drop mid-frame, and recovery must run the actual rejoin path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sonuma"
+	"sonuma/internal/fabric"
+	"sonuma/internal/kvs"
+)
+
+// kvsCtxID is the context id the kvs service runs on in multi-process
+// clusters; every process (daemon or driver) must use the same id.
+const kvsCtxID = 3
+
+func main() {
+	var (
+		id           = flag.Int("id", -1, "fabric node id this daemon hosts")
+		nodes        = flag.Int("nodes", 0, "total fabric size across all processes")
+		dir          = flag.String("dir", "", "socket directory shared by the cluster")
+		credits      = flag.Int("credits", 0, "per-flow credit window (0 = default)")
+		kvsPath      = flag.String("kvs", "", "path to a kvs.Config JSON file (empty = bare RMC node)")
+		readyTimeout = flag.Duration("ready-timeout", 10*time.Second, "time to wait for fabric peers before proceeding")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("sonuma-node[n%d] ", *id))
+	log.SetFlags(log.Lmicroseconds)
+	if err := run(*id, *nodes, *dir, *credits, *kvsPath, *readyTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(id, nodes int, dir string, credits int, kvsPath string, readyTimeout time.Duration) error {
+	if id < 0 || nodes <= 0 || id >= nodes {
+		return fmt.Errorf("need -id in [0,%d) and positive -nodes", nodes)
+	}
+	if dir == "" {
+		return fmt.Errorf("need -dir (the cluster's shared socket directory)")
+	}
+	pf, err := fabric.NewProcFabric(fabric.ProcConfig{
+		Nodes:   nodes,
+		Local:   []int{id},
+		Dir:     dir,
+		Credits: credits,
+	})
+	if err != nil {
+		return err
+	}
+	cl, err := sonuma.NewClusterWithTransport(sonuma.Config{LinkCredits: credits}, pf, []int{id})
+	if err != nil {
+		pf.Close()
+		return err
+	}
+	defer cl.Close()
+
+	// A restarted daemon may come up while some peer is still dead; the
+	// fabric keeps redialing in the background, so a ready timeout is
+	// survivable — log it and serve with whatever connectivity exists.
+	if err := pf.WaitReady(readyTimeout); err != nil {
+		log.Printf("fabric not fully connected (continuing): %v", err)
+	}
+
+	var store *kvs.Store
+	if kvsPath != "" {
+		raw, err := os.ReadFile(kvsPath)
+		if err != nil {
+			return err
+		}
+		var cfg kvs.Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return fmt.Errorf("parsing %s: %w", kvsPath, err)
+		}
+		// A daemon can be SIGKILLed and respawned into a cluster of
+		// survivors whose messenger cursors for this node are far
+		// ahead; the first send to each peer must renegotiate the
+		// channel before any data moves.
+		cfg.Messenger.BootResync = true
+		ctx, err := cl.Node(id).OpenContext(kvsCtxID, cfg.SegmentSize(nodes)+4096)
+		if err != nil {
+			return err
+		}
+		if store, err = kvs.Open(ctx, cfg); err != nil {
+			return err
+		}
+		defer store.Close()
+		log.Printf("kvs store open (ctx %d)", kvsCtxID)
+	}
+
+	ctlPath := sonuma.ProcCtlSocket(dir, id)
+	os.Remove(ctlPath)
+	ln, err := net.Listen("unix", ctlPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(ctlPath)
+	defer ln.Close()
+
+	quit := make(chan struct{})
+	go serveCtl(ln, cl, store, id, quit)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("exiting on %v", s)
+	case <-quit:
+		log.Printf("exiting on control shutdown")
+	}
+	return nil
+}
+
+// serveCtl answers JSON-lines control requests on ln until the listener
+// closes or a shutdown request arrives (then quit is closed).
+func serveCtl(ln net.Listener, cl *sonuma.Cluster, store *kvs.Store, id int, quit chan struct{}) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			dec := json.NewDecoder(conn)
+			enc := json.NewEncoder(conn)
+			for {
+				var req sonuma.ProcCtlRequest
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := handleCtl(cl, store, id, req)
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+				if req.Op == "shutdown" {
+					select {
+					case <-quit:
+					default:
+						close(quit)
+					}
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+func handleCtl(cl *sonuma.Cluster, store *kvs.Store, id int, req sonuma.ProcCtlRequest) sonuma.ProcCtlResponse {
+	switch req.Op {
+	case "ping", "shutdown":
+		return sonuma.ProcCtlResponse{OK: true}
+	case "cut":
+		if req.Directed {
+			cl.FailLinkDirected(req.A, req.B)
+		} else {
+			cl.FailLink(req.A, req.B)
+		}
+		return sonuma.ProcCtlResponse{OK: true}
+	case "restore":
+		cl.RestoreLink(req.A, req.B)
+		return sonuma.ProcCtlResponse{OK: true}
+	case "info":
+		info := &sonuma.ProcNodeInfo{Node: id}
+		if store != nil {
+			info.Term = store.Term()
+			info.Epoch = store.Epoch()
+			info.Coordinator = store.Coordinator()
+			info.DownView = store.DownView()
+			if raw, err := json.Marshal(store.Stats()); err == nil {
+				info.Stats = raw
+			}
+		}
+		return sonuma.ProcCtlResponse{OK: true, Info: info}
+	default:
+		return sonuma.ProcCtlResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

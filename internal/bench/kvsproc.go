@@ -1,0 +1,668 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sonuma"
+	"sonuma/internal/kvs"
+	"sonuma/internal/stats"
+)
+
+// This file is the kvs experiment's multi-process mode (-transport proc):
+// the same YCSB-style mixes, failover run, and coordinator-kill run as
+// kvs.go, but with the four store members hosted by real sonuma-node OS
+// processes and only the clients in this process. Every GET and PUT
+// crosses process boundaries over the socket fabric, node failure is a
+// real SIGKILL (memory gone, sockets torn mid-frame), and the numbers
+// report what the one-sided protocol costs when the fabric is made of
+// actual kernel-crossed transports instead of channels.
+
+// KVSProcCoordStat records the cross-process coordinator kill: the daemon
+// holding the epoch authority is SIGKILLed mid-load and never restarted;
+// a successor must activate a new term with no operator input.
+type KVSProcCoordStat struct {
+	SeedCoordinator int    `json:"seed_coordinator"`
+	Successor       int    `json:"successor"`
+	TermStart       uint64 `json:"term_start"`
+	TermEnd         uint64 `json:"term_end"`
+	// FailoverMs: SIGKILL delivered → first PUT acknowledged into a shard
+	// the dead coordinator led.
+	FailoverMs float64 `json:"failover_ms"`
+	// StalledWrites counts PUT attempts that surfaced a definite error
+	// during the blackout; CompletedAfter counts the writes that then
+	// landed under the successor's term.
+	StalledWrites  int `json:"stalled_writes"`
+	CompletedAfter int `json:"completed_after_failover"`
+	// ReplicasIdentical audits the surviving replicas of the contested
+	// keys after the succession settles.
+	ReplicasIdentical bool `json:"replicas_identical"`
+}
+
+// KVSProcData is the measurement set of the multi-process kvs experiment.
+type KVSProcData struct {
+	GeneratedAt string            `json:"generated_at"`
+	Seed        uint64            `json:"seed"`
+	Nodes       int               `json:"nodes"`   // fabric size across all processes
+	Daemons     int               `json:"daemons"` // sonuma-node processes (store members)
+	Shards      int               `json:"shards"`
+	Replicas    int               `json:"replicas"`
+	Keys        int               `json:"keys"`
+	Results     []KVSStat         `json:"results"`
+	Failover    *KVSFailoverStat  `json:"failover,omitempty"`
+	CoordKill   *KVSProcCoordStat `json:"coord_kill,omitempty"`
+}
+
+// kvsProcHarness is one booted multi-process cluster: the members live in
+// daemons, the clients on parent-hosted fabric nodes.
+type kvsProcHarness struct {
+	pc      *sonuma.ProcCluster
+	members []int
+	stores  []*kvs.Store  // parent-side client-only stores, one per client node
+	clients []*kvs.Client // one per client node
+	keys    [][]byte
+	seed    uint64
+	closed  bool
+}
+
+// kvsProcCtxID must match the context id sonuma-node daemons open their
+// store on.
+const kvsProcCtxID = 3
+
+// startKVSProc boots members+clients fabric nodes: one sonuma-node daemon
+// per member, the client nodes hosted here. bin is a pre-resolved daemon
+// binary ("" lets the cluster resolve one itself).
+func startKVSProc(members, clients, keyCount int, cfg kvs.Config, seed uint64, bin string) (*kvsProcHarness, error) {
+	total := members + clients
+	memberIDs := make([]int, members)
+	for i := range memberIDs {
+		memberIDs[i] = i
+	}
+	localIDs := make([]int, clients)
+	for i := range localIDs {
+		localIDs[i] = members + i
+	}
+	cfg.Members = memberIDs
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := sonuma.StartProcCluster(sonuma.ProcOptions{
+		Nodes:         total,
+		Daemons:       memberIDs,
+		Local:         localIDs,
+		BinPath:       bin,
+		ServiceConfig: blob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &kvsProcHarness{pc: pc, members: memberIDs, seed: seed}
+	// The daemons' member stores are open by the time StartProcCluster
+	// returns (a daemon answers control pings only after its store is up),
+	// so the client-only opens and their geometry probes find live peers.
+	for _, id := range localIDs {
+		ctx, err := pc.Cluster().Node(id).OpenContext(kvsProcCtxID, cfg.SegmentSize(total)+4096)
+		if err != nil {
+			pc.Close()
+			return nil, err
+		}
+		s, err := kvs.Open(ctx, cfg)
+		if err != nil {
+			pc.Close()
+			return nil, fmt.Errorf("client-only store on node %d: %w", id, err)
+		}
+		h.stores = append(h.stores, s)
+	}
+	for _, s := range h.stores {
+		c, err := s.NewClient()
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.clients = append(h.clients, c)
+	}
+	h.keys = make([][]byte, keyCount)
+	for i := range h.keys {
+		h.keys[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	return h, nil
+}
+
+// close is idempotent so callers can tear a cluster down eagerly (to
+// free its daemons' CPU before the next cluster boots) while keeping a
+// defer for error paths.
+func (h *kvsProcHarness) close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, s := range h.stores {
+		s.Close()
+	}
+	h.pc.Close()
+}
+
+func (h *kvsProcHarness) preload(valueSize int) error {
+	val := benchValue(valueSize, 0)
+	for i, k := range h.keys {
+		if err := h.clients[i%len(h.clients)].Put(k, val); err != nil {
+			return fmt.Errorf("preload %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// daemonStats fetches one daemon's store counters over its control socket.
+func (h *kvsProcHarness) daemonStats(id int) (kvs.StoreStats, error) {
+	info, err := h.pc.Info(id)
+	if err != nil {
+		return kvs.StoreStats{}, err
+	}
+	var st kvs.StoreStats
+	if err := json.Unmarshal(info.Stats, &st); err != nil {
+		return kvs.StoreStats{}, fmt.Errorf("daemon n%d stats: %w", id, err)
+	}
+	return st, nil
+}
+
+// serverCounters sums MsgsHandled and PutsForwarded across every store in
+// the cluster: the member daemons (polled over their control sockets) and
+// the parent-side client-only stores. Both sides matter for the one-sided
+// audit — a forwarded PUT counts at the forwarding origin (PutsForwarded,
+// here in the parent) and costs two handler invocations (the PUT at the
+// daemon primary, its ack back at the origin).
+func (h *kvsProcHarness) serverCounters() (msgs, fwd uint64, err error) {
+	for _, id := range h.members {
+		st, err := h.daemonStats(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		msgs += st.MsgsHandled
+		fwd += st.PutsForwarded
+	}
+	for _, s := range h.stores {
+		st := s.Stats()
+		msgs += st.MsgsHandled
+		fwd += st.PutsForwarded
+	}
+	return msgs, fwd, nil
+}
+
+// runMix drives one workload row across the socket fabric — the same mix
+// loop as the in-process harness, with server-side counters collected
+// over the daemons' control sockets.
+func (h *kvsProcHarness) runMix(w kvsWorkload, dist string, valueSize, totalOps, getBurst int) (KVSStat, error) {
+	nc := len(h.clients)
+	perClient := totalOps / nc
+	latencies := make([][]float64, nc)
+	errs := make([]error, nc)
+	msgs0, fwd0, err := h.serverCounters()
+	if err != nil {
+		return KVSStat{}, err
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < nc; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			latencies[ci], errs[ci] = h.clientMix(ci, w, dist, valueSize, perClient, getBurst)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return KVSStat{}, err
+		}
+	}
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	ops := len(all)
+	msgs1, fwd1, err := h.serverCounters()
+	if err != nil {
+		return KVSStat{}, err
+	}
+	msgs, fwd := msgs1-msgs0, fwd1-fwd0
+	return KVSStat{
+		Workload:              w.name,
+		Dist:                  dist,
+		ReadPct:               w.readPct,
+		ValueSize:             valueSize,
+		GetBurst:              getBurst,
+		Ops:                   ops,
+		OpsPerSec:             float64(ops) / elapsed,
+		P50Us:                 all[ops/2],
+		P99Us:                 all[ops*99/100],
+		ServerMsgsHandled:     msgs,
+		GetHandlerInvocations: int64(msgs) - 2*int64(fwd),
+	}, nil
+}
+
+func (h *kvsProcHarness) clientMix(ci int, w kvsWorkload, dist string, valueSize, ops, getBurst int) ([]float64, error) {
+	client := h.clients[ci]
+	picker := newPicker(dist, len(h.keys), h.seed^(uint64(ci)*0x1000+7))
+	opRNG := stats.NewRNG(h.seed + uint64(ci) + 0x5eed)
+	lat := make([]float64, 0, ops)
+	burst := make([][]byte, 0, getBurst)
+
+	flush := func() error {
+		if len(burst) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		_, gerrs := client.MultiGet(burst)
+		per := float64(time.Since(t0).Nanoseconds()) / 1e3 / float64(len(burst))
+		for _, err := range gerrs {
+			if err != nil && !errors.Is(err, kvs.ErrNotFound) {
+				return err
+			}
+			lat = append(lat, per)
+		}
+		burst = burst[:0]
+		return nil
+	}
+
+	gen := 0
+	for i := 0; i < ops; i++ {
+		key := h.keys[picker.next()]
+		if opRNG.Intn(100) < w.readPct {
+			burst = append(burst, key)
+			if len(burst) == getBurst {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		gen++
+		t0 := time.Now()
+		if err := client.Put(key, benchValue(valueSize, gen)); err != nil {
+			return nil, err
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return lat, nil
+}
+
+// busiestPrimary picks the member (other than the seed coordinator)
+// leading the most shards.
+func (h *kvsProcHarness) busiestPrimary() int {
+	ring := h.stores[0].Ring()
+	leads := make(map[int]int)
+	for s := 0; s < ring.Shards(); s++ {
+		leads[ring.Owners(s)[0]]++
+	}
+	victim := h.members[1]
+	for _, m := range h.members[1:] {
+		if leads[m] > leads[victim] {
+			victim = m
+		}
+	}
+	return victim
+}
+
+// runFailover is the standard failover run across process boundaries: a
+// read-mostly zipfian mix, and at the halfway mark every fabric link of a
+// busy primary daemon is cut — an administrative cut broadcast to every
+// process, so each daemon observes the same link-failure epochs. Clients
+// retry until every operation completes.
+func (h *kvsProcHarness) runFailover(totalOps, valueSize int) (*KVSFailoverStat, error) {
+	victim := h.busiestPrimary()
+	nc := len(h.clients)
+	perClient := totalOps / nc
+	var completed, retried atomic.Int64
+	half := int64(perClient*nc) / 2
+	tripwire := make(chan struct{})
+	var once sync.Once
+
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < nc; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := h.clients[ci]
+			picker := newPicker("zipfian", len(h.keys), h.seed^(uint64(ci)*31+99))
+			opRNG := stats.NewRNG(h.seed + uint64(ci) ^ 0xfa11)
+			gen := 0
+			for i := 0; i < perClient; i++ {
+				key := h.keys[picker.next()]
+				isRead := opRNG.Intn(100) < 95
+				var lastErr error
+				ok := false
+				for attempt := 0; attempt < 200; attempt++ {
+					if isRead {
+						_, err := client.Get(key)
+						if err == nil || errors.Is(err, kvs.ErrNotFound) {
+							ok = true
+						} else {
+							lastErr = err
+						}
+					} else {
+						gen++
+						if err := client.Put(key, benchValue(valueSize, gen)); err == nil {
+							ok = true
+						} else {
+							lastErr = err
+						}
+					}
+					if ok {
+						break
+					}
+					retried.Add(1)
+				}
+				if !ok {
+					errs[ci] = fmt.Errorf("op on %q never completed after failover: %w", key, lastErr)
+					return
+				}
+				if completed.Add(1) == half {
+					once.Do(func() { close(tripwire) })
+				}
+			}
+		}()
+	}
+
+	failDone := make(chan struct{})
+	go func() {
+		defer close(failDone)
+		<-tripwire
+		for i := 0; i < h.pc.Cluster().Nodes(); i++ {
+			if i != victim {
+				h.pc.FailLink(victim, i)
+			}
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	once.Do(func() { close(tripwire) })
+	<-failDone
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var promotions uint64
+	for _, m := range h.members {
+		if m == victim {
+			continue // fully cut off; its control socket is unreachable
+		}
+		st, err := h.daemonStats(m)
+		if err != nil {
+			return nil, err
+		}
+		promotions += st.Promotions
+	}
+	return &KVSFailoverStat{
+		Workload:   "B",
+		Dist:       "zipfian",
+		FailedNode: victim,
+		Ops:        perClient * nc,
+		Completed:  int(completed.Load()),
+		Retried:    int(retried.Load()),
+		Promotions: promotions,
+		OpsPerSec:  float64(completed.Load()) / elapsed,
+	}, nil
+}
+
+// runCoordKill SIGKILLs the seed coordinator's daemon under load and
+// hammers the shards it led from a client until the deterministic
+// succession re-acknowledges every one — the cross-process version of the
+// node-fail coordinator run, with a real dead process instead of flags.
+func (h *kvsProcHarness) runCoordKill(lease time.Duration) (*KVSProcCoordStat, error) {
+	coord := h.members[0]
+	witness := h.stores[0]
+	client := h.clients[0]
+	ring := witness.Ring()
+	st := &KVSProcCoordStat{
+		SeedCoordinator: coord,
+		TermStart:       witness.Term(),
+	}
+
+	var keys [][]byte
+	for _, k := range h.keys {
+		if ring.Owners(ring.ShardOf(k))[0] == coord {
+			keys = append(keys, k)
+			if len(keys) == 16 {
+				break
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("coord-kill: coordinator %d leads no preloaded key", coord)
+	}
+
+	if err := h.pc.KillNode(coord); err != nil {
+		return nil, err
+	}
+	killedAt := time.Now()
+
+	deadline := killedAt.Add(60*lease + 30*time.Second)
+	landed := make(map[string]bool, len(keys))
+	putErr := make(chan error, 1)
+	gen := 0
+	for len(landed) < len(keys) {
+		for _, k := range keys {
+			if landed[string(k)] {
+				continue
+			}
+			gen++
+			k, g := k, gen
+			go func() { putErr <- client.Put(k, benchValue(64, g)) }()
+			var err error
+			select {
+			case err = <-putErr:
+			case <-time.After(10*lease + 10*time.Second):
+				return nil, fmt.Errorf("coord-kill: put on %q wedged past %s — hang, not a definite error",
+					k, 10*lease+10*time.Second)
+			}
+			if err == nil {
+				if st.FailoverMs == 0 {
+					st.FailoverMs = time.Since(killedAt).Seconds() * 1e3
+				}
+				landed[string(k)] = true
+				st.CompletedAfter++
+				continue
+			}
+			st.StalledWrites++
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("coord-kill: write on %q never completed after the authority died: %w", k, err)
+			}
+		}
+	}
+
+	st.Successor = witness.Coordinator()
+	if st.Successor == coord {
+		return nil, fmt.Errorf("coord-kill: writes completed but the term never moved off the dead coordinator")
+	}
+	if !witness.EpochDown(coord) {
+		return nil, fmt.Errorf("coord-kill: successor's epoch did not evict the dead coordinator")
+	}
+
+	st.ReplicasIdentical = true
+	for _, k := range keys {
+		var ref []byte
+		var refSet bool
+		for _, o := range ring.Owners(ring.ShardOf(k)) {
+			if o == coord {
+				continue
+			}
+			got, err := client.GetReplica(o, k)
+			if err != nil {
+				return nil, fmt.Errorf("coord-kill audit GetReplica(%d, %q): %w", o, k, err)
+			}
+			if !refSet {
+				ref, refSet = got, true
+			} else if string(got) != string(ref) {
+				return nil, fmt.Errorf("coord-kill: replica divergence on %q", k)
+			}
+		}
+	}
+	st.TermEnd = witness.Term()
+	return st, nil
+}
+
+// KVSProc measures the sharded KV service across real OS processes: the
+// zipfian A/B/C mixes, the standard failover run, and a coordinator
+// SIGKILL, all with the four store members in sonuma-node daemons.
+func KVSProc(o Options) (KVSProcData, error) {
+	const (
+		members  = 4
+		clients  = 4
+		shards   = 32
+		replicas = 2
+		buckets  = 512
+		slotSize = 256
+		getBurst = 8
+	)
+	keyCount := o.ops(1500, 400)
+	rowOps := o.ops(6000, 1000)
+	cfg := kvs.Config{Shards: shards, Replicas: replicas, Buckets: buckets, SlotSize: slotSize}
+
+	// One daemon binary serves all three clusters.
+	binDir, err := os.MkdirTemp("", "sonuma-node-bin-")
+	if err != nil {
+		return KVSProcData{}, err
+	}
+	defer os.RemoveAll(binDir)
+	bin, err := sonuma.ResolveNodeBinary("", binDir)
+	if err != nil {
+		return KVSProcData{}, err
+	}
+
+	h, err := startKVSProc(members, clients, keyCount, cfg, o.seed(), bin)
+	if err != nil {
+		return KVSProcData{}, err
+	}
+	defer h.close()
+	if err := h.preload(64); err != nil {
+		return KVSProcData{}, err
+	}
+
+	d := KVSProcData{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        o.seed(),
+		Nodes:       members + clients,
+		Daemons:     members,
+		Shards:      shards,
+		Replicas:    replicas,
+		Keys:        keyCount,
+	}
+	for _, w := range kvsWorkloads {
+		s, err := h.runMix(w, "zipfian", 64, rowOps, getBurst)
+		if err != nil {
+			return d, fmt.Errorf("workload %s/zipfian: %w", w.name, err)
+		}
+		d.Results = append(d.Results, s)
+	}
+	// Tear each cluster down before booting the next: the runs are
+	// independent, and keeping twelve daemons alive at once starves the
+	// active four of CPU on small hosts (heartbeats miss, nodes get
+	// evicted, the run wedges).
+	h.close()
+
+	// Fault runs each get a fresh cluster of fresh processes: the mixes
+	// above must not run on a degraded fabric, and a SIGKILLed coordinator
+	// stays dead.
+	faultCfg := cfg
+	faultCfg.Lease = 80 * time.Millisecond
+	fh, err := startKVSProc(members, clients, keyCount, faultCfg, o.seed(), bin)
+	if err != nil {
+		return d, err
+	}
+	defer fh.close()
+	if err := fh.preload(64); err != nil {
+		return d, err
+	}
+	if d.Failover, err = fh.runFailover(o.ops(3000, 600), 64); err != nil {
+		return d, fmt.Errorf("proc failover run (seed %d): %w", o.seed(), err)
+	}
+	fh.close()
+
+	ch, err := startKVSProc(members, clients, keyCount, faultCfg, o.seed(), bin)
+	if err != nil {
+		return d, err
+	}
+	defer ch.close()
+	if err := ch.preload(64); err != nil {
+		return d, err
+	}
+	if d.CoordKill, err = ch.runCoordKill(faultCfg.Lease); err != nil {
+		return d, fmt.Errorf("proc coordinator-kill run (seed %d): %w", o.seed(), err)
+	}
+	return d, nil
+}
+
+// WriteJSON writes the measurement set to path as indented JSON.
+func (d KVSProcData) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Tables renders the measurements as paper-style text tables.
+func (d KVSProcData) Tables() []*stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Sharded KV service, multi-process (%d fabric nodes, %d daemons, %d shards, %d replicas, %d keys, seed %d)",
+			d.Nodes, d.Daemons, d.Shards, d.Replicas, d.Keys, d.Seed),
+		"mix", "dist", "read%", "val B", "ops/sec", "p50 us", "p99 us", "srv msgs", "get handlers")
+	for _, r := range d.Results {
+		t.AddRow(r.Workload, r.Dist,
+			fmt.Sprintf("%d", r.ReadPct),
+			fmt.Sprintf("%d", r.ValueSize),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.P50Us),
+			fmt.Sprintf("%.2f", r.P99Us),
+			fmt.Sprintf("%d", r.ServerMsgsHandled),
+			fmt.Sprintf("%d", r.GetHandlerInvocations))
+	}
+	out := []*stats.Table{t}
+	if f := d.Failover; f != nil {
+		ft := stats.NewTable("KV failover, multi-process (all links of a primary daemon cut mid-load)",
+			"mix", "dist", "failed node", "ops", "completed", "retries", "promotions", "ops/sec")
+		ft.AddRow(f.Workload, f.Dist,
+			fmt.Sprintf("%d", f.FailedNode),
+			fmt.Sprintf("%d", f.Ops),
+			fmt.Sprintf("%d", f.Completed),
+			fmt.Sprintf("%d", f.Retried),
+			fmt.Sprintf("%d", f.Promotions),
+			fmt.Sprintf("%.0f", f.OpsPerSec))
+		out = append(out, ft)
+	}
+	if c := d.CoordKill; c != nil {
+		ct := stats.NewTable("KV coordinator SIGKILL, multi-process (authority process killed; succession takes over)",
+			"coord", "successor", "term", "failover ms", "stalled", "completed", "replicas identical")
+		ct.AddRow(
+			fmt.Sprintf("%d", c.SeedCoordinator),
+			fmt.Sprintf("%d", c.Successor),
+			fmt.Sprintf("%d→%d", c.TermStart, c.TermEnd),
+			fmt.Sprintf("%.1f", c.FailoverMs),
+			fmt.Sprintf("%d", c.StalledWrites),
+			fmt.Sprintf("%d", c.CompletedAfter),
+			fmt.Sprintf("%v", c.ReplicasIdentical))
+		out = append(out, ct)
+	}
+	return out
+}

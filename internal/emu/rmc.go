@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sonuma/internal/core"
 	"sonuma/internal/fabric"
@@ -36,6 +37,16 @@ type Config struct {
 	// to [1, proto.MaxBatch]). 1 selects the per-packet data path, kept
 	// for ablation benchmarks.
 	BatchSize int
+	// OpTimeout bounds how long a WQ request may stay in flight before
+	// the RCP completes it with StatusNodeFailure (default 2s). The
+	// fabric signals loss with failure events when it can, and those
+	// flush matching ITT state immediately — but a reply can be lost
+	// against a peer whose link looks healthy from THIS side (most
+	// plainly across a peer process restart), and a sync caller would
+	// otherwise wait forever. Generous by three orders of magnitude over
+	// any real completion, so it never fires on a slow op, only on a
+	// lost one.
+	OpTimeout time.Duration
 }
 
 const maxITT = 4096
@@ -64,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize <= 0 || c.BatchSize > proto.MaxBatch {
 		c.BatchSize = proto.MaxBatch
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -172,7 +186,8 @@ type ittEntry struct {
 	bufOff    uint64
 	remaining uint32
 	status    core.Status
-	linkEpoch uint64 // fabric link-failure epoch at issue time
+	linkEpoch uint64    // fabric link-failure epoch at issue time
+	issuedAt  time.Time // RGP accept time; bounds the in-flight wait (OpTimeout)
 }
 
 // ctrlEvent is a fabric health notification delivered to the RGP/RCP
@@ -197,7 +212,7 @@ type ctrlEvent struct {
 // batches and recycle every packet back to the proto pool on completion.
 type RMC struct {
 	id  core.NodeID
-	ic  *fabric.Interconnect
+	ic  fabric.Transport
 	cfg Config
 
 	ctxMu    sync.RWMutex
@@ -244,8 +259,10 @@ type RMC struct {
 	Stats Stats
 }
 
-// NewRMC creates and starts the RMC pipelines for node id.
-func NewRMC(id core.NodeID, ic *fabric.Interconnect, cfg Config) *RMC {
+// NewRMC creates and starts the RMC pipelines for node id. The transport
+// may be the in-process interconnect or a process fabric; the RMC is
+// agnostic.
+func NewRMC(id core.NodeID, ic fabric.Transport, cfg Config) *RMC {
 	cfg = cfg.withDefaults()
 	r := &RMC{
 		id:        id,
@@ -437,8 +454,20 @@ func (r *RMC) runRGPRCP() {
 	defer r.wg.Done()
 	replies := r.ic.Replies(r.id)
 	idle := 0
+	sweepEvery := r.cfg.OpTimeout / 4
+	sweepAt := time.Now().Add(sweepEvery)
+	passes := 0
 	for {
 		worked := false
+		// Time out lost in-flight requests. Checked on a coarse cadence:
+		// every 1024 busy passes here, and from the park select below, so
+		// both a busy and an idle pipeline bound a lost reply's wait.
+		if passes++; passes&1023 == 0 {
+			if now := time.Now(); now.After(sweepAt) {
+				sweepAt = now.Add(sweepEvery)
+				r.sweepOpTimeouts(now)
+			}
+		}
 		// RCP: drain all pending reply batches first; completions free
 		// WQ slots and ITT entries that the RGP needs.
 		for {
@@ -475,19 +504,39 @@ func (r *RMC) runRGPRCP() {
 		if idle < r.cfg.SpinCount {
 			continue
 		}
-		// Park until any work signal arrives.
+		// Park until any work signal arrives, waking on the sweep cadence
+		// so a lost reply still times out while the pipeline is idle.
 		select {
 		case rb := <-replies:
 			r.processReplies(rb)
 		case ev := <-r.control:
 			r.handleControl(ev)
 		case <-r.doorbell:
+		case <-time.After(sweepEvery):
+			now := time.Now()
+			sweepAt = now.Add(sweepEvery)
+			r.sweepOpTimeouts(now)
 		case <-r.stopped:
 			return
 		case <-r.ic.Done():
 			return
 		}
 		idle = 0
+	}
+}
+
+// sweepOpTimeouts fails every in-flight ITT entry older than OpTimeout
+// with StatusNodeFailure. This is the requester-side bound on a lost
+// reply: fabric failure events flush matching entries promptly when this
+// side can observe the loss, but a reply dropped by the PEER's side of a
+// link (reconnect lag after a process restart) leaves no local trace, and
+// without a bound a sync caller blocks forever.
+func (r *RMC) sweepOpTimeouts(now time.Time) {
+	for idx := range r.itt {
+		ent := &r.itt[idx]
+		if ent.active && now.Sub(ent.issuedAt) > r.cfg.OpTimeout {
+			r.failITT(uint16(idx), core.StatusNodeFailure)
+		}
 	}
 }
 
@@ -565,7 +614,7 @@ func (r *RMC) generate(qp *QPState, e qpring.WQEntry, wqIdx uint32, replies <-ch
 		active: true, gen: ent.gen, qp: qp, wqIdx: wqIdx,
 		op: e.Op, node: e.Node, buf: buf, bufOff: e.BufOff,
 		remaining: nLines, status: core.StatusOK,
-		linkEpoch: r.ic.LinkEpoch(),
+		linkEpoch: r.ic.LinkEpoch(), issuedAt: time.Now(),
 	}
 	tid := core.Tid(uint16(idx) | ent.gen<<12)
 

@@ -1,0 +1,289 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+// Wire framing for the process transport (proc.go). Every message on a
+// socket between sonuma-node processes is one frame:
+//
+//	offset 0  : magic   (4)  frameMagic, little endian
+//	offset 4  : type    (1)  hello / batch / credit
+//	offset 5  : pad     (1)  must be zero
+//	offset 6  : reserved(2)  must be zero
+//	offset 8  : length  (4)  payload length, ≤ maxFramePayload
+//	offset 12 : crc     (4)  CRC-32 (IEEE) over the payload
+//
+// followed by length payload bytes. The decoder is strict: unknown types,
+// nonzero pad/reserved bytes, oversized lengths, CRC mismatches, short
+// payloads, and trailing garbage inside a payload all error — never panic,
+// never over-read — because the peer is another OS process whose stream
+// may be torn mid-frame by a SIGKILL.
+//
+// Batch payload (type frameBatch):
+//
+//	offset 0 : src      (2)  batch route, little endian
+//	offset 2 : dst      (2)
+//	offset 4 : kind     (1)  virtual lane (proto.KindRequest / KindReply)
+//	offset 5 : count    (1)  packets in the batch, 1..proto.MaxBatch
+//	offset 6 : reserved (2)  must be zero
+//	offset 8 : count packets, each proto.Marshal-encoded (self-sizing via
+//	           the packet header's payload-length field)
+//
+// Hello payload (type frameHello) — the per-flow handshake:
+//
+//	offset 0 : src     (2)  the flow's source node
+//	offset 2 : dst     (2)  the flow's destination node
+//	offset 4 : lane    (1)  virtual lane the connection carries
+//	offset 5 : pad     (1)  must be zero
+//	offset 6 : credits (4)  sender's credit window, must match the peer's
+//
+// Credit payload (type frameCredit): a single u32 count of batch credits
+// returned by the receiver after delivering batches to the local lane.
+
+const (
+	frameMagic      = 0x734F4E4D // "MNOs" on the wire, little endian
+	frameHeaderSize = 16
+
+	frameHello  = 1
+	frameBatch  = 2
+	frameCredit = 3
+
+	batchPrefixSize   = 8
+	helloPayloadSize  = 10
+	creditPayloadSize = 4
+
+	// maxFramePayload bounds a frame's payload: the largest legal batch is
+	// batchPrefixSize + MaxBatch×MaxPacketSize = 3080 bytes, rounded up.
+	maxFramePayload = 4096
+)
+
+var (
+	errFrameMagic    = errors.New("fabric: bad frame magic")
+	errFrameType     = errors.New("fabric: unknown frame type")
+	errFrameReserved = errors.New("fabric: nonzero reserved frame bytes")
+	errFrameLength   = errors.New("fabric: frame length out of range")
+	errFrameCRC      = errors.New("fabric: frame CRC mismatch")
+	errBatchPayload  = errors.New("fabric: malformed batch payload")
+	errHelloPayload  = errors.New("fabric: malformed hello payload")
+	errCreditPayload = errors.New("fabric: malformed credit payload")
+)
+
+// appendFrame appends a framed payload to dst and returns the result.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrameHeader validates a frame header and returns the frame type,
+// payload length, and expected payload CRC.
+func parseFrameHeader(hdr []byte) (typ byte, length int, crc uint32, err error) {
+	if len(hdr) < frameHeaderSize {
+		return 0, 0, 0, io.ErrUnexpectedEOF
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return 0, 0, 0, errFrameMagic
+	}
+	typ = hdr[4]
+	if typ != frameHello && typ != frameBatch && typ != frameCredit {
+		return 0, 0, 0, errFrameType
+	}
+	if hdr[5] != 0 || hdr[6] != 0 || hdr[7] != 0 {
+		return 0, 0, 0, errFrameReserved
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > maxFramePayload {
+		return 0, 0, 0, errFrameLength
+	}
+	return typ, int(n), binary.LittleEndian.Uint32(hdr[12:]), nil
+}
+
+// decodeFrame parses one frame from the front of data, returning the frame
+// type, its payload (aliasing data), and the bytes consumed. It never
+// reads past len(data).
+func decodeFrame(data []byte) (typ byte, payload []byte, consumed int, err error) {
+	typ, n, crc, err := parseFrameHeader(data)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(data) < frameHeaderSize+n {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	payload = data[frameHeaderSize : frameHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, 0, errFrameCRC
+	}
+	return typ, payload, frameHeaderSize + n, nil
+}
+
+// readFrame reads exactly one frame from r, using hdr (≥ frameHeaderSize)
+// and payload (≥ maxFramePayload) as scratch. The returned payload aliases
+// the scratch buffer and is valid until the next call.
+func readFrame(r io.Reader, hdr, payload []byte) (typ byte, p []byte, err error) {
+	if _, err := io.ReadFull(r, hdr[:frameHeaderSize]); err != nil {
+		return 0, nil, err
+	}
+	typ, n, crc, err := parseFrameHeader(hdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	p = payload[:n]
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(p) != crc {
+		return 0, nil, errFrameCRC
+	}
+	return typ, p, nil
+}
+
+// helloFrame is the per-connection handshake: it declares which directed
+// flow (src→dst on one virtual lane) the connection carries and the
+// sender's credit window, so a misconfigured peer fails loudly at dial
+// time instead of corrupting flow control later.
+type helloFrame struct {
+	Src     core.NodeID
+	Dst     core.NodeID
+	Lane    proto.Kind
+	Credits uint32
+}
+
+// appendHelloFrame appends an encoded hello frame to dst.
+func appendHelloFrame(dst []byte, h helloFrame) []byte {
+	var p [helloPayloadSize]byte
+	binary.LittleEndian.PutUint16(p[0:], uint16(h.Src))
+	binary.LittleEndian.PutUint16(p[2:], uint16(h.Dst))
+	p[4] = byte(h.Lane)
+	binary.LittleEndian.PutUint32(p[6:], h.Credits)
+	return appendFrame(dst, frameHello, p[:])
+}
+
+// parseHelloPayload decodes a hello frame's payload.
+func parseHelloPayload(p []byte) (helloFrame, error) {
+	if len(p) != helloPayloadSize || p[5] != 0 {
+		return helloFrame{}, errHelloPayload
+	}
+	lane := proto.Kind(p[4])
+	if lane != proto.KindRequest && lane != proto.KindReply {
+		return helloFrame{}, errHelloPayload
+	}
+	return helloFrame{
+		Src:     core.NodeID(binary.LittleEndian.Uint16(p[0:])),
+		Dst:     core.NodeID(binary.LittleEndian.Uint16(p[2:])),
+		Lane:    lane,
+		Credits: binary.LittleEndian.Uint32(p[6:]),
+	}, nil
+}
+
+// appendCreditFrame appends an encoded credit-return frame to dst.
+func appendCreditFrame(dst []byte, n uint32) []byte {
+	var p [creditPayloadSize]byte
+	binary.LittleEndian.PutUint32(p[0:], n)
+	return appendFrame(dst, frameCredit, p[:])
+}
+
+// parseCreditPayload decodes a credit frame's payload.
+func parseCreditPayload(p []byte) (uint32, error) {
+	if len(p) != creditPayloadSize {
+		return 0, errCreditPayload
+	}
+	n := binary.LittleEndian.Uint32(p[0:])
+	if n == 0 {
+		return 0, errCreditPayload
+	}
+	return n, nil
+}
+
+// appendBatchFrame appends an encoded batch frame to dst. The batch must
+// be non-empty with a fixed route; ownership stays with the caller.
+func appendBatchFrame(dst []byte, b *proto.Batch) ([]byte, error) {
+	if b.Len() == 0 {
+		return nil, errBatchPayload
+	}
+	var prefix [batchPrefixSize]byte
+	binary.LittleEndian.PutUint16(prefix[0:], uint16(b.Src()))
+	binary.LittleEndian.PutUint16(prefix[2:], uint16(b.Dst()))
+	prefix[4] = byte(b.Kind())
+	prefix[5] = byte(b.Len())
+	payload := append(make([]byte, 0, batchPrefixSize+b.WireSize()), prefix[:]...)
+	var scratch [proto.MaxPacketSize]byte
+	for _, pkt := range b.Packets() {
+		enc, err := pkt.Marshal(scratch[:0])
+		if err != nil {
+			return nil, err
+		}
+		payload = append(payload, enc...)
+	}
+	return appendFrame(dst, frameBatch, payload), nil
+}
+
+// decodeBatchPayload decodes a batch frame's payload into a pooled batch
+// of pooled packets, which the caller owns on success. The decode is
+// strict: the route prefix must be internally consistent, every packet
+// must carry the batch's route and lane, reserved bytes must be zero, and
+// the payload must be consumed exactly. On error, nothing pooled leaks.
+func decodeBatchPayload(p []byte) (*proto.Batch, error) {
+	if len(p) < batchPrefixSize {
+		return nil, errBatchPayload
+	}
+	src := core.NodeID(binary.LittleEndian.Uint16(p[0:]))
+	dst := core.NodeID(binary.LittleEndian.Uint16(p[2:]))
+	kind := proto.Kind(p[4])
+	count := int(p[5])
+	if kind != proto.KindRequest && kind != proto.KindReply {
+		return nil, errBatchPayload
+	}
+	if count < 1 || count > proto.MaxBatch {
+		return nil, errBatchPayload
+	}
+	if p[6] != 0 || p[7] != 0 {
+		return nil, errBatchPayload
+	}
+	b := proto.AllocBatch()
+	rest := p[batchPrefixSize:]
+	for i := 0; i < count; i++ {
+		if len(rest) < proto.HeaderSize {
+			proto.FreeBatchPackets(b)
+			return nil, errBatchPayload
+		}
+		plen := int(binary.LittleEndian.Uint16(rest[12:]))
+		if plen > core.CacheLineSize || rest[14] != 0 || rest[15] != 0 {
+			proto.FreeBatchPackets(b)
+			return nil, errBatchPayload
+		}
+		wire := proto.HeaderSize + plen
+		if len(rest) < wire {
+			proto.FreeBatchPackets(b)
+			return nil, errBatchPayload
+		}
+		pkt := proto.AllocPacket()
+		if err := proto.UnmarshalInto(pkt, rest[:wire]); err != nil {
+			proto.FreePacket(pkt)
+			proto.FreeBatchPackets(b)
+			return nil, fmt.Errorf("fabric: batch packet %d: %w", i, err)
+		}
+		if pkt.Kind != kind || pkt.Src != src || pkt.Dst != dst || !b.Append(pkt) {
+			proto.FreePacket(pkt)
+			proto.FreeBatchPackets(b)
+			return nil, errBatchPayload
+		}
+		rest = rest[wire:]
+	}
+	if len(rest) != 0 {
+		proto.FreeBatchPackets(b)
+		return nil, errBatchPayload
+	}
+	return b, nil
+}

@@ -1,0 +1,249 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+// testBatch builds a representative mixed batch: a payload-free read
+// request, a write carrying a full line, and a short atomic operand.
+func testBatch(t *testing.T) *proto.Batch {
+	t.Helper()
+	b := proto.AllocBatch()
+	read := proto.AllocPacket()
+	read.Kind, read.Op = proto.KindRequest, core.OpRead
+	read.Src, read.Dst, read.Ctx, read.Tid = 2, 5, 7, 0x1234
+	read.Offset, read.LineIdx, read.Aux = 0x40, 0, core.CacheLineSize
+
+	write := proto.AllocPacket()
+	write.Kind, write.Op = proto.KindRequest, core.OpWrite
+	write.Src, write.Dst, write.Ctx, write.Tid = 2, 5, 7, 0x2345
+	write.Offset, write.LineIdx = 0x80, 1
+	write.Flags = proto.FlagLast
+	payload := write.AllocPayload(core.CacheLineSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	fa := proto.AllocPacket()
+	fa.Kind, fa.Op = proto.KindRequest, core.OpFetchAdd
+	fa.Src, fa.Dst, fa.Ctx, fa.Tid = 2, 5, 7, 0x3456
+	fa.Offset = 0x100
+	copy(fa.AllocPayload(8), []byte{1, 0, 0, 0, 0, 0, 0, 0})
+
+	for _, p := range []*proto.Packet{read, write, fa} {
+		if !b.Append(p) {
+			t.Fatal("append failed")
+		}
+	}
+	return b
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	b := testBatch(t)
+	defer proto.FreeBatchPackets(b)
+	frame, err := appendBatchFrame(nil, b)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	typ, payload, consumed, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decodeFrame: %v", err)
+	}
+	if typ != frameBatch || consumed != len(frame) {
+		t.Fatalf("typ=%d consumed=%d want batch/%d", typ, consumed, len(frame))
+	}
+	got, err := decodeBatchPayload(payload)
+	if err != nil {
+		t.Fatalf("decodeBatchPayload: %v", err)
+	}
+	defer proto.FreeBatchPackets(got)
+	if got.Len() != b.Len() || got.Src() != b.Src() || got.Dst() != b.Dst() || got.Kind() != b.Kind() {
+		t.Fatalf("batch mismatch: got %d pkts %d->%d", got.Len(), got.Src(), got.Dst())
+	}
+	for i, want := range b.Packets() {
+		p := got.Packets()[i]
+		if p.Kind != want.Kind || p.Op != want.Op || p.Status != want.Status ||
+			p.Flags != want.Flags || p.Src != want.Src || p.Dst != want.Dst ||
+			p.Ctx != want.Ctx || p.Tid != want.Tid || p.Offset != want.Offset ||
+			p.LineIdx != want.LineIdx || p.Aux != want.Aux ||
+			!bytes.Equal(p.Payload, want.Payload) {
+			t.Fatalf("packet %d mismatch:\n got %v\nwant %v", i, p, want)
+		}
+	}
+	// Re-encoding the decoded batch must reproduce the original frame.
+	again, err := appendBatchFrame(nil, got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(again, frame) {
+		t.Fatal("re-encoded frame differs from original")
+	}
+}
+
+func TestHelloFrameRoundTrip(t *testing.T) {
+	h := helloFrame{Src: 3, Dst: 9, Lane: proto.KindReply, Credits: 64}
+	frame := appendHelloFrame(nil, h)
+	typ, payload, _, err := decodeFrame(frame)
+	if err != nil || typ != frameHello {
+		t.Fatalf("decode: typ=%d err=%v", typ, err)
+	}
+	got, err := parseHelloPayload(payload)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != h {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+	if _, err := parseHelloPayload(payload[:5]); err == nil {
+		t.Fatal("short hello accepted")
+	}
+	bad := append([]byte{}, payload...)
+	bad[4] = 9 // not a lane
+	if _, err := parseHelloPayload(bad); err == nil {
+		t.Fatal("bad lane accepted")
+	}
+}
+
+func TestCreditFrameRoundTrip(t *testing.T) {
+	frame := appendCreditFrame(nil, 17)
+	typ, payload, _, err := decodeFrame(frame)
+	if err != nil || typ != frameCredit {
+		t.Fatalf("decode: typ=%d err=%v", typ, err)
+	}
+	n, err := parseCreditPayload(payload)
+	if err != nil || n != 17 {
+		t.Fatalf("got %d, %v", n, err)
+	}
+	if _, err := parseCreditPayload([]byte{0, 0, 0, 0}); err == nil {
+		t.Fatal("zero credit accepted")
+	}
+	if _, err := parseCreditPayload([]byte{1, 0}); err == nil {
+		t.Fatal("short credit accepted")
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	b := testBatch(t)
+	frame, err := appendBatchFrame(nil, b)
+	proto.FreeBatchPackets(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(frame); n++ {
+			if _, _, _, err := decodeFrame(frame[:n]); err == nil {
+				t.Fatalf("truncation at %d accepted", n)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[0] ^= 0xFF
+		if _, _, _, err := decodeFrame(bad); !errors.Is(err, errFrameMagic) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad type", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[4] = 99
+		if _, _, _, err := decodeFrame(bad); !errors.Is(err, errFrameType) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("corrupt payload", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[len(bad)-1] ^= 0x01
+		if _, _, _, err := decodeFrame(bad); !errors.Is(err, errFrameCRC) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		var hdr [frameHeaderSize]byte
+		copy(hdr[:], frame[:frameHeaderSize])
+		hdr[8], hdr[9], hdr[10], hdr[11] = 0xFF, 0xFF, 0xFF, 0xFF
+		if _, _, _, err := parseFrameHeader(hdr[:]); !errors.Is(err, errFrameLength) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+func TestBatchPayloadRejects(t *testing.T) {
+	b := testBatch(t)
+	frame, err := appendBatchFrame(nil, b)
+	proto.FreeBatchPackets(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[frameHeaderSize:]
+
+	check := func(name string, mutate func(p []byte) []byte) {
+		t.Helper()
+		p := mutate(append([]byte{}, payload...))
+		if got, err := decodeBatchPayload(p); err == nil {
+			proto.FreeBatchPackets(got)
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	check("count zero", func(p []byte) []byte { p[5] = 0; return p })
+	check("count oversized", func(p []byte) []byte { p[5] = proto.MaxBatch + 1; return p })
+	check("count beyond packets", func(p []byte) []byte { p[5]++; return p })
+	check("bad lane", func(p []byte) []byte { p[4] = 7; return p })
+	check("reserved prefix", func(p []byte) []byte { p[6] = 1; return p })
+	check("trailing garbage", func(p []byte) []byte { return append(p, 0xAB) })
+	check("truncated packet", func(p []byte) []byte { return p[:len(p)-1] })
+	check("route mismatch", func(p []byte) []byte {
+		// First packet's dst (header offset 4 within the packet) differs
+		// from the batch route.
+		p[batchPrefixSize+4] ^= 0x01
+		return p
+	})
+	check("packet reserved", func(p []byte) []byte { p[batchPrefixSize+14] = 1; return p })
+	check("short prefix", func(p []byte) []byte { return p[:4] })
+}
+
+func TestReadFrame(t *testing.T) {
+	b := testBatch(t)
+	defer proto.FreeBatchPackets(b)
+	frame, err := appendBatchFrame(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte{}, frame...), appendCreditFrame(nil, 3)...)
+	r := bytes.NewReader(stream)
+	hdr := make([]byte, frameHeaderSize)
+	scratch := make([]byte, maxFramePayload)
+
+	typ, p, err := readFrame(r, hdr, scratch)
+	if err != nil || typ != frameBatch {
+		t.Fatalf("first frame: typ=%d err=%v", typ, err)
+	}
+	got, err := decodeBatchPayload(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	proto.FreeBatchPackets(got)
+
+	typ, p, err = readFrame(r, hdr, scratch)
+	if err != nil || typ != frameCredit {
+		t.Fatalf("second frame: typ=%d err=%v", typ, err)
+	}
+	if n, err := parseCreditPayload(p); err != nil || n != 3 {
+		t.Fatalf("credit: %d, %v", n, err)
+	}
+	if _, _, err := readFrame(r, hdr, scratch); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+
+	// A stream torn mid-frame (SIGKILL mid-write) must surface an error.
+	r = bytes.NewReader(frame[:frameHeaderSize+5])
+	if _, _, err := readFrame(r, hdr, scratch); err == nil {
+		t.Fatal("torn frame accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+// Fuzz harness for the process-transport frame codec (run with `go test
+// -fuzz FuzzFrameDecode ./internal/fabric/`; the committed corpus under
+// testdata/fuzz replays as regression seeds in every ordinary `go test`).
+// The peer on the other end of a frame is another OS process whose stream
+// a SIGKILL can tear mid-write, so the invariants pinned are: decodeFrame
+// never panics or reads past the input, torn/truncated/oversized frames
+// error, and any batch frame the decoder accepts re-encodes to the exact
+// original bytes (a frame that re-encodes differently would desync
+// relaying peers).
+
+func fuzzSeedBatch() []byte {
+	b := proto.AllocBatch()
+	defer proto.FreeBatchPackets(b)
+	read := proto.AllocPacket()
+	read.Kind, read.Op = proto.KindRequest, core.OpRead
+	read.Src, read.Dst, read.Ctx, read.Tid = 1, 3, 7, 42
+	read.Offset, read.Aux = 0x1000, core.CacheLineSize
+	b.Append(read)
+	write := proto.AllocPacket()
+	write.Kind, write.Op, write.Flags = proto.KindRequest, core.OpWrite, proto.FlagLast
+	write.Src, write.Dst, write.Ctx, write.Tid = 1, 3, 7, 43
+	write.Offset, write.LineIdx = 0x1040, 1
+	copy(write.AllocPayload(core.CacheLineSize), bytes.Repeat([]byte{0xC7}, core.CacheLineSize))
+	b.Append(write)
+	frame, _ := appendBatchFrame(nil, b)
+	return frame
+}
+
+func FuzzFrameDecode(f *testing.F) {
+	// Representative seeds: a two-packet batch, a reply batch, a hello,
+	// a credit return, a truncated batch, and header-sized garbage.
+	f.Add(fuzzSeedBatch())
+	rb := proto.AllocBatch()
+	rpl := proto.AllocPacket()
+	rpl.Kind, rpl.Op = proto.KindReply, core.OpRead
+	rpl.Src, rpl.Dst, rpl.Tid = 3, 1, 42
+	copy(rpl.AllocPayload(8), []byte("\x01\x02\x03\x04\x05\x06\x07\x08"))
+	rb.Append(rpl)
+	frame, _ := appendBatchFrame(nil, rb)
+	proto.FreeBatchPackets(rb)
+	f.Add(frame)
+	f.Add(appendHelloFrame(nil, helloFrame{Src: 0, Dst: 2, Lane: proto.KindRequest, Credits: 64}))
+	f.Add(appendCreditFrame(nil, 5))
+	seed := fuzzSeedBatch()
+	f.Add(seed[:len(seed)-7])
+	f.Add(bytes.Repeat([]byte{0xFF}, frameHeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, consumed, err := decodeFrame(data)
+		if err != nil {
+			return // rejected: fine, as long as it never panics
+		}
+		if consumed > len(data) || consumed != frameHeaderSize+len(payload) {
+			t.Fatalf("consumed %d of %d with %d payload bytes", consumed, len(data), len(payload))
+		}
+		switch typ {
+		case frameHello:
+			if _, err := parseHelloPayload(payload); err != nil {
+				return
+			}
+		case frameCredit:
+			if _, err := parseCreditPayload(payload); err != nil {
+				return
+			}
+		case frameBatch:
+			b, err := decodeBatchPayload(payload)
+			if err != nil {
+				return
+			}
+			if b.Len() < 1 || b.Len() > proto.MaxBatch {
+				t.Fatalf("accepted batch of %d packets", b.Len())
+			}
+			// An accepted batch must re-encode to the original frame
+			// bytes exactly.
+			out, err := appendBatchFrame(nil, b)
+			proto.FreeBatchPackets(b)
+			if err != nil {
+				t.Fatalf("re-encode of accepted batch failed: %v", err)
+			}
+			if !bytes.Equal(out, data[:consumed]) {
+				t.Fatal("re-encoded frame differs from accepted input")
+			}
+		default:
+			t.Fatalf("decodeFrame returned unknown type %d", typ)
+		}
+	})
+}

@@ -1,0 +1,1080 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+// ProcFabric is the multi-process transport: the same two-virtual-lane,
+// credit-flow-controlled batch fabric as the Interconnect, but with every
+// lane toward a non-local node carried over a real socket (UDS by
+// default, TCP with Addrs) between OS processes. Each process hosts a
+// subset of the fabric's nodes; a sonuma-node daemon hosts one, the
+// process driving a bench or test typically hosts the client-only nodes.
+//
+// Connections are supervised: every outbound flow (one directed
+// src→dst pair per virtual lane) maintains a persistent connection with
+// eager redial, so a dropped socket — a SIGKILLed peer, a torn stream —
+// surfaces as the same epoch-stamped link fail/restore events the
+// in-process watchers consume, and heals without any traffic being
+// required to notice.
+//
+// Link state has two sources:
+//
+//   - Administrative cuts (FailLink / FailLinkDirected / RestoreLink)
+//     record directed cut entries exactly like the Interconnect and fire
+//     watchers locally. A full bidirectional cut of a pair with local
+//     conns also closes them and blocks redial until restored; a directed
+//     cut leaves connections up and drops the dead direction's traffic.
+//     Multi-process drivers broadcast cuts to every process (see the
+//     root package's ProcCluster), matching the in-process semantics
+//     where every node observes every event.
+//   - Observed outages: an error on any connection of a (local, remote)
+//     pair latches the pair down and fires the link-fail watchers; when
+//     every outbound lane of the pair has reconnected and re-handshaked,
+//     the pair latches up and the link-restore watchers fire.
+type ProcFabric struct {
+	cfg     ProcConfig
+	n       int
+	topo    Topology
+	credits int
+	local   []bool
+
+	req []chan *proto.Batch // inbound lanes, non-nil for local nodes
+	rpl []chan *proto.Batch
+
+	flows map[flowKey]*procFlow // immutable after construction
+
+	listeners []net.Listener
+
+	down   []atomic.Bool
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu                  sync.Mutex
+	cut                 map[Link]bool
+	pairs               map[[2]core.NodeID]*pairState
+	conns               map[net.Conn]struct{}
+	inbound             map[net.Conn][2]core.NodeID
+	watchers            []func(id core.NodeID, epoch uint64)
+	restoreWatchers     []func(id core.NodeID, epoch uint64)
+	linkWatchers        []func(a, b core.NodeID, epoch uint64)
+	linkRestoreWatchers []func(a, b core.NodeID, epoch uint64)
+	linkEpoch           atomic.Uint64
+	nodeEpoch           atomic.Uint64
+
+	// Counters for fabric statistics (per process: sends originating here).
+	ReqSent     atomic.Uint64
+	RplSent     atomic.Uint64
+	BatchesSent atomic.Uint64
+	Bytes       atomic.Uint64
+}
+
+// ProcConfig configures a ProcFabric.
+type ProcConfig struct {
+	// Nodes is the total number of fabric endpoints across all processes.
+	Nodes int
+	// Local lists the node IDs this process hosts (lanes + listeners).
+	Local []int
+	// Dir is the unix-socket directory: node i listens at <Dir>/n<i>.sock.
+	Dir string
+	// Addrs optionally selects TCP instead: one "host:port" per node.
+	Addrs []string
+	// Credits is the per-flow credit window (0 selects DefaultCredits).
+	// Every process of one fabric must agree; the hello handshake rejects
+	// mismatches.
+	Credits int
+}
+
+func (c ProcConfig) addr(id int) (network, addr string) {
+	if len(c.Addrs) > 0 {
+		return "tcp", c.Addrs[id]
+	}
+	return "unix", filepath.Join(c.Dir, fmt.Sprintf("n%d.sock", id))
+}
+
+// flowKey identifies one outbound flow: a directed src→dst pair on one
+// virtual lane, with src hosted locally and dst remote.
+type flowKey struct {
+	src, dst core.NodeID
+	lane     proto.Kind
+}
+
+// procFlow is one supervised outbound connection. connLoop dials eagerly
+// and persistently (hello → hello-ack handshake, then blocking credit-
+// frame reads, redial with backoff on any error); writeLoop drains out,
+// acquiring one window token per batch. The window refills to the full
+// credit count on every reconnect; the receiver returns tokens via credit
+// frames after delivering each batch into its local lane.
+type procFlow struct {
+	src, dst core.NodeID
+	lane     proto.Kind
+	out      chan *proto.Batch
+
+	mu     sync.Mutex
+	up     bool
+	conn   net.Conn
+	window chan struct{}
+	dead   chan struct{} // closed when the current connection dies
+
+	counted bool // contributes to the pair's flowsUp (guarded by ProcFabric.mu)
+}
+
+// pairState tracks the observed health of one (local, remote) node pair.
+type pairState struct {
+	down    bool
+	flowsUp int
+	total   int // outbound flows this process maintains for the pair
+}
+
+func pairKeyOf(a, b core.NodeID) [2]core.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]core.NodeID{a, b}
+}
+
+// NewProcFabric builds the transport and starts its listeners and flow
+// supervisors. Connections establish in the background; call WaitReady to
+// block until every outbound flow is up.
+func NewProcFabric(cfg ProcConfig) (*ProcFabric, error) {
+	if cfg.Nodes <= 0 || cfg.Nodes > 1<<12 {
+		return nil, fmt.Errorf("fabric: proc node count %d out of range", cfg.Nodes)
+	}
+	if len(cfg.Addrs) > 0 && len(cfg.Addrs) != cfg.Nodes {
+		return nil, fmt.Errorf("fabric: %d addrs for %d nodes", len(cfg.Addrs), cfg.Nodes)
+	}
+	if len(cfg.Addrs) == 0 && cfg.Dir == "" {
+		return nil, fmt.Errorf("fabric: ProcConfig needs Dir or Addrs")
+	}
+	if len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("fabric: ProcConfig.Local is empty")
+	}
+	credits := cfg.Credits
+	if credits <= 0 {
+		credits = DefaultCredits
+	}
+	pf := &ProcFabric{
+		cfg:     cfg,
+		n:       cfg.Nodes,
+		topo:    NewCrossbar(cfg.Nodes),
+		credits: credits,
+		local:   make([]bool, cfg.Nodes),
+		req:     make([]chan *proto.Batch, cfg.Nodes),
+		rpl:     make([]chan *proto.Batch, cfg.Nodes),
+		flows:   make(map[flowKey]*procFlow),
+		down:    make([]atomic.Bool, cfg.Nodes),
+		done:    make(chan struct{}),
+		cut:     make(map[Link]bool),
+		pairs:   make(map[[2]core.NodeID]*pairState),
+		conns:   make(map[net.Conn]struct{}),
+		inbound: make(map[net.Conn][2]core.NodeID),
+	}
+	for _, id := range cfg.Local {
+		if id < 0 || id >= cfg.Nodes {
+			return nil, fmt.Errorf("fabric: local node %d out of range [0,%d)", id, cfg.Nodes)
+		}
+		if pf.local[id] {
+			return nil, fmt.Errorf("fabric: local node %d listed twice", id)
+		}
+		pf.local[id] = true
+		pf.req[id] = make(chan *proto.Batch, credits)
+		pf.rpl[id] = make(chan *proto.Batch, credits)
+	}
+	for _, id := range cfg.Local {
+		network, addr := cfg.addr(id)
+		if network == "unix" {
+			os.Remove(addr) // stale socket from a SIGKILLed predecessor
+		}
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			pf.Close()
+			return nil, fmt.Errorf("fabric: listen n%d: %w", id, err)
+		}
+		pf.listeners = append(pf.listeners, l)
+		pf.wg.Add(1)
+		go pf.acceptLoop(l, core.NodeID(id))
+	}
+	for _, src := range cfg.Local {
+		for dst := 0; dst < cfg.Nodes; dst++ {
+			if pf.local[dst] {
+				continue
+			}
+			pk := pairKeyOf(core.NodeID(src), core.NodeID(dst))
+			ps := pf.pairs[pk]
+			if ps == nil {
+				ps = &pairState{}
+				pf.pairs[pk] = ps
+			}
+			ps.total += 2 // one flow per virtual lane
+			for _, lane := range []proto.Kind{proto.KindRequest, proto.KindReply} {
+				f := &procFlow{
+					src:  core.NodeID(src),
+					dst:  core.NodeID(dst),
+					lane: lane,
+					out:  make(chan *proto.Batch, credits),
+				}
+				pf.flows[flowKey{f.src, f.dst, lane}] = f
+				pf.wg.Add(2)
+				go pf.connLoop(f)
+				go pf.writeLoop(f)
+			}
+		}
+	}
+	return pf, nil
+}
+
+// WaitReady blocks until every outbound flow has an established,
+// handshaked connection, the fabric closes, or the timeout expires.
+func (pf *ProcFabric) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var waiting []string
+		for k, f := range pf.flows {
+			f.mu.Lock()
+			up := f.up
+			f.mu.Unlock()
+			if !up {
+				waiting = append(waiting, fmt.Sprintf("n%d->n%d/%d", k.src, k.dst, k.lane))
+			}
+		}
+		if len(waiting) == 0 {
+			return nil
+		}
+		if pf.closed.Load() {
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			sort.Strings(waiting)
+			return fmt.Errorf("fabric: flows not ready after %v: %v", timeout, waiting)
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-pf.done:
+			return ErrClosed
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: connection supervision and the write path
+
+// pairFullyCut reports whether both directions of a↔b are administratively
+// cut — the condition that closes connections and blocks redial.
+func (pf *ProcFabric) pairFullyCut(a, b core.NodeID) bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.cut[Link{From: a, To: b}] && pf.cut[Link{From: b, To: a}]
+}
+
+// waitCutClear blocks while the flow's pair is fully cut; it reports
+// whether the fabric closed.
+func (pf *ProcFabric) waitCutClear(f *procFlow) bool {
+	for pf.pairFullyCut(f.src, f.dst) {
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-pf.done:
+			return true
+		}
+	}
+	return pf.closed.Load()
+}
+
+// dialFlow establishes one flow connection: dial, send hello, read the
+// acceptor's ack. The ack is what makes "up" trustworthy — an acceptor
+// that rejects the flow (cut pair, credit mismatch) closes without
+// acking, so the dialer never declares a spurious restore.
+func (pf *ProcFabric) dialFlow(f *procFlow) (net.Conn, error) {
+	network, addr := pf.cfg.addr(int(f.dst))
+	conn, err := net.DialTimeout(network, addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !pf.trackConn(conn) {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	hello := helloFrame{Src: f.src, Dst: f.dst, Lane: f.lane, Credits: uint32(pf.credits)}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(appendHelloFrame(nil, hello)); err != nil {
+		pf.dropConn(conn)
+		return nil, err
+	}
+	hdr := make([]byte, frameHeaderSize)
+	scratch := make([]byte, maxFramePayload)
+	typ, p, err := readFrame(conn, hdr, scratch)
+	if err != nil {
+		pf.dropConn(conn)
+		return nil, err
+	}
+	ack, err := parseHelloPayload(p)
+	if typ != frameHello || err != nil || ack != hello {
+		pf.dropConn(conn)
+		return nil, fmt.Errorf("fabric: bad hello ack for n%d->n%d", f.src, f.dst)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// connLoop maintains the flow's connection for the fabric's lifetime.
+// While connected it blocks reading credit frames, so a dead peer is
+// noticed immediately (EOF) without requiring traffic.
+func (pf *ProcFabric) connLoop(f *procFlow) {
+	defer pf.wg.Done()
+	backoff := time.Millisecond
+	hdr := make([]byte, frameHeaderSize)
+	scratch := make([]byte, maxFramePayload)
+	for {
+		if pf.waitCutClear(f) {
+			return
+		}
+		conn, err := pf.dialFlow(f)
+		if err != nil {
+			select {
+			case <-time.After(backoff):
+			case <-pf.done:
+				return
+			}
+			if backoff *= 2; backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		pf.flowUp(f, conn)
+		for {
+			typ, p, err := readFrame(conn, hdr, scratch)
+			if err != nil {
+				break
+			}
+			if typ != frameCredit {
+				break
+			}
+			n, err := parseCreditPayload(p)
+			if err != nil {
+				break
+			}
+			f.mu.Lock()
+			w := f.window
+			f.mu.Unlock()
+			for i := uint32(0); i < n; i++ {
+				select {
+				case w <- struct{}{}:
+				default:
+				}
+			}
+		}
+		pf.flowDownIf(f, conn, true)
+		select {
+		case <-pf.done:
+			return
+		default:
+		}
+	}
+}
+
+// flowUp installs a fresh connection on the flow with a full credit
+// window; once every outbound lane of a down pair is back up, the pair
+// latches up and the link-restore watchers fire.
+func (pf *ProcFabric) flowUp(f *procFlow, conn net.Conn) {
+	window := make(chan struct{}, pf.credits)
+	for i := 0; i < pf.credits; i++ {
+		window <- struct{}{}
+	}
+	f.mu.Lock()
+	f.up, f.conn, f.window, f.dead = true, conn, window, make(chan struct{})
+	f.mu.Unlock()
+
+	pf.mu.Lock()
+	ps := pf.pairs[pairKeyOf(f.src, f.dst)]
+	if !f.counted {
+		f.counted = true
+		ps.flowsUp++
+	}
+	var fire bool
+	var epoch uint64
+	var ws []func(a, b core.NodeID, epoch uint64)
+	if ps.down && ps.flowsUp == ps.total {
+		ps.down = false
+		epoch = pf.linkEpoch.Add(1)
+		ws = append(ws, pf.linkRestoreWatchers...)
+		fire = true
+	}
+	pf.mu.Unlock()
+	if fire {
+		for _, w := range ws {
+			go w(f.src, f.dst, epoch)
+		}
+	}
+}
+
+// flowDownIf tears the flow down if conn is still its current connection.
+// With observed set, the first down transition of the pair latches it and
+// fires the link-fail watchers (suppressed while the pair is already down
+// or administratively cut down).
+func (pf *ProcFabric) flowDownIf(f *procFlow, conn net.Conn, observed bool) {
+	f.mu.Lock()
+	if !f.up || f.conn != conn {
+		f.mu.Unlock()
+		return
+	}
+	f.up = false
+	f.conn = nil
+	close(f.dead)
+	f.mu.Unlock()
+	pf.dropConn(conn)
+
+	pf.mu.Lock()
+	ps := pf.pairs[pairKeyOf(f.src, f.dst)]
+	if f.counted {
+		f.counted = false
+		ps.flowsUp--
+	}
+	var fire bool
+	var epoch uint64
+	var ws []func(a, b core.NodeID, epoch uint64)
+	if observed && !ps.down && !pf.closed.Load() {
+		ps.down = true
+		epoch = pf.linkEpoch.Add(1)
+		ws = append(ws, pf.linkWatchers...)
+		fire = true
+	}
+	pf.mu.Unlock()
+	if fire {
+		for _, w := range ws {
+			go w(f.src, f.dst, epoch)
+		}
+	}
+}
+
+// flowConnectWait bounds how long writeLoop holds a frame for a flow whose
+// connection is still being dialed. A flow between connections is NOT a
+// dead link: the pair has not latched down, so no watcher fired, and a
+// drop here would be loss nothing in the system can observe or react to —
+// exactly the hole a freshly restarted daemon falls into when it answers
+// an inbound request before its own outbound dials have landed. Once the
+// pair latches down (watchers fired) or the direction is cut (a test asked
+// for it), dropping is the modeled dead-link behavior and stays.
+const flowConnectWait = 500 * time.Millisecond
+
+// writeLoop drains the flow's outbound lane. Batches popped while the
+// direction is administratively cut are discarded immediately — the
+// process-transport analogue of packets dropped on a dead link. Batches
+// popped while the flow is between connections wait (bounded) for the
+// dial to land instead: that window covers both a fresh fabric still
+// dialing and the redial after a peer restart, and in both a drop would
+// be loss the requesting side cannot observe.
+func (pf *ProcFabric) writeLoop(f *procFlow) {
+	defer pf.wg.Done()
+	var buf []byte
+next:
+	for {
+		var b *proto.Batch
+		select {
+		case b = <-f.out:
+		case <-pf.done:
+			for {
+				select {
+				case b := <-f.out:
+					proto.FreeBatchPackets(b)
+				default:
+					return
+				}
+			}
+		}
+		var up bool
+		var conn net.Conn
+		var window chan struct{}
+		var dead chan struct{}
+		connectBy := time.Now().Add(flowConnectWait)
+		for {
+			pf.mu.Lock()
+			cutHere := pf.cut[Link{From: f.src, To: f.dst}]
+			pf.mu.Unlock()
+			if cutHere {
+				proto.FreeBatchPackets(b)
+				continue next
+			}
+			f.mu.Lock()
+			up, conn, window, dead = f.up, f.conn, f.window, f.dead
+			f.mu.Unlock()
+			if up {
+				break
+			}
+			if time.Now().After(connectBy) {
+				// The redial did not land inside the wait budget: the
+				// peer is really gone (its death latched the pair down
+				// and fired the watchers), so dropping is the modeled
+				// dead-link loss, and it is signaled.
+				proto.FreeBatchPackets(b)
+				continue next
+			}
+			select {
+			case <-time.After(time.Millisecond):
+			case <-pf.done:
+				proto.FreeBatchPackets(b)
+				continue next
+			}
+		}
+		select {
+		case <-window:
+		case <-dead:
+			proto.FreeBatchPackets(b)
+			continue
+		case <-pf.done:
+			proto.FreeBatchPackets(b)
+			continue
+		}
+		enc, err := appendBatchFrame(buf[:0], b)
+		if err != nil {
+			proto.FreeBatchPackets(b)
+			continue
+		}
+		buf = enc
+		_, werr := conn.Write(enc)
+		proto.FreeBatchPackets(b)
+		if werr != nil {
+			pf.flowDownIf(f, conn, true)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: acceptors and delivery
+
+func (pf *ProcFabric) acceptLoop(l net.Listener, local core.NodeID) {
+	defer pf.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed (Close) or fatally broken
+		}
+		if !pf.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		pf.wg.Add(1)
+		go pf.serveConn(conn, local)
+	}
+}
+
+// serveConn handles one inbound flow connection: validate the hello, ack
+// it, then deliver batch frames into the local lane, returning one credit
+// per delivered batch. Any stream error latches the pair down.
+func (pf *ProcFabric) serveConn(conn net.Conn, local core.NodeID) {
+	defer pf.wg.Done()
+	defer pf.dropConn(conn)
+	hdr := make([]byte, frameHeaderSize)
+	scratch := make([]byte, maxFramePayload)
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	typ, p, err := readFrame(conn, hdr, scratch)
+	if err != nil || typ != frameHello {
+		return
+	}
+	h, err := parseHelloPayload(p)
+	if err != nil || h.Dst != local || h.Src == h.Dst || int(h.Src) >= pf.n {
+		return
+	}
+	if h.Credits != uint32(pf.credits) || pf.pairFullyCut(h.Src, h.Dst) {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	if _, err := conn.Write(appendHelloFrame(nil, h)); err != nil {
+		return
+	}
+	pf.mu.Lock()
+	pf.inbound[conn] = pairKeyOf(h.Src, h.Dst)
+	pf.mu.Unlock()
+	defer func() {
+		pf.mu.Lock()
+		delete(pf.inbound, conn)
+		pf.mu.Unlock()
+	}()
+	lane := pf.req[local]
+	if h.Lane == proto.KindReply {
+		lane = pf.rpl[local]
+	}
+	var creditBuf []byte
+	for {
+		typ, p, err := readFrame(conn, hdr, scratch)
+		if err != nil {
+			pf.observePairDown(h.Src, h.Dst)
+			return
+		}
+		if typ != frameBatch {
+			pf.observePairDown(h.Src, h.Dst)
+			return
+		}
+		b, err := decodeBatchPayload(p)
+		if err != nil {
+			pf.observePairDown(h.Src, h.Dst)
+			return
+		}
+		if b.Src() != h.Src || b.Dst() != h.Dst || b.Kind() != h.Lane {
+			proto.FreeBatchPackets(b)
+			pf.observePairDown(h.Src, h.Dst)
+			return
+		}
+		select {
+		case lane <- b:
+		case <-pf.done:
+			proto.FreeBatchPackets(b)
+			return
+		}
+		creditBuf = appendCreditFrame(creditBuf[:0], 1)
+		if _, err := conn.Write(creditBuf); err != nil {
+			pf.observePairDown(h.Src, h.Dst)
+			return
+		}
+	}
+}
+
+// observePairDown latches the pair down on an inbound-connection error and
+// fires the link-fail watchers (once per outage; suppressed when the pair
+// is already down, administratively latched, or the fabric is closing).
+func (pf *ProcFabric) observePairDown(a, b core.NodeID) {
+	if pf.closed.Load() {
+		return
+	}
+	pf.mu.Lock()
+	ps := pf.pairs[pairKeyOf(a, b)]
+	if ps == nil || ps.down {
+		pf.mu.Unlock()
+		return
+	}
+	ps.down = true
+	epoch := pf.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, pf.linkWatchers...)
+	pf.mu.Unlock()
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
+}
+
+// trackConn registers a connection for Close teardown; it reports false
+// when the fabric is already closed.
+func (pf *ProcFabric) trackConn(conn net.Conn) bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed.Load() {
+		return false
+	}
+	pf.conns[conn] = struct{}{}
+	return true
+}
+
+func (pf *ProcFabric) dropConn(conn net.Conn) {
+	conn.Close()
+	pf.mu.Lock()
+	delete(pf.conns, conn)
+	pf.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Transport interface
+
+// Nodes reports the number of fabric endpoints across all processes.
+func (pf *ProcFabric) Nodes() int { return pf.n }
+
+// Topology returns the fabric topology (the process transport models a
+// full crossbar: every pair is one hop).
+func (pf *ProcFabric) Topology() Topology { return pf.topo }
+
+// Done returns a channel closed when the transport shuts down.
+func (pf *ProcFabric) Done() <-chan struct{} { return pf.done }
+
+// Local reports whether this process hosts node id.
+func (pf *ProcFabric) Local(id core.NodeID) bool {
+	return int(id) >= 0 && int(id) < pf.n && pf.local[id]
+}
+
+// RouteCrosses reports whether the route src→dst traverses the directed
+// link a→b (crossbar: exactly the direct link).
+func (pf *ProcFabric) RouteCrosses(src, dst, a, b core.NodeID) bool {
+	if int(src) >= pf.n || int(dst) >= pf.n {
+		return false
+	}
+	for _, l := range pf.topo.Route(src, dst) {
+		if l.From == a && l.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// LaneFor validates the route and returns the send channel for it: the
+// local inbound lane when dst is hosted here (loopback), the flow's
+// outbound lane otherwise. Mirrors the Interconnect's checks — requests
+// additionally require the reply route healthy.
+func (pf *ProcFabric) LaneFor(kind proto.Kind, src, dst core.NodeID) (chan<- *proto.Batch, error) {
+	if pf.closed.Load() {
+		return nil, ErrClosed
+	}
+	if int(src) < 0 || int(src) >= pf.n || int(dst) < 0 || int(dst) >= pf.n {
+		return nil, ErrDown
+	}
+	if pf.down[src].Load() || pf.down[dst].Load() {
+		return nil, ErrDown
+	}
+	pf.mu.Lock()
+	bad := pf.cut[Link{From: src, To: dst}]
+	if !bad && kind != proto.KindReply {
+		bad = pf.cut[Link{From: dst, To: src}]
+	}
+	if !bad && kind != proto.KindReply {
+		// Observed pair-down refuses new REQUESTS fast. Replies pass: a
+		// reply answers a request that just arrived, so the peer is
+		// provably alive and the down latch is this side's reconnect lag
+		// (a restarted peer dials us before we re-dial it). Refusing the
+		// reply here would black-hole the requester — it sees a healthy
+		// link and waits — so let it ride the flow, which holds frames
+		// across the redial window.
+		if ps := pf.pairs[pairKeyOf(src, dst)]; ps != nil && ps.down {
+			bad = true
+		}
+	}
+	pf.mu.Unlock()
+	if bad {
+		return nil, ErrDown
+	}
+	if pf.local[dst] {
+		if kind == proto.KindReply {
+			return pf.rpl[dst], nil
+		}
+		return pf.req[dst], nil
+	}
+	lane := proto.KindRequest
+	if kind == proto.KindReply {
+		lane = proto.KindReply
+	}
+	f := pf.flows[flowKey{src, dst, lane}]
+	if f == nil {
+		return nil, ErrDown // src not hosted by this process
+	}
+	return f.out, nil
+}
+
+// Account records a batch sent directly into a lane from LaneFor.
+func (pf *ProcFabric) Account(kind proto.Kind, packets, wireBytes int) {
+	if kind == proto.KindReply {
+		pf.RplSent.Add(uint64(packets))
+	} else {
+		pf.ReqSent.Add(uint64(packets))
+	}
+	pf.BatchesSent.Add(1)
+	pf.Bytes.Add(uint64(wireBytes))
+}
+
+// SendBatch injects a batch toward its destination, blocking while the
+// route's lane is out of credits. On success the receiver owns the batch.
+func (pf *ProcFabric) SendBatch(b *proto.Batch) error {
+	kind, packets, wire := b.Kind(), b.Len(), b.WireSize()
+	lane, err := pf.LaneFor(kind, b.Src(), b.Dst())
+	if err != nil {
+		return err
+	}
+	select {
+	case lane <- b:
+		pf.Account(kind, packets, wire)
+		return nil
+	case <-pf.done:
+		return ErrClosed
+	}
+}
+
+// TrySendBatch is SendBatch without blocking.
+func (pf *ProcFabric) TrySendBatch(b *proto.Batch) error {
+	kind, packets, wire := b.Kind(), b.Len(), b.WireSize()
+	lane, err := pf.LaneFor(kind, b.Src(), b.Dst())
+	if err != nil {
+		return err
+	}
+	select {
+	case lane <- b:
+		pf.Account(kind, packets, wire)
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// Send injects a single packet as a one-packet batch.
+func (pf *ProcFabric) Send(pkt *proto.Packet) error {
+	b := proto.AllocBatch()
+	b.Append(pkt)
+	if err := pf.SendBatch(b); err != nil {
+		proto.FreeBatch(b)
+		return err
+	}
+	return nil
+}
+
+// TrySend is Send without blocking.
+func (pf *ProcFabric) TrySend(pkt *proto.Packet) error {
+	b := proto.AllocBatch()
+	b.Append(pkt)
+	if err := pf.TrySendBatch(b); err != nil {
+		proto.FreeBatch(b)
+		return err
+	}
+	return nil
+}
+
+// Requests returns a locally hosted node's inbound request lane.
+func (pf *ProcFabric) Requests(node core.NodeID) <-chan *proto.Batch {
+	return pf.req[node]
+}
+
+// Replies returns a locally hosted node's inbound reply lane.
+func (pf *ProcFabric) Replies(node core.NodeID) <-chan *proto.Batch {
+	return pf.rpl[node]
+}
+
+// Watch registers a node-failure watcher.
+func (pf *ProcFabric) Watch(fn func(id core.NodeID, epoch uint64)) {
+	pf.mu.Lock()
+	pf.watchers = append(pf.watchers, fn)
+	pf.mu.Unlock()
+}
+
+// WatchRestore registers a node-restore watcher.
+func (pf *ProcFabric) WatchRestore(fn func(id core.NodeID, epoch uint64)) {
+	pf.mu.Lock()
+	pf.restoreWatchers = append(pf.restoreWatchers, fn)
+	pf.mu.Unlock()
+}
+
+// WatchLink registers a link-failure watcher. It fires for administrative
+// cuts and for observed connection outages alike.
+func (pf *ProcFabric) WatchLink(fn func(a, b core.NodeID, epoch uint64)) {
+	pf.mu.Lock()
+	pf.linkWatchers = append(pf.linkWatchers, fn)
+	pf.mu.Unlock()
+}
+
+// WatchLinkRestore registers a link-restore watcher.
+func (pf *ProcFabric) WatchLinkRestore(fn func(a, b core.NodeID, epoch uint64)) {
+	pf.mu.Lock()
+	pf.linkRestoreWatchers = append(pf.linkRestoreWatchers, fn)
+	pf.mu.Unlock()
+}
+
+// LinkEpoch reports the current link-event epoch.
+func (pf *ProcFabric) LinkEpoch() uint64 { return pf.linkEpoch.Load() }
+
+// FailNode marks a node administratively down in this process's view and
+// fires the node watchers. Multi-process drivers usually SIGKILL the
+// node's daemon instead — that is the point of the process transport —
+// and reserve this for the local flag semantics.
+func (pf *ProcFabric) FailNode(id core.NodeID) {
+	if int(id) >= pf.n {
+		return
+	}
+	pf.mu.Lock()
+	if pf.down[id].Swap(true) {
+		pf.mu.Unlock()
+		return
+	}
+	epoch := pf.nodeEpoch.Add(1)
+	ws := append([]func(core.NodeID, uint64){}, pf.watchers...)
+	pf.mu.Unlock()
+	if pf.local[id] {
+		pf.drain(pf.req[id])
+		pf.drain(pf.rpl[id])
+	}
+	for _, w := range ws {
+		go w(id, epoch)
+	}
+}
+
+func (pf *ProcFabric) drain(ch chan *proto.Batch) {
+	for {
+		select {
+		case b := <-ch:
+			proto.FreeBatchPackets(b)
+		default:
+			return
+		}
+	}
+}
+
+// RestoreNode clears an administrative node-down flag and fires the
+// restore watchers.
+func (pf *ProcFabric) RestoreNode(id core.NodeID) {
+	if int(id) >= pf.n {
+		return
+	}
+	pf.mu.Lock()
+	if !pf.down[id].Swap(false) {
+		pf.mu.Unlock()
+		return
+	}
+	epoch := pf.nodeEpoch.Add(1)
+	ws := append([]func(core.NodeID, uint64){}, pf.restoreWatchers...)
+	pf.mu.Unlock()
+	for _, w := range ws {
+		go w(id, epoch)
+	}
+}
+
+// NodeDown reports whether id is administratively down.
+func (pf *ProcFabric) NodeDown(id core.NodeID) bool {
+	return int(id) < pf.n && pf.down[id].Load()
+}
+
+// pairInboundLocked snapshots the inbound connections belonging to the
+// a↔b pair. Caller holds pf.mu.
+func (pf *ProcFabric) pairInboundLocked(pk [2]core.NodeID) []net.Conn {
+	var out []net.Conn
+	for c, p := range pf.inbound {
+		if p == pk {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FailLink cuts both directions of a↔b and fires the link-fail watchers.
+// If the pair has connections in this process (one endpoint local), they
+// are closed and redial is blocked until RestoreLink; the pair is latched
+// down so the teardown does not double-fire and the eventual reconnect
+// fires the restore. Drivers broadcast the cut to every process so all of
+// them observe the event, matching the in-process fabric.
+func (pf *ProcFabric) FailLink(a, b core.NodeID) {
+	pf.mu.Lock()
+	pf.cut[Link{From: a, To: b}] = true
+	pf.cut[Link{From: b, To: a}] = true
+	epoch := pf.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, pf.linkWatchers...)
+	pk := pairKeyOf(a, b)
+	var toClose []net.Conn
+	if ps := pf.pairs[pk]; ps != nil {
+		ps.down = true
+		toClose = pf.pairInboundLocked(pk)
+	}
+	pf.mu.Unlock()
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
+	for _, c := range toClose {
+		c.Close()
+	}
+	for _, lane := range []proto.Kind{proto.KindRequest, proto.KindReply} {
+		for _, key := range []flowKey{{a, b, lane}, {b, a, lane}} {
+			if f := pf.flows[key]; f != nil {
+				f.mu.Lock()
+				conn := f.conn
+				f.mu.Unlock()
+				if conn != nil {
+					pf.flowDownIf(f, conn, false)
+				}
+			}
+		}
+	}
+}
+
+// FailLinkDirected cuts only a→b: connections stay up (the healthy
+// direction keeps flowing), but traffic onto the dead direction is
+// refused at LaneFor and dropped by the write path.
+func (pf *ProcFabric) FailLinkDirected(a, b core.NodeID) {
+	pf.mu.Lock()
+	pf.cut[Link{From: a, To: b}] = true
+	epoch := pf.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, pf.linkWatchers...)
+	pf.mu.Unlock()
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
+}
+
+// RestoreLink clears the cut of a↔b. For pairs whose connections this
+// process tears down on FailLink, the restore watchers fire when the
+// flows actually reconnect and re-handshake; for purely administrative
+// state (remote-remote pairs, directed cuts) they fire immediately.
+func (pf *ProcFabric) RestoreLink(a, b core.NodeID) {
+	pf.mu.Lock()
+	if !pf.cut[Link{From: a, To: b}] && !pf.cut[Link{From: b, To: a}] {
+		pf.mu.Unlock()
+		return
+	}
+	delete(pf.cut, Link{From: a, To: b})
+	delete(pf.cut, Link{From: b, To: a})
+	epoch := pf.linkEpoch.Add(1)
+	ws := append([]func(core.NodeID, core.NodeID, uint64){}, pf.linkRestoreWatchers...)
+	deferred := false
+	if ps := pf.pairs[pairKeyOf(a, b)]; ps != nil && ps.down {
+		deferred = true // reconnection will latch up and fire the restore
+	}
+	pf.mu.Unlock()
+	if deferred {
+		return
+	}
+	for _, w := range ws {
+		go w(a, b, epoch)
+	}
+}
+
+// Reachable reports whether src and dst can currently complete
+// request/reply traffic in this process's view: fabric open, both
+// endpoints administratively up, neither direction cut, and — for pairs
+// with local connections — the sockets observed healthy.
+func (pf *ProcFabric) Reachable(src, dst core.NodeID) bool {
+	if pf.closed.Load() {
+		return false
+	}
+	if int(src) < 0 || int(src) >= pf.n || int(dst) < 0 || int(dst) >= pf.n {
+		return false
+	}
+	if pf.down[src].Load() || pf.down[dst].Load() {
+		return false
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.cut[Link{From: src, To: dst}] || pf.cut[Link{From: dst, To: src}] {
+		return false
+	}
+	if ps := pf.pairs[pairKeyOf(src, dst)]; ps != nil && ps.down {
+		return false
+	}
+	return true
+}
+
+// Close shuts the transport down: listeners and connections close, every
+// supervisor goroutine exits, and blocked senders are released.
+func (pf *ProcFabric) Close() {
+	if pf.closed.Swap(true) {
+		return
+	}
+	close(pf.done)
+	for _, l := range pf.listeners {
+		l.Close()
+	}
+	pf.mu.Lock()
+	conns := make([]net.Conn, 0, len(pf.conns))
+	for c := range pf.conns {
+		conns = append(conns, c)
+	}
+	pf.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	pf.wg.Wait()
+	if len(pf.cfg.Addrs) == 0 {
+		for _, id := range pf.cfg.Local {
+			_, addr := pf.cfg.addr(id)
+			os.Remove(addr)
+		}
+	}
+}
+
+var _ Transport = (*ProcFabric)(nil)

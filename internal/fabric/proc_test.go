@@ -1,0 +1,254 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sonuma/internal/core"
+	"sonuma/internal/proto"
+)
+
+// procPair builds two ProcFabrics sharing one socket directory: A hosts
+// node 0, B hosts node 1 — the smallest real multi-process shape (two
+// address spaces in one test binary, but every byte crosses a socket).
+func procPair(t *testing.T, credits int) (a, b *ProcFabric) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := ProcConfig{Nodes: 2, Dir: dir, Credits: credits}
+	cfgA, cfgB := cfg, cfg
+	cfgA.Local = []int{0}
+	cfgB.Local = []int{1}
+	var err error
+	if a, err = NewProcFabric(cfgA); err != nil {
+		t.Fatalf("fabric A: %v", err)
+	}
+	t.Cleanup(a.Close)
+	if b, err = NewProcFabric(cfgB); err != nil {
+		t.Fatalf("fabric B: %v", err)
+	}
+	t.Cleanup(b.Close)
+	for _, pf := range []*ProcFabric{a, b} {
+		if err := pf.WaitReady(5 * time.Second); err != nil {
+			t.Fatalf("WaitReady: %v", err)
+		}
+	}
+	return a, b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func requestBatch(src, dst core.NodeID, tid core.Tid) *proto.Batch {
+	b := proto.AllocBatch()
+	pkt := proto.AllocPacket()
+	pkt.Kind, pkt.Op = proto.KindRequest, core.OpRead
+	pkt.Src, pkt.Dst, pkt.Ctx, pkt.Tid = src, dst, 7, tid
+	pkt.Offset, pkt.Aux = 0x40, core.CacheLineSize
+	b.Append(pkt)
+	return b
+}
+
+func TestProcFabricRequestReply(t *testing.T) {
+	a, b := procPair(t, 0)
+
+	if err := a.SendBatch(requestBatch(0, 1, 42)); err != nil {
+		t.Fatalf("send request: %v", err)
+	}
+	var req *proto.Batch
+	select {
+	case req = <-b.Requests(1):
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never arrived")
+	}
+	if req.Len() != 1 || req.Src() != 0 || req.Dst() != 1 {
+		t.Fatalf("bad request batch: %d pkts %d->%d", req.Len(), req.Src(), req.Dst())
+	}
+	pkt := req.Packets()[0]
+	if pkt.Tid != 42 || pkt.Op != core.OpRead {
+		t.Fatalf("request corrupted in flight: %v", pkt)
+	}
+
+	rb := proto.AllocBatch()
+	rpl := pkt.ReplyInto(proto.AllocPacket(), core.StatusOK)
+	copy(rpl.AllocPayload(core.CacheLineSize), make([]byte, core.CacheLineSize))
+	rb.Append(rpl)
+	proto.FreeBatchPackets(req)
+	if err := b.SendBatch(rb); err != nil {
+		t.Fatalf("send reply: %v", err)
+	}
+	select {
+	case got := <-a.Replies(0):
+		if got.Packets()[0].Tid != 42 || got.Packets()[0].Kind != proto.KindReply {
+			t.Fatalf("bad reply: %v", got.Packets()[0])
+		}
+		proto.FreeBatchPackets(got)
+	case <-time.After(5 * time.Second):
+		t.Fatal("reply never arrived")
+	}
+}
+
+func TestProcFabricBackpressure(t *testing.T) {
+	a, _ := procPair(t, 2)
+
+	// Nothing consumes node 1's request lane: the sender's window (2) and
+	// outbound buffer (2) fill, then TrySendBatch must refuse.
+	saw := false
+	for i := 0; i < 100; i++ {
+		err := a.TrySendBatch(requestBatch(0, 1, core.Tid(i)))
+		if err == ErrBackpressure {
+			saw = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !saw {
+		t.Fatal("credit exhaustion never produced ErrBackpressure")
+	}
+}
+
+func TestProcFabricAdminCutAndRestore(t *testing.T) {
+	a, b := procPair(t, 0)
+
+	var aFail, aRestore, bFail atomic.Int32
+	a.WatchLink(func(x, y core.NodeID, epoch uint64) { aFail.Add(1) })
+	a.WatchLinkRestore(func(x, y core.NodeID, epoch uint64) { aRestore.Add(1) })
+	b.WatchLink(func(x, y core.NodeID, epoch uint64) { bFail.Add(1) })
+
+	// The driver broadcasts the cut to every process.
+	a.FailLink(0, 1)
+	b.FailLink(0, 1)
+	waitFor(t, "fail watchers", func() bool { return aFail.Load() >= 1 && bFail.Load() >= 1 })
+	if _, err := a.LaneFor(proto.KindRequest, 0, 1); err != ErrDown {
+		t.Fatalf("LaneFor over cut link: %v", err)
+	}
+	if a.Reachable(0, 1) {
+		t.Fatal("cut pair still Reachable")
+	}
+
+	a.RestoreLink(0, 1)
+	b.RestoreLink(0, 1)
+	waitFor(t, "reconnect", func() bool { return a.Reachable(0, 1) && b.Reachable(0, 1) })
+	waitFor(t, "restore watcher", func() bool { return aRestore.Load() >= 1 })
+
+	if err := a.SendBatch(requestBatch(0, 1, 7)); err != nil {
+		t.Fatalf("send after restore: %v", err)
+	}
+	select {
+	case req := <-b.Requests(1):
+		proto.FreeBatchPackets(req)
+	case <-time.After(5 * time.Second):
+		t.Fatal("request after restore never arrived")
+	}
+}
+
+func TestProcFabricDirectedCut(t *testing.T) {
+	a, b := procPair(t, 0)
+	a.FailLinkDirected(0, 1)
+	b.FailLinkDirected(0, 1)
+
+	// Requests 0→1 fail outright; replies 0→1 are also refused (dead
+	// direction), but replies 1→0 still flow.
+	if _, err := a.LaneFor(proto.KindRequest, 0, 1); err != ErrDown {
+		t.Fatalf("request over dead direction: %v", err)
+	}
+	if _, err := a.LaneFor(proto.KindReply, 0, 1); err != ErrDown {
+		t.Fatalf("reply over dead direction: %v", err)
+	}
+	// Requests 1→0 must fail too: their replies would cross the dead
+	// direction and strand the transaction.
+	if _, err := b.LaneFor(proto.KindRequest, 1, 0); err != ErrDown {
+		t.Fatalf("request with dead reply route: %v", err)
+	}
+	rb := proto.AllocBatch()
+	pkt := proto.AllocPacket()
+	pkt.Kind, pkt.Op = proto.KindReply, core.OpRead
+	pkt.Src, pkt.Dst, pkt.Tid = 1, 0, 9
+	rb.Append(pkt)
+	if err := b.SendBatch(rb); err != nil {
+		t.Fatalf("reply over healthy direction: %v", err)
+	}
+	select {
+	case got := <-a.Replies(0):
+		proto.FreeBatchPackets(got)
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy-direction reply never arrived")
+	}
+}
+
+func TestProcFabricPeerDeathAndRebirth(t *testing.T) {
+	a, b := procPair(t, 0)
+
+	var fails, restores atomic.Int32
+	a.WatchLink(func(x, y core.NodeID, epoch uint64) {
+		if pairKeyOf(x, y) == pairKeyOf(0, 1) {
+			fails.Add(1)
+		}
+	})
+	a.WatchLinkRestore(func(x, y core.NodeID, epoch uint64) {
+		if pairKeyOf(x, y) == pairKeyOf(0, 1) {
+			restores.Add(1)
+		}
+	})
+
+	// Kill the peer wholesale — the in-test analogue of SIGKILL. A's
+	// supervisors must notice without any traffic being sent.
+	b.Close()
+	waitFor(t, "observed link failure", func() bool { return fails.Load() >= 1 })
+	if a.Reachable(0, 1) {
+		t.Fatal("dead peer still Reachable")
+	}
+	if _, err := a.LaneFor(proto.KindRequest, 0, 1); err != ErrDown {
+		t.Fatalf("LaneFor toward dead peer: %v", err)
+	}
+
+	// Rebirth: a fresh fabric for node 1 (empty state, same address).
+	cfg := ProcConfig{Nodes: 2, Dir: a.cfg.Dir, Local: []int{1}}
+	b2, err := NewProcFabric(cfg)
+	if err != nil {
+		t.Fatalf("rebirth: %v", err)
+	}
+	t.Cleanup(b2.Close)
+	waitFor(t, "observed restore", func() bool { return restores.Load() >= 1 })
+	waitFor(t, "reachable after rebirth", func() bool { return a.Reachable(0, 1) })
+
+	if err := a.SendBatch(requestBatch(0, 1, 3)); err != nil {
+		t.Fatalf("send after rebirth: %v", err)
+	}
+	select {
+	case req := <-b2.Requests(1):
+		proto.FreeBatchPackets(req)
+	case <-time.After(5 * time.Second):
+		t.Fatal("request after rebirth never arrived")
+	}
+}
+
+func TestProcFabricLocalLoopback(t *testing.T) {
+	// One process hosting both nodes: sends must not touch a socket.
+	dir := t.TempDir()
+	pf, err := NewProcFabric(ProcConfig{Nodes: 2, Local: []int{0, 1}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pf.Close)
+	if err := pf.SendBatch(requestBatch(0, 1, 5)); err != nil {
+		t.Fatalf("loopback send: %v", err)
+	}
+	select {
+	case req := <-pf.Requests(1):
+		proto.FreeBatchPackets(req)
+	case <-time.After(time.Second):
+		t.Fatal("loopback request never arrived")
+	}
+}

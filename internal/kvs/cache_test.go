@@ -192,6 +192,45 @@ func TestSpreadReadsStayCorrect(t *testing.T) {
 	}
 }
 
+// TestMultiGetFeedsSpreadEwma pins the picker's visibility into batched
+// reads: with ReadSpread on, a MultiGet-only workload must feed burst
+// completion latencies into the replica EWMAs just like single Gets do.
+// (Regression: the burst path recorded read samples but never observed a
+// latency, so a client that only ever issued MultiGets left the picker
+// blind — every replica stuck at the "unsampled" sentinel forever.)
+func TestMultiGetFeedsSpreadEwma(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadSpread = true
+	_, stores := newService(t, 3, cfg)
+	c := newTestClient(t, stores[1])
+
+	var keys [][]byte
+	for i := 0; i < 8; i++ {
+		k := []byte(fmt.Sprintf("mge:%04d", i))
+		keys = append(keys, k)
+		if err := c.Put(k, []byte(fmt.Sprintf("v-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		_, errs := c.MultiGet(keys)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d MultiGet[%q]: %v", round, keys[i], err)
+			}
+		}
+	}
+	sampled := 0
+	for _, l := range c.picker.ewma {
+		if l > 0 {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("MultiGet bursts completed but no replica EWMA was ever observed; the picker is blind to batched reads")
+	}
+}
+
 // TestMultiGetDeadReplicaFailover pins the per-key failover: a burst
 // whose keys are led by a node that just fell off the fabric must still
 // return every key's latest value — each failed read falls back to the

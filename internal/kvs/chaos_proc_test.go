@@ -1,0 +1,467 @@
+//go:build proc
+
+package kvs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sonuma"
+	"sonuma/internal/stats"
+)
+
+// Process-level chaos suite (build tag `proc`, run with
+// `go test -tags proc -race ./internal/kvs/`): the same node-blip and
+// coordinator-kill shapes as chaos_test.go, but the store members are
+// real sonuma-node OS processes and "node failure" is a SIGKILL. That
+// exercises what the in-process FailNode flag cannot: the dead node's
+// memory is genuinely gone (no store goroutine left to quietly answer),
+// its sockets tear mid-frame instead of draining, failure detection rides
+// on connection supervision rather than a shared atomic, and the restart
+// really does begin from an empty store that only anti-entropy can
+// repopulate. The post-heal audits are the suite's point: byte-identical
+// replicas for every key (the rejoined node included), term agreement
+// across every process, and no acknowledged write of the settled epoch
+// lost.
+
+// procLease is the service lease for the process suite: roomier than the
+// in-process chaos lease because every renewal crosses a socket, scaled
+// further under -race.
+const procLease = 60 * time.Millisecond
+
+// procService is one multi-process cluster under test: member stores in
+// daemons, client-only stores (and their clients) on parent-hosted nodes.
+type procService struct {
+	pc      *sonuma.ProcCluster
+	members []int
+	total   int
+	stores  []*Store
+	clients []*Client
+}
+
+// startProcService boots members daemons plus clientCount parent-hosted
+// client nodes and opens the client-only stores.
+func startProcService(t *testing.T, members, clientCount int, cfg Config) *procService {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	total := members + clientCount
+	ps := &procService{total: total}
+	for i := 0; i < members; i++ {
+		ps.members = append(ps.members, i)
+	}
+	var local []int
+	for i := members; i < total; i++ {
+		local = append(local, i)
+	}
+	cfg.Members = ps.members
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := sonuma.StartProcCluster(sonuma.ProcOptions{
+		Nodes:         total,
+		Daemons:       ps.members,
+		Local:         local,
+		ServiceConfig: blob,
+		ReadyTimeout:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("StartProcCluster: %v", err)
+	}
+	ps.pc = pc
+	t.Cleanup(func() {
+		for _, s := range ps.stores {
+			s.Close()
+		}
+		pc.Close()
+	})
+	for _, id := range local {
+		// Context id 3 matches what sonuma-node daemons open their store on.
+		ctx, err := pc.Cluster().Node(id).OpenContext(3, cfg.SegmentSize(total)+4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(ctx, cfg)
+		if err != nil {
+			t.Fatalf("client-only store on node %d: %v", id, err)
+		}
+		ps.stores = append(ps.stores, s)
+		c, err := s.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.clients = append(ps.clients, c)
+	}
+	return ps
+}
+
+// daemonInfo polls one daemon's self-reported service state.
+func (ps *procService) daemonInfo(id int) (*sonuma.ProcNodeInfo, error) {
+	return ps.pc.Info(id)
+}
+
+// waitConverged blocks until every process — parent stores and daemons —
+// agrees on one clean (term, epoch): same term and epoch everywhere,
+// nothing evicted, every down view clear.
+func (ps *procService) waitConverged(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		term, epoch := ps.stores[0].Term(), ps.stores[0].Epoch()
+		for _, s := range ps.stores {
+			if s.Term() != term || s.Epoch() != epoch {
+				ok = false
+			}
+			for p := 0; p < ps.total; p++ {
+				if s.EpochDown(p) {
+					ok = false
+				}
+			}
+			for p, d := range s.DownView() {
+				if d && p != s.NodeID() {
+					ok = false
+				}
+			}
+		}
+		for _, m := range ps.members {
+			info, err := ps.daemonInfo(m)
+			if err != nil {
+				ok = false
+				break
+			}
+			if info.Term != term || info.Epoch != epoch {
+				ok = false
+			}
+			for p, d := range info.DownView {
+				if d && p != info.Node {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, s := range ps.stores {
+				t.Logf("parent store %d: term=%d coord=%d epoch=%d down=%v",
+					i, s.Term(), s.Coordinator(), s.Epoch(), s.DownView())
+			}
+			for _, m := range ps.members {
+				if info, err := ps.daemonInfo(m); err == nil {
+					t.Logf("daemon n%d: term=%d coord=%d epoch=%d down=%v",
+						m, info.Term, info.Coordinator, info.Epoch, info.DownView)
+				} else {
+					t.Logf("daemon n%d: info unavailable: %v", m, err)
+				}
+			}
+			t.Fatal("multi-process cluster did not converge to a single clean (term, epoch)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// procAt converts lease units to wall time for the process schedules.
+func procAt(leases int) time.Duration {
+	return time.Duration(leases) * procLease * raceScale
+}
+
+// runProcKillSchedule drives one SIGKILL schedule: a workload of
+// exclusive-writer keys runs from the parent clients while the victim
+// daemon is killed at killAt and restarted (empty) at restartAt. After
+// the heal the suite re-runs the byte-identical-replica and
+// term-agreement audits.
+func runProcKillSchedule(t *testing.T, victim int, requireTakeover bool) {
+	cfg := testConfig()
+	cfg.Lease = procLease * raceScale
+	ps := startProcService(t, 4, 2, cfg)
+	seed := chaosEnvSeed(0x50eed)
+	t.Logf("proc chaos: victim daemon n%d, seed=%#x, lease=%s (set CHAOS_SEED to reproduce)",
+		victim, seed, cfg.Lease)
+
+	// One exclusive writer per key (client 0); client 1 only reads, so the
+	// fabricated-data audit has a single legal value set per key.
+	const keyCount = 16
+	keys := make([][]byte, keyCount)
+	attempted := make([]map[string]bool, keyCount)
+	lastAck := make([][]byte, keyCount)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("pchaos:%d", i))
+		attempted[i] = map[string]bool{"init": true}
+		if err := ps.clients[0].Put(keys[i], []byte("init")); err != nil {
+			t.Fatalf("preload %q: %v", keys[i], err)
+		}
+		lastAck[i] = []byte("init")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var acked, errs int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := stats.NewRNG(seed)
+		seq := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ki := rng.Intn(keyCount)
+			seq++
+			val := []byte(fmt.Sprintf("w0-%d-%06d", ki, seq))
+			attempted[ki][string(val)] = true
+			start := time.Now()
+			err := ps.clients[0].Put(keys[ki], val)
+			if d := time.Since(start); d > 60*cfg.Lease+10*time.Second {
+				t.Errorf("put stalled %s during the outage (hang, not a definite error)", d)
+				return
+			}
+			if err == nil {
+				acked++
+				lastAck[ki] = val
+			} else {
+				errs++
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := stats.NewRNG(seed ^ 0xbeef)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ps.clients[1].Get(keys[rng.Intn(keyCount)])
+		}
+	}()
+
+	// The schedule: SIGKILL at 2 leases, restart (empty store, same fabric
+	// address) at 10, workload runs on to 16.
+	start := time.Now()
+	time.Sleep(procAt(2) - time.Since(start))
+	if err := ps.pc.KillNode(victim); err != nil {
+		t.Fatalf("KillNode(%d): %v", victim, err)
+	}
+	if wait := procAt(10) - time.Since(start); wait > 0 {
+		time.Sleep(wait)
+	}
+	if err := ps.pc.RestartNode(victim, 60*time.Second); err != nil {
+		t.Fatalf("RestartNode(%d): %v", victim, err)
+	}
+	if wait := procAt(16) - time.Since(start); wait > 0 {
+		time.Sleep(wait)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if acked == 0 {
+		t.Fatal("no write ever completed during the schedule")
+	}
+	t.Logf("workload: acked=%d errs=%d", acked, errs)
+
+	ps.waitConverged(t, 90*time.Second)
+
+	// Term agreement across every process, and — for the coordinator kill
+	// — proof the settled term was activated by a successor.
+	term := ps.stores[0].Term()
+	var takeovers uint64
+	for _, m := range ps.members {
+		info, err := ps.daemonInfo(m)
+		if err != nil {
+			t.Fatalf("daemon n%d info after heal: %v", m, err)
+		}
+		if info.Term != term {
+			t.Fatalf("daemon n%d settled on term %d, parent on %d", m, info.Term, term)
+		}
+		var st StoreStats
+		if err := json.Unmarshal(info.Stats, &st); err != nil {
+			t.Fatalf("daemon n%d stats: %v", m, err)
+		}
+		takeovers += st.Takeovers
+	}
+	t.Logf("settled: term=%d coord=%d epoch=%d takeovers=%d",
+		term, ps.stores[0].Coordinator(), ps.stores[0].Epoch(), takeovers)
+	if requireTakeover {
+		if takeovers == 0 {
+			t.Fatal("coordinator SIGKILL settled without a successor-activated term")
+		}
+		if got := ps.stores[0].Coordinator(); got == victim {
+			t.Fatalf("settled coordinator is still the killed seed (%d)", got)
+		}
+	}
+
+	// Replica audit: byte-identical across owners (the restarted daemon
+	// included), and holding only values the exclusive writer attempted.
+	ring := ps.stores[0].Ring()
+	audit := ps.clients[0]
+	for ki, key := range keys {
+		var ref []byte
+		for oi, o := range ring.Owners(ring.ShardOf(key)) {
+			got, err := audit.GetReplica(o, key)
+			if err != nil {
+				t.Fatalf("post-heal GetReplica(%d, %q): %v", o, key, err)
+			}
+			if oi == 0 {
+				ref = got
+				if !attempted[ki][string(got)] {
+					t.Fatalf("key %q holds %q, which its writer never wrote (fabricated or crossed data)", key, got)
+				}
+			} else if !bytes.Equal(got, ref) {
+				t.Fatalf("replica divergence on %q after the heal: %q vs %q", key, got, ref)
+			}
+		}
+	}
+
+	// Final round on the settled epoch: acked writes here must survive on
+	// every replica.
+	for ki, key := range keys {
+		final := []byte(fmt.Sprintf("final-%d", ki))
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			err := ps.clients[0].Put(key, final)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("final put on %q never acked: %v", key, err)
+			}
+		}
+		lastAck[ki] = final
+	}
+	for ki, key := range keys {
+		for _, o := range ring.Owners(ring.ShardOf(key)) {
+			got, err := audit.GetReplica(o, key)
+			if err != nil {
+				t.Fatalf("final GetReplica(%d, %q): %v", o, key, err)
+			}
+			if !bytes.Equal(got, lastAck[ki]) {
+				t.Fatalf("replica %d of %q = %q, want %q (acked write lost after SIGKILL recovery)",
+					o, key, got, lastAck[ki])
+			}
+		}
+	}
+}
+
+// TestProcChaosNodeBlip SIGKILLs a busy member daemon mid-load and
+// restarts it: the in-process "node-blip" schedule with a real crash.
+func TestProcChaosNodeBlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos in -short mode")
+	}
+	runProcKillSchedule(t, 1, false)
+}
+
+// TestProcChaosCoordKill SIGKILLs the daemon holding the epoch authority:
+// the succession must activate a new term with the seed coordinator's
+// process genuinely gone, and the restarted ex-coordinator must rejoin as
+// a follower.
+func TestProcChaosCoordKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos in -short mode")
+	}
+	runProcKillSchedule(t, 0, true)
+}
+
+// TestProcCrashRestartRecovery pins the crash-restart story end to end:
+// a member daemon is SIGKILLed, writes keep landing (and being
+// acknowledged) while it is dead, and a fresh daemon — empty store, same
+// fabric address — must be streamed back to byte-identical replicas by
+// anti-entropy with no acknowledged write lost. Run under -race.
+func TestProcCrashRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos in -short mode")
+	}
+	cfg := testConfig()
+	cfg.Lease = procLease * raceScale
+	ps := startProcService(t, 4, 1, cfg)
+	const victim = 1
+
+	// First generation: acked by the full cluster, some replicas on the
+	// victim.
+	const keyCount = 32
+	keys := make([][]byte, keyCount)
+	lastAck := make([][]byte, keyCount)
+	victimReplicas := 0
+	ring := ps.stores[0].Ring()
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("crash:%d", i))
+		lastAck[i] = []byte(fmt.Sprintf("gen1-%d", i))
+		if err := ps.clients[0].Put(keys[i], lastAck[i]); err != nil {
+			t.Fatalf("gen1 put %q: %v", keys[i], err)
+		}
+		for _, o := range ring.Owners(ring.ShardOf(keys[i])) {
+			if o == victim {
+				victimReplicas++
+			}
+		}
+	}
+	if victimReplicas == 0 {
+		t.Fatalf("no test key replicates on node %d; nothing would exercise the rejoin", victim)
+	}
+
+	if err := ps.pc.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second generation: written into the degraded cluster. Each put
+	// retries until the failover machinery acknowledges it — these acks
+	// are the writes the restarted node must not resurrect stale versions
+	// of.
+	for i, key := range keys {
+		val := []byte(fmt.Sprintf("gen2-%d", i))
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			err := ps.clients[0].Put(key, val)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("gen2 put %q never acked while n%d dead: %v", key, victim, err)
+			}
+		}
+		lastAck[i] = val
+	}
+
+	// Rebirth: empty store, same address. Anti-entropy must stream every
+	// slot back before the cluster re-admits it.
+	if err := ps.pc.RestartNode(victim, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ps.waitConverged(t, 90*time.Second)
+
+	// The restarted replica must serve byte-identical current data via
+	// one-sided reads — it lost everything, so anything correct it returns
+	// was streamed back by repair.
+	audit := ps.clients[0]
+	served := 0
+	for i, key := range keys {
+		for _, o := range ring.Owners(ring.ShardOf(key)) {
+			got, err := audit.GetReplica(o, key)
+			if err != nil {
+				t.Fatalf("post-rejoin GetReplica(%d, %q): %v", o, key, err)
+			}
+			if !bytes.Equal(got, lastAck[i]) {
+				t.Fatalf("replica %d of %q = %q, want acked %q (lost write or stale resurrection)",
+					o, key, got, lastAck[i])
+			}
+			if o == victim {
+				served++
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("rejoined node never served a one-sided read in the audit")
+	}
+	t.Logf("rejoined n%d serves %d replicas byte-identical after restart from empty", victim, served)
+}

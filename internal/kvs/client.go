@@ -382,7 +382,15 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 			c.batch.Read(target, uint64(s.cfg.slotOff(shard, b)), c.buf, i*s.cfg.SlotSize, s.cfg.SlotSize,
 				func(_ int, err error) { c.opErr[idx], c.opDone[idx] = err, true })
 		}
+		burstStart := time.Now()
 		burstErr := c.batch.SubmitWait()
+		// A batched read's latency is the burst's round trip: SubmitWait
+		// returns when every completion has fired, so that is the time each
+		// key actually waited. Feed it to the replica-spread picker exactly
+		// like Get does for single reads — without this, a MultiGet-only
+		// workload leaves the EWMAs empty and the picker blind to slow
+		// replicas.
+		burstUs := float64(time.Since(burstStart).Nanoseconds()) / 1e3
 		for i, key := range chunk {
 			if targets[i] < 0 {
 				continue
@@ -405,6 +413,9 @@ func (c *Client) MultiGet(keys [][]byte) ([][]byte, []error) {
 			switch status {
 			case entryMatch:
 				vals[base+i] = val
+				if c.picker != nil {
+					c.picker.observe(targets[i], burstUs)
+				}
 				c.sampleRead(targets[i], s.ring().ShardOf(key))
 			case entryEmpty:
 				errs[base+i] = ErrNotFound

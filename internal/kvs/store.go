@@ -157,6 +157,7 @@ type putReq struct {
 type fwdPut struct {
 	req    *putReq
 	target int
+	sentAt time.Time // forward time; bounds the ack wait (pendingTick)
 }
 
 // Store is one node's member of the sharded KV service. Every cluster node
@@ -742,6 +743,7 @@ func (s *Store) tick() {
 		s.leaseTick(now)
 	}
 	s.parkedTick(now)
+	s.pendingTick(now)
 	s.reportTick(now)
 	if s.healPending && now.After(s.healRetryAt) {
 		s.healScan()
@@ -943,6 +945,29 @@ func (s *Store) parkedTick(now time.Time) {
 		s.parkedDirty = false
 		s.parkedRetryAt = now.Add(s.lease / 4)
 		s.drainParked()
+	}
+}
+
+// pendingTick re-routes forwarded PUTs whose ack has outwaited one lease.
+// The forward protocol is at-most-once per attempt: over a process
+// transport (or any real fabric) either the PUT frame or its ack can be
+// lost with the target still alive — most plainly when a restarted peer
+// answers an inbound request before its own outbound links are back — and
+// no failure event ever fires for an alive target, so without this bound
+// the origin's client blocks forever. Re-forwarding re-applies the same
+// key/value at worst (a lost-ack duplicate is an idempotent overwrite);
+// attempts and the fencing deadline bound the retries.
+func (s *Store) pendingTick(now time.Time) {
+	if len(s.pending) == 0 {
+		return
+	}
+	for id, f := range s.pending {
+		if now.Sub(f.sentAt) <= s.lease {
+			continue
+		}
+		delete(s.pending, id)
+		s.rerouted.Add(1)
+		s.handlePut(f.req)
 	}
 }
 
@@ -1534,7 +1559,7 @@ func (s *Store) handlePut(req *putReq) {
 		return
 	}
 	s.putsForwarded.Add(1)
-	s.pending[id] = &fwdPut{req: req, target: target}
+	s.pending[id] = &fwdPut{req: req, target: target, sentAt: time.Now()}
 }
 
 // encodePut frames a PUT request into the store's reusable send scratch.

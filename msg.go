@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"time"
 
 	"sonuma/internal/core"
 )
@@ -104,6 +106,16 @@ type MessengerConfig struct {
 	// smaller are pushed, others pulled (default 256). Use
 	// ThresholdAlwaysPush / ThresholdAlwaysPull to force one mechanism.
 	Threshold int
+	// BootResync wedges every channel at creation, so the first send to
+	// each peer runs the reset handshake before any data moves. Enable it
+	// on a messenger whose PROCESS can restart into a cluster of
+	// survivors (the multi-process transport): the survivors' receive
+	// cursors are far ahead of the reborn sender's fresh zeros, and only
+	// the handshake — whose proposals now carry the sender's boot
+	// incarnation — can rewind them. In-process clusters never lose
+	// messenger state across a failure, so they leave this off and skip
+	// the extra first-contact round-trip.
+	BootResync bool
 }
 
 func (c MessengerConfig) withDefaults() MessengerConfig {
@@ -183,6 +195,22 @@ type Messenger struct {
 	rxCtrlSeen     []uint64 // latest control sequence consumed from each peer
 	Resets         uint64   // channel resets completed as the wedged sender
 
+	// Channel incarnations guard against PEER AMNESIA: a peer process
+	// that crashed and restarted comes back with every cursor at zero
+	// while our cursors for it are far ahead, and — unlike a partition —
+	// nothing on the data path ever fails, so the wedge latch alone
+	// cannot catch it. Each messenger picks a nonzero per-boot
+	// incarnation, publishes it once into each peer's copy of its credit
+	// line, and stamps it on reset proposals. A peer whose credit-line
+	// incarnation CHANGES has provably lost its messenger state: we wedge
+	// the send path so the next send renegotiates, and the reset
+	// handshake accepts the reborn peer's from-zero proposal that the
+	// monotone generation rule would otherwise ignore.
+	inc        uint64   // this boot's incarnation, nonzero
+	peerInc    []uint64 // incarnation last seen in each peer's credit line
+	propInc    []uint64 // incarnation last accepted with a reset proposal
+	introduced []bool   // incarnation delivered into the peer's segment
+
 	rxQueue []Message
 	rxCtrl  []Message
 
@@ -213,9 +241,25 @@ func NewMessenger(ctx *Context, qp *QP, cfg MessengerConfig) (*Messenger, error)
 		rxGen:          make([]uint64, n),
 		txCtrlSeq:      make([]uint64, n),
 		rxCtrlSeen:     make([]uint64, n),
+		peerInc:        make([]uint64, n),
+		propInc:        make([]uint64, n),
+		introduced:     make([]bool, n),
 	}
 	for i := range m.stagingGen {
 		m.stagingGen[i] = make([]uint64, cfg.StagingSlots)
+	}
+	// The incarnation only needs to differ across boots of the same node
+	// id and never be zero (zero means "not yet published").
+	m.inc = uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<48
+	if m.inc == 0 {
+		m.inc = 1
+	}
+	if cfg.BootResync {
+		for p := 0; p < n; p++ {
+			if p != m.me {
+				m.txBroken[p] = true
+			}
+		}
 	}
 	m.ringBase = cfg.RegionOffset
 	m.creditBase = m.ringBase + n*cfg.RingSlots*slotSize
@@ -264,6 +308,8 @@ func (m *Messenger) ringOff(from, slot int) int {
 }
 
 // creditOff locates, within my segment, the credit line written by peer p.
+// Word 0 is p's cumulative consumed-slot count; word 1 is p's boot
+// incarnation (see checkPeerIncarnations).
 func (m *Messenger) creditOff(p int) int { return m.creditBase + p*slotSize }
 
 // ackOff locates, within the segment of a pull SENDER, the ack word for
@@ -274,7 +320,9 @@ func (m *Messenger) ackOff(rcv, k int) int {
 
 // resetOff locates, within my segment, the reset line written by peer p.
 // Word 0 is p's channel-generation proposal for the ring p→me; word 1 is
-// p's acknowledgement of my proposal for the ring me→p.
+// p's acknowledgement (the accepted restart point, possibly bumped past
+// my proposal) for the ring me→p; word 2 is p's boot incarnation; word 3
+// echoes the proposal value word 1 answers.
 func (m *Messenger) resetOff(p int) int { return m.resetBase + p*slotSize }
 
 // ctrlOff locates, within my segment, the control line written by peer p:
@@ -368,7 +416,7 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 	}
 	// Credit wait: the peer's cumulative consumed count is written into
 	// our segment; available = ring − (sent − consumed).
-	for {
+	for spin := 0; ; spin++ {
 		consumed, err := m.mem.Load64(m.creditOff(to))
 		if err != nil {
 			return err
@@ -385,7 +433,17 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 		if err := m.pump(); err != nil {
 			return err
 		}
-		runtime.Gosched()
+		// A reborn peer will never return credits either — its consume
+		// cursor restarted from zero. The pump's incarnation scan
+		// wedges the channel; renegotiate now (the reset refills the
+		// credit window) instead of spinning on credits that cannot
+		// come.
+		if m.txBroken[to] {
+			if err := m.resetChannel(to); err != nil {
+				return err
+			}
+		}
+		waitYield(spin)
 	}
 	// Compose the slots in the send buffer.
 	remaining := data
@@ -459,6 +517,20 @@ func (m *Messenger) resetChannel(to int) error {
 		start = m.txGen[to] + ring
 	}
 	m.txGen[to] = start
+	// Stamp the proposal with this boot's incarnation (reset line word 2)
+	// before publishing it. For a same-boot wedge the stamp changes
+	// nothing; for a reborn proposer it is what lets the receiver accept
+	// a from-zero restart point that the monotone generation rule would
+	// ignore as a straggler.
+	if err := m.tiny.Store64(40, m.inc); err != nil {
+		return err
+	}
+	if err := m.qp.Write(to, uint64(m.resetOff(m.me)+16), m.tiny, 40, 8); err != nil {
+		if IsNodeFailure(err) {
+			return errPeerDown()
+		}
+		return err
+	}
 	if err := m.tiny.Store64(16, start); err != nil {
 		return err
 	}
@@ -468,12 +540,25 @@ func (m *Messenger) resetChannel(to int) error {
 		}
 		return err
 	}
-	for {
-		ack, err := m.mem.Load64(m.resetOff(to) + 8)
+	// Wait for an acknowledgement OF THIS PROPOSAL: the acker echoes the
+	// proposal value it is answering (word 3), because a bumped ack from
+	// an abandoned earlier attempt could numerically satisfy a newer
+	// proposal while the receiver has since rewound somewhere else
+	// entirely. The echo and ack words share the reset line, which the
+	// receiver publishes with one line-atomic write, so the pair is never
+	// observed torn (echo values are distinct across proposals).
+	var ack uint64
+	for spin := 0; ; spin++ {
+		a, err := m.mem.Load64(m.resetOff(to) + 8)
 		if err != nil {
 			return err
 		}
-		if ack >= start {
+		echo, err := m.mem.Load64(m.resetOff(to) + 24)
+		if err != nil {
+			return err
+		}
+		if echo == start && a >= start {
+			ack = a
 			break
 		}
 		if !m.reachable(to) {
@@ -482,13 +567,20 @@ func (m *Messenger) resetChannel(to int) error {
 		if err := m.pump(); err != nil {
 			return err
 		}
-		runtime.Gosched()
+		waitYield(spin)
 	}
 	// The peer has discarded the partial message and rewound its consume
-	// cursor to `start`; resume our side from the same point with a full
-	// ring of credits (consumed == sent).
-	m.txSeq[to] = start
-	if err := m.mem.Store64(m.creditOff(to), start); err != nil {
+	// cursor to the acknowledged point; resume our side from the same
+	// point with a full ring of credits (consumed == sent). The ack can
+	// exceed our proposal: a receiver accepting a REBORN proposer bumps
+	// the restart point above its own old consume cursor so no epoch the
+	// dead incarnation could have written remains readable, and we adopt
+	// its choice.
+	if ack > m.txGen[to] {
+		m.txGen[to] = ack
+	}
+	m.txSeq[to] = ack
+	if err := m.mem.Store64(m.creditOff(to), ack); err != nil {
 		return err
 	}
 	// Pull transfers staged before the wedge were lost with the partition:
@@ -524,20 +616,63 @@ func (m *Messenger) handleResets() error {
 		if err != nil {
 			return err
 		}
-		if req <= m.rxGen[p] || req == 0 {
+		if req == 0 {
 			continue
 		}
-		m.rxGen[p] = req
+		pinc, err := m.mem.Load64(m.resetOff(p) + 16)
+		if err != nil {
+			return err
+		}
+		// A proposal stamped with an incarnation we have not accepted
+		// before bypasses the monotone-generation rule: a REBORN
+		// proposer restarts its generations from zero, so its (low)
+		// proposal would otherwise be indistinguishable from a
+		// straggler and ignored forever.
+		fresh := pinc != 0 && pinc != m.propInc[p]
+		if req <= m.rxGen[p] && !fresh {
+			continue
+		}
+		point := req
+		if fresh {
+			// The reborn proposer cannot know how far its dead
+			// incarnation advanced this ring; restart far enough past
+			// our own consume cursor that no line the old incarnation
+			// could have written carries a still-readable epoch. (The
+			// proposer adopts the bumped point from the ack.)
+			ring := uint64(m.cfg.RingSlots)
+			if floor := (m.rxSeq[p]/ring + 3) * ring; point < floor {
+				point = floor
+			}
+			m.propInc[p] = pinc
+			// Its control sequence restarted from zero too: rewind,
+			// and clear the stale frame so it is not re-delivered.
+			m.rxCtrlSeen[p] = 0
+			var zl [slotSize]byte
+			if err := m.mem.WriteAt(m.ctrlOff(p), zl[:]); err != nil {
+				return err
+			}
+		}
+		m.rxGen[p] = point
 		zero := make([]byte, m.cfg.RingSlots*slotSize)
 		if err := m.mem.WriteAt(m.ringOff(p, 0), zero); err != nil {
 			return err
 		}
-		m.rxSeq[p] = req
-		m.lastCreditSent[p] = req
-		if err := m.tiny.Store64(24, req); err != nil {
+		m.rxSeq[p] = point
+		m.lastCreditSent[p] = point
+		// Acknowledge with the accepted restart point, our incarnation,
+		// and an echo of the proposal being answered (reset line words
+		// 1..3, one line-atomic write; the tiny-buffer offsets are
+		// transient scratch shared with other sync writes).
+		if err := m.tiny.Store64(40, point); err != nil {
 			return err
 		}
-		if err := m.qp.Write(p, uint64(m.resetOff(m.me)+8), m.tiny, 24, 8); err != nil && !IsNodeFailure(err) {
+		if err := m.tiny.Store64(48, m.inc); err != nil {
+			return err
+		}
+		if err := m.tiny.Store64(56, req); err != nil {
+			return err
+		}
+		if err := m.qp.Write(p, uint64(m.resetOff(m.me)+8), m.tiny, 40, 24); err != nil && !IsNodeFailure(err) {
 			return err
 		}
 	}
@@ -576,7 +711,7 @@ func (m *Messenger) sendPull(to int, chunk []byte) error {
 // allocStaging returns a free staging slot toward peer `to`, draining
 // inbound traffic while all are awaiting acknowledgement.
 func (m *Messenger) allocStaging(to int) (int, error) {
-	for {
+	for spin := 0; ; spin++ {
 		for k := 0; k < m.cfg.StagingSlots; k++ {
 			acked, err := m.mem.Load64(m.ackOff(to, k))
 			if err != nil {
@@ -594,7 +729,15 @@ func (m *Messenger) allocStaging(to int) (int, error) {
 		if err := m.pump(); err != nil {
 			return 0, err
 		}
-		runtime.Gosched()
+		// A reborn peer lost the descriptors it owed acks for; the
+		// reset resynchronizes the staging generations (see
+		// resetChannel), freeing every slot.
+		if m.txBroken[to] {
+			if err := m.resetChannel(to); err != nil {
+				return 0, err
+			}
+		}
+		waitYield(spin)
 	}
 }
 
@@ -684,11 +827,11 @@ func (m *Messenger) TryRecvControl() (Message, bool, error) {
 
 // Recv returns the next message, blocking until one arrives.
 func (m *Messenger) Recv() (Message, error) {
-	for {
+	for spin := 0; ; spin++ {
 		if msg, ok, err := m.TryRecv(); err != nil || ok {
 			return msg, err
 		}
-		runtime.Gosched()
+		waitYield(spin)
 	}
 }
 
@@ -713,6 +856,9 @@ func (m *Messenger) Poll() error { return m.pump() }
 // pump performs one non-blocking pass over all peers' rings, serving
 // channel-reset proposals first so a wedged peer can resynchronize.
 func (m *Messenger) pump() error {
+	if err := m.checkPeerIncarnations(); err != nil {
+		return err
+	}
 	if err := m.handleResets(); err != nil {
 		return err
 	}
@@ -720,6 +866,7 @@ func (m *Messenger) pump() error {
 		if p == m.me {
 			continue
 		}
+		m.introduce(p)
 		for {
 			progressed, err := m.tryConsume(p)
 			if err != nil {
@@ -877,9 +1024,71 @@ func (m *Messenger) flushCredits(p int, force bool) error {
 	return nil
 }
 
+// introduce publishes this boot's incarnation into peer p's copy of our
+// credit line (word 1; word 0 is the credit count). One successful write
+// per boot per peer suffices — the incarnation never changes while this
+// process lives — and until it lands the peer simply cannot distinguish
+// this boot from the last one, which is exactly the pre-incarnation
+// behavior. Failures are ignored; the next pump retries.
+func (m *Messenger) introduce(p int) {
+	if m.introduced[p] || !m.reachable(p) {
+		return
+	}
+	if m.tiny.Store64(32, m.inc) != nil {
+		return
+	}
+	if err := m.qp.Write(p, uint64(m.creditOff(m.me)+8), m.tiny, 32, 8); err == nil {
+		m.introduced[p] = true
+	}
+}
+
+// checkPeerIncarnations scans each peer's credit-line incarnation word. A
+// CHANGE from one nonzero value to another proves the peer's process was
+// reborn with amnesia — its receive cursors for us are gone while ours
+// for it raced ahead, and no data-path error will ever say so. Wedge the
+// send path; the next send runs the reset handshake, which the reborn
+// peer (all generations at zero) accepts. The receive direction needs no
+// action here: the reborn peer proposes its own reset (BootResync), and
+// handleResets recognizes its fresh incarnation.
+func (m *Messenger) checkPeerIncarnations() error {
+	for p := 0; p < m.n; p++ {
+		if p == m.me {
+			continue
+		}
+		inc, err := m.mem.Load64(m.creditOff(p) + 8)
+		if err != nil {
+			return err
+		}
+		if inc == 0 || inc == m.peerInc[p] {
+			continue
+		}
+		if m.peerInc[p] != 0 {
+			m.txBroken[p] = true
+		}
+		m.peerInc[p] = inc
+	}
+	return nil
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
 	}
 	return b
+}
+
+// waitYield paces a blocking poll loop: pure yields for the first
+// iterations (credits and acks usually arrive within microseconds, and
+// sleeping would cost latency), then short sleeps. The sleep tier
+// matters on CPU-starved hosts — a single-core machine running a
+// multi-process cluster can have dozens of goroutines parked in these
+// loops, and pure Gosched spinning starves the very peer processes
+// whose progress the waiters depend on (heartbeats miss, nodes get
+// evicted, and the cluster collapses under its own polling).
+func waitYield(spin int) {
+	if spin < 256 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(200 * time.Microsecond)
 }

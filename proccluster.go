@@ -1,0 +1,389 @@
+package sonuma
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sonuma/internal/fabric"
+)
+
+// ProcCtlRequest is one control-plane request to a sonuma-node daemon,
+// sent as a single JSON line on the daemon's control socket
+// (<dir>/ctl-n<id>.sock). The control plane is how a driving process
+// reaches state it cannot touch one-sidedly across an OS boundary:
+// fault-schedule broadcast and the daemon's service counters.
+type ProcCtlRequest struct {
+	// Op is one of "ping", "cut", "restore", "info", "shutdown".
+	Op string `json:"op"`
+	// A, B name the link endpoints for cut/restore.
+	A int `json:"a,omitempty"`
+	B int `json:"b,omitempty"`
+	// Directed makes a cut one-way (A→B only).
+	Directed bool `json:"directed,omitempty"`
+}
+
+// ProcCtlResponse answers one ProcCtlRequest.
+type ProcCtlResponse struct {
+	OK   bool          `json:"ok"`
+	Err  string        `json:"err,omitempty"`
+	Info *ProcNodeInfo `json:"info,omitempty"`
+}
+
+// ProcNodeInfo is a daemon's self-reported service state. Stats carries
+// the kvs StoreStats JSON verbatim so this package stays independent of
+// the service layer; consumers that know the service decode it.
+type ProcNodeInfo struct {
+	Node        int             `json:"node"`
+	Term        uint64          `json:"term"`
+	Epoch       uint64          `json:"epoch"`
+	Coordinator int             `json:"coordinator"`
+	DownView    []bool          `json:"downView,omitempty"`
+	Stats       json.RawMessage `json:"stats,omitempty"`
+}
+
+// ProcCtlSocket returns the control-socket path of node id under dir.
+func ProcCtlSocket(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("ctl-n%d.sock", id))
+}
+
+// ProcOptions configures StartProcCluster.
+type ProcOptions struct {
+	// Nodes is the total fabric size across all processes.
+	Nodes int
+	// Daemons lists the node IDs to run as sonuma-node processes.
+	Daemons []int
+	// Local lists the node IDs hosted by the calling process (typically
+	// client-only nodes driving the workload). Must be non-empty and
+	// disjoint from Daemons.
+	Local []int
+	// Dir is the socket/scratch directory (a fresh temp dir when empty,
+	// removed on Close).
+	Dir string
+	// Credits is the per-flow credit window (0 selects the default).
+	Credits int
+	// BinPath locates the sonuma-node binary. Empty tries $PATH, then
+	// `go build` into the scratch dir.
+	BinPath string
+	// ServiceConfig, when set, is JSON handed to each daemon's -kvs flag
+	// (a kvs.Config); daemons then host a Store alongside their RMC.
+	ServiceConfig []byte
+	// ReadyTimeout bounds startup: fabric connect plus daemon pings
+	// (default 20s).
+	ReadyTimeout time.Duration
+}
+
+// ProcCluster is a cluster spanning real OS processes: this process hosts
+// the Local nodes (through a Cluster over a ProcFabric), and one
+// sonuma-node daemon per Daemons entry hosts the rest. Fault injection is
+// mapped onto the process world: FailLink/RestoreLink broadcast
+// administrative cuts to every process so all of them observe the same
+// epoch events, KillNode delivers SIGKILL — a crash that genuinely loses
+// the node's memory — and RestartNode boots a fresh daemon into the same
+// fabric address.
+type ProcCluster struct {
+	opts    ProcOptions
+	dir     string
+	ownDir  bool
+	bin     string
+	fab     *fabric.ProcFabric
+	cluster *Cluster
+
+	mu    sync.Mutex
+	procs map[int]*procEntry
+}
+
+type procEntry struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+}
+
+// StartProcCluster builds the parent's fabric and cluster, spawns the
+// daemons, and blocks until every fabric flow is connected and every
+// daemon answers a control ping.
+func StartProcCluster(opts ProcOptions) (*ProcCluster, error) {
+	if opts.Nodes <= 0 {
+		return nil, fmt.Errorf("sonuma: ProcOptions.Nodes must be positive")
+	}
+	if len(opts.Local) == 0 {
+		return nil, fmt.Errorf("sonuma: ProcOptions.Local is empty (the parent must host at least one node)")
+	}
+	if opts.ReadyTimeout <= 0 {
+		opts.ReadyTimeout = 20 * time.Second
+	}
+	pc := &ProcCluster{opts: opts, dir: opts.Dir, procs: make(map[int]*procEntry)}
+	if pc.dir == "" {
+		dir, err := os.MkdirTemp("", "sonuma-proc-")
+		if err != nil {
+			return nil, err
+		}
+		pc.dir, pc.ownDir = dir, true
+	}
+	fail := func(err error) (*ProcCluster, error) {
+		pc.Close()
+		return nil, err
+	}
+	if len(opts.ServiceConfig) > 0 {
+		if err := os.WriteFile(filepath.Join(pc.dir, "kvs.json"), opts.ServiceConfig, 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	bin, err := ResolveNodeBinary(opts.BinPath, pc.dir)
+	if err != nil {
+		return fail(err)
+	}
+	pc.bin = bin
+
+	// Parent fabric first: its listeners must be up before any daemon
+	// starts dialing, or slow-starting daemons would observe churn.
+	pf, err := fabric.NewProcFabric(fabric.ProcConfig{
+		Nodes:   opts.Nodes,
+		Local:   opts.Local,
+		Dir:     pc.dir,
+		Credits: opts.Credits,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	pc.fab = pf
+	cl, err := NewClusterWithTransport(Config{LinkCredits: opts.Credits}, pf, opts.Local)
+	if err != nil {
+		pf.Close()
+		pc.fab = nil
+		return fail(err)
+	}
+	pc.cluster = cl
+
+	for _, id := range opts.Daemons {
+		if err := pc.spawn(id); err != nil {
+			return fail(err)
+		}
+	}
+	deadline := time.Now().Add(opts.ReadyTimeout)
+	if err := pf.WaitReady(time.Until(deadline)); err != nil {
+		return fail(fmt.Errorf("sonuma: proc fabric: %w", err))
+	}
+	for _, id := range opts.Daemons {
+		if err := pc.WaitDaemon(id, time.Until(deadline)); err != nil {
+			return fail(err)
+		}
+	}
+	return pc, nil
+}
+
+// ResolveNodeBinary locates the sonuma-node binary: explicit wins, then
+// $PATH, then a `go build` into dir. Drivers that boot several clusters
+// in one run call it once and pass the result as ProcOptions.BinPath so
+// the build cost is paid once.
+func ResolveNodeBinary(explicit, dir string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if p, err := exec.LookPath("sonuma-node"); err == nil {
+		return p, nil
+	}
+	out := filepath.Join(dir, "sonuma-node")
+	cmd := exec.Command("go", "build", "-o", out, "sonuma/cmd/sonuma-node")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("sonuma: building sonuma-node: %v\n%s", err, msg)
+	}
+	return out, nil
+}
+
+// spawn starts the daemon for node id, logging to <dir>/n<id>.log.
+func (pc *ProcCluster) spawn(id int) error {
+	args := []string{
+		"-id", fmt.Sprint(id),
+		"-nodes", fmt.Sprint(pc.opts.Nodes),
+		"-dir", pc.dir,
+	}
+	if pc.opts.Credits > 0 {
+		args = append(args, "-credits", fmt.Sprint(pc.opts.Credits))
+	}
+	if len(pc.opts.ServiceConfig) > 0 {
+		args = append(args, "-kvs", filepath.Join(pc.dir, "kvs.json"))
+	}
+	cmd := exec.Command(pc.bin, args...)
+	logf, err := os.OpenFile(filepath.Join(pc.dir, fmt.Sprintf("n%d.log", id)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("sonuma: starting sonuma-node n%d: %w", id, err)
+	}
+	logf.Close()
+	e := &procEntry{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		cmd.Wait()
+		close(e.done)
+	}()
+	pc.mu.Lock()
+	pc.procs[id] = e
+	pc.mu.Unlock()
+	return nil
+}
+
+// Cluster returns the parent-side cluster hosting the Local nodes.
+func (pc *ProcCluster) Cluster() *Cluster { return pc.cluster }
+
+// Transport returns the parent's process fabric.
+func (pc *ProcCluster) Transport() *fabric.ProcFabric { return pc.fab }
+
+// Dir returns the cluster's socket/scratch directory (daemon logs live
+// there as n<id>.log).
+func (pc *ProcCluster) Dir() string { return pc.dir }
+
+// Ctl sends one control request to daemon id and returns its response.
+func (pc *ProcCluster) Ctl(id int, req ProcCtlRequest, timeout time.Duration) (*ProcCtlResponse, error) {
+	conn, err := net.DialTimeout("unix", ProcCtlSocket(pc.dir, id), timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return nil, err
+	}
+	var resp ProcCtlResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// WaitDaemon blocks until daemon id answers a control ping.
+func (pc *ProcCluster) WaitDaemon(id int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := pc.Ctl(id, ProcCtlRequest{Op: "ping"}, time.Second); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sonuma: daemon n%d not answering control pings after %v", id, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Info fetches daemon id's self-reported service state.
+func (pc *ProcCluster) Info(id int) (*ProcNodeInfo, error) {
+	resp, err := pc.Ctl(id, ProcCtlRequest{Op: "info"}, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Info == nil {
+		return nil, fmt.Errorf("sonuma: daemon n%d returned no info", id)
+	}
+	return resp.Info, nil
+}
+
+// broadcast applies a fault op locally and relays it to every live
+// daemon. Dead daemons are skipped — they will learn nothing, exactly
+// like a crashed node.
+func (pc *ProcCluster) broadcast(req ProcCtlRequest, local func()) {
+	local()
+	pc.mu.Lock()
+	ids := make([]int, 0, len(pc.procs))
+	for id := range pc.procs {
+		ids = append(ids, id)
+	}
+	pc.mu.Unlock()
+	for _, id := range ids {
+		pc.Ctl(id, req, 2*time.Second)
+	}
+}
+
+// FailLink cuts the link a↔b in every process of the cluster.
+func (pc *ProcCluster) FailLink(a, b int) {
+	pc.broadcast(ProcCtlRequest{Op: "cut", A: a, B: b}, func() { pc.cluster.FailLink(a, b) })
+}
+
+// FailLinkDirected cuts only the direction a→b in every process.
+func (pc *ProcCluster) FailLinkDirected(a, b int) {
+	pc.broadcast(ProcCtlRequest{Op: "cut", A: a, B: b, Directed: true},
+		func() { pc.cluster.FailLinkDirected(a, b) })
+}
+
+// RestoreLink repairs the link a↔b in every process.
+func (pc *ProcCluster) RestoreLink(a, b int) {
+	pc.broadcast(ProcCtlRequest{Op: "restore", A: a, B: b}, func() { pc.cluster.RestoreLink(a, b) })
+}
+
+// KillNode SIGKILLs daemon id's process — no shutdown path runs, its
+// memory is genuinely gone, and peers notice through dropped sockets.
+// It blocks until the process is reaped.
+func (pc *ProcCluster) KillNode(id int) error {
+	pc.mu.Lock()
+	e := pc.procs[id]
+	delete(pc.procs, id)
+	pc.mu.Unlock()
+	if e == nil {
+		return fmt.Errorf("sonuma: no daemon for node %d", id)
+	}
+	e.cmd.Process.Kill()
+	select {
+	case <-e.done:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("sonuma: daemon n%d did not die", id)
+	}
+	return nil
+}
+
+// RestartNode boots a fresh daemon for node id (empty state, same fabric
+// address) and waits until it answers control pings.
+func (pc *ProcCluster) RestartNode(id int, timeout time.Duration) error {
+	if err := pc.spawn(id); err != nil {
+		return err
+	}
+	return pc.WaitDaemon(id, timeout)
+}
+
+// Close tears the whole cluster down: daemons get a shutdown request and
+// a SIGKILL backstop, the parent cluster closes, and an owned scratch
+// directory is removed.
+func (pc *ProcCluster) Close() {
+	pc.mu.Lock()
+	procs := make(map[int]*procEntry, len(pc.procs))
+	for id, e := range pc.procs {
+		procs[id] = e
+	}
+	pc.procs = make(map[int]*procEntry)
+	pc.mu.Unlock()
+	for id := range procs {
+		pc.Ctl(id, ProcCtlRequest{Op: "shutdown"}, time.Second)
+	}
+	deadline := time.After(3 * time.Second)
+	for _, e := range procs {
+		select {
+		case <-e.done:
+			continue
+		case <-deadline:
+		default:
+		}
+		e.cmd.Process.Kill()
+		select {
+		case <-e.done:
+		case <-time.After(3 * time.Second):
+		}
+	}
+	if pc.cluster != nil {
+		pc.cluster.Close()
+	} else if pc.fab != nil {
+		pc.fab.Close()
+	}
+	if pc.ownDir {
+		os.RemoveAll(pc.dir)
+	}
+}
