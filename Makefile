@@ -1,0 +1,29 @@
+# Convenience entry points; CI runs the same commands.
+
+GO ?= go
+
+.PHONY: build test lint lint-json vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The repo's domain-specific analyzers (see ARCHITECTURE.md, "Static
+# analysis"). Blocking: any unsuppressed finding fails.
+lint:
+	$(GO) run ./cmd/sonuma-lint ./...
+
+# Machine-readable findings (stdout), e.g. for editor/CI integration.
+lint-json:
+	$(GO) run ./cmd/sonuma-lint -json - ./...
+
+# Standard vet plus sonuma-lint via the -vettool protocol.
+vet:
+	$(GO) vet ./...
+	$(GO) build -o $(CURDIR)/bin/sonuma-lint ./cmd/sonuma-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/sonuma-lint ./...
+
+fmt:
+	gofmt -w .

@@ -2,7 +2,6 @@ package sonuma
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 
 	"sonuma/internal/core"
@@ -99,7 +98,7 @@ func (b *Barrier) Wait() error {
 	mem := b.ctx.Memory()
 	for _, i := range pollOrder(len(b.parts), b.myIdx) {
 		lineOff := b.off + i*core.CacheLineSize
-		for {
+		for spin := 0; ; spin++ {
 			v, err := mem.Load64(lineOff)
 			if err != nil {
 				return err
@@ -107,7 +106,7 @@ func (b *Barrier) Wait() error {
 			if v >= b.round {
 				break
 			}
-			runtime.Gosched()
+			WaitYield(spin)
 		}
 	}
 	return nil

@@ -1,0 +1,64 @@
+package sonuma_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"sonuma"
+)
+
+// TestBarrierSingleProc drives barrier rounds with every participant
+// goroutine sharing one scheduler proc. This is the regression for the
+// pure-Gosched poll loop Barrier.Wait used to run: polling must escalate
+// to WaitYield's sleep tier so the peers whose announcements the poller
+// waits on — and everything else on a starved host — keep making
+// progress. The flagged shape is exactly the PR 7 starvation class that
+// sonuma-lint's spinloop analyzer now rejects tree-wide.
+func TestBarrierSingleProc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	const n = 4
+	cl, err := sonuma.NewCluster(sonuma.Config{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	parts := []int{0, 1, 2, 3}
+	barriers := make([]*sonuma.Barrier, n)
+	for i := 0; i < n; i++ {
+		ctx, err := cl.Node(i).OpenContext(9, sonuma.BarrierRegionSize(n)+4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ctx.NewQP(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if barriers[i], err = sonuma.NewBarrier(ctx, qp, 0, parts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(b *sonuma.Barrier) {
+			var err error
+			for r := 0; r < 10 && err == nil; r++ {
+				err = b.Wait()
+			}
+			done <- err
+		}(barriers[i])
+	}
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("barrier rounds did not complete with all participants on one proc")
+		}
+	}
+}

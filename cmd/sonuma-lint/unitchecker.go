@@ -1,0 +1,132 @@
+package main
+
+// The vet-tool half of sonuma-lint: `go vet -vettool=sonuma-lint` runs
+// the tool once per package with a JSON .cfg describing the files and
+// the export data of every dependency (go vet compiles dependencies and
+// hands us their export files, so no source re-loading happens here —
+// the mirror image of the standalone loader). Diagnostics print in the
+// file:line:col form vet expects on stderr; the facts output file is
+// written empty (these analyzers keep no cross-package facts).
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"sonuma/internal/lint/analysis"
+)
+
+// vetConfig mirrors the fields of x/tools' unitchecker.Config that the
+// go command populates.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sonuma-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// Always write the facts file first: the go command requires it to
+	// exist even when the package has no findings.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data vet compiled for us.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "sonuma-lint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}
+	findings, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2 // vet reports tool exit 2 as "issues found"
+	}
+	return 0
+}

@@ -37,9 +37,11 @@ func TestSegmentBounds(t *testing.T) {
 	if err := s.ReadAt(-1, make([]byte, 4)); err == nil {
 		t.Fatal("negative offset accepted")
 	}
+	//lint:ignore atomicmix deliberately unaligned: this test proves the segment rejects it
 	if _, err := s.FetchAdd64(121, 1); err == nil {
 		t.Fatal("unaligned atomic accepted")
 	}
+	//lint:ignore atomicmix deliberately 4-byte-aligned: this test proves 8-byte alignment is required
 	if _, err := s.FetchAdd64(124, 1); err == nil {
 		t.Fatal("4-byte-aligned atomic accepted (needs 8)")
 	}

@@ -878,6 +878,7 @@ func (r *RMC) flushFailed(failed core.NodeID, epoch uint64) {
 // route, hence both directions.)
 func (r *RMC) flushLink(a, b core.NodeID, epoch uint64) {
 	for i := range r.itt {
+		//lint:ignore epochorder link epochs are the interconnect's plain event counter, not packed (term,epoch) authority words
 		if !r.itt[i].active || r.itt[i].linkEpoch >= epoch {
 			continue
 		}

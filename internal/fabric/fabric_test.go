@@ -356,6 +356,7 @@ func TestRestoreWatchers(t *testing.T) {
 	if re.a != 0 || re.b != 1 {
 		t.Fatalf("restore event for link %d-%d, want 0-1", re.a, re.b)
 	}
+	//lint:ignore epochorder link epochs are plain monotonic event counters; the test asserts exactly that monotonicity
 	if re.epoch <= fe.epoch {
 		t.Fatalf("restore epoch %d not after failure epoch %d", re.epoch, fe.epoch)
 	}

@@ -3,7 +3,6 @@ package kvs
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -322,8 +321,11 @@ probeLoop:
 					return nil, ErrRetryExhausted
 				}
 				// Back off so a continuously replicating writer
-				// cannot starve the reader indefinitely.
-				runtime.Gosched()
+				// cannot starve the reader indefinitely. WaitYield
+				// escalates from yields to real sleeps, so on a
+				// CPU-starved host the writer we are waiting on (and
+				// everyone's heartbeats) still get cycles.
+				sonuma.WaitYield(retries)
 			}
 		}
 	}

@@ -122,6 +122,26 @@ func cfgNewer(term, epoch, thanTerm, thanEpoch uint64) bool {
 	return term > thanTerm || (term == thanTerm && epoch > thanEpoch)
 }
 
+// termNewer and epochNewer are the canonical single-word orderings; all
+// comparisons of bare term or epoch words go through them (enforced by
+// sonuma-lint's epochorder analyzer), so the packing invariants that make
+// the raw u64 order correct are stated once, here, instead of being
+// implied at every call site.
+
+// termNewer reports whether term supersedes than. Raw u64 order is the
+// term order because the generation lives in the high bits: a later
+// generation always wins, and within one generation the owner bits are a
+// deterministic (if arbitrary) tie-break — two claimants can never
+// activate the same generation from the same succession scan anyway.
+func termNewer(term, than uint64) bool { return term > than }
+
+// epochNewer reports whether epoch supersedes than. Raw u64 order is the
+// epoch order because terms get disjoint, monotonically higher epoch
+// bands (termEpochFloor): within a term epochs advance by 1, and a
+// successor term's first epoch exceeds every epoch any lower term could
+// have activated.
+func epochNewer(epoch, than uint64) bool { return epoch > than }
+
 // authorityQuorum is how many MIRROR contacts (acks or refreshes) an
 // active coordinator or claimant needs for authority liveness: itself
 // plus this many mirrors is a strict majority of the succession set. For
@@ -265,9 +285,9 @@ func (s *Store) pollConfig(now time.Time) {
 		return
 	}
 	s.markCfgFresh(now)
-	if term > s.cfgTerm {
+	if termNewer(term, s.cfgTerm) {
 		s.adoptTerm(term, epoch, down, rot)
-	} else if epoch > s.cfgEpoch {
+	} else if epochNewer(epoch, s.cfgEpoch) {
 		s.adoptConfig(epoch, down, rot)
 	}
 }
@@ -336,7 +356,7 @@ func (s *Store) successionScan(now time.Time) {
 		}
 	}
 	if found {
-		if bestTerm > s.cfgTerm {
+		if termNewer(bestTerm, s.cfgTerm) {
 			// A new coordinator claimed the authority: follow it and give
 			// it a fresh staleness window.
 			s.markCfgFresh(now)
@@ -393,7 +413,7 @@ func (s *Store) takeOver(now time.Time) {
 	// The new generation's epoch range outranks every epoch the deposed
 	// term could have activated, observed or not (see epochGenShift).
 	epoch := termEpochFloor(term) + 1
-	if epoch <= s.cfgEpoch {
+	if !epochNewer(epoch, s.cfgEpoch) {
 		epoch = s.cfgEpoch + 1
 	}
 	mask := s.cfgDown
@@ -438,7 +458,7 @@ func (s *Store) takeOver(now time.Time) {
 // observes its succession: it demotes itself to a follower of the new
 // term's owner.
 func (s *Store) adoptTerm(term, epoch, down, rot uint64) {
-	if term <= s.cfgTerm {
+	if !termNewer(term, s.cfgTerm) {
 		return
 	}
 	if s.me == s.coord {
@@ -665,7 +685,7 @@ func (s *Store) mirrorTick(now time.Time) {
 		if p == s.me || !cl.Reachable(s.me, p) {
 			continue
 		}
-		if term, epoch, down, rot, ok := s.readPeerSlot(p); ok && term > s.cfgTerm {
+		if term, epoch, down, rot, ok := s.readPeerSlot(p); ok && termNewer(term, s.cfgTerm) {
 			s.adoptTerm(term, epoch, down, rot)
 			s.markCfgFresh(now)
 			return // demoted: a follower now, pollConfig takes over

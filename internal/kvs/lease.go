@@ -117,7 +117,7 @@ func (s *Store) handleCtrl(m sonuma.Message) {
 	if !ok {
 		return
 	}
-	if f.term > s.cfgTerm {
+	if termNewer(f.term, s.cfgTerm) {
 		if s.me == s.coord {
 			s.mirrorAt = time.Time{} // verify the claimed succession on the mirrors now
 		} else {
@@ -125,7 +125,7 @@ func (s *Store) handleCtrl(m sonuma.Message) {
 		}
 		return
 	}
-	if f.term < s.cfgTerm {
+	if termNewer(s.cfgTerm, f.term) {
 		if f.kind == ctlLeaseRenew && m.From >= 0 && m.From < s.n && m.From != s.me {
 			var b [ctlMaxLen]byte
 			_ = s.msgr.SendControl(m.From, encodeCtl(b[:], ctlFrame{
@@ -149,7 +149,7 @@ func (s *Store) handleCtrl(m sonuma.Message) {
 			s.leaseEpoch = f.epoch
 			s.leaseUntil = time.Now().Add(dur)
 			s.parkedDirty = true // fenced PUTs can go now
-		} else if f.epoch > s.cfgEpoch {
+		} else if epochNewer(f.epoch, s.cfgEpoch) {
 			// Granted for an epoch we have not adopted yet: read the
 			// slot first, then the next renewal collects a usable grant.
 			s.cfgDirty = true
@@ -157,11 +157,11 @@ func (s *Store) handleCtrl(m sonuma.Message) {
 	case ctlLeaseDeny:
 		// We are evicted at the coordinator's epoch: stay fenced and
 		// learn the details from the slot.
-		if m.From == s.coord && f.epoch >= s.cfgEpoch {
+		if m.From == s.coord && !epochNewer(s.cfgEpoch, f.epoch) {
 			s.cfgDirty = true
 		}
 	case ctlCfgChanged:
-		if f.epoch > s.cfgEpoch {
+		if epochNewer(f.epoch, s.cfgEpoch) {
 			s.cfgDirty = true
 		}
 	case ctlRepairDone:

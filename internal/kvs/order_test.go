@@ -1,0 +1,56 @@
+package kvs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTermEpochOrderingHelpers pins the packing invariants that make the
+// canonical single-word orderings — termNewer and epochNewer, the only
+// sanctioned way to compare bare term or epoch words (enforced by
+// sonuma-lint's epochorder analyzer) — equivalent to the semantic orders
+// they stand for.
+func TestTermEpochOrderingHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const owners = 1 << termBits
+	for i := 0; i < 10000; i++ {
+		g1, g2 := uint64(rng.Intn(1000))+1, uint64(rng.Intn(1000))+1
+		o1, o2 := rng.Intn(owners), rng.Intn(owners)
+		t1, t2 := termFor(g1, o1), termFor(g2, o2)
+
+		// termNewer is the lexicographic (generation, owner) order: the
+		// generation dominates, owner bits tie-break deterministically.
+		wantNewer := g1 > g2 || (g1 == g2 && o1 > o2)
+		if got := termNewer(t1, t2); got != wantNewer {
+			t.Fatalf("termNewer(%#x, %#x) = %v, want %v (gen %d/%d owner %d/%d)",
+				t1, t2, got, wantNewer, g1, g2, o1, o2)
+		}
+
+		// A successor term supersedes its predecessor whoever owns it.
+		succ := nextTerm(t1, o2)
+		if !termNewer(succ, t1) {
+			t.Fatalf("nextTerm(%#x, %d) = %#x does not supersede its predecessor", t1, o2, succ)
+		}
+
+		// Epoch bands: the successor term's first epoch supersedes every
+		// epoch the predecessor term can activate, so epochNewer on bare
+		// epoch words is a total order across successions.
+		k := uint64(rng.Intn(1 << 20))
+		oldEpoch := termEpochFloor(t1) + 1 + k
+		newEpoch := termEpochFloor(succ) + 1
+		if !epochNewer(newEpoch, oldEpoch) {
+			t.Fatalf("first epoch %#x of successor term %#x does not supersede epoch %#x of term %#x",
+				newEpoch, succ, oldEpoch, t1)
+		}
+		if !epochNewer(oldEpoch+1, oldEpoch) || epochNewer(oldEpoch, oldEpoch) {
+			t.Fatalf("epochNewer not a strict within-term order at %#x", oldEpoch)
+		}
+
+		// cfgNewer stays the lexicographic (term, epoch) composite.
+		e1, e2 := oldEpoch, termEpochFloor(t2)+1+uint64(rng.Intn(1<<20))
+		wantCfg := t1 > t2 || (t1 == t2 && e1 > e2)
+		if got := cfgNewer(t1, e1, t2, e2); got != wantCfg {
+			t.Fatalf("cfgNewer(%#x, %#x, %#x, %#x) = %v, want %v", t1, e1, t2, e2, got, wantCfg)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package kvs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGetBacksOffOnStuckOddSlot pins the client's torn-retry loop against
+// a slot whose version word is stuck odd (a writer that died mid-publish):
+// the read must surface ErrRetryExhausted after bounded, paced retries —
+// the pacing (sonuma.WaitYield instead of bare Gosched) is the regression
+// under test — and the slot must then heal through the leader's stuck-slot
+// scrub, the compensating mechanism the //lint:ignore annotations in
+// replicate() cite.
+func TestGetBacksOffOnStuckOddSlot(t *testing.T) {
+	const n = 3
+	_, stores := newService(t, n, testConfig())
+	client := newTestClient(t, stores[0])
+	ring := stores[0].Ring()
+
+	k := []byte("stuck:key")
+	if err := client.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	shard := ring.ShardOf(k)
+	leader := ring.Owners(shard)[0]
+	ls := stores[leader]
+	bucket, err := ls.findBucket(shard, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := ls.cfg.slotOff(shard, bucket)
+	ver, err := ls.mem.Load64(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.mem.Store64(off, ver|1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stuck slot exhausts the bounded retry budget long before the
+	// scrub's two lease-spaced observations can heal it.
+	start := time.Now()
+	if _, err := client.GetReplica(leader, k); !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("GetReplica on stuck-odd slot: %v, want ErrRetryExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stuck-odd exhaustion took %v; retries must stay bounded", elapsed)
+	}
+
+	// The scrub needs the slot observed odd at the same version across two
+	// lease-spaced passes; poll until it has healed the slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := client.GetReplica(leader, k)
+		if err == nil {
+			if string(got) != "v" {
+				t.Fatalf("healed slot reads %q, want %q", got, "v")
+			}
+			return
+		}
+		if !errors.Is(err, ErrRetryExhausted) {
+			t.Fatalf("waiting for scrub heal: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stuck-odd slot never healed by the scrub pass")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

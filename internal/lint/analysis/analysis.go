@@ -1,0 +1,149 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics flow back through Pass.Report.
+//
+// The x/tools module is deliberately not a dependency — the repo builds
+// with a bare go.mod — so this package re-implements the three pieces
+// sonuma-lint needs: the Analyzer/Pass/Diagnostic vocabulary (this file),
+// a module-aware source loader (load.go), and //lint:ignore directive
+// handling (ignore.go). The analyzers under internal/lint/* are written
+// against this vocabulary and would port to the real framework by
+// swapping the import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short lowercase identifier used on the command line,
+	// in //lint:ignore directives, and in JSON output.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the check to one package and reports diagnostics via
+	// pass.Report. The result value is unused by the driver (kept for
+	// x/tools signature compatibility).
+	Run func(pass *Pass) (any, error)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position translated, analyzer named,
+// suppression state decided. The driver and analysistest both consume
+// findings rather than raw diagnostics.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// RunPackage applies each analyzer to pkg and returns the findings,
+// sorted by position. Diagnostics on lines covered by a valid
+// //lint:ignore directive for that analyzer are dropped; malformed
+// directives (missing reason) surface as findings of the synthetic
+// "lintdirective" analyzer so suppressions can never silently rot.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	ignores, bad := collectDirectives(pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...))
+	var out []Finding
+	out = append(out, bad...)
+
+	runSet := func(files []*ast.File, tpkg *types.Package, info *types.Info) error {
+		if len(files) == 0 || tpkg == nil {
+			return nil
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     files,
+				Pkg:       tpkg,
+				TypesInfo: info,
+			}
+			pass.Report = func(d Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if ignores.covers(a.Name, posn) {
+					return
+				}
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      posn,
+					File:     posn.Filename,
+					Line:     posn.Line,
+					Col:      posn.Column,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+		return nil
+	}
+
+	if err := runSet(pkg.Files, pkg.Pkg, pkg.Info); err != nil {
+		return nil, err
+	}
+	if err := runSet(pkg.XTestFiles, pkg.XTestPkg, pkg.XTestInfo); err != nil {
+		return nil, err
+	}
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer.
+func SortFindings(fs []Finding) {
+	sortSlice(fs, func(a, b Finding) bool {
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	// Insertion sort: finding lists are short and this avoids pulling in
+	// sort helpers per call site.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding that is intentional — a discipline violated on purpose, with
+// a compensating mechanism elsewhere — is suppressed in place:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// either as a standalone comment on the line directly above the flagged
+// line, or trailing on the flagged line itself. The reason is mandatory:
+// a directive without one is itself reported (analyzer "lintdirective"),
+// so every suppression in the tree documents why the rule does not
+// apply. The analyzer field must name a known analyzer or "all".
+
+// directivePrefix is what a suppression comment starts with after the
+// leading slashes.
+const directivePrefix = "lint:ignore"
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+type ignoreSet map[ignoreKey][]string // -> analyzer names ("all" wildcard)
+
+// covers reports whether a diagnostic of analyzer a at posn is suppressed.
+// A directive on line N covers lines N (trailing form) and N+1
+// (standalone form); covering both keeps the match robust without
+// tracking which form was used.
+func (s ignoreSet) covers(a string, posn token.Position) bool {
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		for _, name := range s[ignoreKey{posn.Filename, line}] {
+			if name == a || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives scans file comments for //lint:ignore directives.
+// Well-formed ones land in the returned set; malformed ones (no analyzer,
+// or no reason) are returned as findings so the hygiene gate fails.
+func collectDirectives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Finding) {
+	set := ignoreSet{}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective",
+						Pos:      posn,
+						File:     posn.Filename,
+						Line:     posn.Line,
+						Col:      posn.Column,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				set[ignoreKey{posn.Filename, posn.Line}] = append(
+					set[ignoreKey{posn.Filename, posn.Line}], fields[0])
+			}
+		}
+	}
+	return set, bad
+}

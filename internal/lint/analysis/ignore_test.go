@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/spinloop"
+)
+
+// TestIgnoreDirectives proves the three directive behaviors on a fixture:
+// reasoned directives (standalone and trailing forms) suppress, and a
+// reason-less directive both fails hygiene and does NOT suppress.
+func TestIgnoreDirectives(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "ignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadAdHocDir(dir, "ignore")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{spinloop.Analyzer})
+	if err != nil {
+		t.Fatalf("running spinloop: %v", err)
+	}
+
+	var malformed, unsuppressed int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lintdirective":
+			if !strings.Contains(f.Message, "malformed //lint:ignore") {
+				t.Errorf("unexpected lintdirective message: %s", f.Message)
+			}
+			malformed++
+		case "spinloop":
+			unsuppressed++
+		default:
+			t.Errorf("unexpected finding: %+v", f)
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("malformed-directive findings = %d, want 1 (the reason-less directive)", malformed)
+	}
+	if unsuppressed != 1 {
+		t.Errorf("spinloop findings = %d, want 1 (only reasonless's loop; reasoned directives must suppress)", unsuppressed)
+	}
+}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module's packages without help from
+// go/packages (x/tools is not a dependency). Resolution is two-tier:
+// import paths under the module path map to directories beneath the
+// go.mod root and are type-checked from source here; everything else is
+// delegated to the standard library's source importer, which resolves
+// GOROOT packages. Cgo is disabled so the pure-Go variants of net/os are
+// what get type-checked — the repo itself is cgo-free.
+//
+// Two views exist of every module package: the import view (production
+// files only, cached, what other packages see) and the analysis view
+// (production + in-package test files, plus the external _test package
+// type-checked against the test-augmented package). Analyzers get the
+// analysis view; imports always get the production view.
+
+// Package is the analysis view of one directory.
+type Package struct {
+	Path string // import path ("sonuma/internal/kvs")
+	Dir  string
+
+	Fset  *token.FileSet
+	Files []*ast.File // production + in-package test files
+	Pkg   *types.Package
+	Info  *types.Info
+
+	XTestFiles []*ast.File // external (foo_test) test package, if any
+	XTestPkg   *types.Package
+	XTestInfo  *types.Info
+}
+
+// Loader loads and type-checks packages of one module.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	ctxt    build.Context
+	std     types.ImporterFrom
+	pkgs    map[string]*types.Package // production-view cache
+	loading map[string]bool           // cycle detection
+}
+
+// NewLoader finds the enclosing module from dir (walking up to go.mod)
+// and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modpath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modpath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modpath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+
+	// The source importer consults build.Default; force cgo off so
+	// GOROOT packages with cgo variants (net, os/user) type-check their
+	// pure-Go files. The repo itself has no cgo.
+	build.Default.CgoEnabled = false
+	ctxt := build.Default
+
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modpath,
+		ctxt:    ctxt,
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Import implements types.Importer (production view).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		if l.loading[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pdir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		files, _, _, err := l.parseDir(pdir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no buildable Go files in %s", pdir)
+		}
+		pkg, _, err := l.check(path, files, l)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+// LoadDir loads the analysis view of the package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadAt(abs, path)
+}
+
+// LoadAdHocDir loads a directory outside the module (fixture trees) under
+// a synthetic import path.
+func (l *Loader) LoadAdHocDir(dir, path string) (*Package, error) {
+	return l.loadAt(dir, path)
+}
+
+func (l *Loader) loadAt(dir, path string) (*Package, error) {
+	prod, testIn, testX, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(prod)+len(testIn) == 0 && len(testX) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	if len(prod)+len(testIn) > 0 {
+		p.Files = append(append([]*ast.File{}, prod...), testIn...)
+		p.Pkg, p.Info, err = l.check(path, p.Files, l)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(testX) > 0 {
+		p.XTestFiles = testX
+		// The external test package's self-import must be type-identical
+		// to the view every OTHER imported package was checked against
+		// (an x-test importing both the package-under-test and a package
+		// that also imports it would otherwise see two distinct
+		// *types.Package for one path), so check against the production
+		// view first. Fall back to the test-augmented package for the
+		// export_test.go idiom, where the x-test needs test-only helpers.
+		p.XTestPkg, p.XTestInfo, err = l.check(path+"_test", testX, l)
+		if err != nil {
+			imp := &selfImporter{l: l, path: path, pkg: p.Pkg}
+			p.XTestPkg, p.XTestInfo, err = l.check(path+"_test", testX, imp)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// selfImporter resolves the package-under-test to its test-augmented
+// incarnation and everything else through the loader.
+type selfImporter struct {
+	l    *Loader
+	path string
+	pkg  *types.Package
+}
+
+func (s *selfImporter) Import(path string) (*types.Package, error) {
+	return s.ImportFrom(path, s.l.ModRoot, 0)
+}
+
+func (s *selfImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == s.path && s.pkg != nil {
+		return s.pkg, nil
+	}
+	return s.l.ImportFrom(path, dir, mode)
+}
+
+// parseDir parses the directory's buildable Go files into production,
+// in-package test, and external test file sets, honoring build tags.
+func (l *Loader) parseDir(dir string) (prod, testIn, testX []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		match, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s/%s: %w", dir, name, err)
+		}
+		if !match {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			testX = append(testX, f)
+		case strings.HasSuffix(name, "_test.go"):
+			testIn = append(testIn, f)
+		default:
+			prod = append(prod, f)
+		}
+	}
+	return prod, testIn, testX, nil
+}
+
+// check type-checks one file set as a package.
+func (l *Loader) check(path string, files []*ast.File, imp types.ImporterFrom) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		// Report the first few errors; one missing import cascades.
+		n := len(errs)
+		if n > 3 {
+			errs = errs[:3]
+		}
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, nil, fmt.Errorf("type-checking %s (%d errors): %s", path, n, strings.Join(msgs, "; "))
+	}
+	return pkg, info, nil
+}
+
+// PackageDirs expands command-line patterns into package directories.
+// Supported forms: "./..." (or "all") for every package under the module
+// root, a directory path with trailing "/..." for a subtree, or a plain
+// directory path. Directories named testdata, hidden directories, and
+// dirs without buildable Go files are skipped.
+func (l *Loader) PackageDirs(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all" || pat == "./..." || pat == "...":
+			dirs, err := l.walkPackages(l.ModRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Clean(strings.TrimSuffix(pat, "/..."))
+			dirs, err := l.walkPackages(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		default:
+			add(filepath.Clean(pat))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) walkPackages(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var uniq []string
+	for _, d := range dirs {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != d {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq, nil
+}

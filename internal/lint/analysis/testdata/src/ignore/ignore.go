@@ -1,0 +1,30 @@
+// Fixture for the //lint:ignore directive mechanics, exercised with the
+// spinloop analyzer (any analyzer would do).
+package ignore
+
+import "runtime"
+
+var ready bool
+
+// A reasoned standalone directive on the line above suppresses.
+func suppressed() {
+	//lint:ignore spinloop fixture: the compensating mechanism would be documented here
+	for !ready {
+		runtime.Gosched()
+	}
+}
+
+// The trailing form covers its own line.
+func suppressedTrailing() {
+	for !ready { //lint:ignore spinloop fixture: trailing form covers this line
+		runtime.Gosched()
+	}
+}
+
+// A reason-less directive does not suppress — and is itself a finding.
+func reasonless() {
+	//lint:ignore spinloop
+	for !ready {
+		runtime.Gosched()
+	}
+}

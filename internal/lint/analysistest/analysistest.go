@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring (a useful subset
+// of) golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live at <testdata>/src/<pkg>/*.go. A line expecting
+// diagnostics carries a trailing comment of one or more quoted or
+// backquoted regular expressions:
+//
+//	foo()        // want `use after FreePacket` `second finding`
+//	bar()        // want "leaks on this path"
+//
+// Every reported diagnostic must match exactly one want on its line and
+// every want must be matched — extra and missing findings both fail.
+// Fixtures must type-check: a broken fixture fails the test rather than
+// silently testing nothing.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sonuma/internal/lint/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named fixture package and applies
+// the analyzer, comparing findings against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, pkg)
+		})
+	}
+}
+
+// TestData returns the absolute testdata directory for the calling test's
+// package, i.e. ./testdata resolved.
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkgname)
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadAdHocDir(dir, pkgname)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgname, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...))
+
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		if f.Analyzer != a.Name && f.Analyzer != "lintdirective" {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		ws := wants[key]
+		hit := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				rest := text[idx+len("want "):]
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment: %q", key, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,214 @@
+// Package atomicmix enforces the all-or-nothing rule for sync/atomic: a
+// variable or struct field accessed through sync/atomic anywhere must
+// never be written with a plain assignment elsewhere — the race detector
+// only catches the mix when both sides actually collide, while the rule
+// is checkable statically. Constructor-shaped functions (New*/new*/make*)
+// are exempt: before the value escapes, plain initialization is the
+// idiom.
+//
+// Two alignment checks ride along, because the one-sided data path's
+// atomics are 8-byte words: (1) a struct field used with 64-bit atomics
+// must sit at an 8-byte-aligned offset under 32-bit layout rules (gc/386
+// sizes), the classic embedded-field trap; (2) a constant offset passed
+// to the one-sided FetchAdd/CompareSwap family must itself be 8-byte
+// aligned — the emulated RMC rejects unaligned remote atomics at
+// runtime, this moves the failure to lint time.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag fields mixing sync/atomic and plain access, and misaligned 64-bit atomic words/offsets",
+	Run:  run,
+}
+
+// one-sided remote atomic staging calls: name -> index of the offset arg.
+var remoteAtomicOffsetArg = map[string]int{
+	"FetchAdd":         1,
+	"CompareSwap":      1,
+	"FetchAdd64":       0,
+	"IssueFetchAdd":    2,
+	"IssueCompareSwap": 2,
+}
+
+type atomicUse struct {
+	pos     token.Pos
+	op      string
+	is64bit bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	atomicVars := map[*types.Var]atomicUse{}
+
+	// Pass 1: every address handed to a sync/atomic call marks its
+	// variable as atomically-owned.
+	forEachCall(pass, func(call *ast.CallExpr, enclosing string) {
+		if lintutil.CalleePkgPath(pass.TypesInfo, call) != "sync/atomic" || len(call.Args) == 0 {
+			return
+		}
+		name := lintutil.CalleeName(call)
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return
+		}
+		if v := varOf(pass, addr.X); v != nil {
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = atomicUse{pos: call.Pos(), op: name, is64bit: strings.HasSuffix(name, "64")}
+			}
+		}
+	})
+
+	// Pass 2: plain writes to atomically-owned variables.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if constructorish(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					if st.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range st.Lhs {
+						reportPlainWrite(pass, atomicVars, lhs)
+					}
+				case *ast.IncDecStmt:
+					reportPlainWrite(pass, atomicVars, st.X)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: 32-bit layout alignment of 64-bit atomic fields.
+	checkFieldAlignment(pass, atomicVars)
+
+	// Pass 4: constant offsets to the one-sided remote atomic family.
+	forEachCall(pass, func(call *ast.CallExpr, enclosing string) {
+		idx, ok := remoteAtomicOffsetArg[lintutil.CalleeName(call)]
+		if !ok || len(call.Args) <= idx {
+			return
+		}
+		if off, ok := lintutil.IntConst(pass.TypesInfo, call.Args[idx]); ok && off%8 != 0 {
+			pass.Reportf(call.Args[idx].Pos(), "one-sided %s offset %d is not 8-byte aligned: remote atomics act on aligned 8-byte words and the RMC rejects this at runtime", lintutil.CalleeName(call), off)
+		}
+	})
+
+	return nil, nil
+}
+
+func reportPlainWrite(pass *analysis.Pass, atomicVars map[*types.Var]atomicUse, lhs ast.Expr) {
+	v := varOf(pass, lhs)
+	if v == nil {
+		return
+	}
+	if use, ok := atomicVars[v]; ok {
+		pass.Reportf(lhs.Pos(), "plain write to %q, which is accessed with atomic.%s at %s: a word touched by sync/atomic anywhere must be accessed atomically everywhere", v.Name(), use.op, pass.Fset.Position(use.pos))
+	}
+}
+
+// varOf resolves an lvalue-ish expression to the variable it names:
+// a bare identifier, or the field of a selector chain.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		// Package-qualified var (pkg.V).
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return varOf(pass, x.X)
+	}
+	return nil
+}
+
+func constructorish(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || strings.HasPrefix(name, "make")
+}
+
+// checkFieldAlignment flags 64-bit-atomic struct fields that land on a
+// 4-byte boundary under gc/386 layout.
+func checkFieldAlignment(pass *analysis.Pass, atomicVars map[*types.Var]atomicUse) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name]
+			if !ok || obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			var fields []*types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				fields = append(fields, st.Field(i))
+			}
+			if len(fields) == 0 {
+				return true
+			}
+			offsets := sizes.Offsetsof(fields)
+			for i, fv := range fields {
+				use, tracked := atomicVars[fv]
+				if !tracked || !use.is64bit {
+					continue
+				}
+				if offsets[i]%8 != 0 {
+					pass.Reportf(fv.Pos(), "field %q is used with atomic.%s but sits at offset %d under 32-bit layout: move 64-bit atomic words to the front of %s (or pad) so they stay 8-byte aligned", fv.Name(), use.op, offsets[i], fmt.Sprintf("%s.%s", pass.Pkg.Name(), ts.Name.Name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// forEachCall visits every call expression in the pass's files; fn may be
+// nil (used to keep pass ordering explicit at the call site).
+func forEachCall(pass *analysis.Pass, fn func(call *ast.CallExpr, enclosing string)) {
+	if fn == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		name := ""
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				name = x.Name.Name
+			case *ast.CallExpr:
+				fn(x, name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicmix.Analyzer, "a")
+}

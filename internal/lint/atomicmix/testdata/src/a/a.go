@@ -1,0 +1,56 @@
+// Fixture for the atomicmix analyzer: all-or-nothing sync/atomic access,
+// 32-bit layout alignment of 64-bit atomic fields, and 8-byte alignment
+// of constant offsets handed to the one-sided remote atomic family.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	flag bool
+	hits uint64 // want `used with atomic\.AddUint64 but sits at offset 4 under 32-bit layout`
+}
+
+type alignedStats struct {
+	hits uint64 // 64-bit atomics lead the struct: aligned under 386 too
+	flag bool
+}
+
+var count uint64
+
+func bump(s *stats, a *alignedStats) {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&a.hits, 1)
+	atomic.AddUint64(&count, 1)
+}
+
+func badPlainWrite(s *stats) {
+	s.hits = 0 // want `plain write to "hits"`
+	count++    // want `plain write to "count"`
+}
+
+func goodAtomic(s *stats) {
+	atomic.StoreUint64(&s.hits, 0)
+}
+
+// Constructors may plain-initialize before the value escapes.
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 0
+	return s
+}
+
+// Plain access to never-atomic fields is fine.
+func goodPlain(s *stats) {
+	s.flag = true
+}
+
+type qp struct{}
+
+func (q *qp) FetchAdd(node int, off, delta uint64) (uint64, error) { return 0, nil }
+
+func remote(q *qp) {
+	q.FetchAdd(1, 12, 1) // want `one-sided FetchAdd offset 12 is not 8-byte aligned`
+	if _, err := q.FetchAdd(1, 16, 1); err != nil {
+		return
+	}
+}

@@ -1,0 +1,113 @@
+// Package epochorder flags raw relational operators on epoch, term, and
+// incarnation words. Configuration terms pack generation<<6|owner and
+// every term owns a disjoint epoch band, so ordering them correctly
+// takes the canonical helpers (cfgNewer, termEpochFloor, nextTerm) —
+// a bare `<` on two such words compares owner bits as magnitude and has
+// produced real split-brain arbitration bugs. Equality tests and
+// comparisons against constants (zero checks, bounds) stay legal; the
+// analyzer also stays out of the ordering helpers themselves, recognized
+// by name (newer/older/less/floor/cmp/compare/order).
+package epochorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"sonuma/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "epochorder",
+	Doc:  "flag raw </> on packed term/epoch/incarnation words; order through the canonical helpers",
+	Run:  run,
+}
+
+var (
+	epochName  = regexp.MustCompile(`(?i)(term|epoch|incarn)`)
+	notEpoch   = regexp.MustCompile(`(?i)(terminal|termin|determ|pattern|intermediate)`)
+	helperName = regexp.MustCompile(`(?i)(newer|older|less|greater|floor|cmp|compare|order|clamp)`)
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		checkDecls(pass, f)
+	}
+	return nil, nil
+}
+
+func checkDecls(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if helperName.MatchString(fn.Name.Name) {
+			continue // the canonical ordering helper itself
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			default:
+				return true
+			}
+			if constOperand(pass, be.X) || constOperand(pass, be.Y) {
+				return true // bounds and zero checks are fine
+			}
+			if epochWord(pass, be.X) && epochWord(pass, be.Y) {
+				pass.Reportf(be.OpPos, "raw %s on epoch/term words %s and %s: packed (term, epoch) words order through the canonical helpers (cfgNewer / termEpochFloor / nextTerm), never relational operators", be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+			}
+			return true
+		})
+	}
+}
+
+func constOperand(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// epochWord reports whether e names an epoch/term/incarnation-typed
+// integer: an identifier, field selection, or call whose terminal name
+// matches the epoch vocabulary.
+func epochWord(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	// Unwrap conversions like uint64(term).
+	if call, ok := e.(*ast.CallExpr); ok {
+		if _, isConv := pass.TypesInfo.Types[call.Fun]; isConv && len(call.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+				return epochWord(pass, call.Args[0])
+			}
+		}
+	}
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.CallExpr:
+		switch fn := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			name = fn.Name
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		}
+	default:
+		return false
+	}
+	if !epochName.MatchString(name) || notEpoch.MatchString(name) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

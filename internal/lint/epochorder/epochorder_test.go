@@ -1,0 +1,12 @@
+package epochorder_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/epochorder"
+)
+
+func TestEpochorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochorder.Analyzer, "a")
+}

@@ -1,0 +1,40 @@
+// Fixture for the epochorder analyzer: raw relational operators on
+// packed term/epoch words must go through the canonical helpers.
+package a
+
+type node struct {
+	cfgTerm  uint64
+	cfgEpoch uint64
+}
+
+// The canonical helper itself is exempt by name: the packing invariant
+// that makes the raw compare correct is stated once, in it.
+func termNewer(term, thanTerm uint64) bool { return term > thanTerm }
+
+const epochFloor = 1 << 32
+
+func bad(s *node, term, epoch uint64) bool {
+	if term > s.cfgTerm { // want `raw > on epoch/term words`
+		return true
+	}
+	return epoch <= s.cfgEpoch // want `raw <= on epoch/term words`
+}
+
+func badIncarnation(incarnation, peerIncarnation uint64) bool {
+	return incarnation < peerIncarnation // want `raw < on epoch/term words`
+}
+
+func good(s *node, term, epoch uint64) bool {
+	if term == s.cfgTerm { // equality is always safe
+		return false
+	}
+	if epoch > epochFloor { // constant bound checks are fine
+		return false
+	}
+	return termNewer(term, s.cfgTerm)
+}
+
+// Vocabulary near-misses are not epoch words.
+func goodNames(terminalCount, patternIdx uint64) bool {
+	return terminalCount > patternIdx
+}

@@ -1,0 +1,94 @@
+// Package lintutil holds the small AST/type helpers the sonuma-lint
+// analyzers share: callee naming, constant folding, and function-body
+// iteration that treats function literals as analysis roots of their
+// own.
+package lintutil
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// CalleeName returns the bare name of a call's callee: the terminal
+// identifier of f(...), pkg.F(...), or recv.M(...). Empty for computed
+// callees (function values from map lookups etc. still resolve if they
+// end in an identifier).
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// CalleePkgPath returns the import path of the package a call selects
+// from (atomic.AddUint64 -> "sync/atomic"), or "" when the callee is not
+// a package-qualified selector.
+func CalleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// IntConst constant-folds expr and returns its integer value. Works for
+// literals and named constants alike (2*off+4 included).
+func IntConst(info *types.Info, expr ast.Expr) (int64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// FuncBody describes one analyzable body: a declared function or a
+// function literal.
+type FuncBody struct {
+	Name string // declared name, or "func literal"
+	Body *ast.BlockStmt
+}
+
+// Bodies yields every function body in the files — declarations and
+// function literals — each exactly once. Analyzers that do path walks
+// treat each as an independent root so a closure implementing a full
+// discipline is checked like a named function.
+func Bodies(files []*ast.File) []FuncBody {
+	var out []FuncBody
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, FuncBody{Name: fn.Name.Name, Body: fn.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, FuncBody{Name: "func literal", Body: fn.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// InspectShallow walks n but does not descend into nested function
+// literals; f's return value controls descent as with ast.Inspect.
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return f(m)
+	})
+}

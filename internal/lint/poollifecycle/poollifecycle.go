@@ -1,0 +1,556 @@
+// Package poollifecycle tracks pooled packets and batches
+// (proto.AllocPacket / AllocBatch) through each function and flags the
+// three lifecycle bugs the data path has actually shipped: use after
+// FreePacket/FreeBatch (the pool may have re-issued the object), double
+// free (corrupts the pool), and a pooled value leaking out of an error
+// path that returns before freeing or handing off ownership.
+//
+// The analysis is intraprocedural and ownership-conservative, matching
+// the documented discipline ("whoever pulls a packet out of a lane owns
+// it"): passing a tracked value to any call, returning it, storing it
+// into a field/slice/map or composite literal, sending it on a channel,
+// or capturing it in a function literal transfers ownership and ends
+// tracking. Paths are enumerated over if/switch/select branches; loop
+// bodies run once (the alloc/free pairing inside a loop iteration is
+// what matters); deferred frees apply at every subsequent return. An
+// `x == nil` / `x != nil` condition clears x's obligation on the branch
+// where it is statically nil. Panics exit without leak obligations (a
+// panicking goroutine is tearing the process down, and the pool with
+// it); use-after-free still reports on the way there.
+package poollifecycle
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poollifecycle",
+	Doc:  "flag use-after-free, double-free, and error-path leaks of pooled packets/batches",
+	Run:  run,
+}
+
+var allocFuncs = map[string]string{
+	"AllocPacket": "packet",
+	"AllocBatch":  "batch",
+}
+
+var freeFuncs = map[string]bool{
+	"FreePacket":       true,
+	"FreeBatch":        true,
+	"FreeBatchPackets": true,
+}
+
+const (
+	live = iota + 1
+	freed
+)
+
+type state struct {
+	vars     map[types.Object]int
+	deferred map[types.Object]bool
+}
+
+func (s state) clone() state {
+	ns := state{vars: map[types.Object]int{}, deferred: map[types.Object]bool{}}
+	for k, v := range s.vars {
+		ns.vars[k] = v
+	}
+	for k := range s.deferred {
+		ns.deferred[k] = true
+	}
+	return ns
+}
+
+func (s state) key() string {
+	var parts []string
+	for k, v := range s.vars {
+		parts = append(parts, fmt.Sprintf("%p=%d", k, v))
+	}
+	for k := range s.deferred {
+		parts = append(parts, fmt.Sprintf("%p=d", k))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// maxStates caps path enumeration per statement; beyond it the walker
+// keeps an arbitrary subset (soundness traded for termination on
+// pathological functions).
+const maxStates = 64
+
+type walker struct {
+	pass *analysis.Pass
+	// reported dedups diagnostics that would fire once per path.
+	reported map[string]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	w := &walker{pass: pass, reported: map[string]bool{}}
+	for _, fb := range lintutil.Bodies(pass.Files) {
+		init := state{vars: map[types.Object]int{}, deferred: map[types.Object]bool{}}
+		out := w.execBlock(fb.Body, []state{init})
+		// Fall off the end of the body: same obligations as a return.
+		for _, st := range out {
+			w.checkExit(st, fb.Body.Rbrace)
+		}
+	}
+	return nil, nil
+}
+
+func (w *walker) reportOnce(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.pass.Reportf(pos, "%s", msg)
+}
+
+func dedup(states []state) []state {
+	seen := map[string]bool{}
+	var out []state
+	for _, st := range states {
+		k := st.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, st)
+		if len(out) >= maxStates {
+			break
+		}
+	}
+	return out
+}
+
+func (w *walker) execBlock(b *ast.BlockStmt, in []state) []state {
+	states := in
+	for _, st := range b.List {
+		states = w.execStmt(st, states)
+		if len(states) == 0 {
+			return nil // all paths terminated
+		}
+	}
+	return dedup(states)
+}
+
+func (w *walker) execStmt(stmt ast.Stmt, in []state) []state {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.execBlock(st, in)
+	case *ast.LabeledStmt:
+		return w.execStmt(st.Stmt, in)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		in = w.evalExpr(st.Cond, in)
+		thenIn, elseIn := cloneAll(in), cloneAll(in)
+		if obj, op := nilCheck(w.pass, st.Cond); obj != nil {
+			// On the branch where obj is statically nil it holds no
+			// pooled value; drop its obligation there.
+			cleared := thenIn
+			if op == token.NEQ {
+				cleared = elseIn
+			}
+			for _, s := range cleared {
+				delete(s.vars, obj)
+			}
+		}
+		thenOut := w.execBlock(st.Body, thenIn)
+		var elseOut []state
+		if st.Else != nil {
+			elseOut = w.execStmt(st.Else, elseIn)
+		} else {
+			elseOut = elseIn
+		}
+		return dedup(append(thenOut, elseOut...))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.execBranches(stmt, in)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		if st.Cond != nil {
+			in = w.evalExpr(st.Cond, in)
+		}
+		out := w.execBlock(st.Body, cloneAll(in))
+		if st.Post != nil {
+			out = w.execStmt(st.Post, out)
+		}
+		return dedup(out)
+	case *ast.RangeStmt:
+		in = w.evalExpr(st.X, in)
+		return dedup(w.execBlock(st.Body, cloneAll(in)))
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			in = w.evalExpr(res, in)
+			// Returning a tracked value hands ownership to the caller.
+			for _, s := range in {
+				if obj := objOf(w.pass, res); obj != nil {
+					delete(s.vars, obj)
+				}
+			}
+		}
+		for _, s := range in {
+			w.checkExit(s, st.Return)
+		}
+		return nil
+	case *ast.BranchStmt:
+		// break/continue/goto: end this path without exit obligations;
+		// the loop-level approximation already covers pairing.
+		return nil
+	case *ast.DeferStmt:
+		return w.execDefer(st, in)
+	case *ast.GoStmt:
+		return w.evalExpr(st.Call, in)
+	case *ast.ExprStmt:
+		// A panic ends the path. Unlike a return it carries no leak
+		// obligation — the goroutine is tearing the process down.
+		if call, ok := st.X.(*ast.CallExpr); ok && lintutil.CalleeName(call) == "panic" {
+			w.evalExpr(st.X, in)
+			return nil
+		}
+		return w.evalExpr(st.X, in)
+	case *ast.AssignStmt:
+		return w.execAssign(st, in)
+	case *ast.IncDecStmt:
+		return w.evalExpr(st.X, in)
+	case *ast.SendStmt:
+		in = w.evalExpr(st.Chan, in)
+		return w.evalExpr(st.Value, in)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						in = w.evalExpr(v, in)
+					}
+				}
+			}
+		}
+		return in
+	default:
+		return in
+	}
+}
+
+func cloneAll(in []state) []state {
+	out := make([]state, len(in))
+	for i, s := range in {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+func (w *walker) execBranches(stmt ast.Stmt, in []state) []state {
+	var bodies []*ast.BlockStmt
+	hasDefault := false
+	collect := func(body []ast.Stmt, isDefault bool) {
+		bodies = append(bodies, &ast.BlockStmt{List: body})
+		hasDefault = hasDefault || isDefault
+	}
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		if st.Tag != nil {
+			in = w.evalExpr(st.Tag, in)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			collect(cc.Body, cc.List == nil)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			collect(cc.Body, cc.List == nil)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			body := cc.Body
+			if cc.Comm != nil {
+				body = append([]ast.Stmt{cc.Comm}, body...)
+			}
+			collect(body, cc.Comm == nil)
+		}
+		hasDefault = true // a select blocks; some case always runs
+	}
+	var out []state
+	for _, b := range bodies {
+		out = append(out, w.execBlock(b, cloneAll(in))...)
+	}
+	if !hasDefault || len(bodies) == 0 {
+		out = append(out, in...) // no case taken
+	}
+	return dedup(out)
+}
+
+func (w *walker) execDefer(st *ast.DeferStmt, in []state) []state {
+	name := lintutil.CalleeName(st.Call)
+	if freeFuncs[name] && len(st.Call.Args) == 1 {
+		if obj := objOf(w.pass, st.Call.Args[0]); obj != nil {
+			for _, s := range in {
+				if s.vars[obj] != 0 {
+					s.deferred[obj] = true
+				}
+			}
+			return in
+		}
+	}
+	// Any other defer mentioning tracked values transfers ownership.
+	return w.evalExpr(st.Call, in)
+}
+
+func (w *walker) execAssign(st *ast.AssignStmt, in []state) []state {
+	// RHS first: uses and transfers.
+	for i, rhs := range st.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if kind, isAlloc := allocFuncs[lintutil.CalleeName(call)]; isAlloc {
+				in = w.evalExpr(call, in) // args of the alloc call
+				if i < len(st.Lhs) || len(st.Rhs) == 1 {
+					lhs := st.Lhs[min(i, len(st.Lhs)-1)]
+					if obj := defOrUseObj(w.pass, lhs); obj != nil {
+						for _, s := range in {
+							s.vars[obj] = live
+						}
+						_ = kind
+						continue
+					}
+				}
+				continue
+			}
+		}
+		in = w.evalExpr(rhs, in)
+	}
+	// A reassignment of a tracked variable ends the old tracking.
+	for _, lhs := range st.Lhs {
+		if obj := defOrUseObj(w.pass, lhs); obj != nil {
+			for _, s := range in {
+				if _, tracked := s.vars[obj]; tracked {
+					// Overwritten before free: the old value's fate is
+					// whatever the RHS decided; stop tracking unless the
+					// RHS re-allocated into it (handled above).
+					if !assignsAlloc(st, lhs) {
+						delete(s.vars, obj)
+					}
+				}
+			}
+		} else {
+			// Storing into a field/slice/map: if the RHS was a tracked
+			// value it escaped; evalExpr on RHS already untracked calls,
+			// handle direct stores of tracked idents.
+			for _, rhs := range st.Rhs {
+				w.untrackIfTracked(rhs, in)
+			}
+		}
+	}
+	return in
+}
+
+func assignsAlloc(st *ast.AssignStmt, lhs ast.Expr) bool {
+	for i, l := range st.Lhs {
+		if l == lhs && i < len(st.Rhs) {
+			if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok {
+				if _, isAlloc := allocFuncs[lintutil.CalleeName(call)]; isAlloc {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *walker) untrackIfTracked(e ast.Expr, in []state) {
+	if obj := objOf(w.pass, e); obj != nil {
+		for _, s := range in {
+			delete(s.vars, obj)
+		}
+	}
+}
+
+// evalExpr processes uses, frees, and ownership transfers inside one
+// expression, in source order, without descending into function literal
+// bodies (those only observe captures, which untrack the variable).
+func (w *walker) evalExpr(e ast.Expr, in []state) []state {
+	if e == nil {
+		return in
+	}
+	lintutil.InspectShallow(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Captured tracked vars escape into the closure.
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj, ok := w.pass.TypesInfo.Uses[id]; ok {
+						for _, s := range in {
+							delete(s.vars, obj)
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			name := lintutil.CalleeName(x)
+			if freeFuncs[name] && len(x.Args) == 1 {
+				if obj := objOf(w.pass, x.Args[0]); obj != nil {
+					for _, s := range in {
+						switch s.vars[obj] {
+						case freed:
+							w.reportOnce(x.Pos(), "double %s of %q: it was already released on this path", name, objName(obj))
+						case live:
+							s.vars[obj] = freed
+							delete(s.deferred, obj)
+						default:
+							// Not tracked (came from a parameter etc.):
+							// start tracking the freed state so a later
+							// use still trips use-after-free.
+							s.vars[obj] = freed
+						}
+					}
+					return false // don't treat the arg as a use
+				}
+			}
+			if _, isAlloc := allocFuncs[name]; !isAlloc {
+				// Ownership transfer: tracked values passed as args (or
+				// used as receiver arguments' method targets stay ours).
+				for _, arg := range x.Args {
+					if obj := objOf(w.pass, arg); obj != nil {
+						for _, s := range in {
+							if s.vars[obj] == freed {
+								w.reportOnce(arg.Pos(), "use of %q after it was released to the pool", objName(obj))
+							}
+							delete(s.vars, obj)
+						}
+					}
+				}
+				// Method call ON a tracked (possibly freed) receiver.
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if obj := objOf(w.pass, sel.X); obj != nil {
+						for _, s := range in {
+							if s.vars[obj] == freed {
+								w.reportOnce(sel.Pos(), "use of %q after it was released to the pool", objName(obj))
+							}
+						}
+					}
+				}
+				return false
+			}
+			return true
+		case *ast.CompositeLit:
+			// Building a tracked value into a slice/struct/map literal
+			// stores it somewhere with its own lifetime: ownership moves.
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if obj := objOf(w.pass, elt); obj != nil {
+					for _, s := range in {
+						if s.vars[obj] == freed {
+							w.reportOnce(elt.Pos(), "use of %q after it was released to the pool", objName(obj))
+						}
+						delete(s.vars, obj)
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if obj := objOf(w.pass, x.X); obj != nil {
+				for _, s := range in {
+					if s.vars[obj] == freed {
+						w.reportOnce(x.Pos(), "use of %q after it was released to the pool", objName(obj))
+					}
+				}
+			}
+			return true
+		case *ast.Ident:
+			if obj, ok := w.pass.TypesInfo.Uses[x]; ok {
+				for _, s := range in {
+					if s.vars[obj] == freed {
+						w.reportOnce(x.Pos(), "use of %q after it was released to the pool", objName(obj))
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+	return in
+}
+
+// checkExit enforces exit obligations: deferred frees run, then anything
+// still live leaks.
+func (w *walker) checkExit(s state, pos token.Pos) {
+	for obj := range s.deferred {
+		if s.vars[obj] == live {
+			s.vars[obj] = freed
+		}
+	}
+	for obj, st := range s.vars {
+		if st == live {
+			w.reportOnce(pos, "pooled value %q leaks on this return path: free it or hand off ownership before bailing", objName(obj))
+		}
+	}
+}
+
+func objName(obj types.Object) string { return obj.Name() }
+
+// nilCheck recognizes a bare `x == nil` / `x != nil` condition (either
+// operand order) and returns the checked object and comparison operator.
+func nilCheck(pass *analysis.Pass, cond ast.Expr) (types.Object, token.Token) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, token.ILLEGAL
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(y) {
+		return objOf(pass, x), be.Op
+	}
+	if isNilIdent(x) {
+		return objOf(pass, y), be.Op
+	}
+	return nil, token.ILLEGAL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// objOf resolves a bare identifier expression to its object.
+func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj, ok := pass.TypesInfo.Uses[id]; ok {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func defOrUseObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	return objOf(pass, e)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+package poollifecycle_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/poollifecycle"
+)
+
+func TestPoollifecycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poollifecycle.Analyzer, "a")
+}

@@ -1,0 +1,110 @@
+// Fixture for the poollifecycle analyzer, using local stand-ins for the
+// proto pool API (the analyzer matches Alloc/Free by name so fixtures
+// stay dependency-free).
+package a
+
+import "errors"
+
+type Packet struct{ used bool }
+
+type Batch struct{ pkts []*Packet }
+
+func AllocPacket() *Packet { return &Packet{} }
+func FreePacket(p *Packet) {}
+func AllocBatch() *Batch   { return &Batch{} }
+func FreeBatch(b *Batch)   {}
+
+func (b *Batch) add(p *Packet) { b.pkts = append(b.pkts, p) }
+
+var errFail = errors.New("fail")
+
+func useAfterFree() {
+	p := AllocPacket()
+	FreePacket(p)
+	_ = p.used // want `use of "p" after it was released to the pool`
+}
+
+func useAfterFreeParam(q *Packet) {
+	FreePacket(q)
+	q.reset() // want `use of "q" after it was released to the pool`
+}
+
+func (p *Packet) reset() {}
+
+func doubleFree(cond bool) {
+	p := AllocPacket()
+	if cond {
+		FreePacket(p)
+	}
+	FreePacket(p) // want `double FreePacket of "p"`
+}
+
+func leakOnError(fail bool) error {
+	p := AllocPacket()
+	if fail {
+		return errFail // want `pooled value "p" leaks on this return path`
+	}
+	FreePacket(p)
+	return nil
+}
+
+// --- sanctioned shapes ---
+
+func pairedFree() {
+	p := AllocPacket()
+	_ = p.used
+	FreePacket(p)
+}
+
+func deferredFree() error {
+	p := AllocPacket()
+	defer FreePacket(p)
+	if p.used {
+		return errFail // deferred free covers every return
+	}
+	return nil
+}
+
+func handOff() {
+	p := AllocPacket()
+	enqueue(p) // ownership transfers to the callee
+}
+
+func enqueue(p *Packet) {}
+
+func returned() *Packet {
+	p := AllocPacket()
+	return p // ownership transfers to the caller
+}
+
+// A nil-guarded free: the branch where p is statically nil owes nothing.
+func nilGuard(cond bool) {
+	var p *Packet
+	if cond {
+		p = AllocPacket()
+	}
+	if p != nil {
+		FreePacket(p)
+	}
+}
+
+// Building tracked values into a composite literal stores them somewhere
+// with its own lifetime: ownership moves.
+func intoLiteral() {
+	read := AllocPacket()
+	write := AllocPacket()
+	b := AllocBatch()
+	for _, p := range []*Packet{read, write} {
+		b.add(p)
+	}
+	FreeBatch(b)
+}
+
+// A panic exits without leak obligations — the process is going down.
+func panicPath(ok bool) {
+	p := AllocPacket()
+	if !ok {
+		panic("construction failed")
+	}
+	FreePacket(p)
+}

@@ -1,0 +1,369 @@
+// Package seqlockbalance enforces the writer and reader halves of the
+// repo's seqlock discipline.
+//
+// Writer rule: a function that publishes through a seqlock performs an
+// odd-making version bump (FetchAdd-family call with an odd constant
+// delta), mutates the payload, and completes with an even-making bump on
+// the same version word. The analyzer groups odd-delta bump calls by the
+// textual version-word operand (offset expression or address); a group
+// with two or more bump sites is a seqlock writer, and every path out of
+// the function — early error returns and panics included — must have
+// executed an even number of that group's bumps. This is exactly the PR 4
+// stuck-odd class: an error return between the odd and even bump strands
+// remote readers on a torn slot forever. Groups with a single bump site
+// are monotonic counters, not seqlocks, and are ignored.
+//
+// Reader rule: a function that checks a version word for oddness (v&1)
+// and copies payload bytes out of the versioned image must validate the
+// copy before trusting it — either re-load the version word (same source
+// expression appearing at least twice) or checksum the copied image
+// (a call whose name contains crc/sum/check). One-sided readers see raw
+// remote bytes; the version check before the copy alone proves nothing
+// about the bytes copied after it.
+package seqlockbalance
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlockbalance",
+	Doc:  "flag seqlock version words left odd on a path out of the writer, and versioned-slot readers that never validate the copied payload",
+	Run:  run,
+}
+
+// bump-capable calls: name -> (offset/address arg index, delta arg index).
+var bumpArgs = map[string][2]int{
+	"FetchAdd":      {1, 2}, // QP.FetchAdd(node, off, delta) / Batch.FetchAdd(node, off, delta, ...)
+	"FetchAdd64":    {0, 1}, // Memory.FetchAdd64(off, delta)
+	"IssueFetchAdd": {2, 3}, // QP.IssueFetchAdd(slot, node, off, delta, ...)
+	"AddUint64":     {0, 1}, // sync/atomic
+	"AddInt64":      {0, 1},
+	"AddUint32":     {0, 1},
+	"AddInt32":      {0, 1},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fb := range lintutil.Bodies(pass.Files) {
+		checkWriter(pass, fb)
+		checkReader(pass, fb)
+	}
+	return nil, nil
+}
+
+// --- writer rule ---
+
+type bumpSite struct {
+	call  *ast.CallExpr
+	group string
+}
+
+// bumpAt returns the version-word group key if call is an odd-delta
+// FetchAdd-family bump.
+func bumpAt(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	idx, ok := bumpArgs[lintutil.CalleeName(call)]
+	if !ok || len(call.Args) <= idx[1] {
+		return "", false
+	}
+	delta, ok := lintutil.IntConst(pass.TypesInfo, call.Args[idx[1]])
+	if !ok || delta%2 == 0 {
+		return "", false
+	}
+	return types.ExprString(call.Args[idx[0]]), true
+}
+
+func checkWriter(pass *analysis.Pass, fb lintutil.FuncBody) {
+	// Collect bump sites (not descending into nested function literals:
+	// each is its own analysis root, and batch completion callbacks
+	// don't re-execute the staging call).
+	counts := map[string]int{}
+	inDefer := map[string]bool{}
+	lintutil.InspectShallow(fb.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if g, isBump := bumpAt(pass, d.Call); isBump {
+				inDefer[g] = true
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if g, isBump := bumpAt(pass, call); isBump {
+				counts[g]++
+			}
+		}
+		return true
+	})
+	groups := map[string]bool{}
+	for g, c := range counts {
+		// One site is a counter; a deferred completing bump is balanced
+		// by construction.
+		if c >= 2 && !inDefer[g] {
+			groups[g] = true
+		}
+	}
+	if len(groups) == 0 {
+		return
+	}
+	w := &parityWalker{pass: pass, groups: groups, reported: map[string]bool{}}
+	out := w.execBlock(fb.Body, []parity{{}})
+	for _, p := range out {
+		w.checkExit(p, fb.Body.Rbrace)
+	}
+}
+
+// parity maps group key -> odd (true) / even (false).
+type parity map[string]bool
+
+func (p parity) clone() parity {
+	np := parity{}
+	for k, v := range p {
+		np[k] = v
+	}
+	return np
+}
+
+func (p parity) key() string {
+	var parts []string
+	for k, v := range p {
+		if v {
+			parts = append(parts, k)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+const maxStates = 64
+
+type parityWalker struct {
+	pass     *analysis.Pass
+	groups   map[string]bool
+	reported map[string]bool
+}
+
+func (w *parityWalker) reportOnce(pos token.Pos, group string) {
+	key := fmt.Sprintf("%d:%s", pos, group)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.pass.Reportf(pos, "seqlock version word %s can be left odd on this path out of the function: pair every odd-making bump with an even-completing bump (stuck-odd strands one-sided readers on a torn slot)", group)
+}
+
+func (w *parityWalker) checkExit(p parity, pos token.Pos) {
+	for g, odd := range p {
+		if odd {
+			w.reportOnce(pos, g)
+		}
+	}
+}
+
+func dedup(states []parity) []parity {
+	seen := map[string]bool{}
+	var out []parity
+	for _, p := range states {
+		k := p.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+		if len(out) >= maxStates {
+			break
+		}
+	}
+	return out
+}
+
+func cloneAll(in []parity) []parity {
+	out := make([]parity, len(in))
+	for i, p := range in {
+		out[i] = p.clone()
+	}
+	return out
+}
+
+// applyBumps toggles parity for every bump call syntactically inside n,
+// excluding nested statement bodies when walking composite statements —
+// callers pass the non-body parts (init/cond/expr) of each statement.
+func (w *parityWalker) applyBumps(n ast.Node, states []parity) {
+	if n == nil {
+		return
+	}
+	lintutil.InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if g, isBump := bumpAt(w.pass, call); isBump && w.groups[g] {
+			for _, p := range states {
+				p[g] = !p[g]
+			}
+		}
+		return true
+	})
+}
+
+func (w *parityWalker) execBlock(b *ast.BlockStmt, in []parity) []parity {
+	states := in
+	for _, st := range b.List {
+		states = w.execStmt(st, states)
+		if len(states) == 0 {
+			return nil
+		}
+	}
+	return dedup(states)
+}
+
+func (w *parityWalker) execStmt(stmt ast.Stmt, in []parity) []parity {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.execBlock(st, in)
+	case *ast.LabeledStmt:
+		return w.execStmt(st.Stmt, in)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		w.applyBumps(st.Cond, in)
+		thenOut := w.execBlock(st.Body, cloneAll(in))
+		var elseOut []parity
+		if st.Else != nil {
+			elseOut = w.execStmt(st.Else, cloneAll(in))
+		} else {
+			elseOut = in
+		}
+		return dedup(append(thenOut, elseOut...))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		w.applyBumps(st.Tag, in)
+		return w.execCases(st.Body.List, in)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		return w.execCases(st.Body.List, in)
+	case *ast.SelectStmt:
+		return w.execCases(st.Body.List, in)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+		}
+		w.applyBumps(st.Cond, in)
+		out := w.execBlock(st.Body, cloneAll(in))
+		if st.Post != nil {
+			out = w.execStmt(st.Post, out)
+		}
+		return dedup(out)
+	case *ast.RangeStmt:
+		w.applyBumps(st.X, in)
+		return dedup(w.execBlock(st.Body, cloneAll(in)))
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			w.applyBumps(res, in)
+		}
+		for _, p := range in {
+			w.checkExit(p, st.Return)
+		}
+		return nil
+	case *ast.BranchStmt:
+		return nil
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && lintutil.CalleeName(call) == "panic" {
+			w.applyBumps(st.X, in)
+			for _, p := range in {
+				w.checkExit(p, call.Pos())
+			}
+			return nil
+		}
+		w.applyBumps(st.X, in)
+		return in
+	case *ast.DeferStmt:
+		// Deferred bumps were excluded from grouping; other defers
+		// carry no parity effect at the staging point.
+		return in
+	default:
+		w.applyBumps(stmt, in)
+		return in
+	}
+}
+
+func (w *parityWalker) execCases(clauses []ast.Stmt, in []parity) []parity {
+	hasDefault := false
+	var out []parity
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+			hasDefault = hasDefault || cc.List == nil
+		case *ast.CommClause:
+			body = cc.Body
+			if cc.Comm != nil {
+				body = append([]ast.Stmt{cc.Comm}, body...)
+			}
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+		out = append(out, w.execBlock(&ast.BlockStmt{List: body}, cloneAll(in))...)
+	}
+	if !hasDefault || len(clauses) == 0 {
+		out = append(out, in...)
+	}
+	return dedup(out)
+}
+
+// --- reader rule ---
+
+var checksumName = regexp.MustCompile(`(?i)(crc|sum|check)`)
+
+// checkReader flags versioned-slot readers (version-oddness check plus a
+// payload copy) that neither re-load the version nor checksum the copy.
+func checkReader(pass *analysis.Pass, fb lintutil.FuncBody) {
+	var oddCheckPos token.Pos
+	hasCopy := false
+	validated := false
+	loadTexts := map[string]int{}
+
+	lintutil.InspectShallow(fb.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			// v&1 inside a comparison marks the version-oddness check.
+			if x.Op == token.AND {
+				if c, ok := lintutil.IntConst(pass.TypesInfo, x.Y); ok && c == 1 && oddCheckPos == token.NoPos {
+					oddCheckPos = x.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			name := lintutil.CalleeName(x)
+			switch {
+			case name == "copy":
+				hasCopy = true
+			case checksumName.MatchString(name):
+				validated = true
+			case name == "Uint64" || name == "Uint32" || name == "Load":
+				// Version loads: binary.LittleEndian.Uint64(buf) or
+				// v.Load(). Two identical loads = read, copy, re-check.
+				loadTexts[types.ExprString(x)]++
+			}
+		}
+		return true
+	})
+
+	for _, n := range loadTexts {
+		if n >= 2 {
+			validated = true
+		}
+	}
+	if oddCheckPos != token.NoPos && hasCopy && !validated {
+		pass.Reportf(oddCheckPos, "versioned slot read: the payload copy is never validated — re-load the version word after copying (or checksum the copied image); the pre-copy oddness check alone cannot catch a write racing the copy")
+	}
+}

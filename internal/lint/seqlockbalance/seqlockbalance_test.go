@@ -1,0 +1,12 @@
+package seqlockbalance_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/seqlockbalance"
+)
+
+func TestSeqlockbalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seqlockbalance.Analyzer, "a")
+}

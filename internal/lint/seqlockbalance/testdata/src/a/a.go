@@ -1,0 +1,88 @@
+// Fixture for the seqlockbalance analyzer. The bad writer reproduces the
+// PR 4 stuck-odd class: an error return between the odd-making and
+// even-completing version bumps strands one-sided readers on a torn slot
+// forever.
+package a
+
+import "encoding/binary"
+
+type mem struct{}
+
+func (m *mem) FetchAdd64(off, delta uint64) (uint64, error) { return 0, nil }
+
+func store(m *mem, off uint64, body []byte) error { return nil }
+
+func badWriter(m *mem, off uint64, body []byte) error {
+	m.FetchAdd64(off, 1) // take the slot odd
+	if err := store(m, off, body); err != nil {
+		return err // want `seqlock version word off can be left odd`
+	}
+	m.FetchAdd64(off, 1) // land it even
+	return nil
+}
+
+func badPanicWriter(m *mem, off uint64, body []byte) {
+	m.FetchAdd64(off, 1)
+	if err := store(m, off, body); err != nil {
+		panic(err) // want `seqlock version word off can be left odd`
+	}
+	m.FetchAdd64(off, 1)
+}
+
+// --- sanctioned writer shapes ---
+
+func goodWriter(m *mem, off uint64, body []byte) error {
+	m.FetchAdd64(off, 1)
+	err := store(m, off, body)
+	m.FetchAdd64(off, 1) // completes even on the error path too
+	return err
+}
+
+func goodDeferredWriter(m *mem, off uint64, body []byte) error {
+	m.FetchAdd64(off, 1)
+	defer m.FetchAdd64(off, 1)
+	return store(m, off, body)
+}
+
+// One bump site is a monotonic counter, not a seqlock.
+func goodCounter(m *mem, off uint64) {
+	m.FetchAdd64(off, 1)
+}
+
+// --- reader rule ---
+
+func badReader(slot, dst []byte) bool {
+	v := binary.LittleEndian.Uint64(slot)
+	if v&1 == 1 { // want `versioned slot read: the payload copy is never validated`
+		return false
+	}
+	copy(dst, slot[8:])
+	return true
+}
+
+func goodReaderReload(slot, dst []byte) bool {
+	v := binary.LittleEndian.Uint64(slot)
+	if v&1 == 1 {
+		return false
+	}
+	copy(dst, slot[8:])
+	// Re-loading the version after the copy catches a racing writer.
+	return binary.LittleEndian.Uint64(slot) == v
+}
+
+func goodReaderChecksum(slot, dst []byte) bool {
+	v := binary.LittleEndian.Uint64(slot)
+	if v&1 == 1 {
+		return false
+	}
+	copy(dst, slot[8:])
+	return checkSum(dst) == v>>32
+}
+
+func checkSum(b []byte) uint64 {
+	var s uint64
+	for _, c := range b {
+		s += uint64(c)
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+// Package spinloop flags polling loops that pace themselves only with
+// runtime.Gosched (or not at all). On a host with fewer cores than
+// runnable daemons a pure-Gosched loop monopolizes its thread — PR 7's
+// messenger wait loops starved 8 daemons' heartbeats into mass eviction
+// exactly this way. Polling loops must escalate to a real sleep
+// (waitYield-style sleep-backoff, time.Sleep, a channel wait, or a
+// select) so starved peers eventually run.
+//
+// A loop is in scope when it has no init/post clause (`for { ... }` or
+// `for cond { ... }` — the polling shapes) and its body either calls
+// runtime.Gosched or is completely empty. Bounded three-clause retry
+// loops are out of scope. Pacing is recognized as any call whose name
+// contains sleep/wait/park/yield/backoff, a select statement, or a
+// channel operation. Each loop is judged on its own body: nested loops
+// (judged separately) and nested function literals (not on this
+// goroutine's schedule) are excluded from the scan, so an outer work
+// loop is not condemned for a bounded inner retry loop's Gosched.
+package spinloop
+
+import (
+	"go/ast"
+	"regexp"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spinloop",
+	Doc:  "flag polling loops that only Gosched (or busy-spin) without sleep-backoff",
+	Run:  run,
+}
+
+var pacingName = regexp.MustCompile(`(?i)(sleep|wait|park|yield|backoff)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			if verdict(loop) {
+				pass.Reportf(loop.For, "polling loop paces only with runtime.Gosched (or busy-spins); escalate to a waitYield-style sleep-backoff so starved peer goroutines and daemons make progress")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// verdict reports whether the loop is an unpaced polling loop.
+func verdict(loop *ast.ForStmt) bool {
+	if len(loop.Body.List) == 0 {
+		return true // `for cond { }` busy wait
+	}
+	gosched, paced := false, false
+	lintutil.InspectShallow(loop.Body, func(n ast.Node) bool {
+		// Nested loops are their own analysis roots.
+		if n != loop.Body {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := lintutil.CalleeName(n)
+			if name == "Gosched" {
+				gosched = true
+			} else if pacingName.MatchString(name) {
+				paced = true
+			}
+		case *ast.SelectStmt, *ast.SendStmt:
+			paced = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				paced = true
+			}
+		}
+		return true
+	})
+	return gosched && !paced
+}

@@ -1,0 +1,12 @@
+package spinloop_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/spinloop"
+)
+
+func TestSpinloop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spinloop.Analyzer, "a")
+}

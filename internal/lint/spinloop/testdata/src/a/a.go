@@ -1,0 +1,79 @@
+// Fixture for the spinloop analyzer. The bad shapes reproduce the PR 7
+// starvation class: messenger wait loops paced only by runtime.Gosched
+// monopolized their threads on a small host and starved eight colocated
+// daemons' heartbeats into mass eviction.
+package a
+
+import (
+	"runtime"
+	"time"
+)
+
+var ready bool
+
+func badGosched() {
+	for !ready { // want `polling loop paces only with runtime\.Gosched`
+		runtime.Gosched()
+	}
+}
+
+func badBusy() {
+	for !ready { // want `polling loop paces only with runtime\.Gosched`
+	}
+}
+
+// A bounded three-clause retry loop is out of scope: the bound itself is
+// the escalation (the caller decides what happens when it trips).
+func goodBounded() {
+	for i := 0; i < 4096; i++ {
+		runtime.Gosched()
+	}
+}
+
+// waitPace-style sleep-backoff is the sanctioned fix.
+func goodCondWait() {
+	for !ready {
+		waitPace()
+	}
+}
+
+func waitPace() { time.Sleep(time.Microsecond) }
+
+// Inline escalation also counts: the loop yields early and sleeps late.
+func goodInlineBackoff() {
+	spin := 0
+	for !ready {
+		spin++
+		if spin < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+func goodChannelWait(ch chan struct{}) {
+	for !ready {
+		<-ch
+	}
+}
+
+func goodSelect(ch chan struct{}) {
+	for !ready {
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}
+
+// Each loop is judged on its own body: the inner bounded loop's Gosched
+// does not condemn the outer work loop.
+func goodNested(work chan struct{}) {
+	for !ready {
+		for i := 0; i < 64; i++ {
+			runtime.Gosched()
+		}
+		<-work
+	}
+}

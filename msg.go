@@ -443,7 +443,7 @@ func (m *Messenger) sendPush(to int, kind uint32, data []byte) error {
 				return err
 			}
 		}
-		waitYield(spin)
+		WaitYield(spin)
 	}
 	// Compose the slots in the send buffer.
 	remaining := data
@@ -567,7 +567,7 @@ func (m *Messenger) resetChannel(to int) error {
 		if err := m.pump(); err != nil {
 			return err
 		}
-		waitYield(spin)
+		WaitYield(spin)
 	}
 	// The peer has discarded the partial message and rewound its consume
 	// cursor to the acknowledged point; resume our side from the same
@@ -737,7 +737,7 @@ func (m *Messenger) allocStaging(to int) (int, error) {
 				return 0, err
 			}
 		}
-		waitYield(spin)
+		WaitYield(spin)
 	}
 }
 
@@ -831,7 +831,7 @@ func (m *Messenger) Recv() (Message, error) {
 		if msg, ok, err := m.TryRecv(); err != nil || ok {
 			return msg, err
 		}
-		waitYield(spin)
+		WaitYield(spin)
 	}
 }
 
@@ -1077,7 +1077,7 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// waitYield paces a blocking poll loop: pure yields for the first
+// WaitYield paces a blocking poll loop: pure yields for the first
 // iterations (credits and acks usually arrive within microseconds, and
 // sleeping would cost latency), then short sleeps. The sleep tier
 // matters on CPU-starved hosts — a single-core machine running a
@@ -1085,7 +1085,7 @@ func maxInt(a, b int) int {
 // loops, and pure Gosched spinning starves the very peer processes
 // whose progress the waiters depend on (heartbeats miss, nodes get
 // evicted, and the cluster collapses under its own polling).
-func waitYield(spin int) {
+func WaitYield(spin int) {
 	if spin < 256 {
 		runtime.Gosched()
 		return
