@@ -1,8 +1,13 @@
 // Command sonuma-lint is the repo's domain-specific static analysis
-// suite: five analyzers that enforce the concurrency disciplines the
-// one-sided data path depends on (seqlock balance, pooled-packet
-// lifecycle, canonical epoch ordering, atomic access consistency, and
-// sleep-backoff in polling loops).
+// suite: nine analyzers that enforce the concurrency disciplines the
+// one-sided data path depends on. Five are intra-package (seqlock
+// balance, pooled-packet lifecycle, canonical epoch ordering, atomic
+// access consistency, and sleep-backoff in polling loops); four are
+// inter-procedural and share facts across package boundaries (region
+// bounds/alignment of one-sided offsets, lock-acquisition ordering,
+// codec byte-extent parity, and discarded errors from fallible
+// callees). Packages are analyzed in dependency order so a package's
+// exported facts are always available to its importers.
 //
 // Standalone:
 //
@@ -38,8 +43,12 @@ import (
 
 	"sonuma/internal/lint/analysis"
 	"sonuma/internal/lint/atomicmix"
+	"sonuma/internal/lint/codecparity"
 	"sonuma/internal/lint/epochorder"
+	"sonuma/internal/lint/errdrop"
+	"sonuma/internal/lint/lockorder"
 	"sonuma/internal/lint/poollifecycle"
+	"sonuma/internal/lint/regionbounds"
 	"sonuma/internal/lint/seqlockbalance"
 	"sonuma/internal/lint/spinloop"
 )
@@ -63,6 +72,20 @@ var all = []*analysis.Analyzer{
 	epochorder.Analyzer,
 	atomicmix.Analyzer,
 	spinloop.Analyzer,
+	regionbounds.Analyzer,
+	lockorder.Analyzer,
+	codecparity.Analyzer,
+	errdrop.Analyzer,
+}
+
+// knownNames is the full analyzer name set, used to validate
+// //lint:ignore directives even under -only.
+func knownNames() []string {
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 func main() {
@@ -129,20 +152,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
 		os.Exit(2)
 	}
+	// Absolute paths throughout: SortDeps resolves module-internal
+	// imports against the absolute module root, and the requested set
+	// must key the same way.
+	for i, dir := range dirs {
+		if abs, err := filepath.Abs(dir); err == nil {
+			dirs[i] = abs
+		}
+	}
+
+	// Analyze the module-internal dependency closure in import order so
+	// facts flow from dependencies to importers; report findings only for
+	// the packages actually requested.
+	order, err := loader.SortDeps(dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+		os.Exit(2)
+	}
+	requested := map[string]bool{}
+	for _, dir := range dirs {
+		requested[dir] = true
+	}
+	store := analysis.NewFactStore()
+	opts := &analysis.RunOptions{Known: knownNames(), Facts: store}
 
 	var findings []analysis.Finding
-	for _, dir := range dirs {
+	for _, dir := range order {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
 			os.Exit(2)
 		}
-		fs, err := analysis.RunPackage(pkg, analyzers)
+		fs, facts, err := analysis.RunPackageFacts(pkg, analyzers, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
 			os.Exit(2)
 		}
-		findings = append(findings, fs...)
+		store.Add(facts)
+		if requested[dir] {
+			findings = append(findings, fs...)
+		}
 	}
 	analysis.SortFindings(findings)
 

@@ -5,8 +5,16 @@ package main
 // the export data of every dependency (go vet compiles dependencies and
 // hands us their export files, so no source re-loading happens here —
 // the mirror image of the standalone loader). Diagnostics print in the
-// file:line:col form vet expects on stderr; the facts output file is
-// written empty (these analyzers keep no cross-package facts).
+// file:line:col form vet expects on stderr.
+//
+// Facts ride the protocol's .vetx files: PackageVetx maps each
+// dependency's import path to the facts blob a previous unit wrote, and
+// VetxOutput is where this unit's exported facts go. The go command
+// orders units dependencies-first and keys the files by the buildID we
+// report to -V=full, so cross-package facts get correct scheduling and
+// cache invalidation for free. Packages outside this module get an
+// empty facts blob and no analysis — the disciplines are sonuma's, not
+// the stdlib's.
 
 import (
 	"encoding/json"
@@ -19,6 +27,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"sonuma/internal/lint/analysis"
 )
@@ -34,6 +43,7 @@ type vetConfig struct {
 	NonGoFiles  []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
@@ -52,16 +62,46 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		return 2
 	}
 
-	// Always write the facts file first: the go command requires it to
-	// exist even when the package has no findings.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+	// The module's own packages are the only ones whose facts (and
+	// findings) matter; for everything else satisfy the protocol with an
+	// empty facts blob and move on.
+	if !moduleInternal(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			empty, err := analysis.EncodeFacts(&analysis.PackageFacts{Path: cfg.ImportPath})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+				return 2
+			}
+			if err := os.WriteFile(cfg.VetxOutput, empty, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+				return 2
+			}
+		}
+		return 0
+	}
+
+	// Load the facts every dependency unit exported before us. Only
+	// module-internal packages contribute: go vet hands us vetx files
+	// for stdlib deps too (we wrote them empty), and loading those would
+	// make "has facts" mean something different here than in the
+	// standalone driver, where the store is the analyzed-closure marker
+	// errdrop keys off.
+	store := analysis.NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		if !moduleInternal(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue // missing dep facts degrade to "no facts"
+		}
+		pf, err := analysis.DecodeFacts(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonuma-lint: %s: %v\n", file, err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		pf.Path = path // key by the import path this unit resolves
+		store.Add(pf)
 	}
 
 	fset := token.NewFileSet()
@@ -100,9 +140,29 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		Importer: imp,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
+	writeFacts := func(pf *analysis.PackageFacts) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		data, err := analysis.EncodeFacts(pf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+			return false
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
+			return false
+		}
+		return true
+	}
+
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			// The go command still expects the facts file to exist.
+			if !writeFacts(&analysis.PackageFacts{Path: cfg.ImportPath}) {
+				return 2
+			}
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "sonuma-lint: type-checking %s: %v\n", cfg.ImportPath, err)
@@ -117,10 +177,22 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		Pkg:   tpkg,
 		Info:  info,
 	}
-	findings, err := analysis.RunPackage(pkg, analyzers)
+	findings, facts, err := analysis.RunPackageFacts(pkg, analyzers, &analysis.RunOptions{
+		Known: knownNames(),
+		Facts: store,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sonuma-lint: %v\n", err)
 		return 2
+	}
+	if !writeFacts(facts) {
+		return 2
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: the analysis ran only to produce facts;
+		// findings belong to the unit that names this package on the
+		// command line.
+		return 0
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
@@ -130,3 +202,19 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 	}
 	return 0
 }
+
+// moduleInternal reports whether an import path (possibly a test
+// variant like "sonuma/internal/kvs [sonuma/internal/kvs.test]") names a
+// package of this module.
+func moduleInternal(importPath string) bool {
+	base := importPath
+	if i := strings.IndexByte(base, ' '); i >= 0 {
+		base = base[:i]
+	}
+	base = strings.TrimSuffix(base, "_test")
+	return base == modulePath || strings.HasPrefix(base, modulePath+"/")
+}
+
+// modulePath is this repo's module path; the unitchecker only analyzes
+// packages beneath it.
+const modulePath = "sonuma"

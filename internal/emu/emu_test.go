@@ -34,6 +34,7 @@ func TestSegmentBounds(t *testing.T) {
 	if err := s.WriteAt(120, make([]byte, 16)); err == nil {
 		t.Fatal("overflowing write accepted")
 	}
+	//lint:ignore regionbounds deliberately negative: this test proves the segment rejects it
 	if err := s.ReadAt(-1, make([]byte, 4)); err == nil {
 		t.Fatal("negative offset accepted")
 	}

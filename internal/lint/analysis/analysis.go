@@ -30,6 +30,11 @@ type Analyzer struct {
 	// pass.Report. The result value is unused by the driver (kept for
 	// x/tools signature compatibility).
 	Run func(pass *Pass) (any, error)
+	// FactTypes lists zero values of the fact types this analyzer
+	// exports (facts.go). Declaring them is documentation and lets
+	// drivers know the analyzer is inter-procedural; an analyzer with no
+	// FactTypes never sees or produces facts.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding at one position.
@@ -46,6 +51,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	facts   *FactStore    // facts of already-analyzed packages (may be nil)
+	exports *PackageFacts // facts this package is exporting (may be nil)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -69,15 +77,43 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
+// RunOptions tunes RunPackageFacts.
+type RunOptions struct {
+	// Known is the full set of valid //lint:ignore analyzer names —
+	// usually every registered analyzer, not just the subset being run,
+	// so a `-only` invocation does not misreport directives aimed at the
+	// others. Empty means "don't validate names".
+	Known []string
+	// Facts holds the facts of every already-analyzed dependency and is
+	// where inter-procedural analyzers resolve imports. May be nil, in
+	// which case cross-package lookups find nothing.
+	Facts *FactStore
+}
+
 // RunPackage applies each analyzer to pkg and returns the findings,
 // sorted by position. Diagnostics on lines covered by a valid
 // //lint:ignore directive for that analyzer are dropped; malformed
 // directives (missing reason) surface as findings of the synthetic
 // "lintdirective" analyzer so suppressions can never silently rot.
+//
+// This facts-less form suits single-package callers; drivers walking a
+// dependency graph use RunPackageFacts.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	ignores, bad := collectDirectives(pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...))
+	findings, _, err := RunPackageFacts(pkg, analyzers, nil)
+	return findings, err
+}
+
+// RunPackageFacts is RunPackage plus the facts flow: analyzers resolve
+// imported facts through opts.Facts and the facts they export for this
+// package are returned for the driver to store/serialize.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, opts *RunOptions) ([]Finding, *PackageFacts, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	ignores, bad := collectDirectives(pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...), opts.Known)
 	var out []Finding
 	out = append(out, bad...)
+	exports := &PackageFacts{Path: pkg.Path}
 
 	runSet := func(files []*ast.File, tpkg *types.Package, info *types.Info) error {
 		if len(files) == 0 || tpkg == nil {
@@ -90,6 +126,8 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     files,
 				Pkg:       tpkg,
 				TypesInfo: info,
+				facts:     opts.Facts,
+				exports:   exports,
 			}
 			pass.Report = func(d Diagnostic) {
 				posn := pkg.Fset.Position(d.Pos)
@@ -113,13 +151,13 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	}
 
 	if err := runSet(pkg.Files, pkg.Pkg, pkg.Info); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := runSet(pkg.XTestFiles, pkg.XTestPkg, pkg.XTestInfo); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	SortFindings(out)
-	return out, nil
+	return out, exports, nil
 }
 
 // SortFindings orders findings by file, line, column, analyzer.

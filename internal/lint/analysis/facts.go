@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Facts are the modular half of the framework: what one package's
+// analysis proved about its exported objects, serialized so a LATER
+// analysis of an importing package can consume it without re-analyzing
+// the dependency. This mirrors golang.org/x/tools/go/analysis facts, cut
+// down to what sonuma-lint needs:
+//
+//   - An object fact attaches to one exported package-level object
+//     (function, method, type, const, var) and is addressed by a stable
+//     textual path ("F", "T.M") instead of x/tools' objectpath — the
+//     repo's analyzers only ever need package-level objects and methods.
+//   - A package fact attaches to the package as a whole (lockorder's
+//     acquisition-graph edges, codecparity's encoder profiles).
+//
+// Facts gob-encode into one blob per package. Both drivers move the same
+// blobs: the standalone loader keeps them in memory keyed by import path
+// while it walks packages in dependency order, and the unitchecker
+// reads/writes them as the .vetx files the go command passes in the unit
+// .cfg (PackageVetx / VetxOutput) — so `go vet -vettool` gets cache
+// invalidation for free from the buildID in the -V=full reply.
+//
+// Each analyzer uses at most one concrete fact type per object and one
+// per package; records are keyed (analyzer, object path), and Import
+// decodes into the caller-supplied pointer, so no type registry is
+// needed.
+
+// Fact is a marker interface for analyzer fact types. Implementations
+// must be gob-encodable structs; the AFact method only brands the type.
+type Fact interface{ AFact() }
+
+// FactRecord is one serialized fact. Object is the in-package object
+// path ("F" or "T.M"), or "" for a package fact.
+type FactRecord struct {
+	Analyzer string
+	Object   string
+	Data     []byte
+}
+
+// PackageFacts is every fact one package exported.
+type PackageFacts struct {
+	Path    string
+	Records []FactRecord
+}
+
+func (pf *PackageFacts) set(analyzer, object string, data []byte) {
+	for i := range pf.Records {
+		if pf.Records[i].Analyzer == analyzer && pf.Records[i].Object == object {
+			pf.Records[i].Data = data
+			return
+		}
+	}
+	pf.Records = append(pf.Records, FactRecord{Analyzer: analyzer, Object: object, Data: data})
+}
+
+func (pf *PackageFacts) get(analyzer, object string) ([]byte, bool) {
+	if pf == nil {
+		return nil, false
+	}
+	for i := range pf.Records {
+		if pf.Records[i].Analyzer == analyzer && pf.Records[i].Object == object {
+			return pf.Records[i].Data, true
+		}
+	}
+	return nil, false
+}
+
+// EncodeFacts serializes a package's facts. The empty fact set encodes
+// to a valid (small) blob, so "no facts" and "never analyzed" stay
+// distinguishable from a truncated file.
+func EncodeFacts(pf *PackageFacts) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pf); err != nil {
+		return nil, fmt.Errorf("lint: encoding facts for %s: %w", pf.Path, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts parses a facts blob. Empty input (PR 8's unitchecker wrote
+// zero-byte .vetx files) decodes as an empty fact set rather than an
+// error, so a stale cache entry degrades to "no facts" instead of
+// failing the run.
+func DecodeFacts(data []byte) (*PackageFacts, error) {
+	pf := &PackageFacts{}
+	if len(data) == 0 {
+		return pf, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(pf); err != nil {
+		return nil, fmt.Errorf("lint: decoding facts: %w", err)
+	}
+	return pf, nil
+}
+
+// FactStore holds the facts of every already-analyzed package, keyed by
+// import path. One store lives for a whole driver invocation; packages
+// are analyzed in dependency order so a pass only ever looks up
+// packages whose analysis completed.
+type FactStore struct {
+	pkgs map[string]*PackageFacts
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{pkgs: map[string]*PackageFacts{}}
+}
+
+// Add records a package's facts (nil is ignored).
+func (s *FactStore) Add(pf *PackageFacts) {
+	if pf != nil {
+		s.pkgs[pf.Path] = pf
+	}
+}
+
+// Has reports whether facts for path are present.
+func (s *FactStore) Has(path string) bool {
+	_, ok := s.pkgs[path]
+	return ok
+}
+
+// Paths lists the packages with stored facts, sorted.
+func (s *FactStore) Paths() []string {
+	out := make([]string, 0, len(s.pkgs))
+	for p := range s.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// objectFactPath names an object a fact can attach to: "F" for a
+// package-level object, "T.M" for a method. Anything else (locals,
+// struct fields, interface-embedded names) is not addressable.
+func objectFactPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := rt.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// resolveFactObject finds the (package path, object path) address of obj,
+// or ok=false when the object cannot carry facts.
+func resolveFactObject(obj types.Object) (pkgPath, objPath string, ok bool) {
+	objPath, ok = objectFactPath(obj)
+	if !ok {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), objPath, true
+}
+
+func gobEncodeFact(fact Fact) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecodeFact(data []byte, fact Fact) bool {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(fact) == nil
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis and be addressable (package-level or a method).
+// Unaddressable objects are silently skipped — a fact on a local can
+// never be observed across a package boundary anyway.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.exports == nil || obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	objPath, ok := objectFactPath(obj)
+	if !ok {
+		return
+	}
+	data, err := gobEncodeFact(fact)
+	if err != nil {
+		return
+	}
+	p.exports.set(p.Analyzer.Name, objPath, data)
+}
+
+// ImportObjectFact decodes the fact this analyzer exported for obj into
+// fact (a pointer to the analyzer's concrete fact type) and reports
+// whether one was found. Facts exported earlier in the same pass resolve
+// too, so intra-package and cross-package lookups read the same way.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	pkgPath, objPath, ok := resolveFactObject(obj)
+	if !ok {
+		return false
+	}
+	var src *PackageFacts
+	if p.Pkg != nil && pkgPath == p.Pkg.Path() {
+		src = p.exports
+	} else if p.facts != nil {
+		src = p.facts.pkgs[pkgPath]
+	}
+	data, ok := src.get(p.Analyzer.Name, objPath)
+	if !ok {
+		return false
+	}
+	return gobDecodeFact(data, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.exports == nil {
+		return
+	}
+	data, err := gobEncodeFact(fact)
+	if err != nil {
+		return
+	}
+	p.exports.set(p.Analyzer.Name, "", data)
+}
+
+// ImportPackageFact decodes the package fact this analyzer exported for
+// the package at path (the current package included) into fact and
+// reports whether one was found.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	var src *PackageFacts
+	if p.Pkg != nil && path == p.Pkg.Path() {
+		src = p.exports
+	} else if p.facts != nil {
+		src = p.facts.pkgs[path]
+	}
+	data, ok := src.get(p.Analyzer.Name, "")
+	if !ok {
+		return false
+	}
+	return gobDecodeFact(data, fact)
+}
+
+// FactPackages lists the import paths of every package whose facts are
+// visible to this pass (dependency-ordered drivers: everything analyzed
+// before this package), sorted. Analyzers that aggregate package facts
+// (lockorder's global acquisition graph) iterate this.
+func (p *Pass) FactPackages() []string {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.Paths()
+}

@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/errdrop"
+	"sonuma/internal/lint/spinloop"
+)
+
+// TestFactsRoundTrip proves the serialized form is lossless: a package's
+// exported facts survive EncodeFacts/DecodeFacts and resolve identically
+// from the decoded copy — the property both drivers rely on (the
+// standalone driver keeps blobs in memory, the unitchecker round-trips
+// them through .vetx files).
+func TestFactsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := `package efact
+
+import "errors"
+
+func MayFail() error { return errors.New("x") }
+
+func NeverFails() error { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "efact.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadAdHocDir(dir, "efact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, facts, err := analysis.RunPackageFacts(pkg, []*analysis.Analyzer{errdrop.Analyzer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts.Records) != 1 {
+		t.Fatalf("want exactly one fact (MayFail), got %+v", facts.Records)
+	}
+
+	blob, err := analysis.EncodeFacts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := analysis.DecodeFacts(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Path != "efact" || len(decoded.Records) != 1 {
+		t.Fatalf("round-trip mangled facts: %+v", decoded)
+	}
+	r := decoded.Records[0]
+	if r.Analyzer != "errdrop" || r.Object != "MayFail" {
+		t.Fatalf("round-trip mangled record addressing: %+v", r)
+	}
+
+	// Empty input (a stale zero-byte .vetx file) must degrade to an
+	// empty fact set, not an error.
+	empty, err := analysis.DecodeFacts(nil)
+	if err != nil || len(empty.Records) != 0 {
+		t.Fatalf("empty blob: facts=%+v err=%v", empty, err)
+	}
+}
+
+// TestIgnoreUnknownAnalyzer proves the directive hygiene check: an
+// ignore naming a nonexistent analyzer is itself a finding when the
+// driver supplies the known-name set, and the directive suppresses
+// nothing.
+func TestIgnoreUnknownAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	src := `package ig
+
+import "time"
+
+func spin(ready func() bool) {
+	//lint:ignore spinlop polling is fine here
+	for !ready() {
+	}
+	_ = time.Now
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "ig.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadAdHocDir(dir, "ig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := []string{spinloop.Analyzer.Name, errdrop.Analyzer.Name}
+	findings, _, err := analysis.RunPackageFacts(pkg, []*analysis.Analyzer{spinloop.Analyzer},
+		&analysis.RunOptions{Known: known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBadName, sawSpin bool
+	for _, f := range findings {
+		if f.Analyzer == "lintdirective" && strings.Contains(f.Message, `unknown analyzer "spinlop"`) {
+			sawBadName = true
+		}
+		if f.Analyzer == "spinloop" {
+			sawSpin = true
+		}
+	}
+	if !sawBadName {
+		t.Errorf("misspelled directive not reported: %+v", findings)
+	}
+	if !sawSpin {
+		t.Errorf("misspelled directive suppressed the spinloop finding it aimed at: %+v", findings)
+	}
+
+	// With no known set (single-analyzer callers), names are not
+	// validated — back-compat for RunPackage.
+	findings, err = analysis.RunPackage(pkg, []*analysis.Analyzer{spinloop.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "lintdirective" {
+			t.Errorf("name validation ran without a known set: %v", f)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -47,8 +48,15 @@ func (s ignoreSet) covers(a string, posn token.Position) bool {
 
 // collectDirectives scans file comments for //lint:ignore directives.
 // Well-formed ones land in the returned set; malformed ones (no analyzer,
-// or no reason) are returned as findings so the hygiene gate fails.
-func collectDirectives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Finding) {
+// or no reason) are returned as findings so the hygiene gate fails. When
+// known is non-empty, a directive naming an analyzer outside it is also a
+// finding: an ignore aimed at a misspelled or since-deleted analyzer
+// suppresses nothing and would otherwise rot invisibly.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known []string) (ignoreSet, []Finding) {
+	knownSet := map[string]bool{}
+	for _, name := range known {
+		knownSet[name] = true
+	}
 	set := ignoreSet{}
 	var bad []Finding
 	for _, f := range files {
@@ -60,17 +68,24 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Fin
 					continue
 				}
 				posn := fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				badf := func(format string, args ...any) {
 					bad = append(bad, Finding{
 						Analyzer: "lintdirective",
 						Pos:      posn,
 						File:     posn.Filename,
 						Line:     posn.Line,
 						Col:      posn.Column,
-						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" with a non-empty reason",
+						Message:  fmt.Sprintf(format, args...),
 					})
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					badf("malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" with a non-empty reason")
+					continue
+				}
+				if len(knownSet) > 0 && fields[0] != "all" && !knownSet[fields[0]] {
+					badf("//lint:ignore names unknown analyzer %q (known: %s, or \"all\"): the directive suppresses nothing", fields[0], strings.Join(known, ", "))
 					continue
 				}
 				set[ignoreKey{posn.Filename, posn.Line}] = append(

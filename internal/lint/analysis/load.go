@@ -50,9 +50,17 @@ type Loader struct {
 	ModRoot string
 	ModPath string
 
+	// FixtureRoot, when set, resolves import paths that are neither
+	// module-internal nor stdlib against <FixtureRoot>/<path> — the
+	// analysistest layout, where testdata/src holds sibling fixture
+	// packages importing each other by bare name ("b" imports "a").
+	FixtureRoot string
+
 	ctxt    build.Context
 	std     types.ImporterFrom
 	pkgs    map[string]*types.Package // production-view cache
+	infos   map[string]*types.Info    // production-view type info, same key
+	pfiles  map[string][]*ast.File    // production-view ASTs (Info is keyed by node identity)
 	loading map[string]bool           // cycle detection
 }
 
@@ -103,6 +111,8 @@ func NewLoader(dir string) (*Loader, error) {
 		ModPath: modpath,
 		ctxt:    ctxt,
 		pkgs:    map[string]*types.Package{},
+		infos:   map[string]*types.Info{},
+		pfiles:  map[string][]*ast.File{},
 		loading: map[string]bool{},
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
@@ -123,29 +133,58 @@ func (l *Loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Packag
 		return p, nil
 	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
-		if l.loading[path] {
-			return nil, fmt.Errorf("import cycle through %s", path)
-		}
-		l.loading[path] = true
-		defer delete(l.loading, path)
-
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
-		pdir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
-		files, _, _, err := l.parseDir(pdir)
-		if err != nil {
-			return nil, err
+		pkg, _, _, err := l.loadProd(path, filepath.Join(l.ModRoot, filepath.FromSlash(rel)), nil)
+		return pkg, err
+	}
+	if l.FixtureRoot != "" {
+		fdir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(fdir); err == nil && st.IsDir() {
+			pkg, _, _, err := l.loadProd(path, fdir, nil)
+			return pkg, err
 		}
-		if len(files) == 0 {
-			return nil, fmt.Errorf("no buildable Go files in %s", pdir)
-		}
-		pkg, _, err := l.check(path, files, l)
-		if err != nil {
-			return nil, err
-		}
-		l.pkgs[path] = pkg
-		return pkg, nil
 	}
 	return l.std.ImportFrom(path, dir, 0)
+}
+
+// loadProd loads (or returns the cached) production view of the package
+// at dir: production files only, the view importing packages see. The
+// type info and ASTs are cached alongside so LoadDir can hand the same
+// view to analyzers when the package has no in-package test files —
+// without this every analyzed package that is also imported by a later
+// one got type-checked twice per invocation. pre, when non-nil, is the
+// caller's already-parsed production file set, used on a cache miss to
+// avoid a re-parse (Info is keyed by AST node identity, so the checked
+// files are the ones returned).
+func (l *Loader) loadProd(path, dir string, pre []*ast.File) (*types.Package, *types.Info, []*ast.File, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, l.infos[path], l.pfiles[path], nil
+	}
+	if l.loading[path] {
+		return nil, nil, nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files := pre
+	if files == nil {
+		var err error
+		files, _, _, err = l.parseDir(dir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	pkg, info, err := l.check(path, files, l)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	l.infos[path] = info
+	l.pfiles[path] = files
+	return pkg, info, files, nil
 }
 
 // LoadDir loads the analysis view of the package in dir.
@@ -181,7 +220,16 @@ func (l *Loader) loadAt(dir, path string) (*Package, error) {
 	}
 
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
-	if len(prod)+len(testIn) > 0 {
+	switch {
+	case len(prod) > 0 && len(testIn) == 0:
+		// No in-package test files: the analysis view IS the production
+		// view, so share the cached one (and populate the cache for later
+		// importers) instead of type-checking the same files again.
+		p.Pkg, p.Info, p.Files, err = l.loadProd(path, dir, prod)
+		if err != nil {
+			return nil, err
+		}
+	case len(prod)+len(testIn) > 0:
 		p.Files = append(append([]*ast.File{}, prod...), testIn...)
 		p.Pkg, p.Info, err = l.check(path, p.Files, l)
 		if err != nil {
@@ -372,4 +420,111 @@ func (l *Loader) walkPackages(root string) ([]string, error) {
 		}
 	}
 	return uniq, nil
+}
+
+// DirImports reports the module-internal package directories the package
+// in dir imports from its production files, using a lightweight
+// imports-only parse. Test files are excluded on purpose: an external
+// test package may import a package that imports the base package (the
+// root package's benchmarks do), which is legal for the compiler but
+// would put a cycle in the dependency order facts flow along. Ordering
+// by production edges keeps the graph acyclic; call sites in test files
+// whose callee facts are consequently unavailable degrade to silence,
+// never to false findings.
+func (l *Loader) DirImports(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		if match, err := l.ctxt.MatchFile(dir, e.Name()); err != nil || !match {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+			idir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+			if !seen[idir] {
+				seen[idir] = true
+				out = append(out, idir)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SortDeps expands dirs to their module-internal dependency closure and
+// returns the whole set in dependency order (imports before importers) —
+// the order a facts-producing driver must analyze in, so every package's
+// dependencies have exported their facts by the time it runs. Ties break
+// lexicographically for stable output.
+func (l *Loader) SortDeps(dirs []string) ([]string, error) {
+	imports := map[string][]string{}
+	var visit func(dir string) error
+	visit = func(dir string) error {
+		if _, ok := imports[dir]; ok {
+			return nil
+		}
+		deps, err := l.DirImports(dir)
+		if err != nil {
+			return err
+		}
+		imports[dir] = deps
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := visit(abs); err != nil {
+			return nil, err
+		}
+	}
+
+	all := make([]string, 0, len(imports))
+	for d := range imports {
+		all = append(all, d)
+	}
+	sort.Strings(all)
+
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 in-progress, 2 done
+	var dfs func(dir string)
+	dfs = func(dir string) {
+		if state[dir] != 0 {
+			// In-progress means an import cycle; the type checker will
+			// report it properly, so just break the recursion here.
+			return
+		}
+		state[dir] = 1
+		for _, d := range imports[dir] {
+			dfs(d)
+		}
+		state[dir] = 2
+		order = append(order, dir)
+	}
+	for _, d := range all {
+		dfs(d)
+	}
+	return order, nil
 }

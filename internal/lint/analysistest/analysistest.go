@@ -13,22 +13,36 @@
 // every want must be matched — extra and missing findings both fail.
 // Fixtures must type-check: a broken fixture fails the test rather than
 // silently testing nothing.
+//
+// Fixture packages may import each other by bare directory name ("b"
+// imports "a"), which is how facts-producing analyzers are tested: Run
+// analyzes the named package's fixture dependencies first (in dependency
+// order, threading facts through a FactStore exactly like the real
+// drivers) and honors // want comments in every package of the closure —
+// so an expectation in "b" can demand a diagnostic that only exists if
+// facts exported while analyzing "a" crossed the import edge.
 package analysistest
 
 import (
 	"fmt"
 	"go/ast"
+	"go/parser"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"sonuma/internal/lint/analysis"
 )
 
 // Run loads testdata/src/<pkg> for each named fixture package and applies
-// the analyzer, comparing findings against // want comments.
+// the analyzer, comparing findings against // want comments. Each named
+// package's fixture dependencies are analyzed first with facts flowing
+// across the import edges.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
@@ -55,47 +69,141 @@ type want struct {
 	matched bool
 }
 
-func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgname string) {
+// Loaders are shared per testdata root for the life of the test process:
+// every fixture package of an analyzer's test suite reuses one
+// production-view (and stdlib) type-check cache instead of re-checking
+// the standard library per fixture.
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*analysis.Loader{}
+)
+
+func sharedLoader(t *testing.T, testdata string) *analysis.Loader {
 	t.Helper()
-	dir := filepath.Join(testdata, "src", pkgname)
-	loader, err := analysis.NewLoader(dir)
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if l, ok := loaders[testdata]; ok {
+		return l
+	}
+	l, err := analysis.NewLoader(testdata)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	pkg, err := loader.LoadAdHocDir(dir, pkgname)
+	l.FixtureRoot = filepath.Join(testdata, "src")
+	loaders[testdata] = l
+	return l
+}
+
+// fixtureDeps returns the fixture packages (directories under src) that
+// pkgname imports, directly.
+func fixtureDeps(src, pkgname string) ([]string, error) {
+	dir := filepath.Join(src, pkgname)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgname, err)
+		return nil, err
 	}
-
-	wants := collectWants(t, pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...))
-
-	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-
-	for _, f := range findings {
-		if f.Analyzer != a.Name && f.Analyzer != "lintdirective" {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		key := fmt.Sprintf("%s:%d", f.File, f.Line)
-		ws := wants[key]
-		hit := false
-		for _, w := range ws {
-			if !w.matched && w.re.MatchString(f.Message) {
-				w.matched = true
-				hit = true
-				break
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if st, err := os.Stat(filepath.Join(src, filepath.FromSlash(path))); err == nil && st.IsDir() && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
 			}
 		}
-		if !hit {
-			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
-		}
 	}
-	for key, ws := range wants {
-		for _, w := range ws {
-			if !w.matched {
-				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+	sort.Strings(out)
+	return out, nil
+}
+
+// closure returns pkgname's fixture dependency closure in dependency
+// order (imports first), pkgname last.
+func closure(src, pkgname string) ([]string, error) {
+	var order []string
+	state := map[string]int{}
+	var dfs func(p string) error
+	dfs = func(p string) error {
+		if state[p] != 0 {
+			return nil
+		}
+		state[p] = 1
+		deps, err := fixtureDeps(src, p)
+		if err != nil {
+			return err
+		}
+		for _, d := range deps {
+			if err := dfs(d); err != nil {
+				return err
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+		return nil
+	}
+	if err := dfs(pkgname); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := sharedLoader(t, testdata)
+
+	order, err := closure(src, pkgname)
+	if err != nil {
+		t.Fatalf("resolving fixture imports for %s: %v", pkgname, err)
+	}
+
+	store := analysis.NewFactStore()
+	for _, name := range order {
+		dir := filepath.Join(src, filepath.FromSlash(name))
+		pkg, err := loader.LoadAdHocDir(dir, name)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+
+		wants := collectWants(t, pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.XTestFiles...))
+
+		findings, facts, err := analysis.RunPackageFacts(pkg, []*analysis.Analyzer{a}, &analysis.RunOptions{Facts: store})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		store.Add(facts)
+
+		for _, f := range findings {
+			if f.Analyzer != a.Name && f.Analyzer != "lintdirective" {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", f.File, f.Line)
+			ws := wants[key]
+			hit := false
+			for _, w := range ws {
+				if !w.matched && w.re.MatchString(f.Message) {
+					w.matched = true
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+				}
 			}
 		}
 	}

@@ -1,0 +1,451 @@
+// Package codecparity checks that hand-rolled binary codecs agree with
+// themselves: every byte range an encoder writes, the matching decoder
+// reads, and vice versa — the classic drift bug where a field is added
+// to Marshal but not Unmarshal (or the wire width changes on one side
+// only) ships silently corrupted frames.
+//
+// Extents are recovered syntactically: binary.LittleEndian.PutUintN /
+// UintN calls at constant slice offsets, plus constant-index byte
+// stores/loads in functions that also use the binary package. Encoders
+// and decoders pair up by name stem (Marshal/Unmarshal, encodeCtl/
+// parseCtl, ...) within a package, and the comparison is on byte
+// coverage, so a codec with kind-dependent tails (a switch writing
+// either 4 or 8 extra bytes) compares as the union of its branches.
+//
+// Two refinements keep real codecs quiet: an encoder extent whose
+// written value is constant zero is reserved padding and need not be
+// read back, and a function with both read and write extents (an
+// in-place transformer) does not participate.
+//
+// Cross-package: an encoder method exports its profile as a fact on its
+// receiver type; a decoder in another package whose signature mentions
+// that type is checked against the imported profile. Package constants
+// naming a maximum ("...MaxLen", "MaxControlFrame") must be at least
+// the largest encoded extent.
+package codecparity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+// CodecFact is the byte-coverage profile of a type's encoder, exported
+// on the receiver type so importing packages can check their decoders.
+type CodecFact struct {
+	Bytes     []int // every byte offset the encoder writes
+	ZeroBytes []int // subset written as constant zero (reserved)
+}
+
+// AFact brands CodecFact for the facts layer.
+func (*CodecFact) AFact() {}
+
+// Analyzer is the codecparity pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "codecparity",
+	Doc:       "checks Marshal/Unmarshal byte-extent symmetry and size-constant agreement",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*CodecFact)(nil)},
+}
+
+var putWidths = map[string]int{"PutUint16": 2, "PutUint32": 4, "PutUint64": 8}
+var getWidths = map[string]int{"Uint16": 2, "Uint32": 4, "Uint64": 8}
+
+type extent struct {
+	off, width int
+	zero       bool // encoder-side: the written value is constant 0
+}
+
+type profile struct {
+	name     string
+	stem     string
+	role     int // roleEnc or roleDec
+	decl     *ast.FuncDecl
+	extents  []extent
+	usedBin  bool
+	recvType *types.TypeName // named receiver, if a method
+	sigTypes []*types.TypeName
+}
+
+const (
+	roleNone = iota
+	roleEnc
+	roleDec
+)
+
+// roleAndStem classifies a function name. Decoder keywords are checked
+// first so "unmarshal" does not read as "marshal".
+func roleAndStem(name string) (int, string) {
+	low := strings.ToLower(name)
+	for _, kw := range []string{"unmarshal", "decode", "parse"} {
+		if strings.Contains(low, kw) {
+			return roleDec, stem(low, kw)
+		}
+	}
+	for _, kw := range []string{"marshal", "encode"} {
+		if strings.Contains(low, kw) {
+			return roleEnc, stem(low, kw)
+		}
+	}
+	return roleNone, ""
+}
+
+func stem(low, kw string) string {
+	s := strings.Replace(low, kw, "", 1)
+	for _, suffix := range []string{"into", "from", "to"} {
+		s = strings.TrimSuffix(s, suffix)
+		s = strings.TrimPrefix(s, suffix)
+	}
+	return s
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// sliceBase returns the constant low bound of b[k:] (0 when absent), or
+// ok=false for non-constant slicing.
+func sliceBase(info *types.Info, arg ast.Expr) (int, bool) {
+	arg = ast.Unparen(arg)
+	sl, ok := arg.(*ast.SliceExpr)
+	if !ok {
+		// A bare slice identifier is offset 0.
+		if tv, okt := info.Types[arg]; okt && isByteSlice(tv.Type) {
+			return 0, true
+		}
+		return 0, false
+	}
+	if sl.Low == nil {
+		return 0, true
+	}
+	if c, ok := lintutil.IntConst(info, sl.Low); ok && c >= 0 {
+		return int(c), true
+	}
+	return 0, false
+}
+
+// extract walks one function body and collects its encoder (write) and
+// decoder (read) extents.
+func extract(info *types.Info, body *ast.BlockStmt) (writes, reads []extent, usedBin bool) {
+	// Index expressions that are assignment targets are write extents;
+	// mark them so the rvalue walk below does not also count them as
+	// reads.
+	lhsIndex := map[*ast.IndexExpr]bool{}
+	lintutil.InspectShallow(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					lhsIndex[idx] = true
+				}
+			}
+		}
+		return true
+	})
+	lintutil.InspectShallow(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			name := lintutil.CalleeName(x)
+			if w, ok := putWidths[name]; ok && len(x.Args) == 2 {
+				usedBin = true
+				if off, ok := sliceBase(info, x.Args[0]); ok {
+					zero := false
+					if c, okc := lintutil.IntConst(info, x.Args[1]); okc && c == 0 {
+						zero = true
+					}
+					writes = append(writes, extent{off, w, zero})
+				}
+			} else if w, ok := getWidths[name]; ok && len(x.Args) == 1 {
+				usedBin = true
+				if off, ok := sliceBase(info, x.Args[0]); ok {
+					reads = append(reads, extent{off, w, false})
+				}
+			}
+		case *ast.AssignStmt:
+			// buf[k] = v is a 1-byte write extent.
+			for i, lhs := range x.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				tv, okt := info.Types[idx.X]
+				if !okt || !isByteSlice(tv.Type) {
+					continue
+				}
+				c, okc := lintutil.IntConst(info, idx.Index)
+				if !okc || c < 0 {
+					continue
+				}
+				zero := false
+				if i < len(x.Rhs) {
+					if v, okv := lintutil.IntConst(info, x.Rhs[i]); okv && v == 0 {
+						zero = true
+					}
+				}
+				writes = append(writes, extent{int(c), 1, zero})
+			}
+		case *ast.IndexExpr:
+			// data[k] as an rvalue is a 1-byte read extent (assignment
+			// targets were classified as writes above).
+			if lhsIndex[x] {
+				return true
+			}
+			tv, okt := info.Types[x.X]
+			if !okt || !isByteSlice(tv.Type) {
+				return true
+			}
+			if c, okc := lintutil.IntConst(info, x.Index); okc && c >= 0 {
+				reads = append(reads, extent{int(c), 1, false})
+			}
+		}
+		return true
+	})
+	return writes, reads, usedBin
+}
+
+func coverage(exts []extent, zeroOnly bool) map[int]bool {
+	m := map[int]bool{}
+	for _, e := range exts {
+		if zeroOnly && !e.zero {
+			continue
+		}
+		for i := 0; i < e.width; i++ {
+			m[e.off+i] = true
+		}
+	}
+	return m
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ranges formats a byte set as compact [a,b) spans for diagnostics.
+func ranges(keys []int) string {
+	if len(keys) == 0 {
+		return "none"
+	}
+	var parts []string
+	start, prev := keys[0], keys[0]
+	flush := func() { parts = append(parts, fmt.Sprintf("[%d,%d)", start, prev+1)) }
+	for _, k := range keys[1:] {
+		if k != prev+1 {
+			flush()
+			start = k
+		}
+		prev = k
+	}
+	flush()
+	return strings.Join(parts, " ")
+}
+
+func namedRecv(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// signatureTypes lists the named types mentioned in a function's params
+// and results (pointers deref'd) — used to match a decoder to an
+// imported encoder's receiver type.
+func signatureTypes(info *types.Info, fd *ast.FuncDecl) []*types.TypeName {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	var out []*types.TypeName
+	collect := func(tu *types.Tuple) {
+		for i := 0; i < tu.Len(); i++ {
+			t := tu.At(i).Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				out = append(out, named.Obj())
+			}
+		}
+	}
+	collect(sig.Params())
+	collect(sig.Results())
+	if sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			out = append(out, named.Obj())
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	var profiles []*profile
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			role, st := roleAndStem(fd.Name.Name)
+			if role == roleNone {
+				continue
+			}
+			writes, reads, usedBin := extract(info, fd.Body)
+			if !usedBin {
+				continue
+			}
+			p := &profile{name: fd.Name.Name, stem: st, role: role, decl: fd, usedBin: usedBin,
+				recvType: namedRecv(info, fd), sigTypes: signatureTypes(info, fd)}
+			switch {
+			case len(writes) > 0 && len(reads) > 0:
+				continue // in-place transformer: ambiguous, skip
+			case role == roleEnc && len(writes) > 0:
+				p.extents = writes
+			case role == roleDec && len(reads) > 0:
+				p.extents = reads
+			default:
+				continue // delegating wrapper with no extents of its own
+			}
+			profiles = append(profiles, p)
+		}
+	}
+
+	// Pair encoders and decoders by stem and compare byte coverage.
+	var maxEncEnd int
+	for _, enc := range profiles {
+		if enc.role != roleEnc {
+			continue
+		}
+		encCov := coverage(enc.extents, false)
+		zeroCov := coverage(enc.extents, true)
+		if keys := sortedKeys(encCov); len(keys) > 0 && keys[len(keys)-1]+1 > maxEncEnd {
+			maxEncEnd = keys[len(keys)-1] + 1
+		}
+		// Export the profile on the receiver type for cross-package
+		// decoders.
+		if enc.recvType != nil {
+			pass.ExportObjectFact(enc.recvType, &CodecFact{
+				Bytes: sortedKeys(encCov), ZeroBytes: sortedKeys(zeroCov)})
+		}
+		for _, dec := range profiles {
+			if dec.role != roleDec || dec.stem != enc.stem {
+				continue
+			}
+			decCov := coverage(dec.extents, false)
+			compareCoverage(pass, enc.name, dec.name, dec.decl.Pos(), enc.decl.Pos(), encCov, zeroCov, decCov)
+		}
+	}
+
+	// Cross-package: decoders over imported types with codec facts.
+	for _, dec := range profiles {
+		if dec.role != roleDec {
+			continue
+		}
+		for _, tn := range dec.sigTypes {
+			if tn.Pkg() == nil || tn.Pkg() == pass.Pkg {
+				continue
+			}
+			var fact CodecFact
+			if !pass.ImportObjectFact(tn, &fact) {
+				continue
+			}
+			encCov := map[int]bool{}
+			for _, b := range fact.Bytes {
+				encCov[b] = true
+			}
+			zeroCov := map[int]bool{}
+			for _, b := range fact.ZeroBytes {
+				zeroCov[b] = true
+			}
+			decCov := coverage(dec.extents, false)
+			compareCoverage(pass, tn.Pkg().Name()+"."+tn.Name()+"'s encoder", dec.name,
+				dec.decl.Pos(), dec.decl.Pos(), encCov, zeroCov, decCov)
+		}
+	}
+
+	// Size constants claiming to bound the frame must cover the largest
+	// encoded extent.
+	if maxEncEnd > 0 {
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			low := strings.ToLower(name)
+			if !strings.Contains(low, "max") ||
+				(!strings.Contains(low, "len") && !strings.Contains(low, "size") && !strings.Contains(low, "frame")) {
+				continue
+			}
+			v := c.Val()
+			if v == nil || v.Kind() != constant.Int {
+				continue
+			}
+			if cv, exact := constant.Int64Val(v); exact && cv < int64(maxEncEnd) {
+				pass.Reportf(c.Pos(), "size constant %s = %d is smaller than the %d bytes the package's encoders write", name, cv, maxEncEnd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// compareCoverage reports coverage asymmetry between an encoder and a
+// decoder. Extents the encoder writes as constant zero are reserved and
+// exempt from the "never reads" direction.
+func compareCoverage(pass *analysis.Pass, encName, decName string, decPos, encPos token.Pos, encCov, zeroCov, decCov map[int]bool) {
+	var unread, unwritten []int
+	for b := range encCov {
+		if !decCov[b] && !zeroCov[b] {
+			unread = append(unread, b)
+		}
+	}
+	for b := range decCov {
+		if !encCov[b] {
+			unwritten = append(unwritten, b)
+		}
+	}
+	sort.Ints(unread)
+	sort.Ints(unwritten)
+	if len(unread) > 0 {
+		pass.Reportf(encPos, "codec drift: %s writes bytes %s that %s never reads", encName, ranges(unread), decName)
+	}
+	if len(unwritten) > 0 {
+		pass.Reportf(decPos, "codec drift: %s reads bytes %s that %s never writes", decName, ranges(unwritten), encName)
+	}
+}

@@ -1,0 +1,12 @@
+package codecparity_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/codecparity"
+)
+
+func TestCodecParity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), codecparity.Analyzer, "wire", "rdr")
+}

@@ -1,0 +1,24 @@
+// Package hdr exports a header type whose encoder profile travels as a
+// fact on the type.
+package hdr
+
+import "encoding/binary"
+
+type Hdr struct {
+	Kind byte
+	Seq  uint16
+	Body uint32
+}
+
+func (h *Hdr) Marshal(b []byte) {
+	b[0] = h.Kind
+	binary.LittleEndian.PutUint16(b[1:], h.Seq)
+	binary.LittleEndian.PutUint32(b[3:], h.Body)
+	binary.LittleEndian.PutUint16(b[7:], 0) // reserved
+}
+
+func (h *Hdr) Unmarshal(b []byte) {
+	h.Kind = b[0]
+	h.Seq = binary.LittleEndian.Uint16(b[1:])
+	h.Body = binary.LittleEndian.Uint32(b[3:])
+}

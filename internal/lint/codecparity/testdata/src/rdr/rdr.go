@@ -1,0 +1,26 @@
+// Package rdr decodes hdr.Hdr frames in a foreign package; the check
+// runs against the encoder profile imported as a fact on the type.
+package rdr
+
+import (
+	"encoding/binary"
+
+	"hdr"
+)
+
+// ParseHdr skips the Body field the encoder writes.
+func ParseHdr(b []byte) hdr.Hdr { // want `writes bytes \[3,7\) that ParseHdr never reads`
+	var h hdr.Hdr
+	h.Kind = b[0]
+	h.Seq = binary.LittleEndian.Uint16(b[1:])
+	return h
+}
+
+// ParseHdrFull reads everything non-reserved — silent.
+func ParseHdrFull(b []byte) hdr.Hdr {
+	var h hdr.Hdr
+	h.Kind = b[0]
+	h.Seq = binary.LittleEndian.Uint16(b[1:])
+	h.Body = binary.LittleEndian.Uint32(b[3:])
+	return h
+}

@@ -1,0 +1,51 @@
+// Package wire holds intra-package codec pairs: one symmetric, one
+// drifted in each direction, plus size constants.
+package wire
+
+import "encoding/binary"
+
+// MaxFrameSize comfortably bounds every encoder here.
+const MaxFrameSize = 64
+
+// maxEvtSize lies: encoders write past it.
+const maxEvtSize = 4 // want `size constant maxEvtSize = 4 is smaller`
+
+// Symmetric pair — silent. The (7,2) extent is written as constant zero
+// (reserved) and is exempt from read-back.
+func encodeHdr(b []byte, kind byte, seq uint16, body uint32) {
+	b[0] = kind
+	binary.LittleEndian.PutUint16(b[1:], seq)
+	binary.LittleEndian.PutUint32(b[3:], body)
+	binary.LittleEndian.PutUint16(b[7:], 0)
+}
+
+func parseHdr(b []byte) (byte, uint16, uint32) {
+	kind := b[0]
+	seq := binary.LittleEndian.Uint16(b[1:])
+	body := binary.LittleEndian.Uint32(b[3:])
+	return kind, seq, body
+}
+
+// Decoder reads a wider field than the encoder writes.
+func encodeFrame(b []byte, a uint16, v uint32, seq uint16) {
+	binary.LittleEndian.PutUint16(b[0:], a)
+	binary.LittleEndian.PutUint32(b[2:], v)
+	binary.LittleEndian.PutUint16(b[6:], seq)
+}
+
+func parseFrame(b []byte) (uint16, uint32, uint64) { // want `parseFrame reads bytes \[8,14\) that encodeFrame never writes`
+	a := binary.LittleEndian.Uint16(b[0:])
+	v := binary.LittleEndian.Uint32(b[2:])
+	seq := binary.LittleEndian.Uint64(b[6:])
+	return a, v, seq
+}
+
+// Encoder writes a field the decoder forgot.
+func encodeEvt(b []byte, id, ts uint32) { // want `encodeEvt writes bytes \[4,8\) that parseEvt never reads`
+	binary.LittleEndian.PutUint32(b[0:], id)
+	binary.LittleEndian.PutUint32(b[4:], ts)
+}
+
+func parseEvt(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b[0:])
+}

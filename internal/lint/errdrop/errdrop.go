@@ -1,0 +1,221 @@
+// Package errdrop flags call statements that silently discard an error
+// from a callee that can actually produce one. On replication, ack, and
+// repair paths a dropped error is a lost durability guarantee — the
+// write looked acknowledged but nobody checked that it was.
+//
+// The analyzer is deliberately narrower than "every ignored error":
+//
+//   - Only module-internal callees count. A callee qualifies when it is
+//     declared in the package under analysis or in a package whose facts
+//     are available — i.e. the analyzed dependency closure — so stdlib
+//     and vendored calls never fire.
+//   - Callees that provably cannot fail (every return statement puts a
+//     literal nil in the error slot) are benign; MayErrFact marks the
+//     ones that can fail, and absence of the fact on an analyzed
+//     package's function means benign, not unknown.
+//   - Interface methods declared in the module are conservatively
+//     may-error: the static callee is an abstraction over remote I/O.
+//   - `defer f()` is exempt (teardown idiom), `_ = f()` is exempt
+//     (visible intent), and _test.go files are exempt (tests drop
+//     errors in scaffolding legitimately).
+//
+// `go f()` statements are NOT exempt: an error produced on another
+// goroutine is still an error nobody handled.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+// MayErrFact marks an exported function that can return a non-nil
+// error. Its absence on an analyzed package's function means the
+// function provably returns nil errors only.
+type MayErrFact struct{}
+
+// AFact brands MayErrFact for the facts layer.
+func (*MayErrFact) AFact() {}
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "errdrop",
+	Doc:       "reports discarded errors from module-internal callees that can actually fail",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*MayErrFact)(nil)},
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// mayError decides whether a declared function can return a non-nil
+// error: true unless every return statement fills every error slot with
+// a literal nil. Naked returns and pass-through returns are
+// conservatively true.
+func mayError(info *types.Info, fn *types.Func, body *ast.BlockStmt) bool {
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	var errIdx []int
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 {
+		return false
+	}
+	may := false
+	lintutil.InspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || may {
+			return !may
+		}
+		if len(ret.Results) != res.Len() {
+			may = true // naked return or f() pass-through: assume fallible
+			return false
+		}
+		for _, i := range errIdx {
+			tv, ok := info.Types[ret.Results[i]]
+			if !ok || !tv.IsNil() {
+				may = true
+				return false
+			}
+		}
+		return true
+	})
+	return may
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Classify every declared function in this view.
+	local := map[*types.Func]bool{} // -> may return non-nil error
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !returnsError(fn) {
+				continue
+			}
+			local[fn] = mayError(info, fn, fd.Body)
+		}
+	}
+
+	// Export may-error marks for exported functions and methods.
+	for fn, may := range local {
+		if may && fn.Exported() {
+			pass.ExportObjectFact(fn, &MayErrFact{})
+		}
+	}
+
+	// calleeMayError resolves a callee's fallibility across the three
+	// sources: interface conservatism, local classification, dep facts.
+	calleeMayError := func(fn *types.Func) bool {
+		if fn == nil || !returnsError(fn) {
+			return false
+		}
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return false
+		}
+		internal := pkg == pass.Pkg || (pass.Pkg != nil && pkg.Path() == pass.Pkg.Path())
+		analyzed := internal
+		if !analyzed {
+			for _, p := range pass.FactPackages() {
+				if p == pkg.Path() {
+					analyzed = true
+					break
+				}
+			}
+		}
+		if !analyzed {
+			return false // external: out of the discipline's scope
+		}
+		if isInterfaceMethod(fn) {
+			return true
+		}
+		if internal {
+			if may, ok := local[fn]; ok {
+				return may
+			}
+			// Declared in the other half of a split view (or bodyless
+			// assembly stub): conservative.
+			return true
+		}
+		var fact MayErrFact
+		return pass.ImportObjectFact(fn, &fact)
+	}
+
+	report := func(call *ast.CallExpr) {
+		fn := calleeFunc(info, call)
+		if !calleeMayError(fn) {
+			return
+		}
+		pass.Reportf(call.Pos(), "discarded error: %s can return a non-nil error; check it or assign to _ to record intent", fn.Name())
+	}
+
+	for _, f := range pass.Files {
+		posn := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					report(call)
+				}
+			case *ast.GoStmt:
+				report(x.Call)
+			case *ast.DeferStmt:
+				return false // teardown idiom: defer'd errors are exempt
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdrop.Analyzer, "euse")
+}

@@ -1,0 +1,33 @@
+// Package efail exports fallible and infallible functions; the
+// distinction crosses the import edge as MayErrFact.
+package efail
+
+import "errors"
+
+var ErrNope = errors.New("nope")
+
+// MayFail really can fail.
+func MayFail() error { return ErrNope }
+
+// NeverFails has an error result for interface shape only.
+func NeverFails() error { return nil }
+
+// Replicator is a module-internal abstraction over remote I/O; its
+// methods are conservatively fallible.
+type Replicator interface {
+	Push(b []byte) error
+}
+
+type Worker struct{ n int }
+
+func (w *Worker) Run() error {
+	if w.n < 0 {
+		return ErrNope
+	}
+	return nil
+}
+
+func (w *Worker) Bump() error {
+	w.n++
+	return nil
+}

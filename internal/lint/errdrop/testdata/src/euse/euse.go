@@ -1,0 +1,26 @@
+// Package euse drops errors from imported callees; only the ones that
+// can actually fail are findings.
+package euse
+
+import "efail"
+
+func localMayFail() error { return efail.ErrNope }
+
+func localNeverFails() error { return nil }
+
+func drive(w *efail.Worker, r efail.Replicator, b []byte) {
+	efail.MayFail()    // want `discarded error: MayFail can return a non-nil error`
+	efail.NeverFails() // benign: provably nil
+	w.Run()            // want `discarded error: Run can return a non-nil error`
+	w.Bump()           // benign: provably nil
+	r.Push(b)          // want `discarded error: Push can return a non-nil error`
+
+	go efail.MayFail() // want `discarded error: MayFail can return a non-nil error`
+
+	localMayFail() // want `discarded error: localMayFail can return a non-nil error`
+	localNeverFails()
+
+	// Visible intent and teardown idioms stay silent.
+	_ = efail.MayFail()
+	defer efail.MayFail()
+}

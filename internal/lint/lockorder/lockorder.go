@@ -1,0 +1,364 @@
+// Package lockorder builds a lock-acquisition graph and reports cycles
+// in it — the static shadow of deadlock. A lock's identity is its
+// declaration site ("pkg.Type.field" for a mutex field, "pkg.var" for a
+// package-level mutex, "pkg.Type" for an embedded one), so two goroutines
+// locking the same fields of different instances in opposite orders
+// still collide on the same graph nodes.
+//
+// The analysis is inter-procedural two ways. Within a package, function
+// summaries (the set of locks a call may acquire, computed to a
+// fixpoint) extend the held set through calls. Across packages, exported
+// functions carry their acquire sets as object facts and each package
+// publishes its graph edges as a package fact; an importing package
+// merges every dependency's edges before looking for cycles, so an
+// A→B edge in one package and a B→A edge in another is reported at
+// the acquisition site the current package contributes.
+//
+// Self-edges (lock held while acquiring the same identity) are skipped:
+// with identity folded per declaration, instance-distinct acquisitions
+// (parent/child of the same type) would be indistinguishable from true
+// recursion.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+// LocksFact records the lock identities an exported function may
+// acquire, directly or transitively.
+type LocksFact struct {
+	Acquires []string
+}
+
+// AFact brands LocksFact for the facts layer.
+func (*LocksFact) AFact() {}
+
+// GraphFact is a package's contribution to the global acquisition graph:
+// one edge per ordered pair (held, acquired) observed in its bodies.
+type GraphFact struct {
+	Edges []Edge
+}
+
+// Edge is a held→acquired pair.
+type Edge struct {
+	From, To string
+}
+
+// AFact brands GraphFact for the facts layer.
+func (*GraphFact) AFact() {}
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "reports cycles in the cross-package lock-acquisition graph",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*LocksFact)(nil), (*GraphFact)(nil)},
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockIdent names the lock acquired by recv.Lock()/recv.Unlock(), or ""
+// when the lock has no stable identity (locals, computed receivers).
+func lockIdent(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Embedded mutex: the method resolves through a named type that is
+	// not itself sync.Mutex — identity is that type.
+	if s, ok := info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, okp := recv.(*types.Pointer); okp {
+			recv = p.Elem()
+		}
+		if named, okn := recv.(*types.Named); okn && !isMutexType(named) && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// owner.field.Lock(): identity is the field on its declaring
+		// struct type.
+		fieldSel, ok := info.Selections[x]
+		if !ok {
+			return ""
+		}
+		field, ok := fieldSel.Obj().(*types.Var)
+		if !ok || !field.IsField() || field.Pkg() == nil {
+			return ""
+		}
+		recv := fieldSel.Recv()
+		if p, okp := recv.(*types.Pointer); okp {
+			recv = p.Elem()
+		}
+		named, okn := recv.(*types.Named)
+		if !okn {
+			return ""
+		}
+		return field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+type edgeAt struct {
+	from, to string
+	pos      token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Collect declared functions so intra-package calls resolve to
+	// summaries.
+	type fnInfo struct {
+		decl     *ast.FuncDecl
+		acquires map[string]bool
+	}
+	fns := map[*types.Func]*fnInfo{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					fns[obj] = &fnInfo{decl: fd, acquires: map[string]bool{}}
+				}
+			}
+		}
+	}
+
+	calleeOf := func(call *ast.CallExpr) *types.Func {
+		switch fn := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			f, _ := info.Uses[fn].(*types.Func)
+			return f
+		case *ast.SelectorExpr:
+			f, _ := info.Uses[fn.Sel].(*types.Func)
+			return f
+		}
+		return nil
+	}
+
+	// calleeAcquires is the transitive acquire set of a call: a local
+	// summary or an imported fact.
+	calleeAcquires := func(fn *types.Func) []string {
+		if fn == nil {
+			return nil
+		}
+		if fi, ok := fns[fn]; ok {
+			out := make([]string, 0, len(fi.acquires))
+			for id := range fi.acquires {
+				out = append(out, id)
+			}
+			return out
+		}
+		var fact LocksFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Acquires
+		}
+		return nil
+	}
+
+	// Fixpoint over local summaries: direct locks, plus callees' sets.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			lintutil.InspectShallow(fi.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch lintutil.CalleeName(call) {
+				case "Lock", "RLock":
+					if id := lockIdent(info, call); id != "" && !fi.acquires[id] {
+						fi.acquires[id] = true
+						changed = true
+					}
+				default:
+					for _, id := range calleeAcquires(calleeOf(call)) {
+						if !fi.acquires[id] {
+							fi.acquires[id] = true
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Walk bodies in syntactic order tracking the held stack; record an
+	// edge held→acquired for every acquisition (direct or via a call)
+	// under a held lock.
+	var edges []edgeAt
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		edges = append(edges, edgeAt{from, to, pos})
+	}
+	for _, fb := range lintutil.Bodies(pass.Files) {
+		var held []string
+		lintutil.InspectShallow(fb.Body, func(n ast.Node) bool {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				// defer mu.Unlock() releases at return; for a linear
+				// walk the lock stays held to the end of the body.
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch lintutil.CalleeName(call) {
+			case "Lock", "RLock":
+				if id := lockIdent(info, call); id != "" {
+					for _, h := range held {
+						addEdge(h, id, call.Pos())
+					}
+					held = append(held, id)
+				}
+			case "Unlock", "RUnlock":
+				if id := lockIdent(info, call); id != "" {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == id {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+			default:
+				if len(held) == 0 {
+					return true
+				}
+				for _, id := range calleeAcquires(calleeOf(call)) {
+					for _, h := range held {
+						addEdge(h, id, call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Export facts: acquire sets for exported functions, edges for the
+	// package graph.
+	for obj, fi := range fns {
+		if !obj.Exported() || len(fi.acquires) == 0 {
+			continue
+		}
+		acq := make([]string, 0, len(fi.acquires))
+		for id := range fi.acquires {
+			acq = append(acq, id)
+		}
+		sort.Strings(acq)
+		pass.ExportObjectFact(obj, &LocksFact{Acquires: acq})
+	}
+	if len(edges) > 0 {
+		gf := &GraphFact{}
+		seen := map[Edge]bool{}
+		for _, e := range edges {
+			k := Edge{e.from, e.to}
+			if !seen[k] {
+				seen[k] = true
+				gf.Edges = append(gf.Edges, k)
+			}
+		}
+		sort.Slice(gf.Edges, func(i, j int) bool {
+			if gf.Edges[i].From != gf.Edges[j].From {
+				return gf.Edges[i].From < gf.Edges[j].From
+			}
+			return gf.Edges[i].To < gf.Edges[j].To
+		})
+		pass.ExportPackageFact(gf)
+	}
+
+	// Merge dependency graphs and look for a cycle through each own edge.
+	adj := map[string][]string{}
+	addAdj := func(from, to string) {
+		for _, t := range adj[from] {
+			if t == to {
+				return
+			}
+		}
+		adj[from] = append(adj[from], to)
+	}
+	for _, e := range edges {
+		addAdj(e.from, e.to)
+	}
+	for _, path := range pass.FactPackages() {
+		var gf GraphFact
+		if pass.ImportPackageFact(path, &gf) {
+			for _, e := range gf.Edges {
+				addAdj(e.From, e.To)
+			}
+		}
+	}
+
+	reported := map[Edge]bool{}
+	for _, e := range edges {
+		k := Edge{e.from, e.to}
+		if reported[k] {
+			continue
+		}
+		if path := findPath(adj, e.to, e.from); path != nil {
+			reported[k] = true
+			pass.Reportf(e.pos, "acquiring %s while holding %s closes a lock-order cycle: %s",
+				e.to, e.from, strings.Join(append([]string{e.from, e.to}, path[1:]...), " -> "))
+		}
+	}
+	return nil, nil
+}
+
+// findPath BFSes from src to dst in adj, returning the node path
+// [src ... dst], or nil.
+func findPath(adj map[string][]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if _, ok := prev[m]; ok {
+				continue
+			}
+			prev[m] = n
+			if m == dst {
+				var path []string
+				for at := dst; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == src {
+						return path
+					}
+				}
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil
+}

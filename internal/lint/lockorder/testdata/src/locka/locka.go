@@ -1,0 +1,16 @@
+// Package locka exports a type with a mutex and a helper that acquires
+// it; its acquire set travels as a fact.
+package locka
+
+import "sync"
+
+type A struct {
+	Mu sync.Mutex
+	N  int
+}
+
+func WithA(a *A) {
+	a.Mu.Lock()
+	a.N++
+	a.Mu.Unlock()
+}

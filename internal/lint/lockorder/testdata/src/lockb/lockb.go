@@ -1,0 +1,16 @@
+// Package lockb holds its package mutex across a call into locka,
+// contributing the edge lockb.mu -> locka.A.Mu to the global graph.
+package lockb
+
+import (
+	"locka"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func HoldB(a *locka.A) {
+	mu.Lock()
+	locka.WithA(a)
+	mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package lockc closes the cross-package cycle: it holds locka.A.Mu
+// while calling into lockb, whose exported fact says it takes lockb.mu
+// before locka.A.Mu.
+package lockc
+
+import (
+	"locka"
+	"lockb"
+)
+
+func Bad(a *locka.A) {
+	a.Mu.Lock()
+	lockb.HoldB(a) // want `closes a lock-order cycle`
+	a.Mu.Unlock()
+}
+
+// Good respects the global order by not holding anything across the
+// call.
+func Good(a *locka.A) {
+	lockb.HoldB(a)
+	a.Mu.Lock()
+	a.N++
+	a.Mu.Unlock()
+}

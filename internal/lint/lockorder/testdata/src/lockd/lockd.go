@@ -1,0 +1,48 @@
+// Package lockd has a purely intra-package inversion between two fields
+// of the same struct, plus a consistent pair that must stay silent.
+package lockd
+
+import "sync"
+
+type D struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (d *D) AB() {
+	d.a.Lock()
+	d.b.Lock() // want `closes a lock-order cycle`
+	d.n++
+	d.b.Unlock()
+	d.a.Unlock()
+}
+
+func (d *D) BA() {
+	d.b.Lock()
+	d.a.Lock() // want `closes a lock-order cycle`
+	d.n--
+	d.a.Unlock()
+	d.b.Unlock()
+}
+
+// Consistent nests in one order only.
+type E struct {
+	x, y sync.Mutex
+	n    int
+}
+
+func (e *E) One() {
+	e.x.Lock()
+	e.y.Lock()
+	e.n++
+	e.y.Unlock()
+	e.x.Unlock()
+}
+
+func (e *E) Two() {
+	e.x.Lock()
+	defer e.x.Unlock()
+	e.y.Lock()
+	defer e.y.Unlock()
+	e.n--
+}

@@ -1,0 +1,408 @@
+// Package regionbounds checks one-sided operation call sites against the
+// region layout they address: offsets passed to remote RMWs must be
+// 8-byte aligned, line-atomic writes must not straddle a 64-byte cache
+// line, and constant offsets must be non-negative and inside the
+// declared region size.
+//
+// Offsets in this codebase are rarely literal: they come out of layout
+// helpers (ringOff, creditOff, shardLineOff, slotOff...) that compute
+// base + index*stride. The analyzer constant-propagates through those
+// helpers with a residue lattice — each expression evaluates to either
+// an exact constant or "≡ res (mod m)" — so `LineOff(i) + 4` is provably
+// misaligned even though i is unknown. Helper summaries for exported
+// single-return helpers are exported as facts, so an importing package's
+// call sites are checked against the defining package's layout algebra.
+//
+// The analyzer only reports PROVEN violations: an offset whose residue
+// is unknown stays silent. That keeps the in-tree signal clean — field
+// dependent helpers (whose strides are configuration, not constants)
+// evaluate to unknown rather than to noise.
+package regionbounds
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"sonuma/internal/lint/analysis"
+	"sonuma/internal/lint/lintutil"
+)
+
+// OffsetFact summarizes an exported offset helper: the value it returns
+// is either exactly C (Known) or congruent to Res modulo Mod when its
+// arguments are unknown.
+type OffsetFact struct {
+	Known    bool
+	C        int64
+	Mod, Res int64
+}
+
+// AFact brands OffsetFact for the facts layer.
+func (*OffsetFact) AFact() {}
+
+// Analyzer is the regionbounds pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "regionbounds",
+	Doc:       "proves one-sided offsets misaligned, line-straddling, or out of the region",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*OffsetFact)(nil)},
+}
+
+// rmwCallees take an 8-byte-aligned remote word address.
+var rmwCallees = map[string]bool{
+	"FetchAdd": true, "CompareSwap": true,
+	"IssueFetchAdd": true, "IssueCompareSwap": true,
+}
+
+// writeCallees carry line-atomicity expectations for payloads that fit a
+// cache line.
+var writeCallees = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteAsync": true, "IssueWrite": true,
+}
+
+// readCallees participate in the bounds check only.
+var readCallees = map[string]bool{
+	"Read": true, "ReadAt": true, "ReadAsync": true, "IssueRead": true,
+}
+
+const lineSize = 64
+
+// maxMod caps the modulus used when an exact constant joins a residue;
+// any power of two comfortably above every stride in the tree works.
+const maxMod = int64(1) << 32
+
+// rval is a point in the residue lattice: an exact constant, a residue
+// class, or unknown (mod 1).
+type rval struct {
+	known bool
+	c     int64
+	mod   int64 // ≥ 1
+	res   int64 // 0 ≤ res < mod
+}
+
+func unknown() rval      { return rval{mod: 1} }
+func exact(c int64) rval { return rval{known: true, c: c, mod: 1} }
+
+func norm(r, m int64) int64 {
+	r %= m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// asResidue widens an exact constant into a residue class so it can
+// combine with one.
+func (v rval) asResidue() (mod, res int64) {
+	if v.known {
+		return maxMod, norm(v.c, maxMod)
+	}
+	return v.mod, v.res
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a <= 0 {
+		return 1
+	}
+	return a
+}
+
+func add(a, b rval) rval {
+	if a.known && b.known {
+		return exact(a.c + b.c)
+	}
+	ma, ra := a.asResidue()
+	mb, rb := b.asResidue()
+	m := gcd(ma, mb)
+	return rval{mod: m, res: norm(ra+rb, m)}
+}
+
+func neg(a rval) rval {
+	if a.known {
+		return exact(-a.c)
+	}
+	return rval{mod: a.mod, res: norm(-a.res, a.mod)}
+}
+
+func mul(a, b rval) rval {
+	if a.known && b.known {
+		return exact(a.c * b.c)
+	}
+	// Put the constant (if any) in a.
+	if b.known {
+		a, b = b, a
+	}
+	if !a.known {
+		// residue * residue: sound only when both are ≡ 0.
+		if a.res == 0 && b.res == 0 {
+			m := a.mod
+			if b.mod > m {
+				m = b.mod
+			}
+			return rval{mod: m, res: 0}
+		}
+		return unknown()
+	}
+	c := a.c
+	if c == 0 {
+		return exact(0)
+	}
+	if c < 0 {
+		return neg(mul(exact(-c), b))
+	}
+	m := b.mod * c
+	if m > maxMod || m/c != b.mod {
+		m = maxMod
+	}
+	return rval{mod: m, res: norm(b.res*c, m)}
+}
+
+type evaluator struct {
+	pass      *analysis.Pass
+	info      *types.Info
+	summaries map[*types.Func]rval
+}
+
+// eval computes expr's residue value. Constant folding wins outright;
+// otherwise the expression algebra and helper summaries apply.
+func (e *evaluator) eval(expr ast.Expr) rval {
+	expr = ast.Unparen(expr)
+	if c, ok := lintutil.IntConst(e.info, expr); ok {
+		return exact(c)
+	}
+	switch x := expr.(type) {
+	case *ast.BinaryExpr:
+		l, r := e.eval(x.X), e.eval(x.Y)
+		switch x.Op.String() {
+		case "+":
+			return add(l, r)
+		case "-":
+			return add(l, neg(r))
+		case "*":
+			return mul(l, r)
+		case "<<":
+			if r.known && r.c >= 0 && r.c < 32 {
+				return mul(l, exact(int64(1)<<uint(r.c)))
+			}
+		}
+		return unknown()
+	case *ast.UnaryExpr:
+		if x.Op.String() == "-" {
+			return neg(e.eval(x.X))
+		}
+		return unknown()
+	case *ast.CallExpr:
+		// Integer conversions pass the value through.
+		if tv, ok := e.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return e.eval(x.Args[0])
+		}
+		return e.helperValue(x)
+	}
+	return unknown()
+}
+
+// helperValue resolves a call to an offset helper: a local single-return
+// function's summary, or an imported helper's OffsetFact.
+func (e *evaluator) helperValue(call *ast.CallExpr) rval {
+	fn := calleeFunc(e.info, call)
+	if fn == nil {
+		return unknown()
+	}
+	if v, ok := e.summaries[fn]; ok {
+		return v
+	}
+	var fact OffsetFact
+	if e.pass.ImportObjectFact(fn, &fact) {
+		if fact.Known {
+			return exact(fact.C)
+		}
+		if fact.Mod > 1 {
+			return rval{mod: fact.Mod, res: norm(fact.Res, fact.Mod)}
+		}
+	}
+	return unknown()
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// singleReturn returns the sole returned expression of a helper-shaped
+// function body (exactly one statement, a single-value return).
+func singleReturn(body *ast.BlockStmt) (ast.Expr, bool) {
+	if body == nil || len(body.List) != 1 {
+		return nil, false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil, false
+	}
+	return ret.Results[0], true
+}
+
+// regionSizeConst finds the package's declared region size, if exactly
+// one constant names one ("...RegionSize", "SegmentBytes", ...).
+func regionSizeConst(pass *analysis.Pass) (int64, bool) {
+	var (
+		found int64
+		n     int
+	)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		low := strings.ToLower(name)
+		if !strings.HasSuffix(low, "regionsize") && !strings.HasSuffix(low, "regionbytes") &&
+			!strings.HasSuffix(low, "segmentsize") && !strings.HasSuffix(low, "segmentbytes") {
+			continue
+		}
+		if v, ok := constInt64(c); ok {
+			found = v
+			n++
+		}
+	}
+	return found, n == 1
+}
+
+func constInt64(c *types.Const) (int64, bool) {
+	v := c.Val()
+	if v == nil || v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	ev := &evaluator{pass: pass, info: info, summaries: map[*types.Func]rval{}}
+
+	// Pass 1: summarize local helpers (single-return functions). Two
+	// rounds let a helper that calls another helper resolve.
+	for round := 0; round < 2; round++ {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				expr, ok := singleReturn(fd.Body)
+				if !ok {
+					continue
+				}
+				obj, _ := info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				v := ev.eval(expr)
+				if v.known || v.mod > 1 {
+					ev.summaries[obj] = v
+				}
+			}
+		}
+	}
+
+	// Export summaries of exported helpers as facts.
+	for fn, v := range ev.summaries {
+		if !fn.Exported() {
+			continue
+		}
+		pass.ExportObjectFact(fn, &OffsetFact{Known: v.known, C: v.c, Mod: v.mod, Res: v.res})
+	}
+
+	regionSize, haveRegion := regionSizeConst(pass)
+
+	// Pass 2: check one-sided call sites.
+	for _, fb := range lintutil.Bodies(pass.Files) {
+		lintutil.InspectShallow(fb.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := lintutil.CalleeName(call)
+			isRMW, isWrite, isRead := rmwCallees[name], writeCallees[name], readCallees[name]
+			if !isRMW && !isWrite && !isRead {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			offIdx, lenIdx := offsetParams(fn)
+			if offIdx < 0 || offIdx >= len(call.Args) {
+				return true
+			}
+			off := ev.eval(call.Args[offIdx])
+
+			if off.known && off.c < 0 {
+				pass.Reportf(call.Pos(), "negative remote offset %d passed to %s", off.c, name)
+				return true
+			}
+			if isRMW {
+				if off.known && off.c%8 != 0 {
+					pass.Reportf(call.Pos(), "remote RMW %s at offset %d: not 8-byte aligned", name, off.c)
+				} else if !off.known && off.mod%8 == 0 && off.res%8 != 0 {
+					pass.Reportf(call.Pos(), "remote RMW %s at offset ≡ %d (mod %d): provably not 8-byte aligned", name, off.res, off.mod)
+				}
+			}
+			var length rval = unknown()
+			if lenIdx >= 0 && lenIdx < len(call.Args) {
+				length = ev.eval(call.Args[lenIdx])
+			}
+			if isWrite && length.known && length.c > 0 && length.c <= lineSize {
+				start, okStart := int64(-1), false
+				if off.known {
+					start, okStart = norm(off.c, lineSize), true
+				} else if off.mod%lineSize == 0 {
+					start, okStart = off.res%lineSize, true
+				}
+				if okStart && start+length.c > lineSize {
+					pass.Reportf(call.Pos(), "%s of %d bytes at line offset %d straddles a %d-byte cache line: not line-atomic", name, length.c, start, lineSize)
+				}
+			}
+			if haveRegion && off.known && length.known && off.c+length.c > regionSize {
+				pass.Reportf(call.Pos(), "%s at offset %d with length %d overruns the %d-byte region", name, off.c, length.c, regionSize)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// offsetParams locates the offset and length parameters of a one-sided
+// callee by name ("offset"/"off"; "n"/"length"/"size" for the byte
+// count). Returns -1 when absent.
+func offsetParams(fn *types.Func) (offIdx, lenIdx int) {
+	offIdx, lenIdx = -1, -1
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		switch params.At(i).Name() {
+		case "offset", "off":
+			if offIdx < 0 {
+				offIdx = i
+			}
+		case "n", "length", "size":
+			if lenIdx < 0 {
+				lenIdx = i
+			}
+		}
+	}
+	return
+}

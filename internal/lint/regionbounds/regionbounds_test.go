@@ -1,0 +1,12 @@
+package regionbounds_test
+
+import (
+	"testing"
+
+	"sonuma/internal/lint/analysistest"
+	"sonuma/internal/lint/regionbounds"
+)
+
+func TestRegionBounds(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), regionbounds.Analyzer, "caller")
+}

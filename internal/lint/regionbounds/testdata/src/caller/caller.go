@@ -1,0 +1,45 @@
+// Package caller exercises one-sided call sites whose offsets come from
+// the imported layout package — every diagnostic here depends on facts
+// crossing the import edge.
+package caller
+
+import "layout"
+
+// QP mimics the one-sided surface; the analyzer recognizes callees by
+// name plus an offset-named parameter.
+type QP struct{}
+
+func (q *QP) FetchAdd(node int, offset uint64, delta uint64) (uint64, error) { return 0, nil }
+func (q *QP) CompareSwap(node int, offset uint64, expected, newv uint64) (uint64, error) {
+	return 0, nil
+}
+func (q *QP) Write(node int, offset uint64, b []byte, n int) error { return nil }
+func (q *QP) Read(node int, offset uint64, b []byte, n int) error  { return nil }
+
+func use(q *QP, i, w int) {
+	// Aligned through helpers: silent.
+	q.FetchAdd(0, uint64(layout.LineOff(i)), 1)
+	q.FetchAdd(0, uint64(layout.WordOff(i, w)), 1)
+	q.CompareSwap(0, uint64(layout.HdrOff()), 0, 1)
+
+	// Provably misaligned via the imported residue fact.
+	q.FetchAdd(0, uint64(layout.SkewOff(i)), 1)         // want `provably not 8-byte aligned`
+	q.CompareSwap(0, uint64(layout.LineOff(i)+2), 0, 1) // want `provably not 8-byte aligned`
+	q.FetchAdd(0, uint64(layout.HdrOff()+1), 1)         // want `not 8-byte aligned`
+
+	// Unknown residues stay silent — no proof, no noise.
+	q.FetchAdd(0, uint64(layout.Opaque(i)), 1)
+	q.FetchAdd(0, uint64(i), 1)
+
+	// Line-atomic writes: a 32-byte frame at line offset 48 straddles.
+	var buf []byte
+	q.Write(0, uint64(layout.LineOff(i)+48), buf, 32) // want `straddles a 64-byte cache line`
+	q.Write(0, uint64(layout.LineOff(i)), buf, 64)
+	q.Write(0, uint64(layout.LineOff(i)), buf, 128) // multi-line by design: silent
+
+	// Bounds against this package's region size constant.
+	q.Read(0, 4095, buf, 8) // want `overruns the 4096-byte region`
+	q.Read(0, 4088, buf, 8)
+}
+
+const TestRegionSize = 4096

@@ -1,0 +1,23 @@
+// Package layout mimics a region-layout package: line-granular offset
+// helpers whose algebra the analyzer summarizes and exports as facts.
+package layout
+
+const RegionSize = 4096
+
+// LineOff is line-aligned: i*64 is ≡ 0 (mod 64) for any i.
+func LineOff(i int) int { return i * 64 }
+
+// WordOff lands on an 8-byte word inside line i.
+func WordOff(i, w int) int { return i*64 + w*8 }
+
+// SkewOff is provably misaligned: ≡ 4 (mod 64).
+func SkewOff(i int) int { return i*64 + 4 }
+
+// HdrOff is an exact constant.
+func HdrOff() int { return 128 }
+
+// Opaque depends on a non-constant stride, so it summarizes to unknown
+// and call sites through it must stay silent.
+var stride = 48
+
+func Opaque(i int) int { return i * stride }

@@ -33,7 +33,7 @@ func TestAtomicAlignmentRejected(t *testing.T) {
 	_, c0, _ := newPair(t, 1<<14)
 	qp, _ := c0.NewQP(16)
 	//lint:ignore atomicmix deliberately unaligned: this test proves the RMC rejects it with StatusBadAlign
-	_, err := qp.FetchAdd(1, 3, 1)
+	_, err := qp.FetchAdd(1, 3, 1) //lint:ignore regionbounds same deliberate misalignment: the RMC must answer StatusBadAlign
 	var re *sonuma.RemoteError
 	if !errors.As(err, &re) || re.Status != sonuma.StatusBadAlign {
 		t.Fatalf("unaligned FetchAdd: %v", err)
